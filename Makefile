@@ -1,0 +1,47 @@
+# bgpsim build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench paper paper-full verify examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at reduced scale into results/.
+paper:
+	$(GO) run ./cmd/paper -exp all -out results/reduced
+
+# The paper's actual process counts (minutes of wall time).
+paper-full:
+	$(GO) run ./cmd/paper -exp all -full -out results/full
+
+# Check the paper's claims against the simulation.
+verify:
+	$(GO) run ./cmd/paper -verify
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/halo-mapping
+	$(GO) run ./examples/power-study
+	$(GO) run ./examples/custom-app
+	$(GO) run ./examples/real-programs
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

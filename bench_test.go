@@ -1,0 +1,392 @@
+package bgpsim_test
+
+// The benchmark harness: one testing.B benchmark per table and figure
+// of the paper, each regenerating its data from the simulator (at
+// reduced scale by default; set BGPSIM_FULL=1 for the paper's actual
+// process counts), plus kernel micro-benchmarks and ablation
+// benchmarks for the design choices called out in DESIGN.md §4.
+//
+//	go test -bench=. -benchmem
+//	BGPSIM_FULL=1 go test -bench=Fig4 -benchtime=1x
+
+import (
+	"os"
+	"testing"
+
+	"bgpsim/internal/apps/pop"
+	"bgpsim/internal/halo"
+	"bgpsim/internal/hpcc"
+	"bgpsim/internal/imb"
+	"bgpsim/internal/kernels"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/paper"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func opts() paper.Options {
+	return paper.Options{Full: os.Getenv("BGPSIM_FULL") == "1"}
+}
+
+// runExperiment executes one registry experiment per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := paper.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := opts()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure. ---
+
+func BenchmarkTable1(b *testing.B)      { runExperiment(b, "table1") }
+func BenchmarkTable2HPCC(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkTable3Power(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkTop500HPL(b *testing.B)   { runExperiment(b, "top500") }
+func BenchmarkFig4POP(b *testing.B)     { runExperiment(b, "fig4") }
+func BenchmarkFig5CAM(b *testing.B)     { runExperiment(b, "fig5") }
+func BenchmarkFig6S3D(b *testing.B)     { runExperiment(b, "fig6") }
+func BenchmarkFig7GYRO(b *testing.B)    { runExperiment(b, "fig7") }
+func BenchmarkFig8MD(b *testing.B)      { runExperiment(b, "fig8") }
+
+// Figure 1, per panel.
+
+func fig1Ranks() int {
+	if os.Getenv("BGPSIM_FULL") == "1" {
+		return 4096
+	}
+	return 512
+}
+
+func BenchmarkFig1HPL(b *testing.B) {
+	ranks := fig1Ranks()
+	for i := 0; i < b.N; i++ {
+		for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+			n := hpcc.ProblemSizeN(machine.Get(id), machine.VN, ranks, 0.8)
+			gf := hpcc.HPLAnalytic(id, machine.VN, ranks, n, hpcc.BlockingNB(id))
+			if gf <= 0 {
+				b.Fatal("no HPL rate")
+			}
+		}
+	}
+}
+
+func BenchmarkFig1FFT(b *testing.B) {
+	ranks := fig1Ranks()
+	for i := 0; i < b.N; i++ {
+		for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+			if hpcc.FFTAnalytic(id, machine.VN, ranks) <= 0 {
+				b.Fatal("no FFT rate")
+			}
+		}
+	}
+}
+
+func BenchmarkFig1PTRANS(b *testing.B) {
+	ranks := fig1Ranks()
+	for i := 0; i < b.N; i++ {
+		for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+			if hpcc.PTRANSAnalytic(id, machine.VN, ranks) <= 0 {
+				b.Fatal("no PTRANS rate")
+			}
+		}
+	}
+}
+
+func BenchmarkFig1RandomAccess(b *testing.B) {
+	ranks := fig1Ranks()
+	for i := 0; i < b.N; i++ {
+		for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+			if hpcc.RandomAccessGUPS(id, machine.VN, ranks) <= 0 {
+				b.Fatal("no RA rate")
+			}
+		}
+	}
+}
+
+// Figure 2, per panel group.
+
+func BenchmarkFig2Protocols(b *testing.B) {
+	gx, gy := 16, 8
+	if os.Getenv("BGPSIM_FULL") == "1" {
+		gx, gy = 128, 64
+	}
+	for i := 0; i < b.N; i++ {
+		for _, p := range []halo.Protocol{halo.IsendIrecv, halo.SendRecv, halo.IrecvSend, halo.Persistent} {
+			_, err := halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+				GridX: gx, GridY: gy, Mapping: topology.MapTXYZ, Protocol: p,
+				Words: 2048, Iterations: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig2Mappings(b *testing.B) {
+	gx, gy := 32, 16
+	if os.Getenv("BGPSIM_FULL") == "1" {
+		gx, gy = 64, 64
+	}
+	for i := 0; i < b.N; i++ {
+		for _, m := range topology.PaperHALOMappings {
+			_, err := halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+				GridX: gx, GridY: gy, Mapping: m, Protocol: halo.IsendIrecv,
+				Words: 20000, Iterations: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig2Grids(b *testing.B) {
+	grids := [][2]int{{16, 8}, {32, 16}}
+	if os.Getenv("BGPSIM_FULL") == "1" {
+		grids = [][2]int{{64, 32}, {128, 64}}
+	}
+	for i := 0; i < b.N; i++ {
+		for _, g := range grids {
+			_, _, err := halo.BestMapping(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+				GridX: g[0], GridY: g[1], Protocol: halo.IsendIrecv,
+				Words: 2048, Iterations: 3},
+				[]topology.Mapping{topology.MapTXYZ, topology.MapXYZT})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Figure 3, per collective.
+
+func BenchmarkFig3Allreduce(b *testing.B) {
+	ranks := 256
+	if os.Getenv("BGPSIM_FULL") == "1" {
+		ranks = 8192
+	}
+	for i := 0; i < b.N; i++ {
+		for _, double := range []bool{true, false} {
+			for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+				if _, err := imb.AllreduceLatency(id, ranks, 32<<10, double); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig3Bcast(b *testing.B) {
+	ranks := 256
+	if os.Getenv("BGPSIM_FULL") == "1" {
+		ranks = 8192
+	}
+	for i := 0; i < b.N; i++ {
+		for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+			if _, err := imb.BcastLatency(id, ranks, 32<<10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §4). ---
+
+// BenchmarkAblationTreeOffload compares the BG/P double-precision
+// allreduce with the hardware tree against the same machine with the
+// tree's reduction ALU disabled (software recursive doubling on the
+// torus). The tree should win by an order of magnitude at size.
+func BenchmarkAblationTreeOffload(b *testing.B) {
+	run := func(b *testing.B, hw bool) {
+		m := machine.Get(machine.BGP)
+		m.TreeHWReduce = hw
+		for i := 0; i < b.N; i++ {
+			res, err := mpi.Execute(mpi.Config{Machine: m, Nodes: 64, Mode: machine.VN},
+				func(r *mpi.Rank) { r.World().Allreduce(r, 32<<10, true) })
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Elapsed.Microseconds(), "virtual-us/op")
+		}
+	}
+	b.Run("tree", func(b *testing.B) { run(b, true) })
+	b.Run("software", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationNetworkFidelity compares the contention and
+// analytic torus models on the mapping-sensitive HALO workload: the
+// analytic model is faster to simulate but cannot see link sharing.
+func BenchmarkAblationNetworkFidelity(b *testing.B) {
+	for _, fid := range []network.Fidelity{network.Contention, network.Analytic, network.Packet} {
+		fid := fid
+		b.Run(fid.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.Config{Machine: machine.Get(machine.BGP), Nodes: 128,
+					Mode: machine.VN, Mapping: topology.MapXYZT, Fidelity: fid}
+				_, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+					right := (r.ID() + 1) % r.Size()
+					left := (r.ID() - 1 + r.Size()) % r.Size()
+					for k := 0; k < 8; k++ {
+						r.Sendrecv(right, 64<<10, k, left, k)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAnalyticCollectives compares simulated and
+// closed-form software collectives (simulation fidelity vs speed).
+func BenchmarkAblationAnalyticCollectives(b *testing.B) {
+	for _, analytic := range []bool{false, true} {
+		analytic := analytic
+		name := "simulated"
+		if analytic {
+			name = "analytic"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.Config{Machine: machine.Get(machine.XT4QC), Nodes: 256,
+					Mode: machine.VN, AnalyticCollectives: analytic}
+				_, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+					r.World().Allreduce(r, 32<<10, true)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSolverVariant measures the Chronopoulos-Gear
+// reduction fusion against standard CG in POP's barotropic phase.
+func BenchmarkAblationSolverVariant(b *testing.B) {
+	for _, solver := range []pop.Solver{pop.StandardCG, pop.ChronopoulosGear} {
+		solver := solver
+		b.Run(solver.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pop.Run(pop.Options{Machine: machine.XT4DC, Mode: machine.VN,
+					Procs: 512, Solver: solver})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.BarotropicSec, "barotropic-s/day")
+			}
+		})
+	}
+}
+
+// --- Kernel micro-benchmarks (the native Go implementations). ---
+
+func BenchmarkKernelDGEMM(b *testing.B) {
+	n := 128
+	rng := sim.NewRNG(1)
+	a := kernels.NewMatrix(n, n)
+	bb := kernels.NewMatrix(n, n)
+	c := kernels.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+		bb.Data[i] = rng.Float64()
+	}
+	b.SetBytes(int64(3 * 8 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.DGEMM(1, a, bb, 0, c)
+	}
+	b.ReportMetric(kernels.DGEMMFlops(n, n, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkKernelLU(b *testing.B) {
+	n := 96
+	rng := sim.NewRNG(2)
+	a := kernels.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernels.Factorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelFFT(b *testing.B) {
+	n := 1 << 14
+	rng := sim.NewRNG(3)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.FFT(x)
+	}
+	b.ReportMetric(kernels.FFTFlops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkKernelStreamTriad(b *testing.B) {
+	n := 1 << 20
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	b.SetBytes(int64(kernels.StreamTriadBytes(n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.StreamTriad(x, y, z, 3.0)
+	}
+}
+
+func BenchmarkKernelRandomAccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		kernels.RandomAccess(16, 1<<16)
+	}
+}
+
+func BenchmarkKernelCG(b *testing.B) {
+	a := kernels.Laplacian2D(48, 48)
+	rhs := make([]float64, a.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.CG(a, rhs, 1e-8, 2000)
+	}
+}
+
+// BenchmarkSimulatorEventRate measures raw kernel throughput: how many
+// simulation events per second the DES core sustains on an MPI-heavy
+// workload (useful when judging full-scale experiment cost).
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := mpi.Execute(mpi.Config{Machine: machine.Get(machine.XT4QC), Nodes: 64, Mode: machine.VN},
+			func(r *mpi.Rank) {
+				for k := 0; k < 20; k++ {
+					r.World().Allreduce(r, 8, true)
+				}
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}

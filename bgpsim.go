@@ -1,0 +1,143 @@
+// Package bgpsim is a deterministic discrete-event simulator for
+// large-scale message-passing supercomputers, built to reproduce the
+// measurements in "Early Evaluation of IBM BlueGene/P" (SC'08): IBM
+// BlueGene/P and BlueGene/L and Cray XT3/XT4 machine models, a 3-D
+// torus network with per-link contention, the BlueGene collective tree
+// and barrier networks, an MPI programming model with eager/rendezvous
+// protocols and per-machine collective algorithms, and the paper's
+// benchmark and application workloads.
+//
+// Quick start:
+//
+//	cfg := bgpsim.NewSystem(bgpsim.BGP, bgpsim.VN, 1024)
+//	res, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+//		r.World().Allreduce(r, 8, true)
+//	})
+//
+// See examples/ for complete programs and DESIGN.md for the modelling
+// approach.
+package bgpsim
+
+import (
+	"bgpsim/internal/core"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Core simulation types.
+type (
+	// Config describes a simulated partition and run options.
+	Config = mpi.Config
+	// Rank is one MPI task of a simulated program.
+	Rank = mpi.Rank
+	// Comm is a communicator.
+	Comm = mpi.Comm
+	// Request is a non-blocking operation handle.
+	Request = mpi.Request
+	// Result summarizes a run.
+	Result = mpi.Result
+	// Machine is a hardware description from the catalog.
+	Machine = machine.Machine
+	// Site is a named installation (ORNL Eugene, ANL Intrepid, ...).
+	Site = core.Site
+	// Report is a human-readable run summary.
+	Report = core.Report
+	// Time is a point in virtual time (picoseconds).
+	Time = sim.Time
+	// Duration is a span of virtual time (picoseconds).
+	Duration = sim.Duration
+	// Mapping is a BlueGene process-to-processor mapping.
+	Mapping = topology.Mapping
+	// Mode is a node execution mode (SMP, DUAL, VN).
+	Mode = machine.Mode
+	// KernelClass categorizes compute blocks for the roofline model.
+	KernelClass = machine.KernelClass
+	// MachineID names a machine model in the catalog.
+	MachineID = machine.ID
+)
+
+// Machine catalog identifiers.
+const (
+	BGP   = machine.BGP
+	BGL   = machine.BGL
+	XT3   = machine.XT3
+	XT4DC = machine.XT4DC
+	XT4QC = machine.XT4QC
+)
+
+// Execution modes.
+const (
+	SMP  = machine.SMP
+	DUAL = machine.DUAL
+	VN   = machine.VN
+)
+
+// Network fidelities.
+const (
+	Analytic   = network.Analytic
+	Contention = network.Contention
+)
+
+// Kernel classes for Rank.Compute.
+const (
+	ClassDGEMM   = machine.ClassDGEMM
+	ClassFFT     = machine.ClassFFT
+	ClassStream  = machine.ClassStream
+	ClassStencil = machine.ClassStencil
+	ClassScalar  = machine.ClassScalar
+	ClassUpdate  = machine.ClassUpdate
+)
+
+// Receive wildcards.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// Common process mappings.
+const (
+	MapXYZT = topology.MapXYZT
+	MapTXYZ = topology.MapTXYZ
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// The paper's installations.
+var (
+	Eugene    = core.Eugene
+	Intrepid  = core.Intrepid
+	JaguarQC  = core.JaguarQC
+	JaguarDC  = core.JaguarDC
+	JaguarXT3 = core.JaguarXT3
+)
+
+// GetMachine returns a copy of the catalog entry for id.
+func GetMachine(id machine.ID) *Machine { return machine.Get(id) }
+
+// NewSystem builds a Config for `ranks` MPI tasks of machine id in the
+// given mode, on the minimal standard partition.
+func NewSystem(id machine.ID, mode Mode, ranks int) Config {
+	return core.PartitionConfig(id, mode, ranks)
+}
+
+// Run executes a program under a configuration.
+func Run(cfg Config, program func(*Rank)) (*Result, error) {
+	return core.Run(cfg, program)
+}
+
+// RunReport runs a program on a site and returns a summary.
+func RunReport(site Site, mode Mode, ranks int, program func(*Rank)) (*Report, *Result, error) {
+	return core.RunReport(site, mode, ranks, program)
+}
+
+// Seconds converts float seconds to a Duration.
+func Seconds(s float64) Duration { return sim.Seconds(s) }

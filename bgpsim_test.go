@@ -1,0 +1,84 @@
+package bgpsim_test
+
+import (
+	"testing"
+
+	"bgpsim"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := bgpsim.NewSystem(bgpsim.BGP, bgpsim.VN, 64)
+	res, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+		r.Compute(1e6, 1e5, bgpsim.ClassStencil)
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() - 1 + r.Size()) % r.Size()
+		r.Sendrecv(right, 1024, 0, left, 0)
+		r.World().Allreduce(r, 8, true)
+		r.World().Barrier(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+	if res.Net.Messages == 0 {
+		t.Error("no messages recorded")
+	}
+}
+
+func TestPublicAPIDeterminism(t *testing.T) {
+	run := func() bgpsim.Duration {
+		cfg := bgpsim.NewSystem(bgpsim.XT4QC, bgpsim.VN, 32)
+		res, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+			r.World().Alltoall(r, 512)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("public API runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestGetMachine(t *testing.T) {
+	m := bgpsim.GetMachine(bgpsim.BGP)
+	if m.Name != "BlueGene/P" || m.CoresPerNode != 4 {
+		t.Errorf("unexpected machine: %+v", m)
+	}
+}
+
+func TestSites(t *testing.T) {
+	rep, res, err := bgpsim.RunReport(bgpsim.Eugene, bgpsim.SMP, 8, func(r *bgpsim.Rank) {
+		r.World().Bcast(r, 0, 4096)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || rep.Ranks != 8 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if bgpsim.Seconds(1).Seconds() != 1 {
+		t.Error("Seconds round trip failed")
+	}
+	if bgpsim.Second != bgpsim.Seconds(1) {
+		t.Error("Second constant mismatch")
+	}
+}
+
+func TestDeadlockSurfaced(t *testing.T) {
+	cfg := bgpsim.NewSystem(bgpsim.BGP, bgpsim.SMP, 2)
+	_, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("deadlock not reported through public API")
+	}
+}

@@ -1,0 +1,124 @@
+// Command bgpsim runs a single micro-benchmark on a simulated machine
+// partition and prints its timing — the quick way to poke at the
+// machine models.
+//
+// Usage:
+//
+//	bgpsim -machine BG/P -mode VN -ranks 1024 -bench allreduce -bytes 32768
+//	bgpsim -machine XT4/QC -ranks 512 -bench pingpong
+//	bgpsim -machine BG/P -ranks 2048 -bench bcast -bytes 1048576
+//	bgpsim -machine BG/P -ranks 512 -bench barrier
+//	bgpsim -machine BG/P -ranks 512 -bench alltoall -bytes 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/topology"
+	"bgpsim/internal/trace"
+)
+
+func main() {
+	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
+	modeS := flag.String("mode", "VN", "execution mode: SMP, DUAL, VN")
+	ranks := flag.Int("ranks", 256, "MPI tasks")
+	benchS := flag.String("bench", "allreduce", "benchmark: allreduce, bcast, barrier, alltoall, pingpong")
+	bytes := flag.Int("bytes", 8, "payload size")
+	double := flag.Bool("double", true, "double precision operands (allreduce)")
+	mapping := flag.String("mapping", "XYZT", "process mapping (XYZT, TXYZ, ...)")
+	fidelity := flag.String("fidelity", "contention", "network model: contention, analytic, or packet")
+	traceN := flag.Int("trace", 0, "dump the first N trace events")
+	flag.Parse()
+
+	var mode machine.Mode
+	switch *modeS {
+	case "SMP":
+		mode = machine.SMP
+	case "DUAL":
+		mode = machine.DUAL
+	case "VN":
+		mode = machine.VN
+	default:
+		fail("unknown mode %q", *modeS)
+	}
+
+	cfg := core.PartitionConfig(machine.ID(*mach), mode, *ranks)
+	cfg.Mapping = topology.Mapping(*mapping)
+	switch *fidelity {
+	case "analytic":
+		cfg.Fidelity = network.Analytic
+	case "packet":
+		cfg.Fidelity = network.Packet
+	default:
+		cfg.Fidelity = network.Contention
+	}
+	var tb *trace.Buffer
+	if *traceN > 0 {
+		tb = trace.NewBuffer(*traceN)
+		cfg.Trace = tb
+	}
+
+	var program func(*mpi.Rank)
+	switch *benchS {
+	case "allreduce":
+		program = func(r *mpi.Rank) { r.World().Allreduce(r, *bytes, *double) }
+	case "bcast":
+		program = func(r *mpi.Rank) { r.World().Bcast(r, 0, *bytes) }
+	case "barrier":
+		program = func(r *mpi.Rank) { r.World().Barrier(r) }
+	case "alltoall":
+		program = func(r *mpi.Rank) { r.World().Alltoall(r, *bytes) }
+	case "pingpong":
+		far := cfg.Nodes / 2
+		if far == 0 {
+			far = *ranks - 1
+		}
+		program = func(r *mpi.Rank) {
+			switch r.ID() {
+			case 0:
+				r.Send(far, *bytes, 1)
+				r.Recv(far, 2)
+			case far:
+				r.Recv(0, 1)
+				r.Send(0, *bytes, 2)
+			}
+		}
+	default:
+		fail("unknown benchmark %q", *benchS)
+	}
+
+	res, err := mpi.Execute(cfg, program)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("%s %s %d ranks (%d nodes), %s, %d bytes\n",
+		*mach, mode, cfg.Ranks, cfg.Nodes, *benchS, *bytes)
+	fmt.Printf("  time:       %v\n", res.Elapsed)
+	if *benchS == "pingpong" {
+		half := res.Elapsed / 2
+		fmt.Printf("  one-way:    %v\n", half)
+		if *bytes > 0 {
+			fmt.Printf("  bandwidth:  %.3f GB/s\n", float64(*bytes)/half.Seconds()/1e9)
+		}
+	}
+	fmt.Printf("  messages:   %d (%d on shared memory)\n", res.Net.Messages, res.Net.ShmMsgs)
+	fmt.Printf("  tree ops:   %d, barrier-net ops: %d\n", res.Net.TreeOps, res.Net.BarrierOps)
+	fmt.Printf("  sim events: %d\n", res.Events)
+	if tb != nil {
+		fmt.Println("trace:")
+		if err := tb.Dump(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "bgpsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command halo runs the Wallcraft HALO benchmark on a simulated
+// machine: the cost of a two-phase 1-2 row/column halo exchange on a
+// 2-D virtual process grid (the paper's Figure 2).
+//
+// Usage:
+//
+//	halo -gx 32 -gy 16 -words 2048
+//	halo -gx 32 -gy 16 -sweep            # sweep halo sizes
+//	halo -gx 32 -gy 16 -mappings -words 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bgpsim/internal/halo"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/topology"
+)
+
+func main() {
+	mach := flag.String("machine", "BG/P", "machine id")
+	modeS := flag.String("mode", "VN", "execution mode")
+	gx := flag.Int("gx", 16, "virtual process grid columns")
+	gy := flag.Int("gy", 8, "virtual process grid rows")
+	words := flag.Int("words", 1000, "halo size in 32-bit words")
+	mapping := flag.String("mapping", "TXYZ", "process mapping")
+	protoS := flag.String("protocol", "isend", "protocol: isend, sendrecv, irecvsend, persistent")
+	sweep := flag.Bool("sweep", false, "sweep halo sizes")
+	mappings := flag.Bool("mappings", false, "compare all predefined mappings")
+	flag.Parse()
+
+	mode := machine.VN
+	switch *modeS {
+	case "SMP":
+		mode = machine.SMP
+	case "DUAL":
+		mode = machine.DUAL
+	}
+	proto := halo.IsendIrecv
+	switch *protoS {
+	case "sendrecv":
+		proto = halo.SendRecv
+	case "irecvsend":
+		proto = halo.IrecvSend
+	case "persistent":
+		proto = halo.Persistent
+	}
+	base := halo.Options{
+		Machine: machine.ID(*mach), Mode: mode,
+		GridX: *gx, GridY: *gy,
+		Mapping: topology.Mapping(*mapping), Protocol: proto,
+		Words: *words, Iterations: 5,
+	}
+
+	switch {
+	case *mappings:
+		fmt.Printf("HALO mapping comparison: %s %s %dx%d grid, %d words\n",
+			*mach, mode, *gx, *gy, *words)
+		for _, m := range topology.PaperHALOMappings {
+			o := base
+			o.Mapping = m
+			d, err := halo.Run(o)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("  %-5s %10.2f us\n", m, d.Microseconds())
+		}
+	case *sweep:
+		fmt.Printf("HALO size sweep: %s %s %dx%d grid, %s, mapping %s\n",
+			*mach, mode, *gx, *gy, proto, base.Mapping)
+		for _, w := range []int{2, 8, 32, 128, 512, 2048, 8192, 32768, 131072} {
+			o := base
+			o.Words = w
+			d, err := halo.Run(o)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("  %8d words %12.2f us\n", w, d.Microseconds())
+		}
+	default:
+		d, err := halo.Run(base)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("HALO %s %s %dx%d grid, %d words, %s, mapping %s: %v per exchange\n",
+			*mach, mode, *gx, *gy, *words, proto, base.Mapping, d)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "halo:", err)
+	os.Exit(1)
+}

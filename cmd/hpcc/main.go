@@ -1,0 +1,54 @@
+// Command hpcc runs the HPC Challenge suite on a simulated machine and
+// prints the per-test results (the paper's Table 2 and Figure 1
+// quantities for one machine at one process count).
+//
+// Usage:
+//
+//	hpcc -machine BG/P -ranks 1024
+//	hpcc -machine XT4/QC -ranks 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bgpsim/internal/hpcc"
+	"bgpsim/internal/machine"
+)
+
+func main() {
+	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
+	ranks := flag.Int("ranks", 256, "MPI processes (VN mode)")
+	flag.Parse()
+
+	id := machine.ID(*mach)
+	m := machine.Get(id)
+
+	ep, err := hpcc.SingleAndEP(id, *ranks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpcc:", err)
+		os.Exit(1)
+	}
+	n := hpcc.ProblemSizeN(m, machine.VN, *ranks, 0.8)
+	nb := hpcc.BlockingNB(id)
+
+	fmt.Printf("HPCC on %s, %d processes (VN mode), N=%d, NB=%d\n\n", m.Name, *ranks, n, nb)
+	fmt.Printf("Single-process / embarrassingly-parallel tests:\n")
+	fmt.Printf("  DGEMM:             %8.2f GFlop/s per process\n", ep.DGEMMGF)
+	fmt.Printf("  STREAM triad SP:   %8.2f GB/s\n", ep.StreamSPGB)
+	fmt.Printf("  STREAM triad EP:   %8.2f GB/s per process\n", ep.StreamEPGB)
+	fmt.Printf("  FFT EP:            %8.2f GFlop/s per process\n", ep.FFTEPGF)
+	fmt.Printf("Communication tests:\n")
+	fmt.Printf("  Ping-pong latency: %8.2f us\n", ep.PingPongLatUS)
+	fmt.Printf("  Ping-pong BW:      %8.2f GB/s\n", ep.PingPongBWGBs)
+	fmt.Printf("  Random ring lat:   %8.2f us\n", ep.RandRingLatUS)
+	fmt.Printf("  Random ring BW:    %8.2f GB/s per process\n", ep.RandRingBWGBs)
+	fmt.Printf("Parallel tests:\n")
+	fmt.Printf("  HPL:               %8.1f GFlop/s (%.1f%% of peak)\n",
+		hpcc.HPLAnalytic(id, machine.VN, *ranks, n, nb),
+		hpcc.HPLAnalytic(id, machine.VN, *ranks, n, nb)*1e9/(m.PeakFlopsCore()*float64(*ranks))*100)
+	fmt.Printf("  FFT:               %8.1f GFlop/s\n", hpcc.FFTAnalytic(id, machine.VN, *ranks))
+	fmt.Printf("  PTRANS:            %8.1f GB/s\n", hpcc.PTRANSAnalytic(id, machine.VN, *ranks))
+	fmt.Printf("  RandomAccess:      %8.3f GUPS\n", hpcc.RandomAccessGUPS(id, machine.VN, *ranks))
+}

@@ -1,0 +1,115 @@
+// Command paper regenerates the tables and figures of "Early
+// Evaluation of IBM BlueGene/P" (SC'08) from the simulator.
+//
+// Usage:
+//
+//	paper -exp all            # every experiment at reduced scale
+//	paper -exp fig4,table3    # specific experiments
+//	paper -exp fig1 -full     # the paper's actual process counts
+//	paper -exp all -out results/   # also write .txt and .csv files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bgpsim/internal/paper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'; one of "+strings.Join(paper.IDs(), ","))
+	full := flag.Bool("full", false, "run at the paper's full process counts and sizes")
+	out := flag.String("out", "", "directory to write per-experiment .txt and .csv files")
+	list := flag.Bool("list", false, "list experiments and exit")
+	verify := flag.Bool("verify", false, "check the paper's claims against the simulation and exit")
+	flag.Parse()
+
+	if *verify {
+		results := paper.VerifyClaims(paper.Options{Full: *full})
+		failed := 0
+		for _, r := range results {
+			mark := "PASS"
+			if !r.Pass {
+				mark = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] %-20s %s\n", mark, r.Claim.ID, r.Claim.Text)
+			if r.Err != nil {
+				fmt.Printf("       error: %v\n", r.Err)
+			} else {
+				fmt.Printf("       %s\n", r.Detail)
+			}
+		}
+		fmt.Printf("\n%d/%d claims verified\n", len(results)-failed, len(results))
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, e := range paper.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []paper.Experiment
+	if *exp == "all" {
+		exps = paper.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := paper.Get(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	opts := paper.Options{Full: *full}
+	for _, e := range exps {
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s: %s  (%.1fs) ====\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		var txt, csv strings.Builder
+		for _, tb := range tables {
+			fmt.Println(tb)
+			if tb.Chart != "" {
+				fmt.Println(tb.Chart)
+			}
+			txt.WriteString(tb.String())
+			if tb.Chart != "" {
+				txt.WriteString("\n" + tb.Chart)
+			}
+			txt.WriteString("\n")
+			csv.WriteString("# " + tb.Title + "\n")
+			csv.WriteString(tb.CSV())
+			csv.WriteString("\n")
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			base := filepath.Join(*out, e.ID)
+			if err := os.WriteFile(base+".txt", []byte(txt.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(base+".csv", []byte(csv.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Custom-app: writing your own MPI application against the simulator —
+// a 2-D Jacobi iteration with halo exchanges and a convergence test
+// via allreduce, scaled across machine partitions.
+//
+//	go run ./examples/custom-app
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgpsim"
+)
+
+const (
+	nx, ny     = 4096, 4096 // global grid
+	iterations = 10
+)
+
+// jacobi runs `iterations` sweeps of a 5-point Jacobi relaxation over
+// a block-decomposed grid.
+func jacobi(r *bgpsim.Rank, px, py int) {
+	me := r.ID()
+	x, y := me%px, me/px
+	bx, by := nx/px, ny/py
+	wrap := func(v, m int) int { return ((v % m) + m) % m }
+	at := func(x, y int) int { return wrap(y, py)*px + wrap(x, px) }
+	west, east := at(x-1, y), at(x+1, y)
+	north, south := at(x, y-1), at(x, y+1)
+
+	for it := 0; it < iterations; it++ {
+		// 5-point update: 4 flops per cell, 6 streamed values.
+		r.Compute(float64(bx*by)*4, float64(bx*by)*48, bgpsim.ClassStencil)
+		// Exchange one-cell halos with the four neighbours.
+		tag := 10 + it*2
+		r1 := r.Irecv(east, tag)
+		r2 := r.Irecv(south, tag+1)
+		s1 := r.Isend(west, by*8, tag)
+		s2 := r.Isend(north, bx*8, tag+1)
+		r.Waitall(r1, r2, s1, s2)
+		// Global residual check.
+		r.World().Allreduce(r, 8, true)
+	}
+}
+
+func main() {
+	fmt.Printf("2-D Jacobi, %dx%d grid, %d sweeps:\n\n", nx, ny, iterations)
+	fmt.Printf("%10s %8s %14s %14s %10s\n", "machine", "ranks", "time", "per sweep", "speedup")
+	for _, id := range []bgpsim.MachineID{bgpsim.BGP, bgpsim.XT4QC} {
+		var base float64
+		for _, grid := range [][2]int{{8, 8}, {16, 16}, {32, 32}} {
+			px, py := grid[0], grid[1]
+			ranks := px * py
+			cfg := bgpsim.NewSystem(id, bgpsim.VN, ranks)
+			res, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) { jacobi(r, px, py) })
+			if err != nil {
+				log.Fatal(err)
+			}
+			secs := res.Elapsed.Seconds()
+			if base == 0 {
+				base = secs * float64(ranks)
+			}
+			fmt.Printf("%10s %8d %14v %14v %9.2fx\n",
+				id, ranks, res.Elapsed, res.Elapsed/iterations,
+				base/float64(ranks)/secs)
+		}
+	}
+	fmt.Println("\nSpeedup is relative to perfect scaling from the 64-rank run;")
+	fmt.Println("the allreduce per sweep is what separates the two machines as the")
+	fmt.Println("compute per rank shrinks.")
+}

@@ -1,0 +1,107 @@
+// Real-programs: the simulator is not just a cost model — it executes
+// genuine message-passing programs carrying real data. This example
+// runs five numerically verified distributed codes on a simulated
+// BlueGene/P partition:
+//
+//   - a block-cyclic LU factorization + solve (HPL's core),
+//   - Bailey's four-step FFT with an all-to-all transpose,
+//   - a RandomAccess (GUPS) table update with routed XOR updates,
+//   - a striped conjugate-gradient solve (POP's barotropic core),
+//   - the S3D pressure wave with ghost-zone exchanges,
+//
+// checks their answers against serial references, and reports the
+// virtual time each would have taken on the machine.
+//
+//	go run ./examples/real-programs
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	"bgpsim/internal/dcg"
+	"bgpsim/internal/dfft"
+	"bgpsim/internal/dra"
+	"bgpsim/internal/dwave"
+	"bgpsim/internal/hpl"
+	"bgpsim/internal/kernels"
+	"bgpsim/internal/machine"
+)
+
+func main() {
+	const procs = 8
+
+	// --- Distributed LU (HPL core) ---
+	lu, err := hpl.Run(hpl.Config{
+		Machine: machine.BGP, Mode: machine.VN,
+		Procs: procs, N: 256, NB: 32, Seed: 2026,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LU 256x256 on %d ranks:   %8.3f ms virtual, %6.2f GFlop/s, HPL residual %.3g (pass < 16)\n",
+		procs, lu.VirtualSeconds*1e3, lu.GFlops, lu.Residual)
+
+	// --- Distributed FFT ---
+	ft, err := dfft.Run(dfft.Config{
+		Machine: machine.BGP, Mode: machine.VN,
+		Procs: procs, LogN: 14, Seed: 2026,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Verify against the serial kernel.
+	ref := make([]complex128, 1<<14)
+	for j := range ref {
+		ref[j] = dfft.Input(2026, j)
+	}
+	kernels.FFT(ref)
+	maxErr := 0.0
+	for k := range ref {
+		if e := cmplx.Abs(ft.X[k] - ref[k]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("FFT 2^14 on %d ranks:     %8.3f ms virtual, %6.2f GFlop/s, max |err| %.2g\n",
+		procs, ft.VirtualSeconds*1e3, ft.GFlops, maxErr)
+
+	// --- Distributed RandomAccess ---
+	cfg := dra.Config{Machine: machine.BGP, Mode: machine.VN,
+		Procs: procs, LogSize: 14, Seed: 2026}
+	ra, err := dra.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := dra.SerialReference(cfg)
+	bad := 0
+	for i := range want {
+		if ra.Table[i] != want[i] {
+			bad++
+		}
+	}
+	fmt.Printf("GUPS 2^14 on %d ranks:    %8.3f ms virtual, %6.4f GUPS, %d/%d table words wrong\n",
+		procs, ra.VirtualSeconds*1e3, ra.GUPS, bad, len(want))
+
+	// --- Distributed conjugate gradient (POP's barotropic core) ---
+	cg, err := dcg.Run(dcg.Config{Machine: machine.BGP, Mode: machine.VN,
+		Procs: procs, NX: 32, NY: 32, Tol: 1e-11, Fused: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CG 32x32 on %d ranks:     %8.3f ms virtual, %d iters, residual %.2g, %d reductions\n",
+		procs, cg.VirtualSeconds*1e3, cg.Iterations, cg.Residual, cg.Reductions)
+
+	// --- Distributed pressure wave (S3D's test problem) ---
+	wv, err := dwave.Run(dwave.Config{Machine: machine.BGP, Mode: machine.VN,
+		Procs: procs, N: 512, L: 1, C: 1, Sigma: 0.05, Steps: 50, DT: 0.4 / 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wave 512pts on %d ranks:  %8.3f ms virtual, max dev from serial %.2g\n",
+		procs, wv.VirtualSeconds*1e3, wv.MaxError)
+
+	fmt.Println("\nAll five programs moved their actual data through the simulated")
+	fmt.Println("torus; the timings come from the same network and compute models")
+	fmt.Println("the paper-reproduction experiments use.")
+}

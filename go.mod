@@ -1,0 +1,3 @@
+module bgpsim
+
+go 1.22

@@ -1,0 +1,337 @@
+// Package alloc models the two job-placement policies the paper
+// contrasts when explaining the XT's PTRANS variability (§II.A.3):
+//
+//   - BlueGene partitions: jobs receive electrically isolated,
+//     rectangular sub-tori at midplane granularity — every job sees a
+//     compact private network.
+//   - Cray XT allocation: jobs receive whatever nodes are free in a
+//     linear scan of the machine, so after scheduling churn a job's
+//     nodes are scattered and its traffic shares links with other
+//     jobs ("the resource allocation approach on the XT is more
+//     susceptible to fragmentation").
+//
+// The Spread and ExternalRouteFraction metrics quantify the effect and
+// back the machine catalog's BisectionDerate calibration.
+package alloc
+
+import (
+	"fmt"
+
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Job is an allocated node set.
+type Job struct {
+	ID    int
+	Nodes []int
+}
+
+// Allocator places jobs on a torus.
+type Allocator interface {
+	// Alloc returns a job of n nodes, or an error if it cannot fit.
+	Alloc(n int) (*Job, error)
+	// Free returns a job's nodes.
+	Free(*Job)
+	// FreeNodes reports how many nodes are idle.
+	FreeNodes() int
+}
+
+// --- BlueGene-style partition allocator ---
+
+// BGAllocator hands out compact rectangular prisms, mimicking the
+// BlueGene control system's partition blocks. Requests are rounded up
+// to the next power of two.
+type BGAllocator struct {
+	torus *topology.Torus
+	busy  []bool
+	next  int
+}
+
+// NewBGAllocator builds a partition allocator over a torus.
+func NewBGAllocator(t *topology.Torus) *BGAllocator {
+	return &BGAllocator{torus: t, busy: make([]bool, t.Dims.Nodes())}
+}
+
+// FreeNodes reports idle nodes.
+func (a *BGAllocator) FreeNodes() int {
+	n := 0
+	for _, b := range a.busy {
+		if !b {
+			n++
+		}
+	}
+	return n
+}
+
+// Alloc finds a free rectangular prism of at least n nodes (rounded to
+// a power of two) aligned to its own size — the partition blocks real
+// BlueGene control systems carve.
+func (a *BGAllocator) Alloc(n int) (*Job, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("alloc: bad size %d", n)
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	dims := a.torus.Dims
+	// Candidate prism shapes with power-of-two sides.
+	for _, shape := range prismShapes(size, dims) {
+		for z := 0; z+shape[2] <= dims[2]; z += shape[2] {
+			for y := 0; y+shape[1] <= dims[1]; y += shape[1] {
+				for x := 0; x+shape[0] <= dims[0]; x += shape[0] {
+					if job := a.tryPrism(x, y, z, shape); job != nil {
+						a.next++
+						job.ID = a.next
+						return job, nil
+					}
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("alloc: no free %d-node partition", size)
+}
+
+func (a *BGAllocator) tryPrism(x0, y0, z0 int, s topology.Dims) *Job {
+	var nodes []int
+	for z := z0; z < z0+s[2]; z++ {
+		for y := y0; y < y0+s[1]; y++ {
+			for x := x0; x < x0+s[0]; x++ {
+				id := a.torus.NodeAt(topology.Coord{x, y, z})
+				if a.busy[id] {
+					return nil
+				}
+				nodes = append(nodes, id)
+			}
+		}
+	}
+	for _, id := range nodes {
+		a.busy[id] = true
+	}
+	return &Job{Nodes: nodes}
+}
+
+// prismShapes enumerates power-of-two prisms of the given volume that
+// fit the torus, most-cubic first.
+func prismShapes(size int, dims topology.Dims) []topology.Dims {
+	var shapes []topology.Dims
+	for x := 1; x <= size && x <= dims[0]; x *= 2 {
+		for y := 1; x*y <= size && y <= dims[1]; y *= 2 {
+			z := size / (x * y)
+			if x*y*z != size || z > dims[2] {
+				continue
+			}
+			shapes = append(shapes, topology.Dims{x, y, z})
+		}
+	}
+	// Most-cubic first: smaller surface-to-volume.
+	for i := 1; i < len(shapes); i++ {
+		for j := i; j > 0; j-- {
+			if score(shapes[j]) < score(shapes[j-1]) {
+				shapes[j], shapes[j-1] = shapes[j-1], shapes[j]
+			}
+		}
+	}
+	return shapes
+}
+
+func score(d topology.Dims) int { return d[0]*d[1] + d[1]*d[2] + d[0]*d[2] }
+
+// --- XT-style free-list allocator ---
+
+// XTAllocator hands out the first free nodes in node-id order,
+// regardless of locality — the behaviour that fragments jobs after
+// scheduling churn.
+type XTAllocator struct {
+	torus *topology.Torus
+	busy  []bool
+	next  int
+}
+
+// NewXTAllocator builds a free-list allocator over a torus.
+func NewXTAllocator(t *topology.Torus) *XTAllocator {
+	return &XTAllocator{torus: t, busy: make([]bool, t.Dims.Nodes())}
+}
+
+// FreeNodes reports idle nodes.
+func (a *XTAllocator) FreeNodes() int {
+	n := 0
+	for _, b := range a.busy {
+		if !b {
+			n++
+		}
+	}
+	return n
+}
+
+// Alloc takes the first n free nodes.
+func (a *XTAllocator) Alloc(n int) (*Job, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("alloc: bad size %d", n)
+	}
+	var nodes []int
+	for id := 0; id < len(a.busy) && len(nodes) < n; id++ {
+		if !a.busy[id] {
+			nodes = append(nodes, id)
+		}
+	}
+	if len(nodes) < n {
+		return nil, fmt.Errorf("alloc: only %d of %d nodes free", len(nodes), n)
+	}
+	for _, id := range nodes {
+		a.busy[id] = true
+	}
+	a.next++
+	return &Job{ID: a.next, Nodes: nodes}, nil
+}
+
+// Free releases a job (shared by both allocators via the busy slice).
+func (a *XTAllocator) Free(j *Job) { freeNodes(a.busy, j) }
+
+// Free releases a partition.
+func (a *BGAllocator) Free(j *Job) { freeNodes(a.busy, j) }
+
+func freeNodes(busy []bool, j *Job) {
+	for _, id := range j.Nodes {
+		busy[id] = false
+	}
+	j.Nodes = nil
+}
+
+// --- Placement-quality metrics ---
+
+// Spread returns the job's mean pairwise hop distance divided by that
+// of a compact prism of the same size on the same torus: 1.0 means
+// perfectly compact, larger means fragmented.
+func Spread(t *topology.Torus, job *Job) float64 {
+	if len(job.Nodes) < 2 {
+		return 1
+	}
+	actual := meanPairHops(t, job.Nodes)
+	compact := meanPairHops(t, compactPrism(t, len(job.Nodes)))
+	if compact == 0 {
+		return 1
+	}
+	return actual / compact
+}
+
+// ExternalRouteFraction returns the fraction of hops on the job's
+// internal routes that pass through nodes NOT belonging to the job —
+// links there are shared with other jobs' traffic.
+func ExternalRouteFraction(t *topology.Torus, job *Job) float64 {
+	member := make(map[int]bool, len(job.Nodes))
+	for _, id := range job.Nodes {
+		member[id] = true
+	}
+	total, external := 0, 0
+	// Sample pairs: all pairs is O(n^2 * diameter); use a strided
+	// deterministic sample for large jobs.
+	stride := 1
+	if len(job.Nodes) > 150 {
+		stride = len(job.Nodes) / 64
+	}
+	for i := 0; i < len(job.Nodes); i += stride {
+		for j := 0; j < len(job.Nodes); j += stride {
+			if i == j {
+				continue
+			}
+			for _, l := range t.Route(job.Nodes[i], job.Nodes[j]) {
+				total++
+				if !member[l.Node] {
+					external++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(external) / float64(total)
+}
+
+func meanPairHops(t *topology.Torus, nodes []int) float64 {
+	stride := 1
+	if len(nodes) > 150 {
+		stride = len(nodes) / 64
+	}
+	total, count := 0, 0
+	for i := 0; i < len(nodes); i += stride {
+		for j := 0; j < len(nodes); j += stride {
+			if i == j {
+				continue
+			}
+			total += t.Hops(nodes[i], nodes[j])
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+// compactPrism returns the best-connected rectangular block of n
+// nodes: for power-of-two sizes it evaluates every candidate prism
+// shape (a side that spans a full torus dimension wraps around and is
+// better-connected than surface area alone suggests) and keeps the one
+// with minimal mean pairwise hops.
+func compactPrism(t *topology.Torus, n int) []int {
+	if n&(n-1) == 0 {
+		var best []int
+		bestHops := 0.0
+		for _, shape := range prismShapes(n, t.Dims) {
+			nodes := prismAt(t, shape)
+			h := meanPairHops(t, nodes)
+			if best == nil || h < bestHops {
+				best, bestHops = nodes, h
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	return prismAt(t, topology.DimsForNodes(n))
+}
+
+// prismAt lists the nodes of a shape-sized block at the origin.
+func prismAt(t *topology.Torus, d topology.Dims) []int {
+	n := d.Nodes()
+	var nodes []int
+	for z := 0; z < d[2] && z < t.Dims[2]; z++ {
+		for y := 0; y < d[1] && y < t.Dims[1]; y++ {
+			for x := 0; x < d[0] && x < t.Dims[0]; x++ {
+				if len(nodes) < n {
+					nodes = append(nodes, t.NodeAt(topology.Coord{x % t.Dims[0], y % t.Dims[1], z % t.Dims[2]}))
+				}
+			}
+		}
+	}
+	return nodes
+}
+
+// Churn drives an allocator through a deterministic arrival/departure
+// mix (sizes 16..256, ~50% machine load) and then allocates a probe
+// job, returning it for metric inspection. It is how the
+// BisectionDerate calibration experiment is run.
+func Churn(a Allocator, t *topology.Torus, seed uint64, steps, probeSize int) (*Job, error) {
+	rng := sim.NewRNG(seed)
+	var live []*Job
+	for s := 0; s < steps; s++ {
+		if rng.Float64() < 0.55 || len(live) == 0 {
+			size := 16 << rng.Intn(5)
+			if j, err := a.Alloc(size); err == nil {
+				live = append(live, j)
+			} else if len(live) > 0 {
+				k := rng.Intn(len(live))
+				a.Free(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+		} else {
+			k := rng.Intn(len(live))
+			a.Free(live[k])
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+	return a.Alloc(probeSize)
+}

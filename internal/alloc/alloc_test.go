@@ -1,0 +1,153 @@
+package alloc
+
+import (
+	"testing"
+
+	"bgpsim/internal/topology"
+)
+
+func torus() *topology.Torus {
+	return topology.NewTorus(topology.Dims{8, 8, 16}) // one BG/P rack
+}
+
+func TestBGAllocCompact(t *testing.T) {
+	tor := torus()
+	a := NewBGAllocator(tor)
+	j, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Nodes) != 64 {
+		t.Fatalf("got %d nodes", len(j.Nodes))
+	}
+	if s := Spread(tor, j); s > 1.01 {
+		t.Errorf("fresh BG partition spread = %.3f, want 1.0", s)
+	}
+	if f := ExternalRouteFraction(tor, j); f != 0 {
+		t.Errorf("BG partition external fraction = %.3f, want 0", f)
+	}
+}
+
+func TestBGAllocRoundsToPowerOfTwo(t *testing.T) {
+	a := NewBGAllocator(torus())
+	j, err := a.Alloc(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Nodes) != 64 {
+		t.Errorf("33-node request got %d nodes, want 64", len(j.Nodes))
+	}
+}
+
+func TestBGAllocExhaustion(t *testing.T) {
+	a := NewBGAllocator(torus())
+	if _, err := a.Alloc(512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(512); err == nil {
+		t.Error("third 512 should fail on a 1024-node torus")
+	}
+	if a.FreeNodes() != 0 {
+		t.Errorf("free nodes = %d, want 0", a.FreeNodes())
+	}
+}
+
+func TestBGFreeAndReuse(t *testing.T) {
+	a := NewBGAllocator(torus())
+	j, _ := a.Alloc(1024)
+	a.Free(j)
+	if a.FreeNodes() != 1024 {
+		t.Error("free did not return nodes")
+	}
+	if _, err := a.Alloc(1024); err != nil {
+		t.Errorf("reallocation failed: %v", err)
+	}
+}
+
+func TestXTAllocTakesFirstFree(t *testing.T) {
+	tor := torus()
+	a := NewXTAllocator(tor)
+	j, err := a.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range j.Nodes {
+		if id != i {
+			t.Fatalf("nodes = %v, want 0..9", j.Nodes)
+		}
+	}
+	if _, err := a.Alloc(2000); err == nil {
+		t.Error("oversized alloc should fail")
+	}
+}
+
+func TestChurnFragmentsXTButNotBG(t *testing.T) {
+	tor := torus()
+
+	xt, err := Churn(NewXTAllocator(tor), tor, 12345, 300, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := Churn(NewBGAllocator(tor), tor, 12345, 300, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xtSpread := Spread(tor, xt)
+	bgSpread := Spread(tor, bg)
+	if bgSpread > 1.01 {
+		t.Errorf("BG probe spread after churn = %.3f, want 1.0 (isolation)", bgSpread)
+	}
+	if xtSpread < 1.2 {
+		t.Errorf("XT probe spread after churn = %.3f, want fragmentation (>1.2)", xtSpread)
+	}
+
+	xtExt := ExternalRouteFraction(tor, xt)
+	if ExternalRouteFraction(tor, bg) != 0 {
+		t.Error("BG partition routes should stay internal")
+	}
+	if xtExt < 0.15 {
+		t.Errorf("XT external route fraction = %.3f, want substantial (>0.15)", xtExt)
+	}
+	t.Logf("calibration support: XT spread %.2f, external fraction %.2f (BisectionDerate 0.25)",
+		xtSpread, xtExt)
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	tor := torus()
+	a, err := Churn(NewXTAllocator(tor), tor, 9, 200, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(NewXTAllocator(tor), tor, 9, 200, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("nondeterministic churn")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("nondeterministic churn")
+		}
+	}
+}
+
+func TestBadSizes(t *testing.T) {
+	if _, err := NewBGAllocator(torus()).Alloc(0); err == nil {
+		t.Error("zero alloc should fail")
+	}
+	if _, err := NewXTAllocator(torus()).Alloc(-1); err == nil {
+		t.Error("negative alloc should fail")
+	}
+}
+
+func TestSpreadSingleNode(t *testing.T) {
+	tor := torus()
+	if Spread(tor, &Job{Nodes: []int{5}}) != 1 {
+		t.Error("single node spread should be 1")
+	}
+}

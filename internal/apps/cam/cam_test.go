@@ -1,0 +1,182 @@
+package cam
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func run(t *testing.T, o Options) *Result {
+	t.Helper()
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMPITaskLimit(t *testing.T) {
+	_, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 100, Problem: T42})
+	if err == nil {
+		t.Error("T42 should reject more than 64 MPI tasks")
+	}
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 64, Problem: T42}); err != nil {
+		t.Errorf("64 tasks should work: %v", err)
+	}
+}
+
+func TestHybridExtendsScalability(t *testing.T) {
+	// Figure 5(a): OpenMP comparable at small counts, and it provides
+	// additional scalability beyond the dycore's MPI limit.
+	pure := run(t, Options{Machine: machine.BGP, Mode: machine.VN, Procs: 64, Problem: T42})
+	hybridSmall := run(t, Options{Machine: machine.BGP, Mode: machine.SMP, Procs: 16, Problem: T42})
+	ratio := hybridSmall.SYPD / pure.SYPD
+	if ratio < 0.6 || ratio > 1.4 {
+		t.Errorf("hybrid(16x4)/pure(64) SYPD ratio = %.2f, want comparable", ratio)
+	}
+	// 256 cores: pure MPI is capped at 64 tasks; hybrid uses 64x4.
+	hybridBig := run(t, Options{Machine: machine.BGP, Mode: machine.SMP, Procs: 64, Problem: T42})
+	if hybridBig.SYPD <= pure.SYPD*1.5 {
+		t.Errorf("hybrid at 256 cores (%.1f SYPD) should clearly beat pure MPI's cap (%.1f)",
+			hybridBig.SYPD, pure.SYPD)
+	}
+}
+
+func TestXTAdvantageSpectral(t *testing.T) {
+	// Paper: BG/P is never less than 2.1x slower than XT3 and 3.1x
+	// slower than XT4 on the spectral problems (best-vs-best).
+	bgp, _, err := Best(machine.BGP, T85, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt3, _, err := Best(machine.XT3, T85, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt4, _, err := Best(machine.XT4QC, T85, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := xt3.SYPD / bgp.SYPD; r < 1.8 || r > 3.0 {
+		t.Errorf("XT3/BGP T85 ratio = %.2f, paper says >= 2.1", r)
+	}
+	if r := xt4.SYPD / bgp.SYPD; r < 2.6 || r > 4.2 {
+		t.Errorf("XT4/BGP T85 ratio = %.2f, paper says >= 3.1", r)
+	}
+}
+
+func TestXTAdvantageSmallerForFV(t *testing.T) {
+	// Paper: the comparison is somewhat better for the finite volume
+	// dycore (XT4 factor 2-2.5, XT3 under 2).
+	bgp, _, err := Best(machine.BGP, FV19, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt4, _, err := Best(machine.XT4QC, FV19, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFV := xt4.SYPD / bgp.SYPD
+	if rFV < 1.7 || rFV > 2.9 {
+		t.Errorf("XT4/BGP FV ratio = %.2f, paper says 2-2.5", rFV)
+	}
+	bgpS, _, err := Best(machine.BGP, T85, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt4S, _, err := Best(machine.XT4QC, T85, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFV >= xt4S.SYPD/bgpS.SYPD {
+		t.Errorf("FV ratio %.2f should be below spectral ratio %.2f", rFV, xt4S.SYPD/bgpS.SYPD)
+	}
+}
+
+func TestLoadBalanceHelpsAtScale(t *testing.T) {
+	off := run(t, Options{Machine: machine.BGP, Mode: machine.VN, Procs: 128, Problem: T85})
+	on := run(t, Options{Machine: machine.BGP, Mode: machine.VN, Procs: 128, Problem: T85, LoadBalance: true})
+	// With even work the barrier waits shrink; allow it to be at
+	// least not-worse given the added exchange.
+	if on.SYPD < off.SYPD*0.95 {
+		t.Errorf("load balancing hurt: %.2f vs %.2f SYPD", on.SYPD, off.SYPD)
+	}
+}
+
+func TestFV047LargerButSlowerSYPD(t *testing.T) {
+	small := run(t, Options{Machine: machine.BGP, Mode: machine.VN, Procs: 192, Problem: FV19})
+	large := run(t, Options{Machine: machine.BGP, Mode: machine.VN, Procs: 192, Problem: FV047})
+	if large.SYPD >= small.SYPD {
+		t.Errorf("the 0.47 degree problem (%.2f SYPD) should be slower than 1.9 degree (%.2f)",
+			large.SYPD, small.SYPD)
+	}
+}
+
+func TestBGLNoHybrid(t *testing.T) {
+	if _, err := Run(Options{Machine: machine.BGL, Mode: machine.SMP, Procs: 16, Problem: T42}); err == nil {
+		t.Error("BG/L has no OpenMP support; hybrid should fail")
+	}
+	if _, err := Run(Options{Machine: machine.BGL, Mode: machine.VN, Procs: 16, Problem: T42}); err != nil {
+		t.Errorf("BG/L pure MPI should work: %v", err)
+	}
+}
+
+func TestScalingWithinMPILimit(t *testing.T) {
+	r16 := run(t, Options{Machine: machine.XT4QC, Mode: machine.VN, Procs: 16, Problem: T85})
+	r128 := run(t, Options{Machine: machine.XT4QC, Mode: machine.VN, Procs: 128, Problem: T85})
+	if r128.SYPD <= r16.SYPD*2 {
+		t.Errorf("T85 16->128 tasks speedup only %.2fx", r128.SYPD/r16.SYPD)
+	}
+}
+
+func TestBestPicksFeasible(t *testing.T) {
+	res, mode, err := Best(machine.BGP, T42, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512 cores on a 64-task problem requires threads.
+	if mode == machine.VN {
+		t.Error("Best should pick a hybrid mode for 512 cores on T42")
+	}
+	if res.SYPD <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestBadProcs(t *testing.T) {
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 0, Problem: T42}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestHistoryIOPenaltyLargerOnSmallBGPPartitions(t *testing.T) {
+	// The paper's CAM I/O issue: on the BG/P, a small partition's
+	// history writes funnel through very few I/O nodes.
+	sypd := func(io bool) float64 {
+		r, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 64,
+			Problem: T42, HistoryIO: io})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.SYPD
+	}
+	with, without := sypd(true), sypd(false)
+	if with >= without {
+		t.Errorf("history I/O should cost time: %.2f vs %.2f SYPD", with, without)
+	}
+	penaltyBGP := without/with - 1
+
+	sypdXT := func(io bool) float64 {
+		r, err := Run(Options{Machine: machine.XT4QC, Mode: machine.VN, Procs: 64,
+			Problem: T42, HistoryIO: io})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.SYPD
+	}
+	penaltyXT := sypdXT(false)/sypdXT(true) - 1
+	if penaltyBGP <= penaltyXT {
+		t.Errorf("BG/P I/O penalty %.1f%% should exceed the XT's %.1f%%",
+			penaltyBGP*100, penaltyXT*100)
+	}
+}

@@ -1,0 +1,195 @@
+// Package gyro models the GYRO gyrokinetic-Maxwell benchmarks of the
+// paper's Figure 7: the B1-std problem (16 toroidal modes,
+// 16x140x8x8x20 grid, kinetic electrons) and the B3-gtc problem (64
+// toroidal modes, 64x400x8x8x20 grid, adiabatic, FFT-based field
+// solves). GYRO's dominant communication is MPI_ALLTOALL transposes of
+// distributed arrays within toroidal-mode subgroups; B3-gtc's memory
+// footprint forces DUAL mode on BG/P (the paper's note).
+package gyro
+
+import (
+	"fmt"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/stats"
+)
+
+// Problem is one GYRO benchmark case.
+type Problem struct {
+	Name   string
+	Modes  int // toroidal modes; MPI tasks must be a multiple
+	Radial int
+	Grid   [3]int // velocity-space / energy grid dimensions
+	Steps  int
+	// FlopsPerPoint per timestep. [cal]
+	FlopsPerPoint float64
+	// Transposes per timestep (alltoalls within mode subgroups).
+	Transposes int
+	// BytesPerPointState for the memory-footprint model. [cal]
+	BytesPerPointState float64
+	FixedMemMB         float64
+}
+
+// The paper's two benchmark problems.
+var (
+	B1Std = Problem{Name: "B1-std", Modes: 16, Radial: 140, Grid: [3]int{8, 8, 20},
+		Steps: 500, FlopsPerPoint: 2000, Transposes: 8,
+		BytesPerPointState: 600, FixedMemMB: 150}
+	// B3-gtc's replicated field and geometry arrays alone exceed a
+	// BG/P VN-mode task's 512 MB — the reason the paper ran it in
+	// DUAL mode.
+	B3GTC = Problem{Name: "B3-gtc", Modes: 64, Radial: 400, Grid: [3]int{8, 8, 20},
+		Steps: 100, FlopsPerPoint: 900, Transposes: 6,
+		BytesPerPointState: 2000, FixedMemMB: 530}
+)
+
+// Points returns the problem's total grid points.
+func (p Problem) Points() int {
+	return p.Modes * p.Radial * p.Grid[0] * p.Grid[1] * p.Grid[2]
+}
+
+// perCoreGF is the sustained GYRO rate per core. [cal]
+var perCoreGF = map[machine.ID]float64{
+	machine.BGP:   0.30,
+	machine.BGL:   0.26,
+	machine.XT3:   0.75,
+	machine.XT4DC: 0.80,
+	machine.XT4QC: 1.10,
+}
+
+// Options configures one GYRO run.
+type Options struct {
+	Machine machine.ID
+	Mode    machine.Mode
+	Procs   int
+	Problem Problem
+}
+
+// Result reports one GYRO run.
+type Result struct {
+	SecPerStep   float64
+	TotalSec     float64 // for the problem's full step count
+	CommFraction float64
+	Efficiency   float64 // vs perfect strong scaling from Modes tasks
+}
+
+// MemoryPerRankMB returns the problem's per-task memory footprint.
+func MemoryPerRankMB(p Problem, procs int) float64 {
+	return p.FixedMemMB + float64(p.Points())/float64(procs)*p.BytesPerPointState/1e6
+}
+
+// FitsMemory reports whether the problem fits the machine's per-task
+// memory in the given mode.
+func FitsMemory(id machine.ID, mode machine.Mode, p Problem, procs int) bool {
+	m := machine.Get(id)
+	perRank := float64(m.MemPerNode) / float64(m.RanksPerNode(mode)) / 1e6
+	return MemoryPerRankMB(p, procs) <= perRank
+}
+
+// Run simulates one GYRO timestep and scales to the benchmark's step
+// count.
+func Run(o Options) (*Result, error) {
+	if o.Procs < o.Problem.Modes || o.Procs%o.Problem.Modes != 0 {
+		return nil, fmt.Errorf("gyro: %s runs on multiples of %d tasks (got %d)",
+			o.Problem.Name, o.Problem.Modes, o.Procs)
+	}
+	if !FitsMemory(o.Machine, o.Mode, o.Problem, o.Procs) {
+		return nil, fmt.Errorf("gyro: %s does not fit %s %s memory (%.0f MB/task needed)",
+			o.Problem.Name, o.Machine, o.Mode, MemoryPerRankMB(o.Problem, o.Procs))
+	}
+	rate, ok := perCoreGF[o.Machine]
+	if !ok {
+		return nil, fmt.Errorf("gyro: no calibration for %s", o.Machine)
+	}
+	m := machine.Get(o.Machine)
+	threads := m.ThreadsPerRank(o.Mode)
+	eff := 1.0
+	if threads > 1 && m.OMPEff > 0 {
+		eff = 1 + float64(threads-1)*m.OMPEff
+	}
+	taskRate := rate * 1e9 * eff
+
+	points := o.Problem.Points()
+	ptsPerTask := float64(points) / float64(o.Procs)
+	groupSize := o.Procs / o.Problem.Modes
+	// Transpose payload: the local slab spread over the group.
+	bytesPerPair := int(ptsPerTask*16/float64(groupSize)) + 1
+
+	cfg := core.PartitionConfig(o.Machine, o.Mode, o.Procs)
+	cfg.Fidelity = network.Analytic
+	cfg.AnalyticCollectives = true
+
+	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+		mode := r.ID() % o.Problem.Modes
+		group := r.World().Split(r, mode, r.ID())
+		// Collisionless advance.
+		r.Advance(sim.Seconds(ptsPerTask * o.Problem.FlopsPerPoint / taskRate))
+		// Distributed-array transposes within the mode subgroup.
+		r.TimerStart("comm")
+		for tr := 0; tr < o.Problem.Transposes; tr++ {
+			group.Alltoall(r, bytesPerPair)
+		}
+		// Field solve: a global reduction of the field arrays.
+		fieldBytes := o.Problem.Radial * o.Problem.Modes * 16 / o.Procs
+		r.World().Allreduce(r, fieldBytes+8, true)
+		r.TimerStop("comm")
+	})
+	if err != nil {
+		return nil, err
+	}
+	sec := res.Elapsed.Seconds()
+	comm := res.MaxTimer("comm").Seconds()
+
+	// Perfect-scaling baseline: pure compute at the minimum task count.
+	basePerStep := float64(points) / float64(o.Problem.Modes) * o.Problem.FlopsPerPoint / taskRate
+	ideal := basePerStep * float64(o.Problem.Modes) / float64(o.Procs)
+	return &Result{
+		SecPerStep:   sec,
+		TotalSec:     sec * float64(o.Problem.Steps),
+		CommFraction: comm / sec,
+		Efficiency:   ideal / sec,
+	}, nil
+}
+
+// StrongScaling builds a Figure 7(a)/(b)-style series: total benchmark
+// time versus task count.
+func StrongScaling(id machine.ID, mode machine.Mode, p Problem, procCounts []int) (*stats.Series, error) {
+	s := &stats.Series{Name: fmt.Sprintf("%s %s", id, p.Name)}
+	for _, n := range procCounts {
+		r, err := Run(Options{Machine: id, Mode: mode, Procs: n, Problem: p})
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(n), r.TotalSec)
+	}
+	return s, nil
+}
+
+// WeakScaled builds the Figure 7(c)-style series: the "modified
+// B3-gtc" keeps the per-task energy grid constant while tasks grow;
+// the reported value is seconds per step.
+func WeakScaled(id machine.ID, mode machine.Mode, procCounts []int) (*stats.Series, error) {
+	s := &stats.Series{Name: string(id)}
+	for _, n := range procCounts {
+		p := B3GTC
+		// Scale the radial extent with the task count so work per
+		// task is constant (the paper shrank the problem to fit BG/P
+		// memory; 6.25 radial points per task matches B3-gtc at 1024).
+		p.Name = "modified B3-gtc"
+		p.Radial = 400 * n / 1024 // constant per-task work, anchored at B3-gtc's 1024-task layout
+		// "The problem was modified to fit the memory of a BG/P":
+		// smaller state so it also runs on BG/L nodes.
+		p.BytesPerPointState = 2000
+		p.FixedMemMB = 100
+		r, err := Run(Options{Machine: id, Mode: mode, Procs: n, Problem: p})
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(n), r.SecPerStep)
+	}
+	return s, nil
+}

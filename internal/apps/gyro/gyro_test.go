@@ -1,0 +1,145 @@
+package gyro
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func TestTaskMultiples(t *testing.T) {
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 24, Problem: B1Std}); err == nil {
+		t.Error("B1-std should require multiples of 16")
+	}
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 8, Problem: B1Std}); err == nil {
+		t.Error("fewer tasks than modes should fail")
+	}
+}
+
+func TestB3NeedsDualOnBGP(t *testing.T) {
+	// The paper: "on BG/P the code had to be run in DUAL mode due to
+	// memory requirements".
+	if FitsMemory(machine.BGP, machine.VN, B3GTC, 2048) {
+		t.Error("B3-gtc should NOT fit BG/P VN mode (512 MB/task)")
+	}
+	if !FitsMemory(machine.BGP, machine.DUAL, B3GTC, 2048) {
+		t.Error("B3-gtc should fit BG/P DUAL mode (1 GB/task)")
+	}
+	if !FitsMemory(machine.XT4QC, machine.VN, B3GTC, 2048) {
+		t.Error("B3-gtc fits the XT's 2 GB/task in VN")
+	}
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 2048, Problem: B3GTC}); err == nil {
+		t.Error("running B3-gtc in BG/P VN mode should fail")
+	}
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.DUAL, Procs: 2048, Problem: B3GTC}); err != nil {
+		t.Errorf("B3-gtc in DUAL mode should run: %v", err)
+	}
+}
+
+func TestB1XTRunsOutOfWork(t *testing.T) {
+	// Figure 7(a): the XT4 quickly runs out of work per process while
+	// BG/P continues to scale.
+	xt256, err := Run(Options{Machine: machine.XT4QC, Mode: machine.VN, Procs: 256, Problem: B1Std})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt1024, err := Run(Options{Machine: machine.XT4QC, Mode: machine.VN, Procs: 1024, Problem: B1Std})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp256, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 256, Problem: B1Std})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp1024, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 1024, Problem: B1Std})
+	if err != nil {
+		t.Fatal(err)
+	}
+	effXT := xt256.SecPerStep / xt1024.SecPerStep / 4 // fraction of ideal 4x
+	effBGP := bgp256.SecPerStep / bgp1024.SecPerStep / 4
+	if effBGP <= effXT {
+		t.Errorf("BG/P 256->1024 efficiency %.2f should beat XT %.2f", effBGP, effXT)
+	}
+	if effXT > 0.85 {
+		t.Errorf("XT efficiency %.2f should show it running out of work", effXT)
+	}
+	if effBGP < 0.7 {
+		t.Errorf("BG/P efficiency %.2f should stay high", effBGP)
+	}
+}
+
+func TestB3BothScaleTo2048(t *testing.T) {
+	// Figure 7(b): both systems scale B3-gtc to 2048 without a
+	// significant efficiency drop.
+	for _, c := range []struct {
+		id   machine.ID
+		mode machine.Mode
+	}{{machine.XT4QC, machine.VN}, {machine.BGP, machine.DUAL}} {
+		r512, err := Run(Options{Machine: c.id, Mode: c.mode, Procs: 512, Problem: B3GTC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2048, err := Run(Options{Machine: c.id, Mode: c.mode, Procs: 2048, Problem: B3GTC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff := r512.SecPerStep / r2048.SecPerStep / 4
+		if eff < 0.65 {
+			t.Errorf("%s B3-gtc 512->2048 efficiency = %.2f, want no significant drop", c.id, eff)
+		}
+	}
+}
+
+func TestXTFasterPerStep(t *testing.T) {
+	xt, err := Run(Options{Machine: machine.XT4QC, Mode: machine.VN, Procs: 128, Problem: B1Std})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 128, Problem: B1Std})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xt.SecPerStep >= bgp.SecPerStep {
+		t.Error("XT4 should be faster per step at low task counts")
+	}
+}
+
+func TestWeakScalingBGPCloseToBGL(t *testing.T) {
+	// Figure 7(c): "the BG/P and BG/L numbers are almost the same".
+	counts := []int{64, 256, 1024}
+	bgp, err := WeakScaled(machine.BGP, machine.VN, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgl, err := WeakScaled(machine.BGL, machine.VN, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		ratio := bgl.Y[i] / bgp.Y[i]
+		if ratio < 0.6 || ratio > 1.8 {
+			t.Errorf("procs=%d: BG/L / BG/P per-step ratio = %.2f, want near 1", counts[i], ratio)
+		}
+	}
+}
+
+func TestStrongScalingSeries(t *testing.T) {
+	s, err := StrongScaling(machine.BGP, machine.VN, B1Std, []int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.X) != 3 {
+		t.Fatalf("series has %d points", len(s.X))
+	}
+	if !(s.Y[0] > s.Y[1] && s.Y[1] > s.Y[2]) {
+		t.Errorf("total time should shrink with tasks: %v", s.Y)
+	}
+}
+
+func TestPointsAccounting(t *testing.T) {
+	if B1Std.Points() != 16*140*8*8*20 {
+		t.Error("B1-std grid points wrong")
+	}
+	if B3GTC.Points() != 64*400*8*8*20 {
+		t.Error("B3-gtc grid points wrong")
+	}
+}

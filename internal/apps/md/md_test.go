@@ -1,0 +1,124 @@
+package md
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func TestCodeString(t *testing.T) {
+	if LAMMPS.String() != "LAMMPS" || PMEMD.String() != "AMBER/PMEMD" {
+		t.Error("code names wrong")
+	}
+}
+
+func TestXTFasterAtModestCounts(t *testing.T) {
+	xt, err := Run(Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 128, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 128, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xt.NsPerDay <= bgp.NsPerDay {
+		t.Error("XT4 should be faster at 128 tasks")
+	}
+}
+
+func TestBGPHigherParallelEfficiency(t *testing.T) {
+	// Paper: "The collective network of the BG/P results in relatively
+	// higher parallel efficiencies."
+	bgp, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 2048, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, err := Run(Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 2048, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bgp.Efficiency <= xt.Efficiency {
+		t.Errorf("BG/P efficiency %.2f should beat XT %.2f at 2048 tasks",
+			bgp.Efficiency, xt.Efficiency)
+	}
+}
+
+func TestPMEMDScalingMoreLimited(t *testing.T) {
+	// Paper: PMEMD scaling is limited by growing communication volume
+	// and output frequency.
+	lam, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 1024, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pme, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 1024, Code: PMEMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pme.Efficiency >= lam.Efficiency {
+		t.Errorf("PMEMD efficiency %.2f should trail LAMMPS %.2f", pme.Efficiency, lam.Efficiency)
+	}
+	if pme.CommFraction <= lam.CommFraction {
+		t.Errorf("PMEMD comm fraction %.2f should exceed LAMMPS %.2f",
+			pme.CommFraction, lam.CommFraction)
+	}
+}
+
+func TestNewerGenerationsFaster(t *testing.T) {
+	// Paper: subsequent generations improve, particularly at large
+	// task counts (network and memory bandwidth).
+	xt3, err := Run(Options{Machine: machine.XT3, Mode: machine.VN, Procs: 1024, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt4, err := Run(Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 1024, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xt4.NsPerDay <= xt3.NsPerDay {
+		t.Error("XT4/DC should beat XT3")
+	}
+	bgl, err := Run(Options{Machine: machine.BGL, Mode: machine.VN, Procs: 1024, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 1024, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bgp.NsPerDay <= bgl.NsPerDay {
+		t.Error("BG/P should beat BG/L")
+	}
+}
+
+func TestScalingSeries(t *testing.T) {
+	s, err := Scaling(machine.BGP, machine.VN, LAMMPS, []int{64, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.X) != 3 || s.Y[2] <= s.Y[0] {
+		t.Errorf("throughput should grow with tasks: %v", s.Y)
+	}
+}
+
+func TestEfficiencyDecaysWithScale(t *testing.T) {
+	small, err := Run(Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 64, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 4096, Code: LAMMPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Efficiency >= small.Efficiency {
+		t.Error("efficiency should decay with scale on a fixed-size system")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 0}); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := Run(Options{Machine: "zz", Mode: machine.VN, Procs: 8}); err == nil {
+		t.Error("expected error for unknown machine")
+	}
+}

@@ -1,0 +1,266 @@
+// Package pop models the Parallel Ocean Program tenth-degree benchmark
+// of the paper's Figure 4: a 3600 x 2400 x 40 displaced-pole grid in a
+// 2-D block decomposition, with a 3-D baroclinic phase (nearest-
+// neighbour halos plus dense compute, with land-induced load imbalance)
+// and a 2-D barotropic phase (a conjugate-gradient solve whose global
+// reductions make it latency-bound). The Chronopoulos-Gear solver
+// variant halves the reduction count per iteration.
+package pop
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/topology"
+)
+
+// Solver selects the barotropic linear solver formulation.
+type Solver int
+
+const (
+	// StandardCG needs two global reductions per iteration.
+	StandardCG Solver = iota
+	// ChronopoulosGear fuses them into one (paper's "C-G" variant).
+	ChronopoulosGear
+)
+
+// String names the solver.
+func (s Solver) String() string {
+	if s == ChronopoulosGear {
+		return "ChronGear"
+	}
+	return "CG"
+}
+
+// Benchmark constants for the tenth-degree problem.
+const (
+	GridX  = 3600
+	GridY  = 2400
+	Levels = 40
+
+	// stepsPerDay is the model timesteps per simulated day. [cal]
+	stepsPerDay = 225
+
+	// Baroclinic work per grid cell per level per step. [cal]
+	baroclinicFlopsPerCell = 1600.0
+	baroclinicBytesPerCell = 120.0
+	// Halo exchanges (distinct variables) per baroclinic step.
+	baroclinicHalos = 8
+
+	// Barotropic CG iterations per step and work per 2-D cell. [cal]
+	barotropicIters        = 180
+	barotropicFlopsPerCell = 18.0 // 9-point stencil matvec
+	// Iterations actually simulated; the rest are extrapolated.
+	barotropicItersSim = 12
+)
+
+// Options configures one POP run.
+type Options struct {
+	Machine machine.ID
+	Mode    machine.Mode
+	Procs   int
+	Solver  Solver
+	// TimingBarrier inserts the paper's extra barrier before the
+	// barotropic phase so process 0's barotropic timer is not
+	// contaminated by baroclinic load imbalance.
+	TimingBarrier bool
+	// Mapping selects the process-to-processor mapping (default
+	// TXYZ, the paper's choice; §III.A reports <1.4% sensitivity).
+	Mapping topology.Mapping
+	// Fidelity selects the torus model (default Analytic, which large
+	// sweeps need; use Contention for mapping studies).
+	Fidelity network.Fidelity
+}
+
+// Result reports one simulated-day cost breakdown (process-0 timers,
+// as the paper reports).
+type Result struct {
+	SecondsPerDay float64
+	SYD           float64 // simulated years per wall-clock day
+	BaroclinicSec float64 // process-0 baroclinic seconds per simulated day
+	BarotropicSec float64 // process-0 barotropic seconds per simulated day
+	BarrierSec    float64 // process-0 time in the timing barrier
+	Procs         int
+}
+
+// imbalanceSpread returns the land/ocean work-imbalance spread for a
+// block of the given cell count: the displaced-pole grid's land points
+// are distributed unevenly, and the smaller the blocks, the larger the
+// relative spread between the most- and least-loaded process. [cal]
+func imbalanceSpread(cellsPerRank float64) float64 {
+	s := 0.06 + 6/math.Sqrt(cellsPerRank)
+	if s > 0.6 {
+		s = 0.6
+	}
+	return s
+}
+
+// blockDims splits the horizontal grid over p processes as evenly as
+// possible (most-square process grid).
+func blockDims(p int) (px, py int) {
+	px = 1
+	for f := 1; f*f <= p; f++ {
+		if p%f == 0 {
+			px = f
+		}
+	}
+	return px, p / px
+}
+
+// Run simulates one timestep of POP and extrapolates to a simulated
+// day.
+func Run(o Options) (*Result, error) {
+	if o.Procs < 1 {
+		return nil, fmt.Errorf("pop: bad proc count %d", o.Procs)
+	}
+	px, py := blockDims(o.Procs)
+	bx := (GridX + px - 1) / px
+	by := (GridY + py - 1) / py
+	cells := float64(bx * by)
+
+	cfg := core.PartitionConfig(o.Machine, o.Mode, o.Procs)
+	cfg.Fidelity = o.Fidelity // Analytic by default
+	cfg.AnalyticCollectives = true
+	if o.Mapping != "" {
+		cfg.Mapping = o.Mapping
+	} else {
+		cfg.Mapping = topology.MapTXYZ
+	}
+
+	// POP 1.4.3 is pure MPI: in SMP/DUAL modes the extra cores of a
+	// node idle, and the only benefit is the rank's larger share of
+	// node memory bandwidth. The cpu model multiplies flop rates by
+	// the rank's thread count, so multiplying the flop inputs by the
+	// same factor cancels the thread speedup while the byte counts
+	// keep the bandwidth benefit — this is why the paper finds POP
+	// "relatively insensitive to the execution modes" at equal
+	// process counts.
+	m := machine.Get(o.Machine)
+	threadCancel := 1.0
+	if t := m.ThreadsPerRank(o.Mode); t > 1 && m.OMPEff > 0 {
+		threadCancel = 1 + float64(t-1)*m.OMPEff
+	}
+
+	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+		me := r.ID()
+		x, y := me%px, me/px
+		wrap := func(v, m int) int { return ((v % m) + m) % m }
+		at := func(x, y int) int { return wrap(y, py)*px + wrap(x, px) }
+		west, east := at(x-1, y), at(x+1, y)
+		north, south := at(x, y-1), at(x, y+1)
+
+		// --- Baroclinic phase: 3-D compute + halos. ---
+		// The grid-uniform work interleaves with the halo exchanges;
+		// the land/ocean-dependent remainder is local to each block
+		// and runs after the last halo, so blocks with more ocean
+		// points fall behind — the load imbalance the paper measures
+		// with its timing barrier.
+		r.TimerStart("baroclinic")
+		work := cells * Levels
+		r.Compute(work*baroclinicFlopsPerCell*threadCancel, work*baroclinicBytesPerCell, machine.ClassStencil)
+		for h := 0; h < baroclinicHalos; h++ {
+			ewBytes := by * Levels * 8 * 2 // two-deep halo
+			nsBytes := bx * Levels * 8 * 2
+			tag := 100 + h*2
+			r1 := r.Irecv(east, tag)
+			r2 := r.Irecv(south, tag+1)
+			s1 := r.Isend(west, ewBytes, tag)
+			s2 := r.Isend(north, nsBytes, tag+1)
+			r.Waitall(r1, r2, s1, s2)
+		}
+		imb := imbalanceSpread(cells) * r.RNG().Float64()
+		r.Compute(work*baroclinicFlopsPerCell*imb*threadCancel, work*baroclinicBytesPerCell*imb, machine.ClassStencil)
+		r.TimerStop("baroclinic")
+
+		// --- Synchronization before the barotropic solve. With the
+		// paper's timing barrier it is measured separately; without
+		// it, the baroclinic load-imbalance wait lands in the
+		// barotropic timer (the contamination the paper describes).
+		if o.TimingBarrier {
+			r.TimerStart("barrier")
+			r.World().Barrier(r)
+			r.TimerStop("barrier")
+			r.TimerStart("barotropic")
+		} else {
+			r.TimerStart("barotropic")
+			r.World().Barrier(r)
+		}
+
+		// --- Barotropic phase: 2-D CG solve. The iteration core is
+		// timed separately so only it is extrapolated from the
+		// simulated iterations to the full count.
+		r.TimerStart("barotropic-core")
+		for it := 0; it < barotropicItersSim; it++ {
+			// 9-point stencil matvec on the 2-D field.
+			r.Compute(cells*barotropicFlopsPerCell*threadCancel, cells*8*3, machine.ClassStencil)
+			// 2-D halo of the solution vector.
+			tag := 500 + it*2
+			r1 := r.Irecv(east, tag)
+			r2 := r.Irecv(south, tag+1)
+			s1 := r.Isend(west, by*8*2, tag)
+			s2 := r.Isend(north, bx*8*2, tag+1)
+			r.Waitall(r1, r2, s1, s2)
+			// Global reductions: two for standard CG, one fused for
+			// Chronopoulos-Gear.
+			if o.Solver == ChronopoulosGear {
+				r.World().Allreduce(r, 16, true)
+			} else {
+				r.World().Allreduce(r, 8, true)
+				r.World().Allreduce(r, 8, true)
+			}
+		}
+		r.TimerStop("barotropic-core")
+		r.TimerStop("barotropic")
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	scaleBaro := float64(barotropicIters) / float64(barotropicItersSim)
+	core0 := res.TimerOfRank(0, "barotropic-core").Seconds()
+	sync0 := res.TimerOfRank(0, "barotropic").Seconds() - core0 // contamination (zero with timing barrier)
+	stepBaroclinic := res.TimerOfRank(0, "baroclinic").Seconds()
+	stepBarotropic := core0*scaleBaro + sync0
+	stepBarrier := res.TimerOfRank(0, "barrier").Seconds()
+	stepTotal := res.Elapsed.Seconds() + (scaleBaro-1)*res.MaxTimer("barotropic-core").Seconds()
+
+	secDay := stepTotal * stepsPerDay
+	return &Result{
+		SecondsPerDay: secDay,
+		SYD:           86400 / secDay / 365,
+		BaroclinicSec: stepBaroclinic * stepsPerDay,
+		BarotropicSec: stepBarotropic * stepsPerDay,
+		BarrierSec:    stepBarrier * stepsPerDay,
+		Procs:         o.Procs,
+	}, nil
+}
+
+// SYDModel returns a cached cores -> SYD throughput model for the
+// power analysis (Table 3). Cores map to MPI tasks via the mode's
+// ranks-per-node. Model evaluations are memoized because the power
+// search probes repeatedly.
+func SYDModel(id machine.ID, mode machine.Mode, solver Solver) func(cores int) float64 {
+	m := machine.Get(id)
+	cache := map[int]float64{}
+	return func(cores int) float64 {
+		ranksPerCore := float64(m.RanksPerNode(mode)) / float64(m.CoresPerNode)
+		procs := int(float64(cores) * ranksPerCore)
+		if procs < 1 {
+			procs = 1
+		}
+		if v, ok := cache[procs]; ok {
+			return v
+		}
+		res, err := Run(Options{Machine: id, Mode: mode, Procs: procs, Solver: solver, TimingBarrier: false})
+		v := 0.0
+		if err == nil {
+			v = res.SYD
+		}
+		cache[procs] = v
+		return v
+	}
+}

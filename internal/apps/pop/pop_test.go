@@ -1,0 +1,222 @@
+package pop
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/topology"
+)
+
+func TestBlockDims(t *testing.T) {
+	cases := map[int][2]int{8000: {80, 100}, 4096: {64, 64}, 7: {1, 7}, 1: {1, 1}}
+	for p, want := range cases {
+		px, py := blockDims(p)
+		if px != want[0] || py != want[1] {
+			t.Errorf("blockDims(%d) = %dx%d, want %dx%d", p, px, py, want[0], want[1])
+		}
+	}
+}
+
+func TestImbalanceSpreadGrowsAsBlocksShrink(t *testing.T) {
+	if imbalanceSpread(10000) >= imbalanceSpread(100) {
+		t.Error("smaller blocks should have larger imbalance spread")
+	}
+	if imbalanceSpread(1) > 0.6 {
+		t.Error("spread should be capped")
+	}
+}
+
+func TestScalesWithProcs(t *testing.T) {
+	// Figure 4(a): near-linear scaling at these sizes.
+	r500, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 500, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2000, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 2000, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := r2000.SYD / r500.SYD
+	if speedup < 3.0 || speedup > 4.2 {
+		t.Errorf("500->2000 speedup = %.2f, want near 4", speedup)
+	}
+}
+
+func TestPaperAnchor8000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8000-rank run in -short mode")
+	}
+	// Paper: BG/P ~3.6 SYD at 8000 VN tasks; XT4 ~3.6x faster.
+	bgp, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 8000, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bgp.SYD < 2.9 || bgp.SYD > 4.3 {
+		t.Errorf("BG/P SYD at 8000 = %.2f, paper says ~3.6", bgp.SYD)
+	}
+	xt, err := Run(Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 8000, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := xt.SYD / bgp.SYD
+	if ratio < 2.8 || ratio > 4.4 {
+		t.Errorf("XT4/BGP ratio at 8000 = %.2f, paper says ~3.6", ratio)
+	}
+}
+
+func TestBarotropicCheapOnBGP(t *testing.T) {
+	// The tree network makes the latency-bound barotropic phase a
+	// small fraction on BG/P.
+	r, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 2000, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BarotropicSec >= r.BaroclinicSec {
+		t.Errorf("BG/P barotropic %.1f should be well below baroclinic %.1f",
+			r.BarotropicSec, r.BaroclinicSec)
+	}
+}
+
+func TestXTBarotropicStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large runs in -short mode")
+	}
+	// Figure 4(d): XT4 barotropic stops improving beyond ~8000 procs
+	// while BG/P's continues improving.
+	xt8, err := Run(Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 8000, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt22, err := Run(Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 22500, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xt22.BarotropicSec < xt8.BarotropicSec {
+		t.Errorf("XT barotropic should not improve: %.1f @8000 vs %.1f @22500",
+			xt8.BarotropicSec, xt22.BarotropicSec)
+	}
+	// And it dominates beyond 10000 processes.
+	if xt22.BarotropicSec <= xt22.BaroclinicSec {
+		t.Errorf("XT barotropic %.1f should dominate baroclinic %.1f at 22500",
+			xt22.BarotropicSec, xt22.BaroclinicSec)
+	}
+	bgp8, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 8000, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp22, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 22500, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bgp22.BarotropicSec >= bgp8.BarotropicSec {
+		t.Errorf("BG/P barotropic should keep improving: %.1f @8000 vs %.1f @22500",
+			bgp8.BarotropicSec, bgp22.BarotropicSec)
+	}
+}
+
+func TestSolverVariantsClose(t *testing.T) {
+	// Figure 4(a): performance relatively insensitive to the solver.
+	std, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 512, Solver: StandardCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 512, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.BarotropicSec > std.BarotropicSec {
+		t.Errorf("C-G barotropic %.2f should not exceed standard %.2f",
+			cg.BarotropicSec, std.BarotropicSec)
+	}
+	ratio := std.SYD / cg.SYD
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("solver variants differ %.2fx in total SYD, want <10%%", ratio)
+	}
+}
+
+func TestModesInsensitive(t *testing.T) {
+	// Figure 4(a): POP is pure MPI, so at equal PROCESS counts the
+	// execution mode barely matters — SMP mode idles three cores but
+	// gives the rank more memory bandwidth.
+	vn, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 2048, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := Run(Options{Machine: machine.BGP, Mode: machine.SMP, Procs: 2048, Solver: ChronopoulosGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := smp.SYD / vn.SYD
+	if ratio < 0.9 || ratio > 1.5 {
+		t.Errorf("SMP/VN SYD ratio at 2048 tasks = %.2f, want near 1 (slightly above)", ratio)
+	}
+}
+
+func TestTimingBarrierCapturesImbalance(t *testing.T) {
+	r, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 1000,
+		Solver: ChronopoulosGear, TimingBarrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BarrierSec <= 0 {
+		t.Error("timing barrier should record imbalance wait")
+	}
+	// The barrier adds little to the total (paper: "decreases overall
+	// POP performance very little") — it only re-attributes time.
+	r2, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 1000,
+		Solver: ChronopoulosGear, TimingBarrier: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := r.SecondsPerDay / r2.SecondsPerDay; diff > 1.05 {
+		t.Errorf("timing barrier inflated the run by %.2fx", diff)
+	}
+}
+
+func TestSYDModel(t *testing.T) {
+	model := SYDModel(machine.BGP, machine.VN, ChronopoulosGear)
+	a, b := model(512), model(2048)
+	if b <= a {
+		t.Errorf("SYD model should grow with cores: %.2f vs %.2f", a, b)
+	}
+	if model(512) != a {
+		t.Error("model should be memoized and deterministic")
+	}
+}
+
+func TestBadProcs(t *testing.T) {
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 0}); err == nil {
+		t.Error("expected error for zero procs")
+	}
+}
+
+func TestMappingInsensitive(t *testing.T) {
+	// The paper §III.A: the difference between the TXYZ ordering and
+	// the best of the other predefined mappings was under 1.4% (VN).
+	// POP's halos are small relative to its compute, so even in the
+	// contention-fidelity model the spread stays small.
+	syd := func(m topology.Mapping) float64 {
+		r, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 512,
+			Solver: ChronopoulosGear, Mapping: m, Fidelity: network.Contention})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.SYD
+	}
+	base := syd(topology.MapTXYZ)
+	for _, m := range []topology.Mapping{topology.MapXYZT, topology.MapZYXT, topology.MapTZYX} {
+		v := syd(m)
+		diff := (v - base) / base
+		if diff < 0 {
+			diff = -diff
+		}
+		// The paper measured <1.4%; our contention model is somewhat
+		// more mapping-sensitive at this scale, but the qualitative
+		// claim — POP mapping sensitivity is small compared to the
+		// >2x spread of the pure-communication HALO benchmark — holds.
+		if diff > 0.08 {
+			t.Errorf("mapping %s differs from TXYZ by %.1f%%, want small (<8%%)", m, diff*100)
+		}
+	}
+}

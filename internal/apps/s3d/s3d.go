@@ -1,0 +1,186 @@
+// Package s3d models the S3D direct numerical simulation benchmark of
+// the paper's Figure 6: a pressure-wave problem with CO-H2 chemistry
+// (11 species) on a structured Cartesian mesh, 50^3 grid points per
+// MPI task (weak scaling), six-stage Runge-Kutta time advance,
+// eighth-order finite differences with nine-point stencils, and
+// nearest-neighbour ghost-zone exchanges in a 3-D decomposition.
+package s3d
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/cpu"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/stats"
+)
+
+// Benchmark constants.
+const (
+	// DefaultPointsPerRank is the paper's 50^3 per MPI task.
+	DefaultPointsPerRank = 50 * 50 * 50
+	// rkStages is the six-stage fourth-order Runge-Kutta method.
+	rkStages = 6
+	// species in the CO-H2 mechanism.
+	species = 11
+	// ghostWidth: nine-point centered stencils need four ghost planes.
+	ghostWidth = 4
+	// flopsPerPointStage: derivatives + filters + chemistry per grid
+	// point per RK stage. [cal]
+	flopsPerPointStage = 2400.0
+	// bytesPerPointStage of main-memory traffic. [cal]
+	bytesPerPointStage = 700.0
+)
+
+// perCoreGF is the sustained S3D rate per core. S3D's dense chemistry
+// kernels vectorize well on the double hummer, narrowing the
+// clock-rate gap. [cal]
+var perCoreGF = map[machine.ID]float64{
+	machine.BGP:   0.45,
+	machine.BGL:   0.34,
+	machine.XT3:   0.80,
+	machine.XT4DC: 0.88,
+	machine.XT4QC: 1.15,
+}
+
+// Options configures one S3D run.
+type Options struct {
+	Machine       machine.ID
+	Mode          machine.Mode
+	Procs         int
+	PointsPerRank int // defaults to 50^3
+}
+
+// Result reports one S3D run.
+type Result struct {
+	SecPerStep            float64
+	CoreHoursPerPointStep float64 // the paper's Figure 6 metric
+	CommFraction          float64
+}
+
+// Run simulates one S3D timestep.
+func Run(o Options) (*Result, error) {
+	if o.Procs < 1 {
+		return nil, fmt.Errorf("s3d: bad proc count %d", o.Procs)
+	}
+	pts := o.PointsPerRank
+	if pts == 0 {
+		pts = DefaultPointsPerRank
+	}
+	rate, ok := perCoreGF[o.Machine]
+	if !ok {
+		return nil, fmt.Errorf("s3d: no calibration for %s", o.Machine)
+	}
+	m := machine.Get(o.Machine)
+	threads := m.ThreadsPerRank(o.Mode)
+	eff := 1.0
+	if threads > 1 {
+		eff = 1 + float64(threads-1)*m.OMPEff
+	}
+	taskRate := rate * 1e9 * eff
+
+	side := int(math.Round(math.Cbrt(float64(pts))))
+	faceBytes := side * side * ghostWidth * (species + 5) * 8
+
+	// 3-D process grid.
+	px, py, pz := grid3(o.Procs)
+
+	cfg := core.PartitionConfig(o.Machine, o.Mode, o.Procs)
+	cfg.Fidelity = network.Analytic
+	cfg.AnalyticCollectives = true
+	memBW := cpuModelBW(m, o.Mode)
+
+	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+		me := r.ID()
+		mx, my, mz := me%px, (me/px)%py, me/(px*py)
+		wrap := func(v, m int) int { return ((v % m) + m) % m }
+		at := func(x, y, z int) int { return wrap(z, pz)*px*py + wrap(y, py)*px + wrap(x, px) }
+		nbrs := [6][2]int{
+			{at(mx-1, my, mz), at(mx+1, my, mz)},
+			{at(mx, my-1, mz), at(mx, my+1, mz)},
+			{at(mx, my, mz-1), at(mx, my, mz+1)},
+		}
+		for stage := 0; stage < rkStages; stage++ {
+			// Compute at the calibrated S3D rate, bounded by the
+			// task's share of memory bandwidth (roofline).
+			tc := float64(pts) * flopsPerPointStage / taskRate
+			tm := float64(pts) * bytesPerPointStage / memBW
+			r.Advance(sim.Seconds(math.Max(tc, tm)))
+			r.TimerStart("comm")
+			for d := 0; d < 3; d++ {
+				lo, hi := nbrs[d][0], nbrs[d][1]
+				if lo == me { // single process in this dimension
+					continue
+				}
+				tag := 70 + stage*6 + d*2
+				r1 := r.Irecv(hi, tag)
+				r2 := r.Irecv(lo, tag+1)
+				s1 := r.Isend(lo, faceBytes, tag)
+				s2 := r.Isend(hi, faceBytes, tag+1)
+				r.Waitall(r1, r2, s1, s2)
+			}
+			r.TimerStop("comm")
+		}
+		// Monitoring reduction once per step.
+		r.World().Allreduce(r, 8, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	commSec := res.MaxTimer("comm").Seconds()
+
+	sec := res.Elapsed.Seconds()
+	cores := o.Procs * threads
+	totalPoints := float64(pts) * float64(o.Procs)
+	return &Result{
+		SecPerStep:            sec,
+		CoreHoursPerPointStep: sec * float64(cores) / totalPoints / 3600,
+		CommFraction:          commSec / sec,
+	}, nil
+}
+
+// grid3 factors p into a near-cubic 3-D process grid.
+func grid3(p int) (x, y, z int) {
+	best := [3]int{1, 1, p}
+	bestScore := p*1 + p*1 + 1
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		rem := p / a
+		for b := a; b*b <= rem; b++ {
+			if rem%b != 0 {
+				continue
+			}
+			c := rem / b
+			score := a*b + b*c + a*c
+			if score < bestScore {
+				best, bestScore = [3]int{a, b, c}, score
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// WeakScaling builds the Figure 6 series for one machine: cost per
+// grid point per step at the paper's 50^3-per-task weak scaling.
+func WeakScaling(id machine.ID, mode machine.Mode, procCounts []int) (*stats.Series, error) {
+	s := &stats.Series{Name: string(id)}
+	for _, p := range procCounts {
+		r, err := Run(Options{Machine: id, Mode: mode, Procs: p})
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(p), r.CoreHoursPerPointStep)
+	}
+	return s, nil
+}
+
+// cpuModelBW returns the per-task sustainable memory bandwidth.
+func cpuModelBW(m *machine.Machine, mode machine.Mode) float64 {
+	return cpu.New(m, mode).MemBW()
+}

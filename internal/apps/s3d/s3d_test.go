@@ -1,0 +1,99 @@
+package s3d
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func TestGrid3(t *testing.T) {
+	cases := map[int][3]int{8: {2, 2, 2}, 64: {4, 4, 4}, 1: {1, 1, 1}, 12: {2, 2, 3}}
+	for p, want := range cases {
+		x, y, z := grid3(p)
+		if x*y*z != p {
+			t.Errorf("grid3(%d) = %dx%dx%d does not cover", p, x, y, z)
+		}
+		if [3]int{x, y, z} != want {
+			t.Errorf("grid3(%d) = %v, want %v", p, [3]int{x, y, z}, want)
+		}
+	}
+}
+
+func TestWeakScalingNearFlat(t *testing.T) {
+	// Figure 6: S3D exhibits excellent weak scaling — the cost per
+	// grid point per step barely grows with the core count.
+	s, err := WeakScaling(machine.BGP, machine.VN, []int{8, 64, 512, 1728})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := s.Y[0], s.Y[len(s.Y)-1]
+	if last > first*1.25 {
+		t.Errorf("weak scaling cost grew %.2fx from 8 to 1728 tasks", last/first)
+	}
+}
+
+func TestPlatformOrdering(t *testing.T) {
+	// Faster cores finish a step sooner; on the core-hours metric the
+	// XT's advantage shrinks to its per-core efficiency edge.
+	get := func(id machine.ID) *Result {
+		r, err := Run(Options{Machine: id, Mode: machine.VN, Procs: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	bgp, xt3, xt4 := get(machine.BGP), get(machine.XT3), get(machine.XT4QC)
+	if !(xt4.SecPerStep < xt3.SecPerStep && xt3.SecPerStep < bgp.SecPerStep) {
+		t.Errorf("wall time ordering wrong: BGP %.3f XT3 %.3f XT4 %.3f",
+			bgp.SecPerStep, xt3.SecPerStep, xt4.SecPerStep)
+	}
+	// Per-core-hour costs are much closer than wall times (BG/P's
+	// cheap slow cores): within a factor ~2.
+	if r := bgp.CoreHoursPerPointStep / xt4.CoreHoursPerPointStep; r < 0.8 || r > 2.6 {
+		t.Errorf("core-hour cost ratio BGP/XT4 = %.2f, want ~1-2", r)
+	}
+}
+
+func TestCommFractionSmall(t *testing.T) {
+	// The structured mesh + explicit marching keeps S3D compute-bound.
+	r, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CommFraction > 0.35 {
+		t.Errorf("comm fraction %.2f too large for S3D", r.CommFraction)
+	}
+}
+
+func TestSingleProc(t *testing.T) {
+	r, err := Run(Options{Machine: machine.XT4QC, Mode: machine.SMP, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CommFraction != 0 {
+		t.Errorf("single task should have no halo communication, got %.3f", r.CommFraction)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 0}); err == nil {
+		t.Error("expected error for zero procs")
+	}
+	if _, err := Run(Options{Machine: "nope", Mode: machine.VN, Procs: 8}); err == nil {
+		t.Error("expected error for unknown machine")
+	}
+}
+
+func TestCustomPointsPerRank(t *testing.T) {
+	small, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 8, PointsPerRank: 30 * 30 * 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Options{Machine: machine.BGP, Mode: machine.VN, Procs: 8, PointsPerRank: 60 * 60 * 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.SecPerStep <= small.SecPerStep {
+		t.Error("more points per rank should take longer")
+	}
+}

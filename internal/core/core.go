@@ -1,0 +1,137 @@
+// Package core is the top of the simulation stack: it ties the machine
+// catalog, topology, network, CPU and MPI layers together behind site
+// presets (the actual systems the paper measured) and run helpers. The
+// public root package bgpsim re-exports this API.
+package core
+
+import (
+	"fmt"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Program is an MPI program: the function every simulated rank runs.
+type Program = func(*mpi.Rank)
+
+// Site is a named installation of a machine, as evaluated in the paper.
+type Site struct {
+	Name    string
+	Machine machine.ID
+	Nodes   int
+}
+
+// The installations the paper measured.
+var (
+	// Eugene is ORNL's two-rack BlueGene/P (2048 nodes, 8192 cores).
+	Eugene = Site{Name: "ORNL Eugene", Machine: machine.BGP, Nodes: 2048}
+	// Intrepid is ANL's forty-rack BlueGene/P (40960 nodes).
+	Intrepid = Site{Name: "ANL Intrepid", Machine: machine.BGP, Nodes: 40960}
+	// JaguarQC is ORNL's quad-core Cray XT4 partition (30976 cores).
+	JaguarQC = Site{Name: "ORNL Jaguar XT4/QC", Machine: machine.XT4QC, Nodes: 7744}
+	// JaguarDC is the earlier dual-core XT4 configuration.
+	JaguarDC = Site{Name: "ORNL Jaguar XT4/DC", Machine: machine.XT4DC, Nodes: 11508}
+	// JaguarXT3 is the original XT3 configuration.
+	JaguarXT3 = Site{Name: "ORNL Jaguar XT3", Machine: machine.XT3, Nodes: 5212}
+)
+
+// Config returns an mpi.Config for running `ranks` MPI tasks on the
+// site in the given mode, using the minimal number of nodes. A ranks
+// value of zero uses the whole site.
+func (s Site) Config(mode machine.Mode, ranks int) mpi.Config {
+	m := machine.Get(s.Machine)
+	rpn := m.RanksPerNode(mode)
+	nodes := s.Nodes
+	if ranks > 0 {
+		nodes = (ranks + rpn - 1) / rpn
+		if nodes > s.Nodes {
+			nodes = s.Nodes // oversubscription is caught by NewWorld
+		}
+	} else {
+		ranks = nodes * rpn
+	}
+	return mpi.Config{
+		Machine: m,
+		Nodes:   nodes,
+		Mode:    mode,
+		Ranks:   ranks,
+	}
+}
+
+// PartitionConfig returns an mpi.Config for a machine and an exact
+// rank count, choosing a standard partition (node count) that fits.
+func PartitionConfig(id machine.ID, mode machine.Mode, ranks int) mpi.Config {
+	m := machine.Get(id)
+	rpn := m.RanksPerNode(mode)
+	nodes := (ranks + rpn - 1) / rpn
+	return mpi.Config{Machine: m, Nodes: nodes, Mode: mode, Ranks: ranks}
+}
+
+// Run executes a program under a configuration: the main entry point.
+func Run(cfg mpi.Config, prog Program) (*mpi.Result, error) {
+	return mpi.Execute(cfg, prog)
+}
+
+// Report is a human-readable summary of one run.
+type Report struct {
+	Site     string
+	Machine  string
+	Mode     machine.Mode
+	Ranks    int
+	Cores    int
+	Elapsed  sim.Duration
+	Messages int64
+	Bytes    int64
+	Events   uint64
+	// EnergyKWh is the estimated electrical energy of the run at the
+	// machine's application operating point.
+	EnergyKWh float64
+}
+
+// String formats the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s (%s, %s, %d ranks): %v elapsed, %d msgs, %d bytes, %d events, %.3g kWh",
+		r.Site, r.Machine, r.Mode, r.Ranks, r.Elapsed, r.Messages, r.Bytes, r.Events, r.EnergyKWh)
+}
+
+// RunReport runs a program and summarizes it.
+func RunReport(site Site, mode machine.Mode, ranks int, prog Program) (*Report, *mpi.Result, error) {
+	cfg := site.Config(mode, ranks)
+	res, err := Run(cfg, prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	cores := cfg.Nodes * cfg.Machine.CoresPerNode
+	return &Report{
+		Site:      site.Name,
+		Machine:   cfg.Machine.Name,
+		Mode:      mode,
+		Ranks:     cfg.Ranks,
+		Cores:     cores,
+		Elapsed:   res.Elapsed,
+		Messages:  res.Net.Messages,
+		Bytes:     res.Net.Bytes,
+		Events:    res.Events,
+		EnergyKWh: cfg.Machine.WattsPerCoreApp * float64(cores) * res.Elapsed.Seconds() / 3600 / 1000,
+	}, res, nil
+}
+
+// Convenience re-exports so downstream users need only this package
+// (via the bgpsim root) for common configuration values.
+const (
+	SMP  = machine.SMP
+	DUAL = machine.DUAL
+	VN   = machine.VN
+)
+
+// Fidelity re-exports.
+const (
+	Analytic   = network.Analytic
+	Contention = network.Contention
+)
+
+// DefaultMapping is the system default process mapping.
+const DefaultMapping = topology.MapXYZT

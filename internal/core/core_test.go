@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+)
+
+func TestSiteConfigWholeSite(t *testing.T) {
+	cfg := Eugene.Config(machine.VN, 0)
+	if cfg.Nodes != 2048 || cfg.Ranks != 8192 {
+		t.Errorf("Eugene VN: nodes=%d ranks=%d", cfg.Nodes, cfg.Ranks)
+	}
+}
+
+func TestSiteConfigPartial(t *testing.T) {
+	cfg := Eugene.Config(machine.VN, 100)
+	if cfg.Ranks != 100 || cfg.Nodes != 25 {
+		t.Errorf("partial: nodes=%d ranks=%d", cfg.Nodes, cfg.Ranks)
+	}
+	cfg = Eugene.Config(machine.SMP, 100)
+	if cfg.Nodes != 100 {
+		t.Errorf("SMP partial: nodes=%d", cfg.Nodes)
+	}
+}
+
+func TestPartitionConfigRuns(t *testing.T) {
+	cfg := PartitionConfig(machine.BGP, machine.VN, 64)
+	res, err := Run(cfg, func(r *mpi.Rank) {
+		r.World().Barrier(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	rep, res, err := RunReport(Eugene, machine.SMP, 16, func(r *mpi.Rank) {
+		r.World().Allreduce(r, 8, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || rep.Ranks != 16 {
+		t.Fatalf("report: %+v", rep)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "Eugene") || !strings.Contains(s, "16 ranks") {
+		t.Errorf("report string: %s", s)
+	}
+}
+
+func TestJaguarCoreCounts(t *testing.T) {
+	// The paper's Table 3 uses 30976 XT4/QC cores.
+	m := machine.Get(JaguarQC.Machine)
+	if got := JaguarQC.Nodes * m.CoresPerNode; got != 30976 {
+		t.Errorf("Jaguar QC cores = %d, want 30976", got)
+	}
+}
+
+func TestReportEnergy(t *testing.T) {
+	rep, _, err := RunReport(Eugene, machine.VN, 64, func(r *mpi.Rank) {
+		r.Compute(1e9, 0, machine.ClassDGEMM)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EnergyKWh <= 0 || rep.Cores != 64 {
+		t.Errorf("report energy/cores wrong: %+v", rep)
+	}
+	// Energy = W/core * cores * seconds.
+	want := 7.3 * 64 * rep.Elapsed.Seconds() / 3600 / 1000
+	if diff := rep.EnergyKWh/want - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("energy = %g, want %g", rep.EnergyKWh, want)
+	}
+}

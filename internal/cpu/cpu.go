@@ -1,0 +1,96 @@
+// Package cpu models on-node computation time with a roofline: a
+// compute block is characterized by its flop count, its main-memory
+// traffic, and a kernel class that selects the sustained fraction of
+// peak; the block's duration is the larger of the compute time and the
+// memory time under the node resources available to one MPI rank in
+// the current execution mode.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+)
+
+// Model computes execution times for one MPI rank of a machine running
+// in a given execution mode.
+type Model struct {
+	mach *machine.Machine
+	mode machine.Mode
+}
+
+// New returns a compute model. It panics if the machine does not
+// support the mode.
+func New(m *machine.Machine, mode machine.Mode) *Model {
+	if !m.SupportsMode(mode) {
+		panic(fmt.Sprintf("cpu: %s does not support %s mode", m.Name, mode))
+	}
+	return &Model{mach: m, mode: mode}
+}
+
+// Threads returns the compute threads available to the rank.
+func (c *Model) Threads() int { return c.mach.ThreadsPerRank(c.mode) }
+
+// effThreads is the effective thread count after OpenMP overheads:
+// thread t contributes OMPEff of a core. A machine with OMPEff == 0
+// (BG/L) cannot use extra threads at all.
+func (c *Model) effThreads() float64 {
+	t := c.Threads()
+	if t <= 1 {
+		return 1
+	}
+	return 1 + float64(t-1)*c.mach.OMPEff
+}
+
+// FlopRate returns the sustained flop rate (flops/second) of the rank
+// for a kernel class, including its threads.
+func (c *Model) FlopRate(class machine.KernelClass) float64 {
+	return c.mach.PeakFlopsCore() * c.mach.Eff[class] * c.effThreads()
+}
+
+// MemBW returns the sustainable main-memory bandwidth (bytes/second)
+// available to the rank: the node's aggregate sustained bandwidth
+// divided among the ranks sharing the node, capped by what the rank's
+// threads can generate.
+func (c *Model) MemBW() float64 {
+	perRank := c.mach.MemBWPerNode * c.mach.Eff[machine.ClassStream] / float64(c.mach.RanksPerNode(c.mode))
+	gen := c.mach.CoreMemBW * c.effThreads()
+	return math.Min(perRank, gen)
+}
+
+// Time returns the duration of a compute block with the given flop
+// count and main-memory traffic for the kernel class: the roofline
+// maximum of compute time and memory time. Zero-work blocks take zero
+// time.
+func (c *Model) Time(flops, bytes float64, class machine.KernelClass) sim.Duration {
+	if flops < 0 || bytes < 0 {
+		panic(fmt.Sprintf("cpu: negative work flops=%g bytes=%g", flops, bytes))
+	}
+	tc := flops / c.FlopRate(class)
+	tm := bytes / c.MemBW()
+	return sim.Seconds(math.Max(tc, tm))
+}
+
+// StreamTriadBW returns the STREAM triad bandwidth of a single process
+// on the node. In the single-process case (the others idle) the
+// process is limited only by what its threads can pull; in the
+// embarrassingly-parallel case every core runs a copy and the node
+// bandwidth is divided.
+func (c *Model) StreamTriadBW(embarrassinglyParallel bool) float64 {
+	if embarrassinglyParallel {
+		return c.MemBW()
+	}
+	gen := c.mach.CoreMemBW * c.effThreads()
+	return math.Min(gen, c.mach.MemBWPerNode*c.mach.Eff[machine.ClassStream])
+}
+
+// DGEMMRate returns the sustained DGEMM rate of the rank.
+func (c *Model) DGEMMRate() float64 { return c.FlopRate(machine.ClassDGEMM) }
+
+// Machine returns the modelled machine.
+func (c *Model) Machine() *machine.Machine { return c.mach }
+
+// Mode returns the execution mode.
+func (c *Model) Mode() machine.Mode { return c.mode }

@@ -1,0 +1,139 @@
+package cpu
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+)
+
+func TestFlopRateVN(t *testing.T) {
+	m := machine.Get(machine.BGP)
+	c := New(m, machine.VN)
+	// VN mode: one thread; DGEMM rate = 3.4 GF * 0.87.
+	want := 3.4e9 * m.Eff[machine.ClassDGEMM]
+	if got := c.FlopRate(machine.ClassDGEMM); got != want {
+		t.Errorf("VN DGEMM rate = %g, want %g", got, want)
+	}
+}
+
+func TestFlopRateSMPUsesThreads(t *testing.T) {
+	m := machine.Get(machine.BGP)
+	vn := New(m, machine.VN)
+	smp := New(m, machine.SMP)
+	ratio := smp.FlopRate(machine.ClassStencil) / vn.FlopRate(machine.ClassStencil)
+	// 4 threads at 90% OpenMP efficiency: 1 + 3*0.9 = 3.7.
+	if ratio < 3.69 || ratio > 3.71 {
+		t.Errorf("SMP/VN rate ratio = %g, want 3.7", ratio)
+	}
+}
+
+func TestBGLNoThreadScaling(t *testing.T) {
+	m := machine.Get(machine.BGL)
+	smp := New(m, machine.SMP)
+	vn := New(m, machine.VN)
+	if smp.FlopRate(machine.ClassStencil) != vn.FlopRate(machine.ClassStencil) {
+		t.Error("BG/L (OMPEff=0) should get no speedup from SMP threads")
+	}
+}
+
+func TestMemBWSharing(t *testing.T) {
+	m := machine.Get(machine.BGP)
+	vn := New(m, machine.VN)
+	// VN: node stream bandwidth divided by 4 ranks.
+	want := m.MemBWPerNode * m.Eff[machine.ClassStream] / 4
+	if got := vn.MemBW(); got != want {
+		t.Errorf("VN MemBW = %g, want %g", got, want)
+	}
+	smp := New(m, machine.SMP)
+	if smp.MemBW() <= vn.MemBW() {
+		t.Error("SMP rank should see more memory bandwidth than a VN rank")
+	}
+}
+
+func TestTimeRoofline(t *testing.T) {
+	c := New(machine.Get(machine.BGP), machine.VN)
+	// Pure compute: 3.4e9*0.87 flops should take ~1 s.
+	d := c.Time(c.FlopRate(machine.ClassDGEMM), 0, machine.ClassDGEMM)
+	if d != sim.Second {
+		t.Errorf("compute-bound time = %v, want 1s", d)
+	}
+	// Pure memory: MemBW bytes should take 1 s.
+	d = c.Time(0, c.MemBW(), machine.ClassStream)
+	if d != sim.Second {
+		t.Errorf("memory-bound time = %v, want 1s", d)
+	}
+	// Max, not sum.
+	d = c.Time(c.FlopRate(machine.ClassDGEMM), c.MemBW(), machine.ClassDGEMM)
+	if d != sim.Second {
+		t.Errorf("roofline time = %v, want 1s (max, not sum)", d)
+	}
+}
+
+func TestZeroWorkZeroTime(t *testing.T) {
+	c := New(machine.Get(machine.XT4QC), machine.VN)
+	if d := c.Time(0, 0, machine.ClassScalar); d != 0 {
+		t.Errorf("zero work took %v", d)
+	}
+}
+
+func TestNegativeWorkPanics(t *testing.T) {
+	c := New(machine.Get(machine.BGP), machine.VN)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Time(-1, 0, machine.ClassScalar)
+}
+
+func TestUnsupportedModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: XT3 has no DUAL mode")
+		}
+	}()
+	New(machine.Get(machine.XT3), machine.DUAL)
+}
+
+func TestStreamSPvsEP(t *testing.T) {
+	// Paper Table 2 claim: BG/P declines less from single-process to
+	// embarrassingly-parallel STREAM than the XT4/QC.
+	declineOf := func(id machine.ID) float64 {
+		c := New(machine.Get(id), machine.VN)
+		sp := c.StreamTriadBW(false)
+		ep := c.StreamTriadBW(true)
+		return (sp - ep) / sp
+	}
+	bgp, xt := declineOf(machine.BGP), declineOf(machine.XT4QC)
+	if bgp >= xt {
+		t.Errorf("BG/P STREAM decline %.2f should be below XT %.2f", bgp, xt)
+	}
+}
+
+func TestBGPHigherAbsoluteStream(t *testing.T) {
+	// Paper: BG/P exhibited higher absolute STREAM bandwidth.
+	bgp := New(machine.Get(machine.BGP), machine.VN).StreamTriadBW(false)
+	xt := New(machine.Get(machine.XT4QC), machine.VN).StreamTriadBW(false)
+	if bgp <= xt {
+		t.Errorf("BG/P SP STREAM %g <= XT %g, paper says higher", bgp, xt)
+	}
+}
+
+func TestXTDGEMMFasterPerCore(t *testing.T) {
+	// Paper: XT4/QC outruns BG/P on DGEMM due to clock rate.
+	bgp := New(machine.Get(machine.BGP), machine.VN).DGEMMRate()
+	xt := New(machine.Get(machine.XT4QC), machine.VN).DGEMMRate()
+	ratio := xt / bgp
+	if ratio < 2.0 || ratio > 3.0 {
+		t.Errorf("XT/BGP DGEMM ratio = %.2f, want ~2.5 (clock ratio)", ratio)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := machine.Get(machine.BGP)
+	c := New(m, machine.DUAL)
+	if c.Machine().ID != machine.BGP || c.Mode() != machine.DUAL || c.Threads() != 2 {
+		t.Error("accessors wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package dcg
+
+import (
+	"math"
+	"testing"
+
+	"bgpsim/internal/kernels"
+	"bgpsim/internal/machine"
+)
+
+func TestDistributedCGSolves(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := Run(Config{Machine: machine.BGP, Mode: machine.VN,
+			Procs: procs, NX: 16, NY: 24, Tol: 1e-11})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if res.Residual > 1e-6 {
+			t.Errorf("procs=%d: residual %g", procs, res.Residual)
+		}
+		if res.VirtualSeconds <= 0 {
+			t.Errorf("procs=%d: no virtual time", procs)
+		}
+	}
+}
+
+func TestMatchesSerialKernel(t *testing.T) {
+	res, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN,
+		Procs: 4, NX: 12, NY: 12, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := kernels.Laplacian2D(12, 12)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	ref := kernels.CG(a, b, 1e-12, 10000)
+	for i := range ref.X {
+		if math.Abs(ref.X[i]-res.X[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g, serial %g", i, res.X[i], ref.X[i])
+		}
+	}
+}
+
+func TestFusedVariantSolvesIdentically(t *testing.T) {
+	std, err := Run(Config{Machine: machine.BGP, Mode: machine.VN,
+		Procs: 4, NX: 16, NY: 16, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Run(Config{Machine: machine.BGP, Mode: machine.VN,
+		Procs: 4, NX: 16, NY: 16, Tol: 1e-12, Fused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range std.X {
+		if math.Abs(std.X[i]-fused.X[i]) > 1e-5 {
+			t.Fatalf("x[%d]: standard %g vs fused %g", i, std.X[i], fused.X[i])
+		}
+	}
+	if fused.Residual > 1e-6 {
+		t.Errorf("fused residual %g", fused.Residual)
+	}
+}
+
+func TestFusedHalvesReductions(t *testing.T) {
+	// The entire point of the Chronopoulos-Gear variant in POP.
+	std, err := Run(Config{Machine: machine.BGP, Mode: machine.VN,
+		Procs: 4, NX: 16, NY: 16, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Run(Config{Machine: machine.BGP, Mode: machine.VN,
+		Procs: 4, NX: 16, NY: 16, Tol: 1e-11, Fused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIterStd := float64(std.Reductions) / float64(std.Iterations)
+	perIterFused := float64(fused.Reductions) / float64(fused.Iterations)
+	if perIterStd < 1.9 || perIterStd > 2.2 {
+		t.Errorf("standard CG: %.2f reductions/iter, want ~2", perIterStd)
+	}
+	if perIterFused > 1.2 {
+		t.Errorf("fused CG: %.2f reductions/iter, want ~1", perIterFused)
+	}
+}
+
+func TestFusedFasterOnLatencyBoundMachine(t *testing.T) {
+	// On a machine without a hardware tree, halving the reduction
+	// count should shorten the latency-bound solve.
+	std, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN,
+		Procs: 8, NX: 16, NY: 16, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN,
+		Procs: 8, NX: 16, NY: 16, Tol: 1e-11, Fused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIterStd := std.VirtualSeconds / float64(std.Iterations)
+	perIterFused := fused.VirtualSeconds / float64(fused.Iterations)
+	if perIterFused >= perIterStd {
+		t.Errorf("fused %.3g s/iter should beat standard %.3g s/iter",
+			perIterFused, perIterStd)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 3, NX: 16, NY: 16}); err == nil {
+		t.Error("3 ranks do not divide 16 rows")
+	}
+	if _, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 0, NX: 16, NY: 16}); err == nil {
+		t.Error("zero procs should fail")
+	}
+}

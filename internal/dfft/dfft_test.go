@@ -1,0 +1,74 @@
+package dfft
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"bgpsim/internal/kernels"
+	"bgpsim/internal/machine"
+)
+
+func reference(seed uint64, logN int) []complex128 {
+	n := 1 << uint(logN)
+	x := make([]complex128, n)
+	for j := range x {
+		x[j] = Input(seed, j)
+	}
+	kernels.FFT(x)
+	return x
+}
+
+func TestDistributedFFTMatchesSerial(t *testing.T) {
+	for _, c := range []struct {
+		procs, logN int
+	}{
+		{1, 8},
+		{2, 10},
+		{4, 12},
+		{8, 12},
+	} {
+		res, err := Run(Config{Machine: machine.BGP, Mode: machine.VN,
+			Procs: c.procs, LogN: c.logN, Seed: 11})
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		ref := reference(11, c.logN)
+		for k := range ref {
+			if cmplx.Abs(res.X[k]-ref[k]) > 1e-9*float64(len(ref)) {
+				t.Fatalf("%+v: X[%d] = %v, want %v", c, k, res.X[k], ref[k])
+			}
+		}
+		if res.VirtualSeconds <= 0 || res.GFlops <= 0 {
+			t.Errorf("%+v: no timing", c)
+		}
+	}
+}
+
+func TestDistributedFFTScales(t *testing.T) {
+	one, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN, Procs: 1, LogN: 14, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN, Procs: 8, LogN: 14, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.VirtualSeconds >= one.VirtualSeconds {
+		t.Errorf("8 ranks (%gs) should beat 1 rank (%gs)", eight.VirtualSeconds, one.VirtualSeconds)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 3, LogN: 10}); err == nil {
+		t.Error("3 ranks do not divide a 32x32 grid; expected error")
+	}
+	if _, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 0, LogN: 10}); err == nil {
+		t.Error("zero procs should fail")
+	}
+}
+
+func TestInputDeterministic(t *testing.T) {
+	if Input(1, 7) != Input(1, 7) || Input(1, 7) == Input(2, 7) {
+		t.Error("Input generator wrong")
+	}
+}

@@ -1,0 +1,178 @@
+// Package dra is a distributed RandomAccess (GUPS) implementation
+// running ON the simulator with a real table: every rank generates its
+// share of the HPCC-style update stream, routes each update to the
+// rank owning the target word via bucketed payload exchanges, and
+// applies the XOR locally. Because XOR is commutative and associative,
+// the final table must equal a serial replay of all streams — which is
+// exactly what the tests check (the same property the HPCC benchmark's
+// verification phase exploits).
+package dra
+
+import (
+	"fmt"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+)
+
+// Config describes a distributed RandomAccess run.
+type Config struct {
+	Machine machine.ID
+	Mode    machine.Mode
+	Procs   int
+	LogSize int // global table of 2^LogSize words
+	// UpdatesPerRank per rank (default 4 * local table size).
+	UpdatesPerRank int
+	// Bucket is the per-round lookahead (default 1024, as in HPCC).
+	Bucket int
+	Seed   uint64
+}
+
+// Result reports the run.
+type Result struct {
+	VirtualSeconds float64
+	GUPS           float64
+	// Table is the final global table (gathered at rank 0).
+	Table []uint64
+}
+
+// startValue returns rank r's deterministic stream start.
+func startValue(seed uint64, r int) uint64 {
+	z := seed + uint64(r)*0x9e3779b97f4a7c15 + 1
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// nextRan advances the HPCC polynomial stream.
+func nextRan(ran uint64) uint64 {
+	return (ran << 1) ^ (uint64(int64(ran)>>63) & 0x7)
+}
+
+// Run performs the distributed updates and gathers the final table.
+func Run(cfg Config) (*Result, error) {
+	if cfg.LogSize < 1 || cfg.Procs <= 0 {
+		return nil, fmt.Errorf("dra: bad config %+v", cfg)
+	}
+	size := 1 << uint(cfg.LogSize)
+	p := cfg.Procs
+	if size%p != 0 {
+		return nil, fmt.Errorf("dra: %d ranks do not divide table of %d words", p, size)
+	}
+	local := size / p
+	updates := cfg.UpdatesPerRank
+	if updates == 0 {
+		updates = 4 * local
+	}
+	bucket := cfg.Bucket
+	if bucket == 0 {
+		bucket = 1024
+	}
+	mask := uint64(size - 1)
+
+	mcfg := core.PartitionConfig(cfg.Machine, cfg.Mode, p)
+	var out Result
+	res, err := mpi.Execute(mcfg, func(r *mpi.Rank) {
+		me := r.ID()
+		table := make([]uint64, local)
+		for i := range table {
+			table[i] = uint64(me*local + i)
+		}
+		apply := func(vals []uint64) {
+			for _, v := range vals {
+				idx := int(v&mask) - me*local
+				table[idx] ^= v
+			}
+			if len(vals) > 0 {
+				// Irregular single-word read-modify-writes.
+				r.Compute(float64(len(vals)), float64(len(vals)*16), machine.ClassUpdate)
+			}
+		}
+
+		ran := startValue(cfg.Seed, me)
+		remaining := updates
+		round := 0
+		for remaining > 0 {
+			n := bucket
+			if n > remaining {
+				n = remaining
+			}
+			remaining -= n
+			// Generate a bucket and split it by destination rank.
+			buckets := make([][]uint64, p)
+			for i := 0; i < n; i++ {
+				ran = nextRan(ran)
+				dst := int(ran&mask) / local
+				buckets[dst] = append(buckets[dst], ran)
+			}
+			// Exchange buckets (non-blocking sends, then receives).
+			tag := 100 + round
+			var sends []*mpi.Request
+			for q := 0; q < p; q++ {
+				if q == me {
+					continue
+				}
+				sends = append(sends, r.IsendPayload(q, len(buckets[q])*16+8, tag, buckets[q]))
+			}
+			apply(buckets[me])
+			for q := 0; q < p; q++ {
+				if q == me {
+					continue
+				}
+				_, payload := r.RecvPayload(q, tag)
+				apply(payload.([]uint64))
+			}
+			r.Waitall(sends...)
+			round++
+		}
+		// Everyone finishes their rounds in lockstep (same update
+		// count), then the table is gathered for verification.
+		r.World().Barrier(r)
+		if me != 0 {
+			r.SendPayload(0, local*8, 900+me, table)
+			return
+		}
+		full := make([]uint64, size)
+		copy(full, table)
+		for q := 1; q < p; q++ {
+			_, payload := r.RecvPayload(q, 900+q)
+			copy(full[q*local:], payload.([]uint64))
+		}
+		out.Table = full
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.VirtualSeconds = res.Elapsed.Seconds()
+	out.GUPS = float64(updates) * float64(p) / out.VirtualSeconds / 1e9
+	return &out, nil
+}
+
+// SerialReference replays every rank's stream on a single table — the
+// ground truth the distributed run must reproduce.
+func SerialReference(cfg Config) []uint64 {
+	size := 1 << uint(cfg.LogSize)
+	local := size / cfg.Procs
+	updates := cfg.UpdatesPerRank
+	if updates == 0 {
+		updates = 4 * local
+	}
+	mask := uint64(size - 1)
+	table := make([]uint64, size)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	for rank := 0; rank < cfg.Procs; rank++ {
+		ran := startValue(cfg.Seed, rank)
+		for i := 0; i < updates; i++ {
+			ran = nextRan(ran)
+			table[ran&mask] ^= ran
+		}
+	}
+	return table
+}

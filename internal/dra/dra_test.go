@@ -1,0 +1,87 @@
+package dra
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	for _, c := range []struct {
+		procs, logSize int
+	}{
+		{1, 10},
+		{2, 10},
+		{4, 12},
+		{8, 12},
+	} {
+		cfg := Config{Machine: machine.BGP, Mode: machine.VN,
+			Procs: c.procs, LogSize: c.logSize, Seed: 99}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		ref := SerialReference(cfg)
+		if len(res.Table) != len(ref) {
+			t.Fatalf("%+v: table size %d, want %d", c, len(res.Table), len(ref))
+		}
+		bad := 0
+		for i := range ref {
+			if res.Table[i] != ref[i] {
+				bad++
+			}
+		}
+		if bad != 0 {
+			t.Errorf("%+v: %d of %d table words wrong", c, bad, len(ref))
+		}
+		if res.GUPS <= 0 {
+			t.Errorf("%+v: no GUPS", c)
+		}
+	}
+}
+
+func TestLatencyBound(t *testing.T) {
+	// RandomAccess is dominated by small-message exchange: shrinking
+	// the bucket (more rounds, same updates) must cost more time.
+	big, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN,
+		Procs: 4, LogSize: 12, Bucket: 1024, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN,
+		Procs: 4, LogSize: 12, Bucket: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.VirtualSeconds <= big.VirtualSeconds {
+		t.Errorf("bucket=64 (%gs) should be slower than bucket=1024 (%gs)",
+			small.VirtualSeconds, big.VirtualSeconds)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 3, LogSize: 10}); err == nil {
+		t.Error("3 ranks do not divide 1024 words; expected error")
+	}
+	if _, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 0, LogSize: 10}); err == nil {
+		t.Error("zero procs should fail")
+	}
+}
+
+func TestStreamProperties(t *testing.T) {
+	if startValue(1, 0) == startValue(1, 1) {
+		t.Error("ranks should get distinct streams")
+	}
+	if startValue(7, 3) != startValue(7, 3) {
+		t.Error("start value not deterministic")
+	}
+	r := startValue(1, 0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		r = nextRan(r)
+		seen[r] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("stream cycles too quickly: %d distinct of 1000", len(seen))
+	}
+}

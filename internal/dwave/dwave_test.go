@@ -1,0 +1,62 @@
+package dwave
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func cfg(procs int) Config {
+	return Config{
+		Machine: machine.BGP, Mode: machine.VN,
+		Procs: procs, N: 256, L: 1, C: 1, Sigma: 0.05,
+		Steps: 40, DT: 0.4 / 256,
+	}
+}
+
+func TestDistributedWaveMatchesSerial(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res, err := Run(cfg(procs))
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		// The distributed integration must be bit-close to the serial
+		// one: identical arithmetic, just distributed.
+		if res.MaxError > 1e-12 {
+			t.Errorf("procs=%d: max deviation from serial %g", procs, res.MaxError)
+		}
+		if res.VirtualSeconds <= 0 {
+			t.Errorf("procs=%d: no virtual time", procs)
+		}
+	}
+}
+
+func TestDistributedWaveScales(t *testing.T) {
+	c1 := cfg(1)
+	c8 := cfg(8)
+	c1.N, c8.N = 4096, 4096
+	c1.DT, c8.DT = 0.4/4096, 0.4/4096
+	c1.Steps, c8.Steps = 5, 5
+	one, err := Run(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Run(c8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.VirtualSeconds >= one.VirtualSeconds {
+		t.Errorf("8 ranks (%gs) should beat 1 rank (%gs)", eight.VirtualSeconds, one.VirtualSeconds)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := cfg(3)
+	if _, err := Run(c); err == nil {
+		t.Error("3 ranks do not divide 256 points")
+	}
+	c = cfg(128) // 2-point chunks < 4-point halo
+	if _, err := Run(c); err == nil {
+		t.Error("chunks smaller than the halo should fail")
+	}
+}

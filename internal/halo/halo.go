@@ -1,0 +1,173 @@
+// Package halo implements the Wallcraft HALO benchmark the paper uses
+// in Figure 2: a 2-D virtual process grid exchanging a 1-2 row/column
+// halo (N words north/west, 2N words south/east) under different MPI
+// protocols, process mappings, and grid shapes.
+package halo
+
+import (
+	"fmt"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Protocol selects the messaging implementation of the exchange.
+type Protocol int
+
+// The protocols compared in Figure 2(a)/(b).
+const (
+	// IsendIrecv posts all receives and sends, then waits on all.
+	IsendIrecv Protocol = iota
+	// SendRecv uses two MPI_SENDRECV calls per phase.
+	SendRecv
+	// IrecvSend posts receives first, then blocking sends.
+	IrecvSend
+	// Persistent uses MPI_Send_init/Recv_init channels set up once.
+	Persistent
+)
+
+// String names the protocol as the paper does.
+func (p Protocol) String() string {
+	switch p {
+	case IsendIrecv:
+		return "MPI_ISEND/IRECV"
+	case SendRecv:
+		return "MPI_SENDRECV"
+	case IrecvSend:
+		return "MPI_IRECV/SEND"
+	case Persistent:
+		return "MPI persistent"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Options configures one HALO run.
+type Options struct {
+	Machine    machine.ID
+	Mode       machine.Mode
+	GridX      int // virtual process grid columns
+	GridY      int // virtual process grid rows
+	Mapping    topology.Mapping
+	Protocol   Protocol
+	Words      int // halo size: N 32-bit words
+	Iterations int // exchange repetitions (default 10)
+}
+
+// wordBytes is the benchmark's 32-bit word.
+const wordBytes = 4
+
+// Run executes the benchmark and returns the mean time per complete
+// halo exchange.
+func Run(o Options) (sim.Duration, error) {
+	if o.GridX <= 0 || o.GridY <= 0 {
+		return 0, fmt.Errorf("halo: bad grid %dx%d", o.GridX, o.GridY)
+	}
+	iters := o.Iterations
+	if iters <= 0 {
+		iters = 10
+	}
+	ranks := o.GridX * o.GridY
+	cfg := core.PartitionConfig(o.Machine, o.Mode, ranks)
+	cfg.Mapping = o.Mapping
+	cfg.Fidelity = network.Contention
+
+	n := o.Words * wordBytes
+	nx, ny := o.GridX, o.GridY
+	var total sim.Duration
+	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+		me := r.ID()
+		x, y := me%nx, me/nx
+		wrap := func(v, m int) int { return ((v % m) + m) % m }
+		at := func(x, y int) int { return wrap(y, ny)*nx + wrap(x, nx) }
+		north := at(x, y-1)
+		south := at(x, y+1)
+		west := at(x-1, y)
+		east := at(x+1, y)
+
+		if o.Protocol == Persistent {
+			// Channels are established once, before timing begins.
+			ns := []*mpi.PersistentRequest{
+				r.RecvInit(south, 1), r.RecvInit(north, 2),
+				r.SendInit(north, n, 1), r.SendInit(south, 2*n, 2),
+			}
+			we := []*mpi.PersistentRequest{
+				r.RecvInit(east, 3), r.RecvInit(west, 4),
+				r.SendInit(west, n, 3), r.SendInit(east, 2*n, 4),
+			}
+			r.World().Barrier(r)
+			t0 := r.Now()
+			for it := 0; it < iters; it++ {
+				mpi.StartAll(ns...)
+				mpi.WaitAllPersistent(ns...)
+				mpi.StartAll(we...)
+				mpi.WaitAllPersistent(we...)
+			}
+			if me == 0 {
+				total = r.Now().Sub(t0) / sim.Duration(iters)
+			}
+			return
+		}
+
+		r.World().Barrier(r)
+		t0 := r.Now()
+		for it := 0; it < iters; it++ {
+			exchangePhase(r, o.Protocol, north, n, south, 2*n, 10+it*4)
+			exchangePhase(r, o.Protocol, west, n, east, 2*n, 12+it*4)
+		}
+		if me == 0 {
+			total = r.Now().Sub(t0) / sim.Duration(iters)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	_ = res
+	return total, nil
+}
+
+// exchangePhase sends small to the `less` neighbour and large to the
+// `more` neighbour, receiving the mirror amounts, and completes before
+// returning (the benchmark's two-phase structure).
+func exchangePhase(r *mpi.Rank, p Protocol, less, smallBytes, more, largeBytes, tag int) {
+	switch p {
+	case IsendIrecv:
+		r1 := r.Irecv(more, tag)
+		r2 := r.Irecv(less, tag+1)
+		s1 := r.Isend(less, smallBytes, tag)
+		s2 := r.Isend(more, largeBytes, tag+1)
+		r.Waitall(r1, r2, s1, s2)
+	case SendRecv:
+		r.Sendrecv(less, smallBytes, tag, more, tag)
+		r.Sendrecv(more, largeBytes, tag+1, less, tag+1)
+	case IrecvSend:
+		r1 := r.Irecv(more, tag)
+		r2 := r.Irecv(less, tag+1)
+		r.Send(less, smallBytes, tag)
+		r.Send(more, largeBytes, tag+1)
+		r.Waitall(r1, r2)
+	default:
+		panic(fmt.Sprintf("halo: unknown protocol %d", p))
+	}
+}
+
+// BestMapping runs the benchmark under each candidate mapping and
+// returns the fastest one with its time.
+func BestMapping(o Options, candidates []topology.Mapping) (topology.Mapping, sim.Duration, error) {
+	var best topology.Mapping
+	var bestT sim.Duration
+	for _, m := range candidates {
+		o.Mapping = m
+		t, err := Run(o)
+		if err != nil {
+			return "", 0, err
+		}
+		if best == "" || t < bestT {
+			best, bestT = m, t
+		}
+	}
+	return best, bestT, nil
+}

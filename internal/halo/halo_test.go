@@ -1,0 +1,167 @@
+package halo
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func opts(words int, p Protocol) Options {
+	return Options{
+		Machine:    machine.BGP,
+		Mode:       machine.VN,
+		GridX:      16,
+		GridY:      8,
+		Mapping:    topology.MapTXYZ,
+		Protocol:   p,
+		Words:      words,
+		Iterations: 3,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	d, err := Run(opts(100, IsendIrecv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("non-positive exchange time")
+	}
+	// An exchange is a handful of small messages: microseconds, not ms.
+	if d > 5*sim.Millisecond {
+		t.Errorf("exchange of 100 words took %v", d)
+	}
+}
+
+func TestProtocolsAllComplete(t *testing.T) {
+	for _, p := range []Protocol{IsendIrecv, SendRecv, IrecvSend} {
+		if _, err := Run(opts(10, p)); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestSendRecvSlowerForSmallHalos(t *testing.T) {
+	// The paper: MPI_SENDRECV is slower than the nonblocking variants
+	// for certain halo sizes (it serializes the two directions).
+	di, err := Run(opts(10, IsendIrecv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Run(opts(10, SendRecv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds <= di {
+		t.Errorf("SENDRECV %v should be slower than ISEND/IRECV %v for small halos", ds, di)
+	}
+}
+
+func TestMappingMattersForLargeHalos(t *testing.T) {
+	// Figure 2(c)/(d): mapping is unimportant for small halos but
+	// matters for large ones on big grids.
+	spread := func(words int) float64 {
+		var lo, hi sim.Duration
+		for _, m := range topology.PaperHALOMappings {
+			o := opts(words, IsendIrecv)
+			o.GridX, o.GridY = 32, 16 // 512 ranks
+			o.Mapping = m
+			d, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo == 0 || d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		return hi.Seconds() / lo.Seconds()
+	}
+	small := spread(8)
+	large := spread(20000)
+	if large <= small {
+		t.Errorf("mapping spread should grow with halo size: small %.3f, large %.3f", small, large)
+	}
+	if large < 1.15 {
+		t.Errorf("large-halo mapping spread = %.3f, want noticeable (>1.15)", large)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if IsendIrecv.String() != "MPI_ISEND/IRECV" || SendRecv.String() != "MPI_SENDRECV" {
+		t.Error("protocol names wrong")
+	}
+	if Protocol(99).String() == "" {
+		t.Error("unknown protocol should format")
+	}
+}
+
+func TestBadGrid(t *testing.T) {
+	o := opts(10, IsendIrecv)
+	o.GridX = 0
+	if _, err := Run(o); err == nil {
+		t.Error("expected error for bad grid")
+	}
+}
+
+func TestBestMapping(t *testing.T) {
+	o := opts(5000, IsendIrecv)
+	m, d, err := BestMapping(o, []topology.Mapping{topology.MapTXYZ, topology.MapZYXT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == "" || d <= 0 {
+		t.Errorf("best = %q %v", m, d)
+	}
+}
+
+func TestSMPModeRuns(t *testing.T) {
+	o := Options{
+		Machine: machine.BGP, Mode: machine.SMP,
+		GridX: 8, GridY: 4, Mapping: topology.MapXYZT,
+		Protocol: IsendIrecv, Words: 200, Iterations: 2,
+	}
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostGrowsWithWords(t *testing.T) {
+	small, err := Run(opts(10, IsendIrecv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(opts(50000, IsendIrecv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Errorf("cost should grow with halo size: %v vs %v", small, big)
+	}
+}
+
+func TestPersistentProtocol(t *testing.T) {
+	d, err := Run(opts(100, Persistent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("no exchange time")
+	}
+	// Persistent channels pay reduced software overhead: fastest of
+	// the protocols for latency-bound halos.
+	di, err := Run(opts(100, IsendIrecv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d >= di {
+		t.Errorf("persistent %v should beat isend/irecv %v for small halos", d, di)
+	}
+	if Persistent.String() != "MPI persistent" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,161 @@
+package hpcc
+
+import (
+	"math"
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func TestProblemSizeN(t *testing.T) {
+	// BG/P VN: 0.5 GB/rank; 4096 ranks at 80% -> sqrt(0.8*4096*0.5GiB/8).
+	n := ProblemSizeN(machine.Get(machine.BGP), machine.VN, 4096, 0.8)
+	want := int(math.Sqrt(0.8 * 4096 * float64(512<<20) / 8))
+	if n != want {
+		t.Errorf("N = %d, want %d", n, want)
+	}
+	// XT has 4x memory per rank: N should be ~2x larger.
+	nxt := ProblemSizeN(machine.Get(machine.XT4QC), machine.VN, 4096, 0.8)
+	if ratio := float64(nxt) / float64(n); ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("XT/BGP problem size ratio = %.2f, want ~2 (paper: 4x memory)", ratio)
+	}
+}
+
+func TestBlockingNB(t *testing.T) {
+	if BlockingNB(machine.BGP) != 144 || BlockingNB(machine.XT4QC) != 168 {
+		t.Error("paper's NB values wrong")
+	}
+}
+
+func TestNearSquareGrid(t *testing.T) {
+	cases := map[int][2]int{
+		4096: {64, 64},
+		8192: {64, 128},
+		2048: {32, 64},
+		7:    {1, 7},
+	}
+	for ranks, want := range cases {
+		p, q := nearSquareGrid(ranks)
+		if p != want[0] || q != want[1] {
+			t.Errorf("grid(%d) = %dx%d, want %dx%d", ranks, p, q, want[0], want[1])
+		}
+		if p*q != ranks {
+			t.Errorf("grid(%d) does not cover ranks", ranks)
+		}
+	}
+}
+
+func TestSingleAndEPTable2Claims(t *testing.T) {
+	bgp, err := SingleAndEP(machine.BGP, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, err := SingleAndEP(machine.XT4QC, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DGEMM: XT faster per process (clock).
+	if xt.DGEMMGF <= bgp.DGEMMGF {
+		t.Errorf("XT DGEMM %.2f should beat BGP %.2f", xt.DGEMMGF, bgp.DGEMMGF)
+	}
+	// STREAM: BG/P higher absolute and smaller SP->EP decline.
+	if bgp.StreamSPGB <= xt.StreamSPGB {
+		t.Errorf("BGP STREAM SP %.2f should beat XT %.2f", bgp.StreamSPGB, xt.StreamSPGB)
+	}
+	declBGP := (bgp.StreamSPGB - bgp.StreamEPGB) / bgp.StreamSPGB
+	declXT := (xt.StreamSPGB - xt.StreamEPGB) / xt.StreamSPGB
+	if declBGP >= declXT {
+		t.Errorf("BGP decline %.2f should be below XT %.2f", declBGP, declXT)
+	}
+	// Latency: BG/P lower; bandwidth: XT higher.
+	if bgp.PingPongLatUS >= xt.PingPongLatUS {
+		t.Errorf("BGP latency %.2fus should be below XT %.2fus", bgp.PingPongLatUS, xt.PingPongLatUS)
+	}
+	if bgp.PingPongBWGBs >= xt.PingPongBWGBs {
+		t.Errorf("BGP bandwidth %.2f should be below XT %.2f", bgp.PingPongBWGBs, xt.PingPongBWGBs)
+	}
+	if bgp.RandRingLatUS >= xt.RandRingLatUS {
+		t.Errorf("BGP ring latency %.2f should be below XT %.2f", bgp.RandRingLatUS, xt.RandRingLatUS)
+	}
+}
+
+func TestHPLAnalyticMatchesPaperEfficiency(t *testing.T) {
+	// TOP500 run: BG/P 8192 cores, N=614399, NB=96 -> 21.4 TF (paper
+	// §II.C), i.e. ~77% of 27.85 TF peak.
+	gf := HPLAnalytic(machine.BGP, machine.VN, 8192, 614399, 96)
+	if gf < 19000 || gf > 24000 {
+		t.Errorf("BG/P TOP500 HPL = %.0f GF, want ~21400", gf)
+	}
+	// XT 30976 cores: paper Rmax 205 TF of 260 peak.
+	n := ProblemSizeN(machine.Get(machine.XT4QC), machine.VN, 30976, 0.8)
+	gfXT := HPLAnalytic(machine.XT4QC, machine.VN, 30976, n, 168)
+	if gfXT < 185000 || gfXT > 225000 {
+		t.Errorf("XT HPL = %.0f GF, want ~205000", gfXT)
+	}
+}
+
+func TestHPLScalesNearLinearly(t *testing.T) {
+	m := machine.Get(machine.BGP)
+	rate := func(ranks int) float64 {
+		n := ProblemSizeN(m, machine.VN, ranks, 0.8)
+		return HPLAnalytic(machine.BGP, machine.VN, ranks, n, 144)
+	}
+	r1, r4 := rate(1024), rate(4096)
+	eff := (r4 / 4096) / (r1 / 1024)
+	if eff < 0.9 || eff > 1.02 {
+		t.Errorf("HPL 1k->4k scaling efficiency = %.3f, want near 1", eff)
+	}
+}
+
+func TestHPLSimulatedAgreesWithAnalytic(t *testing.T) {
+	// Small configuration where the event-driven HPL is cheap.
+	const n, nb = 4096, 128
+	const p, q = 4, 8
+	sim, err := HPLSimulated(machine.XT4QC, machine.VN, p, q, n, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana := HPLAnalytic(machine.XT4QC, machine.VN, p*q, n, nb)
+	ratio := sim / ana
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("simulated %.1f GF vs analytic %.1f GF: ratio %.2f", sim, ana, ratio)
+	}
+}
+
+func TestFFTXTFasterButBothScale(t *testing.T) {
+	bgp1 := FFTAnalytic(machine.BGP, machine.VN, 1024)
+	bgp4 := FFTAnalytic(machine.BGP, machine.VN, 4096)
+	xt4 := FFTAnalytic(machine.XT4QC, machine.VN, 4096)
+	if xt4 <= bgp4 {
+		t.Errorf("XT FFT %.1f should beat BGP %.1f (larger problem, faster cores)", xt4, bgp4)
+	}
+	if bgp4 <= bgp1 {
+		t.Errorf("BGP FFT should scale: %.1f @1k vs %.1f @4k", bgp1, bgp4)
+	}
+}
+
+func TestPTRANSSimilarAcrossSystems(t *testing.T) {
+	// Paper: "Both systems exhibited similar absolute performance".
+	bgp := PTRANSAnalytic(machine.BGP, machine.VN, 4096)
+	xt := PTRANSAnalytic(machine.XT4QC, machine.VN, 4096)
+	ratio := bgp / xt
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("PTRANS BGP %.1f vs XT %.1f GB/s: ratio %.2f too far apart", bgp, xt, ratio)
+	}
+	if bgp <= 0 || xt <= 0 {
+		t.Error("non-positive PTRANS rate")
+	}
+}
+
+func TestRandomAccessScalesUp(t *testing.T) {
+	g1 := RandomAccessGUPS(machine.BGP, machine.VN, 1024)
+	g4 := RandomAccessGUPS(machine.BGP, machine.VN, 4096)
+	if g4 <= g1 {
+		t.Errorf("GUPS should grow with procs: %.3f @1k vs %.3f @4k", g1, g4)
+	}
+	// Paper: the two systems showed very similar RA performance.
+	xt := RandomAccessGUPS(machine.XT4QC, machine.VN, 4096)
+	if r := g4 / xt; r < 0.2 || r > 5 {
+		t.Errorf("RA parity broken: BGP %.3f vs XT %.3f", g4, xt)
+	}
+}

@@ -1,0 +1,120 @@
+package hpl
+
+import (
+	"math"
+	"testing"
+
+	"bgpsim/internal/kernels"
+	"bgpsim/internal/machine"
+)
+
+func TestDistributedLUSolves(t *testing.T) {
+	for _, c := range []struct {
+		procs, n, nb int
+	}{
+		{1, 64, 16},
+		{2, 64, 16},
+		{4, 128, 16},
+		{8, 128, 16},
+		{3, 96, 16}, // non-power-of-two ranks, odd block ownership
+	} {
+		res, err := Run(Config{
+			Machine: machine.BGP, Mode: machine.VN,
+			Procs: c.procs, N: c.n, NB: c.nb, Seed: 42,
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if res.Residual > 16 {
+			t.Errorf("%+v: HPL residual %g exceeds threshold", c, res.Residual)
+		}
+		if res.VirtualSeconds <= 0 || res.GFlops <= 0 {
+			t.Errorf("%+v: no timing (%gs, %g GF)", c, res.VirtualSeconds, res.GFlops)
+		}
+	}
+}
+
+func TestDistributedMatchesReferenceSolution(t *testing.T) {
+	const n, nb, seed = 96, 16, 7
+	res, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN, Procs: 4, N: n, NB: nb, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: factor the same deterministic matrix serially.
+	a := kernels.NewMatrix(n, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b[i] = RHS(seed, i)
+		for j := 0; j < n; j++ {
+			a.Set(i, j, Element(seed, i, j, n))
+		}
+	}
+	f, err := kernels.Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := f.Solve(b)
+	for i := range ref {
+		if math.Abs(ref[i]-res.X[i]) > 1e-8 {
+			t.Fatalf("x[%d]: distributed %g vs reference %g", i, res.X[i], ref[i])
+		}
+	}
+}
+
+func TestMorePanelsMoreTimeNotWorseResult(t *testing.T) {
+	a, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 4, N: 128, NB: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 4, N: 128, NB: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Residual > 16 || b.Residual > 16 {
+		t.Error("residuals out of spec")
+	}
+	// Smaller blocks mean more panels and broadcasts: more virtual
+	// communication time per flop.
+	if b.VirtualSeconds <= a.VirtualSeconds {
+		t.Errorf("NB=8 (%gs) should be slower than NB=32 (%gs)", b.VirtualSeconds, a.VirtualSeconds)
+	}
+}
+
+func TestScalingReducesTime(t *testing.T) {
+	// Large enough that compute dominates the panel broadcasts.
+	one, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN, Procs: 1, N: 768, NB: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Run(Config{Machine: machine.XT4QC, Mode: machine.VN, Procs: 4, N: 768, NB: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.VirtualSeconds >= one.VirtualSeconds {
+		t.Errorf("4 ranks (%gs) should beat 1 rank (%gs)", four.VirtualSeconds, one.VirtualSeconds)
+	}
+	if one.Residual > 16 || four.Residual > 16 {
+		t.Error("residuals out of spec")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 2, N: 100, NB: 16}); err == nil {
+		t.Error("N not multiple of NB should fail")
+	}
+	if _, err := Run(Config{Machine: machine.BGP, Mode: machine.VN, Procs: 0, N: 64, NB: 16}); err == nil {
+		t.Error("zero procs should fail")
+	}
+}
+
+func TestElementDeterministic(t *testing.T) {
+	if Element(1, 3, 4, 64) != Element(1, 3, 4, 64) {
+		t.Error("Element not deterministic")
+	}
+	if Element(1, 3, 4, 64) == Element(2, 3, 4, 64) {
+		t.Error("seed should change the matrix")
+	}
+	if Element(1, 5, 5, 64) < 64 {
+		t.Error("diagonal should be dominant")
+	}
+}

@@ -1,0 +1,147 @@
+// Package imb implements the Intel MPI Benchmarks tests the paper uses
+// in Figure 3: the latency of MPI_Allreduce and MPI_Bcast as functions
+// of message size and process count, including the single- versus
+// double-precision operand distinction that exposes the BlueGene/P
+// collective tree's hardware reduction.
+package imb
+
+import (
+	"bgpsim/internal/core"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/stats"
+)
+
+// analyticThreshold is the rank count above which collectives use the
+// closed-form model instead of message-level simulation (keeps large
+// sweeps tractable; the two agree in shape by construction).
+const analyticThreshold = 16384
+
+func config(id machine.ID, ranks int) mpi.Config {
+	cfg := core.PartitionConfig(id, machine.VN, ranks)
+	cfg.Fidelity = network.Contention
+	cfg.AnalyticCollectives = ranks > analyticThreshold
+	return cfg
+}
+
+// AllreduceLatency returns the latency of one MPI_Allreduce of the
+// given payload on `ranks` processes in VN mode.
+func AllreduceLatency(id machine.ID, ranks, bytes int, doublePrecision bool) (sim.Duration, error) {
+	res, err := mpi.Execute(config(id, ranks), func(r *mpi.Rank) {
+		r.World().Allreduce(r, bytes, doublePrecision)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Elapsed, nil
+}
+
+// BcastLatency returns the latency of one MPI_Bcast from rank 0.
+func BcastLatency(id machine.ID, ranks, bytes int) (sim.Duration, error) {
+	res, err := mpi.Execute(config(id, ranks), func(r *mpi.Rank) {
+		r.World().Bcast(r, 0, bytes)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Elapsed, nil
+}
+
+// MessageSizes returns the IMB size sweep (powers of two up to max).
+func MessageSizes(max int) []int {
+	var out []int
+	for s := 4; s <= max; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// AllreduceVsSize builds Figure 3(a): latency versus payload at a
+// fixed process count, for the machines and precisions given.
+func AllreduceVsSize(ranks, maxBytes int) (*stats.Figure, error) {
+	f := stats.NewFigure("IMB Allreduce latency vs message size", "bytes", "latency (us)")
+	type variant struct {
+		name   string
+		id     machine.ID
+		double bool
+	}
+	for _, v := range []variant{
+		{"BG/P double", machine.BGP, true},
+		{"BG/P float", machine.BGP, false},
+		{"XT4/QC double", machine.XT4QC, true},
+		{"XT4/QC float", machine.XT4QC, false},
+	} {
+		s := f.AddSeries(v.name)
+		for _, b := range MessageSizes(maxBytes) {
+			d, err := AllreduceLatency(v.id, ranks, b, v.double)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(b), d.Microseconds())
+		}
+	}
+	return f, nil
+}
+
+// AllreduceVsProcs builds Figure 3(b): latency of a 32 KB Allreduce
+// versus process count.
+func AllreduceVsProcs(procCounts []int) (*stats.Figure, error) {
+	f := stats.NewFigure("IMB Allreduce latency vs process count (32KB)", "processes", "latency (us)")
+	const bytes = 32 << 10
+	type variant struct {
+		name   string
+		id     machine.ID
+		double bool
+	}
+	for _, v := range []variant{
+		{"BG/P double", machine.BGP, true},
+		{"BG/P float", machine.BGP, false},
+		{"XT4/QC double", machine.XT4QC, true},
+	} {
+		s := f.AddSeries(v.name)
+		for _, p := range procCounts {
+			d, err := AllreduceLatency(v.id, p, bytes, v.double)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(p), d.Microseconds())
+		}
+	}
+	return f, nil
+}
+
+// BcastVsSize builds Figure 3(c).
+func BcastVsSize(ranks, maxBytes int) (*stats.Figure, error) {
+	f := stats.NewFigure("IMB Bcast latency vs message size", "bytes", "latency (us)")
+	for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+		s := f.AddSeries(string(id))
+		for _, b := range MessageSizes(maxBytes) {
+			d, err := BcastLatency(id, ranks, b)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(b), d.Microseconds())
+		}
+	}
+	return f, nil
+}
+
+// BcastVsProcs builds Figure 3(d): 32 KB Bcast latency versus process
+// count.
+func BcastVsProcs(procCounts []int) (*stats.Figure, error) {
+	f := stats.NewFigure("IMB Bcast latency vs process count (32KB)", "processes", "latency (us)")
+	const bytes = 32 << 10
+	for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+		s := f.AddSeries(string(id))
+		for _, p := range procCounts {
+			d, err := BcastLatency(id, p, bytes)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(p), d.Microseconds())
+		}
+	}
+	return f, nil
+}

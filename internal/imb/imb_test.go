@@ -1,0 +1,124 @@
+package imb
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func TestAllreduceDoubleBeatsFloatOnBGP(t *testing.T) {
+	// Figure 3(a): substantial benefit to double precision on BG/P.
+	d, err := AllreduceLatency(machine.BGP, 256, 32<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AllreduceLatency(machine.BGP, 256, 32<<10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := s.Seconds() / d.Seconds(); ratio < 1.5 {
+		t.Errorf("float/double latency ratio = %.2f, want > 1.5 (paper: substantial)", ratio)
+	}
+}
+
+func TestAllreduceNoPrecisionEffectOnXT(t *testing.T) {
+	d, err := AllreduceLatency(machine.XT4QC, 128, 32<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AllreduceLatency(machine.XT4QC, 128, 32<<10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != s {
+		t.Errorf("XT allreduce depends on precision: %v vs %v", d, s)
+	}
+}
+
+func TestBcastBGPBeatsXTAtAllSizes(t *testing.T) {
+	// Figure 3(c): "the BG/P dramatically outperforms the Cray XT for
+	// all message sizes".
+	for _, bytes := range []int{8, 1024, 32 << 10, 1 << 20} {
+		b, err := BcastLatency(machine.BGP, 512, bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := BcastLatency(machine.XT4QC, 512, bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b >= x {
+			t.Errorf("bytes=%d: BG/P bcast %v should beat XT %v", bytes, b, x)
+		}
+	}
+}
+
+func TestBcastScalesWellOnBGP(t *testing.T) {
+	// Tree broadcast latency is nearly flat in process count.
+	small, err := BcastLatency(machine.BGP, 64, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BcastLatency(machine.BGP, 2048, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := big.Seconds() / small.Seconds(); ratio > 1.5 {
+		t.Errorf("BG/P bcast grew %.2fx from 64 to 2048 procs, want ~flat", ratio)
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	sizes := MessageSizes(64)
+	want := []int{4, 8, 16, 32, 64}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestFigureBuilders(t *testing.T) {
+	f, err := AllreduceVsSize(64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Errorf("allreduce figure has %d series", len(f.Series))
+	}
+	f2, err := BcastVsSize(64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Series) != 2 {
+		t.Errorf("bcast figure has %d series", len(f2.Series))
+	}
+	f3, err := AllreduceVsProcs([]int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Series[0].X) != 2 {
+		t.Errorf("allreduce-vs-procs points = %d", len(f3.Series[0].X))
+	}
+	f4, err := BcastVsProcs([]int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Series) != 2 {
+		t.Errorf("bcast-vs-procs series = %d", len(f4.Series))
+	}
+}
+
+func TestAnalyticThresholdSwitch(t *testing.T) {
+	cfg := config(machine.XT4QC, analyticThreshold+4)
+	if !cfg.AnalyticCollectives {
+		t.Error("large runs should use analytic collectives")
+	}
+	cfg = config(machine.XT4QC, 64)
+	if cfg.AnalyticCollectives {
+		t.Error("small runs should simulate collectives")
+	}
+}

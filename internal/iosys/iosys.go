@@ -1,0 +1,128 @@
+// Package iosys models the storage path the paper describes for the
+// ORNL BlueGene/P ("Eugene", §I.B): compute nodes have no direct
+// external connectivity — their I/O travels over the collective
+// network to dedicated I/O nodes (one per 64 compute nodes), from
+// there over 10 Gigabit Ethernet through a Myricom switch to GPFS file
+// servers backed by DDN disk arrays. The Cray XT path is modelled as
+// direct Lustre-style striping over its service nodes.
+//
+// The paper notes that the CAM scaling experiments "exposed ... a
+// system I/O performance issue on the BG/P"; this package makes the
+// structural reason visible: the 1:64 forwarding ratio concentrates
+// bursts onto few I/O nodes.
+package iosys
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/machine"
+)
+
+// Storage describes one machine's I/O subsystem.
+type Storage struct {
+	Machine machine.ID
+	// ComputePerIONode is the forwarding ratio (64 on the BG/P racks
+	// at ORNL and ANL). Zero means compute nodes reach storage
+	// directly (the XT).
+	ComputePerIONode int
+	// ForwardBW is the per-compute-node bandwidth into the forwarding
+	// layer (the collective-network link on BlueGene).
+	ForwardBW float64
+	// IONodeBW is each I/O (or service) node's external bandwidth
+	// (10 GbE on the BG/P: ~1.1 GB/s effective).
+	IONodeBW float64
+	// Servers is the number of file servers and ServerBW each one's
+	// sustained disk bandwidth.
+	Servers  int
+	ServerBW float64
+	// MetadataLatency is the per-operation metadata cost (opens,
+	// creates).
+	MetadataLatency float64
+}
+
+// ORNLEugene returns the paper's BG/P storage description: 16 I/O
+// nodes per rack (1:64), 10 GbE through a 256-port Myricom switch,
+// GPFS with 8 file servers over DDN arrays (~70 TB scratch).
+func ORNLEugene() *Storage {
+	m := machine.Get(machine.BGP)
+	return &Storage{
+		Machine:          machine.BGP,
+		ComputePerIONode: 64,       // [paper §I.B]
+		ForwardBW:        m.TreeBW, // collective network link
+		IONodeBW:         1.1e9,    // [cal] 10 GbE effective
+		Servers:          8,        // [paper §I.B]
+		ServerBW:         1.5e9,    // [cal] DDN 8+2 LUN streams
+		MetadataLatency:  1.5e-3,   // [cal] 2 metadata servers
+	}
+}
+
+// ORNLJaguar returns the XT's direct-attached path (Lustre-style).
+func ORNLJaguar() *Storage {
+	return &Storage{
+		Machine:         machine.XT4QC,
+		IONodeBW:        1.6e9, // [cal] per OSS
+		Servers:         72,    // [cal] Jaguar-era OSS count
+		ServerBW:        1.2e9, // [cal]
+		MetadataLatency: 0.8e-3,
+	}
+}
+
+// WriteTime returns the wall-clock seconds for `nodes` compute nodes
+// to collectively write totalBytes (spread evenly), including metadata
+// cost for `files` files. It is a contention model: the slowest of the
+// forwarding links, the I/O-node uplinks, and the file servers governs.
+func (s *Storage) WriteTime(nodes int, totalBytes float64, files int) (float64, error) {
+	if nodes <= 0 || totalBytes < 0 || files < 0 {
+		return 0, fmt.Errorf("iosys: bad write request nodes=%d bytes=%g files=%d", nodes, totalBytes, files)
+	}
+	perNode := totalBytes / float64(nodes)
+
+	// Stage 1: compute node into the forwarding layer.
+	stage1 := 0.0
+	if s.ComputePerIONode > 0 {
+		stage1 = perNode / s.ForwardBW
+	}
+
+	// Stage 2: I/O-node (or service-node) external links.
+	ioNodes := s.ioNodesFor(nodes)
+	stage2 := totalBytes / (float64(ioNodes) * s.IONodeBW)
+
+	// Stage 3: the file servers.
+	stage3 := totalBytes / (float64(s.Servers) * s.ServerBW)
+
+	// The pipeline is limited by its slowest stage; metadata adds a
+	// serial term.
+	t := math.Max(stage1, math.Max(stage2, stage3))
+	return t + float64(files)*s.MetadataLatency, nil
+}
+
+// ReadTime mirrors WriteTime (reads avoid some metadata cost).
+func (s *Storage) ReadTime(nodes int, totalBytes float64) (float64, error) {
+	return s.WriteTime(nodes, totalBytes, 0)
+}
+
+// ioNodesFor returns how many I/O (or service) nodes serve a
+// partition.
+func (s *Storage) ioNodesFor(nodes int) int {
+	if s.ComputePerIONode <= 0 {
+		// Direct path: every server is reachable.
+		return s.Servers
+	}
+	n := (nodes + s.ComputePerIONode - 1) / s.ComputePerIONode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// EffectiveBW returns the sustained aggregate write bandwidth a
+// partition of the given size can reach (bytes/second).
+func (s *Storage) EffectiveBW(nodes int) float64 {
+	const probe = 1e12 // large enough to be bandwidth-dominated
+	t, err := s.WriteTime(nodes, probe, 0)
+	if err != nil || t == 0 {
+		return 0
+	}
+	return probe / t
+}

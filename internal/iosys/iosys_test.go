@@ -1,0 +1,83 @@
+package iosys
+
+import "testing"
+
+func TestWriteTimeValidation(t *testing.T) {
+	s := ORNLEugene()
+	if _, err := s.WriteTime(0, 1e9, 1); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := s.WriteTime(64, -1, 1); err == nil {
+		t.Error("negative bytes should fail")
+	}
+}
+
+func TestSmallPartitionIsIONodeLimited(t *testing.T) {
+	// The paper's CAM I/O issue: a small BG/P partition funnels its
+	// output through very few I/O nodes.
+	s := ORNLEugene()
+	small := s.EffectiveBW(64)   // one I/O node
+	large := s.EffectiveBW(2048) // 32 I/O nodes
+	if small >= large {
+		t.Errorf("small partition BW %g should be below full machine %g", small, large)
+	}
+	// One I/O node: ~1.1 GB/s.
+	if small < 0.5e9 || small > 1.5e9 {
+		t.Errorf("64-node partition BW = %g, want ~1.1 GB/s", small)
+	}
+}
+
+func TestFullMachineIsServerLimited(t *testing.T) {
+	// 2048 nodes -> 32 I/O nodes x 1.1 GB/s = 35 GB/s uplink, but only
+	// 8 servers x 1.5 GB/s = 12 GB/s of disk.
+	s := ORNLEugene()
+	bw := s.EffectiveBW(2048)
+	want := 8 * 1.5e9
+	if diff := bw/want - 1; diff > 0.01 || diff < -0.01 {
+		t.Errorf("full-machine BW = %g, want server-limited %g", bw, want)
+	}
+}
+
+func TestForwardLinkCanLimitPerNode(t *testing.T) {
+	// A single node writing a large file alone is capped by its
+	// collective-network link (850 MB/s), not the I/O node.
+	s := ORNLEugene()
+	tm, err := s.WriteTime(1, 8.5e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < 9.9 || tm > 10.3 {
+		t.Errorf("single-node 8.5 GB write took %.2f s, want ~10 (850 MB/s link)", tm)
+	}
+}
+
+func TestMetadataCost(t *testing.T) {
+	s := ORNLEugene()
+	noFiles, _ := s.WriteTime(64, 1e9, 0)
+	manyFiles, _ := s.WriteTime(64, 1e9, 1000)
+	if manyFiles-noFiles < 1.0 {
+		t.Errorf("1000 file creates added only %.3f s", manyFiles-noFiles)
+	}
+}
+
+func TestXTDirectPath(t *testing.T) {
+	x := ORNLJaguar()
+	// Direct path: bandwidth independent of partition size (always all
+	// servers).
+	if x.EffectiveBW(64) != x.EffectiveBW(4096) {
+		t.Error("XT path should not depend on partition size")
+	}
+	// And the XT's Lustre aggregate beats Eugene's 8-server GPFS.
+	if x.EffectiveBW(4096) <= ORNLEugene().EffectiveBW(2048) {
+		t.Error("Jaguar storage should out-bandwidth Eugene's")
+	}
+}
+
+func TestReadSkipsMetadata(t *testing.T) {
+	s := ORNLEugene()
+	r, _ := s.ReadTime(64, 1e9)
+	w, _ := s.WriteTime(64, 1e9, 10)
+	if r >= w {
+		t.Error("read should be cheaper than write with metadata")
+	}
+}

@@ -1,0 +1,68 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFTFlops returns the operation count the HPCC benchmark credits a
+// complex FFT of length n: 5 n log2(n).
+func FFTFlops(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// FFT computes the in-place iterative radix-2 decimation-in-time
+// discrete Fourier transform of x. The length must be a power of two.
+func FFT(x []complex128) {
+	fftDirected(x, false)
+}
+
+// IFFT computes the inverse transform (including the 1/n scaling).
+func IFFT(x []complex128) {
+	fftDirected(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftDirected(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("kernels: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"bgpsim/internal/sim"
+)
+
+func randMatrix(rng *sim.RNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestDGEMMMatchesNaive(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, shape := range [][3]int{{5, 7, 9}, {64, 64, 64}, {100, 3, 50}, {1, 1, 1}, {130, 70, 65}} {
+		m, n, k := shape[0], shape[1], shape[2]
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		c1 := randMatrix(rng, m, n)
+		c2 := c1.Clone()
+		DGEMM(1.5, a, b, 0.5, c1)
+		dgemmNaive(1.5, a, b, 0.5, c2)
+		if d := maxAbsDiff(c1.Data, c2.Data); d > 1e-10*float64(k) {
+			t.Errorf("%v: blocked vs naive diff %g", shape, d)
+		}
+	}
+}
+
+func TestDGEMMShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DGEMM(1, NewMatrix(2, 3), NewMatrix(4, 5), 0, NewMatrix(2, 5))
+}
+
+func TestDGEMMFlops(t *testing.T) {
+	if got := DGEMMFlops(10, 20, 30); got != 12000 {
+		t.Errorf("DGEMMFlops = %g", got)
+	}
+}
+
+func TestLUFactorizeSolve(t *testing.T) {
+	rng := sim.NewRNG(2)
+	for _, n := range []int{1, 2, 5, 17, 64, 100} {
+		a := randMatrix(rng, n, n)
+		// Diagonal dominance for stability.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		f, err := Factorize(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := f.Solve(b)
+		if res := HPLResidual(a, x, b); res > 16 {
+			t.Errorf("n=%d: HPL residual %g exceeds threshold 16", n, res)
+		}
+	}
+}
+
+func TestLUReconstructsPA(t *testing.T) {
+	rng := sim.NewRNG(3)
+	n := 20
+	a := randMatrix(rng, n, n)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build P*A by applying recorded pivots to a copy of A.
+	pa := a.Clone()
+	for k := 0; k < n; k++ {
+		if p := f.Piv[k]; p != k {
+			for j := 0; j < n; j++ {
+				pa.Data[k*n+j], pa.Data[p*n+j] = pa.Data[p*n+j], pa.Data[k*n+j]
+			}
+		}
+	}
+	// Multiply L*U.
+	lu := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k <= i && k <= j; k++ {
+				l := f.LU.At(i, k)
+				if k == i {
+					l = 1
+				}
+				if k <= j {
+					s += l * f.LU.At(k, j)
+				}
+			}
+			lu.Set(i, j, s)
+		}
+	}
+	if d := maxAbsDiff(pa.Data, lu.Data); d > 1e-10 {
+		t.Errorf("PA vs LU diff %g", d)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(3, 3) // all zeros
+	if _, err := Factorize(a); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestHPLFlops(t *testing.T) {
+	if got, want := HPLFlops(3), 2.0/3*27+1.5*9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("HPLFlops(3) = %g, want %g", got, want)
+	}
+}
+
+func TestFFTInvertsIFFT(t *testing.T) {
+	rng := sim.NewRNG(4)
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64(), rng.Float64())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip diverged at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The DFT of a unit impulse is all ones.
+	n := 16
+	x := make([]complex128, n)
+	x[0] = 1
+	FFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v", i, x[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Energy conservation: sum|x|^2 = (1/n) sum|X|^2.
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 128
+		x := make([]complex128, n)
+		e1 := 0.0
+		for i := range x {
+			x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			e1 += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		FFT(x)
+		e2 := 0.0
+		for i := range x {
+			e2 += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		return math.Abs(e1-e2/float64(n)) < 1e-9*e1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestStreamTriad(t *testing.T) {
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = 2
+	}
+	StreamTriad(a, b, c, 3)
+	for i := range a {
+		if a[i] != float64(i)+6 {
+			t.Fatalf("triad[%d] = %g", i, a[i])
+		}
+	}
+	if StreamTriadBytes(n) != 2400 || StreamTriadFlops(n) != 200 {
+		t.Error("triad accounting wrong")
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(5)
+	a := randMatrix(rng, 45, 70)
+	at := NewMatrix(70, 45)
+	Transpose(at, a)
+	back := NewMatrix(45, 70)
+	Transpose(back, at)
+	if d := maxAbsDiff(a.Data, back.Data); d != 0 {
+		t.Errorf("double transpose diff %g", d)
+	}
+	if at.At(3, 7) != a.At(7, 3) {
+		t.Error("transpose element wrong")
+	}
+}
+
+func TestRandomAccessVerification(t *testing.T) {
+	// The HPCC verification property: running the same update stream
+	// twice XORs each touched location back to its initial value.
+	logSize := 10
+	updates := RandomAccessUpdates(logSize)
+	t1 := RandomAccess(logSize, updates)
+	// Apply the same stream again on the produced table.
+	size := 1 << uint(logSize)
+	mask := uint64(size - 1)
+	ran := uint64(1)
+	for i := int64(0); i < updates; i++ {
+		ran = (ran << 1) ^ (uint64(int64(ran)>>63) & 0x7)
+		t1[ran&mask] ^= ran
+	}
+	errors := 0
+	for i, v := range t1 {
+		if v != uint64(i) {
+			errors++
+		}
+	}
+	if errors != 0 {
+		t.Errorf("%d table entries failed verification", errors)
+	}
+}
+
+func TestCGSolvesLaplacian(t *testing.T) {
+	a := Laplacian2D(12, 12)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	res := CG(a, b, 1e-10, 1000)
+	if res.Residual > 1e-10 {
+		t.Fatalf("CG residual %g", res.Residual)
+	}
+	// Verify: A x = b.
+	ax := make([]float64, a.N)
+	a.MatVec(ax, res.X)
+	if d := maxAbsDiff(ax, b); d > 1e-8 {
+		t.Errorf("CG solution residual %g", d)
+	}
+}
+
+func TestChronopoulosGearMatchesCG(t *testing.T) {
+	a := Laplacian2D(10, 15)
+	b := make([]float64, a.N)
+	rng := sim.NewRNG(6)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	std := CG(a, b, 1e-11, 2000)
+	cg := CGChronopoulosGear(a, b, 1e-11, 2000)
+	if d := maxAbsDiff(std.X, cg.X); d > 1e-7 {
+		t.Errorf("solutions differ by %g", d)
+	}
+	// Similar iteration counts...
+	if absInt(std.Iterations-cg.Iterations) > std.Iterations/4+2 {
+		t.Errorf("iterations: std %d vs C-G %d", std.Iterations, cg.Iterations)
+	}
+	// ...but roughly half the global reductions: that is the point of
+	// the variant (paper §III.A).
+	ratio := float64(std.Reductions) / float64(cg.Reductions)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("reduction ratio = %.2f (std %d, C-G %d), want ~2",
+			ratio, std.Reductions, cg.Reductions)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := Laplacian2D(4, 4)
+	res := CG(a, make([]float64, a.N), 1e-10, 100)
+	for _, v := range res.X {
+		if v != 0 {
+			t.Fatal("zero rhs should give zero solution")
+		}
+	}
+	res2 := CGChronopoulosGear(a, make([]float64, a.N), 1e-10, 100)
+	for _, v := range res2.X {
+		if v != 0 {
+			t.Fatal("zero rhs should give zero solution (C-G)")
+		}
+	}
+}
+
+func TestLaplacianSymmetric(t *testing.T) {
+	a := Laplacian2D(6, 9)
+	// Check symmetry via (x, Ay) == (Ax, y) for random vectors.
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		x := make([]float64, a.N)
+		y := make([]float64, a.N)
+		for i := range x {
+			x[i] = rng.Float64() - 0.5
+			y[i] = rng.Float64() - 0.5
+		}
+		ax := make([]float64, a.N)
+		ay := make([]float64, a.N)
+		a.MatVec(ax, x)
+		a.MatVec(ay, y)
+		return math.Abs(dot(x, ay)-dot(ax, y)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTFlopsFormula(t *testing.T) {
+	if got := FFTFlops(1024); got != 5*1024*10 {
+		t.Errorf("FFTFlops(1024) = %g", got)
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Error("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func FuzzFFTRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(6))
+	f.Add(uint64(42), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, logN uint8) {
+		n := 1 << (logN%10 + 1)
+		rng := sim.NewRNG(seed)
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-8 {
+				t.Fatalf("round trip diverged at %d", i)
+			}
+		}
+	})
+}
+
+func FuzzLUSolve(f *testing.F) {
+	f.Add(uint64(7), uint8(12))
+	f.Add(uint64(99), uint8(30))
+	f.Fuzz(func(t *testing.T, seed uint64, size uint8) {
+		n := int(size%40) + 2
+		rng := sim.NewRNG(seed)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()*2 - 1
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		lu, err := Factorize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := lu.Solve(b)
+		if res := HPLResidual(a, x, b); res > 16 {
+			t.Fatalf("residual %g", res)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/sim"
+)
+
+// This file implements the executable kernel behind the MD models
+// (Figure 8): truncated-and-shifted Lennard-Jones forces with
+// minimum-image periodic boundaries and velocity-Verlet integration.
+// The NVE energy-conservation test grounds the per-atom cost model.
+
+// Vec3 is a 3-vector.
+type Vec3 [3]float64
+
+// MDSystem is a small molecular-dynamics system in a cubic periodic
+// box (reduced Lennard-Jones units).
+type MDSystem struct {
+	N      int
+	Box    float64
+	Cutoff float64
+	Pos    []Vec3
+	Vel    []Vec3
+	Force  []Vec3
+	eShift float64 // potential shift so U(cutoff) = 0
+}
+
+// NewLattice places n^3 atoms on a cubic lattice with the given
+// spacing and small random velocities (zeroed net momentum).
+func NewLattice(nPerSide int, spacing, cutoff float64, seed uint64) *MDSystem {
+	if nPerSide < 2 || spacing <= 0 || cutoff <= 0 {
+		panic(fmt.Sprintf("kernels: bad MD setup n=%d spacing=%g cutoff=%g", nPerSide, spacing, cutoff))
+	}
+	n := nPerSide * nPerSide * nPerSide
+	s := &MDSystem{
+		N: n, Box: float64(nPerSide) * spacing, Cutoff: cutoff,
+		Pos: make([]Vec3, n), Vel: make([]Vec3, n), Force: make([]Vec3, n),
+	}
+	sr6 := math.Pow(1/cutoff, 6)
+	s.eShift = 4 * (sr6*sr6 - sr6)
+	rng := sim.NewRNG(seed)
+	idx := 0
+	var mom Vec3
+	for x := 0; x < nPerSide; x++ {
+		for y := 0; y < nPerSide; y++ {
+			for z := 0; z < nPerSide; z++ {
+				s.Pos[idx] = Vec3{float64(x) * spacing, float64(y) * spacing, float64(z) * spacing}
+				v := Vec3{rng.Float64() - 0.5, rng.Float64() - 0.5, rng.Float64() - 0.5}
+				for d := 0; d < 3; d++ {
+					v[d] *= 0.1
+					mom[d] += v[d]
+				}
+				s.Vel[idx] = v
+				idx++
+			}
+		}
+	}
+	for i := range s.Vel {
+		for d := 0; d < 3; d++ {
+			s.Vel[i][d] -= mom[d] / float64(n)
+		}
+	}
+	return s
+}
+
+// minImage wraps a displacement into [-Box/2, Box/2).
+func (s *MDSystem) minImage(d float64) float64 {
+	for d >= s.Box/2 {
+		d -= s.Box
+	}
+	for d < -s.Box/2 {
+		d += s.Box
+	}
+	return d
+}
+
+// ComputeForces fills Force and returns the potential energy
+// (truncated-shifted LJ, all pairs within the cutoff).
+func (s *MDSystem) ComputeForces() float64 {
+	for i := range s.Force {
+		s.Force[i] = Vec3{}
+	}
+	rc2 := s.Cutoff * s.Cutoff
+	pot := 0.0
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			var dr Vec3
+			r2 := 0.0
+			for d := 0; d < 3; d++ {
+				dr[d] = s.minImage(s.Pos[i][d] - s.Pos[j][d])
+				r2 += dr[d] * dr[d]
+			}
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			// U = 4 (r^-12 - r^-6) - shift;  F = 24 (2 r^-12 - r^-6) / r^2 * dr
+			pot += 4*(inv6*inv6-inv6) - s.eShift
+			f := 24 * (2*inv6*inv6 - inv6) * inv2
+			for d := 0; d < 3; d++ {
+				s.Force[i][d] += f * dr[d]
+				s.Force[j][d] -= f * dr[d]
+			}
+		}
+	}
+	return pot
+}
+
+// Kinetic returns the kinetic energy (unit mass).
+func (s *MDSystem) Kinetic() float64 {
+	k := 0.0
+	for _, v := range s.Vel {
+		k += (v[0]*v[0] + v[1]*v[1] + v[2]*v[2]) / 2
+	}
+	return k
+}
+
+// Step advances one velocity-Verlet timestep and returns the potential
+// energy at the new positions. Forces must be current on entry (call
+// ComputeForces once before the first step).
+func (s *MDSystem) Step(dt float64) float64 {
+	// Half kick + drift.
+	for i := range s.Pos {
+		for d := 0; d < 3; d++ {
+			s.Vel[i][d] += s.Force[i][d] * dt / 2
+			s.Pos[i][d] += s.Vel[i][d] * dt
+			// Wrap into the box.
+			if s.Pos[i][d] >= s.Box {
+				s.Pos[i][d] -= s.Box
+			} else if s.Pos[i][d] < 0 {
+				s.Pos[i][d] += s.Box
+			}
+		}
+	}
+	pot := s.ComputeForces()
+	// Second half kick.
+	for i := range s.Vel {
+		for d := 0; d < 3; d++ {
+			s.Vel[i][d] += s.Force[i][d] * dt / 2
+		}
+	}
+	return pot
+}
+
+// LJFlopsPerPair is the approximate flop count of one pair
+// interaction, used by the MD cost model.
+const LJFlopsPerPair = 45.0

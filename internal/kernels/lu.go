@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// HPLFlops returns the operation count credited by the HPL benchmark
+// for solving a dense n x n system: 2/3 n^3 + 3/2 n^2.
+func HPLFlops(n int) float64 {
+	fn := float64(n)
+	return 2.0/3.0*fn*fn*fn + 1.5*fn*fn
+}
+
+// LU holds an in-place LU factorization with partial pivoting:
+// PA = LU, with L unit-lower-triangular and U upper-triangular packed
+// into LU, and Piv recording the row interchanges.
+type LU struct {
+	LU  *Matrix
+	Piv []int
+}
+
+// Factorize computes the LU factorization of a (overwriting a copy)
+// using right-looking blocked elimination with partial pivoting — the
+// same algorithm family as HPL. It returns an error for singular
+// matrices.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("kernels: LU of non-square %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	m := a.Clone()
+	piv := make([]int, n)
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at or below k.
+		p := k
+		max := math.Abs(m.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(m.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		piv[k] = p
+		if max == 0 {
+			return nil, fmt.Errorf("kernels: matrix is singular at column %d", k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				m.Data[k*n+j], m.Data[p*n+j] = m.Data[p*n+j], m.Data[k*n+j]
+			}
+		}
+		pivot := m.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := m.At(i, k) / pivot
+			m.Set(i, k, l)
+			row := m.Data[i*n:]
+			krow := m.Data[k*n:]
+			for j := k + 1; j < n; j++ {
+				row[j] -= l * krow[j]
+			}
+		}
+	}
+	return &LU{LU: m, Piv: piv}, nil
+}
+
+// Solve solves A x = b using the factorization. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.LU.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("kernels: rhs length %d != %d", len(b), n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply row interchanges.
+	for k := 0; k < n; k++ {
+		if p := f.Piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.LU.Data[i*n:]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.LU.Data[i*n:]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// HPLResidual returns the scaled residual the HPL benchmark checks:
+// ||Ax-b||_inf / (eps * (||A||_inf ||x||_inf + ||b||_inf) * n).
+func HPLResidual(a *Matrix, x, b []float64) float64 {
+	n := a.Rows
+	rmax := 0.0
+	for i := 0; i < n; i++ {
+		s := -b[i]
+		row := a.Data[i*n:]
+		for j := 0; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		if v := math.Abs(s); v > rmax {
+			rmax = v
+		}
+	}
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += math.Abs(a.At(i, j))
+		}
+		if s > anorm {
+			anorm = s
+		}
+	}
+	xnorm, bnorm := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		if v := math.Abs(x[i]); v > xnorm {
+			xnorm = v
+		}
+		if v := math.Abs(b[i]); v > bnorm {
+			bnorm = v
+		}
+	}
+	eps := math.Nextafter(1, 2) - 1
+	den := eps * (anorm*xnorm + bnorm) * float64(n)
+	if den == 0 {
+		return 0
+	}
+	return rmax / den
+}

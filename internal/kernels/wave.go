@@ -1,0 +1,160 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the numerical heart of the paper's S3D test
+// problem — "the propagation of a small amplitude pressure wave
+// through the domain" — as an executable kernel: linear acoustics on a
+// periodic grid, discretized with the eighth-order centered
+// differences S3D uses and advanced with a low-storage Runge-Kutta
+// scheme of the Kennedy-Carpenter-Lewis family (the paper's reference
+// [13]).
+
+// eighth-order central first-derivative coefficients for offsets 1..4.
+var d8 = [4]float64{4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0}
+
+// Deriv8 computes the eighth-order centered first derivative of f on a
+// periodic grid with spacing dx, writing into out.
+func Deriv8(out, f []float64, dx float64) {
+	n := len(f)
+	if len(out) != n {
+		panic(fmt.Sprintf("kernels: deriv8 length mismatch %d/%d", len(out), n))
+	}
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := 1; k <= 4; k++ {
+			s += d8[k-1] * (f[(i+k)%n] - f[(i-k+n)%n])
+		}
+		out[i] = s / dx
+	}
+}
+
+// Carpenter-Kennedy five-stage fourth-order low-storage Runge-Kutta
+// coefficients (the 2N-storage scheme S3D's solver family uses).
+var (
+	rkA = [5]float64{
+		0,
+		-567301805773.0 / 1357537059087.0,
+		-2404267990393.0 / 2016746695238.0,
+		-3550918686646.0 / 2091501179385.0,
+		-1275806237668.0 / 842570457699.0,
+	}
+	rkB = [5]float64{
+		1432997174477.0 / 9575080441755.0,
+		5161836677717.0 / 13612068292357.0,
+		1720146321549.0 / 2090206949498.0,
+		3134564353537.0 / 4481467310338.0,
+		2277821191437.0 / 14882151754819.0,
+	}
+)
+
+// RKStages is the stage count of the low-storage scheme.
+const RKStages = 5
+
+// AcousticWave is a 1-D linear acoustics system on a periodic domain:
+// dp/dt = -c du/dx, du/dt = -c dp/dx (unit impedance), the linearized
+// model of S3D's pressure-wave benchmark.
+type AcousticWave struct {
+	N     int
+	L     float64 // domain length
+	C     float64 // sound speed
+	P, U  []float64
+	dp    []float64 // RK residual registers
+	du    []float64
+	scrtc []float64
+}
+
+// NewAcousticWave builds the system with a Gaussian pressure pulse of
+// the given width centered mid-domain and zero velocity — exactly the
+// paper's initial condition shape.
+func NewAcousticWave(n int, l, c, sigma float64) *AcousticWave {
+	if n < 16 || l <= 0 || c <= 0 || sigma <= 0 {
+		panic(fmt.Sprintf("kernels: bad wave setup n=%d l=%g c=%g sigma=%g", n, l, c, sigma))
+	}
+	w := &AcousticWave{
+		N: n, L: l, C: c,
+		P: make([]float64, n), U: make([]float64, n),
+		dp: make([]float64, n), du: make([]float64, n),
+		scrtc: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		x := float64(i) * l / float64(n)
+		w.P[i] = gaussianPeriodic(x-l/2, sigma, l)
+	}
+	return w
+}
+
+// gaussianPeriodic sums the Gaussian over periodic images (three
+// suffice for sigma << L).
+func gaussianPeriodic(d, sigma, l float64) float64 {
+	s := 0.0
+	for k := -1; k <= 1; k++ {
+		v := d + float64(k)*l
+		s += math.Exp(-v * v / (sigma * sigma))
+	}
+	return s
+}
+
+// Step advances one timestep of size dt with the low-storage RK.
+func (w *AcousticWave) Step(dt float64) {
+	dx := w.L / float64(w.N)
+	for s := 0; s < RKStages; s++ {
+		// Residuals: rp = -c du/dx, ru = -c dp/dx.
+		Deriv8(w.scrtc, w.U, dx)
+		for i := range w.dp {
+			w.dp[i] = rkA[s]*w.dp[i] - w.C*w.scrtc[i]*dt
+		}
+		Deriv8(w.scrtc, w.P, dx)
+		for i := range w.du {
+			w.du[i] = rkA[s]*w.du[i] - w.C*w.scrtc[i]*dt
+		}
+		for i := range w.P {
+			w.P[i] += rkB[s] * w.dp[i]
+			w.U[i] += rkB[s] * w.du[i]
+		}
+	}
+}
+
+// Analytic returns the exact pressure at grid point i and time t: the
+// initial pulse splits into two half-amplitude waves travelling in
+// opposite directions (d'Alembert).
+func (w *AcousticWave) Analytic(i int, t, sigma float64) float64 {
+	x := float64(i) * w.L / float64(w.N)
+	d1 := math.Mod(x-w.C*t-w.L/2+10*w.L, w.L) // wrapped offsets
+	d2 := math.Mod(x+w.C*t-w.L/2+10*w.L, w.L)
+	center := func(d float64) float64 {
+		if d > w.L/2 {
+			d -= w.L
+		}
+		return gaussianPeriodic(d, sigma, w.L)
+	}
+	return 0.5 * (center(d1) + center(d2))
+}
+
+// Energy returns the acoustic energy integral (p^2 + u^2)/2 dx, which
+// the non-dissipative scheme conserves.
+func (w *AcousticWave) Energy() float64 {
+	dx := w.L / float64(w.N)
+	s := 0.0
+	for i := range w.P {
+		s += (w.P[i]*w.P[i] + w.U[i]*w.U[i]) / 2 * dx
+	}
+	return s
+}
+
+// WaveFlopsPerPointStep returns the flop count per grid point per
+// timestep: two 8th-order derivatives (9-point stencils) and the
+// register updates, times the RK stages.
+func WaveFlopsPerPointStep() float64 {
+	const perStage = 2*(4*3+1) + 8 // two derivatives + axpy updates
+	return RKStages * perStage
+}
+
+// RKA exposes the low-storage scheme's A coefficient for stage s.
+func RKA(s int) float64 { return rkA[s] }
+
+// RKB exposes the low-storage scheme's B coefficient for stage s.
+func RKB(s int) float64 { return rkB[s] }

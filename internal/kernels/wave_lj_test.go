@@ -1,0 +1,161 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeriv8Polynomial(t *testing.T) {
+	// An 8th-order scheme differentiates sin exactly to high accuracy
+	// on a fine periodic grid.
+	n := 128
+	l := 2 * math.Pi
+	dx := l / float64(n)
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = math.Sin(float64(i) * dx)
+	}
+	out := make([]float64, n)
+	Deriv8(out, f, dx)
+	for i := range out {
+		want := math.Cos(float64(i) * dx)
+		if math.Abs(out[i]-want) > 1e-9 {
+			t.Fatalf("deriv8 at %d: %g, want %g", i, out[i], want)
+		}
+	}
+}
+
+func TestDeriv8LengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Deriv8(make([]float64, 3), make([]float64, 4), 1)
+}
+
+func TestPressureWaveMatchesDAlembert(t *testing.T) {
+	// The paper's S3D test: a Gaussian pressure pulse splits into two
+	// travelling waves. Advance until they have moved a quarter domain
+	// and compare against the exact solution.
+	n := 512
+	l, c, sigma := 1.0, 1.0, 0.05
+	w := NewAcousticWave(n, l, c, sigma)
+	dx := l / float64(n)
+	dt := 0.4 * dx / c
+	steps := int(0.25 * l / c / dt)
+	for s := 0; s < steps; s++ {
+		w.Step(dt)
+	}
+	tEnd := float64(steps) * dt
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		if e := math.Abs(w.P[i] - w.Analytic(i, tEnd, sigma)); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-4 {
+		t.Errorf("wave solution max error %g, want < 1e-4", maxErr)
+	}
+}
+
+func TestWaveEnergyConserved(t *testing.T) {
+	w := NewAcousticWave(256, 1, 1, 0.05)
+	e0 := w.Energy()
+	dt := 0.4 / 256.0
+	for s := 0; s < 400; s++ {
+		w.Step(dt)
+	}
+	if drift := math.Abs(w.Energy()-e0) / e0; drift > 1e-6 {
+		t.Errorf("energy drift %g over 400 steps", drift)
+	}
+}
+
+func TestWaveConvergesWithResolution(t *testing.T) {
+	errAt := func(n int) float64 {
+		l, c, sigma := 1.0, 1.0, 0.08
+		w := NewAcousticWave(n, l, c, sigma)
+		dx := l / float64(n)
+		dt := 0.2 * dx / c
+		steps := int(0.1 / dt)
+		for s := 0; s < steps; s++ {
+			w.Step(dt)
+		}
+		tEnd := float64(steps) * dt
+		max := 0.0
+		for i := 0; i < n; i++ {
+			if e := math.Abs(w.P[i] - w.Analytic(i, tEnd, sigma)); e > max {
+				max = e
+			}
+		}
+		return max
+	}
+	coarse, fine := errAt(64), errAt(128)
+	if fine >= coarse/4 {
+		t.Errorf("error did not converge: %g at 64 -> %g at 128", coarse, fine)
+	}
+}
+
+func TestWaveFlops(t *testing.T) {
+	if WaveFlopsPerPointStep() <= 0 {
+		t.Error("flop model broken")
+	}
+}
+
+func TestMDEnergyConservation(t *testing.T) {
+	// NVE: total energy drift stays small under velocity Verlet.
+	s := NewLattice(4, 1.2, 2.5, 7) // 64 atoms, moderate density
+	pot := s.ComputeForces()
+	e0 := pot + s.Kinetic()
+	var pots []float64
+	for step := 0; step < 200; step++ {
+		pots = append(pots, s.Step(0.002))
+	}
+	e1 := pots[len(pots)-1] + s.Kinetic()
+	denom := math.Max(math.Abs(e0), 1)
+	if drift := math.Abs(e1-e0) / denom; drift > 2e-4 {
+		t.Errorf("energy drift %.3g over 200 steps (E0=%.4f, E1=%.4f)", drift, e0, e1)
+	}
+}
+
+func TestMDMomentumConserved(t *testing.T) {
+	s := NewLattice(3, 1.3, 2.0, 9)
+	s.ComputeForces()
+	for step := 0; step < 50; step++ {
+		s.Step(0.002)
+	}
+	var mom Vec3
+	for _, v := range s.Vel {
+		for d := 0; d < 3; d++ {
+			mom[d] += v[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(mom[d]) > 1e-9 {
+			t.Errorf("net momentum[%d] = %g", d, mom[d])
+		}
+	}
+}
+
+func TestMDForcesNewtonThirdLaw(t *testing.T) {
+	s := NewLattice(3, 1.1, 2.5, 3)
+	s.ComputeForces()
+	var sum Vec3
+	for _, f := range s.Force {
+		for d := 0; d < 3; d++ {
+			sum[d] += f[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(sum[d]) > 1e-9 {
+			t.Errorf("net force[%d] = %g, want 0", d, sum[d])
+		}
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	s := &MDSystem{Box: 10}
+	if s.minImage(7) != -3 || s.minImage(-7) != 3 || s.minImage(2) != 2 {
+		t.Error("minimum image wrong")
+	}
+}

@@ -1,0 +1,260 @@
+package machine
+
+import "fmt"
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+// catalog holds the machine models. Values marked [T1] come from the
+// paper's Table 1 or its system-description text; values marked [cal]
+// are modelling parameters calibrated so the simulator reproduces the
+// paper's measured micro-benchmark behaviour (see DESIGN.md §1 and
+// EXPERIMENTS.md for the calibration rationale).
+var catalog = map[ID]*Machine{
+	BGP: {
+		ID:            BGP,
+		Name:          "BlueGene/P",
+		CoresPerNode:  4,       // [T1]
+		ClockHz:       850e6,   // [T1]
+		FlopsPerCycle: 4,       // [T1] double hummer: two FMAs/cycle
+		L1Bytes:       32 * kb, // [T1]
+		L2Bytes:       0,       // [T1] stream-prefetch engine only
+		L3Bytes:       8 * mb,  // [T1] shared eDRAM
+		MemPerNode:    2 * gb,  // [T1]
+		MemBWPerNode:  13.6e9,  // [T1]
+		CoreMemBW:     4.2e9,   // [cal] single-core STREAM triad
+		CacheCoherent: true,    // [T1]
+
+		TorusLinkBW:      425e6,  // [T1] per link per direction
+		TorusHopLat:      75e-9,  // [cal] per-hop router transit
+		NICInjectBW:      2.55e9, // [T1] 6 links x 425 MB/s per direction
+		BisectionDerate:  1.0,
+		SWLatency:        1.35e-6, // [cal] per-side MPI overhead (~2.7us 0-byte ping)
+		EagerLimit:       1200,    // [cal] BG/P MPI default eager limit
+		RendezvousRTT:    2.7e-6,  // [cal] RTS/CTS handshake
+		CollNoisePerRank: 0.02e-9, // [cal]
+
+		HasTree:       true,   // [T1] global collective network
+		TreeBW:        850e6,  // [T1] per direction
+		TreeLat:       250e-9, // [cal] per tree stage
+		TreeHWReduce:  true,   // integer and double-precision tree ALU
+		HasBarrierNet: true,   // [T1] global interrupt network
+		BarrierLat:    1.3e-6, // [cal]
+
+		ShmLatency: 0.5e-6, // [cal] on-node MPI via shared memory
+		ShmBW:      3.0e9,  // [cal]
+
+		Eff: [numClasses]float64{
+			ClassDGEMM:   0.87,  // [cal] ESSL DGEMM ~2.96 of 3.4 GF/s
+			ClassFFT:     0.09,  // [cal] stock HPCC FFT
+			ClassStream:  0.76,  // [cal] aggregate STREAM fraction of peak BW
+			ClassStencil: 0.085, // [cal] structured-grid apps
+			ClassScalar:  0.055, // [cal]
+			ClassUpdate:  0.02,  // [cal]
+		},
+		OMPEff: 0.90, // [cal] XL OpenMP on 4 cores
+
+		WattsPerCoreHPL: 7.7,  // [Table 3]
+		WattsPerCoreApp: 7.3,  // [Table 3]
+		CoresPerRack:    4096, // [paper intro]
+	},
+
+	BGL: {
+		ID:            BGL,
+		Name:          "BlueGene/L",
+		CoresPerNode:  2,       // [T1]
+		ClockHz:       700e6,   // [T1]
+		FlopsPerCycle: 4,       // [T1] double hummer
+		L1Bytes:       32 * kb, // [T1]
+		L2Bytes:       0,
+		L3Bytes:       4 * mb,   // [T1]
+		MemPerNode:    512 * mb, // [T1] 0.5-1 GB configs; ORNL had 512 MB
+		MemBWPerNode:  5.6e9,    // [T1]
+		CoreMemBW:     3.0e9,    // [cal]
+		CacheCoherent: false,    // [T1] software-managed coherence
+
+		TorusLinkBW:      175e6,  // [T1] 2.1 GB/s injection over 6 links x 2 dir
+		TorusHopLat:      100e-9, // [cal]
+		NICInjectBW:      1.05e9, // [T1]
+		BisectionDerate:  1.0,
+		SWLatency:        1.6e-6,  // [cal]
+		EagerLimit:       1000,    // [cal]
+		RendezvousRTT:    3.4e-6,  // [cal]
+		CollNoisePerRank: 0.02e-9, // [cal]
+
+		HasTree:       true,
+		TreeBW:        350e6,  // [T1] 700 MB/s bidirectional
+		TreeLat:       300e-9, // [cal]
+		TreeHWReduce:  true,
+		HasBarrierNet: true,
+		BarrierLat:    1.5e-6, // [cal]
+
+		ShmLatency: 0.8e-6, // [cal]
+		ShmBW:      2.0e9,  // [cal]
+
+		Eff: [numClasses]float64{
+			ClassDGEMM:   0.85,
+			ClassFFT:     0.08,
+			ClassStream:  0.75,
+			ClassStencil: 0.08,
+			ClassScalar:  0.05,
+			ClassUpdate:  0.02,
+		},
+		OMPEff: 0, // BG/L compute-node kernel has no thread support
+
+		WattsPerCoreHPL: 12.0, // [cal] from BG/L Green500-era numbers
+		WattsPerCoreApp: 11.4, // [cal]
+		CoresPerRack:    2048,
+	},
+
+	XT3: {
+		ID:            XT3,
+		Name:          "Cray XT3",
+		CoresPerNode:  2,       // [T1]
+		ClockHz:       2.6e9,   // [T1]
+		FlopsPerCycle: 2,       // Opteron: one add + one multiply per cycle
+		L1Bytes:       64 * kb, // [T1]
+		L2Bytes:       1 * mb,  // [T1]
+		L3Bytes:       0,
+		MemPerNode:    4 * gb, // [T1]
+		MemBWPerNode:  6.4e9,  // [T1]
+		CoreMemBW:     4.8e9,  // [cal]
+		CacheCoherent: true,
+
+		TorusLinkBW:      3.0e9,  // [cal] SeaStar sustained per direction
+		TorusHopLat:      180e-9, // [cal]
+		NICInjectBW:      1.1e9,  // [cal] SeaStar injection
+		BisectionDerate:  0.25,
+		SWLatency:        3.3e-6,  // [cal] ~6.8us 0-byte ping (Catamount)
+		EagerLimit:       16384,   // [cal] Portals eager limit
+		RendezvousRTT:    6.8e-6,  // [cal]
+		CollNoisePerRank: 0.15e-9, // [cal] Catamount-era jitter
+
+		HasTree:       false,
+		HasBarrierNet: false,
+
+		ShmLatency: 2.0e-6, // [cal] loopback through NIC
+		ShmBW:      1.4e9,  // [cal]
+
+		Eff: [numClasses]float64{
+			ClassDGEMM:   0.90, // ACML
+			ClassFFT:     0.11,
+			ClassStream:  0.70,
+			ClassStencil: 0.20, // [cal] Opteron cache hierarchy favours stencils
+			ClassScalar:  0.10,
+			ClassUpdate:  0.02,
+		},
+		OMPEff: 0.85,
+
+		WattsPerCoreHPL: 46.0, // [cal] dual-core Opteron node + SeaStar share
+		WattsPerCoreApp: 44.0, // [cal]
+		CoresPerRack:    192,  // [paper intro]
+	},
+
+	XT4DC: {
+		ID:            XT4DC,
+		Name:          "Cray XT4 (dual-core)",
+		CoresPerNode:  2,     // [T1]
+		ClockHz:       2.6e9, // [T1]
+		FlopsPerCycle: 2,
+		L1Bytes:       64 * kb,
+		L2Bytes:       1 * mb,
+		L3Bytes:       0,
+		MemPerNode:    4 * gb,
+		MemBWPerNode:  10.6e9, // [T1] DDR2-667
+		CoreMemBW:     5.2e9,  // [cal]
+		CacheCoherent: true,
+
+		TorusLinkBW:      3.8e9,  // [cal] SeaStar2
+		TorusHopLat:      140e-9, // [cal]
+		NICInjectBW:      2.1e9,  // [cal]
+		BisectionDerate:  0.25,
+		SWLatency:        2.9e-6, // [cal]
+		EagerLimit:       16384,
+		RendezvousRTT:    6.0e-6,
+		CollNoisePerRank: 0.15e-9, // [cal] Catamount-era jitter
+
+		HasTree:       false,
+		HasBarrierNet: false,
+
+		ShmLatency: 1.2e-6,
+		ShmBW:      2.5e9,
+
+		Eff: [numClasses]float64{
+			ClassDGEMM:   0.90,
+			ClassFFT:     0.12,
+			ClassStream:  0.66,
+			ClassStencil: 0.25, // [cal] POP sustains ~1.3 GF/s/core on XT4 (paper Fig 4c ratio)
+			ClassScalar:  0.10,
+			ClassUpdate:  0.02,
+		},
+		OMPEff: 0.85,
+
+		WattsPerCoreHPL: 50.0, // [cal]
+		WattsPerCoreApp: 47.5, // [cal]
+		CoresPerRack:    192,
+	},
+
+	XT4QC: {
+		ID:            XT4QC,
+		Name:          "Cray XT4 (quad-core)",
+		CoresPerNode:  4,        // [T1]
+		ClockHz:       2.1e9,    // [T1]
+		FlopsPerCycle: 4,        // Barcelona: 128-bit SSE, 4 DP flops/cycle
+		L1Bytes:       64 * kb,  // [T1]
+		L2Bytes:       512 * kb, // [T1]
+		L3Bytes:       2 * mb,   // [T1] shared
+		MemPerNode:    8 * gb,   // [T1]
+		MemBWPerNode:  10.6e9,   // [T1] sustained of 12.8 peak
+		CoreMemBW:     4.0e9,    // [cal] single-core STREAM triad
+		CacheCoherent: true,
+
+		TorusLinkBW:      3.8e9,  // [cal] SeaStar2
+		TorusHopLat:      120e-9, // [cal]
+		NICInjectBW:      2.1e9,  // [cal]
+		BisectionDerate:  0.25,
+		SWLatency:        2.7e-6, // [cal] ~5.6us 0-byte ping (CNL)
+		EagerLimit:       16384,
+		RendezvousRTT:    5.6e-6,
+		CollNoisePerRank: 0.3e-9, // [cal] CNL jitter
+
+		HasTree:       false,
+		HasBarrierNet: false,
+
+		ShmLatency: 1.0e-6, // [cal] CNL on-node shared memory
+		ShmBW:      2.8e9,  // [cal]
+
+		Eff: [numClasses]float64{
+			ClassDGEMM:   0.89, // ACML ~7.5 of 8.4 GF/s
+			ClassFFT:     0.13,
+			ClassStream:  0.64, // [cal] NUMA/contention losses in EP STREAM
+			ClassStencil: 0.17, // [cal] quad-core sharing trims per-core stencil rate
+			ClassScalar:  0.10,
+			ClassUpdate:  0.02,
+		},
+		OMPEff: 0.85,
+
+		WattsPerCoreHPL: 51.0, // [Table 3]
+		WattsPerCoreApp: 48.4, // [Table 3]
+		CoresPerRack:    384,  // [paper intro]
+	},
+}
+
+// Get returns a copy of the catalog entry for id, so callers may
+// modify parameters (for ablation studies) without affecting others.
+func Get(id ID) *Machine {
+	m, ok := catalog[id]
+	if !ok {
+		panic(fmt.Sprintf("machine: unknown id %q", id))
+	}
+	cp := *m
+	return &cp
+}
+
+// All returns the catalog identifiers in the paper's Table 1 order.
+func All() []ID {
+	return []ID{BGL, BGP, XT3, XT4DC, XT4QC}
+}

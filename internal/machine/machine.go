@@ -1,0 +1,197 @@
+// Package machine describes the supercomputers evaluated in the paper:
+// IBM BlueGene/P and BlueGene/L, and the Cray XT3 and XT4 (dual- and
+// quad-core). Each description collects the first-order hardware
+// parameters that drive the paper's comparisons — clock rate, flops per
+// cycle, memory bandwidth, interconnect link bandwidths and latencies,
+// and power per core — plus modelling parameters (kernel efficiency
+// classes) documented in DESIGN.md.
+package machine
+
+import "fmt"
+
+// ID names a machine model in the catalog.
+type ID string
+
+// Catalog identifiers.
+const (
+	BGP   ID = "BG/P"   // IBM BlueGene/P (quad-core PowerPC 450, 850 MHz)
+	BGL   ID = "BG/L"   // IBM BlueGene/L (dual-core PowerPC 440, 700 MHz)
+	XT3   ID = "XT3"    // Cray XT3 (dual-core Opteron, 2.6 GHz, SeaStar)
+	XT4DC ID = "XT4/DC" // Cray XT4 dual-core (2.6 GHz, SeaStar2)
+	XT4QC ID = "XT4/QC" // Cray XT4 quad-core (2.1 GHz Barcelona, SeaStar2)
+)
+
+// Mode is a node execution mode. On BlueGene/P: SMP (one MPI task per
+// node, up to 4 threads), DUAL (two tasks, two threads each), VN
+// (virtual node: one task per core). The Cray XT dual-core systems'
+// SN mode maps to SMP and their VN mode to VN.
+type Mode int
+
+// Execution modes.
+const (
+	SMP Mode = iota
+	DUAL
+	VN
+)
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case SMP:
+		return "SMP"
+	case DUAL:
+		return "DUAL"
+	case VN:
+		return "VN"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// KernelClass categorizes computational kernels by the fraction of
+// peak floating-point rate they sustain and by how memory-bound they
+// are. The compute model (internal/cpu) picks efficiency and bandwidth
+// parameters by class.
+type KernelClass int
+
+// Kernel classes.
+const (
+	ClassDGEMM   KernelClass = iota // dense matrix multiply: near-peak
+	ClassFFT                        // fast Fourier transform: cache-unfriendly strides
+	ClassStream                     // pure streaming: memory-bandwidth bound
+	ClassStencil                    // structured-grid stencils: mixed
+	ClassScalar                     // irregular scalar code: small fraction of peak
+	ClassUpdate                     // tiny random updates (RandomAccess)
+	numClasses
+)
+
+// String names the kernel class.
+func (c KernelClass) String() string {
+	switch c {
+	case ClassDGEMM:
+		return "dgemm"
+	case ClassFFT:
+		return "fft"
+	case ClassStream:
+		return "stream"
+	case ClassStencil:
+		return "stencil"
+	case ClassScalar:
+		return "scalar"
+	case ClassUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("KernelClass(%d)", int(c))
+}
+
+// Machine is a full machine description. Bandwidths are bytes/second,
+// latencies seconds, sizes bytes, power watts.
+type Machine struct {
+	ID   ID
+	Name string
+
+	// Node architecture.
+	CoresPerNode  int
+	ClockHz       float64
+	FlopsPerCycle int     // double-precision flops per cycle per core
+	L1Bytes       int64   // private per core
+	L2Bytes       int64   // private per core (0 = stream prefetcher only)
+	L3Bytes       int64   // shared per node
+	MemPerNode    int64   // main memory per node
+	MemBWPerNode  float64 // aggregate sustainable main-memory bandwidth
+	CoreMemBW     float64 // bandwidth one core can sustain alone
+	CacheCoherent bool
+
+	// Torus interconnect.
+	TorusLinkBW   float64 // per link per direction
+	TorusHopLat   float64 // per-hop router latency
+	NICInjectBW   float64 // node injection bandwidth (shared by cores)
+	SWLatency     float64 // MPI software overhead per message (one side)
+	EagerLimit    int     // eager/rendezvous protocol switch, bytes
+	RendezvousRTT float64 // extra handshake cost for rendezvous messages
+
+	// BisectionDerate scales the torus bisection bandwidth actually
+	// delivered to a job. BlueGene allocates electrically isolated
+	// rectangular partitions (factor 1); the Cray XT allocator hands
+	// out fragmented node sets that share links with other jobs (the
+	// paper attributes the XT's PTRANS variability to exactly this),
+	// so its jobs see a fraction of the nominal bisection.
+	BisectionDerate float64
+
+	// Collective tree network (BlueGene only).
+	// CollNoisePerRank is the additional per-round skew of software
+	// collectives, in seconds per participating rank: OS interference
+	// and desynchronization make large software collectives cost far
+	// more than the LogP model predicts. BlueGene's noiseless compute
+	// kernel keeps this near zero; it is the second reason (after the
+	// tree network) that the paper's Figure 4(d) shows the XT
+	// barotropic phase stalling beyond 8000 processes.
+	CollNoisePerRank float64
+
+	HasTree       bool
+	TreeBW        float64 // per direction
+	TreeLat       float64 // end-to-end traversal latency contribution per stage
+	TreeHWReduce  bool    // hardware arithmetic on the tree (integer + double)
+	HasBarrierNet bool
+	BarrierLat    float64 // global interrupt network barrier latency
+
+	// On-node shared-memory messaging.
+	ShmLatency float64
+	ShmBW      float64
+
+	// Per-class sustained fraction of peak flop rate.
+	Eff [numClasses]float64
+
+	// OpenMP parallel efficiency when using in-node threads (fraction
+	// of ideal speedup retained per added thread).
+	OMPEff float64
+
+	// Power.
+	WattsPerCoreHPL float64 // measured aggregate power per core under HPL
+	WattsPerCoreApp float64 // measured aggregate power per core under applications
+	CoresPerRack    int
+}
+
+// PeakFlopsCore returns the peak double-precision flop rate of one core.
+func (m *Machine) PeakFlopsCore() float64 {
+	return m.ClockHz * float64(m.FlopsPerCycle)
+}
+
+// PeakFlopsNode returns the peak flop rate of one node.
+func (m *Machine) PeakFlopsNode() float64 {
+	return m.PeakFlopsCore() * float64(m.CoresPerNode)
+}
+
+// RanksPerNode returns the MPI tasks per node in the given mode.
+func (m *Machine) RanksPerNode(mode Mode) int {
+	switch mode {
+	case SMP:
+		return 1
+	case DUAL:
+		if m.CoresPerNode < 2 {
+			return 1
+		}
+		return 2
+	case VN:
+		return m.CoresPerNode
+	}
+	return 1
+}
+
+// ThreadsPerRank returns the compute threads each MPI task may use in
+// the given mode (cores divided evenly among tasks).
+func (m *Machine) ThreadsPerRank(mode Mode) int {
+	return m.CoresPerNode / m.RanksPerNode(mode)
+}
+
+// SupportsMode reports whether the machine supports the mode. DUAL
+// mode exists only on quad-core nodes (it is new with BG/P; on
+// dual-core XTs the analogous assignment is just VN).
+func (m *Machine) SupportsMode(mode Mode) bool {
+	if mode == DUAL {
+		return m.CoresPerNode >= 4
+	}
+	return true
+}
+
+// String returns the machine name.
+func (m *Machine) String() string { return m.Name }

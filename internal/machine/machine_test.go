@@ -1,0 +1,147 @@
+package machine
+
+import "testing"
+
+func TestPeakRates(t *testing.T) {
+	cases := []struct {
+		id     ID
+		coreGF float64
+		nodeGF float64
+	}{
+		{BGP, 3.4, 13.6},
+		{BGL, 2.8, 5.6},
+		{XT3, 5.2, 10.4},
+		{XT4DC, 5.2, 10.4},
+		{XT4QC, 8.4, 33.6},
+	}
+	for _, c := range cases {
+		m := Get(c.id)
+		if got := m.PeakFlopsCore() / 1e9; !close(got, c.coreGF, 1e-9) {
+			t.Errorf("%s core peak = %g GF, want %g", c.id, got, c.coreGF)
+		}
+		if got := m.PeakFlopsNode() / 1e9; !close(got, c.nodeGF, 1e-9) {
+			t.Errorf("%s node peak = %g GF, want %g", c.id, got, c.nodeGF)
+		}
+	}
+}
+
+func close(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestRanksPerNode(t *testing.T) {
+	bgp := Get(BGP)
+	if bgp.RanksPerNode(SMP) != 1 || bgp.RanksPerNode(DUAL) != 2 || bgp.RanksPerNode(VN) != 4 {
+		t.Errorf("BG/P ranks per node: SMP=%d DUAL=%d VN=%d",
+			bgp.RanksPerNode(SMP), bgp.RanksPerNode(DUAL), bgp.RanksPerNode(VN))
+	}
+	xt3 := Get(XT3)
+	if xt3.RanksPerNode(SMP) != 1 || xt3.RanksPerNode(VN) != 2 {
+		t.Errorf("XT3 ranks per node: SMP=%d VN=%d", xt3.RanksPerNode(SMP), xt3.RanksPerNode(VN))
+	}
+}
+
+func TestThreadsPerRank(t *testing.T) {
+	bgp := Get(BGP)
+	if bgp.ThreadsPerRank(SMP) != 4 {
+		t.Errorf("SMP threads = %d, want 4", bgp.ThreadsPerRank(SMP))
+	}
+	if bgp.ThreadsPerRank(DUAL) != 2 {
+		t.Errorf("DUAL threads = %d, want 2", bgp.ThreadsPerRank(DUAL))
+	}
+	if bgp.ThreadsPerRank(VN) != 1 {
+		t.Errorf("VN threads = %d, want 1", bgp.ThreadsPerRank(VN))
+	}
+}
+
+func TestSupportsMode(t *testing.T) {
+	if !Get(BGP).SupportsMode(DUAL) {
+		t.Error("BG/P should support DUAL")
+	}
+	if Get(XT3).SupportsMode(DUAL) {
+		t.Error("dual-core XT3 should not support DUAL")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	a := Get(BGP)
+	a.ClockHz = 1
+	b := Get(BGP)
+	if b.ClockHz == 1 {
+		t.Error("Get returned a shared pointer; catalog was mutated")
+	}
+}
+
+func TestGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown machine")
+		}
+	}()
+	Get("nonsense")
+}
+
+func TestCatalogSanity(t *testing.T) {
+	for _, id := range All() {
+		m := Get(id)
+		if m.CoresPerNode <= 0 || m.ClockHz <= 0 || m.FlopsPerCycle <= 0 {
+			t.Errorf("%s: bad node arch", id)
+		}
+		if m.MemBWPerNode <= 0 || m.CoreMemBW <= 0 {
+			t.Errorf("%s: bad memory bandwidth", id)
+		}
+		if m.CoreMemBW > m.MemBWPerNode {
+			t.Errorf("%s: core BW %g exceeds node BW %g", id, m.CoreMemBW, m.MemBWPerNode)
+		}
+		if m.TorusLinkBW <= 0 || m.NICInjectBW <= 0 || m.SWLatency <= 0 {
+			t.Errorf("%s: bad network params", id)
+		}
+		if m.HasTree && (m.TreeBW <= 0 || m.TreeLat <= 0) {
+			t.Errorf("%s: tree declared but unparameterized", id)
+		}
+		for c := KernelClass(0); c < numClasses; c++ {
+			if m.Eff[c] <= 0 || m.Eff[c] > 1 {
+				t.Errorf("%s: efficiency for %v = %g out of (0,1]", id, c, m.Eff[c])
+			}
+		}
+		if m.WattsPerCoreHPL <= 0 || m.WattsPerCoreApp <= 0 {
+			t.Errorf("%s: bad power params", id)
+		}
+		if m.WattsPerCoreApp > m.WattsPerCoreHPL {
+			t.Errorf("%s: app power exceeds HPL power", id)
+		}
+	}
+}
+
+func TestBlueGeneLowPower(t *testing.T) {
+	// The design premise: BlueGene watts/core is far below the XT's.
+	bgp, xt := Get(BGP), Get(XT4QC)
+	if ratio := xt.WattsPerCoreHPL / bgp.WattsPerCoreHPL; ratio < 5 || ratio > 8 {
+		t.Errorf("XT/BGP power ratio = %.1f, want ~6.6 (paper)", ratio)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if SMP.String() != "SMP" || DUAL.String() != "DUAL" || VN.String() != "VN" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still format")
+	}
+}
+
+func TestKernelClassString(t *testing.T) {
+	names := map[KernelClass]string{
+		ClassDGEMM: "dgemm", ClassFFT: "fft", ClassStream: "stream",
+		ClassStencil: "stencil", ClassScalar: "scalar", ClassUpdate: "update",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"math"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Closed-form collective costs, used when Config.AnalyticCollectives
+// is set. They mirror the structure of the software algorithms in
+// collective.go: alpha is the per-message cost (software overheads
+// plus an average-distance torus traversal), beta the per-byte cost.
+
+// alpha returns the average per-message latency on the torus.
+func (w *World) alpha() float64 {
+	d := w.torus.Dims
+	avgHops := float64(d[0]+d[1]+d[2]) / 4
+	return 2*w.mach.SWLatency + avgHops*w.mach.TorusHopLat
+}
+
+// alphaP returns the effective per-round cost of a software collective
+// over p ranks: the base message latency plus the machine's OS-noise
+// skew, which grows with the participant count (near zero on the
+// noiseless BlueGene kernels, significant on the Cray XT at scale).
+func (w *World) alphaP(p int) float64 {
+	return w.alpha() + w.mach.CollNoisePerRank*float64(p)
+}
+
+// beta returns the per-byte transfer cost.
+func (w *World) beta() float64 {
+	return 1 / math.Min(w.mach.TorusLinkBW, w.mach.NICInjectBW)
+}
+
+// gammaReduce returns the per-byte local reduction cost.
+func (w *World) gammaReduce() float64 {
+	if w.cpu == nil {
+		return 0
+	}
+	const n = 1 << 20
+	return w.cpu.Time(n/8, 3*n, machine.ClassStream).Seconds() / n
+}
+
+func log2Ceil(p int) float64 {
+	return float64(topology.BinomialRounds(p))
+}
+
+func (w *World) analyticBarrier(p int) sim.Duration {
+	return sim.Seconds(log2Ceil(p) * w.alphaP(p))
+}
+
+func (w *World) analyticBcast(p, bytes int) sim.Duration {
+	l := log2Ceil(p)
+	b := float64(bytes)
+	if bytes <= bcastBinomialMax {
+		// Unsegmented binomial: every round moves the whole payload.
+		return sim.Seconds(l * (w.alphaP(p) + b*w.beta()))
+	}
+	// Segmented/pipelined binomial: latency rounds plus one payload
+	// transfer, with a fan-out factor for forwarding to two children.
+	return sim.Seconds(l*w.alphaP(p) + 2*b*w.beta())
+}
+
+func (w *World) analyticAllreduce(p, bytes int) sim.Duration {
+	l := log2Ceil(p)
+	b := float64(bytes)
+	if bytes <= allreduceRDLimit {
+		// Recursive doubling.
+		return sim.Seconds(l * (w.alphaP(p) + b*w.beta() + b*w.gammaReduce()))
+	}
+	// Rabenseifner: reduce-scatter + allgather.
+	f := (math.Exp2(l) - 1) / math.Exp2(l) // (P-1)/P for the transfer volume
+	return sim.Seconds(2*l*w.alphaP(p) + 2*b*f*w.beta() + b*f*w.gammaReduce())
+}
+
+func (w *World) analyticReduce(p, bytes int) sim.Duration {
+	l := log2Ceil(p)
+	b := float64(bytes)
+	return sim.Seconds(l * (w.alphaP(p) + b*w.beta() + b*w.gammaReduce()))
+}
+
+func (w *World) analyticAllgather(p, bytesPerRank int) sim.Duration {
+	// Ring: P-1 rounds of one chunk each.
+	return sim.Seconds(float64(p-1) * (w.alpha() + float64(bytesPerRank)*w.beta()))
+}
+
+func (w *World) analyticGather(p, bytesPerRank int) sim.Duration {
+	l := log2Ceil(p)
+	// Root's last receive carries half the data; total serialized at
+	// the root approximately P * chunk.
+	return sim.Seconds(l*w.alpha() + float64(p)*float64(bytesPerRank)*w.beta())
+}
+
+func (w *World) analyticAlltoall(p, bytesPerPair int) sim.Duration {
+	b := float64(bytesPerPair)
+	// Pairwise exchange: P-1 rounds. The aggregate is also bounded by
+	// the torus bisection; take the slower of the two views.
+	perRank := float64(p-1) * (w.alpha() + b*w.beta())
+	totalBytes := float64(p) * float64(p-1) * b
+	bisection := totalBytes / 2 / w.net.BisectionBW()
+	return sim.Seconds(math.Max(perRank, bisection))
+}

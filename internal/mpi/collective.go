@@ -1,0 +1,385 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+)
+
+// Collective algorithm thresholds (bytes), chosen to mirror common
+// MPICH-style switch points.
+const (
+	allreduceRDLimit = 2048  // recursive doubling below, Rabenseifner above
+	bcastSegment     = 8192  // binomial segment size for large broadcasts
+	bcastBinomialMax = 12288 // unsegmented binomial below this size
+)
+
+// Barrier synchronizes the communicator. On a BlueGene world
+// communicator it uses the global interrupt network; otherwise a
+// dissemination barrier over the torus.
+func (c *Comm) Barrier(r *Rank) {
+	key := c.nextKey(r, "barrier")
+	if c.isWorld && c.w.net.HasBarrierNet() {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.net.HWBarrier() }))
+		return
+	}
+	if c.w.cfg.AnalyticCollectives {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticBarrier(c.Size()) }))
+		return
+	}
+	c.dissemination(r, key)
+}
+
+// dissemination is the software barrier: ceil(log2 P) rounds, in round
+// k exchanging a token with the ranks 2^k away.
+func (c *Comm) dissemination(r *Rank, key string) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	me := c.Rank(r)
+	for k, dist := 0, 1; dist < p; k, dist = k+1, dist*2 {
+		dst := c.Member((me + dist) % p)
+		src := c.Member(((me-dist)%p + p) % p)
+		r.sendrecvColl(dst, 1, src, fmt.Sprintf("%s.r%d", key, k))
+	}
+}
+
+// Bcast broadcasts bytes from communicator rank root. On a BlueGene
+// world communicator it rides the hardware collective tree.
+func (c *Comm) Bcast(r *Rank, root, bytes int) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: bcast root %d out of range", root))
+	}
+	key := c.nextKey(r, "bcast")
+	if c.isWorld && c.w.net.HasTree() {
+		// The hardware tree broadcast: everyone is released when the
+		// payload has streamed down the tree after the root (and all
+		// receivers) arrived. The tree is a shared resource but a
+		// world collective has no competing traffic.
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.net.TreeBcast(bytes) }))
+		return
+	}
+	if c.w.cfg.AnalyticCollectives {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticBcast(c.Size(), bytes) }))
+		return
+	}
+	c.binomialBcast(r, key, root, bytes)
+}
+
+// binomialBcast sends down a binomial tree rooted at root, segmenting
+// large payloads so the tree pipeline overlaps.
+func (c *Comm) binomialBcast(r *Rank, key string, root, bytes int) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	seg := bytes
+	nseg := 1
+	if bytes > bcastBinomialMax {
+		seg = bcastSegment
+		nseg = (bytes + seg - 1) / seg
+	}
+	me := c.Rank(r)
+	rel := (me - root + p) % p
+	for s := 0; s < nseg; s++ {
+		sz := seg
+		if s == nseg-1 && bytes > 0 {
+			sz = bytes - (nseg-1)*seg
+		}
+		skey := key
+		if nseg > 1 {
+			skey = fmt.Sprintf("%s.s%d", key, s)
+		}
+		// Receive from parent (lowest set bit of rel).
+		mask := 1
+		for mask < p {
+			if rel&mask != 0 {
+				src := c.Member(((rel - mask + root) % p))
+				r.recvColl(src, skey)
+				break
+			}
+			mask <<= 1
+		}
+		// Forward to children.
+		for mask >>= 1; mask > 0; mask >>= 1 {
+			if rel+mask < p {
+				dst := c.Member((rel + mask + root) % p)
+				r.sendColl(dst, sz, skey)
+			}
+		}
+	}
+}
+
+// reduceFlops charges the local combination cost of a reduction over a
+// buffer of the given size (one flop per 8-byte element, three
+// streamed operands).
+func (r *Rank) reduceFlops(bytes int) {
+	if bytes == 0 {
+		return
+	}
+	r.Compute(float64(bytes)/8, 3*float64(bytes), machine.ClassStream)
+}
+
+// Allreduce combines a buffer of the given byte size across the
+// communicator and distributes the result. The doublePrecision flag
+// selects the operand type: on BG/P the collective tree reduces double
+// precision in hardware, while single precision falls back to the
+// software algorithm on the torus (the paper's Figure 3a/b asymmetry).
+func (c *Comm) Allreduce(r *Rank, bytes int, doublePrecision bool) {
+	key := c.nextKey(r, "allreduce")
+	if c.isWorld && c.w.net.HWReduceSupported(doublePrecision) {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.net.TreeAllreduce(bytes) }))
+		return
+	}
+	if c.w.cfg.AnalyticCollectives {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticAllreduce(c.Size(), bytes) }))
+		return
+	}
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if bytes <= allreduceRDLimit {
+		c.allreduceRecDoubling(r, key, bytes)
+	} else {
+		c.allreduceRabenseifner(r, key, bytes)
+	}
+}
+
+// fold maps the communicator onto a power-of-two subgroup: ranks below
+// 2*rem pair up (evens hand their data to odds). Returns the rank's id
+// in the power-of-two group, or -1 for folded-out ranks.
+func foldIn(me, p, pof2 int) int {
+	rem := p - pof2
+	if me < 2*rem {
+		if me%2 == 0 {
+			return -1
+		}
+		return me / 2
+	}
+	return me - rem
+}
+
+// unfold maps a power-of-two group rank back to the communicator rank.
+func unfold(newRank, p, pof2 int) int {
+	rem := p - pof2
+	if newRank < rem {
+		return newRank*2 + 1
+	}
+	return newRank + rem
+}
+
+func pow2Floor(p int) int {
+	f := 1
+	for f*2 <= p {
+		f *= 2
+	}
+	return f
+}
+
+// allreduceRecDoubling: fold to a power of two, then log2 rounds of
+// pairwise exchange-and-combine, then unfold.
+func (c *Comm) allreduceRecDoubling(r *Rank, key string, bytes int) {
+	p := c.Size()
+	me := c.Rank(r)
+	pof2 := pow2Floor(p)
+	rem := p - pof2
+
+	if me < 2*rem {
+		if me%2 == 0 {
+			r.sendColl(c.Member(me+1), bytes, key+".fold")
+		} else {
+			r.recvColl(c.Member(me-1), key+".fold")
+			r.reduceFlops(bytes)
+		}
+	}
+	nr := foldIn(me, p, pof2)
+	if nr >= 0 {
+		for k, mask := 0, 1; mask < pof2; k, mask = k+1, mask*2 {
+			partner := c.Member(unfold(nr^mask, p, pof2))
+			r.sendrecvColl(partner, bytes, partner, fmt.Sprintf("%s.r%d", key, k))
+			r.reduceFlops(bytes)
+		}
+	}
+	if me < 2*rem {
+		if me%2 == 0 {
+			r.recvColl(c.Member(me+1), key+".unfold")
+		} else {
+			r.sendColl(c.Member(me-1), bytes, key+".unfold")
+		}
+	}
+}
+
+// allreduceRabenseifner: fold, reduce-scatter by recursive halving,
+// allgather by recursive doubling, unfold. Moves 2*bytes*(pof2-1)/pof2
+// per rank instead of log2(P)*bytes.
+func (c *Comm) allreduceRabenseifner(r *Rank, key string, bytes int) {
+	p := c.Size()
+	me := c.Rank(r)
+	pof2 := pow2Floor(p)
+	rem := p - pof2
+
+	if me < 2*rem {
+		if me%2 == 0 {
+			r.sendColl(c.Member(me+1), bytes, key+".fold")
+		} else {
+			r.recvColl(c.Member(me-1), key+".fold")
+			r.reduceFlops(bytes)
+		}
+	}
+	nr := foldIn(me, p, pof2)
+	if nr >= 0 {
+		// Reduce-scatter: halve the active buffer each round.
+		chunk := bytes / 2
+		for k, mask := 0, 1; mask < pof2; k, mask = k+1, mask*2 {
+			partner := c.Member(unfold(nr^mask, p, pof2))
+			r.sendrecvColl(partner, chunk, partner, fmt.Sprintf("%s.rs%d", key, k))
+			r.reduceFlops(chunk)
+			if chunk > 1 {
+				chunk /= 2
+			}
+		}
+		// Allgather: double the buffer each round.
+		chunk = bytes / pof2
+		if chunk < 1 {
+			chunk = 1
+		}
+		for k, mask := 0, 1; mask < pof2; k, mask = k+1, mask*2 {
+			partner := c.Member(unfold(nr^mask, p, pof2))
+			r.sendrecvColl(partner, chunk, partner, fmt.Sprintf("%s.ag%d", key, k))
+			chunk *= 2
+		}
+	}
+	if me < 2*rem {
+		if me%2 == 0 {
+			r.recvColl(c.Member(me+1), key+".unfold")
+		} else {
+			r.sendColl(c.Member(me-1), bytes, key+".unfold")
+		}
+	}
+}
+
+// Reduce combines a buffer to communicator rank root via a binomial
+// tree.
+func (c *Comm) Reduce(r *Rank, root, bytes int, doublePrecision bool) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
+	}
+	key := c.nextKey(r, "reduce")
+	if c.isWorld && c.w.net.HWReduceSupported(doublePrecision) {
+		// Hardware tree reduction: one upward traversal.
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.net.TreeBcast(bytes) }))
+		return
+	}
+	if c.w.cfg.AnalyticCollectives {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticReduce(c.Size(), bytes) }))
+		return
+	}
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	me := c.Rank(r)
+	rel := (me - root + p) % p
+	for k, mask := 0, 1; mask < p; k, mask = k+1, mask*2 {
+		rkey := fmt.Sprintf("%s.r%d", key, k)
+		if rel&mask == 0 {
+			src := rel | mask
+			if src < p {
+				r.recvColl(c.Member((src+root)%p), rkey)
+				r.reduceFlops(bytes)
+			}
+		} else {
+			dst := rel &^ mask
+			r.sendColl(c.Member((dst+root)%p), bytes, rkey)
+			break
+		}
+	}
+}
+
+// Allgather gathers bytesPerRank from every member to every member
+// using the ring algorithm.
+func (c *Comm) Allgather(r *Rank, bytesPerRank int) {
+	key := c.nextKey(r, "allgather")
+	if c.w.cfg.AnalyticCollectives {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticAllgather(c.Size(), bytesPerRank) }))
+		return
+	}
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	me := c.Rank(r)
+	right := c.Member((me + 1) % p)
+	left := c.Member((me - 1 + p) % p)
+	for k := 0; k < p-1; k++ {
+		r.sendrecvColl(right, bytesPerRank, left, fmt.Sprintf("%s.r%d", key, k))
+	}
+}
+
+// Alltoall exchanges bytesPerPair with every other member using
+// pairwise exchange (XOR schedule when the size is a power of two).
+func (c *Comm) Alltoall(r *Rank, bytesPerPair int) {
+	key := c.nextKey(r, "alltoall")
+	if c.w.cfg.AnalyticCollectives {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticAlltoall(c.Size(), bytesPerPair) }))
+		return
+	}
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	me := c.Rank(r)
+	pow2 := p&(p-1) == 0
+	for k := 1; k < p; k++ {
+		var dst, src int
+		if pow2 {
+			dst = me ^ k
+			src = dst
+		} else {
+			dst = (me + k) % p
+			src = (me - k + p) % p
+		}
+		r.sendrecvColl(c.Member(dst), bytesPerPair, c.Member(src), fmt.Sprintf("%s.r%d", key, k))
+	}
+}
+
+// Gather collects bytesPerRank from every member at root via a
+// binomial tree with subtree aggregation.
+func (c *Comm) Gather(r *Rank, root, bytesPerRank int) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: gather root %d out of range", root))
+	}
+	key := c.nextKey(r, "gather")
+	if c.w.cfg.AnalyticCollectives {
+		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticGather(c.Size(), bytesPerRank) }))
+		return
+	}
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	me := c.Rank(r)
+	rel := (me - root + p) % p
+	have := 1 // subtree ranks aggregated so far
+	for k, mask := 0, 1; mask < p; k, mask = k+1, mask*2 {
+		rkey := fmt.Sprintf("%s.r%d", key, k)
+		if rel&mask == 0 {
+			src := rel | mask
+			if src < p {
+				sub := mask
+				if rel+2*mask > p {
+					sub = p - src // partial subtree at the edge
+				}
+				r.recvColl(c.Member((src+root)%p), rkey)
+				have += sub
+			}
+		} else {
+			dst := rel &^ mask
+			r.sendColl(c.Member((dst+root)%p), have*bytesPerRank, rkey)
+			break
+		}
+	}
+}

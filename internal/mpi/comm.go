@@ -1,0 +1,190 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpsim/internal/sim"
+	"bgpsim/internal/trace"
+)
+
+// Comm is a communicator: an ordered set of world ranks. The world
+// communicator is created with the World; subsets are made with Split.
+// Comm values are shared between the ranks of the communicator.
+type Comm struct {
+	w       *World
+	name    string
+	members []int // world rank ids in communicator-rank order
+	index   map[int]int
+	isWorld bool
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Rank returns r's rank within the communicator, or -1 if r is not a
+// member.
+func (c *Comm) Rank(r *Rank) int {
+	if c.isWorld {
+		return r.id
+	}
+	if i, ok := c.index[r.id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Member returns the world rank id of communicator rank i.
+func (c *Comm) Member(i int) int { return c.members[i] }
+
+// nextKey returns a unique key for the rank's next collective on this
+// communicator. MPI requires all members to issue collectives in the
+// same order, so the per-rank sequence numbers agree.
+func (c *Comm) nextKey(r *Rank, kind string) string {
+	seq := r.collSeq[c.name]
+	r.collSeq[c.name] = seq + 1
+	return fmt.Sprintf("%s#%d:%s", c.name, seq, kind)
+}
+
+// gate synchronizes the members of one collective operation. Ranks
+// enter with a value; when the last member arrives, the finisher
+// computes each member's release time (and optionally a shared
+// result), and everyone resumes at their release time.
+type gate struct {
+	need    int
+	ranks   []*Rank
+	times   []sim.Time
+	vals    []interface{}
+	indices map[int]int // world rank id -> entry index
+	result  interface{}
+}
+
+// finisher computes per-entry release times given the entry times. It
+// may also return a shared result value.
+type finisher func(ranks []*Rank, times []sim.Time, vals []interface{}) (release []sim.Time, result interface{})
+
+// sync enters the calling rank into the gate for the given collective
+// key and blocks until released. It returns the finisher's shared
+// result.
+func (c *Comm) sync(r *Rank, key string, val interface{}, fin finisher) interface{} {
+	if tb := c.w.cfg.Trace; tb != nil {
+		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollEnter,
+			Peer: -1, Label: key})
+	}
+	g, ok := c.w.gates[key]
+	if !ok {
+		g = &gate{need: c.Size(), indices: make(map[int]int)}
+		c.w.gates[key] = g
+	}
+	if _, dup := g.indices[r.id]; dup {
+		panic(fmt.Sprintf("mpi: rank %d entered collective %q twice", r.id, key))
+	}
+	g.indices[r.id] = len(g.ranks)
+	g.ranks = append(g.ranks, r)
+	g.times = append(g.times, r.proc.Now())
+	g.vals = append(g.vals, val)
+	if len(g.ranks) == g.need {
+		release, result := fin(g.ranks, g.times, g.vals)
+		g.result = result
+		now := c.w.kernel.Now()
+		for i, rr := range g.ranks {
+			t := release[i]
+			if t < now {
+				panic(fmt.Sprintf("mpi: collective %q releases rank %d in the past", key, rr.id))
+			}
+			rr.proc.WakeAt(t)
+		}
+		delete(c.w.gates, key)
+	}
+	r.proc.Block("collective " + key)
+	if tb := c.w.cfg.Trace; tb != nil {
+		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollExit,
+			Peer: -1, Label: key})
+	}
+	return g.result
+}
+
+// uniformFinisher releases every member at last-arrival + d(). The
+// duration is computed lazily, exactly once, when the last member
+// arrives (so hardware-offload accounting counts one operation).
+func uniformFinisher(d func() sim.Duration) finisher {
+	return func(ranks []*Rank, times []sim.Time, _ []interface{}) ([]sim.Time, interface{}) {
+		var last sim.Time
+		for _, t := range times {
+			if t > last {
+				last = t
+			}
+		}
+		release := make([]sim.Time, len(times))
+		end := last.Add(d())
+		for i := range release {
+			release[i] = end
+		}
+		return release, nil
+	}
+}
+
+// Split partitions the communicator by color, ordering each new
+// communicator by (key, world rank). Every member must call Split; it
+// is a collective operation. Ranks passing a negative color receive a
+// nil communicator (MPI_UNDEFINED).
+func (c *Comm) Split(r *Rank, color, key int) *Comm {
+	gk := c.nextKey(r, "split")
+	type ck struct{ color, key, world int }
+	fin := func(ranks []*Rank, times []sim.Time, vals []interface{}) ([]sim.Time, interface{}) {
+		var last sim.Time
+		for _, t := range times {
+			if t > last {
+				last = t
+			}
+		}
+		// Group members by color.
+		byColor := map[int][]ck{}
+		for i, v := range vals {
+			e := v.(ck)
+			if e.color >= 0 {
+				byColor[e.color] = append(byColor[e.color], ck{e.color, e.key, ranks[i].id})
+			}
+		}
+		comms := map[int]*Comm{}
+		colors := make([]int, 0, len(byColor))
+		for col := range byColor {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		for _, col := range colors {
+			es := byColor[col]
+			sort.Slice(es, func(i, j int) bool {
+				if es[i].key != es[j].key {
+					return es[i].key < es[j].key
+				}
+				return es[i].world < es[j].world
+			})
+			nc := &Comm{
+				w:       c.w,
+				name:    fmt.Sprintf("%s/%s:%d", c.name, gk, col),
+				members: make([]int, len(es)),
+				index:   make(map[int]int, len(es)),
+			}
+			for i, e := range es {
+				nc.members[i] = e.world
+				nc.index[e.world] = i
+			}
+			comms[col] = nc
+		}
+		// A split costs roughly one small allgather; charge a software
+		// barrier's worth of time.
+		d := c.w.analyticBarrier(c.Size())
+		release := make([]sim.Time, len(times))
+		for i := range release {
+			release[i] = last.Add(d)
+		}
+		return release, comms
+	}
+	res := c.sync(r, gk, ck{color, key, r.id}, fin)
+	comms := res.(map[int]*Comm)
+	if color < 0 {
+		return nil
+	}
+	return comms[color]
+}

@@ -1,0 +1,371 @@
+package mpi
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/trace"
+)
+
+func TestPersistentHaloExchange(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	mustRun(t, cfg, func(r *Rank) {
+		p := r.Size()
+		right := (r.ID() + 1) % p
+		left := (r.ID() - 1 + p) % p
+		sreq := r.SendInit(right, 4096, 7)
+		rreq := r.RecvInit(left, 7)
+		for it := 0; it < 5; it++ {
+			StartAll(rreq, sreq)
+			WaitAllPersistent(rreq, sreq)
+		}
+	})
+}
+
+func TestPersistentCheaperThanPlain(t *testing.T) {
+	run := func(persistent bool) sim.Duration {
+		cfg := bgpConfig(8, machine.SMP)
+		cfg.Ranks = 2
+		res := mustRun(t, cfg, func(r *Rank) {
+			other := 1 - r.ID()
+			if persistent {
+				s := r.SendInit(other, 64, 1)
+				q := r.RecvInit(other, 1)
+				for i := 0; i < 20; i++ {
+					StartAll(q, s)
+					WaitAllPersistent(q, s)
+				}
+			} else {
+				for i := 0; i < 20; i++ {
+					s := r.Isend(other, 64, 1)
+					q := r.Irecv(other, 1)
+					r.Waitall(q, s)
+				}
+			}
+		})
+		return res.Elapsed
+	}
+	if pp, plain := run(true), run(false); pp >= plain {
+		t.Errorf("persistent %v should beat plain %v", pp, plain)
+	}
+}
+
+func TestPersistentMisusePanics(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	cfg.Ranks = 2
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() == 1 {
+			r.Recv(0, 1)
+			return
+		}
+		s := r.SendInit(1, 8, 1)
+		s.Start()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("double Start should panic")
+				}
+			}()
+			s.Start()
+		}()
+		s.Wait()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Wait while inactive should panic")
+				}
+			}()
+			s.Wait()
+		}()
+	})
+}
+
+func TestScatterMessageCount(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 4, Mode: machine.VN} // 16 ranks
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Scatter(r, 0, 256)
+	})
+	// Binomial scatter: 15 transfers.
+	if res.Net.Messages != 15 {
+		t.Errorf("scatter messages = %d, want 15", res.Net.Messages)
+	}
+}
+
+func TestScatterNonPow2AndRootOffset(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN, Ranks: 13}
+	mustRun(t, cfg, func(r *Rank) {
+		r.World().Scatter(r, 5, 100)
+	})
+}
+
+func TestScanCompletes(t *testing.T) {
+	for _, ranks := range []int{1, 2, 7, 16} {
+		cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN, Ranks: ranks}
+		res := mustRun(t, cfg, func(r *Rank) {
+			r.World().Scan(r, 1024)
+		})
+		if ranks > 1 && res.Net.Messages == 0 {
+			t.Errorf("ranks=%d: scan sent no messages", ranks)
+		}
+	}
+}
+
+func TestReduceScatterCompletes(t *testing.T) {
+	for _, ranks := range []int{2, 8, 11} {
+		cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN, Ranks: ranks}
+		res := mustRun(t, cfg, func(r *Rank) {
+			r.World().ReduceScatter(r, 512)
+		})
+		if res.Elapsed <= 0 {
+			t.Errorf("ranks=%d: no time elapsed", ranks)
+		}
+	}
+}
+
+func TestAnalyticVariantsOfNewCollectives(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 16, Mode: machine.VN,
+		AnalyticCollectives: true}
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Scatter(r, 0, 128)
+		r.World().Scan(r, 128)
+		r.World().ReduceScatter(r, 128)
+	})
+	if res.Elapsed <= 0 {
+		t.Error("analytic collectives took no time")
+	}
+}
+
+func TestCartCoordsRoundTrip(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN) // 32 ranks
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		ct, err := NewCart(r.World(), []int{4, 8}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank < 32; rank++ {
+			if got := ct.RankOf(ct.Coords(rank)); got != rank {
+				t.Fatalf("round trip %d -> %v -> %d", rank, ct.Coords(rank), got)
+			}
+		}
+		// MPI ordering: first dimension varies slowest.
+		if c := ct.Coords(1); c[0] != 0 || c[1] != 1 {
+			t.Errorf("Coords(1) = %v, want [0 1]", c)
+		}
+	})
+}
+
+func TestCartShift(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		per, err := NewCart(r.World(), []int{4, 8}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, dst := per.Shift(0, 1, 1)
+		if dst != 1 || src != 7 { // wraps in the 8-extent dimension
+			t.Errorf("periodic shift = (%d, %d), want (7, 1)", src, dst)
+		}
+		non, err := NewCart(r.World(), []int{4, 8}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, dst = non.Shift(0, 0, -1)
+		if dst != -1 { // off the edge
+			t.Errorf("non-periodic edge shift dst = %d, want -1", dst)
+		}
+		_ = src
+	})
+}
+
+func TestCartValidation(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		if _, err := NewCart(r.World(), []int{3, 3}, true); err == nil {
+			t.Error("size mismatch should fail")
+		}
+		if _, err := NewCart(r.World(), []int{0, 8}, true); err == nil {
+			t.Error("zero extent should fail")
+		}
+	})
+}
+
+func TestCartDrivesHalo(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN) // 32 ranks
+	mustRun(t, cfg, func(r *Rank) {
+		ct, err := NewCart(r.World(), []int{4, 8}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		me := r.ID()
+		for dim := 0; dim < 2; dim++ {
+			src, dst := ct.Shift(me, dim, 1)
+			r.Sendrecv(dst, 512, dim, src, dim)
+		}
+	})
+}
+
+func TestTraceRecordsMessageLifecycle(t *testing.T) {
+	tb := trace.NewBuffer(0)
+	cfg := bgpConfig(8, machine.SMP)
+	cfg.Ranks = 2
+	cfg.Trace = tb
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 128, 9)
+		} else {
+			r.Recv(0, 9)
+		}
+		r.World().Barrier(r)
+	})
+	sends := tb.OfKind(trace.Send)
+	if len(sends) != 1 || sends[0].Peer != 1 || sends[0].Bytes != 128 || sends[0].Tag != 9 {
+		t.Errorf("sends = %+v", sends)
+	}
+	if len(tb.OfKind(trace.RecvPost)) != 1 {
+		t.Error("missing recv-post")
+	}
+	matches := tb.OfKind(trace.Match)
+	if len(matches) != 1 || matches[0].Rank != 1 || matches[0].Peer != 0 {
+		t.Errorf("matches = %+v", matches)
+	}
+	// Barrier on 2 ranks: 2 enters + 2 exits.
+	if len(tb.OfKind(trace.CollEnter)) != 2 || len(tb.OfKind(trace.CollExit)) != 2 {
+		t.Error("collective events missing")
+	}
+	// Causality: the match happens at or after the send.
+	if matches[0].T < sends[0].T {
+		t.Error("match precedes send")
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	cfg.Ranks = 2
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 8, 0)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	// Nothing to assert beyond "does not crash without a buffer".
+}
+
+func TestPacketFidelityEndToEnd(t *testing.T) {
+	// The three network fidelities agree within a factor ~1.5 on an
+	// uncongested ring exchange, and all complete deterministically.
+	elapsed := map[network.Fidelity]sim.Duration{}
+	for _, fid := range []network.Fidelity{network.Analytic, network.Contention, network.Packet} {
+		cfg := bgpConfig(8, machine.SMP)
+		cfg.Fidelity = fid
+		res := mustRun(t, cfg, func(r *Rank) {
+			right := (r.ID() + 1) % r.Size()
+			left := (r.ID() - 1 + r.Size()) % r.Size()
+			for k := 0; k < 4; k++ {
+				r.Sendrecv(right, 32<<10, k, left, k)
+			}
+		})
+		elapsed[fid] = res.Elapsed
+	}
+	base := elapsed[network.Contention].Seconds()
+	for fid, d := range elapsed {
+		if ratio := d.Seconds() / base; ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("%v elapsed %v vs contention %v: ratio %.2f", fid, d, elapsed[network.Contention], ratio)
+		}
+	}
+}
+
+func TestNodeSlowdownStallsCollectives(t *testing.T) {
+	// The classic result: one slow node drags every bulk-synchronous
+	// step down to its pace, because the collective waits for the
+	// straggler.
+	run := func(slow map[int]float64) sim.Duration {
+		cfg := bgpConfig(64, machine.VN)
+		cfg.NodeSlowdown = slow
+		res := mustRun(t, cfg, func(r *Rank) {
+			for step := 0; step < 4; step++ {
+				r.Compute(1e8, 0, machine.ClassStencil)
+				r.World().Allreduce(r, 8, true)
+			}
+		})
+		return res.Elapsed
+	}
+	base := run(nil)
+	oneSlow := run(map[int]float64{17: 0.25})
+	inflate := oneSlow.Seconds()/base.Seconds() - 1
+	// One slow node out of 64 inflates the whole run by ~its slowdown.
+	if inflate < 0.2 || inflate > 0.3 {
+		t.Errorf("one 25%%-slow node inflated the run by %.0f%%, want ~25%%", inflate*100)
+	}
+}
+
+func TestBcastPayload(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN) // 32 ranks
+	got := make([]string, 32)
+	mustRun(t, cfg, func(r *Rank) {
+		var v interface{}
+		if r.ID() == 5 {
+			v = "from-root"
+		}
+		out := r.World().BcastPayload(r, 5, 1024, v)
+		got[r.ID()] = out.(string)
+	})
+	for i, v := range got {
+		if v != "from-root" {
+			t.Fatalf("rank %d got %q", i, v)
+		}
+	}
+}
+
+func TestGatherPayload(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Ranks = 9 // non-power-of-two
+	var collected []interface{}
+	mustRun(t, cfg, func(r *Rank) {
+		out := r.World().GatherPayload(r, 3, 64, r.ID()*10)
+		if r.ID() == 3 {
+			collected = out
+		} else if out != nil {
+			t.Errorf("non-root rank %d got values", r.ID())
+		}
+	})
+	if len(collected) != 9 {
+		t.Fatalf("collected %d values", len(collected))
+	}
+	for i, v := range collected {
+		if v.(int) != i*10 {
+			t.Fatalf("slot %d = %v, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestPayloadCollectivesOnSubcomm(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	mustRun(t, cfg, func(r *Rank) {
+		c := r.World().Split(r, r.ID()%2, r.ID())
+		v := r.World().BcastPayload(r, 0, 8, pick(r.ID() == 0, "x", nil))
+		_ = v
+		out := c.BcastPayload(r, 0, 8, pick(c.Rank(r) == 0, c, nil))
+		if out == nil {
+			t.Errorf("rank %d: no subcomm payload", r.ID())
+		}
+	})
+}
+
+func pick(cond bool, a, b interface{}) interface{} {
+	if cond {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,622 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func bgpConfig(nodes int, mode machine.Mode) Config {
+	return Config{
+		Machine:  machine.Get(machine.BGP),
+		Nodes:    nodes,
+		Mode:     mode,
+		Fidelity: network.Contention,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config, prog func(*Rank)) *Result {
+	t.Helper()
+	res, err := Execute(cfg, prog)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return res
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := NewWorld(Config{Machine: machine.Get(machine.BGP)}); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Ranks = 1000
+	if _, err := NewWorld(cfg); err == nil {
+		t.Error("over-capacity ranks should fail")
+	}
+	cfg = bgpConfig(8, machine.VN)
+	cfg.Mapping = "QRST"
+	if _, err := NewWorld(cfg); err == nil {
+		t.Error("bad mapping should fail")
+	}
+	cfg = Config{Machine: machine.Get(machine.XT3), Nodes: 8, Mode: machine.DUAL}
+	if _, err := NewWorld(cfg); err == nil {
+		t.Error("XT3 DUAL should fail")
+	}
+	cfg = bgpConfig(8, machine.VN)
+	cfg.Dims = topology.Dims{3, 3, 3}
+	if _, err := NewWorld(cfg); err == nil {
+		t.Error("dims/node mismatch should fail")
+	}
+}
+
+func TestWorldSizeByMode(t *testing.T) {
+	for _, c := range []struct {
+		mode machine.Mode
+		want int
+	}{{machine.SMP, 8}, {machine.DUAL, 16}, {machine.VN, 32}} {
+		w, err := NewWorld(bgpConfig(8, c.mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Size() != c.want {
+			t.Errorf("%v: size = %d, want %d", c.mode, w.Size(), c.want)
+		}
+	}
+}
+
+func TestSendRecvPayload(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Ranks = 2
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.SendPayload(1, 100, 7, "hello")
+		} else {
+			n, v := r.RecvPayload(0, 7)
+			if n != 100 || v.(string) != "hello" {
+				t.Errorf("got (%d,%v)", n, v)
+			}
+		}
+	})
+}
+
+func TestRecvWildcards(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Ranks = 3
+	mustRun(t, cfg, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.SendPayload(2, 8, 5, "from0")
+		case 1:
+			// Ensure rank 1's message leaves later so matching order
+			// is deterministic for the test.
+			r.Advance(sim.Millisecond)
+			r.SendPayload(2, 8, 9, "from1")
+		case 2:
+			_, v := r.RecvPayload(AnySource, 5)
+			if v.(string) != "from0" {
+				t.Errorf("tag-5 recv got %v", v)
+			}
+			_, v = r.RecvPayload(1, AnyTag)
+			if v.(string) != "from1" {
+				t.Errorf("src-1 recv got %v", v)
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Ranks = 2
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.SendPayload(1, 4, 1, "a")
+			r.SendPayload(1, 4, 2, "b")
+		} else {
+			// Receive tag 2 first even though tag 1 arrives first.
+			_, v := r.RecvPayload(0, 2)
+			if v.(string) != "b" {
+				t.Errorf("tag-2 recv got %v", v)
+			}
+			_, v = r.RecvPayload(0, 1)
+			if v.(string) != "a" {
+				t.Errorf("tag-1 recv got %v", v)
+			}
+		}
+	})
+}
+
+func TestEagerLatency(t *testing.T) {
+	// A 0-byte nearest-neighbour ping should cost roughly
+	// 2*SWLatency + hops*hop latency.
+	cfg := bgpConfig(8, machine.SMP)
+	m := cfg.Machine
+	var got sim.Duration
+	mustRun(t, cfg, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 0, 0)
+		case 1:
+			r.Recv(0, 0)
+			got = r.Elapsed()
+		}
+	})
+	want := sim.Seconds(2*m.SWLatency + m.TorusHopLat)
+	if got != want {
+		t.Errorf("one-way 0-byte latency = %v, want %v", got, want)
+	}
+}
+
+func TestRendezvousSlowerThanEagerPerByte(t *testing.T) {
+	// Crossing the eager limit adds the rendezvous handshake.
+	oneWay := func(bytes int) sim.Duration {
+		cfg := bgpConfig(8, machine.SMP)
+		var d sim.Duration
+		mustRun(t, cfg, func(r *Rank) {
+			switch r.ID() {
+			case 0:
+				r.Send(1, bytes, 0)
+			case 1:
+				r.Recv(0, 0)
+				d = r.Elapsed()
+			}
+		})
+		return d
+	}
+	m := machine.Get(machine.BGP)
+	below := oneWay(m.EagerLimit)
+	above := oneWay(m.EagerLimit + 1)
+	if above-below < sim.Seconds(m.RendezvousRTT) {
+		t.Errorf("rendezvous step = %v, want >= RTT %v", above-below, sim.Seconds(m.RendezvousRTT))
+	}
+}
+
+func TestRendezvousBlocksSenderUntilTransfer(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	m := cfg.Machine
+	bytes := 1 << 20
+	var senderDone, recvDone sim.Duration
+	mustRun(t, cfg, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, bytes, 0)
+			senderDone = r.Elapsed()
+		case 1:
+			r.Advance(10 * sim.Millisecond) // receiver late
+			r.Recv(0, 0)
+			recvDone = r.Elapsed()
+		}
+	})
+	if senderDone < 10*sim.Millisecond {
+		t.Errorf("rendezvous sender finished at %v, before receiver posted", senderDone)
+	}
+	minXfer := sim.Seconds(float64(bytes) / m.TorusLinkBW)
+	if recvDone-10*sim.Millisecond < minXfer {
+		t.Errorf("transfer took %v, below wire floor %v", recvDone-10*sim.Millisecond, minXfer)
+	}
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Ranks = 4
+	mustRun(t, cfg, func(r *Rank) {
+		// Everyone exchanges with everyone (small messages).
+		var reqs []*Request
+		for d := 0; d < 4; d++ {
+			if d != r.ID() {
+				reqs = append(reqs, r.Irecv(d, 3))
+			}
+		}
+		for d := 0; d < 4; d++ {
+			if d != r.ID() {
+				reqs = append(reqs, r.Isend(d, 64, 3))
+			}
+		}
+		r.Waitall(reqs...)
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Ranks = 2
+	mustRun(t, cfg, func(r *Rank) {
+		other := 1 - r.ID()
+		n := r.Sendrecv(other, 500, 1, other, 1)
+		if n != 500 {
+			t.Errorf("sendrecv returned %d", n)
+		}
+	})
+}
+
+func TestDeadlockReported(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	cfg.Ranks = 2
+	_, err := Execute(cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 0) // never sent
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestWaitOnForeignRequestPanics(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	cfg.Ranks = 2
+	var req *Request
+	mustRun(t, cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			req = r.Isend(1, 1, 0)
+		} else {
+			r.Recv(0, 0)
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic waiting on foreign request")
+				}
+			}()
+			r.Wait(req)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, analytic := range []bool{false, true} {
+		cfg := bgpConfig(8, machine.VN)
+		cfg.AnalyticCollectives = analytic
+		var after [32]sim.Duration
+		mustRun(t, cfg, func(r *Rank) {
+			r.Advance(sim.Duration(r.ID()) * sim.Microsecond)
+			r.World().Barrier(r)
+			after[r.ID()] = r.Elapsed()
+		})
+		// Everyone leaves the barrier no earlier than the last enter.
+		last := 31 * sim.Microsecond
+		for i, d := range after {
+			if d < last {
+				t.Errorf("analytic=%v rank %d left barrier at %v, before last enter %v", analytic, i, d, last)
+			}
+		}
+	}
+}
+
+func TestBGPBarrierUsesHardware(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Barrier(r)
+	})
+	if res.Net.BarrierOps == 0 {
+		t.Error("BG/P world barrier should use the barrier network")
+	}
+	if res.Net.Messages != 0 {
+		t.Error("hardware barrier should send no torus messages")
+	}
+}
+
+func TestXTBarrierUsesSoftware(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN}
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Barrier(r)
+	})
+	if res.Net.BarrierOps != 0 {
+		t.Error("XT has no barrier network")
+	}
+	if res.Net.Messages == 0 {
+		t.Error("software barrier should send messages")
+	}
+}
+
+func TestBcastTreeOffloadOnBGP(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Bcast(r, 0, 32<<10)
+	})
+	if res.Net.TreeOps == 0 {
+		t.Error("BG/P world bcast should ride the tree")
+	}
+	if res.Net.Messages != 0 {
+		t.Error("tree bcast should not touch the torus")
+	}
+}
+
+func TestBcastSoftwareOnXT(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN}
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Bcast(r, 3, 1000)
+	})
+	if res.Net.TreeOps != 0 {
+		t.Error("XT has no tree")
+	}
+	// Binomial over 32 ranks: 31 point-to-point transfers.
+	if res.Net.Messages != 31 {
+		t.Errorf("binomial bcast sent %d messages, want 31", res.Net.Messages)
+	}
+}
+
+func TestBcastSegmentedLarge(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 4, Mode: machine.SMP}
+	bytes := 100 << 10
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Bcast(r, 0, bytes)
+	})
+	// 4 ranks, 3 edges, ceil(100K/8K)=13 segments each.
+	if res.Net.Messages != 3*13 {
+		t.Errorf("segmented bcast sent %d messages, want 39", res.Net.Messages)
+	}
+}
+
+func TestAllreduceDoubleUsesTreeOnBGP(t *testing.T) {
+	run := func(double bool) network.Stats {
+		cfg := bgpConfig(8, machine.VN)
+		res := mustRun(t, cfg, func(r *Rank) {
+			r.World().Allreduce(r, 32<<10, double)
+		})
+		return res.Net
+	}
+	d := run(true)
+	if d.TreeOps == 0 || d.Messages != 0 {
+		t.Errorf("double allreduce should use tree: %+v", d)
+	}
+	s := run(false)
+	if s.TreeOps != 0 || s.Messages == 0 {
+		t.Errorf("single-precision allreduce should fall back to software: %+v", s)
+	}
+}
+
+func TestAllreduceDoubleFasterThanSingleOnBGP(t *testing.T) {
+	// The paper's Figure 3 asymmetry.
+	run := func(double bool) sim.Duration {
+		cfg := bgpConfig(8, machine.VN)
+		res := mustRun(t, cfg, func(r *Rank) {
+			r.World().Allreduce(r, 32<<10, double)
+		})
+		return res.Elapsed
+	}
+	if dd, ss := run(true), run(false); dd >= ss {
+		t.Errorf("BG/P double allreduce %v should beat single %v", dd, ss)
+	}
+}
+
+func TestAllreduceNoAsymmetryOnXT(t *testing.T) {
+	run := func(double bool) sim.Duration {
+		cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN}
+		res := mustRun(t, cfg, func(r *Rank) {
+			r.World().Allreduce(r, 32<<10, double)
+		})
+		return res.Elapsed
+	}
+	if run(true) != run(false) {
+		t.Error("XT allreduce should not depend on precision")
+	}
+}
+
+func TestAllreduceNonPowerOfTwo(t *testing.T) {
+	for _, ranks := range []int{3, 5, 6, 7, 12, 24} {
+		for _, bytes := range []int{8, 64 << 10} {
+			cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN, Ranks: ranks}
+			res := mustRun(t, cfg, func(r *Rank) {
+				r.World().Allreduce(r, bytes, true)
+			})
+			if res.Elapsed <= 0 {
+				t.Errorf("ranks=%d bytes=%d: elapsed %v", ranks, bytes, res.Elapsed)
+			}
+		}
+	}
+}
+
+func TestAlltoallMessageCount(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 4, Mode: machine.VN} // 16 ranks
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Alltoall(r, 256)
+	})
+	want := int64(16 * 15)
+	if res.Net.Messages != want {
+		t.Errorf("alltoall messages = %d, want %d", res.Net.Messages, want)
+	}
+}
+
+func TestAlltoallNonPow2(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN, Ranks: 11}
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Alltoall(r, 64)
+	})
+	if res.Net.Messages != 11*10 {
+		t.Errorf("alltoall messages = %d, want 110", res.Net.Messages)
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.SMP}
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Allgather(r, 128)
+	})
+	if res.Net.Messages != 8*7 {
+		t.Errorf("ring allgather messages = %d, want 56", res.Net.Messages)
+	}
+}
+
+func TestReduceAndGather(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN, Ranks: 13}
+	mustRun(t, cfg, func(r *Rank) {
+		r.World().Reduce(r, 0, 4096, true)
+		r.World().Gather(r, 2, 100)
+	})
+}
+
+func TestSplitRowsAndColumns(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN) // 32 ranks
+	mustRun(t, cfg, func(r *Rank) {
+		row := r.ID() / 8
+		col := r.ID() % 8
+		rowComm := r.World().Split(r, row, col)
+		if rowComm.Size() != 8 {
+			t.Errorf("row comm size = %d, want 8", rowComm.Size())
+		}
+		if rowComm.Rank(r) != col {
+			t.Errorf("row rank = %d, want %d", rowComm.Rank(r), col)
+		}
+		// Collectives work on the subcommunicator.
+		rowComm.Allreduce(r, 64, true)
+		colComm := r.World().Split(r, col, row)
+		if colComm.Size() != 4 {
+			t.Errorf("col comm size = %d, want 4", colComm.Size())
+		}
+		colComm.Barrier(r)
+	})
+}
+
+func TestSplitUndefined(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	mustRun(t, cfg, func(r *Rank) {
+		color := -1
+		if r.ID() < 4 {
+			color = 0
+		}
+		c := r.World().Split(r, color, 0)
+		if r.ID() < 4 {
+			if c == nil || c.Size() != 4 {
+				t.Errorf("rank %d: comm %v", r.ID(), c)
+			}
+		} else if c != nil {
+			t.Errorf("rank %d: expected nil comm", r.ID())
+		}
+	})
+}
+
+func TestSubcommAllreduceUsesSoftware(t *testing.T) {
+	// Tree offload is world-only; a subcommunicator must use the torus.
+	cfg := bgpConfig(8, machine.VN)
+	res := mustRun(t, cfg, func(r *Rank) {
+		c := r.World().Split(r, r.ID()%2, r.ID())
+		c.Allreduce(r, 1024, true)
+	})
+	if res.Net.Messages == 0 {
+		t.Error("subcomm allreduce should send torus messages")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Duration {
+		cfg := bgpConfig(8, machine.VN)
+		res := mustRun(t, cfg, func(r *Rank) {
+			r.World().Allreduce(r, 100, false)
+			right := (r.ID() + 1) % r.Size()
+			left := (r.ID() - 1 + r.Size()) % r.Size()
+			r.Sendrecv(right, 5000, 0, left, 0)
+			r.World().Barrier(r)
+		})
+		return res.Elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	cfg.Ranks = 2
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.TimerStart("phase")
+		r.Advance(sim.Duration(r.ID()+1) * sim.Millisecond)
+		r.TimerStop("phase")
+	})
+	if got := res.TimerOfRank(0, "phase"); got != sim.Millisecond {
+		t.Errorf("rank 0 timer = %v", got)
+	}
+	if got := res.MaxTimer("phase"); got != 2*sim.Millisecond {
+		t.Errorf("max timer = %v", got)
+	}
+	if got := res.TimerOfRank(5, "phase"); got != 0 {
+		t.Errorf("absent rank timer = %v", got)
+	}
+}
+
+func TestTimerStopWithoutStartPanics(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	cfg.Ranks = 1
+	mustRun(t, cfg, func(r *Rank) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		r.TimerStop("never")
+	})
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Ranks = 1
+	res := mustRun(t, cfg, func(r *Rank) {
+		rate := r.w.cpu.FlopRate(machine.ClassDGEMM)
+		r.Compute(rate, 0, machine.ClassDGEMM) // exactly one second of DGEMM
+	})
+	if res.Elapsed != sim.Second {
+		t.Errorf("elapsed = %v, want 1s", res.Elapsed)
+	}
+}
+
+func TestWorldRunsOnce(t *testing.T) {
+	w, err := NewWorld(bgpConfig(8, machine.SMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(func(*Rank) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(func(*Rank) {}); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestShmForSameNodeRanks(t *testing.T) {
+	// VN mode with TXYZ: ranks 0-3 share node 0; their traffic uses
+	// the shared-memory path.
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Mapping = topology.MapTXYZ
+	cfg.Ranks = 4
+	res := mustRun(t, cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 100, 0)
+		} else if r.ID() == 1 {
+			r.Recv(0, 0)
+		}
+	})
+	if res.Net.ShmMsgs != 1 {
+		t.Errorf("shm msgs = %d, want 1", res.Net.ShmMsgs)
+	}
+}
+
+func TestAnalyticCollectivesMatchShape(t *testing.T) {
+	// Analytic and simulated software allreduce should agree within a
+	// small factor (same algorithm structure).
+	elapsed := func(analytic bool) sim.Duration {
+		cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 16, Mode: machine.VN,
+			AnalyticCollectives: analytic}
+		res := mustRun(t, cfg, func(r *Rank) {
+			r.World().Allreduce(r, 32<<10, true)
+		})
+		return res.Elapsed
+	}
+	a, s := elapsed(true), elapsed(false)
+	ratio := a.Seconds() / s.Seconds()
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("analytic %v vs simulated %v: ratio %.2f out of [0.3,3]", a, s, ratio)
+	}
+}
+
+func TestEventCountReported(t *testing.T) {
+	cfg := bgpConfig(8, machine.SMP)
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Barrier(r)
+	})
+	if res.Events == 0 {
+		t.Error("no events recorded")
+	}
+}

@@ -1,0 +1,269 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bgpsim/internal/sim"
+	"bgpsim/internal/trace"
+)
+
+// message is an in-flight transfer. For eager sends it represents the
+// data itself; for rendezvous sends it is the ready-to-send header and
+// the data transfer starts when the receiver matches it.
+type message struct {
+	src, dst int // world rank ids
+	tag      int
+	collKey  string // non-empty for collective-internal traffic
+	bytes    int
+	payload  interface{}
+	eager    bool
+	sender   *Request // rendezvous: the sender's blocked request
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	r       *Rank
+	isRecv  bool
+	src     int // matching source (receives)
+	tag     int
+	collKey string
+	done    bool
+	waiting bool
+	msg     *message // matched message (receives)
+}
+
+// Done reports whether the operation has completed.
+func (q *Request) Done() bool { return q.done }
+
+// Payload returns the received message's payload (nil until a receive
+// completes).
+func (q *Request) Payload() interface{} {
+	if q.msg == nil {
+		return nil
+	}
+	return q.msg.payload
+}
+
+// IsendPayload starts a non-blocking send carrying a value.
+func (r *Rank) IsendPayload(dst, bytes, tag int, payload interface{}) *Request {
+	return r.isendPayload(dst, bytes, tag, "", payload)
+}
+
+func (r *Rank) swOverhead() sim.Duration {
+	return sim.Seconds(r.w.mach.SWLatency)
+}
+
+// Send transmits bytes to rank dst with the given tag and blocks until
+// the send buffer is reusable: immediately after local processing for
+// eager messages, after the full transfer for rendezvous messages.
+func (r *Rank) Send(dst, bytes, tag int) { r.sendPayload(dst, bytes, tag, "", nil) }
+
+// SendPayload is Send carrying an arbitrary value, used by tests and
+// by programs that need to move model data between ranks.
+func (r *Rank) SendPayload(dst, bytes, tag int, payload interface{}) {
+	r.sendPayload(dst, bytes, tag, "", payload)
+}
+
+func (r *Rank) sendPayload(dst, bytes, tag int, collKey string, payload interface{}) {
+	req := r.isendPayload(dst, bytes, tag, collKey, payload)
+	r.waitNoOverhead(req)
+}
+
+// Isend starts a non-blocking send and returns its request.
+func (r *Rank) Isend(dst, bytes, tag int) *Request {
+	return r.isendPayload(dst, bytes, tag, "", nil)
+}
+
+func (r *Rank) isendPayload(dst, bytes, tag int, collKey string, payload interface{}) *Request {
+	return r.isendFrac(dst, bytes, tag, collKey, payload, 1.0)
+}
+
+// isendFrac is isendPayload with a scaled sender-side software cost
+// (persistent channels pay a reduced overhead).
+func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{}, overheadFrac float64) *Request {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("mpi: negative send size %d", bytes))
+	}
+	r.proc.Sleep(sim.Duration(float64(r.swOverhead()) * overheadFrac)) // sender-side software cost
+	if tb := r.w.cfg.Trace; tb != nil {
+		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.Send,
+			Peer: dst, Bytes: bytes, Tag: tag})
+	}
+	dstRank := r.w.ranks[dst]
+	req := &Request{r: r, tag: tag, collKey: collKey}
+	msg := &message{src: r.id, dst: dst, tag: tag, collKey: collKey,
+		bytes: bytes, payload: payload, sender: req}
+	if bytes <= r.w.mach.EagerLimit {
+		msg.eager = true
+		req.done = true // buffer reusable immediately
+		arrival := r.w.net.P2P(r.proc.Now(), r.place.Node, dstRank.place.Node, bytes)
+		r.w.kernel.At(arrival, func() { dstRank.deliver(msg) })
+	} else {
+		// Rendezvous: a small header travels now; the data moves when
+		// the receiver matches it, and this request completes then.
+		arrival := r.w.net.P2P(r.proc.Now(), r.place.Node, dstRank.place.Node, 0)
+		r.w.kernel.At(arrival, func() { dstRank.deliver(msg) })
+	}
+	return req
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns
+// its size. Use AnySource and AnyTag as wildcards.
+func (r *Rank) Recv(src, tag int) int {
+	req := r.irecv(src, tag, "")
+	r.Wait(req)
+	return req.msg.bytes
+}
+
+// RecvPayload is Recv returning the carried payload as well.
+func (r *Rank) RecvPayload(src, tag int) (int, interface{}) {
+	req := r.irecv(src, tag, "")
+	r.Wait(req)
+	return req.msg.bytes, req.msg.payload
+}
+
+// Irecv posts a non-blocking receive for (src, tag).
+func (r *Rank) Irecv(src, tag int) *Request {
+	return r.irecv(src, tag, "")
+}
+
+func (r *Rank) irecv(src, tag int, collKey string) *Request {
+	req := &Request{r: r, isRecv: true, src: src, tag: tag, collKey: collKey}
+	if tb := r.w.cfg.Trace; tb != nil {
+		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.RecvPost,
+			Peer: src, Tag: tag})
+	}
+	// Try the inbox first (first matching arrival wins).
+	for i, m := range r.inbox {
+		if req.matches(m) {
+			r.inbox = append(r.inbox[:i], r.inbox[i+1:]...)
+			r.matched(req, m)
+			return req
+		}
+	}
+	r.posted = append(r.posted, req)
+	return req
+}
+
+// matches reports whether message m satisfies receive request q.
+func (q *Request) matches(m *message) bool {
+	if q.collKey != m.collKey {
+		return false
+	}
+	if q.src != AnySource && q.src != m.src {
+		return false
+	}
+	if q.tag != AnyTag && q.tag != m.tag {
+		return false
+	}
+	return true
+}
+
+// deliver runs at a message's wire arrival time on the destination
+// rank (eager data or rendezvous header).
+func (r *Rank) deliver(m *message) {
+	for i, q := range r.posted {
+		if q.matches(m) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			r.matched(q, m)
+			return
+		}
+	}
+	r.inbox = append(r.inbox, m)
+}
+
+// matched pairs receive request q with message m. Eager data is
+// complete on the spot; a rendezvous match starts the bulk transfer.
+func (r *Rank) matched(q *Request, m *message) {
+	q.msg = m
+	if tb := r.w.cfg.Trace; tb != nil {
+		tb.Record(trace.Event{T: r.w.kernel.Now(), Rank: r.id, Kind: trace.Match,
+			Peer: m.src, Bytes: m.bytes, Tag: m.tag})
+	}
+	if m.eager {
+		r.completeRecv(q)
+		return
+	}
+	// Rendezvous: clear-to-send handshake, then the bulk transfer.
+	now := r.w.kernel.Now()
+	start := now.Add(sim.Seconds(r.w.mach.RendezvousRTT))
+	srcNode := r.w.ranks[m.src].place.Node
+	done := r.w.net.P2P(start, srcNode, r.place.Node, m.bytes)
+	r.w.kernel.At(done, func() {
+		r.completeRecv(q)
+		sq := m.sender
+		sq.done = true
+		if sq.waiting {
+			sq.r.proc.Wake()
+		}
+	})
+}
+
+func (r *Rank) completeRecv(q *Request) {
+	q.done = true
+	if q.waiting {
+		r.proc.Wake()
+	}
+}
+
+// Wait blocks until the request completes. Completed receives charge
+// the receiver-side software overhead.
+func (r *Rank) Wait(q *Request) {
+	r.waitNoOverhead(q)
+	if q.isRecv {
+		r.proc.Sleep(r.swOverhead())
+	}
+}
+
+func (r *Rank) waitNoOverhead(q *Request) {
+	if q.r != r {
+		panic("mpi: waiting on another rank's request")
+	}
+	if !q.done {
+		q.waiting = true
+		kind := "MPI_Wait(send)"
+		if q.isRecv {
+			kind = "MPI_Wait(recv)"
+		}
+		r.proc.Block(kind)
+		q.waiting = false
+	}
+}
+
+// Waitall blocks until every request completes.
+func (r *Rank) Waitall(qs ...*Request) {
+	for _, q := range qs {
+		r.Wait(q)
+	}
+}
+
+// Sendrecv performs a combined send and receive (the halo-exchange
+// staple) and returns the received byte count.
+func (r *Rank) Sendrecv(dst, sendBytes, sendTag, src, recvTag int) int {
+	sreq := r.isendPayload(dst, sendBytes, sendTag, "", nil)
+	rreq := r.irecv(src, recvTag, "")
+	r.Wait(rreq)
+	r.waitNoOverhead(sreq)
+	return rreq.msg.bytes
+}
+
+// sendColl / recvColl are the collective-internal variants keyed so
+// collective traffic can never match user receives.
+func (r *Rank) sendColl(dst, bytes int, key string) {
+	r.sendPayload(dst, bytes, 0, key, nil)
+}
+
+func (r *Rank) recvColl(src int, key string) {
+	q := r.irecv(src, AnyTag, key)
+	r.Wait(q)
+}
+
+func (r *Rank) sendrecvColl(dst, bytes, src int, key string) {
+	sreq := r.isendPayload(dst, bytes, 0, key, nil)
+	rreq := r.irecv(src, AnyTag, key)
+	r.Wait(rreq)
+	r.waitNoOverhead(sreq)
+}

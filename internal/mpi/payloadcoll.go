@@ -1,0 +1,68 @@
+package mpi
+
+import "fmt"
+
+// BcastPayload broadcasts a value from communicator rank root along a
+// binomial tree of payload-carrying point-to-point messages and
+// returns it on every member. The byte count prices the transfer (the
+// value itself travels by reference inside the simulator).
+//
+// This is the data-carrying sibling of Comm.Bcast: use Bcast to model
+// a broadcast's cost when only timing matters, and BcastPayload when
+// the program actually needs the value (see internal/hpl's panel
+// broadcast for the pattern).
+func (c *Comm) BcastPayload(r *Rank, root, bytes int, value interface{}) interface{} {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: bcast root %d out of range", root))
+	}
+	key := c.nextKey(r, "bcastpayload")
+	p := c.Size()
+	if p == 1 {
+		return value
+	}
+	me := c.Rank(r)
+	rel := (me - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := c.Member((rel - mask + root) % p)
+			q := r.irecv(src, AnyTag, key)
+			r.Wait(q)
+			value = q.Payload()
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < p {
+			dst := c.Member((rel + mask + root) % p)
+			r.isendPayload(dst, bytes, 0, key, value)
+		}
+	}
+	return value
+}
+
+// GatherPayload collects every member's value at communicator rank
+// root, which receives them indexed by communicator rank (others get
+// nil). Transfers go directly to the root (the small-world pattern the
+// verification paths use).
+func (c *Comm) GatherPayload(r *Rank, root, bytesPerRank int, value interface{}) []interface{} {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: gather root %d out of range", root))
+	}
+	key := c.nextKey(r, "gatherpayload")
+	p := c.Size()
+	me := c.Rank(r)
+	if me != root {
+		r.sendPayload(c.Member(root), bytesPerRank, 0, key, value)
+		return nil
+	}
+	out := make([]interface{}, p)
+	out[me] = value
+	for i := 0; i < p-1; i++ {
+		q := r.irecv(AnySource, AnyTag, key)
+		r.Wait(q)
+		out[c.Rank(r.w.ranks[q.msg.src])] = q.Payload()
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bgpsim/internal/sim"
+)
+
+// PersistentRequest is a reusable communication request in the style
+// of MPI_Send_init / MPI_Recv_init: the envelope is fixed once, Start
+// activates one round, and Wait completes it. Persistent requests
+// model the reduced per-message software cost of pre-established
+// channels (the HALO benchmark's "persistent" variants).
+type PersistentRequest struct {
+	r      *Rank
+	isRecv bool
+	peer   int
+	bytes  int
+	tag    int
+	active *Request
+}
+
+// persistentOverheadFrac is the fraction of the normal per-message
+// software cost a persistent operation pays: matching state and
+// envelope processing are set up once at init time. [cal]
+const persistentOverheadFrac = 0.6
+
+// SendInit creates a persistent send channel to dst.
+func (r *Rank) SendInit(dst, bytes, tag int) *PersistentRequest {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpi: SendInit to invalid rank %d", dst))
+	}
+	return &PersistentRequest{r: r, peer: dst, bytes: bytes, tag: tag}
+}
+
+// RecvInit creates a persistent receive channel from src.
+func (r *Rank) RecvInit(src, tag int) *PersistentRequest {
+	return &PersistentRequest{r: r, isRecv: true, peer: src, tag: tag}
+}
+
+// Start activates the request for one round. Starting an already
+// active request panics.
+func (p *PersistentRequest) Start() {
+	if p.active != nil {
+		panic("mpi: persistent request started while active")
+	}
+	if p.isRecv {
+		p.active = p.r.irecv(p.peer, p.tag, "")
+		return
+	}
+	p.active = p.r.isendFrac(p.peer, p.bytes, p.tag, "", nil, persistentOverheadFrac)
+}
+
+// Wait completes the active round. Persistent receives pay the reduced
+// receive-side software cost.
+func (p *PersistentRequest) Wait() {
+	if p.active == nil {
+		panic("mpi: persistent request waited while inactive")
+	}
+	r := p.r
+	r.waitNoOverhead(p.active)
+	if p.isRecv {
+		r.proc.Sleep(sim.Duration(float64(r.swOverhead()) * persistentOverheadFrac))
+	}
+	p.active = nil
+}
+
+// StartAll starts every request.
+func StartAll(ps ...*PersistentRequest) {
+	for _, p := range ps {
+		p.Start()
+	}
+}
+
+// WaitAllPersistent waits for every request.
+func WaitAllPersistent(ps ...*PersistentRequest) {
+	for _, p := range ps {
+		p.Wait()
+	}
+}

@@ -1,0 +1,99 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Wildcards for receive matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Rank is one MPI task of a simulated program. All methods must be
+// called from within the rank's own program function.
+type Rank struct {
+	w     *World
+	id    int
+	place topology.Placement
+	proc  *sim.Proc
+
+	inbox  []*message // arrived eager data / rendezvous headers, unmatched
+	posted []*Request // posted receives, unmatched
+
+	timers     map[string]sim.Duration
+	timerStart map[string]sim.Time
+	collSeq    map[string]int // per-communicator collective sequence numbers
+	rng        *sim.RNG
+}
+
+func newRank(w *World, id int, place topology.Placement) *Rank {
+	return &Rank{
+		w:          w,
+		id:         id,
+		place:      place,
+		timers:     make(map[string]sim.Duration),
+		timerStart: make(map[string]sim.Time),
+		collSeq:    make(map[string]int),
+		rng:        sim.NewRNG(w.cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
+	}
+}
+
+// ID returns the rank's number in the world communicator.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world communicator size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Node returns the torus node index the rank runs on.
+func (r *Rank) Node() int { return r.place.Node }
+
+// Core returns the core slot within the node.
+func (r *Rank) Core() int { return r.place.Core }
+
+// World returns the world communicator.
+func (r *Rank) World() *Comm { return r.w.world }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// Elapsed returns the virtual time since simulation start.
+func (r *Rank) Elapsed() sim.Duration { return sim.Duration(r.proc.Now()) }
+
+// RNG returns the rank's private deterministic random source.
+func (r *Rank) RNG() *sim.RNG { return r.rng }
+
+// Compute advances the rank's clock by the roofline time of a compute
+// block (flops of the given kernel class touching bytes of memory),
+// including any injected slowdown for the rank's node.
+func (r *Rank) Compute(flops, bytes float64, class machine.KernelClass) {
+	d := r.w.cpu.Time(flops, bytes, class)
+	if s, ok := r.w.cfg.NodeSlowdown[r.place.Node]; ok && s > 0 {
+		d = sim.Duration(float64(d) * (1 + s))
+	}
+	r.proc.Sleep(d)
+}
+
+// Advance moves the rank's clock forward by a fixed duration
+// (pre-computed cost, e.g. from a closed-form model).
+func (r *Rank) Advance(d sim.Duration) { r.proc.Sleep(d) }
+
+// TimerStart begins (or resumes) the named per-rank timer.
+func (r *Rank) TimerStart(name string) {
+	r.timerStart[name] = r.proc.Now()
+}
+
+// TimerStop stops the named timer and accumulates the elapsed span.
+// Stopping a timer that is not running panics (it is a model bug).
+func (r *Rank) TimerStop(name string) {
+	start, ok := r.timerStart[name]
+	if !ok {
+		panic(fmt.Sprintf("mpi: timer %q stopped but not started", name))
+	}
+	delete(r.timerStart, name)
+	r.timers[name] += r.proc.Now().Sub(start)
+}

@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+)
+
+// buildRandomScript generates a deterministic random communication
+// script that is deadlock-free by construction: a sequence of global
+// phases, each either a collective or a permutation exchange where
+// every rank sends to its image under a random permutation and
+// receives from its preimage.
+type phase struct {
+	kind    int   // 0 sendrecv-perm, 1 allreduce, 2 bcast, 3 alltoall, 4 barrier, 5 allgather
+	perm    []int // for kind 0
+	inverse []int
+	bytes   int
+}
+
+func buildRandomScript(seed uint64, ranks, phases int) []phase {
+	rng := sim.NewRNG(seed)
+	out := make([]phase, phases)
+	for i := range out {
+		p := phase{kind: rng.Intn(6), bytes: 1 << uint(rng.Intn(16))}
+		if p.kind == 0 {
+			perm := make([]int, ranks)
+			for j := range perm {
+				perm[j] = j
+			}
+			for j := ranks - 1; j > 0; j-- {
+				k := rng.Intn(j + 1)
+				perm[j], perm[k] = perm[k], perm[j]
+			}
+			inv := make([]int, ranks)
+			for j, v := range perm {
+				inv[v] = j
+			}
+			p.perm, p.inverse = perm, inv
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func runScript(t *testing.T, cfg Config, script []phase) *Result {
+	t.Helper()
+	res, err := Execute(cfg, func(r *Rank) {
+		me := r.ID()
+		for i, p := range script {
+			switch p.kind {
+			case 0:
+				if p.perm[me] == me {
+					continue
+				}
+				r.Sendrecv(p.perm[me], p.bytes, i, p.inverse[me], i)
+			case 1:
+				r.World().Allreduce(r, p.bytes, i%2 == 0)
+			case 2:
+				r.World().Bcast(r, i%r.Size(), p.bytes)
+			case 3:
+				r.World().Alltoall(r, p.bytes/r.Size()+1)
+			case 4:
+				r.World().Barrier(r)
+			case 5:
+				r.World().Allgather(r, p.bytes/r.Size()+1)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("script run failed: %v", err)
+	}
+	return res
+}
+
+func TestRandomScriptsComplete(t *testing.T) {
+	// Many random workloads across machines, modes and fidelities:
+	// all must terminate without deadlock.
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+			cfg := Config{Machine: machine.Get(id), Nodes: 16, Mode: machine.VN,
+				Fidelity: network.Contention}
+			script := buildRandomScript(seed, 64, 12)
+			res := runScript(t, cfg, script)
+			if res.Elapsed <= 0 {
+				t.Errorf("seed %d on %s: no time", seed, id)
+			}
+		}
+	}
+}
+
+func TestRandomScriptsDeterministic(t *testing.T) {
+	for seed := uint64(10); seed < 13; seed++ {
+		script := buildRandomScript(seed, 32, 10)
+		mk := func() Config {
+			return Config{Machine: machine.Get(machine.BGP), Nodes: 8, Mode: machine.VN,
+				Fidelity: network.Contention}
+		}
+		a := runScript(t, mk(), script)
+		b := runScript(t, mk(), script)
+		if a.Elapsed != b.Elapsed || a.Net != b.Net || a.Events != b.Events {
+			t.Errorf("seed %d: runs differ: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+func TestRandomScriptsMessageConservation(t *testing.T) {
+	// In a permutation-exchange-only script, the network must carry
+	// exactly ranks messages per phase (minus self-pairs), all matched.
+	ranks := 32
+	var script []phase
+	for _, p := range buildRandomScript(77, ranks, 40) {
+		if p.kind == 0 { // keep only the permutation exchanges
+			script = append(script, p)
+		}
+	}
+	if len(script) < 3 {
+		t.Fatal("seed produced too few permutation phases")
+	}
+	cfg := Config{Machine: machine.Get(machine.XT4QC), Nodes: 8, Mode: machine.VN,
+		Fidelity: network.Contention}
+	res := runScript(t, cfg, script)
+	want := int64(0)
+	for _, p := range script {
+		for j, v := range p.perm {
+			if v != j {
+				want++
+			}
+		}
+	}
+	if res.Net.Messages != want {
+		t.Errorf("messages = %d, want %d", res.Net.Messages, want)
+	}
+}
+
+func TestRandomScriptsAcrossFidelities(t *testing.T) {
+	// The same script completes under every network model and the
+	// elapsed times agree within a factor of two.
+	script := buildRandomScript(5, 32, 8)
+	var times []sim.Duration
+	for _, fid := range []network.Fidelity{network.Analytic, network.Contention, network.Packet} {
+		cfg := Config{Machine: machine.Get(machine.BGP), Nodes: 8, Mode: machine.VN, Fidelity: fid}
+		times = append(times, runScript(t, cfg, script).Elapsed)
+	}
+	for i := 1; i < len(times); i++ {
+		ratio := times[i].Seconds() / times[0].Seconds()
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("fidelity %d: elapsed %v vs analytic %v", i, times[i], times[0])
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package mpi implements a message-passing programming model on top of
+// the simulation kernel: ranks written as ordinary blocking Go
+// functions, point-to-point operations with eager and rendezvous
+// protocols, tag matching, communicators, and collective operations
+// with per-machine algorithm selection (including the BlueGene
+// hardware collective-tree offload).
+package mpi
+
+import (
+	"fmt"
+
+	"bgpsim/internal/cpu"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+	"bgpsim/internal/trace"
+)
+
+// Config describes a simulated machine partition and run options.
+type Config struct {
+	Machine *machine.Machine
+	Nodes   int // compute nodes in the partition
+	Mode    machine.Mode
+	Mapping topology.Mapping // defaults to XYZT
+	Dims    topology.Dims    // optional torus shape override (zero = derive from Nodes)
+
+	// Ranks optionally runs fewer MPI tasks than the partition's
+	// capacity (Nodes * ranks-per-node). Zero means full capacity.
+	Ranks int
+
+	Fidelity network.Fidelity
+
+	// AnalyticCollectives replaces message-by-message collective
+	// simulation with closed-form durations. Use for very large rank
+	// counts where per-message simulation is too slow and collective
+	// internals are not the object of study.
+	AnalyticCollectives bool
+
+	Seed       uint64
+	EventLimit uint64 // safety cap on simulation events (0 = none)
+
+	// Trace, when non-nil, records message and collective events.
+	Trace *trace.Buffer
+
+	// NodeSlowdown injects per-node compute derating (keyed by torus
+	// node index): a factor of 0.1 makes every compute block on that
+	// node 10% slower. It models OS interference, thermal throttling
+	// or a sick node — the classic "one slow node stalls the
+	// collective" experiment.
+	NodeSlowdown map[int]float64
+}
+
+// World is a configured partition ready to execute one program.
+type World struct {
+	cfg    Config
+	mach   *machine.Machine
+	kernel *sim.Kernel
+	torus  *topology.Torus
+	mapper *topology.Mapper
+	net    *network.Net
+	cpu    *cpu.Model
+	ranks  []*Rank
+	world  *Comm
+
+	gates map[string]*gate
+	ran   bool
+}
+
+// NewWorld validates the configuration and builds the partition.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("mpi: no machine configured")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("mpi: node count %d must be positive", cfg.Nodes)
+	}
+	if !cfg.Machine.SupportsMode(cfg.Mode) {
+		return nil, fmt.Errorf("mpi: %s does not support %s mode", cfg.Machine.Name, cfg.Mode)
+	}
+	if cfg.Mapping == "" {
+		cfg.Mapping = topology.MapXYZT
+	}
+	if !cfg.Mapping.Valid() {
+		return nil, fmt.Errorf("mpi: invalid mapping %q", cfg.Mapping)
+	}
+	dims := cfg.Dims
+	if dims.Nodes() == 0 || dims[0] == 0 {
+		dims = topology.DimsForNodes(cfg.Nodes)
+	}
+	if dims.Nodes() != cfg.Nodes {
+		return nil, fmt.Errorf("mpi: dims %v hold %d nodes, config says %d", dims, dims.Nodes(), cfg.Nodes)
+	}
+	rpn := cfg.Machine.RanksPerNode(cfg.Mode)
+	capacity := cfg.Nodes * rpn
+	nranks := cfg.Ranks
+	if nranks == 0 {
+		nranks = capacity
+	}
+	if nranks < 1 || nranks > capacity {
+		return nil, fmt.Errorf("mpi: %d ranks exceed capacity %d (%d nodes x %d/node)",
+			nranks, capacity, cfg.Nodes, rpn)
+	}
+
+	w := &World{
+		cfg:    cfg,
+		mach:   cfg.Machine,
+		kernel: sim.NewKernel(),
+		torus:  topology.NewTorus(dims),
+		gates:  make(map[string]*gate),
+	}
+	w.kernel.EventLimit = cfg.EventLimit
+	w.mapper = topology.NewMapper(w.torus, rpn, cfg.Mapping)
+	w.net = network.New(cfg.Machine, w.torus, cfg.Fidelity)
+	w.cpu = cpu.New(cfg.Machine, cfg.Mode)
+
+	w.ranks = make([]*Rank, nranks)
+	members := make([]int, nranks)
+	for i := range w.ranks {
+		w.ranks[i] = newRank(w, i, w.mapper.Place(i))
+		members[i] = i
+	}
+	w.world = &Comm{w: w, members: members, isWorld: true}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Net returns the interconnect (for inspection in tests and reports).
+func (w *World) Net() *network.Net { return w.net }
+
+// CPU returns the per-rank compute model.
+func (w *World) CPU() *cpu.Model { return w.cpu }
+
+// Machine returns the machine model.
+func (w *World) Machine() *machine.Machine { return w.mach }
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Result summarizes one program execution.
+type Result struct {
+	// Elapsed is the virtual time when the last rank finished.
+	Elapsed sim.Duration
+	// RankElapsed is each rank's finish time.
+	RankElapsed []sim.Duration
+	// Timers holds, per timer name, each rank's accumulated duration.
+	Timers map[string][]sim.Duration
+	// Net holds the interconnect traffic counters.
+	Net network.Stats
+	// Events is the number of simulation events fired.
+	Events uint64
+}
+
+// MaxTimer returns the maximum accumulated duration of the named timer
+// across ranks (zero if the timer never ran).
+func (r *Result) MaxTimer(name string) sim.Duration {
+	var max sim.Duration
+	for _, d := range r.Timers[name] {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TimerOfRank returns the named timer of one rank (zero if absent).
+func (r *Result) TimerOfRank(rank int, name string) sim.Duration {
+	ds := r.Timers[name]
+	if rank < 0 || rank >= len(ds) {
+		return 0
+	}
+	return ds[rank]
+}
+
+// Run executes the program on every rank and returns the result. A
+// World can run only once. An MPI deadlock in the program is returned
+// as an error (wrapping *sim.DeadlockError).
+func (w *World) Run(program func(*Rank)) (*Result, error) {
+	if w.ran {
+		return nil, fmt.Errorf("mpi: world already ran")
+	}
+	w.ran = true
+	finish := make([]sim.Duration, len(w.ranks))
+	for _, r := range w.ranks {
+		r := r
+		r.proc = w.kernel.Spawn(fmt.Sprintf("rank %d", r.id), func(p *sim.Proc) {
+			program(r)
+			finish[r.id] = sim.Duration(p.Now())
+		})
+	}
+	if err := w.kernel.Run(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		RankElapsed: finish,
+		Timers:      make(map[string][]sim.Duration),
+		Net:         w.net.Stats(),
+		Events:      w.kernel.Events(),
+	}
+	for _, d := range finish {
+		if d > res.Elapsed {
+			res.Elapsed = d
+		}
+	}
+	for _, r := range w.ranks {
+		for name, d := range r.timers {
+			ds, ok := res.Timers[name]
+			if !ok {
+				ds = make([]sim.Duration, len(w.ranks))
+				res.Timers[name] = ds
+			}
+			ds[r.id] = d
+		}
+	}
+	return res, nil
+}
+
+// Execute builds a world from cfg and runs the program: the common
+// one-shot path.
+func Execute(cfg Config, program func(*Rank)) (*Result, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(program)
+}

@@ -1,0 +1,290 @@
+// Package network models the interconnects of the evaluated machines:
+// the 3-D torus (with optional per-link contention), the BlueGene
+// global collective tree, the global barrier/interrupt network, and
+// the on-node shared-memory path.
+//
+// The torus contention model is a wormhole approximation: a message
+// reserves every directed link on its dimension-ordered route for the
+// message's serialization time, offset by the per-hop latency of the
+// links before it. Messages that share links therefore queue behind
+// each other, which is what makes the paper's process-mapping studies
+// (Figure 2c/d) come out: poor mappings produce longer routes that
+// share more links.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Fidelity selects the torus model.
+type Fidelity int
+
+const (
+	// Analytic uses hop latency plus serialization time with no
+	// shared state. It is fast and used for very large sweeps where
+	// contention is not the object of study.
+	Analytic Fidelity = iota
+	// Contention tracks per-link busy times so that messages sharing
+	// links queue. Use it for mapping and congestion studies.
+	Contention
+	// Packet simulates individual packets hopping link by link — the
+	// highest-fidelity (and slowest) model; used to validate the
+	// Contention approximation at small scale.
+	Packet
+)
+
+// packetBytes is the torus packet size in Packet fidelity (the BG/P
+// torus uses up to 256-byte packets).
+const packetBytes = 256
+
+// String names the fidelity.
+func (f Fidelity) String() string {
+	switch f {
+	case Analytic:
+		return "analytic"
+	case Packet:
+		return "packet"
+	}
+	return "contention"
+}
+
+// Stats accumulates traffic counters.
+type Stats struct {
+	Messages   int64
+	Bytes      int64
+	ShmMsgs    int64
+	TreeOps    int64
+	BarrierOps int64
+}
+
+// Net is the interconnect of one simulated machine partition.
+type Net struct {
+	mach  *machine.Machine
+	torus *topology.Torus
+	tree  *topology.Tree
+	fid   Fidelity
+
+	// Contention state, indexed by dense link index.
+	linkFree []sim.Time
+	injFree  []sim.Time      // per node injection channel
+	ejFree   []sim.Time      // per node ejection channel
+	shmFree  []sim.Time      // per node shared-memory channel
+	routeBuf []topology.Link // scratch for routing (single-threaded kernel)
+
+	stats Stats
+}
+
+// New builds the interconnect for a machine over a torus.
+func New(m *machine.Machine, t *topology.Torus, fid Fidelity) *Net {
+	n := &Net{mach: m, torus: t, fid: fid}
+	if m.HasTree {
+		n.tree = topology.NewCollectiveTree(t.Dims.Nodes(), 3)
+	}
+	nodes := t.Dims.Nodes()
+	if fid == Contention || fid == Packet {
+		n.linkFree = make([]sim.Time, t.NumLinks())
+		n.injFree = make([]sim.Time, nodes)
+		n.ejFree = make([]sim.Time, nodes)
+	}
+	n.shmFree = make([]sim.Time, nodes)
+	return n
+}
+
+// Torus returns the underlying torus.
+func (n *Net) Torus() *topology.Torus { return n.torus }
+
+// Stats returns a copy of the traffic counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Fidelity returns the active torus model.
+func (n *Net) Fidelity() Fidelity { return n.fid }
+
+// P2P computes the wire arrival time of a message of the given size
+// injected at time now from srcNode to dstNode. MPI software overheads
+// are NOT included here — the MPI layer adds them. Messages between
+// placements on the same node use the shared-memory path.
+func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) sim.Time {
+	if bytes < 0 {
+		panic(fmt.Sprintf("network: negative message size %d", bytes))
+	}
+	n.stats.Messages++
+	n.stats.Bytes += int64(bytes)
+	if srcNode == dstNode {
+		return n.shm(now, srcNode, bytes)
+	}
+	hops := n.torus.Hops(srcNode, dstNode)
+	hopLat := sim.Seconds(n.mach.TorusHopLat * float64(hops))
+	effBW := math.Min(n.mach.TorusLinkBW, n.mach.NICInjectBW)
+	wire := sim.Seconds(float64(bytes) / effBW)
+
+	if n.fid == Analytic {
+		return now.Add(hopLat + wire)
+	}
+	if n.fid == Packet {
+		return n.packetTransfer(now, srcNode, dstNode, bytes)
+	}
+
+	n.routeBuf = n.torus.AppendRoute(n.routeBuf[:0], srcNode, dstNode)
+	route := n.routeBuf
+	injSer := sim.Seconds(float64(bytes) / n.mach.NICInjectBW)
+	linkSer := sim.Seconds(float64(bytes) / n.mach.TorusLinkBW)
+
+	// Find the earliest departure such that the injection channel,
+	// every link (offset by the head latency to reach it), and the
+	// ejection channel are all free.
+	depart := now
+	if n.injFree[srcNode] > depart {
+		depart = n.injFree[srcNode]
+	}
+	perHop := sim.Seconds(n.mach.TorusHopLat)
+	for i, l := range route {
+		off := sim.Duration(i) * perHop
+		if need := n.linkFree[n.torus.LinkIndex(l)] - sim.Time(off); need > depart {
+			depart = need
+		}
+	}
+	if need := n.ejFree[dstNode] - sim.Time(hopLat); need > depart {
+		depart = need
+	}
+
+	// Reserve the resources.
+	n.injFree[srcNode] = depart.Add(injSer)
+	for i, l := range route {
+		off := sim.Duration(i) * perHop
+		n.linkFree[n.torus.LinkIndex(l)] = depart.Add(off + linkSer)
+	}
+	arrival := depart.Add(hopLat + wire)
+	n.ejFree[dstNode] = arrival
+	return arrival
+}
+
+// packetTransfer moves a message packet by packet along its
+// dimension-ordered route: packet k enters link i when both the packet
+// has cleared the previous link (virtual cut-through) and the link has
+// finished the previous packet. This is exact per-link FIFO
+// queueing — the reference against which the cheaper Contention
+// approximation is validated.
+func (n *Net) packetTransfer(now sim.Time, srcNode, dstNode, bytes int) sim.Time {
+	n.routeBuf = n.torus.AppendRoute(n.routeBuf[:0], srcNode, dstNode)
+	route := n.routeBuf
+	packets := (bytes + packetBytes - 1) / packetBytes
+	if packets == 0 {
+		packets = 1 // a header-only packet still traverses the route
+	}
+	perHop := sim.Seconds(n.mach.TorusHopLat)
+	linkSer := sim.Seconds(float64(packetBytes) / n.mach.TorusLinkBW)
+	injSer := sim.Seconds(float64(packetBytes) / n.mach.NICInjectBW)
+	lastBytes := bytes - (packets-1)*packetBytes
+	if lastBytes <= 0 {
+		lastBytes = packetBytes
+	}
+
+	var arrival sim.Time
+	for k := 0; k < packets; k++ {
+		ser := linkSer
+		inj := injSer
+		if k == packets-1 {
+			ser = sim.Seconds(float64(lastBytes) / n.mach.TorusLinkBW)
+			inj = sim.Seconds(float64(lastBytes) / n.mach.NICInjectBW)
+		}
+		// Injection.
+		t := now
+		if n.injFree[srcNode] > t {
+			t = n.injFree[srcNode]
+		}
+		t = t.Add(inj)
+		n.injFree[srcNode] = t
+		// Hop through each link.
+		for _, l := range route {
+			idx := n.torus.LinkIndex(l)
+			if n.linkFree[idx] > t {
+				t = n.linkFree[idx]
+			}
+			t = t.Add(ser)
+			n.linkFree[idx] = t
+			t = t.Add(perHop)
+		}
+		// Ejection.
+		if n.ejFree[dstNode] > t {
+			t = n.ejFree[dstNode]
+		}
+		n.ejFree[dstNode] = t
+		if t > arrival {
+			arrival = t
+		}
+	}
+	return arrival
+}
+
+// shm transfers a message over the node's shared-memory channel.
+func (n *Net) shm(now sim.Time, node, bytes int) sim.Time {
+	n.stats.ShmMsgs++
+	start := now
+	if n.shmFree[node] > start {
+		start = n.shmFree[node]
+	}
+	done := start.Add(sim.Seconds(n.mach.ShmLatency + float64(bytes)/n.mach.ShmBW))
+	n.shmFree[node] = done
+	return done
+}
+
+// HasTree reports whether the machine has a hardware collective tree.
+func (n *Net) HasTree() bool { return n.mach.HasTree }
+
+// TreeBcast returns the duration of a hardware-tree broadcast of the
+// given payload across the partition: the pipeline fill (tree depth
+// times per-stage latency) plus payload streaming at tree bandwidth.
+func (n *Net) TreeBcast(bytes int) sim.Duration {
+	if !n.mach.HasTree {
+		panic("network: TreeBcast on machine without collective tree")
+	}
+	n.stats.TreeOps++
+	fill := n.mach.TreeLat * float64(n.tree.Depth)
+	return sim.Seconds(fill + float64(bytes)/n.mach.TreeBW)
+}
+
+// TreeAllreduce returns the duration of a hardware-tree allreduce:
+// an up-reduction to the root followed by a down-broadcast, each a
+// pipelined traversal. The hardware ALU reduces at link rate.
+func (n *Net) TreeAllreduce(bytes int) sim.Duration {
+	if !n.mach.HasTree {
+		panic("network: TreeAllreduce on machine without collective tree")
+	}
+	n.stats.TreeOps++
+	fill := 2 * n.mach.TreeLat * float64(n.tree.Depth)
+	return sim.Seconds(fill + 2*float64(bytes)/n.mach.TreeBW)
+}
+
+// HWReduceSupported reports whether the tree can reduce the given
+// operand kind in hardware. The BlueGene tree ALU handles integers
+// and, on BG/P, double precision; single precision falls back to
+// software (this asymmetry is visible in the paper's Figure 3a/b).
+func (n *Net) HWReduceSupported(doublePrecision bool) bool {
+	return n.mach.HasTree && n.mach.TreeHWReduce && doublePrecision
+}
+
+// HasBarrierNet reports whether the machine has a global barrier network.
+func (n *Net) HasBarrierNet() bool { return n.mach.HasBarrierNet }
+
+// HWBarrier returns the latency of the global interrupt network barrier.
+func (n *Net) HWBarrier() sim.Duration {
+	if !n.mach.HasBarrierNet {
+		panic("network: HWBarrier on machine without barrier network")
+	}
+	n.stats.BarrierOps++
+	return sim.Seconds(n.mach.BarrierLat)
+}
+
+// BisectionBW returns the aggregate bandwidth across the torus
+// bisection actually delivered to a job in bytes/second — the
+// first-order limit for PTRANS-like all-to-all transposes. The
+// machine's BisectionDerate accounts for allocator fragmentation (1.0
+// on BlueGene's isolated partitions, lower on the Cray XT).
+func (n *Net) BisectionBW() float64 {
+	return float64(n.torus.BisectionLinks()) * n.mach.TorusLinkBW * n.mach.BisectionDerate
+}

@@ -1,0 +1,254 @@
+package network
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func newBGPNet(t *testing.T, nodes int, fid Fidelity) *Net {
+	t.Helper()
+	m := machine.Get(machine.BGP)
+	tor := topology.NewTorus(topology.DimsForNodes(nodes))
+	return New(m, tor, fid)
+}
+
+func TestAnalyticP2PTime(t *testing.T) {
+	n := newBGPNet(t, 512, Analytic)
+	m := machine.Get(machine.BGP)
+	src, dst := 0, 1 // one hop in X
+	bytes := 425000  // 1 ms at 425 MB/s
+	arr := n.P2P(0, src, dst, bytes)
+	want := sim.Seconds(m.TorusHopLat + float64(bytes)/m.TorusLinkBW)
+	if got := arr.Sub(0); got != want {
+		t.Errorf("analytic P2P = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyticScalesWithHops(t *testing.T) {
+	n := newBGPNet(t, 512, Analytic)
+	tor := n.Torus()
+	far := tor.NodeAt(topology.Coord{4, 4, 4}) // 12 hops in 8x8x8
+	near := tor.NodeAt(topology.Coord{1, 0, 0})
+	tFar := n.P2P(0, 0, far, 0).Sub(0)
+	tNear := n.P2P(0, 0, near, 0).Sub(0)
+	if tFar != 12*tNear {
+		t.Errorf("12-hop zero-byte time %v != 12x one-hop %v", tFar, tNear)
+	}
+}
+
+func TestContentionSerializesSharedLink(t *testing.T) {
+	n := newBGPNet(t, 512, Contention)
+	bytes := 425000 // 1ms serialization on the link
+	// Two messages over the same first link at the same time: the
+	// second must queue behind the first.
+	a1 := n.P2P(0, 0, 1, bytes)
+	a2 := n.P2P(0, 0, 1, bytes)
+	if a2.Sub(a1) < sim.Seconds(float64(bytes)/machine.Get(machine.BGP).TorusLinkBW)/2 {
+		t.Errorf("second message arrived %v after first; expected ~1ms of queuing", a2.Sub(a1))
+	}
+	if a2 <= a1 {
+		t.Error("shared-link messages did not serialize")
+	}
+}
+
+func TestContentionDisjointPathsDoNotInterfere(t *testing.T) {
+	n := newBGPNet(t, 512, Contention)
+	tor := n.Torus()
+	bytes := 425000
+	// Message 1: 0 -> +X neighbour. Message 2: between nodes far away.
+	a := tor.NodeAt(topology.Coord{4, 4, 4})
+	b := tor.NodeAt(topology.Coord{5, 4, 4})
+	t1 := n.P2P(0, 0, 1, bytes)
+	t2 := n.P2P(0, a, b, bytes)
+	if t2.Sub(0) != t1.Sub(0) {
+		t.Errorf("disjoint transfers differ: %v vs %v", t1.Sub(0), t2.Sub(0))
+	}
+}
+
+func TestContentionInjectionShared(t *testing.T) {
+	n := newBGPNet(t, 512, Contention)
+	bytes := 1 << 20
+	// Two messages from the same source to different directions share
+	// the injection channel.
+	t1 := n.P2P(0, 0, 1, bytes)
+	tor := n.Torus()
+	up := tor.NodeAt(topology.Coord{0, 1, 0})
+	t2 := n.P2P(0, 0, up, bytes)
+	if t2 <= t1 {
+		t.Error("same-source messages did not share injection bandwidth")
+	}
+}
+
+func TestShmPath(t *testing.T) {
+	n := newBGPNet(t, 512, Contention)
+	m := machine.Get(machine.BGP)
+	bytes := 3000
+	arr := n.P2P(0, 7, 7, bytes)
+	want := sim.Seconds(m.ShmLatency + float64(bytes)/m.ShmBW)
+	if arr.Sub(0) != want {
+		t.Errorf("shm transfer = %v, want %v", arr.Sub(0), want)
+	}
+	if n.Stats().ShmMsgs != 1 {
+		t.Errorf("shm msgs = %d, want 1", n.Stats().ShmMsgs)
+	}
+}
+
+func TestTreeBcastFasterThanTorusForLargePayloads(t *testing.T) {
+	// The tree pipeline beats a multi-round software broadcast; just
+	// check basic magnitudes: 32 KB over 850 MB/s is ~38us + fill.
+	n := newBGPNet(t, 1024, Analytic)
+	d := n.TreeBcast(32 << 10)
+	if d < sim.Microseconds(38) || d > sim.Microseconds(60) {
+		t.Errorf("tree bcast of 32KB = %v, want ~40-50us", d)
+	}
+}
+
+func TestTreeAllreduceTwiceBcastCost(t *testing.T) {
+	n := newBGPNet(t, 1024, Analytic)
+	b := n.TreeBcast(8 << 10)
+	ar := n.TreeAllreduce(8 << 10)
+	if ar != 2*b {
+		t.Errorf("allreduce %v != 2x bcast %v", ar, b)
+	}
+}
+
+func TestHWReduceSupport(t *testing.T) {
+	bgp := newBGPNet(t, 512, Analytic)
+	if !bgp.HWReduceSupported(true) {
+		t.Error("BG/P should reduce doubles in hardware")
+	}
+	if bgp.HWReduceSupported(false) {
+		t.Error("BG/P should NOT reduce single precision in hardware")
+	}
+	xt := New(machine.Get(machine.XT4QC), topology.NewTorus(topology.DimsForNodes(512)), Analytic)
+	if xt.HWReduceSupported(true) {
+		t.Error("XT has no tree")
+	}
+	if xt.HasTree() || xt.HasBarrierNet() {
+		t.Error("XT has no tree or barrier network")
+	}
+}
+
+func TestHWBarrier(t *testing.T) {
+	n := newBGPNet(t, 512, Analytic)
+	if d := n.HWBarrier(); d != sim.Seconds(machine.Get(machine.BGP).BarrierLat) {
+		t.Errorf("barrier = %v", d)
+	}
+}
+
+func TestTreeOnXTPanics(t *testing.T) {
+	xt := New(machine.Get(machine.XT3), topology.NewTorus(topology.DimsForNodes(64)), Analytic)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic using tree on XT3")
+		}
+	}()
+	xt.TreeBcast(8)
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	n := newBGPNet(t, 64, Analytic)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative size")
+		}
+	}()
+	n.P2P(0, 0, 1, -1)
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := newBGPNet(t, 64, Analytic)
+	n.P2P(0, 0, 1, 100)
+	n.P2P(0, 1, 2, 200)
+	s := n.Stats()
+	if s.Messages != 2 || s.Bytes != 300 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBandwidthNeverExceedsLinkCapacity(t *testing.T) {
+	// Property: k back-to-back messages over one link take at least
+	// k * bytes / linkBW total.
+	n := newBGPNet(t, 64, Contention)
+	m := machine.Get(machine.BGP)
+	const k = 20
+	const bytes = 100000
+	var last sim.Time
+	for i := 0; i < k; i++ {
+		last = n.P2P(0, 0, 1, bytes)
+	}
+	minTotal := sim.Seconds(float64(k*bytes) / m.TorusLinkBW)
+	if last.Sub(0) < minTotal {
+		t.Errorf("%d msgs finished in %v, below serialization floor %v", k, last.Sub(0), minTotal)
+	}
+}
+
+func TestContentionMatchesAnalyticWhenUncontended(t *testing.T) {
+	// With a single message in the network, the contention model's
+	// arrival should be close to the analytic model (same latency,
+	// bandwidth limited by min(link, NIC)).
+	na := newBGPNet(t, 512, Analytic)
+	for _, bytes := range []int{0, 64, 4096, 1 << 20} {
+		nc := newBGPNet(t, 512, Contention)
+		ta := na.P2P(0, 0, 5, bytes).Sub(0)
+		tc := nc.P2P(0, 0, 5, bytes).Sub(0)
+		if ta != tc {
+			t.Errorf("bytes=%d: analytic %v != uncontended %v", bytes, ta, tc)
+		}
+	}
+}
+
+func TestBisectionBW(t *testing.T) {
+	n := newBGPNet(t, 2048, Analytic) // 8x8x32
+	m := machine.Get(machine.BGP)
+	want := float64(8*8*2*2) * m.TorusLinkBW
+	if got := n.BisectionBW(); got != want {
+		t.Errorf("bisection BW = %g, want %g", got, want)
+	}
+}
+
+func TestPacketModeUncontendedCloseToContention(t *testing.T) {
+	// For a single large message, the packet model's arrival should be
+	// within ~20% of the contention approximation (store-and-forward
+	// granularity adds a little).
+	for _, bytes := range []int{4096, 1 << 20} {
+		nc := newBGPNet(t, 64, Contention)
+		np := newBGPNet(t, 64, Packet)
+		tc := nc.P2P(0, 0, 5, bytes).Sub(0).Seconds()
+		tp := np.P2P(0, 0, 5, bytes).Sub(0).Seconds()
+		ratio := tp / tc
+		if ratio < 0.8 || ratio > 1.3 {
+			t.Errorf("bytes=%d: packet %.3g s vs contention %.3g s: ratio %.3f", bytes, tp, tc, ratio)
+		}
+	}
+}
+
+func TestPacketModeSharesLinkFairly(t *testing.T) {
+	// Two messages interleaving on the same link: the second finishes
+	// roughly when 2x the data has been serialized.
+	n := newBGPNet(t, 64, Packet)
+	m := machine.Get(machine.BGP)
+	bytes := 512 << 10
+	n.P2P(0, 0, 1, bytes)
+	t2 := n.P2P(0, 0, 1, bytes)
+	floor := sim.Seconds(2 * float64(bytes) / m.TorusLinkBW)
+	if t2.Sub(0) < floor {
+		t.Errorf("two messages finished in %v, below serialization floor %v", t2.Sub(0), floor)
+	}
+}
+
+func TestPacketZeroByteStillTraverses(t *testing.T) {
+	n := newBGPNet(t, 64, Packet)
+	if got := n.P2P(0, 0, 1, 0).Sub(0); got <= 0 {
+		t.Errorf("zero-byte packet transfer took %v", got)
+	}
+}
+
+func TestFidelityStrings(t *testing.T) {
+	if Analytic.String() != "analytic" || Contention.String() != "contention" || Packet.String() != "packet" {
+		t.Error("fidelity names wrong")
+	}
+}

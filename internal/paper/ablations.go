@@ -1,0 +1,143 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/alloc"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/stats"
+	"bgpsim/internal/topology"
+)
+
+func init() {
+	register("ablations", "Supplementary: design-choice ablations (DESIGN.md §4)", ablations)
+}
+
+// ablations switches off, one at a time, the mechanisms DESIGN.md
+// credits for the paper's headline behaviours and shows what each is
+// worth.
+func ablations(o Options) ([]*stats.Table, error) {
+	nodes := 64
+	if o.Full {
+		nodes = 512
+	}
+	t := stats.NewTable("Design-choice ablations",
+		"Mechanism", "Metric", "With", "Without", "Factor")
+
+	// 1. Tree offload for double-precision Allreduce.
+	allreduce := func(hw bool) (float64, error) {
+		m := machine.Get(machine.BGP)
+		m.TreeHWReduce = hw
+		res, err := mpi.Execute(mpi.Config{Machine: m, Nodes: nodes, Mode: machine.VN},
+			func(r *mpi.Rank) { r.World().Allreduce(r, 32<<10, true) })
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Microseconds(), nil
+	}
+	withTree, err := allreduce(true)
+	if err != nil {
+		return nil, err
+	}
+	withoutTree, err := allreduce(false)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("collective-tree allreduce offload", "32KB allreduce latency (us)",
+		stats.FormatG(withTree), stats.FormatG(withoutTree), stats.FormatG(withoutTree/withTree))
+
+	// 2. Barrier network.
+	barrier := func(hw bool) (float64, error) {
+		m := machine.Get(machine.BGP)
+		m.HasBarrierNet = hw
+		res, err := mpi.Execute(mpi.Config{Machine: m, Nodes: nodes, Mode: machine.VN},
+			func(r *mpi.Rank) { r.World().Barrier(r) })
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Microseconds(), nil
+	}
+	withBar, err := barrier(true)
+	if err != nil {
+		return nil, err
+	}
+	withoutBar, err := barrier(false)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("global barrier network", "barrier latency (us)",
+		stats.FormatG(withBar), stats.FormatG(withoutBar), stats.FormatG(withoutBar/withBar))
+
+	// 3. Link contention model (vs analytic) on a mapping-hostile
+	// neighbour exchange.
+	exchange := func(fid network.Fidelity) (float64, error) {
+		cfg := mpi.Config{Machine: machine.Get(machine.BGP), Nodes: nodes, Mode: machine.VN,
+			Mapping: topology.MapXYZT, Fidelity: fid}
+		res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+			right := (r.ID() + 1) % r.Size()
+			left := (r.ID() - 1 + r.Size()) % r.Size()
+			for k := 0; k < 4; k++ {
+				r.Sendrecv(right, 64<<10, k, left, k)
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Microseconds(), nil
+	}
+	withCont, err := exchange(network.Contention)
+	if err != nil {
+		return nil, err
+	}
+	withoutCont, err := exchange(network.Analytic)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("link-contention model", "ring exchange time (us)",
+		stats.FormatG(withCont), stats.FormatG(withoutCont), stats.FormatG(withCont/withoutCont))
+
+	// 4. XT allocator fragmentation (the BisectionDerate evidence).
+	tor := topology.NewTorus(topology.Dims{8, 8, 16})
+	bgJob, err := alloc.Churn(alloc.NewBGAllocator(tor), tor, 12345, 300, 128)
+	if err != nil {
+		return nil, err
+	}
+	xtJob, err := alloc.Churn(alloc.NewXTAllocator(tor), tor, 12345, 300, 128)
+	if err != nil {
+		return nil, err
+	}
+	bgSpread := alloc.Spread(tor, bgJob)
+	xtSpread := alloc.Spread(tor, xtJob)
+	t.AddRow("partition isolation (BG vs XT allocator)", "job spread after churn",
+		stats.FormatG(bgSpread), stats.FormatG(xtSpread), stats.FormatG(xtSpread/bgSpread))
+	t.AddRow("", "external route fraction",
+		stats.FormatG(alloc.ExternalRouteFraction(tor, bgJob)),
+		stats.FormatG(alloc.ExternalRouteFraction(tor, xtJob)), "")
+
+	// 5. Noiseless compute kernel (CollNoisePerRank) at scale.
+	softAllreduce := func(noise float64) (float64, error) {
+		m := machine.Get(machine.XT4QC)
+		m.CollNoisePerRank = noise
+		cfg := mpi.Config{Machine: m, Nodes: nodes, Mode: machine.VN, AnalyticCollectives: true}
+		res, err := mpi.Execute(cfg, func(r *mpi.Rank) { r.World().Allreduce(r, 8, true) })
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Microseconds(), nil
+	}
+	quiet, err := softAllreduce(0)
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := softAllreduce(machine.Get(machine.XT4QC).CollNoisePerRank)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("noiseless kernel (OS-noise term off/on)",
+		fmt.Sprintf("8B software allreduce at %d ranks (us)", nodes*4),
+		stats.FormatG(quiet), stats.FormatG(noisy), stats.FormatG(noisy/quiet))
+
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,252 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/apps/cam"
+	"bgpsim/internal/apps/gyro"
+	"bgpsim/internal/apps/md"
+	"bgpsim/internal/apps/pop"
+	"bgpsim/internal/apps/s3d"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/stats"
+)
+
+func init() {
+	register("fig4", "POP tenth-degree benchmark", fig4)
+	register("fig5", "CAM dycore benchmarks", fig5)
+	register("fig6", "S3D weak scaling", fig6)
+	register("fig7", "GYRO benchmarks", fig7)
+	register("fig8", "LAMMPS and AMBER/PMEMD on RuBisCO", fig8)
+}
+
+func fig4(o Options) ([]*stats.Table, error) {
+	bgpProcs := []int{500, 1000, 2000}
+	xtProcs := []int{500, 1000, 2000}
+	if o.Full {
+		bgpProcs = []int{2000, 4000, 8000, 20000, 40000}
+		xtProcs = []int{2000, 4000, 8000, 22500}
+	}
+
+	// Panel (a): BG/P VN vs SMP, CG vs ChronGear.
+	fa := stats.NewFigure("Figure 4(a): POP total performance on BG/P", "processes", "SYD")
+	type variant struct {
+		name   string
+		mode   machine.Mode
+		solver pop.Solver
+	}
+	for _, v := range []variant{
+		{"VN ChronGear", machine.VN, pop.ChronopoulosGear},
+		{"VN CG", machine.VN, pop.StandardCG},
+		{"SMP ChronGear", machine.SMP, pop.ChronopoulosGear},
+	} {
+		s := fa.AddSeries(v.name)
+		for _, p := range bgpProcs {
+			r, err := pop.Run(pop.Options{Machine: machine.BGP, Mode: v.mode, Procs: p, Solver: v.solver})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(p), r.SYD)
+		}
+	}
+
+	// Panel (b): phase breakdown on BG/P with the timing barrier.
+	fb := stats.NewFigure("Figure 4(b): POP phases on BG/P (timing barrier)", "processes", "seconds per simulated day")
+	bcl := fb.AddSeries("baroclinic")
+	btr := fb.AddSeries("barotropic")
+	bar := fb.AddSeries("barrier (imbalance)")
+	for _, p := range bgpProcs {
+		r, err := pop.Run(pop.Options{Machine: machine.BGP, Mode: machine.VN, Procs: p,
+			Solver: pop.ChronopoulosGear, TimingBarrier: true})
+		if err != nil {
+			return nil, err
+		}
+		bcl.Add(float64(p), r.BaroclinicSec)
+		btr.Add(float64(p), r.BarotropicSec)
+		bar.Add(float64(p), r.BarrierSec)
+	}
+
+	// Panel (c): BG/P vs XT4 total performance.
+	fc := stats.NewFigure("Figure 4(c): POP, BG/P vs XT4 (Catamount)", "processes", "SYD")
+	for _, id := range []machine.ID{machine.BGP, machine.XT4DC} {
+		procs := bgpProcs
+		if id == machine.XT4DC {
+			procs = xtProcs
+		}
+		s := fc.AddSeries(string(id))
+		for _, p := range procs {
+			r, err := pop.Run(pop.Options{Machine: id, Mode: machine.VN, Procs: p, Solver: pop.ChronopoulosGear})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(p), r.SYD)
+		}
+	}
+
+	// Panel (d): phase comparison across machines (no timing barrier
+	// on the XT, as in the paper).
+	fd := stats.NewFigure("Figure 4(d): POP phases, BG/P vs XT4", "processes", "seconds per simulated day")
+	for _, id := range []machine.ID{machine.BGP, machine.XT4DC} {
+		procs := bgpProcs
+		tb := true
+		if id == machine.XT4DC {
+			procs = xtProcs
+			tb = false
+		}
+		sb := fd.AddSeries(string(id) + " baroclinic")
+		st := fd.AddSeries(string(id) + " barotropic")
+		for _, p := range procs {
+			r, err := pop.Run(pop.Options{Machine: id, Mode: machine.VN, Procs: p,
+				Solver: pop.ChronopoulosGear, TimingBarrier: tb})
+			if err != nil {
+				return nil, err
+			}
+			sb.Add(float64(p), r.BaroclinicSec)
+			st.Add(float64(p), r.BarotropicSec)
+		}
+	}
+	return []*stats.Table{fa.Table(), fb.Table(), fc.Table(), fd.Table()}, nil
+}
+
+func fig5(o Options) ([]*stats.Table, error) {
+	coreCounts := []int{32, 64, 128, 256}
+	if o.Full {
+		coreCounts = []int{64, 128, 256, 512, 1024}
+	}
+
+	// Panels (a)/(b): BG/P pure MPI vs hybrid.
+	var tables []*stats.Table
+	for i, probs := range [][]cam.Problem{{cam.T42, cam.T85}, {cam.FV19, cam.FV047}} {
+		f := stats.NewFigure(fmt.Sprintf("Figure 5(%c): CAM on BG/P, MPI vs hybrid", 'a'+i),
+			"cores", "SYPD")
+		for _, prob := range probs {
+			mpiS := f.AddSeries(prob.Name + " MPI")
+			ompS := f.AddSeries(prob.Name + " MPI+OMP")
+			for _, cores := range coreCounts {
+				if cores <= prob.MaxMPI {
+					r, err := cam.Run(cam.Options{Machine: machine.BGP, Mode: machine.VN,
+						Procs: cores, Problem: prob})
+					if err != nil {
+						return nil, err
+					}
+					mpiS.Add(float64(cores), r.SYPD)
+				}
+				procs := cores / 4
+				if procs >= 1 && procs <= prob.MaxMPI {
+					r, err := cam.Run(cam.Options{Machine: machine.BGP, Mode: machine.SMP,
+						Procs: procs, Problem: prob})
+					if err != nil {
+						return nil, err
+					}
+					ompS.Add(float64(cores), r.SYPD)
+				}
+			}
+		}
+		tables = append(tables, f.Table())
+	}
+
+	// Panels (c)/(d): best-configuration comparison across machines.
+	for i, probs := range [][]cam.Problem{{cam.T42, cam.T85}, {cam.FV19}} {
+		f := stats.NewFigure(fmt.Sprintf("Figure 5(%c): CAM best configuration by platform", 'c'+i),
+			"cores", "SYPD")
+		for _, prob := range probs {
+			for _, id := range []machine.ID{machine.BGP, machine.XT3, machine.XT4QC} {
+				s := f.AddSeries(fmt.Sprintf("%s %s", prob.Name, id))
+				for _, cores := range coreCounts {
+					r, _, err := cam.Best(id, prob, cores)
+					if err != nil {
+						return nil, err
+					}
+					s.Add(float64(cores), r.SYPD)
+				}
+			}
+		}
+		tables = append(tables, f.Table())
+	}
+	return tables, nil
+}
+
+func fig6(o Options) ([]*stats.Table, error) {
+	procs := []int{8, 64, 512}
+	if o.Full {
+		procs = []int{64, 512, 1728, 4096, 12000}
+	}
+	f := stats.NewFigure("Figure 6: S3D weak scaling (50^3 points per task)",
+		"processes", "core-hours per grid point per step")
+	for _, id := range []machine.ID{machine.BGP, machine.BGL, machine.XT3, machine.XT4DC, machine.XT4QC} {
+		s, err := s3d.WeakScaling(id, machine.VN, procs)
+		if err != nil {
+			return nil, err
+		}
+		f.Series = append(f.Series, s)
+	}
+	return []*stats.Table{f.Table()}, nil
+}
+
+func fig7(o Options) ([]*stats.Table, error) {
+	b1Procs := []int{16, 64, 256}
+	b3ProcsXT := []int{64, 256, 1024}
+	b3ProcsBGP := []int{256, 1024} // smaller counts do not fit DUAL-mode memory
+	weakProcs := []int{64, 256, 1024}
+	if o.Full {
+		b1Procs = []int{16, 64, 256, 1024}
+		b3ProcsXT = []int{64, 256, 1024, 2048}
+		b3ProcsBGP = []int{256, 1024, 2048}
+		weakProcs = []int{64, 256, 1024, 4096}
+	}
+
+	fa := stats.NewFigure("Figure 7(a): GYRO B1-std strong scaling", "processes", "total seconds (500 steps)")
+	for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+		s, err := gyro.StrongScaling(id, machine.VN, gyro.B1Std, b1Procs)
+		if err != nil {
+			return nil, err
+		}
+		fa.Series = append(fa.Series, s)
+	}
+
+	fb := stats.NewFigure("Figure 7(b): GYRO B3-gtc strong scaling (BG/P in DUAL mode)", "processes", "total seconds (100 steps)")
+	sx, err := gyro.StrongScaling(machine.XT4QC, machine.VN, gyro.B3GTC, b3ProcsXT)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := gyro.StrongScaling(machine.BGP, machine.DUAL, gyro.B3GTC, b3ProcsBGP)
+	if err != nil {
+		return nil, err
+	}
+	fb.Series = append(fb.Series, sb, sx)
+
+	fc := stats.NewFigure("Figure 7(c): GYRO modified B3-gtc weak scaling", "processes", "seconds per step")
+	for _, c := range []struct {
+		id   machine.ID
+		mode machine.Mode
+	}{{machine.BGP, machine.VN}, {machine.BGL, machine.VN}, {machine.XT4QC, machine.VN}} {
+		s, err := gyro.WeakScaled(c.id, c.mode, weakProcs)
+		if err != nil {
+			return nil, err
+		}
+		fc.Series = append(fc.Series, s)
+	}
+	return []*stats.Table{fa.Table(), fb.Table(), fc.Table()}, nil
+}
+
+func fig8(o Options) ([]*stats.Table, error) {
+	procs := []int{64, 256, 1024}
+	if o.Full {
+		procs = []int{128, 512, 2048, 8192}
+	}
+	machines := []machine.ID{machine.BGP, machine.BGL, machine.XT3, machine.XT4DC}
+	var tables []*stats.Table
+	for i, code := range []md.Code{md.LAMMPS, md.PMEMD} {
+		f := stats.NewFigure(fmt.Sprintf("Figure 8(%c): %s on RuBisCO (290,220 atoms)", 'a'+i, code),
+			"processes", "ns/day")
+		for _, id := range machines {
+			s, err := md.Scaling(id, machine.VN, code, procs)
+			if err != nil {
+				return nil, err
+			}
+			f.Series = append(f.Series, s)
+		}
+		tables = append(tables, f.Table())
+	}
+	return tables, nil
+}

@@ -1,0 +1,366 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/apps/cam"
+	"bgpsim/internal/apps/gyro"
+	"bgpsim/internal/apps/md"
+	"bgpsim/internal/apps/pop"
+	"bgpsim/internal/apps/s3d"
+	"bgpsim/internal/halo"
+	"bgpsim/internal/hpcc"
+	"bgpsim/internal/imb"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/power"
+	"bgpsim/internal/topology"
+)
+
+// Claim is one machine-checkable statement from the paper.
+type Claim struct {
+	ID   string
+	Text string // the paper's claim, paraphrased
+	// Check returns pass/fail with a one-line numeric justification.
+	Check func(Options) (bool, string, error)
+}
+
+// ClaimResult is the outcome of one verification.
+type ClaimResult struct {
+	Claim  Claim
+	Pass   bool
+	Detail string
+	Err    error
+}
+
+// VerifyClaims checks every registered claim at the given scale.
+func VerifyClaims(o Options) []ClaimResult {
+	out := make([]ClaimResult, 0, len(claims))
+	for _, c := range claims {
+		pass, detail, err := c.Check(o)
+		out = append(out, ClaimResult{Claim: c, Pass: pass && err == nil, Detail: detail, Err: err})
+	}
+	return out
+}
+
+var claims = []Claim{
+	{
+		ID:   "net-latency",
+		Text: "the BG/P network's strength is low-latency communication whereas the XT's strength is high-bandwidth communication (§II.A.2)",
+		Check: func(o Options) (bool, string, error) {
+			bgp, err := hpcc.SingleAndEP(machine.BGP, 128)
+			if err != nil {
+				return false, "", err
+			}
+			xt, err := hpcc.SingleAndEP(machine.XT4QC, 128)
+			if err != nil {
+				return false, "", err
+			}
+			ok := bgp.PingPongLatUS < xt.PingPongLatUS && bgp.PingPongBWGBs < xt.PingPongBWGBs
+			return ok, fmt.Sprintf("latency %.2f vs %.2f us; bandwidth %.2f vs %.2f GB/s",
+				bgp.PingPongLatUS, xt.PingPongLatUS, bgp.PingPongBWGBs, xt.PingPongBWGBs), nil
+		},
+	},
+	{
+		ID:   "stream",
+		Text: "BG/P exhibits higher absolute STREAM bandwidth and less SP-to-EP decline than the XT (Table 2)",
+		Check: func(o Options) (bool, string, error) {
+			bgp, err := hpcc.SingleAndEP(machine.BGP, 128)
+			if err != nil {
+				return false, "", err
+			}
+			xt, err := hpcc.SingleAndEP(machine.XT4QC, 128)
+			if err != nil {
+				return false, "", err
+			}
+			dB := (bgp.StreamSPGB - bgp.StreamEPGB) / bgp.StreamSPGB
+			dX := (xt.StreamSPGB - xt.StreamEPGB) / xt.StreamSPGB
+			ok := bgp.StreamSPGB > xt.StreamSPGB && dB < dX
+			return ok, fmt.Sprintf("SP %.2f vs %.2f GB/s; decline %.0f%% vs %.0f%%",
+				bgp.StreamSPGB, xt.StreamSPGB, dB*100, dX*100), nil
+		},
+	},
+	{
+		ID:   "hpl-scaling",
+		Text: "both systems scale HPL well (Figure 1a)",
+		Check: func(o Options) (bool, string, error) {
+			eff := func(id machine.ID) float64 {
+				m := machine.Get(id)
+				r1 := hpcc.HPLAnalytic(id, machine.VN, 256, hpcc.ProblemSizeN(m, machine.VN, 256, 0.8), hpcc.BlockingNB(id))
+				r4 := hpcc.HPLAnalytic(id, machine.VN, 1024, hpcc.ProblemSizeN(m, machine.VN, 1024, 0.8), hpcc.BlockingNB(id))
+				return (r4 / 4) / r1
+			}
+			b, x := eff(machine.BGP), eff(machine.XT4QC)
+			return b > 0.9 && x > 0.9, fmt.Sprintf("256->1024 efficiency: BG/P %.2f, XT %.2f", b, x), nil
+		},
+	},
+	{
+		ID:   "top500",
+		Text: "the ORNL BG/P TOP500 run scores ~21.4 TF (§II.C)",
+		Check: func(o Options) (bool, string, error) {
+			gf := hpcc.HPLAnalytic(machine.BGP, machine.VN, 8192, 614399, 96)
+			return gf > 19000 && gf < 24000, fmt.Sprintf("simulated %.0f GF vs paper 21400", gf), nil
+		},
+	},
+	{
+		ID:   "halo-sendrecv",
+		Text: "MPI_SENDRECV is slower than the nonblocking halo protocols for certain sizes (Figure 2a)",
+		Check: func(o Options) (bool, string, error) {
+			base := halo.Options{Machine: machine.BGP, Mode: machine.VN, GridX: 16, GridY: 8,
+				Mapping: topology.MapTXYZ, Words: 16, Iterations: 3}
+			base.Protocol = halo.IsendIrecv
+			di, err := halo.Run(base)
+			if err != nil {
+				return false, "", err
+			}
+			base.Protocol = halo.SendRecv
+			ds, err := halo.Run(base)
+			if err != nil {
+				return false, "", err
+			}
+			return ds > di, fmt.Sprintf("sendrecv %.1f us vs isend/irecv %.1f us", ds.Microseconds(), di.Microseconds()), nil
+		},
+	},
+	{
+		ID:   "halo-mapping",
+		Text: "process mapping is unimportant for small halos but important for large ones (Figure 2c/d)",
+		Check: func(o Options) (bool, string, error) {
+			spread := func(words int) (float64, error) {
+				var lo, hi float64
+				for _, m := range topology.PaperHALOMappings {
+					d, err := halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+						GridX: 32, GridY: 16, Mapping: m, Protocol: halo.IsendIrecv,
+						Words: words, Iterations: 3})
+					if err != nil {
+						return 0, err
+					}
+					v := d.Seconds()
+					if lo == 0 || v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+				return hi / lo, nil
+			}
+			small, err := spread(8)
+			if err != nil {
+				return false, "", err
+			}
+			large, err := spread(20000)
+			if err != nil {
+				return false, "", err
+			}
+			// Small halos see only the latency difference between
+			// on-node and one-hop neighbours (a few tens of percent);
+			// large halos see full link contention (multiples).
+			return small < 1.3 && large > 2*small,
+				fmt.Sprintf("spread %.2fx at 8 words, %.2fx at 20000 words", small, large), nil
+		},
+	},
+	{
+		ID:   "allreduce-precision",
+		Text: "double precision Allreduce is substantially faster than single precision on BG/P but not the XT (Figure 3a/b)",
+		Check: func(o Options) (bool, string, error) {
+			bd, err := imb.AllreduceLatency(machine.BGP, 256, 32<<10, true)
+			if err != nil {
+				return false, "", err
+			}
+			bs, err := imb.AllreduceLatency(machine.BGP, 256, 32<<10, false)
+			if err != nil {
+				return false, "", err
+			}
+			xd, err := imb.AllreduceLatency(machine.XT4QC, 256, 32<<10, true)
+			if err != nil {
+				return false, "", err
+			}
+			xs, err := imb.AllreduceLatency(machine.XT4QC, 256, 32<<10, false)
+			if err != nil {
+				return false, "", err
+			}
+			ok := bs.Seconds() > 3*bd.Seconds() && xd == xs
+			return ok, fmt.Sprintf("BG/P %.0f vs %.0f us; XT %.0f vs %.0f us",
+				bd.Microseconds(), bs.Microseconds(), xd.Microseconds(), xs.Microseconds()), nil
+		},
+	},
+	{
+		ID:   "bcast-tree",
+		Text: "BG/P dramatically outperforms the XT on Bcast at all message sizes (Figure 3c)",
+		Check: func(o Options) (bool, string, error) {
+			for _, bytes := range []int{8, 1024, 32 << 10, 1 << 20} {
+				b, err := imb.BcastLatency(machine.BGP, 256, bytes)
+				if err != nil {
+					return false, "", err
+				}
+				x, err := imb.BcastLatency(machine.XT4QC, 256, bytes)
+				if err != nil {
+					return false, "", err
+				}
+				if b.Seconds()*3 > x.Seconds() {
+					return false, fmt.Sprintf("at %d bytes: BG/P %.0f vs XT %.0f us (<3x)",
+						bytes, b.Microseconds(), x.Microseconds()), nil
+				}
+			}
+			return true, "BG/P >3x faster at 8B..1MB", nil
+		},
+	},
+	{
+		ID:   "pop-ratio",
+		Text: "XT4 delivers roughly 3-4x BG/P's POP throughput per process (Figure 4c, §III.A)",
+		Check: func(o Options) (bool, string, error) {
+			procs := 2000
+			if o.Full {
+				procs = 8000
+			}
+			b, err := pop.Run(pop.Options{Machine: machine.BGP, Mode: machine.VN, Procs: procs, Solver: pop.ChronopoulosGear})
+			if err != nil {
+				return false, "", err
+			}
+			x, err := pop.Run(pop.Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: procs, Solver: pop.ChronopoulosGear})
+			if err != nil {
+				return false, "", err
+			}
+			ratio := x.SYD / b.SYD
+			return ratio > 2.8 && ratio < 4.6, fmt.Sprintf("ratio %.2f at %d processes", ratio, procs), nil
+		},
+	},
+	{
+		ID:   "pop-barotropic",
+		Text: "the latency-bound barotropic phase is cheap on BG/P thanks to the tree network (Figure 4b/d)",
+		Check: func(o Options) (bool, string, error) {
+			r, err := pop.Run(pop.Options{Machine: machine.BGP, Mode: machine.VN, Procs: 2000,
+				Solver: pop.ChronopoulosGear, TimingBarrier: true})
+			if err != nil {
+				return false, "", err
+			}
+			frac := r.BarotropicSec / r.SecondsPerDay
+			return frac < 0.2, fmt.Sprintf("barotropic is %.0f%% of the day", frac*100), nil
+		},
+	},
+	{
+		ID:   "cam-hybrid",
+		Text: "OpenMP parallelism extends CAM's scalability beyond the spectral dycore's MPI limit (Figure 5a)",
+		Check: func(o Options) (bool, string, error) {
+			pure, err := cam.Run(cam.Options{Machine: machine.BGP, Mode: machine.VN, Procs: 64, Problem: cam.T42})
+			if err != nil {
+				return false, "", err
+			}
+			hybrid, err := cam.Run(cam.Options{Machine: machine.BGP, Mode: machine.SMP, Procs: 64, Problem: cam.T42})
+			if err != nil {
+				return false, "", err
+			}
+			return hybrid.SYPD > 1.5*pure.SYPD,
+				fmt.Sprintf("pure MPI cap %.1f SYPD; hybrid at 256 cores %.1f SYPD", pure.SYPD, hybrid.SYPD), nil
+		},
+	},
+	{
+		ID:   "cam-ratio",
+		Text: "BG/P is never less than 2.1x slower than the XT3 and 3.1x slower than the XT4 on spectral CAM (Figure 5c)",
+		Check: func(o Options) (bool, string, error) {
+			b, _, err := cam.Best(machine.BGP, cam.T85, 128)
+			if err != nil {
+				return false, "", err
+			}
+			x3, _, err := cam.Best(machine.XT3, cam.T85, 128)
+			if err != nil {
+				return false, "", err
+			}
+			x4, _, err := cam.Best(machine.XT4QC, cam.T85, 128)
+			if err != nil {
+				return false, "", err
+			}
+			r3, r4 := x3.SYPD/b.SYPD, x4.SYPD/b.SYPD
+			return r3 > 1.8 && r4 > 2.6, fmt.Sprintf("XT3 %.2fx, XT4 %.2fx", r3, r4), nil
+		},
+	},
+	{
+		ID:   "s3d-weak",
+		Text: "S3D exhibits excellent weak scaling (Figure 6)",
+		Check: func(o Options) (bool, string, error) {
+			s, err := s3d.WeakScaling(machine.BGP, machine.VN, []int{8, 512})
+			if err != nil {
+				return false, "", err
+			}
+			growth := s.Y[1] / s.Y[0]
+			return growth < 1.1, fmt.Sprintf("cost grows %.3fx from 8 to 512 tasks", growth), nil
+		},
+	},
+	{
+		ID:   "gyro-memory",
+		Text: "GYRO's B3-gtc must run in DUAL mode on BG/P due to memory (Figure 7b)",
+		Check: func(o Options) (bool, string, error) {
+			vn := gyro.FitsMemory(machine.BGP, machine.VN, gyro.B3GTC, 2048)
+			dual := gyro.FitsMemory(machine.BGP, machine.DUAL, gyro.B3GTC, 2048)
+			return !vn && dual, fmt.Sprintf("fits VN: %v, fits DUAL: %v (%.0f MB/task)",
+				vn, dual, gyro.MemoryPerRankMB(gyro.B3GTC, 2048)), nil
+		},
+	},
+	{
+		ID:   "md-efficiency",
+		Text: "the BG/P collective network yields higher MD parallel efficiencies; PMEMD scaling is more limited (§III.E)",
+		Check: func(o Options) (bool, string, error) {
+			bgp, err := md.Run(md.Options{Machine: machine.BGP, Mode: machine.VN, Procs: 2048, Code: md.LAMMPS})
+			if err != nil {
+				return false, "", err
+			}
+			xt, err := md.Run(md.Options{Machine: machine.XT4DC, Mode: machine.VN, Procs: 2048, Code: md.LAMMPS})
+			if err != nil {
+				return false, "", err
+			}
+			pme, err := md.Run(md.Options{Machine: machine.BGP, Mode: machine.VN, Procs: 2048, Code: md.PMEMD})
+			if err != nil {
+				return false, "", err
+			}
+			ok := bgp.Efficiency > xt.Efficiency && pme.Efficiency < bgp.Efficiency
+			return ok, fmt.Sprintf("LAMMPS eff BG/P %.2f vs XT %.2f; PMEMD %.2f",
+				bgp.Efficiency, xt.Efficiency, pme.Efficiency), nil
+		},
+	},
+	{
+		ID:   "power-percore",
+		Text: "BG/P needs ~7.7 W/core under HPL vs ~51 W/core on the XT — a factor of 6.6 (Table 3)",
+		Check: func(o Options) (bool, string, error) {
+			b := power.PerCoreWatts(machine.Get(machine.BGP), power.HPL)
+			x := power.PerCoreWatts(machine.Get(machine.XT4QC), power.HPL)
+			ratio := x / b
+			return ratio > 6 && ratio < 7, fmt.Sprintf("%.1f vs %.1f W/core, ratio %.1f", b, x, ratio), nil
+		},
+	},
+	{
+		ID:   "power-mflopsw",
+		Text: "BG/P delivers ~348 MFlops/W on HPL vs ~130 for the XT — a ratio of 2.68 (Table 3)",
+		Check: func(o Options) (bool, string, error) {
+			rb := hpcc.HPLAnalytic(machine.BGP, machine.VN, 8192,
+				hpcc.ProblemSizeN(machine.Get(machine.BGP), machine.VN, 8192, 0.8), 144)
+			rx := hpcc.HPLAnalytic(machine.XT4QC, machine.VN, 8192,
+				hpcc.ProblemSizeN(machine.Get(machine.XT4QC), machine.VN, 8192, 0.8), 168)
+			mb := power.MFlopsPerWatt(machine.Get(machine.BGP), 8192, rb*1e9, power.HPL)
+			mx := power.MFlopsPerWatt(machine.Get(machine.XT4QC), 8192, rx*1e9, power.HPL)
+			ratio := mb / mx
+			return ratio > 2.3 && ratio < 3.1, fmt.Sprintf("%.0f vs %.0f MFlops/W, ratio %.2f", mb, mx, ratio), nil
+		},
+	},
+	{
+		ID:   "power-science",
+		Text: "the BG/P power advantage shrinks sharply under the science-driven fixed-throughput metric (Table 3, §IV)",
+		Check: func(o Options) (bool, string, error) {
+			target := 2.0
+			maxCores := 12000
+			bModel := pop.SYDModel(machine.BGP, machine.VN, pop.ChronopoulosGear)
+			xModel := pop.SYDModel(machine.XT4QC, machine.VN, pop.ChronopoulosGear)
+			bf, err := power.AtThroughput(machine.Get(machine.BGP), target, 256, maxCores, bModel)
+			if err != nil {
+				return false, "", err
+			}
+			xf, err := power.AtThroughput(machine.Get(machine.XT4QC), target, 256, maxCores, xModel)
+			if err != nil {
+				return false, "", err
+			}
+			// Per-core the BG/P is 6.6x better; at fixed throughput the
+			// two systems' aggregate powers must be within ~2.5x.
+			ratio := xf.KW / bf.KW
+			return ratio < 2.5, fmt.Sprintf("at %.0f SYD: BG/P %d cores %.0f kW, XT %d cores %.0f kW (ratio %.2f, vs 6.6 per-core)",
+				target, bf.Cores, bf.KW, xf.Cores, xf.KW, ratio), nil
+		},
+	},
+}

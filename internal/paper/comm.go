@@ -1,0 +1,154 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/halo"
+	"bgpsim/internal/imb"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/stats"
+	"bgpsim/internal/topology"
+)
+
+func init() {
+	register("fig2", "HALO exchange: protocols, mappings, grid sizes", fig2)
+	register("fig3", "IMB Allreduce and Bcast latency", fig3)
+}
+
+// haloWords returns the halo-size sweep (in 32-bit words).
+func haloWords(o Options) []int {
+	if o.Full {
+		return []int{2, 8, 32, 128, 512, 2048, 8192, 32768, 131072}
+	}
+	return []int{8, 128, 2048, 32768}
+}
+
+func fig2(o Options) ([]*stats.Table, error) {
+	words := haloWords(o)
+
+	// Panel (a)/(b): protocols on the VN and SMP grids.
+	type panel struct {
+		title string
+		mode  machine.Mode
+		gx    int
+		gy    int
+		mapg  topology.Mapping
+	}
+	var panels []panel
+	if o.Full {
+		panels = []panel{
+			{"Figure 2(a): protocols, 8192 cores VN 128x64 TXYZ", machine.VN, 128, 64, topology.MapTXYZ},
+			{"Figure 2(b): protocols, 2048 cores SMP 64x32 XYZT", machine.SMP, 64, 32, topology.MapXYZT},
+		}
+	} else {
+		panels = []panel{
+			{"Figure 2(a): protocols, 512 cores VN 32x16 TXYZ", machine.VN, 32, 16, topology.MapTXYZ},
+			{"Figure 2(b): protocols, 128 cores SMP 16x8 XYZT", machine.SMP, 16, 8, topology.MapXYZT},
+		}
+	}
+	var tables []*stats.Table
+	for _, p := range panels {
+		f := stats.NewFigure(p.title, "halo words", "exchange time (us)")
+		for _, proto := range []halo.Protocol{halo.IsendIrecv, halo.SendRecv, halo.IrecvSend, halo.Persistent} {
+			s := f.AddSeries(proto.String())
+			for _, w := range words {
+				d, err := halo.Run(halo.Options{
+					Machine: machine.BGP, Mode: p.mode, GridX: p.gx, GridY: p.gy,
+					Mapping: p.mapg, Protocol: proto, Words: w, Iterations: 3,
+				})
+				if err != nil {
+					return nil, err
+				}
+				s.Add(float64(w), d.Microseconds())
+			}
+		}
+		tables = append(tables, f.Table())
+	}
+
+	// Panel (c)/(d): mapping sensitivity.
+	mapGrids := [][2]int{{32, 16}, {32, 32}}
+	if o.Full {
+		mapGrids = [][2]int{{64, 64}, {128, 64}}
+	}
+	for i, g := range mapGrids {
+		f := stats.NewFigure(
+			fmt.Sprintf("Figure 2(%c): mappings, %d cores VN %dx%d",
+				'c'+i, g[0]*g[1], g[0], g[1]),
+			"halo words", "exchange time (us)")
+		for _, m := range topology.PaperHALOMappings {
+			s := f.AddSeries(string(m))
+			for _, w := range words {
+				d, err := halo.Run(halo.Options{
+					Machine: machine.BGP, Mode: machine.VN, GridX: g[0], GridY: g[1],
+					Mapping: m, Protocol: halo.IsendIrecv, Words: w, Iterations: 3,
+				})
+				if err != nil {
+					return nil, err
+				}
+				s.Add(float64(w), d.Microseconds())
+			}
+		}
+		tables = append(tables, f.Table())
+	}
+
+	// Panel (e)/(f): best-mapping cost versus virtual grid size.
+	grids := [][2]int{{16, 8}, {32, 16}, {32, 32}}
+	if o.Full {
+		grids = [][2]int{{32, 32}, {64, 32}, {64, 64}, {128, 64}}
+	}
+	for i, mode := range []machine.Mode{machine.VN, machine.SMP} {
+		f := stats.NewFigure(
+			fmt.Sprintf("Figure 2(%c): best mapping per grid, %s mode", 'e'+i, mode),
+			"halo words", "exchange time (us)")
+		for _, g := range grids {
+			if mode == machine.SMP && g[0]*g[1] > 2048 {
+				continue
+			}
+			s := f.AddSeries(fmt.Sprintf("%dx%d", g[0], g[1]))
+			for _, w := range words {
+				_, d, err := halo.BestMapping(halo.Options{
+					Machine: machine.BGP, Mode: mode, GridX: g[0], GridY: g[1],
+					Protocol: halo.IsendIrecv, Words: w, Iterations: 3,
+				}, []topology.Mapping{topology.MapTXYZ, topology.MapXYZT})
+				if err != nil {
+					return nil, err
+				}
+				s.Add(float64(w), d.Microseconds())
+			}
+		}
+		tables = append(tables, f.Table())
+	}
+	return tables, nil
+}
+
+func fig3(o Options) ([]*stats.Table, error) {
+	ranks := 256
+	maxBytes := 256 << 10
+	procCounts := []int{16, 64, 256, 1024}
+	if o.Full {
+		ranks = 8192
+		maxBytes = 1 << 20
+		procCounts = []int{128, 512, 2048, 8192}
+	}
+	fa, err := imb.AllreduceVsSize(ranks, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	fa.Title = "Figure 3(a): " + fa.Title + fmt.Sprintf(" (%d processes)", ranks)
+	fb, err := imb.AllreduceVsProcs(procCounts)
+	if err != nil {
+		return nil, err
+	}
+	fb.Title = "Figure 3(b): " + fb.Title
+	fc, err := imb.BcastVsSize(ranks, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	fc.Title = "Figure 3(c): " + fc.Title + fmt.Sprintf(" (%d processes)", ranks)
+	fd, err := imb.BcastVsProcs(procCounts)
+	if err != nil {
+		return nil, err
+	}
+	fd.Title = "Figure 3(d): " + fd.Title
+	return []*stats.Table{fa.Table(), fb.Table(), fc.Table(), fd.Table()}, nil
+}

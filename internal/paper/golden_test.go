@@ -1,0 +1,67 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Golden pins the Table 1 values: the machine catalog's
+// headline numbers are the paper's Table 1 values, and any accidental
+// catalog change should fail loudly here. Cells are compared
+// field-wise so column alignment may change freely.
+func TestTable1Golden(t *testing.T) {
+	e, err := Get("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"Cores per node":       {"2", "4", "2", "2", "4"},
+		"Core clock (MHz)":     {"700", "850", "2600", "2600", "2100"},
+		"Cache coherence":      {"Software", "Hardware", "Hardware", "Hardware", "Hardware"},
+		"L1 / core (KB)":       {"32", "32", "64", "64", "64"},
+		"L2 / core (KB)":       {"prefetch", "prefetch", "1024", "1024", "512"},
+		"Memory BW (GB/s)":     {"5.6", "13.6", "6.4", "10.6", "10.6"},
+		"Peak (GF/s per node)": {"5.6", "13.6", "10.4", "10.4", "33.6"},
+		"Tree BW (MB/s)":       {"350", "850", "n/a", "n/a", "n/a"},
+		"Cores per rack":       {"2048", "4096", "192", "192", "384"},
+	}
+	tb := tables[0]
+	byFeature := map[string][]string{}
+	for _, row := range tb.Rows {
+		byFeature[row[0]] = row[1:]
+	}
+	for feature, cells := range want {
+		got, ok := byFeature[feature]
+		if !ok {
+			t.Errorf("table 1 missing row %q", feature)
+			continue
+		}
+		for i, w := range cells {
+			if strings.TrimSpace(got[i]) != w {
+				t.Errorf("table 1 %q[%d] = %q, want %q", feature, i, got[i], w)
+			}
+		}
+	}
+}
+
+// TestFigureTablesCarryCharts checks that figure-derived tables come
+// with their sparkline charts attached.
+func TestFigureTablesCarryCharts(t *testing.T) {
+	e, err := Get("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if tb.Chart == "" {
+			t.Errorf("figure table %q has no chart", tb.Title)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package paper
+
+import (
+	"bgpsim/internal/iosys"
+	"bgpsim/internal/stats"
+)
+
+func init() {
+	register("io", "Supplementary: storage-path bandwidth (paper §I.B/§I.C system description)", ioStudy)
+}
+
+// ioStudy is not a paper figure; it exercises the storage substrate
+// the paper describes (compute nodes -> collective network -> I/O
+// nodes -> 10 GbE -> GPFS on the BG/P, direct striping on the XT) and
+// shows the structural cause of the "system I/O performance issue"
+// the paper mentions encountering during the CAM experiments: small
+// partitions funnel output through very few I/O nodes.
+func ioStudy(o Options) ([]*stats.Table, error) {
+	nodeCounts := []int{64, 256, 1024, 2048}
+	if o.Full {
+		nodeCounts = []int{64, 256, 1024, 2048, 4096, 8192}
+	}
+	eugene := iosys.ORNLEugene()
+	jaguar := iosys.ORNLJaguar()
+
+	f := stats.NewFigure("Aggregate file-write bandwidth vs partition size",
+		"compute nodes", "GB/s")
+	se := f.AddSeries("BG/P Eugene (GPFS via I/O nodes)")
+	sj := f.AddSeries("XT Jaguar (direct)")
+	for _, n := range nodeCounts {
+		se.Add(float64(n), eugene.EffectiveBW(n)/1e9)
+		sj.Add(float64(n), jaguar.EffectiveBW(n)/1e9)
+	}
+
+	t2 := stats.NewTable("Checkpoint write: 1 GB per node, one file per node",
+		"compute nodes", "BG/P seconds", "XT seconds")
+	for _, n := range nodeCounts {
+		be, err := eugene.WriteTime(n, float64(n)*1e9, n)
+		if err != nil {
+			return nil, err
+		}
+		bj, err := jaguar.WriteTime(n, float64(n)*1e9, n)
+		if err != nil {
+			return nil, err
+		}
+		t2.AddRow(stats.FormatG(float64(n)), stats.FormatG(be), stats.FormatG(bj))
+	}
+	return []*stats.Table{f.Table(), t2}, nil
+}

@@ -1,0 +1,142 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/hpcc"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/power"
+	"bgpsim/internal/stats"
+)
+
+func init() {
+	register("table1", "System configuration summary", table1)
+	register("table2", "HPCC single-process, EP and communication tests", table2)
+	register("fig1", "HPCC parallel tests scaling (HPL, FFT, PTRANS, RandomAccess)", fig1)
+	register("top500", "TOP500 HPL run and Green500 power efficiency", top500)
+}
+
+func table1(Options) ([]*stats.Table, error) {
+	t := stats.NewTable("Table 1: System Configuration Summary",
+		"Feature", "BG/L", "BG/P", "XT3", "XT4/DC", "XT4/QC")
+	row := func(name string, f func(*machine.Machine) string) {
+		cells := []string{name}
+		for _, id := range machine.All() {
+			cells = append(cells, f(machine.Get(id)))
+		}
+		t.AddRow(cells...)
+	}
+	row("Cores per node", func(m *machine.Machine) string { return fmt.Sprintf("%d", m.CoresPerNode) })
+	row("Core clock (MHz)", func(m *machine.Machine) string { return fmt.Sprintf("%.0f", m.ClockHz/1e6) })
+	row("Cache coherence", func(m *machine.Machine) string {
+		if m.CacheCoherent {
+			return "Hardware"
+		}
+		return "Software"
+	})
+	row("L1 / core (KB)", func(m *machine.Machine) string { return fmt.Sprintf("%d", m.L1Bytes>>10) })
+	row("L2 / core (KB)", func(m *machine.Machine) string {
+		if m.L2Bytes == 0 {
+			return "prefetch"
+		}
+		return fmt.Sprintf("%d", m.L2Bytes>>10)
+	})
+	row("L3 shared (MB)", func(m *machine.Machine) string {
+		if m.L3Bytes == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%d", m.L3Bytes>>20)
+	})
+	row("Memory / node (GB)", func(m *machine.Machine) string {
+		return fmt.Sprintf("%.1f", float64(m.MemPerNode)/float64(1<<30))
+	})
+	row("Memory BW (GB/s)", func(m *machine.Machine) string { return fmt.Sprintf("%.1f", m.MemBWPerNode/1e9) })
+	row("Peak (GF/s per node)", func(m *machine.Machine) string { return fmt.Sprintf("%.1f", m.PeakFlopsNode()/1e9) })
+	row("Torus injection (GB/s)", func(m *machine.Machine) string { return fmt.Sprintf("%.2f", m.NICInjectBW/1e9) })
+	row("Tree BW (MB/s)", func(m *machine.Machine) string {
+		if !m.HasTree {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.0f", m.TreeBW/1e6)
+	})
+	row("Cores per rack", func(m *machine.Machine) string { return fmt.Sprintf("%d", m.CoresPerRack) })
+	return []*stats.Table{t}, nil
+}
+
+func table2(o Options) ([]*stats.Table, error) {
+	ranks := 256
+	if o.Full {
+		ranks = 4096
+	}
+	bgp, err := hpcc.SingleAndEP(machine.BGP, ranks)
+	if err != nil {
+		return nil, err
+	}
+	xt, err := hpcc.SingleAndEP(machine.XT4QC, ranks)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Table 2: HPCC SP/EP and communication tests (VN mode, %d processes)", ranks),
+		"Test", "BG/P", "XT4/QC")
+	add := func(name string, a, b float64) {
+		t.AddRow(name, stats.FormatG(a), stats.FormatG(b))
+	}
+	add("DGEMM (GFlop/s per process)", bgp.DGEMMGF, xt.DGEMMGF)
+	add("STREAM triad SP (GB/s)", bgp.StreamSPGB, xt.StreamSPGB)
+	add("STREAM triad EP (GB/s per process)", bgp.StreamEPGB, xt.StreamEPGB)
+	add("FFT EP (GFlop/s per process)", bgp.FFTEPGF, xt.FFTEPGF)
+	add("Ping-pong latency (us)", bgp.PingPongLatUS, xt.PingPongLatUS)
+	add("Ping-pong bandwidth (GB/s)", bgp.PingPongBWGBs, xt.PingPongBWGBs)
+	add("Random ring latency (us)", bgp.RandRingLatUS, xt.RandRingLatUS)
+	add("Random ring bandwidth (GB/s per process)", bgp.RandRingBWGBs, xt.RandRingBWGBs)
+	return []*stats.Table{t}, nil
+}
+
+// fig1Procs returns the process-count sweep.
+func fig1Procs(o Options) []int {
+	if o.Full {
+		return []int{256, 512, 1024, 2048, 4096, 8192}
+	}
+	return []int{64, 256, 1024}
+}
+
+func fig1(o Options) ([]*stats.Table, error) {
+	procs := fig1Procs(o)
+	machines := []machine.ID{machine.BGP, machine.XT4QC}
+
+	hpl := stats.NewFigure("Figure 1(a): HPCC HPL", "processes", "TFlop/s")
+	fft := stats.NewFigure("Figure 1(b): HPCC FFT", "processes", "GFlop/s")
+	ptr := stats.NewFigure("Figure 1(c): HPCC PTRANS", "processes", "GB/s")
+	ra := stats.NewFigure("Figure 1(d): HPCC RandomAccess", "processes", "GUPS")
+	for _, id := range machines {
+		m := machine.Get(id)
+		sh := hpl.AddSeries(string(id))
+		sf := fft.AddSeries(string(id))
+		sp := ptr.AddSeries(string(id))
+		sr := ra.AddSeries(string(id))
+		for _, p := range procs {
+			n := hpcc.ProblemSizeN(m, machine.VN, p, 0.8)
+			sh.Add(float64(p), hpcc.HPLAnalytic(id, machine.VN, p, n, hpcc.BlockingNB(id))/1000)
+			sf.Add(float64(p), hpcc.FFTAnalytic(id, machine.VN, p))
+			sp.Add(float64(p), hpcc.PTRANSAnalytic(id, machine.VN, p))
+			sr.Add(float64(p), hpcc.RandomAccessGUPS(id, machine.VN, p))
+		}
+	}
+	return []*stats.Table{hpl.Table(), fft.Table(), ptr.Table(), ra.Table()}, nil
+}
+
+func top500(o Options) ([]*stats.Table, error) {
+	// Paper §II.C: N=614399, NB=96, 64x128 grid on the ORNL BG/P
+	// (8192 cores); 2.14e4 GFlop/s, 310.93 MFlops/W.
+	const n, nb, cores = 614399, 96, 8192
+	gf := hpcc.HPLAnalytic(machine.BGP, machine.VN, cores, n, nb)
+	m := machine.Get(machine.BGP)
+	mfw := power.MFlopsPerWatt(m, cores, gf*1e9, power.HPL)
+	t := stats.NewTable("TOP500 HPL on ORNL BG/P (N=614399, NB=96, 64x128 grid)",
+		"Metric", "Simulated", "Paper")
+	t.AddRow("HPL performance (GFlop/s)", stats.FormatG(gf), "21400")
+	t.AddRow("Fraction of peak", stats.FormatG(gf*1e9/(m.PeakFlopsCore()*cores)), "0.768")
+	t.AddRow("Power efficiency (MFlops/W)", stats.FormatG(mfw), "310.93")
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,67 @@
+// Package paper is the reproduction harness: one experiment per table
+// and figure of "Early Evaluation of IBM BlueGene/P" (SC'08), each
+// regenerating the corresponding rows or series from the simulator.
+//
+// Experiments run at two scales: the default reduced scale keeps every
+// experiment tractable on a laptop, while Full uses the paper's actual
+// process counts and problem sizes (minutes of wall time for the
+// largest sweeps). The shapes — who wins, by what factor, where the
+// crossovers fall — hold at both scales.
+package paper
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpsim/internal/stats"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Full runs at the paper's process counts and sizes.
+	Full bool
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // e.g. "table2", "fig4"
+	Title string
+	Run   func(Options) ([]*stats.Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Options) ([]*stats.Table, error)) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("paper: duplicate experiment %q", id))
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("paper: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists the registered experiment ids in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	var out []Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablations", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"green500", "io", "petaflop", "table1", "table2", "table3", "top500"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("fig99"); err == nil {
+		t.Error("expected error")
+	}
+	e, err := Get("table1")
+	if err != nil || e.ID != "table1" {
+		t.Errorf("Get(table1) = %+v, %v", e, err)
+	}
+}
+
+func TestGreen500BlueGenesOnTop(t *testing.T) {
+	e, err := Get("green500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 systems, got %d", len(rows))
+	}
+	// The paper's intro: the BlueGene family owns the top of the
+	// Green500. Ranks 1-2 must be the two BlueGenes.
+	top := rows[0][1] + " " + rows[1][1]
+	if !(strings.Contains(top, "BG/P") && strings.Contains(top, "BG/L")) {
+		t.Errorf("top two = %q, want the BlueGenes", top)
+	}
+}
+
+func TestAllExperimentsRunReduced(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				s := tb.String()
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tb.Title)
+				}
+				if !strings.Contains(s, "-") {
+					t.Errorf("%s: suspicious render", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestAllClaimsVerify(t *testing.T) {
+	for _, r := range VerifyClaims(Options{}) {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Claim.ID, r.Err)
+		} else if !r.Pass {
+			t.Errorf("%s failed: %s", r.Claim.ID, r.Detail)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/hpcc"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/power"
+	"bgpsim/internal/stats"
+)
+
+func init() {
+	register("petaflop", "Supplementary: 72-rack petaflop projection (paper intro)", petaflop)
+}
+
+// petaflop projects the full 72-rack BlueGene/P the paper's
+// introduction describes: "73,728 compute nodes, or 294,912 cores,
+// would have a peak performance of 1 PFlop/s" — and extends the
+// projection to HPL, power and efficiency using the same models that
+// reproduce the measured 2-rack numbers.
+func petaflop(o Options) ([]*stats.Table, error) {
+	m := machine.Get(machine.BGP)
+	const racks = 72
+	nodes := racks * 1024
+	cores := nodes * m.CoresPerNode
+
+	t := stats.NewTable("72-rack BlueGene/P projection", "Metric", "Value", "Paper/context")
+	t.AddRow("Racks", fmt.Sprintf("%d", racks), "72 [intro]")
+	t.AddRow("Compute nodes", fmt.Sprintf("%d", nodes), "73,728 [intro]")
+	t.AddRow("Cores", fmt.Sprintf("%d", cores), "294,912 [intro]")
+
+	peak := m.PeakFlopsCore() * float64(cores)
+	t.AddRow("Peak (PFlop/s)", stats.FormatG(peak/1e15), "1 PFlop/s [intro]")
+
+	n := hpcc.ProblemSizeN(m, machine.VN, cores, 0.8)
+	rmax := hpcc.HPLAnalytic(machine.BGP, machine.VN, cores, n, 144)
+	t.AddRow("Projected HPL Rmax (PFlop/s)", stats.FormatG(rmax/1e6),
+		"same model that gives 21.9 TF on the 2-rack system")
+	t.AddRow("HPL problem size N", fmt.Sprintf("%d", n), "80% of 144 TB aggregate memory")
+
+	kw := power.AggregateKW(m, cores, power.HPL)
+	t.AddRow("Power under HPL (MW)", stats.FormatG(kw/1000), "7.7 W/core [Table 3]")
+	t.AddRow("Efficiency (MFlops/W)", stats.FormatG(power.MFlopsPerWatt(m, cores, rmax*1e9, power.HPL)),
+		"per-core power is scale-free in the model")
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,103 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/apps/pop"
+	"bgpsim/internal/hpcc"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/power"
+	"bgpsim/internal/stats"
+)
+
+func init() {
+	register("table3", "Power comparison (HPL and POP science throughput)", table3)
+}
+
+func table3(o Options) ([]*stats.Table, error) {
+	type sys struct {
+		id    machine.ID
+		cores int
+		nb    int
+	}
+	bgp := sys{machine.BGP, 8192, 96}
+	xt := sys{machine.XT4QC, 30976, 168}
+	sydNorm := 8192
+	sydTarget := 12.0
+	maxCores := 48000
+	if !o.Full {
+		// Reduced scale: smaller partitions and a modest throughput
+		// target keep the experiment quick; the structure and the
+		// qualitative conclusions are identical.
+		bgp.cores = 2048
+		xt.cores = 2048
+		sydNorm = 1024
+		sydTarget = 2.0
+		maxCores = 12000
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Table 3: Power comparison (SYD normalized at %d cores, target %.0f SYD)", sydNorm, sydTarget),
+		"Metric", "BG/P", "XT/QC")
+	row := func(name string, f func(sys) string) {
+		t.AddRow(name, f(bgp), f(xt))
+	}
+
+	row("Cores", func(s sys) string { return fmt.Sprintf("%d", s.cores) })
+	row("Measured power / HPL (kW)", func(s sys) string {
+		return stats.FormatG(power.AggregateKW(machine.Get(s.id), s.cores, power.HPL))
+	})
+	row("Per core under HPL (W)", func(s sys) string {
+		return stats.FormatG(power.PerCoreWatts(machine.Get(s.id), power.HPL))
+	})
+	row("Measured power / normal (kW)", func(s sys) string {
+		return stats.FormatG(power.AggregateKW(machine.Get(s.id), s.cores, power.Science))
+	})
+	row("Per core normal (W)", func(s sys) string {
+		return stats.FormatG(power.PerCoreWatts(machine.Get(s.id), power.Science))
+	})
+	row("Peak (TFlop/s)", func(s sys) string {
+		return stats.FormatG(machine.Get(s.id).PeakFlopsCore() * float64(s.cores) / 1e12)
+	})
+
+	// HPL Rmax from the analytic model at ~80% memory.
+	rmax := map[machine.ID]float64{}
+	for _, s := range []sys{bgp, xt} {
+		m := machine.Get(s.id)
+		n := hpcc.ProblemSizeN(m, machine.VN, s.cores, 0.8)
+		rmax[s.id] = hpcc.HPLAnalytic(s.id, machine.VN, s.cores, n, s.nb)
+	}
+	row("HPL Rmax (TFlop/s)", func(s sys) string { return stats.FormatG(rmax[s.id] / 1000) })
+	row("HPL MFlops/s per W", func(s sys) string {
+		return stats.FormatG(power.MFlopsPerWatt(machine.Get(s.id), s.cores, rmax[s.id]*1e9, power.HPL))
+	})
+
+	// POP science-driven metrics.
+	models := map[machine.ID]func(int) float64{
+		bgp.id: pop.SYDModel(bgp.id, machine.VN, pop.ChronopoulosGear),
+		xt.id:  pop.SYDModel(xt.id, machine.VN, pop.ChronopoulosGear),
+	}
+	row(fmt.Sprintf("POP SYD @ %d cores", sydNorm), func(s sys) string {
+		return stats.FormatG(models[s.id](sydNorm))
+	})
+	row(fmt.Sprintf("Power @ %d cores (kW)", sydNorm), func(s sys) string {
+		return stats.FormatG(power.AggregateKW(machine.Get(s.id), sydNorm, power.Science))
+	})
+
+	ftRes := map[machine.ID]power.FixedThroughput{}
+	for _, s := range []sys{bgp, xt} {
+		ft, err := power.AtThroughput(machine.Get(s.id), sydTarget, 256, maxCores, models[s.id])
+		if err != nil {
+			return nil, err
+		}
+		ft.Cores = power.RoundCores(machine.Get(s.id), ft.Cores)
+		ft.KW = power.AggregateKW(machine.Get(s.id), ft.Cores, power.Science)
+		ftRes[s.id] = ft
+	}
+	row(fmt.Sprintf("Cores for %.0f SYD", sydTarget), func(s sys) string {
+		return fmt.Sprintf("%d", ftRes[s.id].Cores)
+	})
+	row(fmt.Sprintf("Power for %.0f SYD (kW)", sydTarget), func(s sys) string {
+		return stats.FormatG(ftRes[s.id].KW)
+	})
+	return []*stats.Table{t}, nil
+}

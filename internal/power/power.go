@@ -1,0 +1,107 @@
+// Package power models the paper's Section IV: aggregate electrical
+// power of each system under load, flops-per-watt efficiency, and the
+// science-driven fixed-throughput comparison (power needed to reach a
+// target POP simulation rate).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/machine"
+)
+
+// Workload selects the measured per-core power operating point.
+type Workload int
+
+const (
+	// HPL is the LINPACK stress-test operating point.
+	HPL Workload = iota
+	// Science is the "normal" operating point of mission applications
+	// (POP, GYRO) — slightly lower than HPL.
+	Science
+)
+
+// PerCoreWatts returns the aggregate power per core (including memory,
+// interconnect, storage and peripherals) at the workload's operating
+// point.
+func PerCoreWatts(m *machine.Machine, w Workload) float64 {
+	if w == HPL {
+		return m.WattsPerCoreHPL
+	}
+	return m.WattsPerCoreApp
+}
+
+// AggregateKW returns the aggregate system power in kilowatts for the
+// given active core count.
+func AggregateKW(m *machine.Machine, cores int, w Workload) float64 {
+	return PerCoreWatts(m, w) * float64(cores) / 1000
+}
+
+// MFlopsPerWatt returns the Green500 metric for a sustained rate.
+func MFlopsPerWatt(m *machine.Machine, cores int, sustainedFlops float64, w Workload) float64 {
+	watts := PerCoreWatts(m, w) * float64(cores)
+	if watts == 0 {
+		return 0
+	}
+	return sustainedFlops / 1e6 / watts
+}
+
+// EnergyKWh returns the energy of a run in kilowatt-hours.
+func EnergyKWh(m *machine.Machine, cores int, seconds float64, w Workload) float64 {
+	return AggregateKW(m, cores, w) * seconds / 3600
+}
+
+// CoresForThroughput inverts a throughput model: given a function
+// mapping core count to a throughput metric (e.g. POP simulated years
+// per day) that is monotone non-decreasing, it returns the smallest
+// core count in [lo, hi] reaching the target, or an error if even hi
+// falls short. The search is by bisection over the model.
+func CoresForThroughput(target float64, lo, hi int, model func(cores int) float64) (int, error) {
+	if lo < 1 || hi < lo {
+		return 0, fmt.Errorf("power: bad search range [%d, %d]", lo, hi)
+	}
+	if model(hi) < target {
+		return 0, fmt.Errorf("power: target %.3g unreachable with %d cores (max %.3g)",
+			target, hi, model(hi))
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if model(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// FixedThroughput compares two systems at equal delivered throughput —
+// the paper's Table 3 bottom block: it returns the aggregate power (kW)
+// each needs to deliver the target.
+type FixedThroughput struct {
+	Target float64
+	Cores  int
+	KW     float64
+}
+
+// AtThroughput computes the fixed-throughput operating point for a
+// machine given its throughput model.
+func AtThroughput(m *machine.Machine, target float64, lo, hi int, model func(cores int) float64) (FixedThroughput, error) {
+	cores, err := CoresForThroughput(target, lo, hi, model)
+	if err != nil {
+		return FixedThroughput{}, err
+	}
+	return FixedThroughput{
+		Target: target,
+		Cores:  cores,
+		KW:     AggregateKW(m, cores, Science),
+	}, nil
+}
+
+// RoundCores rounds a core count to a multiple of the machine's
+// cores-per-node (allocations are whole nodes).
+func RoundCores(m *machine.Machine, cores int) int {
+	c := m.CoresPerNode
+	return int(math.Ceil(float64(cores)/float64(c))) * c
+}

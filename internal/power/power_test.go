@@ -1,0 +1,95 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+func TestPerCoreWatts(t *testing.T) {
+	bgp := machine.Get(machine.BGP)
+	if PerCoreWatts(bgp, HPL) != 7.7 || PerCoreWatts(bgp, Science) != 7.3 {
+		t.Error("BG/P per-core watts wrong")
+	}
+}
+
+func TestAggregateKWMatchesTable3(t *testing.T) {
+	// Table 3: BG/P 8192 cores ~63 kW under HPL; XT 30976 cores ~1580 kW.
+	bgp := machine.Get(machine.BGP)
+	if kw := AggregateKW(bgp, 8192, HPL); math.Abs(kw-63.1) > 0.1 {
+		t.Errorf("BG/P HPL power = %.1f kW, want ~63", kw)
+	}
+	xt := machine.Get(machine.XT4QC)
+	if kw := AggregateKW(xt, 30976, HPL); math.Abs(kw-1579.8) > 0.1 {
+		t.Errorf("XT HPL power = %.1f kW, want ~1580", kw)
+	}
+}
+
+func TestMFlopsPerWatt(t *testing.T) {
+	// Table 3: BG/P HPL Rmax 21.9 TF at 8192 cores -> ~348 MFlops/W.
+	bgp := machine.Get(machine.BGP)
+	got := MFlopsPerWatt(bgp, 8192, 21.9e12, HPL)
+	if math.Abs(got-347.2) > 1.0 {
+		t.Errorf("BG/P = %.1f MFlops/W, want ~347", got)
+	}
+	xt := machine.Get(machine.XT4QC)
+	gotXT := MFlopsPerWatt(xt, 30976, 205.0e12, HPL)
+	if math.Abs(gotXT-129.8) > 1.0 {
+		t.Errorf("XT = %.1f MFlops/W, want ~130", gotXT)
+	}
+	// The headline ratio: ~2.7x.
+	if ratio := got / gotXT; ratio < 2.4 || ratio > 3.0 {
+		t.Errorf("efficiency ratio = %.2f, want ~2.68", ratio)
+	}
+}
+
+func TestEnergyKWh(t *testing.T) {
+	bgp := machine.Get(machine.BGP)
+	// 1000 cores for one hour at science load: 7.3 kWh.
+	if got := EnergyKWh(bgp, 1000, 3600, Science); math.Abs(got-7.3) > 1e-9 {
+		t.Errorf("energy = %g kWh", got)
+	}
+}
+
+func TestCoresForThroughput(t *testing.T) {
+	model := func(cores int) float64 { return float64(cores) / 1000 }
+	c, err := CoresForThroughput(12, 1, 100000, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 12000 {
+		t.Errorf("cores = %d, want 12000", c)
+	}
+	if _, err := CoresForThroughput(1000, 1, 100, model); err == nil {
+		t.Error("unreachable target should error")
+	}
+	if _, err := CoresForThroughput(1, 0, 100, model); err == nil {
+		t.Error("bad range should error")
+	}
+}
+
+func TestAtThroughput(t *testing.T) {
+	bgp := machine.Get(machine.BGP)
+	model := func(cores int) float64 { return float64(cores) / 40000 * 12 } // 12 SYD at 40000 cores
+	ft, err := AtThroughput(bgp, 12, 1, 100000, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Cores != 40000 {
+		t.Errorf("cores = %d, want 40000", ft.Cores)
+	}
+	if math.Abs(ft.KW-292) > 1 {
+		t.Errorf("power = %.1f kW, want ~292 (Table 3 says 293)", ft.KW)
+	}
+}
+
+func TestRoundCores(t *testing.T) {
+	bgp := machine.Get(machine.BGP)
+	if RoundCores(bgp, 7501) != 7504 {
+		t.Errorf("RoundCores = %d", RoundCores(bgp, 7501))
+	}
+	if RoundCores(bgp, 8192) != 8192 {
+		t.Error("exact multiple should be unchanged")
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// the order they were scheduled (FIFO via seq), which makes runs
+// deterministic.
+type event struct {
+	t    Time
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. A Kernel is not safe
+// for concurrent use; all interaction must happen from the goroutine
+// that calls Run or from process bodies (which the kernel serializes).
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yieldCh is signaled by the currently running process when it
+	// stops running (blocks or terminates), handing control back to
+	// the event loop. Exactly one process runs at any instant.
+	yieldCh chan struct{}
+
+	procs   []*Proc
+	live    int // spawned processes that have not finished
+	stopped bool
+
+	// EventLimit, when nonzero, aborts Run with an error after this
+	// many events. It is a safety net against model bugs that
+	// schedule unboundedly.
+	EventLimit uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{yieldCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of events fired so far.
+func (k *Kernel) Events() uint64 { return k.seq }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would break causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{t: t, seq: k.seq, fire: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+// DeadlockError reports that the event queue drained while processes
+// were still blocked — the simulated program can make no further
+// progress (for example, an MPI receive with no matching send).
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // descriptions of the blocked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked: %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Run fires events in timestamp order until the queue drains. It
+// returns nil when every spawned process has finished, and a
+// *DeadlockError when the queue drains with processes still blocked.
+// The goroutines of deadlocked processes are abandoned.
+func (k *Kernel) Run() error {
+	if k.stopped {
+		return fmt.Errorf("sim: kernel already ran")
+	}
+	fired := uint64(0)
+	for k.events.Len() > 0 {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.t
+		e.fire()
+		fired++
+		if k.EventLimit > 0 && fired > k.EventLimit {
+			k.stopped = true
+			return fmt.Errorf("sim: event limit %d exceeded at %v", k.EventLimit, k.now)
+		}
+	}
+	k.stopped = true
+	if k.live > 0 {
+		var blocked []string
+		for _, p := range k.procs {
+			if !p.done {
+				blocked = append(blocked, p.describe())
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Time: k.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// runProc transfers control to p and waits until p yields back.
+func (k *Kernel) runProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yieldCh
+}

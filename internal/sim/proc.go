@@ -1,0 +1,101 @@
+package sim
+
+import "fmt"
+
+// Proc is a logical process: a goroutine whose execution is serialized
+// by the kernel. Model code inside a process body may freely read and
+// mutate shared model state without locks, because the kernel
+// guarantees only one process (or event callback) runs at a time, with
+// channel handoffs establishing happens-before edges.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	resume chan struct{}
+
+	done    bool
+	blocked string // non-empty while waiting on a condition (diagnostics)
+}
+
+// Spawn creates a process executing fn, starting at the current
+// virtual time. The name is used in deadlock diagnostics.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, id: len(k.procs), name: name, resume: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume // wait for the kernel to start us
+		fn(p)
+		p.done = true
+		p.k.live--
+		p.k.yieldCh <- struct{}{}
+	}()
+	k.At(k.now, func() { k.runProc(p) })
+	return p
+}
+
+// Kernel returns the kernel this process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// yield suspends the process and returns control to the event loop.
+// The process resumes when something sends on p.resume (via
+// Kernel.runProc from a scheduled event).
+func (p *Proc) yield() {
+	p.k.yieldCh <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's virtual time by d. Negative d panics.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.k.After(d, func() { p.k.runProc(p) })
+	p.yield()
+}
+
+// SleepUntil advances the process's virtual time to t, which must not
+// be in the past.
+func (p *Proc) SleepUntil(t Time) {
+	p.Sleep(t.Sub(p.k.now))
+}
+
+// Block suspends the process until another process or event callback
+// calls Wake. The reason string appears in deadlock reports.
+func (p *Proc) Block(reason string) {
+	p.blocked = reason
+	p.yield()
+	p.blocked = ""
+}
+
+// Wake schedules the blocked process p to resume at the current
+// virtual time. It must be called for a process that is blocked (or
+// about to block: a wake scheduled in the same timestamp before the
+// block takes effect is delivered after the block, because events are
+// FIFO within a timestamp and the blocking process holds control until
+// it yields).
+func (p *Proc) Wake() {
+	p.k.At(p.k.now, func() { p.k.runProc(p) })
+}
+
+// WakeAt schedules the blocked process p to resume at time t.
+func (p *Proc) WakeAt(t Time) {
+	p.k.At(t, func() { p.k.runProc(p) })
+}
+
+func (p *Proc) describe() string {
+	r := p.blocked
+	if r == "" {
+		r = "runnable?"
+	}
+	return fmt.Sprintf("%s (%s)", p.name, r)
+}

@@ -1,0 +1,58 @@
+package sim
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64
+// seeded xorshift64*) used by workload generators. It is independent
+// of math/rand so that simulated workloads are reproducible across Go
+// releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, so that
+// nearby seeds give uncorrelated streams.
+func NewRNG(seed uint64) *RNG {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x853c49e6748fea9b
+	}
+	return &RNG{state: z}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1,
+// computed by inversion for determinism.
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = 1e-300
+	}
+	return -math.Log(1 - u)
+}

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		secs float64
+	}{
+		{Second, 1},
+		{Millisecond, 1e-3},
+		{Microsecond, 1e-6},
+		{Nanosecond, 1e-9},
+		{Picosecond, 1e-12},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := c.d.Seconds(); got != c.secs {
+			t.Errorf("%v.Seconds() = %g, want %g", c.d, got, c.secs)
+		}
+		if got := Seconds(c.secs); got != c.d {
+			t.Errorf("Seconds(%g) = %v, want %v", c.secs, got, c.d)
+		}
+	}
+}
+
+func TestSecondsSaturates(t *testing.T) {
+	if got := Seconds(1e100); got != MaxDuration {
+		t.Errorf("Seconds(1e100) = %v, want MaxDuration", got)
+	}
+}
+
+func TestMicrosecondsNanoseconds(t *testing.T) {
+	if got := Microseconds(2.5); got != 2500*Nanosecond {
+		t.Errorf("Microseconds(2.5) = %v, want 2500ns", got)
+	}
+	if got := Nanoseconds(3); got != 3*Nanosecond {
+		t.Errorf("Nanoseconds(3) = %v, want 3ns", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{2 * Second, "2s"},
+		{3 * Millisecond, "3ms"},
+		{4 * Microsecond, "4us"},
+		{5 * Nanosecond, "5ns"},
+		{7 * Picosecond, "7ps"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeAddSub(t *testing.T) {
+	a := Time(0).Add(5 * Second)
+	b := a.Add(3 * Microsecond)
+	if d := b.Sub(a); d != 3*Microsecond {
+		t.Errorf("Sub = %v, want 3us", d)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(Time(20), func() { order = append(order, 2) })
+	k.At(Time(10), func() { order = append(order, 1) })
+	k.At(Time(30), func() { order = append(order, 3) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if k.Now() != Time(30) {
+		t.Errorf("final time = %v, want 30ps", k.Now())
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Time(5), func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("FIFO violated: order = %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(Time(100), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(Time(50), func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		p.Sleep(3 * Microsecond)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != Time(8*Microsecond) {
+		t.Errorf("end = %v, want 8us", end)
+	}
+}
+
+func TestProcZeroSleep(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.Spawn("z", func(p *Proc) {
+		p.Sleep(0)
+		ran = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("process did not run")
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	// Two processes sleeping different amounts interleave in time order.
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		order = append(order, "a10")
+		p.Sleep(20 * Nanosecond) // wakes at 30
+		order = append(order, "a30")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(20 * Nanosecond)
+		order = append(order, "b20")
+		p.Sleep(20 * Nanosecond) // wakes at 40
+		order = append(order, "b40")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a10", "b20", "a30", "b40"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBlockWake(t *testing.T) {
+	k := NewKernel()
+	var consumer *Proc
+	var got Time
+	ready := false
+	consumer = k.Spawn("consumer", func(p *Proc) {
+		if !ready {
+			p.Block("waiting for producer")
+		}
+		got = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(7 * Microsecond)
+		ready = true
+		consumer.Wake()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != Time(7*Microsecond) {
+		t.Errorf("consumer resumed at %v, want 7us", got)
+	}
+}
+
+func TestWakeAt(t *testing.T) {
+	k := NewKernel()
+	var p1 *Proc
+	var got Time
+	p1 = k.Spawn("w", func(p *Proc) {
+		p.Block("future wake")
+		got = p.Now()
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p1.WakeAt(Time(42 * Nanosecond))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != Time(42*Nanosecond) {
+		t.Errorf("resumed at %v, want 42ns", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("stuck", func(p *Proc) {
+		p.Block("recv with no sender")
+	})
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 {
+		t.Fatalf("blocked = %v, want 1 entry", de.Blocked)
+	}
+	if de.Blocked[0] != "stuck (recv with no sender)" {
+		t.Errorf("blocked[0] = %q", de.Blocked[0])
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := NewKernel()
+	k.EventLimit = 100
+	var tick func()
+	tick = func() { k.After(Nanosecond, tick) }
+	k.After(Nanosecond, tick)
+	if err := k.Run(); err == nil {
+		t.Fatal("expected event limit error")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestManyProcsDeterminism(t *testing.T) {
+	run := func() []int {
+		k := NewKernel()
+		var order []int
+		for i := 0; i < 200; i++ {
+			i := i
+			k.Spawn("p", func(p *Proc) {
+				rng := NewRNG(uint64(i))
+				for j := 0; j < 10; j++ {
+					p.Sleep(Duration(rng.Intn(1000)+1) * Nanosecond)
+				}
+				order = append(order, i)
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic completion order at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("neg", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on negative sleep")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	// The panic is recovered inside the proc body, so Run completes.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(12346)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if b.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds coincided %d times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 0.47 || mean > 0.53 {
+		t.Errorf("mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced zero stream")
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(7)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential sample %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 0.9 || mean > 1.1 {
+		t.Errorf("exp mean = %g, want ~1", mean)
+	}
+}

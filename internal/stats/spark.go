@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eight block characters of a sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact bar string; the scale is
+// linear between the series minimum and maximum. Non-finite values
+// render as spaces.
+func Sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(vs))
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// LogSparkline renders positive values on a log scale — the right view
+// for latency curves spanning orders of magnitude.
+func LogSparkline(vs []float64) string {
+	logs := make([]float64, len(vs))
+	for i, v := range vs {
+		if v > 0 {
+			logs[i] = math.Log10(v)
+		} else {
+			logs[i] = math.NaN()
+		}
+	}
+	return Sparkline(logs)
+}
+
+// Chart renders the figure's series as labelled log-scale sparklines
+// with their ranges — a quick visual of each curve's shape under the
+// exact table.
+func (f *Figure) Chart() string {
+	var b strings.Builder
+	width := 0
+	for _, s := range f.Series {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range f.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, y := range s.Y {
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+		fmt.Fprintf(&b, "%-*s  %s  [%s .. %s]\n",
+			width, s.Name, LogSparkline(s.Y), FormatG(lo), FormatG(hi))
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+// Package stats holds the result containers the benchmark harness
+// emits — tables and figure series — plus text/CSV rendering and small
+// numeric helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row. Tables produced
+// from a Figure carry an optional Chart: log-scale sparklines of the
+// series, one line each.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Chart   string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells; long
+// rows panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// YAt returns the Y value at the given X, or NaN when absent.
+func (s *Series) YAt(x float64) float64 {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Figure is a set of series sharing axes — the harness's analogue of
+// one paper figure panel.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates, attaches and returns a named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Table renders the figure as a table: the union of X values in
+// ascending order, one column per series.
+func (f *Figure) Table() *Table {
+	xsSet := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sortFloats(xs)
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(fmt.Sprintf("%s  [%s]", f.Title, f.YLabel), cols...)
+	for _, x := range xs {
+		row := []string{FormatG(x)}
+		for _, s := range f.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row = append(row, "-")
+			} else {
+				row = append(row, FormatG(y))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Chart = f.Chart()
+	return t
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// FormatG formats a float with up to 5 significant digits.
+func FormatG(v float64) string {
+	return fmt.Sprintf("%.5g", v)
+}
+
+// Geomean returns the geometric mean of positive values (NaN for empty
+// or non-positive input).
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// ParallelEfficiency returns the strong-scaling efficiency of a rate
+// series measured at increasing process counts: rate(p)/p divided by
+// rate(p0)/p0 for the series' first point.
+func ParallelEfficiency(s *Series) *Series {
+	out := &Series{Name: s.Name + " efficiency"}
+	if len(s.X) == 0 {
+		return out
+	}
+	base := s.Y[0] / s.X[0]
+	for i := range s.X {
+		out.Add(s.X[i], (s.Y[i]/s.X[i])/base)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("longer-name", "22")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "longer-name") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestTableLongRowPanics(t *testing.T) {
+	tb := NewTable("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.AddRow("1", "2")
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) || !strings.Contains(csv, `"has""quote"`) {
+		t.Errorf("bad quoting: %s", csv)
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.YAt(2) != 20 {
+		t.Error("YAt(2) wrong")
+	}
+	if !math.IsNaN(s.YAt(3)) {
+		t.Error("missing X should be NaN")
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("Fig", "procs", "GF/s")
+	a := f.AddSeries("BG/P")
+	a.Add(1024, 2.0)
+	a.Add(4096, 8.0)
+	b := f.AddSeries("XT")
+	b.Add(4096, 20.0)
+	tb := f.Table()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	// Sorted X, missing cells dashed.
+	if tb.Rows[0][0] != "1024" || tb.Rows[0][2] != "-" {
+		t.Errorf("row 0 = %v", tb.Rows[0])
+	}
+	if tb.Rows[1][1] != "8" || tb.Rows[1][2] != "20" {
+		t.Errorf("row 1 = %v", tb.Rows[1])
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean = %g, want 4", g)
+	}
+	if !math.IsNaN(Geomean(nil)) || !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("invalid input should be NaN")
+	}
+}
+
+func TestParallelEfficiency(t *testing.T) {
+	s := &Series{Name: "hpl"}
+	s.Add(100, 100) // rate 1/proc
+	s.Add(200, 180) // rate 0.9/proc
+	e := ParallelEfficiency(s)
+	if e.Y[0] != 1 {
+		t.Errorf("base efficiency = %g", e.Y[0])
+	}
+	if math.Abs(e.Y[1]-0.9) > 1e-12 {
+		t.Errorf("efficiency = %g, want 0.9", e.Y[1])
+	}
+	if len(ParallelEfficiency(&Series{}).X) != 0 {
+		t.Error("empty series should stay empty")
+	}
+}
+
+func TestFormatG(t *testing.T) {
+	if FormatG(1234.5678) != "1234.6" {
+		t.Errorf("FormatG = %q", FormatG(1234.5678))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline %q has wrong length", s)
+	}
+	r := []rune(s)
+	if r[0] != '▁' || r[3] != '█' {
+		t.Errorf("sparkline endpoints wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	if Sparkline([]float64{5, 5}) != "▁▁" {
+		t.Errorf("flat series should be all-low: %q", Sparkline([]float64{5, 5}))
+	}
+	if Sparkline([]float64{math.NaN()}) != " " {
+		t.Error("NaN should render as space")
+	}
+}
+
+func TestLogSparkline(t *testing.T) {
+	// Decades should step evenly on the log scale.
+	s := []rune(LogSparkline([]float64{1, 10, 100, 1000}))
+	if s[0] != '▁' || s[3] != '█' {
+		t.Errorf("log sparkline wrong: %q", string(s))
+	}
+	if LogSparkline([]float64{-1, 0})[0] != ' ' {
+		t.Error("non-positive values should be blank on log scale")
+	}
+}
+
+func TestFigureChart(t *testing.T) {
+	f := NewFigure("f", "x", "y")
+	a := f.AddSeries("curve")
+	a.Add(1, 10)
+	a.Add(2, 1000)
+	out := f.Chart()
+	if !strings.Contains(out, "curve") || !strings.Contains(out, "[10 .. 1000]") {
+		t.Errorf("chart output: %q", out)
+	}
+}

@@ -1,0 +1,141 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mapping is a BlueGene process-to-processor mapping, written as a
+// permutation of the letters X, Y, Z and T. The first letter varies
+// fastest as ranks are assigned: XYZT assigns one process to each node
+// walking the X dimension first and returns for second cores last,
+// while TXYZ fills all cores of a node (T) before moving in X.
+type Mapping string
+
+// Predefined mappings from the paper (§I.A and §II.B).
+const (
+	MapXYZT Mapping = "XYZT"
+	MapXZYT Mapping = "XZYT"
+	MapYXZT Mapping = "YXZT"
+	MapYZXT Mapping = "YZXT"
+	MapZXYT Mapping = "ZXYT"
+	MapZYXT Mapping = "ZYXT"
+	MapTXYZ Mapping = "TXYZ"
+	MapTXZY Mapping = "TXZY"
+	MapTYXZ Mapping = "TYXZ"
+	MapTYZX Mapping = "TYZX"
+	MapTZXY Mapping = "TZXY"
+	MapTZYX Mapping = "TZYX"
+)
+
+// NodeFirstMappings are the predefined mappings that place consecutive
+// ranks on distinct nodes.
+var NodeFirstMappings = []Mapping{MapXYZT, MapXZYT, MapYXZT, MapYZXT, MapZXYT, MapZYXT}
+
+// CoreFirstMappings are the predefined mappings that fill a node's
+// cores before moving to the next node.
+var CoreFirstMappings = []Mapping{MapTXYZ, MapTXZY, MapTYXZ, MapTYZX, MapTZXY, MapTZYX}
+
+// PaperHALOMappings are the eight mappings compared in the paper's
+// Figure 2(c) and (d).
+var PaperHALOMappings = []Mapping{MapTXYZ, MapTYXZ, MapTZXY, MapTZYX, MapXYZT, MapYXZT, MapZXYT, MapZYXT}
+
+// Valid reports whether the mapping is a permutation of X, Y, Z, T.
+func (m Mapping) Valid() bool {
+	if len(m) != 4 {
+		return false
+	}
+	s := strings.ToUpper(string(m))
+	seen := map[byte]bool{}
+	for i := 0; i < 4; i++ {
+		c := s[i]
+		if c != 'X' && c != 'Y' && c != 'Z' && c != 'T' {
+			return false
+		}
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+// Placement locates one rank on the machine.
+type Placement struct {
+	Node int // linear node index in the torus
+	Core int // core slot within the node (the T coordinate)
+}
+
+// Mapper converts MPI ranks to placements for a torus of given
+// dimensions with ranksPerNode tasks per node.
+type Mapper struct {
+	torus        *Torus
+	ranksPerNode int
+	order        [4]int // extent-order: dimension index per mapping letter position
+	extents      [4]int
+}
+
+// NewMapper builds a mapper. The mapping must be valid and
+// ranksPerNode positive.
+func NewMapper(t *Torus, ranksPerNode int, m Mapping) *Mapper {
+	if !m.Valid() {
+		panic(fmt.Sprintf("topology: invalid mapping %q", m))
+	}
+	if ranksPerNode <= 0 {
+		panic("topology: ranksPerNode must be positive")
+	}
+	mp := &Mapper{torus: t, ranksPerNode: ranksPerNode}
+	s := strings.ToUpper(string(m))
+	for i := 0; i < 4; i++ {
+		switch s[i] {
+		case 'X':
+			mp.order[i] = 0
+			mp.extents[i] = t.Dims[0]
+		case 'Y':
+			mp.order[i] = 1
+			mp.extents[i] = t.Dims[1]
+		case 'Z':
+			mp.order[i] = 2
+			mp.extents[i] = t.Dims[2]
+		case 'T':
+			mp.order[i] = 3
+			mp.extents[i] = ranksPerNode
+		}
+	}
+	return mp
+}
+
+// MaxRanks returns the number of placements available.
+func (mp *Mapper) MaxRanks() int {
+	return mp.torus.Dims.Nodes() * mp.ranksPerNode
+}
+
+// Place returns the placement of rank r. Ranks at or beyond MaxRanks
+// panic.
+func (mp *Mapper) Place(r int) Placement {
+	if r < 0 || r >= mp.MaxRanks() {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", r, mp.MaxRanks()))
+	}
+	var coords [4]int // indexed by dimension id: 0=x,1=y,2=z,3=t
+	for i := 0; i < 4; i++ {
+		coords[mp.order[i]] = r % mp.extents[i]
+		r /= mp.extents[i]
+	}
+	node := mp.torus.NodeAt(Coord{coords[0], coords[1], coords[2]})
+	return Placement{Node: node, Core: coords[3]}
+}
+
+// AvgHops returns the mean torus hop count over a set of communicating
+// rank pairs under this mapping — a cheap figure of merit for mapping
+// quality.
+func (mp *Mapper) AvgHops(pairs [][2]int) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, pr := range pairs {
+		a, b := mp.Place(pr[0]), mp.Place(pr[1])
+		total += mp.torus.Hops(a.Node, b.Node)
+	}
+	return float64(total) / float64(len(pairs))
+}

@@ -1,0 +1,353 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeCoordRoundTrip(t *testing.T) {
+	tor := NewTorus(Dims{8, 8, 16})
+	for n := 0; n < tor.Dims.Nodes(); n++ {
+		if got := tor.NodeAt(tor.CoordOf(n)); got != n {
+			t.Fatalf("round trip %d -> %v -> %d", n, tor.CoordOf(n), got)
+		}
+	}
+}
+
+func TestHopDist(t *testing.T) {
+	cases := []struct{ a, b, n, want int }{
+		{0, 1, 8, 1},
+		{1, 0, 8, -1},
+		{0, 7, 8, -1}, // wrap is shorter
+		{0, 4, 8, 4},  // exactly half: positive by convention
+		{7, 0, 8, 1},
+		{2, 2, 8, 0},
+		{0, 3, 5, -2}, // odd extent wrap
+	}
+	for _, c := range cases {
+		if got := hopDist(c.a, c.b, c.n); got != c.want {
+			t.Errorf("hopDist(%d,%d,%d) = %d, want %d", c.a, c.b, c.n, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	tor := NewTorus(Dims{4, 6, 8})
+	f := func(a, b uint16) bool {
+		x := int(a) % tor.Dims.Nodes()
+		y := int(b) % tor.Dims.Nodes()
+		return tor.Hops(x, y) == tor.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	f := func(a, b, c uint16) bool {
+		x := int(a) % 64
+		y := int(b) % 64
+		z := int(c) % 64
+		return tor.Hops(x, z) <= tor.Hops(x, y)+tor.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteLengthMatchesHops(t *testing.T) {
+	tor := NewTorus(Dims{8, 8, 16})
+	f := func(a, b uint16) bool {
+		x := int(a) % tor.Dims.Nodes()
+		y := int(b) % tor.Dims.Nodes()
+		return len(tor.Route(x, y)) == tor.Hops(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteEndsAtDestination(t *testing.T) {
+	tor := NewTorus(Dims{8, 8, 16})
+	// Walk the route and verify it terminates at the destination.
+	walk := func(a, b int) int {
+		cur := tor.CoordOf(a)
+		for _, l := range tor.Route(a, b) {
+			if tor.NodeAt(cur) != l.Node {
+				t.Fatalf("route link %v does not start at current node %d", l, tor.NodeAt(cur))
+			}
+			step := -1
+			if l.Positive {
+				step = 1
+			}
+			d := l.Dim
+			cur[d] = ((cur[d]+step)%tor.Dims[d] + tor.Dims[d]) % tor.Dims[d]
+		}
+		return tor.NodeAt(cur)
+	}
+	rng := []int{0, 1, 63, 511, 1023, 500, 777}
+	for _, a := range rng {
+		for _, b := range rng {
+			if got := walk(a, b); got != b {
+				t.Errorf("route from %d to %d ends at %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestRouteSelfEmpty(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	if r := tor.Route(17, 17); len(r) != 0 {
+		t.Errorf("self route has %d links", len(r))
+	}
+}
+
+func TestLinkIndexDense(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 2})
+	seen := make(map[int]bool)
+	for n := 0; n < tor.Dims.Nodes(); n++ {
+		for d := 0; d < 3; d++ {
+			for _, pos := range []bool{false, true} {
+				idx := tor.LinkIndex(Link{Node: n, Dim: d, Positive: pos})
+				if idx < 0 || idx >= tor.NumLinks() {
+					t.Fatalf("link index %d out of range", idx)
+				}
+				if seen[idx] {
+					t.Fatalf("duplicate link index %d", idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != tor.NumLinks() {
+		t.Errorf("indexed %d links, want %d", len(seen), tor.NumLinks())
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tor := NewTorus(Dims{8, 8, 16})
+	want := 4 + 4 + 8
+	if got := tor.Diameter(); got != want {
+		t.Errorf("diameter = %d, want %d", got, want)
+	}
+	// No pair exceeds the diameter.
+	for _, a := range []int{0, 100, 500} {
+		for _, b := range []int{3, 700, 1023} {
+			if h := tor.Hops(a, b); h > want {
+				t.Errorf("hops(%d,%d) = %d exceeds diameter %d", a, b, h, want)
+			}
+		}
+	}
+}
+
+func TestDimsForNodesKnown(t *testing.T) {
+	cases := map[int]Dims{
+		512:   {8, 8, 8},
+		1024:  {8, 8, 16},
+		2048:  {8, 8, 32},
+		8192:  {16, 16, 32},
+		40960: {32, 32, 40},
+	}
+	for n, want := range cases {
+		if got := DimsForNodes(n); got != want {
+			t.Errorf("DimsForNodes(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDimsForNodesGeneric(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 30, 100, 1000, 12000, 7} {
+		d := DimsForNodes(n)
+		if d.Nodes() != n {
+			t.Errorf("DimsForNodes(%d) = %v with %d nodes", n, d, d.Nodes())
+		}
+	}
+	// 1000 should be cubic.
+	if d := DimsForNodes(1000); d != (Dims{10, 10, 10}) {
+		t.Errorf("DimsForNodes(1000) = %v, want 10x10x10", d)
+	}
+}
+
+func TestDimsForNodesBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero nodes")
+		}
+	}()
+	DimsForNodes(0)
+}
+
+func TestMappingValid(t *testing.T) {
+	for _, m := range append(append([]Mapping{}, NodeFirstMappings...), CoreFirstMappings...) {
+		if !m.Valid() {
+			t.Errorf("%q should be valid", m)
+		}
+	}
+	for _, m := range []Mapping{"", "XY", "XXYZ", "XYZW", "XYZTT"} {
+		if m.Valid() {
+			t.Errorf("%q should be invalid", m)
+		}
+	}
+}
+
+func TestMapperXYZTAssignsNodesFirst(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	mp := NewMapper(tor, 4, MapXYZT)
+	// First 64 ranks land on 64 distinct nodes, core 0.
+	seen := map[int]bool{}
+	for r := 0; r < 64; r++ {
+		p := mp.Place(r)
+		if p.Core != 0 {
+			t.Fatalf("rank %d on core %d, want 0", r, p.Core)
+		}
+		if seen[p.Node] {
+			t.Fatalf("rank %d reuses node %d", r, p.Node)
+		}
+		seen[p.Node] = true
+	}
+	// Rank 64 wraps to core 1 of node 0.
+	if p := mp.Place(64); p.Node != 0 || p.Core != 1 {
+		t.Errorf("rank 64 at %+v, want node 0 core 1", p)
+	}
+}
+
+func TestMapperTXYZFillsCoresFirst(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	mp := NewMapper(tor, 4, MapTXYZ)
+	for r := 0; r < 4; r++ {
+		p := mp.Place(r)
+		if p.Node != 0 || p.Core != r {
+			t.Fatalf("rank %d at %+v, want node 0 core %d", r, p, r)
+		}
+	}
+	// Ranks 4-7 on the next node in X.
+	p := mp.Place(4)
+	if p.Core != 0 {
+		t.Errorf("rank 4 core = %d, want 0", p.Core)
+	}
+	if c := tor.CoordOf(p.Node); c != (Coord{1, 0, 0}) {
+		t.Errorf("rank 4 node coord = %v, want {1,0,0}", c)
+	}
+}
+
+func TestMapperXYZTEqualsTXYZInSMP(t *testing.T) {
+	// The paper: "In SMP mode, the XYZT and TXYZ orderings are identical."
+	tor := NewTorus(Dims{8, 8, 16})
+	a := NewMapper(tor, 1, MapXYZT)
+	b := NewMapper(tor, 1, MapTXYZ)
+	for r := 0; r < tor.Dims.Nodes(); r++ {
+		if a.Place(r) != b.Place(r) {
+			t.Fatalf("rank %d differs: %+v vs %+v", r, a.Place(r), b.Place(r))
+		}
+	}
+}
+
+func TestMapperBijective(t *testing.T) {
+	tor := NewTorus(Dims{4, 2, 8})
+	for _, m := range PaperHALOMappings {
+		mp := NewMapper(tor, 4, m)
+		seen := map[Placement]bool{}
+		for r := 0; r < mp.MaxRanks(); r++ {
+			p := mp.Place(r)
+			if seen[p] {
+				t.Fatalf("%s: placement %+v reused", m, p)
+			}
+			seen[p] = true
+		}
+		if len(seen) != mp.MaxRanks() {
+			t.Fatalf("%s: %d placements for %d ranks", m, len(seen), mp.MaxRanks())
+		}
+	}
+}
+
+func TestMapperOutOfRangePanics(t *testing.T) {
+	tor := NewTorus(Dims{2, 2, 2})
+	mp := NewMapper(tor, 1, MapXYZT)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range rank")
+		}
+	}()
+	mp.Place(8)
+}
+
+func TestAvgHops(t *testing.T) {
+	tor := NewTorus(Dims{8, 8, 8})
+	mp := NewMapper(tor, 1, MapXYZT)
+	// Neighbouring ranks in X are one hop apart under XYZT.
+	pairs := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	if got := mp.AvgHops(pairs); got != 1 {
+		t.Errorf("avg hops = %g, want 1", got)
+	}
+	if got := mp.AvgHops(nil); got != 0 {
+		t.Errorf("avg hops of empty = %g", got)
+	}
+}
+
+func TestBisectionLinks(t *testing.T) {
+	tor := NewTorus(Dims{8, 8, 16})
+	// Cut perpendicular to Z: 8*8 cross-section, wrap doubles, 2 directions.
+	if got := tor.BisectionLinks(); got != 8*8*2*2 {
+		t.Errorf("bisection links = %d, want %d", got, 8*8*2*2)
+	}
+}
+
+func TestCollectiveTree(t *testing.T) {
+	tr := NewCollectiveTree(1024, 3)
+	if tr.Depth < 6 || tr.Depth > 8 {
+		t.Errorf("arity-3 tree over 1024 nodes depth = %d, want ~7", tr.Depth)
+	}
+	if NewCollectiveTree(1, 3).Depth != 0 {
+		t.Error("single-node tree should have depth 0")
+	}
+	if NewCollectiveTree(0, 0).Nodes != 1 {
+		t.Error("degenerate tree should clamp to one node")
+	}
+}
+
+func TestBinomialRounds(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := BinomialRounds(n); got != want {
+			t.Errorf("BinomialRounds(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNewMapperValidation(t *testing.T) {
+	tor := NewTorus(Dims{2, 2, 2})
+	for _, bad := range []func(){
+		func() { NewMapper(tor, 1, "ABCD") },
+		func() { NewMapper(tor, 0, MapXYZT) },
+		func() { NewTorus(Dims{0, 1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestAppendRouteMatchesRoute(t *testing.T) {
+	tor := NewTorus(Dims{8, 8, 16})
+	buf := make([]Link, 0, tor.Diameter())
+	for _, a := range []int{0, 17, 512, 1023} {
+		for _, b := range []int{3, 700, 1023, 0} {
+			want := tor.Route(a, b)
+			got := tor.AppendRoute(buf[:0], a, b)
+			if len(got) != len(want) {
+				t.Fatalf("route %d->%d: lengths %d vs %d", a, b, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("route %d->%d differs at %d", a, b, i)
+				}
+			}
+		}
+	}
+}

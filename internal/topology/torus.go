@@ -1,0 +1,209 @@
+// Package topology models the interconnect geometry of the evaluated
+// machines: 3-D torus coordinates and dimension-ordered routing, the
+// predefined BlueGene process-to-processor mappings (XYZT, TXYZ, ...),
+// and the collective tree used by the BlueGene global collective
+// network.
+package topology
+
+import "fmt"
+
+// Dims are the X, Y, Z extents of a 3-D torus.
+type Dims [3]int
+
+// Nodes returns the node count of the torus.
+func (d Dims) Nodes() int { return d[0] * d[1] * d[2] }
+
+// String formats the dims as "XxYxZ".
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d[0], d[1], d[2]) }
+
+// Coord is a node location in the torus.
+type Coord [3]int
+
+// Torus is a 3-D wrap-around mesh.
+type Torus struct {
+	Dims Dims
+}
+
+// NewTorus returns a torus of the given dimensions. All extents must
+// be positive.
+func NewTorus(d Dims) *Torus {
+	for i, v := range d {
+		if v <= 0 {
+			panic(fmt.Sprintf("topology: dimension %d is %d", i, v))
+		}
+	}
+	return &Torus{Dims: d}
+}
+
+// NodeAt returns the linear node index of a coordinate (x fastest).
+func (t *Torus) NodeAt(c Coord) int {
+	return c[0] + t.Dims[0]*(c[1]+t.Dims[1]*c[2])
+}
+
+// CoordOf returns the coordinate of a linear node index.
+func (t *Torus) CoordOf(node int) Coord {
+	x := node % t.Dims[0]
+	node /= t.Dims[0]
+	y := node % t.Dims[1]
+	z := node / t.Dims[1]
+	return Coord{x, y, z}
+}
+
+// hopDist returns the signed shortest wrap-around step count from a to
+// b along a dimension of extent n: the result is in (-n/2, n/2].
+func hopDist(a, b, n int) int {
+	d := (b - a) % n
+	if d < 0 {
+		d += n
+	}
+	if d > n/2 {
+		d -= n
+	}
+	return d
+}
+
+// Hops returns the minimal hop count between two nodes.
+func (t *Torus) Hops(a, b int) int {
+	ca, cb := t.CoordOf(a), t.CoordOf(b)
+	h := 0
+	for i := 0; i < 3; i++ {
+		d := hopDist(ca[i], cb[i], t.Dims[i])
+		if d < 0 {
+			d = -d
+		}
+		h += d
+	}
+	return h
+}
+
+// Diameter returns the maximum minimal hop count between any node pair.
+func (t *Torus) Diameter() int {
+	return t.Dims[0]/2 + t.Dims[1]/2 + t.Dims[2]/2
+}
+
+// Link identifies a directed torus link: the link leaving node Node in
+// dimension Dim (0..2) toward Positive or negative neighbours.
+type Link struct {
+	Node     int
+	Dim      int
+	Positive bool
+}
+
+// LinkIndex returns a dense index for the link, in [0, 6*Nodes).
+func (t *Torus) LinkIndex(l Link) int {
+	dir := 0
+	if l.Positive {
+		dir = 1
+	}
+	return l.Node*6 + l.Dim*2 + dir
+}
+
+// NumLinks returns the number of directed links in the torus.
+func (t *Torus) NumLinks() int { return 6 * t.Dims.Nodes() }
+
+// Route returns the dimension-ordered (X then Y then Z) shortest-wrap
+// route from node a to node b as a sequence of directed links. The
+// route is empty when a == b.
+func (t *Torus) Route(a, b int) []Link {
+	return t.AppendRoute(nil, a, b)
+}
+
+// AppendRoute appends the route from a to b to buf and returns it —
+// the allocation-free form for hot loops (the network model routes
+// every message).
+func (t *Torus) AppendRoute(buf []Link, a, b int) []Link {
+	if a == b {
+		return buf
+	}
+	cur := t.CoordOf(a)
+	dst := t.CoordOf(b)
+	for dim := 0; dim < 3; dim++ {
+		d := hopDist(cur[dim], dst[dim], t.Dims[dim])
+		step := 1
+		if d < 0 {
+			step = -1
+			d = -d
+		}
+		for i := 0; i < d; i++ {
+			buf = append(buf, Link{Node: t.NodeAt(cur), Dim: dim, Positive: step > 0})
+			cur[dim] = ((cur[dim]+step)%t.Dims[dim] + t.Dims[dim]) % t.Dims[dim]
+		}
+	}
+	return buf
+}
+
+// BisectionLinks returns the number of directed links crossing the
+// bisection of the torus cut perpendicular to its longest dimension.
+// For a wrap-around torus the cut crosses each of the two halves'
+// boundaries, so the count is 2 * (area of cross-section) * 2
+// directions.
+func (t *Torus) BisectionLinks() int {
+	longest := 0
+	for i := 1; i < 3; i++ {
+		if t.Dims[i] > t.Dims[longest] {
+			longest = i
+		}
+	}
+	area := t.Dims.Nodes() / t.Dims[longest]
+	wrap := 2
+	if t.Dims[longest] <= 2 {
+		wrap = 1 // degenerate: wrap link coincides with direct link
+	}
+	return area * wrap * 2
+}
+
+// knownDims maps standard BlueGene/P partition sizes (in nodes) to
+// their torus dimensions, following the rack layout described in the
+// paper (1 rack = 1024 nodes = 8x8x16).
+var knownDims = map[int]Dims{
+	32:    {4, 4, 2},
+	64:    {4, 4, 4},
+	128:   {4, 4, 8},
+	256:   {8, 4, 8},
+	512:   {8, 8, 8},    // one midplane
+	1024:  {8, 8, 16},   // one rack
+	2048:  {8, 8, 32},   // two racks (ORNL "Eugene")
+	4096:  {8, 16, 32},  // four racks
+	8192:  {16, 16, 32}, // eight racks
+	10240: {16, 20, 32},
+	16384: {16, 32, 32},
+	24576: {24, 32, 32},
+	32768: {32, 32, 32},
+	40960: {32, 32, 40}, // forty racks (ANL "Intrepid")
+}
+
+// DimsForNodes returns torus dimensions for a node count: the standard
+// BlueGene partition shape when the count is a known partition size,
+// otherwise the most-cubic three-factor decomposition. It panics if
+// nodes is not positive.
+func DimsForNodes(nodes int) Dims {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("topology: bad node count %d", nodes))
+	}
+	if d, ok := knownDims[nodes]; ok {
+		return d
+	}
+	best := Dims{1, 1, nodes}
+	bestScore := scoreDims(best)
+	for x := 1; x*x*x <= nodes; x++ {
+		if nodes%x != 0 {
+			continue
+		}
+		rem := nodes / x
+		for y := x; y*y <= rem; y++ {
+			if rem%y != 0 {
+				continue
+			}
+			d := Dims{x, y, rem / y}
+			if s := scoreDims(d); s < bestScore {
+				best, bestScore = d, s
+			}
+		}
+	}
+	return best
+}
+
+// scoreDims prefers near-cubic shapes (smaller surface area).
+func scoreDims(d Dims) int {
+	return d[0]*d[1] + d[1]*d[2] + d[0]*d[2]
+}

@@ -1,0 +1,43 @@
+package topology
+
+// Tree describes the BlueGene global collective network spanning a
+// partition: a balanced tree of the partition's nodes. The collective
+// network model (internal/network) uses only the depth and node count;
+// the tree itself is arity-3 on real hardware (each node has three
+// links).
+type Tree struct {
+	Nodes int
+	Arity int
+	Depth int
+}
+
+// NewCollectiveTree returns the collective-network tree spanning n
+// nodes with the given arity (BlueGene hardware uses 3; arity < 2 is
+// treated as 2).
+func NewCollectiveTree(n, arity int) *Tree {
+	if n < 1 {
+		n = 1
+	}
+	if arity < 2 {
+		arity = 2
+	}
+	depth := 0
+	reach := 1 // nodes reachable at current depth
+	total := 1
+	for total < n {
+		depth++
+		reach *= arity
+		total += reach
+	}
+	return &Tree{Nodes: n, Arity: arity, Depth: depth}
+}
+
+// BinomialRounds returns ceil(log2(n)): the number of rounds for a
+// binomial software tree over n participants.
+func BinomialRounds(n int) int {
+	r := 0
+	for p := 1; p < n; p *= 2 {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,134 @@
+// Package trace records simulation events — message sends, receive
+// postings, matches, and collective entries/exits — into a bounded
+// in-memory buffer for debugging and for verifying communication
+// structure in tests. Tracing is off unless a Buffer is attached to
+// the run configuration.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"bgpsim/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Event kinds.
+const (
+	Send Kind = iota
+	RecvPost
+	Match
+	CollEnter
+	CollExit
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case RecvPost:
+		return "recv-post"
+	case Match:
+		return "match"
+	case CollEnter:
+		return "coll-enter"
+	case CollExit:
+		return "coll-exit"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	T     sim.Time
+	Rank  int
+	Kind  Kind
+	Peer  int // -1 when not applicable
+	Bytes int
+	Tag   int
+	Label string // collective name, etc.
+}
+
+// Buffer is a bounded event log. Events beyond the capacity are
+// dropped (counted). The zero Buffer is unbounded; use NewBuffer to
+// cap memory.
+type Buffer struct {
+	max     int
+	events  []Event
+	dropped int64
+}
+
+// NewBuffer returns a buffer retaining at most max events (max <= 0
+// means unbounded).
+func NewBuffer(max int) *Buffer {
+	return &Buffer{max: max}
+}
+
+// Record appends an event, dropping it if the buffer is full.
+func (b *Buffer) Record(e Event) {
+	if b.max > 0 && len(b.events) >= b.max {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// Events returns the recorded events in order.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Dropped returns how many events did not fit.
+func (b *Buffer) Dropped() int64 { return b.dropped }
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Filter returns the events satisfying keep.
+func (b *Buffer) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range b.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OfRank returns one rank's events.
+func (b *Buffer) OfRank(rank int) []Event {
+	return b.Filter(func(e Event) bool { return e.Rank == rank })
+}
+
+// OfKind returns events of one kind.
+func (b *Buffer) OfKind(k Kind) []Event {
+	return b.Filter(func(e Event) bool { return e.Kind == k })
+}
+
+// Dump writes a human-readable log.
+func (b *Buffer) Dump(w io.Writer) error {
+	for _, e := range b.events {
+		var err error
+		switch e.Kind {
+		case Send:
+			_, err = fmt.Fprintf(w, "%.9fs rank %d %s -> %d  %d bytes tag %d\n",
+				e.T.Seconds(), e.Rank, e.Kind, e.Peer, e.Bytes, e.Tag)
+		case RecvPost, Match:
+			_, err = fmt.Fprintf(w, "%.9fs rank %d %s <- %d  tag %d\n",
+				e.T.Seconds(), e.Rank, e.Kind, e.Peer, e.Tag)
+		default:
+			_, err = fmt.Fprintf(w, "%.9fs rank %d %s %s\n",
+				e.T.Seconds(), e.Rank, e.Kind, e.Label)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if b.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d events dropped)\n", b.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

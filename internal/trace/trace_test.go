@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/sim"
+)
+
+func TestBufferBounded(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Record(Event{T: sim.Time(i), Rank: i, Kind: Send})
+	}
+	if b.Len() != 3 || b.Dropped() != 2 {
+		t.Errorf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+}
+
+func TestBufferUnbounded(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 100; i++ {
+		b.Record(Event{Rank: i})
+	}
+	if b.Len() != 100 || b.Dropped() != 0 {
+		t.Error("zero buffer should be unbounded")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	b := NewBuffer(0)
+	b.Record(Event{Rank: 1, Kind: Send})
+	b.Record(Event{Rank: 2, Kind: Match})
+	b.Record(Event{Rank: 1, Kind: Match})
+	if len(b.OfRank(1)) != 2 {
+		t.Error("OfRank wrong")
+	}
+	if len(b.OfKind(Match)) != 2 {
+		t.Error("OfKind wrong")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Send: "send", RecvPost: "recv-post", Match: "match",
+		CollEnter: "coll-enter", CollExit: "coll-exit",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestDump(t *testing.T) {
+	b := NewBuffer(2)
+	b.Record(Event{T: sim.Time(1000), Rank: 0, Kind: Send, Peer: 1, Bytes: 64, Tag: 7})
+	b.Record(Event{T: sim.Time(2000), Rank: 1, Kind: CollEnter, Peer: -1, Label: "#0:barrier"})
+	b.Record(Event{Rank: 2}) // dropped
+	var sb strings.Builder
+	if err := b.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"send -> 1", "64 bytes", "coll-enter #0:barrier", "1 events dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench paper paper-full verify examples cover clean
+.PHONY: all build test test-short vet check bench bench-all paper paper-full verify examples cover clean
 
 all: build test
 
@@ -18,7 +18,23 @@ test-short:
 vet:
 	$(GO) vet ./...
 
+# Tier-1+ verification: formatting, vet, and the full suite under the
+# race detector (covers the concurrent sweep runner).
+check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -race -timeout 20m ./...
+
+# Kernel hot-path benchmarks. BENCH_kernel.json (test2json stream, one
+# object per line) records the perf trajectory so future PRs can diff
+# ns/op, allocs/op, and events/s against this one.
 bench:
+	$(GO) test -run '^$$' -bench BenchmarkKernel -benchmem -count=1 -json ./internal/sim/ > BENCH_kernel.json
+	@grep -oE '"Output":"Benchmark[^"]*\\t"' BENCH_kernel.json | sed 's/"Output":"//;s/\\t"$$//'
+	@grep -oE '"Output":"[^"]*ns/op[^"]*"' BENCH_kernel.json | sed 's/"Output":"//;s/\\n"$$//;s/\\t/  /g'
+
+# The full benchmark suite (paper tables, ablations, compute kernels).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table/figure at reduced scale into results/.

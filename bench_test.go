@@ -22,6 +22,7 @@ import (
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
 	"bgpsim/internal/paper"
+	"bgpsim/internal/runner"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
 )
@@ -112,21 +113,25 @@ func BenchmarkFig1RandomAccess(b *testing.B) {
 	}
 }
 
-// Figure 2, per panel group.
+// Figure 2, per panel group. The sweep-shaped benchmarks run their
+// points through the runner pool, like the experiments they model, so
+// they measure the parallel sweep throughput the CLIs see (set
+// GOMAXPROCS, or runner.SetWorkers from TestMain, to vary width).
 
 func BenchmarkFig2Protocols(b *testing.B) {
 	gx, gy := 16, 8
 	if os.Getenv("BGPSIM_FULL") == "1" {
 		gx, gy = 128, 64
 	}
+	protos := []halo.Protocol{halo.IsendIrecv, halo.SendRecv, halo.IrecvSend, halo.Persistent}
 	for i := 0; i < b.N; i++ {
-		for _, p := range []halo.Protocol{halo.IsendIrecv, halo.SendRecv, halo.IrecvSend, halo.Persistent} {
-			_, err := halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+		_, err := runner.Sweep(protos, func(p halo.Protocol) (sim.Duration, error) {
+			return halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
 				GridX: gx, GridY: gy, Mapping: topology.MapTXYZ, Protocol: p,
 				Words: 2048, Iterations: 3})
-			if err != nil {
-				b.Fatal(err)
-			}
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -137,13 +142,13 @@ func BenchmarkFig2Mappings(b *testing.B) {
 		gx, gy = 64, 64
 	}
 	for i := 0; i < b.N; i++ {
-		for _, m := range topology.PaperHALOMappings {
-			_, err := halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+		_, err := runner.Sweep(topology.PaperHALOMappings, func(m topology.Mapping) (sim.Duration, error) {
+			return halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
 				GridX: gx, GridY: gy, Mapping: m, Protocol: halo.IsendIrecv,
 				Words: 20000, Iterations: 3})
-			if err != nil {
-				b.Fatal(err)
-			}
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -154,14 +159,15 @@ func BenchmarkFig2Grids(b *testing.B) {
 		grids = [][2]int{{64, 32}, {128, 64}}
 	}
 	for i := 0; i < b.N; i++ {
-		for _, g := range grids {
-			_, _, err := halo.BestMapping(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+		_, err := runner.Sweep(grids, func(g [2]int) (sim.Duration, error) {
+			_, d, err := halo.BestMapping(halo.Options{Machine: machine.BGP, Mode: machine.VN,
 				GridX: g[0], GridY: g[1], Protocol: halo.IsendIrecv,
 				Words: 2048, Iterations: 3},
 				[]topology.Mapping{topology.MapTXYZ, topology.MapXYZT})
-			if err != nil {
-				b.Fatal(err)
-			}
+			return d, err
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -173,13 +179,22 @@ func BenchmarkFig3Allreduce(b *testing.B) {
 	if os.Getenv("BGPSIM_FULL") == "1" {
 		ranks = 8192
 	}
+	type point struct {
+		double bool
+		id     machine.ID
+	}
+	var pts []point
+	for _, double := range []bool{true, false} {
+		for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+			pts = append(pts, point{double, id})
+		}
+	}
 	for i := 0; i < b.N; i++ {
-		for _, double := range []bool{true, false} {
-			for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
-				if _, err := imb.AllreduceLatency(id, ranks, 32<<10, double); err != nil {
-					b.Fatal(err)
-				}
-			}
+		_, err := runner.Sweep(pts, func(p point) (sim.Duration, error) {
+			return imb.AllreduceLatency(p.id, ranks, 32<<10, p.double)
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -189,11 +204,13 @@ func BenchmarkFig3Bcast(b *testing.B) {
 	if os.Getenv("BGPSIM_FULL") == "1" {
 		ranks = 8192
 	}
+	ids := []machine.ID{machine.BGP, machine.XT4QC}
 	for i := 0; i < b.N; i++ {
-		for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
-			if _, err := imb.BcastLatency(id, ranks, 32<<10); err != nil {
-				b.Fatal(err)
-			}
+		_, err := runner.Sweep(ids, func(id machine.ID) (sim.Duration, error) {
+			return imb.BcastLatency(id, ranks, 32<<10)
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -13,9 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bgpsim/internal/halo"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/runner"
+	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
 )
 
@@ -29,7 +32,9 @@ func main() {
 	protoS := flag.String("protocol", "isend", "protocol: isend, sendrecv, irecvsend, persistent")
 	sweep := flag.Bool("sweep", false, "sweep halo sizes")
 	mappings := flag.Bool("mappings", false, "compare all predefined mappings")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
 	flag.Parse()
+	runner.SetWorkers(*jobs)
 
 	mode := machine.VN
 	switch *modeS {
@@ -58,26 +63,31 @@ func main() {
 	case *mappings:
 		fmt.Printf("HALO mapping comparison: %s %s %dx%d grid, %d words\n",
 			*mach, mode, *gx, *gy, *words)
-		for _, m := range topology.PaperHALOMappings {
+		ds, err := runner.Sweep(topology.PaperHALOMappings, func(m topology.Mapping) (sim.Duration, error) {
 			o := base
 			o.Mapping = m
-			d, err := halo.Run(o)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Printf("  %-5s %10.2f us\n", m, d.Microseconds())
+			return halo.Run(o)
+		})
+		if err != nil {
+			fail(err)
+		}
+		for i, m := range topology.PaperHALOMappings {
+			fmt.Printf("  %-5s %10.2f us\n", m, ds[i].Microseconds())
 		}
 	case *sweep:
 		fmt.Printf("HALO size sweep: %s %s %dx%d grid, %s, mapping %s\n",
 			*mach, mode, *gx, *gy, proto, base.Mapping)
-		for _, w := range []int{2, 8, 32, 128, 512, 2048, 8192, 32768, 131072} {
+		sizes := []int{2, 8, 32, 128, 512, 2048, 8192, 32768, 131072}
+		ds, err := runner.Sweep(sizes, func(w int) (sim.Duration, error) {
 			o := base
 			o.Words = w
-			d, err := halo.Run(o)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Printf("  %8d words %12.2f us\n", w, d.Microseconds())
+			return halo.Run(o)
+		})
+		if err != nil {
+			fail(err)
+		}
+		for i, w := range sizes {
+			fmt.Printf("  %8d words %12.2f us\n", w, ds[i].Microseconds())
 		}
 	default:
 		d, err := halo.Run(base)

@@ -1,54 +1,89 @@
 // Command hpcc runs the HPC Challenge suite on a simulated machine and
 // prints the per-test results (the paper's Table 2 and Figure 1
-// quantities for one machine at one process count).
+// quantities for one machine at one or more process counts).
 //
 // Usage:
 //
 //	hpcc -machine BG/P -ranks 1024
 //	hpcc -machine XT4/QC -ranks 4096
+//	hpcc -machine BG/P -ranks 256,1024,4096 -j 4
+//
+// With a comma-separated -ranks list the suites for the different
+// process counts run concurrently on a worker pool (-j, default
+// GOMAXPROCS); each simulation is deterministic and output order
+// follows the list order, so the report is identical at any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"bgpsim/internal/hpcc"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/runner"
 )
 
 func main() {
 	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
-	ranks := flag.Int("ranks", 256, "MPI processes (VN mode)")
+	ranksFlag := flag.String("ranks", "256", "MPI processes (VN mode); comma-separated for a sweep")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
 	flag.Parse()
+	runner.SetWorkers(*jobs)
 
 	id := machine.ID(*mach)
 	m := machine.Get(id)
 
-	ep, err := hpcc.SingleAndEP(id, *ranks)
+	var rankCounts []int
+	for _, s := range strings.Split(*ranksFlag, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpcc: bad -ranks value %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		rankCounts = append(rankCounts, r)
+	}
+
+	reports, err := runner.Sweep(rankCounts, func(ranks int) (string, error) {
+		ep, err := hpcc.SingleAndEP(id, ranks)
+		if err != nil {
+			return "", err
+		}
+		n := hpcc.ProblemSizeN(m, machine.VN, ranks, 0.8)
+		nb := hpcc.BlockingNB(id)
+		hpl := hpcc.HPLAnalytic(id, machine.VN, ranks, n, nb)
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "HPCC on %s, %d processes (VN mode), N=%d, NB=%d\n\n", m.Name, ranks, n, nb)
+		fmt.Fprintf(&b, "Single-process / embarrassingly-parallel tests:\n")
+		fmt.Fprintf(&b, "  DGEMM:             %8.2f GFlop/s per process\n", ep.DGEMMGF)
+		fmt.Fprintf(&b, "  STREAM triad SP:   %8.2f GB/s\n", ep.StreamSPGB)
+		fmt.Fprintf(&b, "  STREAM triad EP:   %8.2f GB/s per process\n", ep.StreamEPGB)
+		fmt.Fprintf(&b, "  FFT EP:            %8.2f GFlop/s per process\n", ep.FFTEPGF)
+		fmt.Fprintf(&b, "Communication tests:\n")
+		fmt.Fprintf(&b, "  Ping-pong latency: %8.2f us\n", ep.PingPongLatUS)
+		fmt.Fprintf(&b, "  Ping-pong BW:      %8.2f GB/s\n", ep.PingPongBWGBs)
+		fmt.Fprintf(&b, "  Random ring lat:   %8.2f us\n", ep.RandRingLatUS)
+		fmt.Fprintf(&b, "  Random ring BW:    %8.2f GB/s per process\n", ep.RandRingBWGBs)
+		fmt.Fprintf(&b, "Parallel tests:\n")
+		fmt.Fprintf(&b, "  HPL:               %8.1f GFlop/s (%.1f%% of peak)\n",
+			hpl, hpl*1e9/(m.PeakFlopsCore()*float64(ranks))*100)
+		fmt.Fprintf(&b, "  FFT:               %8.1f GFlop/s\n", hpcc.FFTAnalytic(id, machine.VN, ranks))
+		fmt.Fprintf(&b, "  PTRANS:            %8.1f GB/s\n", hpcc.PTRANSAnalytic(id, machine.VN, ranks))
+		fmt.Fprintf(&b, "  RandomAccess:      %8.3f GUPS\n", hpcc.RandomAccessGUPS(id, machine.VN, ranks))
+		return b.String(), nil
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpcc:", err)
 		os.Exit(1)
 	}
-	n := hpcc.ProblemSizeN(m, machine.VN, *ranks, 0.8)
-	nb := hpcc.BlockingNB(id)
-
-	fmt.Printf("HPCC on %s, %d processes (VN mode), N=%d, NB=%d\n\n", m.Name, *ranks, n, nb)
-	fmt.Printf("Single-process / embarrassingly-parallel tests:\n")
-	fmt.Printf("  DGEMM:             %8.2f GFlop/s per process\n", ep.DGEMMGF)
-	fmt.Printf("  STREAM triad SP:   %8.2f GB/s\n", ep.StreamSPGB)
-	fmt.Printf("  STREAM triad EP:   %8.2f GB/s per process\n", ep.StreamEPGB)
-	fmt.Printf("  FFT EP:            %8.2f GFlop/s per process\n", ep.FFTEPGF)
-	fmt.Printf("Communication tests:\n")
-	fmt.Printf("  Ping-pong latency: %8.2f us\n", ep.PingPongLatUS)
-	fmt.Printf("  Ping-pong BW:      %8.2f GB/s\n", ep.PingPongBWGBs)
-	fmt.Printf("  Random ring lat:   %8.2f us\n", ep.RandRingLatUS)
-	fmt.Printf("  Random ring BW:    %8.2f GB/s per process\n", ep.RandRingBWGBs)
-	fmt.Printf("Parallel tests:\n")
-	fmt.Printf("  HPL:               %8.1f GFlop/s (%.1f%% of peak)\n",
-		hpcc.HPLAnalytic(id, machine.VN, *ranks, n, nb),
-		hpcc.HPLAnalytic(id, machine.VN, *ranks, n, nb)*1e9/(m.PeakFlopsCore()*float64(*ranks))*100)
-	fmt.Printf("  FFT:               %8.1f GFlop/s\n", hpcc.FFTAnalytic(id, machine.VN, *ranks))
-	fmt.Printf("  PTRANS:            %8.1f GB/s\n", hpcc.PTRANSAnalytic(id, machine.VN, *ranks))
-	fmt.Printf("  RandomAccess:      %8.3f GUPS\n", hpcc.RandomAccessGUPS(id, machine.VN, *ranks))
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r)
+	}
 }

@@ -7,6 +7,11 @@
 //	paper -exp fig4,table3    # specific experiments
 //	paper -exp fig1 -full     # the paper's actual process counts
 //	paper -exp all -out results/   # also write .txt and .csv files
+//	paper -exp all -j 8       # 8 concurrent simulations per sweep
+//
+// Sweep points run concurrently on a worker pool (-j, default
+// GOMAXPROCS); each simulation is deterministic and results are
+// assembled in input order, so stdout is byte-identical at any -j.
 package main
 
 import (
@@ -14,10 +19,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"bgpsim/internal/paper"
+	"bgpsim/internal/runner"
 )
 
 func main() {
@@ -26,7 +33,9 @@ func main() {
 	out := flag.String("out", "", "directory to write per-experiment .txt and .csv files")
 	list := flag.Bool("list", false, "list experiments and exit")
 	verify := flag.Bool("verify", false, "check the paper's claims against the simulation and exit")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (results are identical at any -j)")
 	flag.Parse()
+	runner.SetWorkers(*jobs)
 
 	if *verify {
 		results := paper.VerifyClaims(paper.Options{Full: *full})
@@ -80,7 +89,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s: %s  (%.1fs) ====\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		// Wall time goes to stderr so stdout is byte-identical at any -j.
+		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("==== %s: %s ====\n\n", e.ID, e.Title)
 		var txt, csv strings.Builder
 		for _, tb := range tables {
 			fmt.Println(tb)

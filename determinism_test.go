@@ -1,0 +1,143 @@
+package bgpsim_test
+
+// Golden determinism tests: the event-kernel fast path (4-ary heap,
+// run-queue, closure-free process resumes) must reproduce the seed
+// container/heap kernel bit for bit, and concurrent simulations must
+// not perturb each other. The constants below were captured from the
+// seed kernel before the fast path landed; any drift is a determinism
+// regression, not a tolerance issue.
+
+import (
+	"testing"
+
+	"bgpsim/internal/halo"
+	"bgpsim/internal/imb"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/runner"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// goldenAllreduce runs the contention-mode collective workload: a
+// 32 KiB double-precision allreduce on 64 BG/P nodes in VN mode.
+func goldenAllreduce() (*mpi.Result, error) {
+	return mpi.Execute(mpi.Config{Machine: machine.Get(machine.BGP), Nodes: 64,
+		Mode: machine.VN, Fidelity: network.Contention},
+		func(r *mpi.Rank) { r.World().Allreduce(r, 32<<10, true) })
+}
+
+// goldenRing runs the packet-fidelity ring exchange workload on XT4/QC.
+func goldenRing() (*mpi.Result, error) {
+	return mpi.Execute(mpi.Config{Machine: machine.Get(machine.XT4QC), Nodes: 32,
+		Mode: machine.VN, Fidelity: network.Packet},
+		func(r *mpi.Rank) {
+			right := (r.ID() + 1) % r.Size()
+			left := (r.ID() - 1 + r.Size()) % r.Size()
+			for k := 0; k < 4; k++ {
+				r.Sendrecv(right, 16<<10, k, left, k)
+			}
+		})
+}
+
+const (
+	seedAllreduceElapsed = sim.Duration(79101176)
+	seedAllreduceEvents  = uint64(512)
+	seedHaloDur          = sim.Duration(398397677)
+	seedBcastDur         = sim.Duration(39550588)
+	seedRingElapsed      = sim.Duration(130792824)
+	seedRingEvents       = uint64(2176)
+)
+
+func TestGoldenSeedKernelValues(t *testing.T) {
+	res, err := goldenAllreduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != seedAllreduceElapsed || res.Events != seedAllreduceEvents {
+		t.Errorf("contention allreduce: elapsed=%d events=%d, seed kernel gave elapsed=%d events=%d",
+			int64(res.Elapsed), res.Events, int64(seedAllreduceElapsed), seedAllreduceEvents)
+	}
+
+	d, err := halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+		GridX: 16, GridY: 8, Mapping: topology.MapTXYZ,
+		Protocol: halo.IsendIrecv, Words: 2048, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != seedHaloDur {
+		t.Errorf("halo: dur=%d, seed kernel gave %d", int64(d), int64(seedHaloDur))
+	}
+
+	d, err = imb.BcastLatency(machine.BGP, 256, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != seedBcastDur {
+		t.Errorf("bcast: dur=%d, seed kernel gave %d", int64(d), int64(seedBcastDur))
+	}
+
+	res, err = goldenRing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != seedRingElapsed || res.Events != seedRingEvents {
+		t.Errorf("packet ring: elapsed=%d events=%d, seed kernel gave elapsed=%d events=%d",
+			int64(res.Elapsed), res.Events, int64(seedRingElapsed), seedRingEvents)
+	}
+}
+
+// TestConcurrentRunsMatchSerial runs many simulations concurrently on
+// the runner pool and checks every result against its serial value:
+// each bgpsim run owns a private kernel, so cross-simulation
+// parallelism must not change any individual outcome. Run under
+// `go test -race` this also proves the runs share no state.
+func TestConcurrentRunsMatchSerial(t *testing.T) {
+	type job func() (sim.Duration, error)
+	jobs := []job{
+		func() (sim.Duration, error) {
+			res, err := goldenAllreduce()
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		},
+		func() (sim.Duration, error) {
+			return halo.Run(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+				GridX: 16, GridY: 8, Mapping: topology.MapTXYZ,
+				Protocol: halo.IsendIrecv, Words: 2048, Iterations: 3})
+		},
+		func() (sim.Duration, error) { return imb.BcastLatency(machine.BGP, 256, 32<<10) },
+		func() (sim.Duration, error) {
+			res, err := goldenRing()
+			if err != nil {
+				return 0, err
+			}
+			return res.Elapsed, nil
+		},
+	}
+
+	serial := make([]sim.Duration, len(jobs))
+	for i, j := range jobs {
+		d, err := j()
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = d
+	}
+
+	// 8 interleaved copies of each workload on an 8-wide pool.
+	const copies = 8
+	got, err := runner.MapN(copies*len(jobs), 8, func(i int) (sim.Duration, error) {
+		return jobs[i%len(jobs)]()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range got {
+		if want := serial[i%len(jobs)]; d != want {
+			t.Errorf("concurrent run %d: elapsed=%d, serial gave %d", i, int64(d), int64(want))
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
+	"bgpsim/internal/runner"
 	"bgpsim/internal/stats"
 	"bgpsim/internal/topology"
 )
@@ -23,10 +24,10 @@ func ablations(o Options) ([]*stats.Table, error) {
 	if o.Full {
 		nodes = 512
 	}
-	t := stats.NewTable("Design-choice ablations",
-		"Mechanism", "Metric", "With", "Without", "Factor")
 
-	// 1. Tree offload for double-precision Allreduce.
+	// Each with/without measurement is an independent simulation: fan
+	// them all out on the runner pool, then assemble the table rows in
+	// fixed order once every value is in.
 	allreduce := func(hw bool) (float64, error) {
 		m := machine.Get(machine.BGP)
 		m.TreeHWReduce = hw
@@ -37,18 +38,6 @@ func ablations(o Options) ([]*stats.Table, error) {
 		}
 		return res.Elapsed.Microseconds(), nil
 	}
-	withTree, err := allreduce(true)
-	if err != nil {
-		return nil, err
-	}
-	withoutTree, err := allreduce(false)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("collective-tree allreduce offload", "32KB allreduce latency (us)",
-		stats.FormatG(withTree), stats.FormatG(withoutTree), stats.FormatG(withoutTree/withTree))
-
-	// 2. Barrier network.
 	barrier := func(hw bool) (float64, error) {
 		m := machine.Get(machine.BGP)
 		m.HasBarrierNet = hw
@@ -59,19 +48,6 @@ func ablations(o Options) ([]*stats.Table, error) {
 		}
 		return res.Elapsed.Microseconds(), nil
 	}
-	withBar, err := barrier(true)
-	if err != nil {
-		return nil, err
-	}
-	withoutBar, err := barrier(false)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("global barrier network", "barrier latency (us)",
-		stats.FormatG(withBar), stats.FormatG(withoutBar), stats.FormatG(withoutBar/withBar))
-
-	// 3. Link contention model (vs analytic) on a mapping-hostile
-	// neighbour exchange.
 	exchange := func(fid network.Fidelity) (float64, error) {
 		cfg := mpi.Config{Machine: machine.Get(machine.BGP), Nodes: nodes, Mode: machine.VN,
 			Mapping: topology.MapXYZT, Fidelity: fid}
@@ -87,36 +63,6 @@ func ablations(o Options) ([]*stats.Table, error) {
 		}
 		return res.Elapsed.Microseconds(), nil
 	}
-	withCont, err := exchange(network.Contention)
-	if err != nil {
-		return nil, err
-	}
-	withoutCont, err := exchange(network.Analytic)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("link-contention model", "ring exchange time (us)",
-		stats.FormatG(withCont), stats.FormatG(withoutCont), stats.FormatG(withCont/withoutCont))
-
-	// 4. XT allocator fragmentation (the BisectionDerate evidence).
-	tor := topology.NewTorus(topology.Dims{8, 8, 16})
-	bgJob, err := alloc.Churn(alloc.NewBGAllocator(tor), tor, 12345, 300, 128)
-	if err != nil {
-		return nil, err
-	}
-	xtJob, err := alloc.Churn(alloc.NewXTAllocator(tor), tor, 12345, 300, 128)
-	if err != nil {
-		return nil, err
-	}
-	bgSpread := alloc.Spread(tor, bgJob)
-	xtSpread := alloc.Spread(tor, xtJob)
-	t.AddRow("partition isolation (BG vs XT allocator)", "job spread after churn",
-		stats.FormatG(bgSpread), stats.FormatG(xtSpread), stats.FormatG(xtSpread/bgSpread))
-	t.AddRow("", "external route fraction",
-		stats.FormatG(alloc.ExternalRouteFraction(tor, bgJob)),
-		stats.FormatG(alloc.ExternalRouteFraction(tor, xtJob)), "")
-
-	// 5. Noiseless compute kernel (CollNoisePerRank) at scale.
 	softAllreduce := func(noise float64) (float64, error) {
 		m := machine.Get(machine.XT4QC)
 		m.CollNoisePerRank = noise
@@ -127,14 +73,57 @@ func ablations(o Options) ([]*stats.Table, error) {
 		}
 		return res.Elapsed.Microseconds(), nil
 	}
-	quiet, err := softAllreduce(0)
+	churn := func(xt bool) (*alloc.Job, error) {
+		tor := topology.NewTorus(topology.Dims{8, 8, 16})
+		a := alloc.Allocator(alloc.NewBGAllocator(tor))
+		if xt {
+			a = alloc.NewXTAllocator(tor)
+		}
+		return alloc.Churn(a, tor, 12345, 300, 128)
+	}
+
+	measurements := []func() (float64, error){
+		func() (float64, error) { return allreduce(true) },
+		func() (float64, error) { return allreduce(false) },
+		func() (float64, error) { return barrier(true) },
+		func() (float64, error) { return barrier(false) },
+		func() (float64, error) { return exchange(network.Contention) },
+		func() (float64, error) { return exchange(network.Analytic) },
+		func() (float64, error) { return softAllreduce(0) },
+		func() (float64, error) { return softAllreduce(machine.Get(machine.XT4QC).CollNoisePerRank) },
+	}
+	vals, err := runner.Sweep(measurements, func(f func() (float64, error)) (float64, error) { return f() })
 	if err != nil {
 		return nil, err
 	}
-	noisy, err := softAllreduce(machine.Get(machine.XT4QC).CollNoisePerRank)
+	withTree, withoutTree := vals[0], vals[1]
+	withBar, withoutBar := vals[2], vals[3]
+	withCont, withoutCont := vals[4], vals[5]
+	quiet, noisy := vals[6], vals[7]
+
+	// 4. XT allocator fragmentation (the BisectionDerate evidence).
+	tor := topology.NewTorus(topology.Dims{8, 8, 16})
+	regions, err := runner.Sweep([]bool{false, true}, churn)
 	if err != nil {
 		return nil, err
 	}
+	bgJob, xtJob := regions[0], regions[1]
+	bgSpread := alloc.Spread(tor, bgJob)
+	xtSpread := alloc.Spread(tor, xtJob)
+
+	t := stats.NewTable("Design-choice ablations",
+		"Mechanism", "Metric", "With", "Without", "Factor")
+	t.AddRow("collective-tree allreduce offload", "32KB allreduce latency (us)",
+		stats.FormatG(withTree), stats.FormatG(withoutTree), stats.FormatG(withoutTree/withTree))
+	t.AddRow("global barrier network", "barrier latency (us)",
+		stats.FormatG(withBar), stats.FormatG(withoutBar), stats.FormatG(withoutBar/withBar))
+	t.AddRow("link-contention model", "ring exchange time (us)",
+		stats.FormatG(withCont), stats.FormatG(withoutCont), stats.FormatG(withCont/withoutCont))
+	t.AddRow("partition isolation (BG vs XT allocator)", "job spread after churn",
+		stats.FormatG(bgSpread), stats.FormatG(xtSpread), stats.FormatG(xtSpread/bgSpread))
+	t.AddRow("", "external route fraction",
+		stats.FormatG(alloc.ExternalRouteFraction(tor, bgJob)),
+		stats.FormatG(alloc.ExternalRouteFraction(tor, xtJob)), "")
 	t.AddRow("noiseless kernel (OS-noise term off/on)",
 		fmt.Sprintf("8B software allreduce at %d ranks (us)", nodes*4),
 		stats.FormatG(quiet), stats.FormatG(noisy), stats.FormatG(noisy/quiet))

@@ -20,6 +20,27 @@ func init() {
 	register("fig8", "LAMMPS and AMBER/PMEMD on RuBisCO", fig8)
 }
 
+// seriesSlot reserves the next series position of a figure and returns
+// a job that fills it: used when a model call (s3d.WeakScaling,
+// gyro.StrongScaling, ...) produces a whole series at once but the
+// calls should run concurrently without disturbing series order.
+func seriesSlot(f *stats.Figure, run func() (*stats.Series, error)) job {
+	f.Series = append(f.Series, nil)
+	i := len(f.Series) - 1
+	return job{
+		run:    func() (any, error) { return run() },
+		commit: func(v any) { f.Series[i] = v.(*stats.Series) },
+	}
+}
+
+// popJob runs one POP configuration and hands the result to commit.
+func popJob(o pop.Options, commit func(*pop.Result)) job {
+	return job{
+		run:    func() (any, error) { return pop.Run(o) },
+		commit: func(v any) { commit(v.(*pop.Result)) },
+	}
+}
+
 func fig4(o Options) ([]*stats.Table, error) {
 	bgpProcs := []int{500, 1000, 2000}
 	xtProcs := []int{500, 1000, 2000}
@@ -27,6 +48,7 @@ func fig4(o Options) ([]*stats.Table, error) {
 		bgpProcs = []int{2000, 4000, 8000, 20000, 40000}
 		xtProcs = []int{2000, 4000, 8000, 22500}
 	}
+	var jobs []job
 
 	// Panel (a): BG/P VN vs SMP, CG vs ChronGear.
 	fa := stats.NewFigure("Figure 4(a): POP total performance on BG/P", "processes", "SYD")
@@ -42,11 +64,10 @@ func fig4(o Options) ([]*stats.Table, error) {
 	} {
 		s := fa.AddSeries(v.name)
 		for _, p := range bgpProcs {
-			r, err := pop.Run(pop.Options{Machine: machine.BGP, Mode: v.mode, Procs: p, Solver: v.solver})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(p), r.SYD)
+			s, p := s, p
+			jobs = append(jobs, popJob(
+				pop.Options{Machine: machine.BGP, Mode: v.mode, Procs: p, Solver: v.solver},
+				func(r *pop.Result) { s.Add(float64(p), r.SYD) }))
 		}
 	}
 
@@ -56,14 +77,15 @@ func fig4(o Options) ([]*stats.Table, error) {
 	btr := fb.AddSeries("barotropic")
 	bar := fb.AddSeries("barrier (imbalance)")
 	for _, p := range bgpProcs {
-		r, err := pop.Run(pop.Options{Machine: machine.BGP, Mode: machine.VN, Procs: p,
-			Solver: pop.ChronopoulosGear, TimingBarrier: true})
-		if err != nil {
-			return nil, err
-		}
-		bcl.Add(float64(p), r.BaroclinicSec)
-		btr.Add(float64(p), r.BarotropicSec)
-		bar.Add(float64(p), r.BarrierSec)
+		p := p
+		jobs = append(jobs, popJob(
+			pop.Options{Machine: machine.BGP, Mode: machine.VN, Procs: p,
+				Solver: pop.ChronopoulosGear, TimingBarrier: true},
+			func(r *pop.Result) {
+				bcl.Add(float64(p), r.BaroclinicSec)
+				btr.Add(float64(p), r.BarotropicSec)
+				bar.Add(float64(p), r.BarrierSec)
+			}))
 	}
 
 	// Panel (c): BG/P vs XT4 total performance.
@@ -75,11 +97,10 @@ func fig4(o Options) ([]*stats.Table, error) {
 		}
 		s := fc.AddSeries(string(id))
 		for _, p := range procs {
-			r, err := pop.Run(pop.Options{Machine: id, Mode: machine.VN, Procs: p, Solver: pop.ChronopoulosGear})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(p), r.SYD)
+			s, p, id := s, p, id
+			jobs = append(jobs, popJob(
+				pop.Options{Machine: id, Mode: machine.VN, Procs: p, Solver: pop.ChronopoulosGear},
+				func(r *pop.Result) { s.Add(float64(p), r.SYD) }))
 		}
 	}
 
@@ -96,14 +117,18 @@ func fig4(o Options) ([]*stats.Table, error) {
 		sb := fd.AddSeries(string(id) + " baroclinic")
 		st := fd.AddSeries(string(id) + " barotropic")
 		for _, p := range procs {
-			r, err := pop.Run(pop.Options{Machine: id, Mode: machine.VN, Procs: p,
-				Solver: pop.ChronopoulosGear, TimingBarrier: tb})
-			if err != nil {
-				return nil, err
-			}
-			sb.Add(float64(p), r.BaroclinicSec)
-			st.Add(float64(p), r.BarotropicSec)
+			p, id, tb := p, id, tb
+			jobs = append(jobs, popJob(
+				pop.Options{Machine: id, Mode: machine.VN, Procs: p,
+					Solver: pop.ChronopoulosGear, TimingBarrier: tb},
+				func(r *pop.Result) {
+					sb.Add(float64(p), r.BaroclinicSec)
+					st.Add(float64(p), r.BarotropicSec)
+				}))
 		}
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{fa.Table(), fb.Table(), fc.Table(), fd.Table()}, nil
 }
@@ -113,9 +138,16 @@ func fig5(o Options) ([]*stats.Table, error) {
 	if o.Full {
 		coreCounts = []int{64, 128, 256, 512, 1024}
 	}
+	var jobs []job
+	camJob := func(s *stats.Series, x int, o cam.Options) job {
+		return job{
+			run:    func() (any, error) { return cam.Run(o) },
+			commit: func(v any) { s.Add(float64(x), v.(*cam.Result).SYPD) },
+		}
+	}
 
 	// Panels (a)/(b): BG/P pure MPI vs hybrid.
-	var tables []*stats.Table
+	var figs []*stats.Figure
 	for i, probs := range [][]cam.Problem{{cam.T42, cam.T85}, {cam.FV19, cam.FV047}} {
 		f := stats.NewFigure(fmt.Sprintf("Figure 5(%c): CAM on BG/P, MPI vs hybrid", 'a'+i),
 			"cores", "SYPD")
@@ -124,25 +156,17 @@ func fig5(o Options) ([]*stats.Table, error) {
 			ompS := f.AddSeries(prob.Name + " MPI+OMP")
 			for _, cores := range coreCounts {
 				if cores <= prob.MaxMPI {
-					r, err := cam.Run(cam.Options{Machine: machine.BGP, Mode: machine.VN,
-						Procs: cores, Problem: prob})
-					if err != nil {
-						return nil, err
-					}
-					mpiS.Add(float64(cores), r.SYPD)
+					jobs = append(jobs, camJob(mpiS, cores, cam.Options{
+						Machine: machine.BGP, Mode: machine.VN, Procs: cores, Problem: prob}))
 				}
 				procs := cores / 4
 				if procs >= 1 && procs <= prob.MaxMPI {
-					r, err := cam.Run(cam.Options{Machine: machine.BGP, Mode: machine.SMP,
-						Procs: procs, Problem: prob})
-					if err != nil {
-						return nil, err
-					}
-					ompS.Add(float64(cores), r.SYPD)
+					jobs = append(jobs, camJob(ompS, cores, cam.Options{
+						Machine: machine.BGP, Mode: machine.SMP, Procs: procs, Problem: prob}))
 				}
 			}
 		}
-		tables = append(tables, f.Table())
+		figs = append(figs, f)
 	}
 
 	// Panels (c)/(d): best-configuration comparison across machines.
@@ -153,14 +177,24 @@ func fig5(o Options) ([]*stats.Table, error) {
 			for _, id := range []machine.ID{machine.BGP, machine.XT3, machine.XT4QC} {
 				s := f.AddSeries(fmt.Sprintf("%s %s", prob.Name, id))
 				for _, cores := range coreCounts {
-					r, _, err := cam.Best(id, prob, cores)
-					if err != nil {
-						return nil, err
-					}
-					s.Add(float64(cores), r.SYPD)
+					s, id, prob, cores := s, id, prob, cores
+					jobs = append(jobs, job{
+						run: func() (any, error) {
+							r, _, err := cam.Best(id, prob, cores)
+							return r, err
+						},
+						commit: func(v any) { s.Add(float64(cores), v.(*cam.Result).SYPD) },
+					})
 				}
 			}
 		}
+		figs = append(figs, f)
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+	var tables []*stats.Table
+	for _, f := range figs {
 		tables = append(tables, f.Table())
 	}
 	return tables, nil
@@ -173,12 +207,15 @@ func fig6(o Options) ([]*stats.Table, error) {
 	}
 	f := stats.NewFigure("Figure 6: S3D weak scaling (50^3 points per task)",
 		"processes", "core-hours per grid point per step")
+	var jobs []job
 	for _, id := range []machine.ID{machine.BGP, machine.BGL, machine.XT3, machine.XT4DC, machine.XT4QC} {
-		s, err := s3d.WeakScaling(id, machine.VN, procs)
-		if err != nil {
-			return nil, err
-		}
-		f.Series = append(f.Series, s)
+		id := id
+		jobs = append(jobs, seriesSlot(f, func() (*stats.Series, error) {
+			return s3d.WeakScaling(id, machine.VN, procs)
+		}))
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{f.Table()}, nil
 }
@@ -194,37 +231,36 @@ func fig7(o Options) ([]*stats.Table, error) {
 		b3ProcsBGP = []int{256, 1024, 2048}
 		weakProcs = []int{64, 256, 1024, 4096}
 	}
+	var jobs []job
 
 	fa := stats.NewFigure("Figure 7(a): GYRO B1-std strong scaling", "processes", "total seconds (500 steps)")
 	for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
-		s, err := gyro.StrongScaling(id, machine.VN, gyro.B1Std, b1Procs)
-		if err != nil {
-			return nil, err
-		}
-		fa.Series = append(fa.Series, s)
+		id := id
+		jobs = append(jobs, seriesSlot(fa, func() (*stats.Series, error) {
+			return gyro.StrongScaling(id, machine.VN, gyro.B1Std, b1Procs)
+		}))
 	}
 
 	fb := stats.NewFigure("Figure 7(b): GYRO B3-gtc strong scaling (BG/P in DUAL mode)", "processes", "total seconds (100 steps)")
-	sx, err := gyro.StrongScaling(machine.XT4QC, machine.VN, gyro.B3GTC, b3ProcsXT)
-	if err != nil {
-		return nil, err
-	}
-	sb, err := gyro.StrongScaling(machine.BGP, machine.DUAL, gyro.B3GTC, b3ProcsBGP)
-	if err != nil {
-		return nil, err
-	}
-	fb.Series = append(fb.Series, sb, sx)
+	jobs = append(jobs, seriesSlot(fb, func() (*stats.Series, error) {
+		return gyro.StrongScaling(machine.BGP, machine.DUAL, gyro.B3GTC, b3ProcsBGP)
+	}))
+	jobs = append(jobs, seriesSlot(fb, func() (*stats.Series, error) {
+		return gyro.StrongScaling(machine.XT4QC, machine.VN, gyro.B3GTC, b3ProcsXT)
+	}))
 
 	fc := stats.NewFigure("Figure 7(c): GYRO modified B3-gtc weak scaling", "processes", "seconds per step")
 	for _, c := range []struct {
 		id   machine.ID
 		mode machine.Mode
 	}{{machine.BGP, machine.VN}, {machine.BGL, machine.VN}, {machine.XT4QC, machine.VN}} {
-		s, err := gyro.WeakScaled(c.id, c.mode, weakProcs)
-		if err != nil {
-			return nil, err
-		}
-		fc.Series = append(fc.Series, s)
+		c := c
+		jobs = append(jobs, seriesSlot(fc, func() (*stats.Series, error) {
+			return gyro.WeakScaled(c.id, c.mode, weakProcs)
+		}))
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{fa.Table(), fb.Table(), fc.Table()}, nil
 }
@@ -235,17 +271,24 @@ func fig8(o Options) ([]*stats.Table, error) {
 		procs = []int{128, 512, 2048, 8192}
 	}
 	machines := []machine.ID{machine.BGP, machine.BGL, machine.XT3, machine.XT4DC}
-	var tables []*stats.Table
+	var jobs []job
+	var figs []*stats.Figure
 	for i, code := range []md.Code{md.LAMMPS, md.PMEMD} {
 		f := stats.NewFigure(fmt.Sprintf("Figure 8(%c): %s on RuBisCO (290,220 atoms)", 'a'+i, code),
 			"processes", "ns/day")
 		for _, id := range machines {
-			s, err := md.Scaling(id, machine.VN, code, procs)
-			if err != nil {
-				return nil, err
-			}
-			f.Series = append(f.Series, s)
+			id, code := id, code
+			jobs = append(jobs, seriesSlot(f, func() (*stats.Series, error) {
+				return md.Scaling(id, machine.VN, code, procs)
+			}))
 		}
+		figs = append(figs, f)
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+	var tables []*stats.Table
+	for _, f := range figs {
 		tables = append(tables, f.Table())
 	}
 	return tables, nil

@@ -13,6 +13,7 @@ import (
 	"bgpsim/internal/imb"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/power"
+	"bgpsim/internal/runner"
 	"bgpsim/internal/topology"
 )
 
@@ -32,13 +33,14 @@ type ClaimResult struct {
 	Err    error
 }
 
-// VerifyClaims checks every registered claim at the given scale.
+// VerifyClaims checks every registered claim at the given scale. The
+// claims are independent simulations, so they run concurrently on the
+// runner pool; results come back in registration order.
 func VerifyClaims(o Options) []ClaimResult {
-	out := make([]ClaimResult, 0, len(claims))
-	for _, c := range claims {
+	out, _ := runner.Sweep(claims, func(c Claim) (ClaimResult, error) {
 		pass, detail, err := c.Check(o)
-		out = append(out, ClaimResult{Claim: c, Pass: pass && err == nil, Detail: detail, Err: err})
-	}
+		return ClaimResult{Claim: c, Pass: pass && err == nil, Detail: detail, Err: err}, nil
+	})
 	return out
 }
 

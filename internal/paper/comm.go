@@ -6,6 +6,7 @@ import (
 	"bgpsim/internal/halo"
 	"bgpsim/internal/imb"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
 	"bgpsim/internal/stats"
 	"bgpsim/internal/topology"
 )
@@ -25,6 +26,20 @@ func haloWords(o Options) []int {
 
 func fig2(o Options) ([]*stats.Table, error) {
 	words := haloWords(o)
+
+	// Every point of every panel is an independent simulation; queue
+	// them all as jobs, sweep them concurrently on the runner pool,
+	// and render the figures afterwards.
+	var figs []*stats.Figure
+	var jobs []job
+	haloJob := func(s *stats.Series, w int, o halo.Options) job {
+		return job{
+			run: func() (any, error) { return halo.Run(o) },
+			commit: func(v any) {
+				s.Add(float64(w), v.(sim.Duration).Microseconds())
+			},
+		}
+	}
 
 	// Panel (a)/(b): protocols on the VN and SMP grids.
 	type panel struct {
@@ -46,23 +61,18 @@ func fig2(o Options) ([]*stats.Table, error) {
 			{"Figure 2(b): protocols, 128 cores SMP 16x8 XYZT", machine.SMP, 16, 8, topology.MapXYZT},
 		}
 	}
-	var tables []*stats.Table
 	for _, p := range panels {
 		f := stats.NewFigure(p.title, "halo words", "exchange time (us)")
 		for _, proto := range []halo.Protocol{halo.IsendIrecv, halo.SendRecv, halo.IrecvSend, halo.Persistent} {
 			s := f.AddSeries(proto.String())
 			for _, w := range words {
-				d, err := halo.Run(halo.Options{
+				jobs = append(jobs, haloJob(s, w, halo.Options{
 					Machine: machine.BGP, Mode: p.mode, GridX: p.gx, GridY: p.gy,
 					Mapping: p.mapg, Protocol: proto, Words: w, Iterations: 3,
-				})
-				if err != nil {
-					return nil, err
-				}
-				s.Add(float64(w), d.Microseconds())
+				}))
 			}
 		}
-		tables = append(tables, f.Table())
+		figs = append(figs, f)
 	}
 
 	// Panel (c)/(d): mapping sensitivity.
@@ -78,17 +88,13 @@ func fig2(o Options) ([]*stats.Table, error) {
 		for _, m := range topology.PaperHALOMappings {
 			s := f.AddSeries(string(m))
 			for _, w := range words {
-				d, err := halo.Run(halo.Options{
+				jobs = append(jobs, haloJob(s, w, halo.Options{
 					Machine: machine.BGP, Mode: machine.VN, GridX: g[0], GridY: g[1],
 					Mapping: m, Protocol: halo.IsendIrecv, Words: w, Iterations: 3,
-				})
-				if err != nil {
-					return nil, err
-				}
-				s.Add(float64(w), d.Microseconds())
+				}))
 			}
 		}
-		tables = append(tables, f.Table())
+		figs = append(figs, f)
 	}
 
 	// Panel (e)/(f): best-mapping cost versus virtual grid size.
@@ -106,16 +112,32 @@ func fig2(o Options) ([]*stats.Table, error) {
 			}
 			s := f.AddSeries(fmt.Sprintf("%dx%d", g[0], g[1]))
 			for _, w := range words {
-				_, d, err := halo.BestMapping(halo.Options{
+				opts := halo.Options{
 					Machine: machine.BGP, Mode: mode, GridX: g[0], GridY: g[1],
 					Protocol: halo.IsendIrecv, Words: w, Iterations: 3,
-				}, []topology.Mapping{topology.MapTXYZ, topology.MapXYZT})
-				if err != nil {
-					return nil, err
 				}
-				s.Add(float64(w), d.Microseconds())
+				s := s
+				w := w
+				jobs = append(jobs, job{
+					run: func() (any, error) {
+						_, d, err := halo.BestMapping(opts,
+							[]topology.Mapping{topology.MapTXYZ, topology.MapXYZT})
+						return d, err
+					},
+					commit: func(v any) {
+						s.Add(float64(w), v.(sim.Duration).Microseconds())
+					},
+				})
 			}
 		}
+		figs = append(figs, f)
+	}
+
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+	var tables []*stats.Table
+	for _, f := range figs {
 		tables = append(tables, f.Table())
 	}
 	return tables, nil
@@ -130,25 +152,32 @@ func fig3(o Options) ([]*stats.Table, error) {
 		maxBytes = 1 << 20
 		procCounts = []int{128, 512, 2048, 8192}
 	}
-	fa, err := imb.AllreduceVsSize(ranks, maxBytes)
-	if err != nil {
+	// The four panels are independent sweeps; run them concurrently.
+	figs := make([]*stats.Figure, 0, 4)
+	var jobs []job
+	panel := func(prefix, suffix string, run func() (*stats.Figure, error)) {
+		figs = append(figs, nil)
+		i := len(figs) - 1
+		jobs = append(jobs, job{
+			run: func() (any, error) { return run() },
+			commit: func(v any) {
+				f := v.(*stats.Figure)
+				f.Title = prefix + f.Title + suffix
+				figs[i] = f
+			},
+		})
+	}
+	perRanks := fmt.Sprintf(" (%d processes)", ranks)
+	panel("Figure 3(a): ", perRanks, func() (*stats.Figure, error) { return imb.AllreduceVsSize(ranks, maxBytes) })
+	panel("Figure 3(b): ", "", func() (*stats.Figure, error) { return imb.AllreduceVsProcs(procCounts) })
+	panel("Figure 3(c): ", perRanks, func() (*stats.Figure, error) { return imb.BcastVsSize(ranks, maxBytes) })
+	panel("Figure 3(d): ", "", func() (*stats.Figure, error) { return imb.BcastVsProcs(procCounts) })
+	if err := runJobs(jobs); err != nil {
 		return nil, err
 	}
-	fa.Title = "Figure 3(a): " + fa.Title + fmt.Sprintf(" (%d processes)", ranks)
-	fb, err := imb.AllreduceVsProcs(procCounts)
-	if err != nil {
-		return nil, err
+	var tables []*stats.Table
+	for _, f := range figs {
+		tables = append(tables, f.Table())
 	}
-	fb.Title = "Figure 3(b): " + fb.Title
-	fc, err := imb.BcastVsSize(ranks, maxBytes)
-	if err != nil {
-		return nil, err
-	}
-	fc.Title = "Figure 3(c): " + fc.Title + fmt.Sprintf(" (%d processes)", ranks)
-	fd, err := imb.BcastVsProcs(procCounts)
-	if err != nil {
-		return nil, err
-	}
-	fd.Title = "Figure 3(d): " + fd.Title
-	return []*stats.Table{fa.Table(), fb.Table(), fc.Table(), fd.Table()}, nil
+	return tables, nil
 }

@@ -6,6 +6,7 @@ import (
 	"bgpsim/internal/hpcc"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/power"
+	"bgpsim/internal/runner"
 	"bgpsim/internal/stats"
 )
 
@@ -68,14 +69,13 @@ func table2(o Options) ([]*stats.Table, error) {
 	if o.Full {
 		ranks = 4096
 	}
-	bgp, err := hpcc.SingleAndEP(machine.BGP, ranks)
+	// The two machines' HPCC suites are independent simulations.
+	eps, err := runner.Sweep([]machine.ID{machine.BGP, machine.XT4QC},
+		func(id machine.ID) (*hpcc.EPResults, error) { return hpcc.SingleAndEP(id, ranks) })
 	if err != nil {
 		return nil, err
 	}
-	xt, err := hpcc.SingleAndEP(machine.XT4QC, ranks)
-	if err != nil {
-		return nil, err
-	}
+	bgp, xt := eps[0], eps[1]
 	t := stats.NewTable(
 		fmt.Sprintf("Table 2: HPCC SP/EP and communication tests (VN mode, %d processes)", ranks),
 		"Test", "BG/P", "XT4/QC")

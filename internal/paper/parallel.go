@@ -1,0 +1,26 @@
+package paper
+
+import "bgpsim/internal/runner"
+
+// job is one independent simulation point of an experiment sweep: run
+// executes the simulation (concurrently with other jobs, on the runner
+// pool), commit folds its value into tables or series. Commits are
+// applied serially in job order after every run finishes, so the
+// resulting tables are identical at any worker count.
+type job struct {
+	run    func() (any, error)
+	commit func(any)
+}
+
+// runJobs executes the jobs on the runner pool and commits the results
+// in order.
+func runJobs(jobs []job) error {
+	vals, err := runner.Sweep(jobs, func(j job) (any, error) { return j.run() })
+	if err != nil {
+		return err
+	}
+	for i, j := range jobs {
+		j.commit(vals[i])
+	}
+	return nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package paper
+
+const raceEnabled = false

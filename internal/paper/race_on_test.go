@@ -1,0 +1,10 @@
+//go:build race
+
+package paper
+
+// raceEnabled reports whether the race detector is compiled in. The
+// sweep-heavy tests shrink or skip under -race: instrumentation is
+// 5-10x slower, and the detector only needs the concurrent code paths
+// exercised, not every experiment at full breadth (the non-race run
+// covers that).
+const raceEnabled = true

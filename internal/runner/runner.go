@@ -1,0 +1,117 @@
+// Package runner executes embarrassingly parallel simulation sweeps
+// on a bounded worker pool.
+//
+// Every bgpsim simulation owns a private sim.Kernel and shares no
+// mutable state with other simulations, so the points of a sweep — a
+// HALO curve over message sizes, an application scaling table over
+// machine models — can run concurrently without affecting any
+// individual result. The runner keeps that parallelism observably
+// invisible: results come back in input order regardless of completion
+// order, every item runs even when an earlier one fails, and the error
+// returned is always the first in input order, so a sweep at 8 workers
+// produces byte-for-byte the output of the same sweep at 1.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers, when positive, overrides the GOMAXPROCS-derived
+// worker count for calls that do not pass one explicitly.
+var defaultWorkers atomic.Int64
+
+// Workers returns the worker count used when none is given: the
+// SetWorkers override if set, otherwise GOMAXPROCS.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the process-wide default worker count (the CLIs' -j
+// flag). n <= 0 restores the GOMAXPROCS default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Map calls fn(0..n-1) on the default worker pool and returns the
+// results in index order. See MapN.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN(n, 0, fn)
+}
+
+// MapN calls fn(0..n-1) on a pool of the given number of workers
+// (Workers() when workers <= 0) and returns the results in index
+// order. fn must be safe to call concurrently. Every index runs even
+// if another fails, and on failure MapN returns the error of the
+// lowest failing index — so scheduling order never changes what the
+// caller observes.
+func MapN[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			out[i] = v
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Sweep applies fn to every item on the default worker pool and
+// returns the results in input order, with the same error contract as
+// MapN.
+func Sweep[I, O any](items []I, fn func(item I) (O, error)) ([]O, error) {
+	return Map(len(items), func(i int) (O, error) { return fn(items[i]) })
+}
+
+// Each runs fn(0..n-1) for side effects on the default worker pool,
+// with the same error contract as MapN.
+func Each(n int, fn func(i int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) { return struct{}{}, fn(i) })
+	return err
+}

@@ -1,0 +1,133 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	// Later indices finish first; results must still come back in
+	// input order.
+	got, err := MapN(32, 8, func(i int) (int, error) {
+		time.Sleep(time.Duration(32-i) * time.Millisecond / 8)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 32 {
+		t.Fatalf("len = %d, want 32", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 2, 8, 64} {
+		var ran atomic.Int64
+		_, err := MapN(16, workers, func(i int) (int, error) {
+			ran.Add(1)
+			switch i {
+			case 3:
+				// Delay the low-index failure so high-index one
+				// completes first; the low one must still win.
+				time.Sleep(5 * time.Millisecond)
+				return 0, errLow
+			case 11:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if err != errLow {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+		if n := ran.Load(); n != 16 {
+			t.Errorf("workers=%d: ran %d items, want all 16", workers, n)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("Map(0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	items := []string{"a", "bb", "ccc"}
+	got, err := Sweep(items, func(s string) (int, error) { return len(s), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sweep = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Errorf("sum = %d, want 45", sum.Load())
+	}
+	wantErr := fmt.Errorf("boom")
+	if err := Each(3, func(i int) error {
+		if i == 1 {
+			return wantErr
+		}
+		return nil
+	}); err != wantErr {
+		t.Errorf("Each err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Errorf("Workers() = %d, want 3", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got < 1 {
+		t.Errorf("Workers() = %d, want >= 1", got)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	_, err := MapN(64, 4, func(i int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Errorf("observed %d concurrent workers, want <= 4", p)
+	}
+}

@@ -1,0 +1,181 @@
+package sim_test
+
+// Kernel hot-path benchmarks, run by `make bench` into
+// BENCH_kernel.json so the performance trajectory is tracked across
+// PRs. BenchmarkKernelChurn includes a container/heap baseline that
+// replicates the seed kernel's boxed event queue, so the fast path's
+// alloc/op and ns/op advantage stays measurable long after the seed
+// implementation is gone.
+
+import (
+	"container/heap"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/sim"
+)
+
+// boxedEvent/boxedHeap replicate the seed kernel's event queue:
+// container/heap over an interface type, one boxing allocation per
+// push.
+type boxedEvent struct {
+	t    sim.Time
+	seq  uint64
+	fire func()
+}
+
+type boxedHeap []boxedEvent
+
+func (h boxedHeap) Len() int { return len(h) }
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(boxedEvent)) }
+func (h *boxedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = boxedEvent{}
+	*h = old[:n-1]
+	return e
+}
+
+// churnWidth is the standing event population during queue churn.
+const churnWidth = 256
+
+// BenchmarkKernelChurn measures schedule/fire throughput: a standing
+// population of events where every fired event schedules a successor
+// at a pseudo-random future offset. The fastpath case drives the real
+// kernel; the containerheap case drives the seed queue replica with an
+// identical workload.
+func BenchmarkKernelChurn(b *testing.B) {
+	b.Run("fastpath", func(b *testing.B) {
+		b.ReportAllocs()
+		k := sim.NewKernel()
+		rng := sim.NewRNG(1)
+		remaining := b.N
+		var tick func()
+		tick = func() {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			k.After(sim.Duration(rng.Intn(1000)+1)*sim.Nanosecond, tick)
+		}
+		for i := 0; i < churnWidth && i < b.N; i++ {
+			remaining--
+			k.After(sim.Duration(rng.Intn(1000)+1)*sim.Nanosecond, tick)
+		}
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("containerheap", func(b *testing.B) {
+		b.ReportAllocs()
+		var h boxedHeap
+		var now sim.Time
+		var seq uint64
+		rng := sim.NewRNG(1)
+		remaining := b.N
+		var tick func()
+		push := func() {
+			seq++
+			heap.Push(&h, boxedEvent{
+				t:    now.Add(sim.Duration(rng.Intn(1000)+1) * sim.Nanosecond),
+				seq:  seq,
+				fire: tick,
+			})
+		}
+		tick = func() {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			push()
+		}
+		for i := 0; i < churnWidth && i < b.N; i++ {
+			remaining--
+			push()
+		}
+		b.ResetTimer()
+		for h.Len() > 0 {
+			e := heap.Pop(&h).(boxedEvent)
+			now = e.t
+			e.fire()
+		}
+	})
+}
+
+// BenchmarkKernelPingPong measures the Spawn/Block/Wake resume path:
+// two processes waking each other at the same timestamp, the pattern
+// behind every eager-message handoff. Each iteration is one
+// wake+block round trip per side.
+func BenchmarkKernelPingPong(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	n := b.N
+	var ping, pong *sim.Proc
+	ping = k.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			pong.Wake()
+			p.Block("await pong")
+		}
+	})
+	pong = k.Spawn("pong", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Block("await ping")
+			ping.Wake()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelSleepFanout measures timed resumes through the heap:
+// many processes sleeping pseudo-random durations, the pattern behind
+// link-latency and compute-block modelling.
+func BenchmarkKernelSleepFanout(b *testing.B) {
+	b.ReportAllocs()
+	const procs = 64
+	k := sim.NewKernel()
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		i := i
+		k.Spawn("sleeper", func(p *sim.Proc) {
+			rng := sim.NewRNG(uint64(i + 1))
+			for j := 0; j < per; j++ {
+				p.Sleep(sim.Duration(rng.Intn(1000)+1) * sim.Nanosecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelAllreduce512 is the end-to-end hot path: a 512-rank
+// double-precision allreduce on BG/P (128 VN nodes), the collective
+// the paper's Figure 3 sweeps. Allocations here cover the whole
+// simulator stack, not just the queue.
+func BenchmarkKernelAllreduce512(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := mpi.Execute(mpi.Config{Machine: machine.Get(machine.BGP), Nodes: 128, Mode: machine.VN},
+			func(r *mpi.Rank) { r.World().Allreduce(r, 8, true) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,39 +9,99 @@ import (
 // event is a scheduled callback. Events with equal timestamps fire in
 // the order they were scheduled (FIFO via seq), which makes runs
 // deterministic.
+//
+// Exactly one of proc and fn is set. Process resumes (Sleep, Wake,
+// Spawn) are the hottest scheduling path, so they store the process
+// pointer directly instead of capturing it in a closure: that saves
+// one heap allocation per event.
 type event struct {
 	t    Time
 	seq  uint64
-	fire func()
+	proc *Proc
+	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// less orders events by (timestamp, schedule order).
+func (e *event) less(o *event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+
+// eventQueue is a 4-ary min-heap over a concrete event slice. Relative
+// to container/heap over an interface type it avoids boxing on push,
+// type assertions on pop, and the indirect Less/Swap calls; the wider
+// fan-out halves the tree depth, trading a few extra comparisons per
+// sift-down for far fewer swaps on the mostly-sorted queues a
+// simulation produces.
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h[i].less(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*q = h
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/proc references so the GC can reclaim them
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		min := i
+		c := i*4 + 1
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if h[c].less(&h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // Kernel is a discrete-event simulation engine. A Kernel is not safe
 // for concurrent use; all interaction must happen from the goroutine
 // that calls Run or from process bodies (which the kernel serializes).
+// Distinct Kernels share no state, so independent simulations may run
+// concurrently on separate goroutines (see internal/runner).
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now   Time
+	seq   uint64
+	fired uint64
+
+	events eventQueue
+
+	// runq is the same-timestamp fast path: events scheduled at the
+	// current time (Wake, Sleep(0)-style resumes, Spawn) are appended
+	// here in FIFO order instead of paying a heap push and pop. Because
+	// events cannot be scheduled in the past and the run loop always
+	// fires the globally minimal (t, seq), every pending runq entry has
+	// t == now and seq above any same-time heap entry, so a plain
+	// head-indexed slice preserves the exact seed ordering.
+	runq     []event
+	runqHead int
 
 	// yieldCh is signaled by the currently running process when it
 	// stops running (blocks or terminates), handing control back to
@@ -54,34 +113,59 @@ type Kernel struct {
 	stopped bool
 
 	// EventLimit, when nonzero, aborts Run with an error after this
-	// many events. It is a safety net against model bugs that
-	// schedule unboundedly.
+	// many events have fired. It is a safety net against model bugs
+	// that schedule unboundedly.
 	EventLimit uint64
 }
 
+// initialQueueCap pre-sizes the heap and run queue so steady-state
+// scheduling in small and mid-size models never grows the backing
+// arrays.
+const initialQueueCap = 256
+
 // NewKernel returns a kernel with the clock at zero.
 func NewKernel() *Kernel {
-	return &Kernel{yieldCh: make(chan struct{})}
+	return &Kernel{
+		yieldCh: make(chan struct{}),
+		events:  make(eventQueue, 0, initialQueueCap),
+		runq:    make([]event, 0, initialQueueCap),
+	}
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Events returns the number of events fired so far.
-func (k *Kernel) Events() uint64 { return k.seq }
+// Events returns the number of events fired so far. (After a normal
+// Run every scheduled event has fired, so this also equals the number
+// scheduled; mid-run or after an EventLimit abort the two differ.)
+func (k *Kernel) Events() uint64 { return k.fired }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// panics: it would break causality.
-func (k *Kernel) At(t Time, fn func()) {
+// schedule enqueues an event at absolute time t carrying either a
+// process resume or a callback. Scheduling in the past panics: it
+// would break causality.
+func (k *Kernel) schedule(t Time, p *Proc, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, event{t: t, seq: k.seq, fire: fn})
+	e := event{t: t, seq: k.seq, proc: p, fn: fn}
+	if t == k.now {
+		k.runq = append(k.runq, e)
+		return
+	}
+	k.events.push(e)
 }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would break causality.
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
 
 // After schedules fn to run d from now. Negative d panics.
 func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+// atResume schedules process p to resume at time t without allocating
+// a closure.
+func (k *Kernel) atResume(t Time, p *Proc) { k.schedule(t, p, nil) }
 
 // DeadlockError reports that the event queue drained while processes
 // were still blocked — the simulated program can make no further
@@ -96,6 +180,30 @@ func (e *DeadlockError) Error() string {
 		e.Time, len(e.Blocked), strings.Join(e.Blocked, "; "))
 }
 
+// next dequeues the globally minimal pending event, preferring the
+// run-queue head when it wins the (t, seq) comparison against the heap
+// top. The second result is false when both queues are empty.
+func (k *Kernel) next() (event, bool) {
+	if k.runqHead < len(k.runq) {
+		head := &k.runq[k.runqHead]
+		if len(k.events) > 0 && k.events[0].less(head) {
+			return k.events.pop(), true
+		}
+		e := *head
+		*head = event{}
+		k.runqHead++
+		if k.runqHead == len(k.runq) {
+			k.runq = k.runq[:0]
+			k.runqHead = 0
+		}
+		return e, true
+	}
+	if len(k.events) > 0 {
+		return k.events.pop(), true
+	}
+	return event{}, false
+}
+
 // Run fires events in timestamp order until the queue drains. It
 // returns nil when every spawned process has finished, and a
 // *DeadlockError when the queue drains with processes still blocked.
@@ -104,13 +212,19 @@ func (k *Kernel) Run() error {
 	if k.stopped {
 		return fmt.Errorf("sim: kernel already ran")
 	}
-	fired := uint64(0)
-	for k.events.Len() > 0 {
-		e := heap.Pop(&k.events).(event)
+	for {
+		e, ok := k.next()
+		if !ok {
+			break
+		}
 		k.now = e.t
-		e.fire()
-		fired++
-		if k.EventLimit > 0 && fired > k.EventLimit {
+		if e.proc != nil {
+			k.runProc(e.proc)
+		} else {
+			e.fn()
+		}
+		k.fired++
+		if k.EventLimit > 0 && k.fired > k.EventLimit {
 			k.stopped = true
 			return fmt.Errorf("sim: event limit %d exceeded at %v", k.EventLimit, k.now)
 		}

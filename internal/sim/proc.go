@@ -30,7 +30,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.k.live--
 		p.k.yieldCh <- struct{}{}
 	}()
-	k.At(k.now, func() { k.runProc(p) })
+	k.atResume(k.now, p)
 	return p
 }
 
@@ -59,7 +59,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d == 0 {
 		return
 	}
-	p.k.After(d, func() { p.k.runProc(p) })
+	p.k.atResume(p.k.now.Add(d), p)
 	p.yield()
 }
 
@@ -84,12 +84,12 @@ func (p *Proc) Block(reason string) {
 // FIFO within a timestamp and the blocking process holds control until
 // it yields).
 func (p *Proc) Wake() {
-	p.k.At(p.k.now, func() { p.k.runProc(p) })
+	p.k.atResume(p.k.now, p)
 }
 
 // WakeAt schedules the blocked process p to resume at time t.
 func (p *Proc) WakeAt(t Time) {
-	p.k.At(t, func() { p.k.runProc(p) })
+	p.k.atResume(t, p)
 }
 
 func (p *Proc) describe() string {

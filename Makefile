@@ -18,12 +18,15 @@ test-short:
 vet:
 	$(GO) vet ./...
 
-# Tier-1+ verification: formatting, vet, and the full suite under the
-# race detector (covers the concurrent sweep runner).
+# Tier-1+ verification: formatting, vet, the full suite under the race
+# detector (covers the concurrent sweep runner), the fuzz seed corpora,
+# and a resilience-sweep smoke run.
 check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race -timeout 20m ./...
+	$(GO) test -run 'Fuzz' ./internal/topology/
+	$(GO) run ./cmd/paper -exp faults > /dev/null
 
 # Kernel hot-path benchmarks. BENCH_kernel.json (test2json stream, one
 # object per line) records the perf trajectory so future PRs can diff

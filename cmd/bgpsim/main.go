@@ -24,6 +24,33 @@ import (
 	"bgpsim/internal/trace"
 )
 
+// parseMode maps the -mode flag to an execution mode.
+func parseMode(s string) (machine.Mode, error) {
+	switch s {
+	case "SMP":
+		return machine.SMP, nil
+	case "DUAL":
+		return machine.DUAL, nil
+	case "VN":
+		return machine.VN, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (valid: SMP, DUAL, VN)", s)
+}
+
+// parseFidelity maps the -fidelity flag to a network model. Unknown
+// names are an error, not a silent fallback to contention.
+func parseFidelity(s string) (network.Fidelity, error) {
+	switch s {
+	case "analytic":
+		return network.Analytic, nil
+	case "contention":
+		return network.Contention, nil
+	case "packet":
+		return network.Packet, nil
+	}
+	return 0, fmt.Errorf("unknown fidelity %q (valid: analytic, contention, packet)", s)
+}
+
 func main() {
 	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
 	modeS := flag.String("mode", "VN", "execution mode: SMP, DUAL, VN")
@@ -36,28 +63,27 @@ func main() {
 	traceN := flag.Int("trace", 0, "dump the first N trace events")
 	flag.Parse()
 
-	var mode machine.Mode
-	switch *modeS {
-	case "SMP":
-		mode = machine.SMP
-	case "DUAL":
-		mode = machine.DUAL
-	case "VN":
-		mode = machine.VN
-	default:
-		fail("unknown mode %q", *modeS)
+	if _, err := machine.Lookup(machine.ID(*mach)); err != nil {
+		fail("%v", err)
+	}
+	mode, err := parseMode(*modeS)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *ranks <= 0 {
+		fail("rank count %d must be positive", *ranks)
+	}
+	if !topology.Mapping(*mapping).Valid() {
+		fail("invalid mapping %q (want a permutation of X, Y, Z, T)", *mapping)
+	}
+	fid, err := parseFidelity(*fidelity)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	cfg := core.PartitionConfig(machine.ID(*mach), mode, *ranks)
 	cfg.Mapping = topology.Mapping(*mapping)
-	switch *fidelity {
-	case "analytic":
-		cfg.Fidelity = network.Analytic
-	case "packet":
-		cfg.Fidelity = network.Packet
-	default:
-		cfg.Fidelity = network.Contention
-	}
+	cfg.Fidelity = fid
 	var tb *trace.Buffer
 	if *traceN > 0 {
 		tb = trace.NewBuffer(*traceN)

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    machine.Mode
+		wantErr bool
+	}{
+		{in: "SMP", want: machine.SMP},
+		{in: "DUAL", want: machine.DUAL},
+		{in: "VN", want: machine.VN},
+		{in: "dual", wantErr: true},
+		{in: "CO", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseMode(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseMode(%q) = %v, want error", tc.in, got)
+			} else if !strings.Contains(err.Error(), "SMP, DUAL, VN") {
+				t.Errorf("parseMode(%q) error %q should name the valid modes", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseMode(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("parseMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseFidelity(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    network.Fidelity
+		wantErr bool
+	}{
+		{in: "analytic", want: network.Analytic},
+		{in: "contention", want: network.Contention},
+		{in: "packet", want: network.Packet},
+		{in: "Packet", wantErr: true},
+		{in: "flit", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseFidelity(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseFidelity(%q) = %v, want error", tc.in, got)
+			} else if !strings.Contains(err.Error(), "analytic, contention, packet") {
+				t.Errorf("parseFidelity(%q) error %q should name the valid models", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFidelity(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("parseFidelity(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -22,9 +22,38 @@ import (
 	"bgpsim/internal/topology"
 )
 
+// parseMode maps the -mode flag to an execution mode. Unknown names
+// are an error, not a silent default.
+func parseMode(s string) (machine.Mode, error) {
+	switch s {
+	case "SMP":
+		return machine.SMP, nil
+	case "DUAL":
+		return machine.DUAL, nil
+	case "VN":
+		return machine.VN, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (valid: SMP, DUAL, VN)", s)
+}
+
+// parseProtocol maps the -protocol flag to a halo exchange protocol.
+func parseProtocol(s string) (halo.Protocol, error) {
+	switch s {
+	case "isend":
+		return halo.IsendIrecv, nil
+	case "sendrecv":
+		return halo.SendRecv, nil
+	case "irecvsend":
+		return halo.IrecvSend, nil
+	case "persistent":
+		return halo.Persistent, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q (valid: isend, sendrecv, irecvsend, persistent)", s)
+}
+
 func main() {
 	mach := flag.String("machine", "BG/P", "machine id")
-	modeS := flag.String("mode", "VN", "execution mode")
+	modeS := flag.String("mode", "VN", "execution mode: SMP, DUAL, VN")
 	gx := flag.Int("gx", 16, "virtual process grid columns")
 	gy := flag.Int("gy", 8, "virtual process grid rows")
 	words := flag.Int("words", 1000, "halo size in 32-bit words")
@@ -36,21 +65,25 @@ func main() {
 	flag.Parse()
 	runner.SetWorkers(*jobs)
 
-	mode := machine.VN
-	switch *modeS {
-	case "SMP":
-		mode = machine.SMP
-	case "DUAL":
-		mode = machine.DUAL
+	if _, err := machine.Lookup(machine.ID(*mach)); err != nil {
+		fail(err)
 	}
-	proto := halo.IsendIrecv
-	switch *protoS {
-	case "sendrecv":
-		proto = halo.SendRecv
-	case "irecvsend":
-		proto = halo.IrecvSend
-	case "persistent":
-		proto = halo.Persistent
+	mode, err := parseMode(*modeS)
+	if err != nil {
+		fail(err)
+	}
+	proto, err := parseProtocol(*protoS)
+	if err != nil {
+		fail(err)
+	}
+	if !topology.Mapping(*mapping).Valid() {
+		fail(fmt.Errorf("invalid mapping %q (want a permutation of X, Y, Z, T, e.g. TXYZ)", *mapping))
+	}
+	if *gx <= 0 || *gy <= 0 {
+		fail(fmt.Errorf("process grid %dx%d: dimensions must be positive", *gx, *gy))
+	}
+	if *words <= 0 {
+		fail(fmt.Errorf("halo size %d words must be positive", *words))
 	}
 	base := halo.Options{
 		Machine: machine.ID(*mach), Mode: mode,

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/halo"
+	"bgpsim/internal/machine"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    machine.Mode
+		wantErr bool
+	}{
+		{in: "SMP", want: machine.SMP},
+		{in: "DUAL", want: machine.DUAL},
+		{in: "VN", want: machine.VN},
+		{in: "vn", wantErr: true},
+		{in: "quad", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseMode(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseMode(%q) = %v, want error", tc.in, got)
+			} else if !strings.Contains(err.Error(), "SMP, DUAL, VN") {
+				t.Errorf("parseMode(%q) error %q should name the valid modes", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseMode(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("parseMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    halo.Protocol
+		wantErr bool
+	}{
+		{in: "isend", want: halo.IsendIrecv},
+		{in: "sendrecv", want: halo.SendRecv},
+		{in: "irecvsend", want: halo.IrecvSend},
+		{in: "persistent", want: halo.Persistent},
+		{in: "Isend", wantErr: true},
+		{in: "rdma", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseProtocol(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseProtocol(%q) = %v, want error", tc.in, got)
+			} else if !strings.Contains(err.Error(), "isend, sendrecv, irecvsend, persistent") {
+				t.Errorf("parseProtocol(%q) error %q should name the valid protocols", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseProtocol(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("parseProtocol(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

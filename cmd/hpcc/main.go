@@ -27,6 +27,24 @@ import (
 	"bgpsim/internal/runner"
 )
 
+// parseRanks parses the -ranks flag: comma-separated positive process
+// counts.
+func parseRanks(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		r, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad -ranks value %q (want comma-separated integers, e.g. 256,1024)", f)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("bad -ranks value %d: process counts must be positive", r)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 func main() {
 	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
 	ranksFlag := flag.String("ranks", "256", "MPI processes (VN mode); comma-separated for a sweep")
@@ -35,16 +53,16 @@ func main() {
 	runner.SetWorkers(*jobs)
 
 	id := machine.ID(*mach)
-	m := machine.Get(id)
+	m, err := machine.Lookup(id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpcc: %v\n", err)
+		os.Exit(1)
+	}
 
-	var rankCounts []int
-	for _, s := range strings.Split(*ranksFlag, ",") {
-		r, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hpcc: bad -ranks value %q: %v\n", s, err)
-			os.Exit(1)
-		}
-		rankCounts = append(rankCounts, r)
+	rankCounts, err := parseRanks(*ranksFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpcc: %v\n", err)
+		os.Exit(1)
 	}
 
 	reports, err := runner.Sweep(rankCounts, func(ranks int) (string, error) {

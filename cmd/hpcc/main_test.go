@@ -1,0 +1,44 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRanks(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    []int
+		wantErr string
+	}{
+		{name: "single", in: "256", want: []int{256}},
+		{name: "list", in: "256,1024,4096", want: []int{256, 1024, 4096}},
+		{name: "spaces", in: " 256 , 1024 ", want: []int{256, 1024}},
+		{name: "not a number", in: "256,abc", wantErr: `bad -ranks value "abc"`},
+		{name: "empty element", in: "256,,1024", wantErr: `bad -ranks value ""`},
+		{name: "zero", in: "0", wantErr: "must be positive"},
+		{name: "negative", in: "256,-4", wantErr: "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseRanks(tc.in)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseRanks(%q) = %v, want error containing %q", tc.in, got, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseRanks(%q) error = %q, want it to contain %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseRanks(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parseRanks(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

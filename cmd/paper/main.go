@@ -27,6 +27,28 @@ import (
 	"bgpsim/internal/runner"
 )
 
+// selectExperiments resolves the -exp flag: "all", or a comma-
+// separated list of experiment ids. An unknown id is an error naming
+// the valid ones.
+func selectExperiments(expFlag string) ([]paper.Experiment, error) {
+	if expFlag == "all" {
+		return paper.All(), nil
+	}
+	var exps []paper.Experiment
+	for _, id := range strings.Split(expFlag, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			return nil, fmt.Errorf("paper: empty experiment id in -exp %q (valid: %s)", expFlag, strings.Join(paper.IDs(), ","))
+		}
+		e, err := paper.Get(id) // Get's error names the valid ids
+		if err != nil {
+			return nil, err
+		}
+		exps = append(exps, e)
+	}
+	return exps, nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'; one of "+strings.Join(paper.IDs(), ","))
 	full := flag.Bool("full", false, "run at the paper's full process counts and sizes")
@@ -67,18 +89,10 @@ func main() {
 		return
 	}
 
-	var exps []paper.Experiment
-	if *exp == "all" {
-		exps = paper.All()
-	} else {
-		for _, id := range strings.Split(*exp, ",") {
-			e, err := paper.Get(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			exps = append(exps, e)
-		}
+	exps, err := selectExperiments(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	opts := paper.Options{Full: *full}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/paper"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	ids := paper.IDs()
+	if len(ids) < 2 {
+		t.Fatalf("need at least two registered experiments, have %v", ids)
+	}
+
+	t.Run("all", func(t *testing.T) {
+		exps, err := selectExperiments("all")
+		if err != nil {
+			t.Fatalf("selectExperiments(all): %v", err)
+		}
+		if len(exps) != len(ids) {
+			t.Fatalf("got %d experiments, want %d", len(exps), len(ids))
+		}
+	})
+
+	t.Run("single", func(t *testing.T) {
+		exps, err := selectExperiments(ids[0])
+		if err != nil {
+			t.Fatalf("selectExperiments(%q): %v", ids[0], err)
+		}
+		if len(exps) != 1 || exps[0].ID != ids[0] {
+			t.Fatalf("got %v, want just %q", exps, ids[0])
+		}
+	})
+
+	t.Run("list preserves order", func(t *testing.T) {
+		flag := ids[1] + ", " + ids[0]
+		exps, err := selectExperiments(flag)
+		if err != nil {
+			t.Fatalf("selectExperiments(%q): %v", flag, err)
+		}
+		if len(exps) != 2 || exps[0].ID != ids[1] || exps[1].ID != ids[0] {
+			t.Fatalf("selectExperiments(%q) = %v, want [%s %s]", flag, exps, ids[1], ids[0])
+		}
+	})
+
+	t.Run("unknown id", func(t *testing.T) {
+		_, err := selectExperiments("no-such-experiment")
+		if err == nil {
+			t.Fatal("want error for unknown experiment id")
+		}
+		if !strings.Contains(err.Error(), ids[0]) {
+			t.Fatalf("error %q should list the valid ids", err)
+		}
+	})
+
+	t.Run("empty element", func(t *testing.T) {
+		_, err := selectExperiments(ids[0] + ",,")
+		if err == nil {
+			t.Fatal("want error for empty experiment id")
+		}
+		if !strings.Contains(err.Error(), "empty experiment id") {
+			t.Fatalf("error %q should complain about the empty id", err)
+		}
+	})
+}

@@ -89,6 +89,17 @@ func (c *Model) StreamTriadBW(embarrassinglyParallel bool) float64 {
 // DGEMMRate returns the sustained DGEMM rate of the rank.
 func (c *Model) DGEMMRate() float64 { return c.FlopRate(machine.ClassDGEMM) }
 
+// OSNoise returns the machine's OS-noise profile as simulator
+// durations: a noise event of the given duration recurs once per
+// period on every compute node. Both are zero for a noiseless kernel
+// (the BlueGene CNK).
+func (c *Model) OSNoise() (period, duration sim.Duration) {
+	if c.mach.Noiseless() {
+		return 0, 0
+	}
+	return sim.Seconds(c.mach.NoisePeriodS), sim.Seconds(c.mach.NoiseDurS)
+}
+
 // Machine returns the modelled machine.
 func (c *Model) Machine() *machine.Machine { return c.mach }
 

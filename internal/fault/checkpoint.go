@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/iosys"
+)
+
+// Checkpointer models coordinated checkpoint/restart for an
+// application running under random node failures. All quantities are
+// wall-clock seconds of the application run.
+//
+// The model is Daly's first-order expected-completion-time formula: an
+// application with `work` seconds of failure-free compute checkpoints
+// every Interval seconds at WriteCost seconds per checkpoint; a
+// failure (exponential inter-arrival, mean MTBF) costs RestartCost
+// plus the rework back to the last checkpoint.
+type Checkpointer struct {
+	// Interval is the compute time between checkpoints (τ).
+	Interval float64
+	// WriteCost is the time to write one checkpoint (δ).
+	WriteCost float64
+	// RestartCost is the time to rejoin after a failure (R): reboot,
+	// re-launch, and read the last checkpoint back.
+	RestartCost float64
+	// MTBF is the whole-system mean time between failures (M). Zero or
+	// negative means failure-free: the run pays only checkpoint
+	// overhead.
+	MTBF float64
+}
+
+// Valid reports whether the checkpointer's parameters make sense.
+func (c Checkpointer) Valid() error {
+	if c.Interval <= 0 {
+		return fmt.Errorf("fault: checkpoint interval %g must be positive", c.Interval)
+	}
+	if c.WriteCost < 0 || c.RestartCost < 0 {
+		return fmt.Errorf("fault: checkpoint write cost %g and restart cost %g must be non-negative",
+			c.WriteCost, c.RestartCost)
+	}
+	return nil
+}
+
+// ExpectedRuntime returns the expected wall-clock time to complete
+// `work` seconds of failure-free compute, using Daly's higher-order
+// model:
+//
+//	T = M · e^{R/M} · (e^{(τ+δ)/M} − 1) · work/τ
+//
+// which accounts for checkpoint overhead, rework after failures, and
+// failures that strike during restarts and rework. With MTBF ≤ 0 it
+// degenerates to the failure-free cost work + (work/τ)·δ.
+func (c Checkpointer) ExpectedRuntime(work float64) (float64, error) {
+	if err := c.Valid(); err != nil {
+		return 0, err
+	}
+	if work < 0 {
+		return 0, fmt.Errorf("fault: negative work %g", work)
+	}
+	segments := work / c.Interval
+	if c.MTBF <= 0 {
+		return work + segments*c.WriteCost, nil
+	}
+	m := c.MTBF
+	return m * math.Exp(c.RestartCost/m) * (math.Exp((c.Interval+c.WriteCost)/m) - 1) * segments, nil
+}
+
+// Overhead returns the fractional slowdown over the failure-free,
+// checkpoint-free run: (T − work)/work.
+func (c Checkpointer) Overhead(work float64) (float64, error) {
+	if work <= 0 {
+		return 0, fmt.Errorf("fault: non-positive work %g", work)
+	}
+	t, err := c.ExpectedRuntime(work)
+	if err != nil {
+		return 0, err
+	}
+	return (t - work) / work, nil
+}
+
+// YoungDaly returns the Young/Daly first-order optimal checkpoint
+// interval sqrt(2·δ·M) for checkpoint cost δ under system MTBF M.
+// Non-positive inputs yield 0 (checkpointing is pointless or free).
+func YoungDaly(writeCost, mtbf float64) float64 {
+	if writeCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * writeCost * mtbf)
+}
+
+// SystemMTBF scales a per-node MTBF to a partition: failures of
+// independent exponential nodes superpose, so the system MTBF is the
+// node MTBF divided by the node count. The paper's reliability pitch
+// is exactly this arithmetic: at tens of thousands of nodes only a
+// very reliable node keeps the system MTBF above the checkpoint cost.
+func SystemMTBF(nodeMTBF float64, nodes int) float64 {
+	if nodeMTBF <= 0 || nodes <= 0 {
+		return 0
+	}
+	return nodeMTBF / float64(nodes)
+}
+
+// CheckpointWriteCost returns the seconds a coordinated checkpoint of
+// bytesPerNode from each of `nodes` nodes takes on the given storage
+// system, writing one file per node (N-N checkpointing).
+func CheckpointWriteCost(s *iosys.Storage, nodes int, bytesPerNode float64) (float64, error) {
+	if bytesPerNode < 0 {
+		return 0, fmt.Errorf("fault: negative checkpoint size %g", bytesPerNode)
+	}
+	return s.WriteTime(nodes, float64(nodes)*bytesPerNode, nodes)
+}

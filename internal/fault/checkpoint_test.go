@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"bgpsim/internal/iosys"
+)
+
+func TestExpectedRuntimeFailureFree(t *testing.T) {
+	c := Checkpointer{Interval: 3600, WriteCost: 120}
+	got, err := c.ExpectedRuntime(36000) // 10 hours of work
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 36000 + 10.0*120 // 10 checkpoints
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("failure-free runtime = %g, want %g", got, want)
+	}
+}
+
+func TestExpectedRuntimeDaly(t *testing.T) {
+	// Against the closed form directly, with hand-picked numbers.
+	c := Checkpointer{Interval: 3600, WriteCost: 120, RestartCost: 300, MTBF: 24 * 3600}
+	work := 10 * 3600.0
+	got, err := c.ExpectedRuntime(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.MTBF
+	want := m * math.Exp(c.RestartCost/m) * (math.Exp((c.Interval+c.WriteCost)/m) - 1) * (work / c.Interval)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Daly runtime = %g, want %g", got, want)
+	}
+	// Sanity: failures make the run longer than the failure-free one.
+	ff, _ := Checkpointer{Interval: c.Interval, WriteCost: c.WriteCost}.ExpectedRuntime(work)
+	if got <= ff {
+		t.Errorf("runtime under failures %g not above failure-free %g", got, ff)
+	}
+}
+
+func TestYoungDalyIsNearOptimal(t *testing.T) {
+	writeCost, mtbf := 120.0, 6*3600.0
+	opt := YoungDaly(writeCost, mtbf)
+	if want := math.Sqrt(2 * writeCost * mtbf); math.Abs(opt-want) > 1e-9 {
+		t.Fatalf("YoungDaly = %g, want %g", opt, want)
+	}
+	// The Young/Daly interval must beat intervals well off the optimum
+	// on both sides under the Daly runtime model.
+	work := 100 * 3600.0
+	at := func(interval float64) float64 {
+		c := Checkpointer{Interval: interval, WriteCost: writeCost, RestartCost: 300, MTBF: mtbf}
+		v, err := c.ExpectedRuntime(work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	best := at(opt)
+	if lo := at(opt / 4); lo <= best {
+		t.Errorf("checkpointing 4x too often (%g) beats Young/Daly (%g)", lo, best)
+	}
+	if hi := at(opt * 4); hi <= best {
+		t.Errorf("checkpointing 4x too rarely (%g) beats Young/Daly (%g)", hi, best)
+	}
+	if YoungDaly(0, mtbf) != 0 || YoungDaly(writeCost, 0) != 0 {
+		t.Error("degenerate YoungDaly inputs must yield 0")
+	}
+}
+
+func TestSystemMTBF(t *testing.T) {
+	// A 50-year node MTBF across 4096 nodes: about 4.5 days.
+	nodeMTBF := 50 * 365.25 * 24 * 3600.0
+	got := SystemMTBF(nodeMTBF, 4096)
+	if want := nodeMTBF / 4096; math.Abs(got-want) > 1e-6 {
+		t.Errorf("SystemMTBF = %g, want %g", got, want)
+	}
+	if SystemMTBF(0, 10) != 0 || SystemMTBF(nodeMTBF, 0) != 0 {
+		t.Error("degenerate SystemMTBF inputs must yield 0")
+	}
+}
+
+func TestCheckpointWriteCost(t *testing.T) {
+	s := iosys.ORNLEugene()
+	nodes, perNode := 2048, 512e6 // half the 2 GB B-node memory, paper §I
+	got, err := CheckpointWriteCost(s, nodes, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := s.WriteTime(nodes, float64(nodes)*perNode, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != direct {
+		t.Errorf("CheckpointWriteCost = %g, want WriteTime %g", got, direct)
+	}
+	if got <= 0 {
+		t.Errorf("checkpoint of %d nodes costs %g s; must be positive", nodes, got)
+	}
+	if _, err := CheckpointWriteCost(s, nodes, -1); err == nil {
+		t.Error("negative checkpoint size accepted")
+	}
+}
+
+func TestCheckpointerValidation(t *testing.T) {
+	if _, err := (Checkpointer{Interval: 0, WriteCost: 1}).ExpectedRuntime(10); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := (Checkpointer{Interval: 10, WriteCost: -1}).ExpectedRuntime(10); err == nil {
+		t.Error("negative write cost accepted")
+	}
+	if _, err := (Checkpointer{Interval: 10}).ExpectedRuntime(-5); err == nil {
+		t.Error("negative work accepted")
+	}
+	if _, err := (Checkpointer{Interval: 10, WriteCost: 1}).Overhead(0); err == nil {
+		t.Error("zero-work overhead accepted")
+	}
+	ov, err := (Checkpointer{Interval: 100, WriteCost: 10}).Overhead(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ov-0.1) > 1e-9 {
+		t.Errorf("overhead = %g, want 0.1", ov)
+	}
+}

@@ -1,0 +1,302 @@
+// Package fault provides deterministic, seeded fault injection for the
+// simulator: torus links that fail or lose bandwidth over simulated
+// time, compute nodes that die, OS-noise profiles that perturb compute
+// blocks, and coordinated checkpoint/restart cost models.
+//
+// The paper sells BlueGene/P partly on reliability and noise-freedom —
+// low component count, ECC throughout, and a compute-node kernel (CNK)
+// with essentially no OS interference. A fault layer lets the
+// reproduction ask the off-nominal questions the paper could not:
+// what does an Intrepid-scale run look like with a fraction of links
+// degraded, what is time-to-solution under node loss with coordinated
+// checkpointing, and how much do software collectives amplify OS noise.
+//
+// Everything is a pure function of (seed, schedule, virtual time): a
+// nil *Plan means the healthy machine of the happy path, and with a
+// Plan every run remains bit-for-bit reproducible at any worker count
+// (the PR-1 determinism contract).
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// LinkFault marks one directed torus link failed or degraded over a
+// window of simulated time.
+type LinkFault struct {
+	Link topology.Link
+	From sim.Time // start of the window
+	// Until is the end of the window; zero means the fault is
+	// permanent.
+	Until sim.Time
+	// BWFactor is the remaining fraction of link bandwidth: 0 means
+	// the link is down (traffic must route around it), values in
+	// (0, 1) mean the link is degraded.
+	BWFactor float64
+}
+
+// NodeFault kills a compute node at time At. Ranks placed on the node
+// are lost; the MPI layer surfaces the loss as a typed RankFailure.
+type NodeFault struct {
+	Node int
+	At   sim.Time
+}
+
+// NoiseProfile is a deterministic periodic OS-noise model: once every
+// Period of virtual time the compute-node OS steals Duration from any
+// compute block in progress (daemon wakeups, timer ticks). Noise
+// events on different nodes are phase-shifted (see Plan.NoisePhase),
+// which is exactly what desynchronizes software collectives at scale.
+type NoiseProfile struct {
+	Period   sim.Duration
+	Duration sim.Duration
+}
+
+// Valid reports whether the profile is usable: positive period, and a
+// per-event duration shorter than the period (an OS stealing more than
+// its whole period never returns control).
+func (np NoiseProfile) Valid() error {
+	if np.Period <= 0 {
+		return fmt.Errorf("fault: noise period %v must be positive", np.Period)
+	}
+	if np.Duration < 0 || np.Duration >= np.Period {
+		return fmt.Errorf("fault: noise duration %v must be in [0, period %v)", np.Duration, np.Period)
+	}
+	return nil
+}
+
+// Extend returns the wall duration of a compute block of pure duration
+// d starting at start, under noise events at phase + k*Period for
+// k = 0, 1, 2, ...: every event inside the (stretched) block adds
+// Duration. The walk terminates because Duration < Period. A zero
+// profile or zero block passes through unchanged.
+func (np NoiseProfile) Extend(start sim.Time, d sim.Duration, phase sim.Duration) sim.Duration {
+	if np.Period <= 0 || np.Duration <= 0 || d <= 0 {
+		return d
+	}
+	// First noise event at or after start.
+	k := (int64(start) - int64(phase)) / int64(np.Period)
+	if k < 0 {
+		k = 0
+	}
+	ev := sim.Time(phase).Add(sim.Duration(k) * np.Period)
+	for ev < start {
+		ev = ev.Add(np.Period)
+	}
+	end := start.Add(d)
+	for ev < end {
+		end = end.Add(np.Duration)
+		ev = ev.Add(np.Period)
+	}
+	return end.Sub(start)
+}
+
+// window is one active span of a link fault schedule.
+type window struct {
+	from, until sim.Time // until zero = forever
+	factor      float64
+}
+
+// Plan is a deterministic fault schedule for one simulated run. The
+// zero of every dimension is "healthy": a freshly built Plan injects
+// nothing until faults are added, and a nil *Plan short-circuits every
+// query.
+type Plan struct {
+	seed  uint64
+	draws uint64 // counts random-draw calls so each gets a fresh stream
+
+	links           map[topology.Link][]window
+	nodes           []NodeFault
+	noiseOverride   *NoiseProfile
+	useMachineNoise bool
+}
+
+// NewPlan returns an empty fault plan. All random fault placement
+// (DegradeRandomLinks, FailRandomLinks, NoisePhase) derives from seed,
+// so two plans with the same seed and the same sequence of calls
+// schedule identical faults.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{seed: seed, links: make(map[topology.Link][]window)}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// rng returns a fresh deterministic stream for the plan's next random
+// draw. Streams are derived from (seed, draw index), so fault
+// placement does not depend on call interleaving with other plans.
+func (p *Plan) rng() *sim.RNG {
+	p.draws++
+	return sim.NewRNG(p.seed ^ p.draws*0x9e3779b97f4a7c15)
+}
+
+// AddLinkFault schedules one link fault. BWFactor must be in [0, 1): 0
+// fails the link, a fraction degrades it; 1 would be a healthy link.
+func (p *Plan) AddLinkFault(f LinkFault) error {
+	if f.BWFactor < 0 || f.BWFactor >= 1 {
+		return fmt.Errorf("fault: link bandwidth factor %g must be in [0, 1)", f.BWFactor)
+	}
+	if f.Until != 0 && f.Until <= f.From {
+		return fmt.Errorf("fault: link fault window [%v, %v) is empty", f.From, f.Until)
+	}
+	p.links[f.Link] = append(p.links[f.Link], window{from: f.From, until: f.Until, factor: f.BWFactor})
+	return nil
+}
+
+// FailLink marks the link down from time `from` onward.
+func (p *Plan) FailLink(l topology.Link, from sim.Time) {
+	// BWFactor 0 and a forever window are always valid.
+	_ = p.AddLinkFault(LinkFault{Link: l, From: from})
+}
+
+// DegradeRandomLinks marks each directed link of the torus degraded to
+// the given bandwidth factor, from time zero onward, with probability
+// frac. It returns how many links were degraded. Placement is a pure
+// function of the plan seed.
+func (p *Plan) DegradeRandomLinks(t *topology.Torus, frac, factor float64) (int, error) {
+	if frac < 0 || frac > 1 {
+		return 0, fmt.Errorf("fault: degrade fraction %g must be in [0, 1]", frac)
+	}
+	rng := p.rng()
+	degraded := 0
+	for i := 0; i < t.NumLinks(); i++ {
+		if rng.Float64() >= frac {
+			continue
+		}
+		if err := p.AddLinkFault(LinkFault{Link: t.LinkFromIndex(i), BWFactor: factor}); err != nil {
+			return degraded, err
+		}
+		degraded++
+	}
+	return degraded, nil
+}
+
+// FailRandomLinks fails `count` distinct directed links of the torus
+// from time zero onward and returns them. Placement is a pure function
+// of the plan seed.
+func (p *Plan) FailRandomLinks(t *topology.Torus, count int) ([]topology.Link, error) {
+	if count < 0 || count > t.NumLinks() {
+		return nil, fmt.Errorf("fault: cannot fail %d of %d links", count, t.NumLinks())
+	}
+	rng := p.rng()
+	chosen := make(map[int]bool, count)
+	out := make([]topology.Link, 0, count)
+	for len(out) < count {
+		i := rng.Intn(t.NumLinks())
+		if chosen[i] {
+			continue
+		}
+		chosen[i] = true
+		l := t.LinkFromIndex(i)
+		p.FailLink(l, 0)
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// IsolateNode fails every link into and out of the node from time
+// zero: the smallest fault set that partitions the torus, used to
+// exercise the LinkDownError path.
+func (p *Plan) IsolateNode(t *topology.Torus, node int) {
+	for dim := 0; dim < 3; dim++ {
+		if t.Dims[dim] == 1 {
+			continue
+		}
+		for _, pos := range [2]bool{true, false} {
+			p.FailLink(topology.Link{Node: node, Dim: dim, Positive: pos}, 0)
+			nb := t.Neighbor(node, dim, pos)
+			p.FailLink(topology.Link{Node: nb, Dim: dim, Positive: !pos}, 0)
+		}
+	}
+}
+
+// HasLinkFaults reports whether any link fault is scheduled. The
+// network layer skips fault bookkeeping entirely when false, keeping
+// the healthy path byte-identical to a run without a plan.
+func (p *Plan) HasLinkFaults() bool { return p != nil && len(p.links) > 0 }
+
+// LinkFactor returns the bandwidth factor of link l at time t: 1 for a
+// healthy link, 0 for a failed one, a fraction for a degraded one.
+// When windows overlap, the most degraded one wins.
+func (p *Plan) LinkFactor(l topology.Link, t sim.Time) float64 {
+	if p == nil {
+		return 1
+	}
+	f := 1.0
+	for _, w := range p.links[l] {
+		if t >= w.from && (w.until == 0 || t < w.until) && w.factor < f {
+			f = w.factor
+		}
+	}
+	return f
+}
+
+// KillNode schedules the node to die at time at.
+func (p *Plan) KillNode(node int, at sim.Time) {
+	p.nodes = append(p.nodes, NodeFault{Node: node, At: at})
+}
+
+// NodeFaults returns the scheduled node faults sorted by time then
+// node index.
+func (p *Plan) NodeFaults() []NodeFault {
+	if p == nil || len(p.nodes) == 0 {
+		return nil
+	}
+	out := append([]NodeFault(nil), p.nodes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// UseMachineNoise switches on OS-noise injection using the machine
+// model's own profile (the BlueGene CNK profile is zero, so enabling
+// noise on a BG partition is deliberately a no-op — that is the
+// paper's point).
+func (p *Plan) UseMachineNoise() { p.useMachineNoise = true }
+
+// SetNoise switches on OS-noise injection with an explicit profile,
+// overriding the machine model's (for noise-amplitude ablations).
+func (p *Plan) SetNoise(np NoiseProfile) error {
+	if err := np.Valid(); err != nil {
+		return err
+	}
+	p.noiseOverride = &np
+	return nil
+}
+
+// ResolveNoise returns the active noise profile given the machine
+// model's profile, or ok=false when the plan injects no noise (no
+// plan, noise not enabled, or the machine is noiseless and no override
+// is set).
+func (p *Plan) ResolveNoise(machinePeriod, machineDuration sim.Duration) (NoiseProfile, bool) {
+	if p == nil {
+		return NoiseProfile{}, false
+	}
+	if p.noiseOverride != nil {
+		return *p.noiseOverride, true
+	}
+	if p.useMachineNoise && machinePeriod > 0 && machineDuration > 0 {
+		return NoiseProfile{Period: machinePeriod, Duration: machineDuration}, true
+	}
+	return NoiseProfile{}, false
+}
+
+// NoisePhase returns the deterministic phase offset of the node's
+// noise events in [0, period), derived from the plan seed, so nodes do
+// not tick in lockstep (lockstep noise would hide the collective
+// desynchronization the model exists to show).
+func (p *Plan) NoisePhase(node int, period sim.Duration) sim.Duration {
+	if period <= 0 {
+		return 0
+	}
+	r := sim.NewRNG(p.seed ^ (uint64(node)+1)*0xd1342543de82ef95)
+	return sim.Duration(r.Uint64() % uint64(period))
+}

@@ -1,0 +1,269 @@
+package fault
+
+import (
+	"testing"
+
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func TestNilPlanIsHealthy(t *testing.T) {
+	var p *Plan
+	if p.HasLinkFaults() {
+		t.Error("nil plan reports link faults")
+	}
+	l := topology.Link{Node: 3, Dim: 1, Positive: true}
+	if f := p.LinkFactor(l, sim.Time(5*sim.Second)); f != 1 {
+		t.Errorf("nil plan LinkFactor = %g, want 1", f)
+	}
+	if nf := p.NodeFaults(); nf != nil {
+		t.Errorf("nil plan NodeFaults = %v, want nil", nf)
+	}
+	if _, ok := p.ResolveNoise(10*sim.Millisecond, 15*sim.Microsecond); ok {
+		t.Error("nil plan resolves a noise profile")
+	}
+}
+
+func TestLinkFaultWindows(t *testing.T) {
+	p := NewPlan(1)
+	l := topology.Link{Node: 0, Dim: 0, Positive: true}
+	if err := p.AddLinkFault(LinkFault{
+		Link: l, From: sim.Time(sim.Second), Until: sim.Time(2 * sim.Second), BWFactor: 0.25,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.FailLink(l, sim.Time(90*sim.Second))
+	cases := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{0, 1},                                   // before the window
+		{sim.Time(sim.Second), 0.25},             // degraded window start (inclusive)
+		{sim.Time(2 * sim.Second), 1},            // window end (exclusive)
+		{sim.Time(90 * sim.Second), 0},           // permanent failure start
+		{sim.Time(9000 * sim.Second), 0},         // permanent failure holds forever
+		{sim.Time(1500 * sim.Millisecond), 0.25}, // inside the degraded window
+	}
+	for _, c := range cases {
+		if got := p.LinkFactor(l, c.at); got != c.want {
+			t.Errorf("LinkFactor(t=%v) = %g, want %g", c.at, got, c.want)
+		}
+	}
+	// An unrelated link stays healthy.
+	other := topology.Link{Node: 7, Dim: 2, Positive: false}
+	if got := p.LinkFactor(other, sim.Time(90*sim.Second)); got != 1 {
+		t.Errorf("unaffected link factor = %g, want 1", got)
+	}
+}
+
+func TestAddLinkFaultValidation(t *testing.T) {
+	p := NewPlan(1)
+	l := topology.Link{}
+	if err := p.AddLinkFault(LinkFault{Link: l, BWFactor: 1}); err == nil {
+		t.Error("BWFactor 1 accepted; it must be rejected (healthy is not a fault)")
+	}
+	if err := p.AddLinkFault(LinkFault{Link: l, BWFactor: -0.1}); err == nil {
+		t.Error("negative BWFactor accepted")
+	}
+	if err := p.AddLinkFault(LinkFault{Link: l, From: sim.Time(5), Until: sim.Time(5)}); err == nil {
+		t.Error("empty fault window accepted")
+	}
+}
+
+func TestFailRandomLinksDeterministic(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{4, 4, 4})
+	a, err := NewPlan(42).FailRandomLinks(tor, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(42).FailRandomLinks(tor, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("got %d and %d links, want 10", len(a), len(b))
+	}
+	seen := make(map[topology.Link]bool)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed chose different links: %v vs %v", a[i], b[i])
+		}
+		if seen[a[i]] {
+			t.Fatalf("link %v failed twice", a[i])
+		}
+		seen[a[i]] = true
+	}
+	// A different seed picks a different set.
+	c, err := NewPlan(43).FailRandomLinks(tor, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 chose identical fault sets")
+	}
+	if _, err := NewPlan(1).FailRandomLinks(tor, tor.NumLinks()+1); err == nil {
+		t.Error("failing more links than exist was accepted")
+	}
+}
+
+func TestDegradeRandomLinksFraction(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{8, 8, 8})
+	p := NewPlan(7)
+	n, err := p.DegradeRandomLinks(tor, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := tor.NumLinks()
+	// 10% ± a loose tolerance of 3072 links.
+	if n < total/20 || n > total/5 {
+		t.Errorf("degraded %d of %d links, want roughly 10%%", n, total)
+	}
+	if !p.HasLinkFaults() {
+		t.Error("plan with degraded links reports no link faults")
+	}
+	if _, err := p.DegradeRandomLinks(tor, 1.5, 0.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestIsolateNodePartitionsTorus(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{4, 4, 2})
+	p := NewPlan(1)
+	victim := 5
+	p.IsolateNode(tor, victim)
+	blocked := func(l topology.Link) bool { return p.LinkFactor(l, 0) == 0 }
+	if _, err := tor.AppendRouteAvoid(nil, 0, victim, blocked); err == nil {
+		t.Error("isolated node still reachable")
+	}
+	// The rest of the torus still routes.
+	if _, err := tor.AppendRouteAvoid(nil, 0, 9, blocked); err != nil {
+		t.Errorf("healthy pair cannot route around the isolated node: %v", err)
+	}
+}
+
+func TestNodeFaultsSorted(t *testing.T) {
+	p := NewPlan(1)
+	p.KillNode(9, sim.Time(3*sim.Second))
+	p.KillNode(2, sim.Time(sim.Second))
+	p.KillNode(1, sim.Time(3*sim.Second))
+	nf := p.NodeFaults()
+	want := []NodeFault{
+		{Node: 2, At: sim.Time(sim.Second)},
+		{Node: 1, At: sim.Time(3 * sim.Second)},
+		{Node: 9, At: sim.Time(3 * sim.Second)},
+	}
+	if len(nf) != len(want) {
+		t.Fatalf("NodeFaults = %v, want %v", nf, want)
+	}
+	for i := range want {
+		if nf[i] != want[i] {
+			t.Fatalf("NodeFaults = %v, want %v", nf, want)
+		}
+	}
+}
+
+func TestNoiseProfileValid(t *testing.T) {
+	if err := (NoiseProfile{Period: 10 * sim.Millisecond, Duration: 15 * sim.Microsecond}).Valid(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	if err := (NoiseProfile{Period: 0, Duration: sim.Microsecond}).Valid(); err == nil {
+		t.Error("zero period accepted")
+	}
+	if err := (NoiseProfile{Period: sim.Millisecond, Duration: sim.Millisecond}).Valid(); err == nil {
+		t.Error("duration == period accepted (compute would never finish)")
+	}
+}
+
+func TestNoiseExtend(t *testing.T) {
+	np := NoiseProfile{Period: 10 * sim.Millisecond, Duration: 100 * sim.Microsecond}
+	// A 5 ms block starting right after a noise event sees none.
+	if got := np.Extend(sim.Time(sim.Millisecond), 5*sim.Millisecond, 0); got != 5*sim.Millisecond {
+		t.Errorf("quiet block extended to %v", got)
+	}
+	// A 5 ms block straddling one event gains one duration.
+	got := np.Extend(sim.Time(8*sim.Millisecond), 5*sim.Millisecond, 0)
+	if want := 5*sim.Millisecond + 100*sim.Microsecond; got != want {
+		t.Errorf("one-event block = %v, want %v", got, want)
+	}
+	// A 35 ms block spans events at 10, 20, 30 ms, and the stretching
+	// pulls in the event at 40 ms too: 4 events.
+	got = np.Extend(sim.Time(5*sim.Millisecond), 35*sim.Millisecond, 0)
+	if want := 35*sim.Millisecond + 4*100*sim.Microsecond; got != want {
+		t.Errorf("long block = %v, want %v", got, want)
+	}
+	// Phase shifts the event grid: a [7, 42) ms block sees events at
+	// 10, 20, 30, 40 unphased (4 hits) but only 16, 26, 36 with a 6 ms
+	// phase (3 hits — the stretch to 42.3 ms stays short of 46 ms).
+	got = np.Extend(sim.Time(7*sim.Millisecond), 35*sim.Millisecond, 6*sim.Millisecond)
+	if want := 35*sim.Millisecond + 3*100*sim.Microsecond; got != want {
+		t.Errorf("phased block = %v, want %v", got, want)
+	}
+	// Zero-duration work passes through.
+	if got := np.Extend(0, 0, 0); got != 0 {
+		t.Errorf("zero block = %v", got)
+	}
+}
+
+func TestNoisePhaseDeterministicAndBounded(t *testing.T) {
+	p := NewPlan(99)
+	period := 10 * sim.Millisecond
+	seenDistinct := false
+	first := p.NoisePhase(0, period)
+	for node := 0; node < 64; node++ {
+		ph := p.NoisePhase(node, period)
+		if ph < 0 || ph >= period {
+			t.Fatalf("phase(%d) = %v out of [0, %v)", node, ph, period)
+		}
+		if ph2 := p.NoisePhase(node, period); ph2 != ph {
+			t.Fatalf("phase(%d) not deterministic: %v then %v", node, ph, ph2)
+		}
+		if ph != first {
+			seenDistinct = true
+		}
+	}
+	if !seenDistinct {
+		t.Error("all 64 nodes share one noise phase; phases must differ")
+	}
+}
+
+func TestResolveNoise(t *testing.T) {
+	machP, machD := 10*sim.Millisecond, 15*sim.Microsecond
+
+	// Noise not enabled: nothing resolves.
+	p := NewPlan(1)
+	if _, ok := p.ResolveNoise(machP, machD); ok {
+		t.Error("noise resolved without being enabled")
+	}
+
+	// Machine noise on a noisy machine.
+	p.UseMachineNoise()
+	np, ok := p.ResolveNoise(machP, machD)
+	if !ok || np.Period != machP || np.Duration != machD {
+		t.Errorf("machine noise = %+v ok=%v, want the machine profile", np, ok)
+	}
+
+	// Machine noise on a noiseless machine (the CNK): no-op.
+	if _, ok := p.ResolveNoise(0, 0); ok {
+		t.Error("noiseless machine resolved a noise profile")
+	}
+
+	// Explicit override beats the machine profile.
+	ov := NoiseProfile{Period: sim.Millisecond, Duration: 5 * sim.Microsecond}
+	if err := p.SetNoise(ov); err != nil {
+		t.Fatal(err)
+	}
+	np, ok = p.ResolveNoise(machP, machD)
+	if !ok || np != ov {
+		t.Errorf("override noise = %+v ok=%v, want %+v", np, ok, ov)
+	}
+	if err := p.SetNoise(NoiseProfile{Period: -1}); err == nil {
+		t.Error("invalid noise profile accepted")
+	}
+}

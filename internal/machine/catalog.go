@@ -47,6 +47,9 @@ var catalog = map[ID]*Machine{
 		ShmLatency: 0.5e-6, // [cal] on-node MPI via shared memory
 		ShmBW:      3.0e9,  // [cal]
 
+		NoisePeriodS: 0, // CNK: no timer ticks, no daemons [paper §II]
+		NoiseDurS:    0,
+
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.87,  // [cal] ESSL DGEMM ~2.96 of 3.4 GF/s
 			ClassFFT:     0.09,  // [cal] stock HPCC FFT
@@ -95,6 +98,9 @@ var catalog = map[ID]*Machine{
 		ShmLatency: 0.8e-6, // [cal]
 		ShmBW:      2.0e9,  // [cal]
 
+		NoisePeriodS: 0, // CNK lineage: noiseless
+		NoiseDurS:    0,
+
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.85,
 			ClassFFT:     0.08,
@@ -138,6 +144,9 @@ var catalog = map[ID]*Machine{
 
 		ShmLatency: 2.0e-6, // [cal] loopback through NIC
 		ShmBW:      1.4e9,  // [cal]
+
+		NoisePeriodS: 10e-3, // [cal] Catamount: rare housekeeping ticks
+		NoiseDurS:    15e-6, // [cal]
 
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.90, // ACML
@@ -183,6 +192,9 @@ var catalog = map[ID]*Machine{
 		ShmLatency: 1.2e-6,
 		ShmBW:      2.5e9,
 
+		NoisePeriodS: 10e-3, // [cal] Catamount
+		NoiseDurS:    15e-6, // [cal]
+
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.90,
 			ClassFFT:     0.12,
@@ -227,6 +239,9 @@ var catalog = map[ID]*Machine{
 		ShmLatency: 1.0e-6, // [cal] CNL on-node shared memory
 		ShmBW:      2.8e9,  // [cal]
 
+		NoisePeriodS: 1e-3, // [cal] CNL: Linux 1 kHz timer tick
+		NoiseDurS:    5e-6, // [cal] tick + deferred daemon work
+
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.89, // ACML ~7.5 of 8.4 GF/s
 			ClassFFT:     0.13,
@@ -245,13 +260,25 @@ var catalog = map[ID]*Machine{
 
 // Get returns a copy of the catalog entry for id, so callers may
 // modify parameters (for ablation studies) without affecting others.
+// It panics on an unknown id; code handling external input (command
+// lines, config files) should use Lookup instead.
 func Get(id ID) *Machine {
+	m, err := Lookup(id)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// Lookup returns a copy of the catalog entry for id, or an error
+// naming the valid identifiers when id is unknown.
+func Lookup(id ID) (*Machine, error) {
 	m, ok := catalog[id]
 	if !ok {
-		panic(fmt.Sprintf("machine: unknown id %q", id))
+		return nil, fmt.Errorf("machine: unknown id %q (valid: %v)", id, All())
 	}
 	cp := *m
-	return &cp
+	return &cp, nil
 }
 
 // All returns the catalog identifiers in the paper's Table 1 order.

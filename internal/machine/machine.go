@@ -138,6 +138,16 @@ type Machine struct {
 	ShmLatency float64
 	ShmBW      float64
 
+	// OS-noise profile: once per NoisePeriodS seconds the compute-node
+	// OS steals NoiseDurS seconds from the running core (daemon
+	// wakeups, timer ticks). Zero/zero means a noiseless kernel — the
+	// BlueGene CNK, which runs exactly one process with no timer
+	// decrementer interference, is the paper's reference point. The
+	// fault layer (internal/fault) turns this profile into
+	// deterministic compute-time perturbations.
+	NoisePeriodS float64
+	NoiseDurS    float64
+
 	// Per-class sustained fraction of peak flop rate.
 	Eff [numClasses]float64
 
@@ -191,6 +201,12 @@ func (m *Machine) SupportsMode(mode Mode) bool {
 		return m.CoresPerNode >= 4
 	}
 	return true
+}
+
+// Noiseless reports whether the machine's compute-node OS injects no
+// periodic noise (the BlueGene CNK).
+func (m *Machine) Noiseless() bool {
+	return m.NoisePeriodS <= 0 || m.NoiseDurS <= 0
 }
 
 // String returns the machine name.

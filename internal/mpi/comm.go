@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"bgpsim/internal/sim"
 	"bgpsim/internal/trace"
@@ -39,11 +40,20 @@ func (c *Comm) Member(i int) int { return c.members[i] }
 
 // nextKey returns a unique key for the rank's next collective on this
 // communicator. MPI requires all members to issue collectives in the
-// same order, so the per-rank sequence numbers agree.
+// same order, so the per-rank sequence numbers agree. Built by hand
+// rather than with fmt: this runs once per rank per collective, and
+// fmt's deep call stack forces a stack grow on every fresh rank
+// goroutine.
 func (c *Comm) nextKey(r *Rank, kind string) string {
 	seq := r.collSeq[c.name]
 	r.collSeq[c.name] = seq + 1
-	return fmt.Sprintf("%s#%d:%s", c.name, seq, kind)
+	b := make([]byte, 0, len(c.name)+len(kind)+8)
+	b = append(b, c.name...)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, int64(seq), 10)
+	b = append(b, ':')
+	b = append(b, kind...)
+	return string(b)
 }
 
 // gate synchronizes the members of one collective operation. Ranks

@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"fmt"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/sim"
+)
+
+// RankFailure reports that a scheduled node fault killed a rank while
+// the program was still running. It surfaces from World.Run (use
+// errors.As); the carried fields identify the first lost rank, its
+// node, and the failure time.
+type RankFailure struct {
+	Rank int      // lowest world rank on the failed node
+	Node int      // torus node index
+	At   sim.Time // when the node died
+}
+
+func (e *RankFailure) Error() string {
+	return fmt.Sprintf("mpi: rank %d lost: node %d failed at %v", e.Rank, e.Node, e.At)
+}
+
+// validateFaults checks a fault plan against the partition and
+// resolves the active noise profile. Called from NewWorld before ranks
+// are built.
+func (w *World) validateFaults(plan *fault.Plan, nodes int) error {
+	for _, nf := range plan.NodeFaults() {
+		if nf.Node < 0 || nf.Node >= nodes {
+			return fmt.Errorf("mpi: node fault on node %d, partition has %d nodes", nf.Node, nodes)
+		}
+	}
+	np, on := plan.ResolveNoise(w.cpu.OSNoise())
+	if on {
+		if err := np.Valid(); err != nil {
+			return fmt.Errorf("mpi: %w", err)
+		}
+		w.noise = np
+		w.noiseOn = true
+	}
+	return nil
+}
+
+// scheduleNodeFaults arms the plan's node kills: at each fault time,
+// if any rank is still running, the run aborts with a *RankFailure
+// naming the lowest rank on the dead node. A fault scheduled after the
+// program completes is harmless — the machine broke after the job.
+// Faults on nodes that host no ranks (a partition larger than the
+// job) are ignored.
+func (w *World) scheduleNodeFaults(plan *fault.Plan) {
+	for _, nf := range plan.NodeFaults() {
+		victim := -1
+		for _, r := range w.ranks {
+			if r.place.Node == nf.Node {
+				victim = r.id
+				break
+			}
+		}
+		if victim < 0 {
+			continue
+		}
+		nf := nf
+		rank := victim
+		w.kernel.At(nf.At, func() {
+			if w.kernel.Live() > 0 {
+				w.kernel.Abort(&RankFailure{Rank: rank, Node: nf.Node, At: nf.At})
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func faultCfg(t *testing.T, id machine.ID, nodes int, plan *fault.Plan) Config {
+	t.Helper()
+	return Config{
+		Machine: machine.Get(id),
+		Nodes:   nodes,
+		Mode:    machine.SMP,
+		Faults:  plan,
+	}
+}
+
+// TestNodeKillSurfacesRankFailure: a node dying mid-run aborts with a
+// typed *RankFailure naming the lost rank.
+func TestNodeKillSurfacesRankFailure(t *testing.T) {
+	plan := fault.NewPlan(1)
+	killAt := sim.Time(5 * sim.Millisecond)
+	plan.KillNode(3, killAt)
+	_, err := Execute(faultCfg(t, machine.BGP, 16, plan), func(r *Rank) {
+		for i := 0; i < 1000; i++ {
+			r.World().Barrier(r)
+			r.Advance(100 * sim.Microsecond)
+		}
+	})
+	var rf *RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("err = %v, want *RankFailure", err)
+	}
+	if rf.Node != 3 || rf.At != killAt {
+		t.Errorf("RankFailure = %+v, want Node=3 At=%v", rf, killAt)
+	}
+	if rf.Rank < 0 || rf.Rank >= 16 {
+		t.Errorf("RankFailure.Rank = %d out of range", rf.Rank)
+	}
+}
+
+// TestNodeKillAfterCompletionIsHarmless: a fault scheduled past the
+// program's end must not fail the run.
+func TestNodeKillAfterCompletionIsHarmless(t *testing.T) {
+	plan := fault.NewPlan(1)
+	plan.KillNode(0, sim.Time(3600*sim.Second))
+	res, err := Execute(faultCfg(t, machine.BGP, 8, plan), func(r *Rank) {
+		r.World().Barrier(r)
+	})
+	if err != nil {
+		t.Fatalf("post-completion fault failed the run: %v", err)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+}
+
+// TestNodeFaultOutOfRangeRejected: NewWorld validates the plan against
+// the partition.
+func TestNodeFaultOutOfRangeRejected(t *testing.T) {
+	plan := fault.NewPlan(1)
+	plan.KillNode(99, 0)
+	if _, err := NewWorld(faultCfg(t, machine.BGP, 8, plan)); err == nil {
+		t.Fatal("node fault beyond the partition accepted")
+	}
+}
+
+// TestPartitionSurfacesLinkDownError: isolating a node makes traffic
+// to it fail with the typed topology error (wrapped by the MPI layer).
+func TestPartitionSurfacesLinkDownError(t *testing.T) {
+	cfg := faultCfg(t, machine.BGP, 16, nil)
+	victimNode := -1
+	{
+		// Find the node of rank 5 with a throwaway world (same config,
+		// same deterministic placement).
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victimNode = w.ranks[5].place.Node
+	}
+	plan := fault.NewPlan(1)
+	plan.IsolateNode(topology.NewTorus(topology.DimsForNodes(16)), victimNode)
+	cfg.Faults = plan
+	_, err := Execute(cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(5, 100, 0)
+		}
+		if r.ID() == 5 {
+			r.Recv(0, 0)
+		}
+	})
+	var lde *topology.LinkDownError
+	if !errors.As(err, &lde) {
+		t.Fatalf("err = %v, want wrapped *topology.LinkDownError", err)
+	}
+}
+
+// TestMachineNoiseStretchesCompute: on a noisy machine, enabling the
+// machine noise profile makes compute-bound runs take longer; on the
+// noiseless BG/P CNK it changes nothing — the paper's point.
+func TestMachineNoiseStretchesCompute(t *testing.T) {
+	run := func(id machine.ID, plan *fault.Plan) sim.Duration {
+		res, err := Execute(faultCfg(t, id, 8, plan), func(r *Rank) {
+			for i := 0; i < 50; i++ {
+				r.Compute(1e7, 0, machine.ClassStencil)
+				r.World().Allreduce(r, 8, true)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	noisy := func() *fault.Plan {
+		p := fault.NewPlan(7)
+		p.UseMachineNoise()
+		return p
+	}
+
+	xtQuiet := run(machine.XT4QC, nil)
+	xtNoisy := run(machine.XT4QC, noisy())
+	if xtNoisy <= xtQuiet {
+		t.Errorf("XT4/QC with machine noise %v not slower than quiet %v", xtNoisy, xtQuiet)
+	}
+
+	bgQuiet := run(machine.BGP, nil)
+	bgNoisy := run(machine.BGP, noisy())
+	if bgNoisy != bgQuiet {
+		t.Errorf("BG/P machine noise changed elapsed %v -> %v; CNK must be noiseless", bgQuiet, bgNoisy)
+	}
+}
+
+// TestNoiseOverrideDeterministic: the same seed and profile give the
+// same elapsed time; a different seed shifts phases and (generally)
+// the result.
+func TestNoiseOverrideDeterministic(t *testing.T) {
+	run := func(seed uint64) sim.Duration {
+		p := fault.NewPlan(seed)
+		if err := p.SetNoise(fault.NoiseProfile{
+			Period:   500 * sim.Microsecond,
+			Duration: 25 * sim.Microsecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(faultCfg(t, machine.BGP, 8, p), func(r *Rank) {
+			for i := 0; i < 20; i++ {
+				r.Compute(1e7, 0, machine.ClassStencil)
+				r.World().Barrier(r)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	a, b := run(11), run(11)
+	if a != b {
+		t.Fatalf("same seed elapsed %v then %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+// TestInvalidNoiseRejected: a bad override fails world construction.
+func TestInvalidNoiseRejected(t *testing.T) {
+	p := fault.NewPlan(1)
+	if err := p.SetNoise(fault.NoiseProfile{Period: 0, Duration: sim.Microsecond}); err == nil {
+		t.Fatal("SetNoise accepted an invalid profile")
+	}
+}

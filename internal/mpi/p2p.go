@@ -96,17 +96,23 @@ func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{
 	req := &Request{r: r, tag: tag, collKey: collKey}
 	msg := &message{src: r.id, dst: dst, tag: tag, collKey: collKey,
 		bytes: bytes, payload: payload, sender: req}
-	if bytes <= r.w.mach.EagerLimit {
+	wireBytes := bytes
+	if bytes > r.w.mach.EagerLimit {
+		// Rendezvous: only a small header travels now; the data moves
+		// when the receiver matches it, and the request completes then.
+		wireBytes = 0
+	} else {
 		msg.eager = true
 		req.done = true // buffer reusable immediately
-		arrival := r.w.net.P2P(r.proc.Now(), r.place.Node, dstRank.place.Node, bytes)
-		r.w.kernel.At(arrival, func() { dstRank.deliver(msg) })
-	} else {
-		// Rendezvous: a small header travels now; the data moves when
-		// the receiver matches it, and this request completes then.
-		arrival := r.w.net.P2P(r.proc.Now(), r.place.Node, dstRank.place.Node, 0)
-		r.w.kernel.At(arrival, func() { dstRank.deliver(msg) })
 	}
+	arrival, err := r.w.net.P2P(r.proc.Now(), r.place.Node, dstRank.place.Node, wireBytes)
+	if err != nil {
+		// The failed links partition the torus between the two ranks:
+		// the program cannot proceed. Surface the typed topology error
+		// from World.Run.
+		sim.Fail(fmt.Errorf("mpi: rank %d send to rank %d: %w", r.id, dst, err))
+	}
+	r.w.kernel.At(arrival, func() { dstRank.deliver(msg) })
 	return req
 }
 
@@ -191,7 +197,13 @@ func (r *Rank) matched(q *Request, m *message) {
 	now := r.w.kernel.Now()
 	start := now.Add(sim.Seconds(r.w.mach.RendezvousRTT))
 	srcNode := r.w.ranks[m.src].place.Node
-	done := r.w.net.P2P(start, srcNode, r.place.Node, m.bytes)
+	done, err := r.w.net.P2P(start, srcNode, r.place.Node, m.bytes)
+	if err != nil {
+		// matched runs inside an event callback, not a rank process, so
+		// abort the kernel directly instead of sim.Fail.
+		r.w.kernel.Abort(fmt.Errorf("mpi: rank %d bulk transfer from rank %d: %w", r.id, m.src, err))
+		return
+	}
 	r.w.kernel.At(done, func() {
 		r.completeRecv(q)
 		sq := m.sender

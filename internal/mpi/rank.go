@@ -29,10 +29,11 @@ type Rank struct {
 	timerStart map[string]sim.Time
 	collSeq    map[string]int // per-communicator collective sequence numbers
 	rng        *sim.RNG
+	noisePhase sim.Duration // phase of this node's OS-noise events
 }
 
 func newRank(w *World, id int, place topology.Placement) *Rank {
-	return &Rank{
+	r := &Rank{
 		w:          w,
 		id:         id,
 		place:      place,
@@ -41,6 +42,10 @@ func newRank(w *World, id int, place topology.Placement) *Rank {
 		collSeq:    make(map[string]int),
 		rng:        sim.NewRNG(w.cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
 	}
+	if w.noiseOn {
+		r.noisePhase = w.cfg.Faults.NoisePhase(place.Node, w.noise.Period)
+	}
+	return r
 }
 
 // ID returns the rank's number in the world communicator.
@@ -69,11 +74,16 @@ func (r *Rank) RNG() *sim.RNG { return r.rng }
 
 // Compute advances the rank's clock by the roofline time of a compute
 // block (flops of the given kernel class touching bytes of memory),
-// including any injected slowdown for the rank's node.
+// including any injected slowdown for the rank's node and, under an
+// active fault plan with OS noise, the deterministic noise events that
+// land inside the block.
 func (r *Rank) Compute(flops, bytes float64, class machine.KernelClass) {
 	d := r.w.cpu.Time(flops, bytes, class)
 	if s, ok := r.w.cfg.NodeSlowdown[r.place.Node]; ok && s > 0 {
 		d = sim.Duration(float64(d) * (1 + s))
+	}
+	if r.w.noiseOn {
+		d = r.w.noise.Extend(r.proc.Now(), d, r.noisePhase)
 	}
 	r.proc.Sleep(d)
 }

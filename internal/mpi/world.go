@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"bgpsim/internal/cpu"
+	"bgpsim/internal/fault"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/network"
 	"bgpsim/internal/sim"
@@ -49,6 +50,13 @@ type Config struct {
 	// or a sick node — the classic "one slow node stalls the
 	// collective" experiment.
 	NodeSlowdown map[int]float64
+
+	// Faults, when non-nil, injects the plan's link faults (degraded
+	// and failed links, rerouted or surfaced as errors), node kills
+	// (surfaced as *RankFailure), and OS noise (deterministic
+	// compute-block stretching). Nil reproduces the healthy machine
+	// byte for byte.
+	Faults *fault.Plan
 }
 
 // World is a configured partition ready to execute one program.
@@ -62,6 +70,9 @@ type World struct {
 	cpu    *cpu.Model
 	ranks  []*Rank
 	world  *Comm
+
+	noise   fault.NoiseProfile // active OS-noise profile
+	noiseOn bool
 
 	gates map[string]*gate
 	ran   bool
@@ -113,6 +124,12 @@ func NewWorld(cfg Config) (*World, error) {
 	w.mapper = topology.NewMapper(w.torus, rpn, cfg.Mapping)
 	w.net = network.New(cfg.Machine, w.torus, cfg.Fidelity)
 	w.cpu = cpu.New(cfg.Machine, cfg.Mode)
+	if cfg.Faults != nil {
+		if err := w.validateFaults(cfg.Faults, cfg.Nodes); err != nil {
+			return nil, err
+		}
+		w.net.SetFaults(cfg.Faults)
+	}
 
 	w.ranks = make([]*Rank, nranks)
 	members := make([]int, nranks)
@@ -182,6 +199,9 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 		return nil, fmt.Errorf("mpi: world already ran")
 	}
 	w.ran = true
+	if w.cfg.Faults != nil {
+		w.scheduleNodeFaults(w.cfg.Faults)
+	}
 	finish := make([]sim.Duration, len(w.ranks))
 	for _, r := range w.ranks {
 		r := r

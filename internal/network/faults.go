@@ -1,0 +1,128 @@
+package network
+
+import (
+	"math"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// SetFaults attaches a fault plan to the network. A nil plan (or one
+// with no link faults) leaves the healthy fast path untouched — every
+// message takes exactly the code it would without a plan, so healthy
+// runs stay byte-identical. Call before the simulation starts.
+func (n *Net) SetFaults(p *fault.Plan) { n.faults = p }
+
+// Faults returns the attached fault plan (nil when healthy).
+func (n *Net) Faults() *fault.Plan { return n.faults }
+
+// p2pFaulty is the link-fault twin of the healthy P2P paths: it routes
+// around links that are down at injection time and stretches
+// serialization over degraded ones. The three fidelities mirror their
+// healthy counterparts exactly when every link on the route has factor
+// 1.
+func (n *Net) p2pFaulty(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, error) {
+	blocked := func(l topology.Link) bool { return n.faults.LinkFactor(l, now) == 0 }
+	route, err := n.torus.AppendRouteAvoid(n.routeBuf[:0], srcNode, dstNode, blocked)
+	if err != nil {
+		return now, err
+	}
+	n.routeBuf = route
+
+	// The bottleneck factor governs the streaming rate of the whole
+	// message (wormhole/cut-through pipelines at the slowest stage).
+	minF := 1.0
+	for _, l := range route {
+		if f := n.faults.LinkFactor(l, now); f < minF {
+			minF = f
+		}
+	}
+
+	hopLat := sim.Seconds(n.mach.TorusHopLat * float64(len(route)))
+	effBW := math.Min(n.mach.TorusLinkBW*minF, n.mach.NICInjectBW)
+	wire := sim.Seconds(float64(bytes) / effBW)
+
+	if n.fid == Analytic {
+		return now.Add(hopLat + wire), nil
+	}
+	if n.fid == Packet {
+		return n.packetOnRoute(now, srcNode, dstNode, bytes, route), nil
+	}
+
+	// Contention: as the healthy reservation loop, but each degraded
+	// link stays busy longer (serialization divided by its factor).
+	injSer := sim.Seconds(float64(bytes) / n.mach.NICInjectBW)
+	depart := now
+	if n.injFree[srcNode] > depart {
+		depart = n.injFree[srcNode]
+	}
+	perHop := sim.Seconds(n.mach.TorusHopLat)
+	for i, l := range route {
+		off := sim.Duration(i) * perHop
+		if need := n.linkFree[n.torus.LinkIndex(l)] - sim.Time(off); need > depart {
+			depart = need
+		}
+	}
+	if need := n.ejFree[dstNode] - sim.Time(hopLat); need > depart {
+		depart = need
+	}
+
+	n.injFree[srcNode] = depart.Add(injSer)
+	for i, l := range route {
+		off := sim.Duration(i) * perHop
+		f := n.faults.LinkFactor(l, now)
+		linkSer := sim.Seconds(float64(bytes) / (n.mach.TorusLinkBW * f))
+		n.linkFree[n.torus.LinkIndex(l)] = depart.Add(off + linkSer)
+	}
+	arrival := depart.Add(hopLat + wire)
+	n.ejFree[dstNode] = arrival
+	return arrival, nil
+}
+
+// packetOnRoute is packetTransfer over an explicit (detour) route with
+// per-link degradation: each packet serializes at the link's surviving
+// bandwidth.
+func (n *Net) packetOnRoute(now sim.Time, srcNode, dstNode, bytes int, route []topology.Link) sim.Time {
+	packets := (bytes + packetBytes - 1) / packetBytes
+	if packets == 0 {
+		packets = 1
+	}
+	perHop := sim.Seconds(n.mach.TorusHopLat)
+	lastBytes := bytes - (packets-1)*packetBytes
+	if lastBytes <= 0 {
+		lastBytes = packetBytes
+	}
+
+	var arrival sim.Time
+	for k := 0; k < packets; k++ {
+		pb := packetBytes
+		if k == packets-1 {
+			pb = lastBytes
+		}
+		t := now
+		if n.injFree[srcNode] > t {
+			t = n.injFree[srcNode]
+		}
+		t = t.Add(sim.Seconds(float64(pb) / n.mach.NICInjectBW))
+		n.injFree[srcNode] = t
+		for _, l := range route {
+			idx := n.torus.LinkIndex(l)
+			if n.linkFree[idx] > t {
+				t = n.linkFree[idx]
+			}
+			f := n.faults.LinkFactor(l, now)
+			t = t.Add(sim.Seconds(float64(pb) / (n.mach.TorusLinkBW * f)))
+			n.linkFree[idx] = t
+			t = t.Add(perHop)
+		}
+		if n.ejFree[dstNode] > t {
+			t = n.ejFree[dstNode]
+		}
+		n.ejFree[dstNode] = t
+		if t > arrival {
+			arrival = t
+		}
+	}
+	return arrival
+}

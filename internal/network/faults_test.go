@@ -1,0 +1,126 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// TestEmptyPlanIsByteIdentical pins the healthy-path contract: a plan
+// with no link faults attached must not change any arrival time.
+func TestEmptyPlanIsByteIdentical(t *testing.T) {
+	for _, fid := range []Fidelity{Analytic, Contention, Packet} {
+		clean := newBGPNet(t, 64, fid)
+		planned := newBGPNet(t, 64, fid)
+		planned.SetFaults(fault.NewPlan(1))
+		for _, dst := range []int{1, 5, 33} {
+			a := mustP2P(t, clean, 0, 0, dst, 40000)
+			b := mustP2P(t, planned, 0, 0, dst, 40000)
+			if a != b {
+				t.Errorf("%v: empty plan changed arrival %v -> %v", fid, a, b)
+			}
+		}
+	}
+}
+
+// TestDegradedLinkSlowsTransfer: traffic over a half-bandwidth link
+// takes longer in every fidelity; the bottleneck link governs.
+func TestDegradedLinkSlowsTransfer(t *testing.T) {
+	bytes := 425000 // 1 ms at full link rate
+	for _, fid := range []Fidelity{Analytic, Contention, Packet} {
+		healthy := newBGPNet(t, 64, fid)
+		hArr := mustP2P(t, healthy, 0, 0, 1, bytes)
+
+		degraded := newBGPNet(t, 64, fid)
+		plan := fault.NewPlan(1)
+		route := degraded.Torus().Route(0, 1)
+		if err := plan.AddLinkFault(fault.LinkFault{Link: route[0], BWFactor: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		degraded.SetFaults(plan)
+		dArr := mustP2P(t, degraded, 0, 0, 1, bytes)
+
+		if dArr <= hArr {
+			t.Errorf("%v: degraded-link arrival %v not after healthy %v", fid, dArr, hArr)
+		}
+		// At half bandwidth the serialization roughly doubles.
+		ratio := dArr.Sub(0).Seconds() / hArr.Sub(0).Seconds()
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("%v: degradation ratio %.2f, want ~2", fid, ratio)
+		}
+	}
+}
+
+// TestFailedLinkReroutes: with one link down, traffic detours and
+// still arrives — later than the healthy direct route.
+func TestFailedLinkReroutes(t *testing.T) {
+	bytes := 40000
+	for _, fid := range []Fidelity{Analytic, Contention, Packet} {
+		healthy := newBGPNet(t, 64, fid)
+		hArr := mustP2P(t, healthy, 0, 0, 1, bytes)
+
+		broken := newBGPNet(t, 64, fid)
+		plan := fault.NewPlan(1)
+		plan.FailLink(broken.Torus().Route(0, 1)[0], 0)
+		broken.SetFaults(plan)
+		bArr, err := broken.P2P(0, 0, 1, bytes)
+		if err != nil {
+			t.Fatalf("%v: reroute failed: %v", fid, err)
+		}
+		if bArr <= hArr {
+			t.Errorf("%v: detour arrival %v not after direct %v", fid, bArr, hArr)
+		}
+	}
+}
+
+// TestPartitionReturnsLinkDownError: isolating the destination node
+// yields the typed error, not a hang or a bogus arrival.
+func TestPartitionReturnsLinkDownError(t *testing.T) {
+	n := newBGPNet(t, 64, Contention)
+	plan := fault.NewPlan(1)
+	plan.IsolateNode(n.Torus(), 5)
+	n.SetFaults(plan)
+	_, err := n.P2P(0, 0, 5, 100)
+	var lde *topology.LinkDownError
+	if !errors.As(err, &lde) {
+		t.Fatalf("err = %v, want *topology.LinkDownError", err)
+	}
+	if lde.Src != 0 || lde.Dst != 5 {
+		t.Errorf("LinkDownError = %+v, want Src=0 Dst=5", lde)
+	}
+	// Healthy pairs still communicate.
+	if _, err := n.P2P(0, 0, 9, 100); err != nil {
+		t.Errorf("healthy pair failed: %v", err)
+	}
+}
+
+// TestFaultWindowExpires: a transient degradation affects messages
+// inside its window only.
+func TestFaultWindowExpires(t *testing.T) {
+	mkNet := func() *Net { return newBGPNet(t, 64, Analytic) }
+	bytes := 425000
+	windowEnd := sim.Time(sim.Second)
+
+	n := mkNet()
+	plan := fault.NewPlan(1)
+	if err := plan.AddLinkFault(fault.LinkFault{
+		Link: n.Torus().Route(0, 1)[0], Until: windowEnd, BWFactor: 0.25,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaults(plan)
+
+	inside := mustP2P(t, n, 0, 0, 1, bytes).Sub(0)
+	after := mustP2P(t, n, windowEnd, 0, 1, bytes).Sub(windowEnd)
+
+	healthy := mustP2P(t, mkNet(), 0, 0, 1, bytes).Sub(0)
+	if inside <= healthy {
+		t.Errorf("in-window transfer %v not slower than healthy %v", inside, healthy)
+	}
+	if after != healthy {
+		t.Errorf("post-window transfer %v != healthy %v", after, healthy)
+	}
+}

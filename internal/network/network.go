@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"bgpsim/internal/fault"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
@@ -64,10 +65,11 @@ type Stats struct {
 
 // Net is the interconnect of one simulated machine partition.
 type Net struct {
-	mach  *machine.Machine
-	torus *topology.Torus
-	tree  *topology.Tree
-	fid   Fidelity
+	mach   *machine.Machine
+	torus  *topology.Torus
+	tree   *topology.Tree
+	fid    Fidelity
+	faults *fault.Plan // nil or fault-free: the healthy fast path
 
 	// Contention state, indexed by dense link index.
 	linkFree []sim.Time
@@ -108,14 +110,22 @@ func (n *Net) Fidelity() Fidelity { return n.fid }
 // injected at time now from srcNode to dstNode. MPI software overheads
 // are NOT included here — the MPI layer adds them. Messages between
 // placements on the same node use the shared-memory path.
-func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) sim.Time {
+//
+// Under an active fault plan (SetFaults) the message routes around
+// failed links and serializes slower over degraded ones; when the
+// failed links partition src from dst, P2P returns a
+// *topology.LinkDownError. Without a plan the error is always nil.
+func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, error) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("network: negative message size %d", bytes))
 	}
 	n.stats.Messages++
 	n.stats.Bytes += int64(bytes)
 	if srcNode == dstNode {
-		return n.shm(now, srcNode, bytes)
+		return n.shm(now, srcNode, bytes), nil
+	}
+	if n.faults.HasLinkFaults() {
+		return n.p2pFaulty(now, srcNode, dstNode, bytes)
 	}
 	hops := n.torus.Hops(srcNode, dstNode)
 	hopLat := sim.Seconds(n.mach.TorusHopLat * float64(hops))
@@ -123,10 +133,10 @@ func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) sim.Time {
 	wire := sim.Seconds(float64(bytes) / effBW)
 
 	if n.fid == Analytic {
-		return now.Add(hopLat + wire)
+		return now.Add(hopLat + wire), nil
 	}
 	if n.fid == Packet {
-		return n.packetTransfer(now, srcNode, dstNode, bytes)
+		return n.packetTransfer(now, srcNode, dstNode, bytes), nil
 	}
 
 	n.routeBuf = n.torus.AppendRoute(n.routeBuf[:0], srcNode, dstNode)
@@ -160,7 +170,7 @@ func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) sim.Time {
 	}
 	arrival := depart.Add(hopLat + wire)
 	n.ejFree[dstNode] = arrival
-	return arrival
+	return arrival, nil
 }
 
 // packetTransfer moves a message packet by packet along its

@@ -15,12 +15,23 @@ func newBGPNet(t *testing.T, nodes int, fid Fidelity) *Net {
 	return New(m, tor, fid)
 }
 
+// mustP2P delivers a message that cannot fail (no fault plan, or one
+// that leaves src and dst connected).
+func mustP2P(t *testing.T, n *Net, now sim.Time, src, dst, bytes int) sim.Time {
+	t.Helper()
+	arr, err := n.P2P(now, src, dst, bytes)
+	if err != nil {
+		t.Fatalf("P2P %d->%d: %v", src, dst, err)
+	}
+	return arr
+}
+
 func TestAnalyticP2PTime(t *testing.T) {
 	n := newBGPNet(t, 512, Analytic)
 	m := machine.Get(machine.BGP)
 	src, dst := 0, 1 // one hop in X
 	bytes := 425000  // 1 ms at 425 MB/s
-	arr := n.P2P(0, src, dst, bytes)
+	arr := mustP2P(t, n, 0, src, dst, bytes)
 	want := sim.Seconds(m.TorusHopLat + float64(bytes)/m.TorusLinkBW)
 	if got := arr.Sub(0); got != want {
 		t.Errorf("analytic P2P = %v, want %v", got, want)
@@ -32,8 +43,8 @@ func TestAnalyticScalesWithHops(t *testing.T) {
 	tor := n.Torus()
 	far := tor.NodeAt(topology.Coord{4, 4, 4}) // 12 hops in 8x8x8
 	near := tor.NodeAt(topology.Coord{1, 0, 0})
-	tFar := n.P2P(0, 0, far, 0).Sub(0)
-	tNear := n.P2P(0, 0, near, 0).Sub(0)
+	tFar := mustP2P(t, n, 0, 0, far, 0).Sub(0)
+	tNear := mustP2P(t, n, 0, 0, near, 0).Sub(0)
 	if tFar != 12*tNear {
 		t.Errorf("12-hop zero-byte time %v != 12x one-hop %v", tFar, tNear)
 	}
@@ -44,8 +55,8 @@ func TestContentionSerializesSharedLink(t *testing.T) {
 	bytes := 425000 // 1ms serialization on the link
 	// Two messages over the same first link at the same time: the
 	// second must queue behind the first.
-	a1 := n.P2P(0, 0, 1, bytes)
-	a2 := n.P2P(0, 0, 1, bytes)
+	a1 := mustP2P(t, n, 0, 0, 1, bytes)
+	a2 := mustP2P(t, n, 0, 0, 1, bytes)
 	if a2.Sub(a1) < sim.Seconds(float64(bytes)/machine.Get(machine.BGP).TorusLinkBW)/2 {
 		t.Errorf("second message arrived %v after first; expected ~1ms of queuing", a2.Sub(a1))
 	}
@@ -61,8 +72,8 @@ func TestContentionDisjointPathsDoNotInterfere(t *testing.T) {
 	// Message 1: 0 -> +X neighbour. Message 2: between nodes far away.
 	a := tor.NodeAt(topology.Coord{4, 4, 4})
 	b := tor.NodeAt(topology.Coord{5, 4, 4})
-	t1 := n.P2P(0, 0, 1, bytes)
-	t2 := n.P2P(0, a, b, bytes)
+	t1 := mustP2P(t, n, 0, 0, 1, bytes)
+	t2 := mustP2P(t, n, 0, a, b, bytes)
 	if t2.Sub(0) != t1.Sub(0) {
 		t.Errorf("disjoint transfers differ: %v vs %v", t1.Sub(0), t2.Sub(0))
 	}
@@ -73,10 +84,10 @@ func TestContentionInjectionShared(t *testing.T) {
 	bytes := 1 << 20
 	// Two messages from the same source to different directions share
 	// the injection channel.
-	t1 := n.P2P(0, 0, 1, bytes)
+	t1 := mustP2P(t, n, 0, 0, 1, bytes)
 	tor := n.Torus()
 	up := tor.NodeAt(topology.Coord{0, 1, 0})
-	t2 := n.P2P(0, 0, up, bytes)
+	t2 := mustP2P(t, n, 0, 0, up, bytes)
 	if t2 <= t1 {
 		t.Error("same-source messages did not share injection bandwidth")
 	}
@@ -86,7 +97,7 @@ func TestShmPath(t *testing.T) {
 	n := newBGPNet(t, 512, Contention)
 	m := machine.Get(machine.BGP)
 	bytes := 3000
-	arr := n.P2P(0, 7, 7, bytes)
+	arr := mustP2P(t, n, 0, 7, 7, bytes)
 	want := sim.Seconds(m.ShmLatency + float64(bytes)/m.ShmBW)
 	if arr.Sub(0) != want {
 		t.Errorf("shm transfer = %v, want %v", arr.Sub(0), want)
@@ -156,13 +167,13 @@ func TestNegativeSizePanics(t *testing.T) {
 			t.Error("expected panic on negative size")
 		}
 	}()
-	n.P2P(0, 0, 1, -1)
+	mustP2P(t, n, 0, 0, 1, -1)
 }
 
 func TestStatsAccumulate(t *testing.T) {
 	n := newBGPNet(t, 64, Analytic)
-	n.P2P(0, 0, 1, 100)
-	n.P2P(0, 1, 2, 200)
+	mustP2P(t, n, 0, 0, 1, 100)
+	mustP2P(t, n, 0, 1, 2, 200)
 	s := n.Stats()
 	if s.Messages != 2 || s.Bytes != 300 {
 		t.Errorf("stats = %+v", s)
@@ -178,7 +189,7 @@ func TestBandwidthNeverExceedsLinkCapacity(t *testing.T) {
 	const bytes = 100000
 	var last sim.Time
 	for i := 0; i < k; i++ {
-		last = n.P2P(0, 0, 1, bytes)
+		last = mustP2P(t, n, 0, 0, 1, bytes)
 	}
 	minTotal := sim.Seconds(float64(k*bytes) / m.TorusLinkBW)
 	if last.Sub(0) < minTotal {
@@ -193,8 +204,8 @@ func TestContentionMatchesAnalyticWhenUncontended(t *testing.T) {
 	na := newBGPNet(t, 512, Analytic)
 	for _, bytes := range []int{0, 64, 4096, 1 << 20} {
 		nc := newBGPNet(t, 512, Contention)
-		ta := na.P2P(0, 0, 5, bytes).Sub(0)
-		tc := nc.P2P(0, 0, 5, bytes).Sub(0)
+		ta := mustP2P(t, na, 0, 0, 5, bytes).Sub(0)
+		tc := mustP2P(t, nc, 0, 0, 5, bytes).Sub(0)
 		if ta != tc {
 			t.Errorf("bytes=%d: analytic %v != uncontended %v", bytes, ta, tc)
 		}
@@ -217,8 +228,8 @@ func TestPacketModeUncontendedCloseToContention(t *testing.T) {
 	for _, bytes := range []int{4096, 1 << 20} {
 		nc := newBGPNet(t, 64, Contention)
 		np := newBGPNet(t, 64, Packet)
-		tc := nc.P2P(0, 0, 5, bytes).Sub(0).Seconds()
-		tp := np.P2P(0, 0, 5, bytes).Sub(0).Seconds()
+		tc := mustP2P(t, nc, 0, 0, 5, bytes).Sub(0).Seconds()
+		tp := mustP2P(t, np, 0, 0, 5, bytes).Sub(0).Seconds()
 		ratio := tp / tc
 		if ratio < 0.8 || ratio > 1.3 {
 			t.Errorf("bytes=%d: packet %.3g s vs contention %.3g s: ratio %.3f", bytes, tp, tc, ratio)
@@ -232,8 +243,8 @@ func TestPacketModeSharesLinkFairly(t *testing.T) {
 	n := newBGPNet(t, 64, Packet)
 	m := machine.Get(machine.BGP)
 	bytes := 512 << 10
-	n.P2P(0, 0, 1, bytes)
-	t2 := n.P2P(0, 0, 1, bytes)
+	mustP2P(t, n, 0, 0, 1, bytes)
+	t2 := mustP2P(t, n, 0, 0, 1, bytes)
 	floor := sim.Seconds(2 * float64(bytes) / m.TorusLinkBW)
 	if t2.Sub(0) < floor {
 		t.Errorf("two messages finished in %v, below serialization floor %v", t2.Sub(0), floor)
@@ -242,7 +253,7 @@ func TestPacketModeSharesLinkFairly(t *testing.T) {
 
 func TestPacketZeroByteStillTraverses(t *testing.T) {
 	n := newBGPNet(t, 64, Packet)
-	if got := n.P2P(0, 0, 1, 0).Sub(0); got <= 0 {
+	if got := mustP2P(t, n, 0, 0, 1, 0).Sub(0); got <= 0 {
 		t.Errorf("zero-byte packet transfer took %v", got)
 	}
 }

@@ -1,0 +1,278 @@
+package paper
+
+import (
+	"errors"
+	"fmt"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/iosys"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/stats"
+	"bgpsim/internal/topology"
+)
+
+func init() {
+	register("faults", "Supplementary: resilience under injected faults (docs/RESILIENCE.md)", faults)
+}
+
+// faultSeed seeds every random fault placement in this experiment, so
+// the tables are byte-identical across runs and worker counts.
+const faultSeed = 12345
+
+// faults measures the machine models under the deterministic fault
+// plans of internal/fault: nearest-neighbour exchange bandwidth as
+// torus links degrade and fail, collective latency under OS noise
+// (the paper's noiseless-CNK argument), the typed errors surfaced by
+// unsurvivable faults, and checkpoint/restart time-to-solution from
+// the Daly model with write costs taken from the I/O subsystem model.
+func faults(o Options) ([]*stats.Table, error) {
+	nodes := 64
+	if o.Full {
+		nodes = 256
+	}
+	dims := topology.DimsForNodes(nodes)
+
+	// 1. Ring exchange on a BG/P partition as the torus degrades: each
+	// scenario is an independent simulation with its own fault plan.
+	exchange := func(plan func(*topology.Torus) (*fault.Plan, error)) (float64, error) {
+		tor := topology.NewTorus(dims)
+		p, err := plan(tor)
+		if err != nil {
+			return 0, err
+		}
+		cfg := mpi.Config{Machine: machine.Get(machine.BGP), Nodes: nodes, Dims: dims,
+			Mode: machine.VN, Mapping: topology.MapXYZT, Fidelity: network.Contention,
+			Faults: p}
+		res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+			right := (r.ID() + 1) % r.Size()
+			left := (r.ID() - 1 + r.Size()) % r.Size()
+			for k := 0; k < 4; k++ {
+				r.Sendrecv(right, 64<<10, k, left, k)
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Microseconds(), nil
+	}
+	healthyPlan := func(*topology.Torus) (*fault.Plan, error) { return nil, nil }
+	degrade := func(frac, factor float64) func(*topology.Torus) (*fault.Plan, error) {
+		return func(tor *topology.Torus) (*fault.Plan, error) {
+			p := fault.NewPlan(faultSeed)
+			if _, err := p.DegradeRandomLinks(tor, frac, factor); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+	}
+	failN := func(count int) func(*topology.Torus) (*fault.Plan, error) {
+		return func(tor *topology.Torus) (*fault.Plan, error) {
+			p := fault.NewPlan(faultSeed)
+			if _, err := p.FailRandomLinks(tor, count); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+	}
+	linkScenarios := []struct {
+		name string
+		plan func(*topology.Torus) (*fault.Plan, error)
+	}{
+		{"healthy torus", healthyPlan},
+		{"10% of links at 3/4 bandwidth", degrade(0.10, 0.75)},
+		{"10% of links at 1/2 bandwidth", degrade(0.10, 0.5)},
+		{"10% of links at 1/4 bandwidth", degrade(0.10, 0.25)},
+		{"2 links failed (rerouted)", failN(2)},
+		{"8 links failed (rerouted)", failN(8)},
+	}
+
+	// 2. Compute/allreduce loop under OS noise: the same program on a
+	// noiseless kernel (BG/P CNK), the XT kernels' measured profiles,
+	// and a forced heavy-noise profile applied to everyone.
+	forced := fault.NoiseProfile{Period: sim.Millisecond, Duration: 50 * sim.Microsecond}
+	noisy := func(id machine.ID, mode string) (float64, error) {
+		var p *fault.Plan
+		switch mode {
+		case "machine":
+			p = fault.NewPlan(faultSeed)
+			p.UseMachineNoise()
+		case "forced":
+			p = fault.NewPlan(faultSeed)
+			if err := p.SetNoise(forced); err != nil {
+				return 0, err
+			}
+		}
+		cfg := mpi.Config{Machine: machine.Get(id), Nodes: nodes, Dims: dims,
+			Mode: machine.SMP, Faults: p}
+		res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+			for i := 0; i < 20; i++ {
+				r.Compute(2e7, 2e7, machine.ClassStencil)
+				r.World().Allreduce(r, 8, true)
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Microseconds(), nil
+	}
+	noiseMachines := []machine.ID{machine.BGP, machine.XT3, machine.XT4QC}
+
+	// 3. Unsurvivable faults surface as typed errors, not hangs.
+	killRun := func() (string, error) {
+		p := fault.NewPlan(faultSeed)
+		p.KillNode(3, sim.Time(5*sim.Millisecond))
+		_, err := mpi.Execute(mpi.Config{Machine: machine.Get(machine.BGP),
+			Nodes: 16, Mode: machine.SMP, Faults: p},
+			func(r *mpi.Rank) {
+				for i := 0; i < 1000; i++ {
+					r.World().Barrier(r)
+					r.Advance(100 * sim.Microsecond)
+				}
+			})
+		var rf *mpi.RankFailure
+		if !errors.As(err, &rf) {
+			return "", fmt.Errorf("node kill: got %v, want *mpi.RankFailure", err)
+		}
+		return fmt.Sprintf("*mpi.RankFailure: %v", rf), nil
+	}
+	partitionRun := func() (string, error) {
+		tor := topology.NewTorus(topology.Dims{4, 2, 2})
+		p := fault.NewPlan(faultSeed)
+		p.IsolateNode(tor, 5)
+		_, err := mpi.Execute(mpi.Config{Machine: machine.Get(machine.BGP),
+			Nodes: 16, Dims: topology.Dims{4, 2, 2}, Mode: machine.SMP, Faults: p},
+			func(r *mpi.Rank) {
+				switch r.ID() {
+				case 0:
+					r.Send(5, 4096, 1)
+				case 5:
+					r.Recv(0, 1)
+				}
+			})
+		var ld *topology.LinkDownError
+		if !errors.As(err, &ld) {
+			return "", fmt.Errorf("partition: got %v, want *topology.LinkDownError", err)
+		}
+		return fmt.Sprintf("*topology.LinkDownError: %v", ld), nil
+	}
+
+	// Fan every simulation out on the runner pool; commit in fixed order.
+	exchangeUS := make([]float64, len(linkScenarios))
+	noiseUS := make([][3]float64, len(noiseMachines))
+	var killMsg, partMsg string
+	var jobs []job
+	for i, sc := range linkScenarios {
+		i, sc := i, sc
+		jobs = append(jobs, job{
+			run:    func() (any, error) { return exchange(sc.plan) },
+			commit: func(v any) { exchangeUS[i] = v.(float64) },
+		})
+	}
+	for i, id := range noiseMachines {
+		for j, mode := range []string{"off", "machine", "forced"} {
+			i, j, id, mode := i, j, id, mode
+			jobs = append(jobs, job{
+				run:    func() (any, error) { return noisy(id, mode) },
+				commit: func(v any) { noiseUS[i][j] = v.(float64) },
+			})
+		}
+	}
+	jobs = append(jobs,
+		job{run: func() (any, error) { return killRun() },
+			commit: func(v any) { killMsg = v.(string) }},
+		job{run: func() (any, error) { return partitionRun() },
+			commit: func(v any) { partMsg = v.(string) }},
+	)
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+
+	t1 := stats.NewTable(
+		fmt.Sprintf("Ring exchange under link faults (BG/P, %d nodes, 64KB, seed %d)", nodes, faultSeed),
+		"Torus state", "Exchange (us)", "Slowdown")
+	for i, sc := range linkScenarios {
+		t1.AddRow(sc.name, stats.FormatG(exchangeUS[i]),
+			stats.FormatG(exchangeUS[i]/exchangeUS[0]))
+	}
+
+	t2 := stats.NewTable(
+		fmt.Sprintf("Compute+8B-allreduce loop under OS noise (%d nodes, 20 iterations)", nodes),
+		"Machine", "Quiet (us)", "OS noise (us)", "Factor", "Forced 50us/1ms (us)", "Factor")
+	for i, id := range noiseMachines {
+		quiet, osn, fn := noiseUS[i][0], noiseUS[i][1], noiseUS[i][2]
+		t2.AddRow(string(id), stats.FormatG(quiet),
+			stats.FormatG(osn), stats.FormatG(osn/quiet),
+			stats.FormatG(fn), stats.FormatG(fn/quiet))
+	}
+
+	t3 := stats.NewTable("Unsurvivable faults surface as typed errors",
+		"Scenario", "Result")
+	t3.AddRow("node 3 dies during barrier loop", killMsg)
+	t3.AddRow("torus partitioned around node 5", partMsg)
+
+	t4, err := checkpointTable(o)
+	if err != nil {
+		return nil, err
+	}
+
+	return []*stats.Table{t1, t2, t3, t4}, nil
+}
+
+// checkpointTable sweeps checkpoint intervals around the Young/Daly
+// optimum for a day of work on BG/P (Eugene's I/O forwarding tree) and
+// on the XT (Jaguar's Lustre-style stripes), with per-node MTBF scaled
+// down by node count.
+func checkpointTable(o Options) (*stats.Table, error) {
+	ckNodes := 1024
+	if o.Full {
+		ckNodes = 4096
+	}
+	const (
+		work         = 86400.0 // one day of compute, seconds
+		nodeMTBF     = 10 * 365 * 86400.0
+		bytesPerNode = 512e6 // half the BG/P node memory
+		rebootCost   = 60.0
+	)
+	systems := []struct {
+		name    string
+		storage *iosys.Storage
+	}{
+		{"BG/P (Eugene I/O tree)", iosys.ORNLEugene()},
+		{"XT4 (Jaguar Lustre)", iosys.ORNLJaguar()},
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Checkpoint/restart time-to-solution, %d nodes, 24h of work (Daly model)", ckNodes),
+		"System", "Interval", "tau (s)", "Expected TTS (h)", "Overhead (%)")
+	mtbf := fault.SystemMTBF(nodeMTBF, ckNodes)
+	for _, sys := range systems {
+		delta, err := fault.CheckpointWriteCost(sys.storage, ckNodes, bytesPerNode)
+		if err != nil {
+			return nil, err
+		}
+		opt := fault.YoungDaly(delta, mtbf)
+		sweep := []struct {
+			label string
+			tau   float64
+		}{
+			{"0.25x optimal", opt / 4},
+			{"Young/Daly optimal", opt},
+			{"4x optimal", opt * 4},
+		}
+		for _, p := range sweep {
+			c := fault.Checkpointer{Interval: p.tau, WriteCost: delta,
+				RestartCost: delta + rebootCost, MTBF: mtbf}
+			tts, err := c.ExpectedRuntime(work)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(sys.name, p.label, stats.FormatG(p.tau),
+				stats.FormatG(tts/3600), stats.FormatG((tts-work)/work*100))
+		}
+	}
+	t.AddRow("", fmt.Sprintf("system MTBF %.1f h, checkpoint %.0f MB/node", mtbf/3600, bytesPerNode/1e6),
+		"", "", "")
+	return t, nil
+}

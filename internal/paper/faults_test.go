@@ -1,0 +1,109 @@
+package paper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"bgpsim/internal/runner"
+)
+
+// TestFaultsDeterministic pins the fault experiment's seed contract:
+// the rendered output is byte-identical across repeated runs and
+// across worker counts, because every fault placement derives from the
+// plan seed and results commit in job order.
+func TestFaultsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fault sweep three times")
+	}
+	defer runner.SetWorkers(0)
+	runner.SetWorkers(1)
+	serial := renderAll(t, "faults")
+	runner.SetWorkers(8)
+	parallel := renderAll(t, "faults")
+	again := renderAll(t, "faults")
+	if serial != parallel {
+		t.Errorf("faults output differs between -j 1 and -j 8\n-- j1 --\n%s\n-- j8 --\n%s",
+			serial, parallel)
+	}
+	if parallel != again {
+		t.Error("faults output differs between repeated -j 8 runs")
+	}
+}
+
+// TestFaultsTables spot-checks the experiment's structural claims
+// without pinning every simulated value.
+func TestFaultsTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault sweep")
+	}
+	e, err := Get("faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables, want 4", len(tables))
+	}
+
+	// The healthy row of the link table is the baseline: slowdown 1.
+	link := tables[0]
+	if got := strings.TrimSpace(link.Rows[0][2]); got != "1" {
+		t.Errorf("healthy torus slowdown = %q, want 1", got)
+	}
+
+	// BG/P's CNK is noiseless: the machine-noise column must equal the
+	// quiet column exactly, while the XT rows must be slower.
+	noise := tables[1]
+	for _, row := range noise.Rows {
+		quiet, noisy, factor := strings.TrimSpace(row[1]), strings.TrimSpace(row[2]), strings.TrimSpace(row[3])
+		switch row[0] {
+		case "BG/P":
+			if quiet != noisy || factor != "1" {
+				t.Errorf("BG/P noise row %v: CNK must be noiseless", row)
+			}
+		default:
+			if factor == "1" {
+				t.Errorf("%s noise factor = 1, want > 1", row[0])
+			}
+		}
+	}
+
+	// Unsurvivable faults surface as the documented typed errors.
+	typed := tables[2]
+	if !strings.Contains(typed.Rows[0][1], "*mpi.RankFailure") {
+		t.Errorf("node-kill row %q does not name *mpi.RankFailure", typed.Rows[0][1])
+	}
+	if !strings.Contains(typed.Rows[1][1], "*topology.LinkDownError") {
+		t.Errorf("partition row %q does not name *topology.LinkDownError", typed.Rows[1][1])
+	}
+
+	// Young/Daly rows must beat their off-optimum neighbours: the
+	// sweep emits triples (0.25x, optimal, 4x) per system.
+	ck := tables[3]
+	tts := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSpace(row[3]), 64)
+		if err != nil {
+			t.Fatalf("bad TTS cell %q in row %v: %v", row[3], row, err)
+		}
+		return v
+	}
+	triples := 0
+	for i := 0; i+2 < len(ck.Rows); i += 3 {
+		if !strings.Contains(ck.Rows[i+1][1], "Young/Daly") {
+			break
+		}
+		triples++
+		under, opt, over := tts(ck.Rows[i]), tts(ck.Rows[i+1]), tts(ck.Rows[i+2])
+		if opt >= under || opt >= over {
+			t.Errorf("rows %d-%d: optimal TTS %g not below %g (0.25x) and %g (4x)",
+				i, i+2, opt, under, over)
+		}
+	}
+	if triples != 2 {
+		t.Errorf("checkpoint table has %d interval triples, want 2", triples)
+	}
+}

@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestPanicBecomesError: a panicking job must not crash the sweep; it
+// fails with a *PanicError naming the index and carrying the stack,
+// and every other job's result still commits.
+func TestPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		got, err := MapN(16, workers, func(i int) (int, error) {
+			if i == 5 {
+				panic("simulated model bug")
+			}
+			return i * i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 5 {
+			t.Errorf("workers=%d: PanicError.Index = %d, want 5", workers, pe.Index)
+		}
+		if pe.Value != "simulated model bug" {
+			t.Errorf("workers=%d: PanicError.Value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "panic_test") {
+			t.Errorf("workers=%d: stack trace missing panic site", workers)
+		}
+		// All other results committed in order.
+		for i, v := range got {
+			if i == 5 {
+				if v != 0 {
+					t.Errorf("workers=%d: failed index holds %d, want zero value", workers, v)
+				}
+				continue
+			}
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestPanicLowestIndexWins: with several panicking jobs, the error is
+// the lowest index's, matching the plain-error contract.
+func TestPanicLowestIndexWins(t *testing.T) {
+	_, err := MapN(32, 8, func(i int) (int, error) {
+		if i%10 == 3 { // 3, 13, 23
+			panic(i)
+		}
+		return 0, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 3 {
+		t.Errorf("PanicError.Index = %d, want lowest failing index 3", pe.Index)
+	}
+}
+
+// TestPanicErrorMessage pins the report shape: index, value, stack.
+func TestPanicErrorMessage(t *testing.T) {
+	_, err := MapN(2, 1, func(i int) (int, error) {
+		if i == 1 {
+			panic("boom")
+		}
+		return 0, nil
+	})
+	msg := err.Error()
+	if !strings.Contains(msg, "job 1 panicked: boom") {
+		t.Errorf("Error() = %q, want job index and panic value", msg)
+	}
+}
+
+// TestPartialResultsOnPlainError: successful results survive an
+// ordinary error too.
+func TestPartialResultsOnPlainError(t *testing.T) {
+	sentinel := errors.New("bad point")
+	got, err := MapN(8, 4, func(i int) (int, error) {
+		if i == 2 {
+			return 0, sentinel
+		}
+		return i + 100, nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	for i, v := range got {
+		if i == 2 {
+			continue
+		}
+		if v != i+100 {
+			t.Errorf("out[%d] = %d, want %d", i, v, i+100)
+		}
+	}
+}

@@ -13,10 +13,37 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError reports that one sweep job panicked. The worker recovers
+// the panic so the rest of the sweep completes and commits; the error
+// carries the failing input index, the panic value, and the stack
+// trace of the panic site for the bug report.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// safeCall runs fn(i), converting a panic into a *PanicError so one
+// broken simulation cannot take down the whole sweep process.
+func safeCall[T any](i int, fn func(i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
 
 // defaultWorkers, when positive, overrides the GOMAXPROCS-derived
 // worker count for calls that do not pass one explicitly.
@@ -51,7 +78,10 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 // order. fn must be safe to call concurrently. Every index runs even
 // if another fails, and on failure MapN returns the error of the
 // lowest failing index — so scheduling order never changes what the
-// caller observes.
+// caller observes. A job that panics is recovered into a *PanicError
+// for its index; the other jobs still run to completion. On error the
+// returned slice still holds every successful job's result (the zero
+// value at failed indices).
 func MapN[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -66,16 +96,13 @@ func MapN[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if workers == 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := safeCall(i, fn)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 			out[i] = v
 		}
-		if firstErr != nil {
-			return nil, firstErr
-		}
-		return out, nil
+		return out, firstErr
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
@@ -89,14 +116,14 @@ func MapN[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = safeCall(i, fn)
 			}
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 	}
 	return out, nil

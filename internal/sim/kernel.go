@@ -108,9 +108,10 @@ type Kernel struct {
 	// the event loop. Exactly one process runs at any instant.
 	yieldCh chan struct{}
 
-	procs   []*Proc
-	live    int // spawned processes that have not finished
-	stopped bool
+	procs    []*Proc
+	live     int // spawned processes that have not finished
+	stopped  bool
+	abortErr error // set by Abort; Run returns it after the current event
 
 	// EventLimit, when nonzero, aborts Run with an error after this
 	// many events have fired. It is a safety net against model bugs
@@ -167,18 +168,76 @@ func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
 // a closure.
 func (k *Kernel) atResume(t Time, p *Proc) { k.schedule(t, p, nil) }
 
+// BlockedProc describes one blocked process of a deadlock report.
+type BlockedProc struct {
+	Name   string // process name given at Spawn
+	Reason string // what the process is waiting on
+	Since  Time   // when it blocked (when the stall began)
+}
+
+// String formats the process as "name (reason, blocked since t)".
+func (b BlockedProc) String() string {
+	return fmt.Sprintf("%s (%s, blocked since %v)", b.Name, b.Reason, b.Since)
+}
+
 // DeadlockError reports that the event queue drained while processes
 // were still blocked — the simulated program can make no further
-// progress (for example, an MPI receive with no matching send).
+// progress (for example, an MPI receive with no matching send). Time
+// is when the last event fired; each blocked process carries the
+// timestamp at which it stalled, so the report distinguishes the
+// process that has been stuck since the start from the one that
+// blocked on the final event.
 type DeadlockError struct {
-	Time    Time
-	Blocked []string // descriptions of the blocked processes
+	Time    Time // when the last event fired (the queue-drain time)
+	Blocked []BlockedProc
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked: %s",
-		e.Time, len(e.Blocked), strings.Join(e.Blocked, "; "))
+	descs := make([]string, len(e.Blocked))
+	for i, b := range e.Blocked {
+		descs[i] = b.String()
+	}
+	return fmt.Sprintf("sim: deadlock: last event at %v, %d process(es) blocked: %s",
+		e.Time, len(e.Blocked), strings.Join(descs, "; "))
 }
+
+// PanicError reports a process body that panicked. The kernel recovers
+// the panic, aborts the run, and returns this from Run instead of
+// crashing the whole program — one sick simulation in a concurrent
+// sweep must not take down its siblings.
+type PanicError struct {
+	Proc  string // name of the panicking process
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack at the panic site
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v\n%s", e.Proc, e.Value, e.Stack)
+}
+
+// failPanic carries a model error out of a process body to the spawn
+// wrapper, which aborts the kernel with exactly that error (no
+// PanicError wrapping, no stack dump).
+type failPanic struct{ err error }
+
+// Fail aborts the simulation with err from within a process body: the
+// process unwinds, the kernel stops after the current event, and Run
+// returns err. It is how model layers surface typed simulation errors
+// (a failed rank, a partitioned torus) from code whose programming
+// model has no error returns.
+func Fail(err error) { panic(failPanic{err}) }
+
+// Abort makes Run return err after the currently firing event
+// completes. The first abort wins; a nil err is ignored. Safe to call
+// from event callbacks and process bodies.
+func (k *Kernel) Abort(err error) {
+	if k.abortErr == nil && err != nil {
+		k.abortErr = err
+	}
+}
+
+// Live returns the number of spawned processes that have not finished.
+func (k *Kernel) Live() int { return k.live }
 
 // next dequeues the globally minimal pending event, preferring the
 // run-queue head when it wins the (t, seq) comparison against the heap
@@ -224,6 +283,10 @@ func (k *Kernel) Run() error {
 			e.fn()
 		}
 		k.fired++
+		if k.abortErr != nil {
+			k.stopped = true
+			return k.abortErr
+		}
 		if k.EventLimit > 0 && k.fired > k.EventLimit {
 			k.stopped = true
 			return fmt.Errorf("sim: event limit %d exceeded at %v", k.EventLimit, k.now)
@@ -231,13 +294,18 @@ func (k *Kernel) Run() error {
 	}
 	k.stopped = true
 	if k.live > 0 {
-		var blocked []string
+		var blocked []BlockedProc
 		for _, p := range k.procs {
 			if !p.done {
-				blocked = append(blocked, p.describe())
+				blocked = append(blocked, p.blockedInfo())
 			}
 		}
-		sort.Strings(blocked)
+		sort.Slice(blocked, func(i, j int) bool {
+			if blocked[i].Name != blocked[j].Name {
+				return blocked[i].Name < blocked[j].Name
+			}
+			return blocked[i].Since < blocked[j].Since
+		})
 		return &DeadlockError{Time: k.now, Blocked: blocked}
 	}
 	return nil

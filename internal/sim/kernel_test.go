@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -28,10 +29,10 @@ func TestDeadlockBlockedOrdering(t *testing.T) {
 	if !ok {
 		t.Fatalf("err = %v, want DeadlockError", err)
 	}
-	want := []string{
-		"alpha (waiting on alpha-dep)",
-		"mid (waiting on mid-dep)",
-		"zeta (waiting on zeta-dep)",
+	want := []BlockedProc{
+		{Name: "alpha", Reason: "waiting on alpha-dep", Since: Time(3 * Nanosecond)},
+		{Name: "mid", Reason: "waiting on mid-dep", Since: Time(Nanosecond)},
+		{Name: "zeta", Reason: "waiting on zeta-dep", Since: 0},
 	}
 	if len(de.Blocked) != len(want) {
 		t.Fatalf("Blocked = %v, want %v", de.Blocked, want)
@@ -43,6 +44,81 @@ func TestDeadlockBlockedOrdering(t *testing.T) {
 	}
 	if !strings.Contains(de.Error(), "3 process(es) blocked") {
 		t.Errorf("Error() = %q, want blocked count", de.Error())
+	}
+	// The report carries when each process stalled and the time of the
+	// last event, so a reader can tell the long-stuck process from the
+	// one that blocked at the end.
+	if de.Time != Time(3*Nanosecond) {
+		t.Errorf("Time = %v, want last event at 3ns", de.Time)
+	}
+	msg := de.Error()
+	for _, frag := range []string{
+		"last event at t=0.000000003s",
+		"alpha (waiting on alpha-dep, blocked since t=0.000000003s)",
+		"mid (waiting on mid-dep, blocked since t=0.000000001s)",
+		"zeta (waiting on zeta-dep, blocked since t=0.000000000s)",
+	} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("Error() = %q, missing %q", msg, frag)
+		}
+	}
+}
+
+// TestProcPanicRecovered checks the hardened error path: a panic in a
+// process body aborts the run with a *PanicError carrying the process
+// name and a stack trace, instead of crashing the whole program.
+func TestProcPanicRecovered(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("healthy", func(p *Proc) { p.Sleep(Nanosecond) })
+	k.Spawn("sick", func(p *Proc) {
+		p.Sleep(Nanosecond)
+		panic("model bug")
+	})
+	err := k.Run()
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Proc != "sick" || pe.Value != "model bug" {
+		t.Errorf("PanicError = %q/%v, want sick/model bug", pe.Proc, pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "kernel_test") {
+		t.Errorf("stack trace missing panic site:\n%s", pe.Stack)
+	}
+}
+
+// TestFailAbortsWithTypedError checks that sim.Fail surfaces the
+// carried error itself from Run, unwrapped, so callers can errors.As
+// on model-defined fault types.
+func TestFailAbortsWithTypedError(t *testing.T) {
+	k := NewKernel()
+	sentinel := fmt.Errorf("link down")
+	k.Spawn("failer", func(p *Proc) {
+		p.Sleep(Nanosecond)
+		Fail(sentinel)
+	})
+	if err := k.Run(); err != sentinel {
+		t.Fatalf("err = %v, want the sentinel error itself", err)
+	}
+}
+
+// TestAbortStopsAfterCurrentEvent checks that Abort from an event
+// callback stops the run promptly and that the first abort wins.
+func TestAbortStopsAfterCurrentEvent(t *testing.T) {
+	k := NewKernel()
+	first := fmt.Errorf("first")
+	fired := 0
+	k.After(Nanosecond, func() {
+		fired++
+		k.Abort(first)
+		k.Abort(fmt.Errorf("second"))
+	})
+	k.After(2*Nanosecond, func() { fired++ })
+	if err := k.Run(); err != first {
+		t.Fatalf("err = %v, want first abort error", err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d events after abort, want 1", fired)
 	}
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+)
 
 // Proc is a logical process: a goroutine whose execution is serialized
 // by the kernel. Model code inside a process body may freely read and
@@ -13,22 +16,36 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 
-	done    bool
-	blocked string // non-empty while waiting on a condition (diagnostics)
+	done         bool
+	blocked      string // non-empty while waiting on a condition (diagnostics)
+	blockedSince Time   // when the current Block began (diagnostics)
 }
 
 // Spawn creates a process executing fn, starting at the current
 // virtual time. The name is used in deadlock diagnostics.
+//
+// A panic inside fn does not crash the program: the wrapper recovers
+// it, aborts the kernel with a *PanicError (or, for Fail, the carried
+// error itself), and Run returns that error.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, id: len(k.procs), name: name, resume: make(chan struct{})}
 	k.procs = append(k.procs, p)
 	k.live++
 	go func() {
 		<-p.resume // wait for the kernel to start us
+		defer func() {
+			if r := recover(); r != nil {
+				if fp, ok := r.(failPanic); ok {
+					p.k.Abort(fp.err)
+				} else {
+					p.k.Abort(&PanicError{Proc: p.name, Value: r, Stack: debug.Stack()})
+				}
+			}
+			p.done = true
+			p.k.live--
+			p.k.yieldCh <- struct{}{}
+		}()
 		fn(p)
-		p.done = true
-		p.k.live--
-		p.k.yieldCh <- struct{}{}
 	}()
 	k.atResume(k.now, p)
 	return p
@@ -73,6 +90,7 @@ func (p *Proc) SleepUntil(t Time) {
 // calls Wake. The reason string appears in deadlock reports.
 func (p *Proc) Block(reason string) {
 	p.blocked = reason
+	p.blockedSince = p.k.now
 	p.yield()
 	p.blocked = ""
 }
@@ -92,10 +110,10 @@ func (p *Proc) WakeAt(t Time) {
 	p.k.atResume(t, p)
 }
 
-func (p *Proc) describe() string {
+func (p *Proc) blockedInfo() BlockedProc {
 	r := p.blocked
 	if r == "" {
 		r = "runnable?"
 	}
-	return fmt.Sprintf("%s (%s)", p.name, r)
+	return BlockedProc{Name: p.name, Reason: r, Since: p.blockedSince}
 }

@@ -237,8 +237,9 @@ func TestDeadlockDetection(t *testing.T) {
 	if len(de.Blocked) != 1 {
 		t.Fatalf("blocked = %v, want 1 entry", de.Blocked)
 	}
-	if de.Blocked[0] != "stuck (recv with no sender)" {
-		t.Errorf("blocked[0] = %q", de.Blocked[0])
+	want := BlockedProc{Name: "stuck", Reason: "recv with no sender", Since: 0}
+	if de.Blocked[0] != want {
+		t.Errorf("blocked[0] = %+v, want %+v", de.Blocked[0], want)
 	}
 }
 

@@ -1,0 +1,71 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzTorusRoute asserts the fault-routing contract: for any torus
+// shape, any node pair, and any single failed link, AppendRouteAvoid
+// either returns a valid route that avoids the failed link or returns
+// a typed *LinkDownError — it never hangs, panics, or produces a
+// discontinuous or absurdly long route. The network layer relies on
+// exactly this to keep the simulator's error paths deterministic under
+// fault injection.
+func FuzzTorusRoute(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(2), uint16(0), uint16(12), uint32(7))
+	f.Add(uint8(8), uint8(8), uint8(8), uint16(0), uint16(511), uint32(0))
+	f.Add(uint8(1), uint8(1), uint8(2), uint16(0), uint16(1), uint32(5))
+	f.Add(uint8(2), uint8(2), uint8(2), uint16(3), uint16(4), uint32(40))
+	f.Add(uint8(5), uint8(3), uint8(1), uint16(14), uint16(2), uint32(33))
+	f.Add(uint8(7), uint8(7), uint8(7), uint16(100), uint16(300), uint32(999))
+	f.Fuzz(func(t *testing.T, dx, dy, dz uint8, rawA, rawB uint16, rawFail uint32) {
+		dims := Dims{int(dx%8) + 1, int(dy%8) + 1, int(dz%8) + 1}
+		tor := NewTorus(dims)
+		n := dims.Nodes()
+		a := int(rawA) % n
+		b := int(rawB) % n
+		failIdx := int(rawFail) % tor.NumLinks()
+		blocked := func(l Link) bool { return tor.LinkIndex(l) == failIdx }
+
+		route, err := tor.AppendRouteAvoid(nil, a, b, blocked)
+		if err != nil {
+			var lde *LinkDownError
+			if !errors.As(err, &lde) {
+				t.Fatalf("err = %v (%T), want *LinkDownError", err, err)
+			}
+			return
+		}
+		cur := a
+		for i, l := range route {
+			if l.Node != cur {
+				t.Fatalf("route %d->%d hop %d starts at %d, expected %d", a, b, i, l.Node, cur)
+			}
+			if tor.LinkIndex(l) == failIdx {
+				t.Fatalf("route %d->%d uses the failed link %v", a, b, l)
+			}
+			cur = tor.Neighbor(l.Node, l.Dim, l.Positive)
+		}
+		if cur != b {
+			t.Fatalf("route %d->%d ends at node %d", a, b, cur)
+		}
+		// A shortest surviving detour around one failed link never
+		// needs more than a bounded number of extra hops.
+		if len(route) > tor.Diameter()+6 {
+			t.Fatalf("route %d->%d takes %d hops (diameter %d)", a, b, len(route), tor.Diameter())
+		}
+		// When the failed link is off the dimension-ordered route, the
+		// result must be exactly the dimension-ordered route.
+		direct := tor.Route(a, b)
+		onDirect := false
+		for _, l := range direct {
+			if tor.LinkIndex(l) == failIdx {
+				onDirect = true
+				break
+			}
+		}
+		if !onDirect && len(route) != len(direct) {
+			t.Fatalf("failed link off-route but route length %d != direct %d", len(route), len(direct))
+		}
+	})
+}

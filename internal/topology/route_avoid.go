@@ -1,0 +1,115 @@
+package topology
+
+import "fmt"
+
+// LinkDownError reports that no route between two nodes survives the
+// failed links: the fault set has partitioned the torus. The MPI layer
+// surfaces it (wrapped) when a message cannot be delivered.
+type LinkDownError struct {
+	Src, Dst int // torus node indices
+}
+
+func (e *LinkDownError) Error() string {
+	return fmt.Sprintf("topology: no route from node %d to node %d avoids the failed links (torus partitioned)",
+		e.Src, e.Dst)
+}
+
+// Neighbor returns the node reached by one hop from node along
+// dimension dim in the positive or negative direction (with wrap).
+func (t *Torus) Neighbor(node, dim int, positive bool) int {
+	c := t.CoordOf(node)
+	step := 1
+	if !positive {
+		step = -1
+	}
+	c[dim] = ((c[dim]+step)%t.Dims[dim] + t.Dims[dim]) % t.Dims[dim]
+	return t.NodeAt(c)
+}
+
+// LinkFromIndex is the inverse of LinkIndex: it reconstructs the
+// directed link with the given dense index in [0, NumLinks).
+func (t *Torus) LinkFromIndex(i int) Link {
+	if i < 0 || i >= t.NumLinks() {
+		panic(fmt.Sprintf("topology: link index %d out of range [0, %d)", i, t.NumLinks()))
+	}
+	return Link{Node: i / 6, Dim: (i % 6) / 2, Positive: i%2 == 1}
+}
+
+// AppendRouteAvoid appends a route from a to b that uses no link for
+// which blocked reports true, and returns the extended buffer. It
+// first tries the ordinary dimension-ordered route — when no failed
+// link lies on it, the result (and cost) is identical to AppendRoute.
+// Otherwise it falls back to a breadth-first detour search over the
+// surviving links: the shortest surviving path, with ties broken
+// deterministically by dimension order (X before Y before Z, positive
+// before negative), so the same fault set always yields the same
+// detour. When b is unreachable it returns a *LinkDownError.
+func (t *Torus) AppendRouteAvoid(buf []Link, a, b int, blocked func(Link) bool) ([]Link, error) {
+	if a == b {
+		return buf, nil
+	}
+	mark := len(buf)
+	buf = t.AppendRoute(buf, a, b)
+	clean := true
+	for _, l := range buf[mark:] {
+		if blocked(l) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return buf, nil
+	}
+	buf = buf[:mark]
+
+	// BFS from a over surviving links. prev[n] is the link that first
+	// reached node n; the FIFO frontier makes the first arrival a
+	// shortest surviving path.
+	n := t.Dims.Nodes()
+	prev := make([]Link, n)
+	seen := make([]bool, n)
+	queue := make([]int, 0, n)
+	seen[a] = true
+	queue = append(queue, a)
+	found := false
+search:
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for dim := 0; dim < 3; dim++ {
+			if t.Dims[dim] == 1 {
+				continue // a self-loop, never part of a route
+			}
+			for _, pos := range [2]bool{true, false} {
+				l := Link{Node: cur, Dim: dim, Positive: pos}
+				if blocked(l) {
+					continue
+				}
+				nb := t.Neighbor(cur, dim, pos)
+				if seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				prev[nb] = l
+				if nb == b {
+					found = true
+					break search
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if !found {
+		return buf, &LinkDownError{Src: a, Dst: b}
+	}
+
+	// Reconstruct a->b by walking prev backwards, then reverse in place.
+	for node := b; node != a; {
+		l := prev[node]
+		buf = append(buf, l)
+		node = l.Node
+	}
+	for i, j := mark, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf, nil
+}

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+// routeLinks validates that route is a contiguous link sequence from a
+// to b and returns the end node actually reached.
+func followRoute(t *testing.T, tor *Torus, a int, route []Link) int {
+	t.Helper()
+	cur := a
+	for i, l := range route {
+		if l.Node != cur {
+			t.Fatalf("route hop %d starts at node %d, expected %d", i, l.Node, cur)
+		}
+		cur = tor.Neighbor(l.Node, l.Dim, l.Positive)
+	}
+	return cur
+}
+
+func TestAppendRouteAvoidHealthyMatchesAppendRoute(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 2})
+	none := func(Link) bool { return false }
+	for a := 0; a < tor.Dims.Nodes(); a += 7 {
+		for b := 0; b < tor.Dims.Nodes(); b += 5 {
+			want := tor.Route(a, b)
+			got, err := tor.AppendRouteAvoid(nil, a, b, none)
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", a, b, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("route %d->%d: %d links, want %d", a, b, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("route %d->%d link %d = %v, want %v", a, b, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAppendRouteAvoidDetoursAroundFailedLink(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	a, b := 0, 3 // 0 -> 3 along X: wrap route is one hop in -X
+	direct := tor.Route(a, b)
+	failed := direct[0]
+	blocked := func(l Link) bool { return l == failed }
+	route, err := tor.AppendRouteAvoid(nil, a, b, blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range route {
+		if l == failed {
+			t.Fatalf("detour route uses the failed link %v", l)
+		}
+	}
+	if end := followRoute(t, tor, a, route); end != b {
+		t.Fatalf("detour ends at node %d, want %d", end, b)
+	}
+	if len(route) < len(direct) {
+		t.Fatalf("detour (%d hops) shorter than the direct route (%d hops)", len(route), len(direct))
+	}
+}
+
+func TestAppendRouteAvoidPartitioned(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 2})
+	victim := 5
+	// Fail every link into the victim: the torus is partitioned for
+	// any traffic addressed to it.
+	blocked := func(l Link) bool {
+		return tor.Neighbor(l.Node, l.Dim, l.Positive) == victim
+	}
+	_, err := tor.AppendRouteAvoid(nil, 0, victim, blocked)
+	var lde *LinkDownError
+	if !errors.As(err, &lde) {
+		t.Fatalf("err = %v, want *LinkDownError", err)
+	}
+	if lde.Src != 0 || lde.Dst != victim {
+		t.Errorf("LinkDownError = %+v, want Src=0 Dst=%d", lde, victim)
+	}
+	// Traffic between two healthy nodes still routes.
+	if _, err := tor.AppendRouteAvoid(nil, 0, 9, blocked); err != nil {
+		t.Errorf("healthy pair blocked: %v", err)
+	}
+}
+
+func TestLinkFromIndexRoundTrip(t *testing.T) {
+	tor := NewTorus(Dims{3, 4, 5})
+	for i := 0; i < tor.NumLinks(); i++ {
+		l := tor.LinkFromIndex(i)
+		if got := tor.LinkIndex(l); got != i {
+			t.Fatalf("LinkIndex(LinkFromIndex(%d)) = %d", i, got)
+		}
+	}
+}

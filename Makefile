@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet check bench bench-all paper paper-full verify examples cover clean
+.PHONY: all build test test-short vet check bench bench-all benchdiff paper paper-full verify examples cover clean
 
 all: build test
 
@@ -27,6 +27,7 @@ check:
 	$(GO) test -race -timeout 20m ./...
 	$(GO) test -run 'Fuzz' ./internal/topology/
 	$(GO) run ./cmd/paper -exp faults > /dev/null
+	$(GO) run ./cmd/paper -exp colltune > /dev/null
 
 # Kernel hot-path benchmarks. BENCH_kernel.json (test2json stream, one
 # object per line) records the perf trajectory so future PRs can diff
@@ -39,6 +40,15 @@ bench:
 # The full benchmark suite (paper tables, ablations, compute kernels).
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Re-run the kernel benchmarks and diff against the committed
+# BENCH_kernel.json: fails on a >10% ns/op regression, and the named
+# collective benchmarks must exist in both recordings.
+benchdiff:
+	$(GO) test -run '^$$' -bench BenchmarkKernel -benchmem -count=1 -json ./internal/sim/ > bench_fresh.json
+	$(GO) run ./cmd/benchdiff -old BENCH_kernel.json -new bench_fresh.json \
+		-max-regress 10 -require KernelAllreduce512,KernelBcast512
+	@rm -f bench_fresh.json
 
 # Regenerate every paper table/figure at reduced scale into results/.
 paper:
@@ -63,4 +73,4 @@ cover:
 	$(GO) test -cover ./...
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt bench_fresh.json

@@ -1,0 +1,135 @@
+// Command benchdiff compares two kernel benchmark recordings (the
+// test2json streams written by `make bench`) and fails when a
+// benchmark regressed by more than the allowed percentage. It guards
+// the simulator's hot paths: `make benchdiff` runs a fresh benchmark
+// pass and diffs it against the committed BENCH_kernel.json.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_kernel.json -new bench_fresh.json \
+//	          -max-regress 10 -require KernelAllreduce512,KernelBcast512
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches `BenchmarkName-8   50   123456 ns/op ...` after
+// test2json Output fields are concatenated back into a text stream.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// readBench extracts benchmark name -> ns/op from a test2json file.
+func readBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct{ Output string }
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Allow plain `go test -bench` text output too.
+			text.WriteString(sc.Text())
+			text.WriteByte('\n')
+			continue
+		}
+		text.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, m := range benchLine.FindAllStringSubmatch(text.String(), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op in %q", path, m[0])
+		}
+		out[strings.TrimPrefix(m[1], "Benchmark")] = ns
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_kernel.json", "baseline benchmark recording")
+	newPath := flag.String("new", "", "fresh benchmark recording to compare")
+	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op regression in percent")
+	require := flag.String("require", "", "comma-separated benchmarks that must be present in both files; "+
+		"only these gate the exit status (sub-microsecond benchmarks are too noisy to gate), "+
+		"or every benchmark when empty")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+
+	oldB, err := readBench(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newB, err := readBench(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	gated := make(map[string]bool)
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		gated[name] = true
+		if _, ok := oldB[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: required %s missing from %s\n", name, *oldPath)
+			failed = true
+		}
+		if _, ok := newB[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: required %s missing from %s\n", name, *newPath)
+			failed = true
+		}
+	}
+
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nv, ok := newB[name]
+		if !ok {
+			fmt.Printf("%-28s %12.0f ns/op -> (missing)\n", name, oldB[name])
+			continue
+		}
+		delta := (nv - oldB[name]) / oldB[name] * 100
+		verdict := "ok"
+		if delta > *maxRegress {
+			if len(gated) == 0 || gated[name] {
+				verdict = fmt.Sprintf("REGRESSED (> %.0f%%)", *maxRegress)
+				failed = true
+			} else {
+				verdict = "slower (not gated)"
+			}
+		}
+		fmt.Printf("%-28s %12.0f ns/op -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, oldB[name], nv, delta, verdict)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"bgpsim/internal/halo"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
 	"bgpsim/internal/runner"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
@@ -59,6 +60,7 @@ func main() {
 	words := flag.Int("words", 1000, "halo size in 32-bit words")
 	mapping := flag.String("mapping", "TXYZ", "process mapping")
 	protoS := flag.String("protocol", "isend", "protocol: isend, sendrecv, irecvsend, persistent")
+	collFlag := flag.String("coll", "", "force collective algorithms, e.g. barrier=reduce-bcast")
 	sweep := flag.Bool("sweep", false, "sweep halo sizes")
 	mappings := flag.Bool("mappings", false, "compare all predefined mappings")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
@@ -85,11 +87,15 @@ func main() {
 	if *words <= 0 {
 		fail(fmt.Errorf("halo size %d words must be positive", *words))
 	}
+	coll, err := mpi.ParseCollSpec(*collFlag)
+	if err != nil {
+		fail(err)
+	}
 	base := halo.Options{
 		Machine: machine.ID(*mach), Mode: mode,
 		GridX: *gx, GridY: *gy,
 		Mapping: topology.Mapping(*mapping), Protocol: proto,
-		Words: *words, Iterations: 5,
+		Words: *words, Iterations: 5, Coll: coll,
 	}
 
 	switch {

@@ -24,6 +24,7 @@ import (
 
 	"bgpsim/internal/hpcc"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
 	"bgpsim/internal/runner"
 )
 
@@ -48,12 +49,19 @@ func parseRanks(s string) ([]int, error) {
 func main() {
 	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
 	ranksFlag := flag.String("ranks", "256", "MPI processes (VN mode); comma-separated for a sweep")
+	collFlag := flag.String("coll", "", "force collective algorithms, e.g. allreduce=ring,bcast=binomial")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
 	flag.Parse()
 	runner.SetWorkers(*jobs)
 
 	id := machine.ID(*mach)
 	m, err := machine.Lookup(id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpcc: %v\n", err)
+		os.Exit(1)
+	}
+
+	coll, err := mpi.ParseCollSpec(*collFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpcc: %v\n", err)
 		os.Exit(1)
@@ -67,6 +75,10 @@ func main() {
 
 	reports, err := runner.Sweep(rankCounts, func(ranks int) (string, error) {
 		ep, err := hpcc.SingleAndEP(id, ranks)
+		if err != nil {
+			return "", err
+		}
+		cb, err := hpcc.CollBench(id, ranks, coll)
 		if err != nil {
 			return "", err
 		}
@@ -86,6 +98,10 @@ func main() {
 		fmt.Fprintf(&b, "  Ping-pong BW:      %8.2f GB/s\n", ep.PingPongBWGBs)
 		fmt.Fprintf(&b, "  Random ring lat:   %8.2f us\n", ep.RandRingLatUS)
 		fmt.Fprintf(&b, "  Random ring BW:    %8.2f GB/s per process\n", ep.RandRingBWGBs)
+		fmt.Fprintf(&b, "Collective tests (%d bytes):\n", hpcc.CollBytes)
+		fmt.Fprintf(&b, "  Barrier:           %8.2f us  [%s]\n", cb.BarrierUS, cb.BarrierAlgo)
+		fmt.Fprintf(&b, "  Bcast:             %8.2f us  [%s]\n", cb.BcastUS, cb.BcastAlgo)
+		fmt.Fprintf(&b, "  Allreduce:         %8.2f us  [%s]\n", cb.AllreduceUS, cb.AllreduceAlgo)
 		fmt.Fprintf(&b, "Parallel tests:\n")
 		fmt.Fprintf(&b, "  HPL:               %8.1f GFlop/s (%.1f%% of peak)\n",
 			hpl, hpl*1e9/(m.PeakFlopsCore()*float64(ranks))*100)

@@ -55,6 +55,11 @@ type Options struct {
 	Protocol   Protocol
 	Words      int // halo size: N 32-bit words
 	Iterations int // exchange repetitions (default 10)
+
+	// Coll optionally forces collective algorithms (the benchmark's
+	// own barriers and any collective protocol variants); see
+	// mpi.ParseCollSpec.
+	Coll map[string]string
 }
 
 // wordBytes is the benchmark's 32-bit word.
@@ -74,6 +79,7 @@ func Run(o Options) (sim.Duration, error) {
 	cfg := core.PartitionConfig(o.Machine, o.Mode, ranks)
 	cfg.Mapping = o.Mapping
 	cfg.Fidelity = network.Contention
+	cfg.Coll = o.Coll
 
 	n := o.Words * wordBytes
 	nx, ny := o.GridX, o.GridY

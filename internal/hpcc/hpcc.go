@@ -307,3 +307,77 @@ func alltoallTime(m *machine.Machine, mode machine.Mode, ranks int, bytesPerPair
 	bisection := p * (p - 1) * bytesPerPair / 2 / bisBW
 	return math.Max(perRank, bisection)
 }
+
+// CollBytes is the payload of the collective micro-benchmarks in
+// CollBench: the broadcast and allreduce buffer size in bytes.
+const CollBytes = 8192
+
+// collIters is the timed repetitions per collective in CollBench.
+const collIters = 4
+
+// CollResults reports the simulated collective micro-benchmarks and
+// the algorithm each one ran (from the machine's selection table, or
+// the forced override).
+type CollResults struct {
+	BarrierUS     float64
+	BcastUS       float64
+	AllreduceUS   float64
+	BarrierAlgo   string
+	BcastAlgo     string
+	AllreduceAlgo string
+}
+
+// CollBench times barrier, broadcast and allreduce (CollBytes payload,
+// double-precision operands) on the simulated partition in VN mode.
+// A non-nil coll map forces algorithms per op (see mpi.ParseCollSpec);
+// an override ineligible for the world communicator falls back to the
+// machine's selection table, and the reported algorithm names reflect
+// what actually ran.
+func CollBench(id machine.ID, ranks int, coll map[string]string) (*CollResults, error) {
+	m := machine.Get(id)
+	cfg := core.PartitionConfig(id, machine.VN, ranks)
+	cfg.Fidelity = network.Contention
+	cfg.Coll = coll
+	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+		// Untimed barriers between phases keep one phase's stragglers
+		// from contending with the next phase's traffic.
+		w := r.World()
+		w.Barrier(r)
+		r.TimerStart("barrier")
+		for i := 0; i < collIters; i++ {
+			w.Barrier(r)
+		}
+		r.TimerStop("barrier")
+		r.TimerStart("bcast")
+		for i := 0; i < collIters; i++ {
+			w.Bcast(r, 0, CollBytes)
+		}
+		r.TimerStop("bcast")
+		w.Barrier(r)
+		r.TimerStart("allreduce")
+		for i := 0; i < collIters; i++ {
+			w.Allreduce(r, CollBytes, true)
+		}
+		r.TimerStop("allreduce")
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CollResults{
+		BarrierUS:     res.MaxTimer("barrier").Microseconds() / collIters,
+		BcastUS:       res.MaxTimer("bcast").Microseconds() / collIters,
+		AllreduceUS:   res.MaxTimer("allreduce").Microseconds() / collIters,
+		BarrierAlgo:   chosenAlgo(m, coll, "barrier", 0, ranks),
+		BcastAlgo:     chosenAlgo(m, coll, "bcast", CollBytes, ranks),
+		AllreduceAlgo: chosenAlgo(m, coll, "allreduce", CollBytes, ranks),
+	}, nil
+}
+
+// chosenAlgo names the algorithm a world collective of the given shape
+// runs: the eligible override, else the selection table's pick.
+func chosenAlgo(m *machine.Machine, coll map[string]string, op string, bytes, ranks int) string {
+	if name, ok := coll[op]; ok && mpi.AlgoEligible(m, op, name, bytes, ranks, true, true) {
+		return name
+	}
+	return mpi.SelectCollAlgo(m, op, bytes, ranks, true, true)
+}

@@ -50,6 +50,8 @@ var catalog = map[ID]*Machine{
 		NoisePeriodS: 0, // CNK: no timer ticks, no daemons [paper §II]
 		NoiseDurS:    0,
 
+		Coll: treeCollTable(),
+
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.87,  // [cal] ESSL DGEMM ~2.96 of 3.4 GF/s
 			ClassFFT:     0.09,  // [cal] stock HPCC FFT
@@ -101,6 +103,8 @@ var catalog = map[ID]*Machine{
 		NoisePeriodS: 0, // CNK lineage: noiseless
 		NoiseDurS:    0,
 
+		Coll: treeCollTable(),
+
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.85,
 			ClassFFT:     0.08,
@@ -147,6 +151,8 @@ var catalog = map[ID]*Machine{
 
 		NoisePeriodS: 10e-3, // [cal] Catamount: rare housekeeping ticks
 		NoiseDurS:    15e-6, // [cal]
+
+		Coll: torusCollTable(),
 
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.90, // ACML
@@ -195,6 +201,8 @@ var catalog = map[ID]*Machine{
 		NoisePeriodS: 10e-3, // [cal] Catamount
 		NoiseDurS:    15e-6, // [cal]
 
+		Coll: torusCollTable(),
+
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.90,
 			ClassFFT:     0.12,
@@ -242,6 +250,8 @@ var catalog = map[ID]*Machine{
 		NoisePeriodS: 1e-3, // [cal] CNL: Linux 1 kHz timer tick
 		NoiseDurS:    5e-6, // [cal] tick + deferred daemon work
 
+		Coll: torusCollTable(),
+
 		Eff: [numClasses]float64{
 			ClassDGEMM:   0.89, // ACML ~7.5 of 8.4 GF/s
 			ClassFFT:     0.13,
@@ -278,6 +288,7 @@ func Lookup(id ID) (*Machine, error) {
 		return nil, fmt.Errorf("machine: unknown id %q (valid: %v)", id, All())
 	}
 	cp := *m
+	cp.Coll = m.Coll.Clone() // the struct copy would share rule slices
 	return &cp, nil
 }
 

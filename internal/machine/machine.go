@@ -148,6 +148,11 @@ type Machine struct {
 	NoisePeriodS float64
 	NoiseDurS    float64
 
+	// Coll is the machine's collective-algorithm selection table (see
+	// colltable.go). Empty falls back to DefaultCollTable in the MPI
+	// layer.
+	Coll CollTable
+
 	// Per-class sustained fraction of peak flop rate.
 	Eff [numClasses]float64
 

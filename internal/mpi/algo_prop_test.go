@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+)
+
+// runCollOp issues one collective of the named op on the world
+// communicator.
+func runCollOp(r *Rank, op string, bytes int) {
+	w := r.World()
+	switch op {
+	case "barrier":
+		w.Barrier(r)
+	case "bcast":
+		w.Bcast(r, 0, bytes)
+	case "allreduce":
+		w.Allreduce(r, bytes, true)
+	case "reduce":
+		w.Reduce(r, 0, bytes, true)
+	case "allgather":
+		w.Allgather(r, bytes)
+	case "alltoall":
+		w.Alltoall(r, bytes)
+	case "gather":
+		w.Gather(r, 0, bytes)
+	case "scatter":
+		w.Scatter(r, 0, bytes)
+	case "scan":
+		w.Scan(r, bytes)
+	case "reducescatter":
+		w.ReduceScatter(r, bytes)
+	default:
+		panic("unknown op " + op)
+	}
+}
+
+// TestCollAlgoCostMonotone is the registry-wide property test: for
+// every registered algorithm, forced via the override, the simulated
+// cost is positive and monotonically non-decreasing in message size —
+// on a power-of-two BlueGene partition (hardware paths eligible) and
+// on a non-power-of-two XT partition (fold/unfold and remainder
+// paths).
+func TestCollAlgoCostMonotone(t *testing.T) {
+	sizes := []int{0, 64, 2048, 16384}
+	partitions := []struct {
+		mkcfg func() Config
+		m     *machine.Machine
+		ranks int
+	}{
+		{func() Config { return xtCollConfig(12) }, machine.Get(machine.XT4QC), 12},
+		{func() Config { return bgpConfig(8, machine.VN) }, machine.Get(machine.BGP), 32},
+	}
+	for _, part := range partitions {
+		for _, op := range CollOps() {
+			szs := sizes
+			if op == "barrier" {
+				szs = []int{0} // barrier carries no payload
+			}
+			for _, algo := range CollAlgos(op) {
+				prev := sim.Duration(-1)
+				for _, b := range szs {
+					if !AlgoEligible(part.m, op, algo, b, part.ranks, true, true) {
+						prev = -1
+						continue
+					}
+					op, algo, b := op, algo, b
+					cfg := part.mkcfg()
+					cfg.Coll = map[string]string{op: algo}
+					res := mustRun(t, cfg, func(r *Rank) {
+						runCollOp(r, op, b)
+					})
+					if res.Elapsed <= 0 {
+						t.Errorf("%s: %s/%s at %dB: non-positive cost %v",
+							part.m.Name, op, algo, b, res.Elapsed)
+					}
+					if prev >= 0 && res.Elapsed < prev {
+						t.Errorf("%s: %s/%s: cost decreased with size: %v at %dB after %v",
+							part.m.Name, op, algo, res.Elapsed, b, prev)
+					}
+					prev = res.Elapsed
+				}
+			}
+		}
+	}
+}
+
+// TestCollAnalyticCostMonotone checks the same property for the
+// closed-form analytic collective models.
+func TestCollAnalyticCostMonotone(t *testing.T) {
+	sizes := []int{0, 64, 2048, 16384, 131072}
+	for _, op := range CollOps() {
+		szs := sizes
+		if op == "barrier" {
+			szs = []int{0}
+		}
+		prev := sim.Duration(-1)
+		for _, b := range szs {
+			op, b := op, b
+			cfg := xtCollConfig(16)
+			cfg.Fidelity = network.Analytic
+			cfg.AnalyticCollectives = true
+			res := mustRun(t, cfg, func(r *Rank) {
+				runCollOp(r, op, b)
+			})
+			if res.Elapsed <= 0 {
+				t.Errorf("analytic %s at %dB: non-positive cost %v", op, b, res.Elapsed)
+			}
+			if prev >= 0 && res.Elapsed < prev {
+				t.Errorf("analytic %s: cost decreased with size: %v at %dB after %v",
+					op, res.Elapsed, b, prev)
+			}
+			prev = res.Elapsed
+		}
+	}
+}

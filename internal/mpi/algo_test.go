@@ -1,0 +1,179 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/trace"
+)
+
+func xtCollConfig(ranks int) Config {
+	m := machine.Get(machine.XT4QC)
+	rpn := m.RanksPerNode(machine.VN)
+	nodes := (ranks + rpn - 1) / rpn
+	return Config{Machine: m, Nodes: nodes, Mode: machine.VN,
+		Fidelity: network.Contention, Ranks: ranks}
+}
+
+func TestParseCollSpec(t *testing.T) {
+	got, err := ParseCollSpec("allreduce=ring,bcast=binomial")
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if got["allreduce"] != "ring" || got["bcast"] != "binomial" || len(got) != 2 {
+		t.Errorf("parsed %v", got)
+	}
+	if got, err := ParseCollSpec("  "); got != nil || err != nil {
+		t.Errorf("blank spec = %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"allreduce", "=ring", "allreduce=", "frobnicate=ring", "allreduce=frobnicate"} {
+		if _, err := ParseCollSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	// Bad-algorithm errors should name the valid choices.
+	_, err = ParseCollSpec("allreduce=nope")
+	if err == nil || !strings.Contains(err.Error(), "ring") {
+		t.Errorf("error %v should list valid allreduce algorithms", err)
+	}
+}
+
+func TestNewWorldCollValidation(t *testing.T) {
+	cfg := bgpConfig(8, machine.VN)
+	cfg.Coll = map[string]string{"frobnicate": "ring"}
+	if _, err := NewWorld(cfg); err == nil {
+		t.Error("unknown op in Coll should fail")
+	}
+	cfg = bgpConfig(8, machine.VN)
+	cfg.Coll = map[string]string{"allreduce": "frobnicate"}
+	if _, err := NewWorld(cfg); err == nil {
+		t.Error("unknown algorithm in Coll should fail")
+	}
+	cfg = bgpConfig(8, machine.VN)
+	cfg.Coll = map[string]string{"allreduce": "ring"}
+	if _, err := NewWorld(cfg); err != nil {
+		t.Errorf("valid Coll rejected: %v", err)
+	}
+}
+
+func TestCollRegistryEnumeration(t *testing.T) {
+	ops := CollOps()
+	if len(ops) != 10 {
+		t.Fatalf("CollOps() = %v", ops)
+	}
+	for _, op := range ops {
+		algos := CollAlgos(op)
+		// Every major collective carries at least two registered
+		// algorithms (the stock choice plus an alternative).
+		if len(algos) < 2 {
+			t.Errorf("%s has algorithms %v, want >= 2", op, algos)
+		}
+		if !sortedStrings(algos) {
+			t.Errorf("%s algorithms not sorted: %v", op, algos)
+		}
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCollOverrideChangesTraffic(t *testing.T) {
+	run := func(coll map[string]string) *Result {
+		cfg := xtCollConfig(16)
+		cfg.Coll = coll
+		return mustRun(t, cfg, func(r *Rank) {
+			for i := 0; i < 3; i++ {
+				r.World().Allreduce(r, 4096, true)
+			}
+		})
+	}
+	def := run(nil)
+	ring := run(map[string]string{"allreduce": "ring"})
+	if def.Elapsed == ring.Elapsed {
+		t.Error("ring override should change the allreduce time")
+	}
+	cs, ok := ring.Net.Collectives["allreduce/ring"]
+	if !ok {
+		t.Fatalf("traffic not attributed to allreduce/ring: %v", ring.Net.Collectives)
+	}
+	if cs.Ops != 3 {
+		t.Errorf("allreduce/ring ops = %d, want 3", cs.Ops)
+	}
+	if cs.Messages <= 0 || cs.Bytes <= 0 {
+		t.Errorf("allreduce/ring counters = %+v", cs)
+	}
+}
+
+func TestCollOverrideFallbackWhenIneligible(t *testing.T) {
+	// tree-offload requires the BlueGene collective tree; on the XT the
+	// override must fall back to the machine's table per call.
+	cfg := xtCollConfig(16)
+	cfg.Coll = map[string]string{"allreduce": "tree-offload"}
+	res := mustRun(t, cfg, func(r *Rank) {
+		r.World().Allreduce(r, 1024, true)
+	})
+	if _, ok := res.Net.Collectives["allreduce/tree-offload"]; ok {
+		t.Error("tree-offload ran on a machine without the tree")
+	}
+	if cs, ok := res.Net.Collectives["allreduce/recdbl"]; !ok || cs.Ops != 1 {
+		t.Errorf("fallback should pick the table's recdbl: %v", res.Net.Collectives)
+	}
+}
+
+func TestCollTraceCarriesAlgorithm(t *testing.T) {
+	tb := trace.NewBuffer(0)
+	cfg := xtCollConfig(8)
+	cfg.Trace = tb
+	cfg.Coll = map[string]string{"bcast": "binomial"}
+	mustRun(t, cfg, func(r *Rank) {
+		r.World().Bcast(r, 0, 512)
+	})
+	enters := tb.OfKind(trace.CollEnter)
+	if len(enters) != 8 {
+		t.Fatalf("got %d coll-enter events, want 8", len(enters))
+	}
+	for _, e := range enters {
+		if e.Algo != "bcast/binomial" {
+			t.Fatalf("coll-enter algo = %q, want bcast/binomial", e.Algo)
+		}
+	}
+	exits := tb.OfKind(trace.CollExit)
+	if len(exits) != 8 || exits[0].Algo != "bcast/binomial" {
+		t.Fatalf("coll-exit events = %d (algo %q)", len(exits), exits[0].Algo)
+	}
+}
+
+func TestSelectCollAlgoThresholds(t *testing.T) {
+	xt := machine.Get(machine.XT4QC)
+	bgp := machine.Get(machine.BGP)
+	cases := []struct {
+		m      *machine.Machine
+		op     string
+		bytes  int
+		double bool
+		want   string
+	}{
+		{xt, "allreduce", 1024, true, "recdbl"},
+		{xt, "allreduce", 65536, true, "rabenseifner"},
+		{xt, "bcast", 4096, false, "binomial"},
+		{xt, "bcast", 65536, false, "binomial-pipelined"},
+		{bgp, "barrier", 0, false, "hw-gi"},
+		{bgp, "bcast", 65536, false, "tree-offload"},
+		{bgp, "allreduce", 1024, true, "tree-offload"},
+		{bgp, "allreduce", 1024, false, "recdbl"}, // single precision: no tree ALU
+	}
+	for _, c := range cases {
+		got := SelectCollAlgo(c.m, c.op, c.bytes, 64, c.double, true)
+		if got != c.want {
+			t.Errorf("%s %s %dB double=%v -> %s, want %s", c.m.Name, c.op, c.bytes, c.double, got, c.want)
+		}
+	}
+}

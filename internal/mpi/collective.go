@@ -8,32 +8,125 @@ import (
 )
 
 // Collective algorithm thresholds (bytes), chosen to mirror common
-// MPICH-style switch points.
+// MPICH-style switch points. The machine selection tables carry the
+// same values (machine.CollTable); these constants remain the
+// reference for the closed-form models in analytic.go.
 const (
 	allreduceRDLimit = 2048  // recursive doubling below, Rabenseifner above
 	bcastSegment     = 8192  // binomial segment size for large broadcasts
 	bcastBinomialMax = 12288 // unsegmented binomial below this size
 )
 
-// Barrier synchronizes the communicator. On a BlueGene world
-// communicator it uses the global interrupt network; otherwise a
-// dissemination barrier over the torus.
-func (c *Comm) Barrier(r *Rank) {
-	key := c.nextKey(r, "barrier")
-	if c.isWorld && c.w.net.HasBarrierNet() {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.net.HWBarrier() }))
-		return
-	}
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticBarrier(c.Size()) }))
-		return
-	}
-	c.dissemination(r, key)
+// Hardware-offload eligibility: the BlueGene collective tree and
+// global interrupt network span the whole partition, so they serve
+// only full-COMM_WORLD collectives; the tree ALU reduces integers and
+// (on BG/P) doubles, so single-precision reductions fall back to the
+// torus (the paper's Figure 3a/b asymmetry).
+
+func treeEligible(m *machine.Machine, world bool, _ int, _ CollArgs) bool {
+	return world && m.HasTree
 }
 
-// dissemination is the software barrier: ceil(log2 P) rounds, in round
-// k exchanging a token with the ranks 2^k away.
-func (c *Comm) dissemination(r *Rank, key string) {
+func treeReduceEligible(m *machine.Machine, world bool, _ int, a CollArgs) bool {
+	return world && m.HasTree && m.TreeHWReduce && a.Double
+}
+
+func barrierNetEligible(m *machine.Machine, world bool, _ int, _ CollArgs) bool {
+	return world && m.HasBarrierNet
+}
+
+// Barrier synchronizes the communicator. On a BlueGene world
+// communicator the stock table uses the global interrupt network;
+// otherwise a dissemination barrier over the torus.
+func (c *Comm) Barrier(r *Rank) {
+	c.runColl(r, opBarrier, CollArgs{})
+}
+
+// Bcast broadcasts bytes from communicator rank root. On a BlueGene
+// world communicator the stock table rides the hardware collective
+// tree.
+func (c *Comm) Bcast(r *Rank, root, bytes int) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: bcast root %d out of range", root))
+	}
+	c.runColl(r, opBcast, CollArgs{Root: root, Bytes: bytes})
+}
+
+// Allreduce combines a buffer of the given byte size across the
+// communicator and distributes the result. The doublePrecision flag
+// selects the operand type: on BG/P the collective tree reduces double
+// precision in hardware, while single precision falls back to the
+// software algorithm on the torus (the paper's Figure 3a/b asymmetry).
+func (c *Comm) Allreduce(r *Rank, bytes int, doublePrecision bool) {
+	c.runColl(r, opAllreduce, CollArgs{Bytes: bytes, Double: doublePrecision})
+}
+
+// Reduce combines a buffer to communicator rank root (stock table: a
+// binomial tree, or the hardware tree for eligible world reductions).
+func (c *Comm) Reduce(r *Rank, root, bytes int, doublePrecision bool) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
+	}
+	c.runColl(r, opReduce, CollArgs{Root: root, Bytes: bytes, Double: doublePrecision})
+}
+
+// Allgather gathers bytesPerRank from every member to every member
+// (stock table: the ring algorithm).
+func (c *Comm) Allgather(r *Rank, bytesPerRank int) {
+	c.runColl(r, opAllgather, CollArgs{Bytes: bytesPerRank})
+}
+
+// Alltoall exchanges bytesPerPair with every other member (stock
+// table: pairwise exchange, XOR schedule at power-of-two sizes).
+func (c *Comm) Alltoall(r *Rank, bytesPerPair int) {
+	c.runColl(r, opAlltoall, CollArgs{Bytes: bytesPerPair})
+}
+
+// Gather collects bytesPerRank from every member at root (stock
+// table: a binomial tree with subtree aggregation).
+func (c *Comm) Gather(r *Rank, root, bytesPerRank int) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: gather root %d out of range", root))
+	}
+	c.runColl(r, opGather, CollArgs{Root: root, Bytes: bytesPerRank})
+}
+
+func init() {
+	registerCollAlgo(&CollAlgo{Op: "barrier", Name: "hw-gi", HW: true,
+		Eligible: barrierNetEligible,
+		Dur:      func(c *Comm, _ CollArgs) sim.Duration { return c.w.net.HWBarrier() }})
+	registerCollAlgo(&CollAlgo{Op: "barrier", Name: "dissemination", Run: barrierDissemination})
+
+	// The hardware tree broadcast: everyone is released when the
+	// payload has streamed down the tree after the root (and all
+	// receivers) arrived. The tree is a shared resource but a world
+	// collective has no competing traffic.
+	registerCollAlgo(&CollAlgo{Op: "bcast", Name: "tree-offload", HW: true,
+		Eligible: treeEligible,
+		Dur:      func(c *Comm, a CollArgs) sim.Duration { return c.w.net.TreeBcast(a.Bytes) }})
+	registerCollAlgo(&CollAlgo{Op: "bcast", Name: "binomial", Run: bcastBinomial})
+	registerCollAlgo(&CollAlgo{Op: "bcast", Name: "binomial-pipelined", Run: bcastBinomialPipelined})
+
+	registerCollAlgo(&CollAlgo{Op: "allreduce", Name: "tree-offload", HW: true,
+		Eligible: treeReduceEligible,
+		Dur:      func(c *Comm, a CollArgs) sim.Duration { return c.w.net.TreeAllreduce(a.Bytes) }})
+	registerCollAlgo(&CollAlgo{Op: "allreduce", Name: "recdbl", Run: allreduceRecDoubling})
+	registerCollAlgo(&CollAlgo{Op: "allreduce", Name: "rabenseifner", Run: allreduceRabenseifner})
+
+	// Hardware tree reduction: one upward traversal.
+	registerCollAlgo(&CollAlgo{Op: "reduce", Name: "tree-offload", HW: true,
+		Eligible: treeReduceEligible,
+		Dur:      func(c *Comm, a CollArgs) sim.Duration { return c.w.net.TreeBcast(a.Bytes) }})
+	registerCollAlgo(&CollAlgo{Op: "reduce", Name: "binomial", Run: reduceBinomial})
+
+	registerCollAlgo(&CollAlgo{Op: "allgather", Name: "ring", Run: allgatherRing})
+	registerCollAlgo(&CollAlgo{Op: "alltoall", Name: "pairwise", Run: alltoallPairwise})
+	registerCollAlgo(&CollAlgo{Op: "gather", Name: "binomial", Run: gatherBinomial})
+}
+
+// barrierDissemination is the software barrier: ceil(log2 P) rounds,
+// in round k exchanging a token with the ranks 2^k away.
+func barrierDissemination(c *Comm, r *Rank, key string, _ CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
@@ -42,43 +135,36 @@ func (c *Comm) dissemination(r *Rank, key string) {
 	for k, dist := 0, 1; dist < p; k, dist = k+1, dist*2 {
 		dst := c.Member((me + dist) % p)
 		src := c.Member(((me-dist)%p + p) % p)
-		r.sendrecvColl(dst, 1, src, fmt.Sprintf("%s.r%d", key, k))
+		r.sendrecvColl(dst, 1, src, roundKey(key, ".r", k))
 	}
 }
 
-// Bcast broadcasts bytes from communicator rank root. On a BlueGene
-// world communicator it rides the hardware collective tree.
-func (c *Comm) Bcast(r *Rank, root, bytes int) {
-	if root < 0 || root >= c.Size() {
-		panic(fmt.Sprintf("mpi: bcast root %d out of range", root))
-	}
-	key := c.nextKey(r, "bcast")
-	if c.isWorld && c.w.net.HasTree() {
-		// The hardware tree broadcast: everyone is released when the
-		// payload has streamed down the tree after the root (and all
-		// receivers) arrived. The tree is a shared resource but a
-		// world collective has no competing traffic.
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.net.TreeBcast(bytes) }))
-		return
-	}
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticBcast(c.Size(), bytes) }))
-		return
-	}
-	c.binomialBcast(r, key, root, bytes)
+// bcastBinomial sends the whole payload down a binomial tree rooted at
+// root in one unsegmented wave (the short-message algorithm).
+func bcastBinomial(c *Comm, r *Rank, key string, a CollArgs) {
+	bcastBinomialSegmented(c, r, key, a.Root, a.Bytes, a.Bytes)
 }
 
-// binomialBcast sends down a binomial tree rooted at root, segmenting
-// large payloads so the tree pipeline overlaps.
-func (c *Comm) binomialBcast(r *Rank, key string, root, bytes int) {
+// bcastBinomialPipelined segments large payloads so the binomial-tree
+// forwarding pipelines (the long-message algorithm).
+func bcastBinomialPipelined(c *Comm, r *Rank, key string, a CollArgs) {
+	seg := bcastSegment
+	if a.Bytes <= seg {
+		seg = a.Bytes
+	}
+	bcastBinomialSegmented(c, r, key, a.Root, a.Bytes, seg)
+}
+
+// bcastBinomialSegmented is the common binomial broadcast body: the
+// payload travels in ceil(bytes/seg) waves, each wave a full binomial
+// tree keyed separately so consecutive waves overlap in the tree.
+func bcastBinomialSegmented(c *Comm, r *Rank, key string, root, bytes, seg int) {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
-	seg := bytes
 	nseg := 1
-	if bytes > bcastBinomialMax {
-		seg = bcastSegment
+	if seg > 0 && bytes > seg {
 		nseg = (bytes + seg - 1) / seg
 	}
 	me := c.Rank(r)
@@ -90,13 +176,13 @@ func (c *Comm) binomialBcast(r *Rank, key string, root, bytes int) {
 		}
 		skey := key
 		if nseg > 1 {
-			skey = fmt.Sprintf("%s.s%d", key, s)
+			skey = roundKey(key, ".s", s)
 		}
 		// Receive from parent (lowest set bit of rel).
 		mask := 1
 		for mask < p {
 			if rel&mask != 0 {
-				src := c.Member(((rel - mask + root) % p))
+				src := c.Member((rel - mask + root) % p)
 				r.recvColl(src, skey)
 				break
 			}
@@ -112,77 +198,14 @@ func (c *Comm) binomialBcast(r *Rank, key string, root, bytes int) {
 	}
 }
 
-// reduceFlops charges the local combination cost of a reduction over a
-// buffer of the given size (one flop per 8-byte element, three
-// streamed operands).
-func (r *Rank) reduceFlops(bytes int) {
-	if bytes == 0 {
-		return
-	}
-	r.Compute(float64(bytes)/8, 3*float64(bytes), machine.ClassStream)
-}
-
-// Allreduce combines a buffer of the given byte size across the
-// communicator and distributes the result. The doublePrecision flag
-// selects the operand type: on BG/P the collective tree reduces double
-// precision in hardware, while single precision falls back to the
-// software algorithm on the torus (the paper's Figure 3a/b asymmetry).
-func (c *Comm) Allreduce(r *Rank, bytes int, doublePrecision bool) {
-	key := c.nextKey(r, "allreduce")
-	if c.isWorld && c.w.net.HWReduceSupported(doublePrecision) {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.net.TreeAllreduce(bytes) }))
-		return
-	}
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticAllreduce(c.Size(), bytes) }))
-		return
-	}
+// allreduceRecDoubling: fold to a power of two, then log2 rounds of
+// pairwise exchange-and-combine, then unfold.
+func allreduceRecDoubling(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
-	if bytes <= allreduceRDLimit {
-		c.allreduceRecDoubling(r, key, bytes)
-	} else {
-		c.allreduceRabenseifner(r, key, bytes)
-	}
-}
-
-// fold maps the communicator onto a power-of-two subgroup: ranks below
-// 2*rem pair up (evens hand their data to odds). Returns the rank's id
-// in the power-of-two group, or -1 for folded-out ranks.
-func foldIn(me, p, pof2 int) int {
-	rem := p - pof2
-	if me < 2*rem {
-		if me%2 == 0 {
-			return -1
-		}
-		return me / 2
-	}
-	return me - rem
-}
-
-// unfold maps a power-of-two group rank back to the communicator rank.
-func unfold(newRank, p, pof2 int) int {
-	rem := p - pof2
-	if newRank < rem {
-		return newRank*2 + 1
-	}
-	return newRank + rem
-}
-
-func pow2Floor(p int) int {
-	f := 1
-	for f*2 <= p {
-		f *= 2
-	}
-	return f
-}
-
-// allreduceRecDoubling: fold to a power of two, then log2 rounds of
-// pairwise exchange-and-combine, then unfold.
-func (c *Comm) allreduceRecDoubling(r *Rank, key string, bytes int) {
-	p := c.Size()
+	bytes := a.Bytes
 	me := c.Rank(r)
 	pof2 := pow2Floor(p)
 	rem := p - pof2
@@ -199,7 +222,7 @@ func (c *Comm) allreduceRecDoubling(r *Rank, key string, bytes int) {
 	if nr >= 0 {
 		for k, mask := 0, 1; mask < pof2; k, mask = k+1, mask*2 {
 			partner := c.Member(unfold(nr^mask, p, pof2))
-			r.sendrecvColl(partner, bytes, partner, fmt.Sprintf("%s.r%d", key, k))
+			r.sendrecvColl(partner, bytes, partner, roundKey(key, ".r", k))
 			r.reduceFlops(bytes)
 		}
 	}
@@ -215,8 +238,12 @@ func (c *Comm) allreduceRecDoubling(r *Rank, key string, bytes int) {
 // allreduceRabenseifner: fold, reduce-scatter by recursive halving,
 // allgather by recursive doubling, unfold. Moves 2*bytes*(pof2-1)/pof2
 // per rank instead of log2(P)*bytes.
-func (c *Comm) allreduceRabenseifner(r *Rank, key string, bytes int) {
+func allreduceRabenseifner(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
+	if p == 1 {
+		return
+	}
+	bytes := a.Bytes
 	me := c.Rank(r)
 	pof2 := pow2Floor(p)
 	rem := p - pof2
@@ -235,7 +262,7 @@ func (c *Comm) allreduceRabenseifner(r *Rank, key string, bytes int) {
 		chunk := bytes / 2
 		for k, mask := 0, 1; mask < pof2; k, mask = k+1, mask*2 {
 			partner := c.Member(unfold(nr^mask, p, pof2))
-			r.sendrecvColl(partner, chunk, partner, fmt.Sprintf("%s.rs%d", key, k))
+			r.sendrecvColl(partner, chunk, partner, roundKey(key, ".rs", k))
 			r.reduceFlops(chunk)
 			if chunk > 1 {
 				chunk /= 2
@@ -248,7 +275,7 @@ func (c *Comm) allreduceRabenseifner(r *Rank, key string, bytes int) {
 		}
 		for k, mask := 0, 1; mask < pof2; k, mask = k+1, mask*2 {
 			partner := c.Member(unfold(nr^mask, p, pof2))
-			r.sendrecvColl(partner, chunk, partner, fmt.Sprintf("%s.ag%d", key, k))
+			r.sendrecvColl(partner, chunk, partner, roundKey(key, ".ag", k))
 			chunk *= 2
 		}
 	}
@@ -261,52 +288,33 @@ func (c *Comm) allreduceRabenseifner(r *Rank, key string, bytes int) {
 	}
 }
 
-// Reduce combines a buffer to communicator rank root via a binomial
-// tree.
-func (c *Comm) Reduce(r *Rank, root, bytes int, doublePrecision bool) {
-	if root < 0 || root >= c.Size() {
-		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
-	}
-	key := c.nextKey(r, "reduce")
-	if c.isWorld && c.w.net.HWReduceSupported(doublePrecision) {
-		// Hardware tree reduction: one upward traversal.
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.net.TreeBcast(bytes) }))
-		return
-	}
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticReduce(c.Size(), bytes) }))
-		return
-	}
+// reduceBinomial combines a buffer to root via a binomial tree.
+func reduceBinomial(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
 	me := c.Rank(r)
-	rel := (me - root + p) % p
+	rel := (me - a.Root + p) % p
 	for k, mask := 0, 1; mask < p; k, mask = k+1, mask*2 {
-		rkey := fmt.Sprintf("%s.r%d", key, k)
+		rkey := roundKey(key, ".r", k)
 		if rel&mask == 0 {
 			src := rel | mask
 			if src < p {
-				r.recvColl(c.Member((src+root)%p), rkey)
-				r.reduceFlops(bytes)
+				r.recvColl(c.Member((src+a.Root)%p), rkey)
+				r.reduceFlops(a.Bytes)
 			}
 		} else {
 			dst := rel &^ mask
-			r.sendColl(c.Member((dst+root)%p), bytes, rkey)
+			r.sendColl(c.Member((dst+a.Root)%p), a.Bytes, rkey)
 			break
 		}
 	}
 }
 
-// Allgather gathers bytesPerRank from every member to every member
-// using the ring algorithm.
-func (c *Comm) Allgather(r *Rank, bytesPerRank int) {
-	key := c.nextKey(r, "allgather")
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticAllgather(c.Size(), bytesPerRank) }))
-		return
-	}
+// allgatherRing circulates each member's contribution around the ring:
+// P-1 rounds of one chunk each.
+func allgatherRing(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
@@ -315,18 +323,13 @@ func (c *Comm) Allgather(r *Rank, bytesPerRank int) {
 	right := c.Member((me + 1) % p)
 	left := c.Member((me - 1 + p) % p)
 	for k := 0; k < p-1; k++ {
-		r.sendrecvColl(right, bytesPerRank, left, fmt.Sprintf("%s.r%d", key, k))
+		r.sendrecvColl(right, a.Bytes, left, roundKey(key, ".r", k))
 	}
 }
 
-// Alltoall exchanges bytesPerPair with every other member using
-// pairwise exchange (XOR schedule when the size is a power of two).
-func (c *Comm) Alltoall(r *Rank, bytesPerPair int) {
-	key := c.nextKey(r, "alltoall")
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticAlltoall(c.Size(), bytesPerPair) }))
-		return
-	}
+// alltoallPairwise exchanges with every other member one at a time
+// (XOR schedule when the size is a power of two).
+func alltoallPairwise(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
@@ -342,30 +345,22 @@ func (c *Comm) Alltoall(r *Rank, bytesPerPair int) {
 			dst = (me + k) % p
 			src = (me - k + p) % p
 		}
-		r.sendrecvColl(c.Member(dst), bytesPerPair, c.Member(src), fmt.Sprintf("%s.r%d", key, k))
+		r.sendrecvColl(c.Member(dst), a.Bytes, c.Member(src), roundKey(key, ".r", k))
 	}
 }
 
-// Gather collects bytesPerRank from every member at root via a
+// gatherBinomial collects bytesPerRank from every member at root via a
 // binomial tree with subtree aggregation.
-func (c *Comm) Gather(r *Rank, root, bytesPerRank int) {
-	if root < 0 || root >= c.Size() {
-		panic(fmt.Sprintf("mpi: gather root %d out of range", root))
-	}
-	key := c.nextKey(r, "gather")
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration { return c.w.analyticGather(c.Size(), bytesPerRank) }))
-		return
-	}
+func gatherBinomial(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
 	me := c.Rank(r)
-	rel := (me - root + p) % p
+	rel := (me - a.Root + p) % p
 	have := 1 // subtree ranks aggregated so far
 	for k, mask := 0, 1; mask < p; k, mask = k+1, mask*2 {
-		rkey := fmt.Sprintf("%s.r%d", key, k)
+		rkey := roundKey(key, ".r", k)
 		if rel&mask == 0 {
 			src := rel | mask
 			if src < p {
@@ -373,12 +368,12 @@ func (c *Comm) Gather(r *Rank, root, bytesPerRank int) {
 				if rel+2*mask > p {
 					sub = p - src // partial subtree at the edge
 				}
-				r.recvColl(c.Member((src+root)%p), rkey)
+				r.recvColl(c.Member((src+a.Root)%p), rkey)
 				have += sub
 			}
 		} else {
 			dst := rel &^ mask
-			r.sendColl(c.Member((dst+root)%p), have*bytesPerRank, rkey)
+			r.sendColl(c.Member((dst+a.Root)%p), have*a.Bytes, rkey)
 			break
 		}
 	}

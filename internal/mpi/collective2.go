@@ -1,35 +1,50 @@
 package mpi
 
-import (
-	"fmt"
-
-	"bgpsim/internal/sim"
-)
+import "fmt"
 
 // Scatter distributes bytesPerRank from communicator rank root to
-// every member via a binomial tree (subtree chunks travel together).
+// every member (stock table: a binomial tree; subtree chunks travel
+// together).
 func (c *Comm) Scatter(r *Rank, root, bytesPerRank int) {
 	if root < 0 || root >= c.Size() {
 		panic(fmt.Sprintf("mpi: scatter root %d out of range", root))
 	}
-	key := c.nextKey(r, "scatter")
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration {
-			return c.w.analyticGather(c.Size(), bytesPerRank) // mirror of gather
-		}))
-		return
-	}
+	c.runColl(r, opScatter, CollArgs{Root: root, Bytes: bytesPerRank})
+}
+
+// Scan computes an inclusive prefix reduction over the communicator
+// (MPI_Scan). The stock table uses the standard log-round algorithm.
+func (c *Comm) Scan(r *Rank, bytes int) {
+	c.runColl(r, opScan, CollArgs{Bytes: bytes})
+}
+
+// ReduceScatter reduces a vector of Size()*bytesPerRank across the
+// communicator and leaves each member with its bytesPerRank slice
+// (stock table: recursive halving on the power-of-two subgroup).
+func (c *Comm) ReduceScatter(r *Rank, bytesPerRank int) {
+	c.runColl(r, opReduceScatter, CollArgs{Bytes: bytesPerRank})
+}
+
+func init() {
+	registerCollAlgo(&CollAlgo{Op: "scatter", Name: "binomial", Run: scatterBinomial})
+	registerCollAlgo(&CollAlgo{Op: "scan", Name: "logstep", Run: scanLogStep})
+	registerCollAlgo(&CollAlgo{Op: "reducescatter", Name: "rechalving", Run: reduceScatterRecHalving})
+}
+
+// scatterBinomial distributes per-rank chunks down a binomial tree,
+// with subtree chunks travelling together.
+func scatterBinomial(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
 	me := c.Rank(r)
-	rel := (me - root + p) % p
+	rel := (me - a.Root + p) % p
 	// Receive the subtree chunk from the parent.
 	mask := 1
 	for mask < p {
 		if rel&mask != 0 {
-			src := c.Member((rel - mask + root) % p)
+			src := c.Member((rel - mask + a.Root) % p)
 			r.recvColl(src, key)
 			break
 		}
@@ -42,38 +57,30 @@ func (c *Comm) Scatter(r *Rank, root, bytesPerRank int) {
 			if rel+2*mask > p {
 				sub = p - rel - mask
 			}
-			dst := c.Member((rel + mask + root) % p)
-			r.sendColl(dst, sub*bytesPerRank, key)
+			dst := c.Member((rel + mask + a.Root) % p)
+			r.sendColl(dst, sub*a.Bytes, key)
 		}
 	}
 }
 
-// Scan computes an inclusive prefix reduction over the communicator
-// (MPI_Scan) with the standard log-round algorithm: in round k, rank i
-// sends its partial result to rank i+2^k and incorporates the value
-// from rank i-2^k.
-func (c *Comm) Scan(r *Rank, bytes int) {
-	key := c.nextKey(r, "scan")
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration {
-			return c.w.analyticAllreduce(c.Size(), bytes)
-		}))
-		return
-	}
+// scanLogStep is the standard log-round prefix algorithm: in round k,
+// rank i sends its partial result to rank i+2^k and incorporates the
+// value from rank i-2^k.
+func scanLogStep(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
 	}
 	me := c.Rank(r)
 	for k, dist := 0, 1; dist < p; k, dist = k+1, dist*2 {
-		rkey := fmt.Sprintf("%s.r%d", key, k)
+		rkey := roundKey(key, ".r", k)
 		var sreq *Request
 		if me+dist < p {
-			sreq = r.isendPayload(c.Member(me+dist), bytes, 0, rkey, nil)
+			sreq = r.isendPayload(c.Member(me+dist), a.Bytes, 0, rkey, nil)
 		}
 		if me-dist >= 0 {
 			r.recvColl(c.Member(me-dist), rkey)
-			r.reduceFlops(bytes)
+			r.reduceFlops(a.Bytes)
 		}
 		if sreq != nil {
 			r.waitNoOverhead(sreq)
@@ -81,18 +88,9 @@ func (c *Comm) Scan(r *Rank, bytes int) {
 	}
 }
 
-// ReduceScatter reduces a vector of Size()*bytesPerRank across the
-// communicator and leaves each member with its bytesPerRank slice,
-// using recursive halving on the power-of-two subgroup.
-func (c *Comm) ReduceScatter(r *Rank, bytesPerRank int) {
-	key := c.nextKey(r, "reducescatter")
-	if c.w.cfg.AnalyticCollectives {
-		c.sync(r, key, nil, uniformFinisher(func() sim.Duration {
-			// Half of a Rabenseifner allreduce.
-			return c.w.analyticAllreduce(c.Size(), bytesPerRank*c.Size()) / 2
-		}))
-		return
-	}
+// reduceScatterRecHalving: fold to a power of two, then recursive
+// halving, leaving each member its slice.
+func reduceScatterRecHalving(c *Comm, r *Rank, key string, a CollArgs) {
 	p := c.Size()
 	if p == 1 {
 		return
@@ -100,7 +98,7 @@ func (c *Comm) ReduceScatter(r *Rank, bytesPerRank int) {
 	me := c.Rank(r)
 	pof2 := pow2Floor(p)
 	rem := p - pof2
-	total := bytesPerRank * p
+	total := a.Bytes * p
 
 	if me < 2*rem {
 		if me%2 == 0 {
@@ -115,7 +113,7 @@ func (c *Comm) ReduceScatter(r *Rank, bytesPerRank int) {
 		chunk := total / 2
 		for k, mask := 0, 1; mask < pof2; k, mask = k+1, mask*2 {
 			partner := c.Member(unfold(nr^mask, p, pof2))
-			r.sendrecvColl(partner, chunk, partner, fmt.Sprintf("%s.r%d", key, k))
+			r.sendrecvColl(partner, chunk, partner, roundKey(key, ".r", k))
 			r.reduceFlops(chunk)
 			if chunk > 1 {
 				chunk /= 2
@@ -127,7 +125,7 @@ func (c *Comm) ReduceScatter(r *Rank, bytesPerRank int) {
 		if me%2 == 0 {
 			r.recvColl(c.Member(me+1), key+".unfold")
 		} else {
-			r.sendColl(c.Member(me-1), bytesPerRank, key+".unfold")
+			r.sendColl(c.Member(me-1), a.Bytes, key+".unfold")
 		}
 	}
 }

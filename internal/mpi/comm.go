@@ -77,10 +77,6 @@ type finisher func(ranks []*Rank, times []sim.Time, vals []interface{}) (release
 // key and blocks until released. It returns the finisher's shared
 // result.
 func (c *Comm) sync(r *Rank, key string, val interface{}, fin finisher) interface{} {
-	if tb := c.w.cfg.Trace; tb != nil {
-		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollEnter,
-			Peer: -1, Label: key})
-	}
 	g, ok := c.w.gates[key]
 	if !ok {
 		g = &gate{need: c.Size(), indices: make(map[int]int)}
@@ -106,11 +102,7 @@ func (c *Comm) sync(r *Rank, key string, val interface{}, fin finisher) interfac
 		}
 		delete(c.w.gates, key)
 	}
-	r.proc.Block("collective " + key)
-	if tb := c.w.cfg.Trace; tb != nil {
-		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollExit,
-			Peer: -1, Label: key})
-	}
+	r.proc.BlockWith("collective ", key)
 	return g.result
 }
 
@@ -191,7 +183,15 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 		}
 		return release, comms
 	}
+	if tb := c.w.cfg.Trace; tb != nil {
+		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollEnter,
+			Peer: -1, Label: gk})
+	}
 	res := c.sync(r, gk, ck{color, key, r.id}, fin)
+	if tb := c.w.cfg.Trace; tb != nil {
+		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollExit,
+			Peer: -1, Label: gk})
+	}
 	comms := res.(map[int]*Comm)
 	if color < 0 {
 		return nil

@@ -92,6 +92,11 @@ func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.Send,
 			Peer: dst, Bytes: bytes, Tag: tag})
 	}
+	if collKey != "" && r.collAlgo != "" {
+		// Per-algorithm traffic attribution: one logical message with
+		// its full payload, regardless of eager/rendezvous split.
+		r.w.net.CollMessage(r.collAlgo, bytes)
+	}
 	dstRank := r.w.ranks[dst]
 	req := &Request{r: r, tag: tag, collKey: collKey}
 	msg := &message{src: r.id, dst: dst, tag: tag, collKey: collKey,

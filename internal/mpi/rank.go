@@ -28,6 +28,7 @@ type Rank struct {
 	timers     map[string]sim.Duration
 	timerStart map[string]sim.Time
 	collSeq    map[string]int // per-communicator collective sequence numbers
+	collAlgo   string         // active software collective ("op/name"), for traffic attribution
 	rng        *sim.RNG
 	noisePhase sim.Duration // phase of this node's OS-noise events
 }

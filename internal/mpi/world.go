@@ -38,6 +38,13 @@ type Config struct {
 	// internals are not the object of study.
 	AnalyticCollectives bool
 
+	// Coll overrides the machine's collective-algorithm selection table
+	// per op, e.g. {"allreduce": "ring"}. An override that is
+	// ineligible for a particular call (a hardware offload on a
+	// sub-communicator, say) falls back to the table for that call.
+	// See CollOps/CollAlgos for the valid names.
+	Coll map[string]string
+
 	Seed       uint64
 	EventLimit uint64 // safety cap on simulation events (0 = none)
 
@@ -74,6 +81,10 @@ type World struct {
 	noise   fault.NoiseProfile // active OS-noise profile
 	noiseOn bool
 
+	// Pre-resolved collective dispatch tables (buildCollTables).
+	collRules [numCollOps][]collRule
+	collOver  [numCollOps]*CollAlgo
+
 	gates map[string]*gate
 	ran   bool
 }
@@ -101,6 +112,14 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	if dims.Nodes() != cfg.Nodes {
 		return nil, fmt.Errorf("mpi: dims %v hold %d nodes, config says %d", dims, dims.Nodes(), cfg.Nodes)
+	}
+	for op, name := range cfg.Coll {
+		if _, ok := opIndex(op); !ok {
+			return nil, fmt.Errorf("mpi: collective override for unknown op %q (valid: %v)", op, CollOps())
+		}
+		if collRegistry[algoKey{op, name}] == nil {
+			return nil, fmt.Errorf("mpi: unknown %s algorithm %q (valid: %v)", op, name, CollAlgos(op))
+		}
 	}
 	rpn := cfg.Machine.RanksPerNode(cfg.Mode)
 	capacity := cfg.Nodes * rpn
@@ -138,6 +157,7 @@ func NewWorld(cfg Config) (*World, error) {
 		members[i] = i
 	}
 	w.world = &Comm{w: w, members: members, isWorld: true}
+	w.buildCollTables()
 	return w, nil
 }
 

@@ -61,6 +61,20 @@ type Stats struct {
 	ShmMsgs    int64
 	TreeOps    int64
 	BarrierOps int64
+
+	// Collectives counts per-algorithm collective traffic, keyed by
+	// the algorithm's full name ("allreduce/ring"). Ops counts
+	// operation invocations; Messages/Bytes count the algorithm's
+	// internal point-to-point traffic (zero for hardware offloads and
+	// analytic collectives, which send no individual messages).
+	Collectives map[string]CollStats
+}
+
+// CollStats is the traffic of one collective algorithm.
+type CollStats struct {
+	Ops      int64
+	Messages int64
+	Bytes    int64
 }
 
 // Net is the interconnect of one simulated machine partition.
@@ -101,7 +115,39 @@ func New(m *machine.Machine, t *topology.Torus, fid Fidelity) *Net {
 func (n *Net) Torus() *topology.Torus { return n.torus }
 
 // Stats returns a copy of the traffic counters.
-func (n *Net) Stats() Stats { return n.stats }
+func (n *Net) Stats() Stats {
+	s := n.stats
+	if n.stats.Collectives != nil {
+		s.Collectives = make(map[string]CollStats, len(n.stats.Collectives))
+		for k, v := range n.stats.Collectives {
+			s.Collectives[k] = v
+		}
+	}
+	return s
+}
+
+// CollOp counts one invocation of the named collective algorithm
+// (called once per operation by the MPI layer).
+func (n *Net) CollOp(algo string) {
+	if n.stats.Collectives == nil {
+		n.stats.Collectives = make(map[string]CollStats)
+	}
+	cs := n.stats.Collectives[algo]
+	cs.Ops++
+	n.stats.Collectives[algo] = cs
+}
+
+// CollMessage attributes one collective-internal message to the named
+// algorithm.
+func (n *Net) CollMessage(algo string, bytes int) {
+	if n.stats.Collectives == nil {
+		n.stats.Collectives = make(map[string]CollStats)
+	}
+	cs := n.stats.Collectives[algo]
+	cs.Messages++
+	cs.Bytes += int64(bytes)
+	n.stats.Collectives[algo] = cs
+}
 
 // Fidelity returns the active torus model.
 func (n *Net) Fidelity() Fidelity { return n.fid }

@@ -1,0 +1,210 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/stats"
+)
+
+func init() {
+	register("colltune", "Supplementary: collective-algorithm tuning sweep (winners vs. selection-table defaults)", colltune)
+}
+
+// colltuneIters is the timed repetitions per (machine, op, algorithm,
+// size) point; the metric is the per-iteration mean of the slowest
+// rank's timer.
+const colltuneIters = 4
+
+// colltunePoint is one measured algorithm at one sweep point.
+type colltunePoint struct {
+	algo string
+	us   float64
+}
+
+// colltuneCase is one (machine, collective, size) sweep point with
+// every eligible algorithm measured.
+type colltuneCase struct {
+	mach  machine.ID
+	op    string
+	bytes int
+	pick  string // the selection table's default choice
+	algos []colltunePoint
+}
+
+// winner returns the fastest measured algorithm (first in sorted name
+// order on ties, so the result is deterministic).
+func (c *colltuneCase) winner() *colltunePoint {
+	best := &c.algos[0]
+	for i := range c.algos[1:] {
+		if c.algos[i+1].us < best.us {
+			best = &c.algos[i+1]
+		}
+	}
+	return best
+}
+
+// pickUS returns the measured time of the table default.
+func (c *colltuneCase) pickUS() float64 {
+	for i := range c.algos {
+		if c.algos[i].algo == c.pick {
+			return c.algos[i].us
+		}
+	}
+	return 0
+}
+
+// colltuneOps are the swept collectives (barrier only at size zero).
+var colltuneOps = []string{"barrier", "bcast", "allreduce", "allgather", "alltoall", "reducescatter"}
+
+// colltuneSweep measures every registered, eligible algorithm for each
+// swept collective on a BG/P and an XT4/QC partition, one independent
+// simulation per (machine, op, algorithm, size) with the algorithm
+// forced via the Config.Coll override. Results are committed in fixed
+// order, so tables are identical at any worker count.
+func colltuneSweep(o Options) (int, []*colltuneCase, error) {
+	ranks := 32
+	sizes := []int{16, 512, 8192, 131072}
+	if o.Full {
+		ranks = 256
+		sizes = append(sizes, 1<<20)
+	}
+	var cases []*colltuneCase
+	for _, id := range []machine.ID{machine.BGP, machine.XT4QC} {
+		m := machine.Get(id)
+		for _, op := range colltuneOps {
+			szs := sizes
+			if op == "barrier" {
+				szs = []int{0}
+			}
+			for _, b := range szs {
+				c := &colltuneCase{mach: id, op: op, bytes: b,
+					pick: mpi.SelectCollAlgo(m, op, b, ranks, true, true)}
+				for _, name := range mpi.CollAlgos(op) {
+					if mpi.AlgoEligible(m, op, name, b, ranks, true, true) {
+						c.algos = append(c.algos, colltunePoint{algo: name})
+					}
+				}
+				cases = append(cases, c)
+			}
+		}
+	}
+	var jobs []job
+	for _, c := range cases {
+		for i := range c.algos {
+			c, i := c, i
+			jobs = append(jobs, job{
+				run:    func() (any, error) { return colltuneRun(c.mach, ranks, c.op, c.algos[i].algo, c.bytes) },
+				commit: func(v any) { c.algos[i].us = v.(float64) },
+			})
+		}
+	}
+	if err := runJobs(jobs); err != nil {
+		return 0, nil, err
+	}
+	return ranks, cases, nil
+}
+
+// colltuneRun times one collective with one algorithm forced: a
+// warm-up barrier to align the ranks, then colltuneIters back-to-back
+// operations under a timer.
+func colltuneRun(id machine.ID, ranks int, op, algo string, bytes int) (float64, error) {
+	m := machine.Get(id)
+	cfg := mpi.Config{Machine: m, Nodes: ranks / m.RanksPerNode(machine.VN),
+		Mode: machine.VN, Fidelity: network.Contention,
+		Coll: map[string]string{op: algo}}
+	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+		r.World().Barrier(r)
+		r.TimerStart("coll")
+		for i := 0; i < colltuneIters; i++ {
+			colltuneOp(r, op, bytes)
+		}
+		r.TimerStop("coll")
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxTimer("coll").Microseconds() / colltuneIters, nil
+}
+
+// colltuneOp issues one collective of the given natural size.
+func colltuneOp(r *mpi.Rank, op string, bytes int) {
+	w := r.World()
+	switch op {
+	case "barrier":
+		w.Barrier(r)
+	case "bcast":
+		w.Bcast(r, 0, bytes)
+	case "allreduce":
+		w.Allreduce(r, bytes, true)
+	case "allgather":
+		w.Allgather(r, bytes)
+	case "alltoall":
+		w.Alltoall(r, bytes)
+	case "reducescatter":
+		w.ReduceScatter(r, bytes)
+	default:
+		panic("colltune: unknown op " + op)
+	}
+}
+
+// colltune sweeps every registered collective algorithm across message
+// sizes on BG/P and XT4/QC and reports, per point, the fastest
+// algorithm against the machine's selection-table default — the
+// winner table says whether the stock tables (tree offload on
+// BlueGene, MPICH-style switch points on both) leave time on the
+// table, and the crossover table shows where the best algorithm
+// changes with size.
+func colltune(o Options) ([]*stats.Table, error) {
+	ranks, cases, err := colltuneSweep(o)
+	if err != nil {
+		return nil, err
+	}
+
+	t1 := stats.NewTable(
+		fmt.Sprintf("Best collective algorithm vs. selection-table default (%d ranks, VN, %d-iteration mean)", ranks, colltuneIters),
+		"Machine", "Collective", "Bytes", "Best algorithm", "us", "Table default", "us", "Best/default")
+	for _, c := range cases {
+		w := c.winner()
+		pus := c.pickUS()
+		ratio := 1.0
+		if pus > 0 {
+			ratio = w.us / pus
+		}
+		t1.AddRow(string(c.mach), c.op, fmt.Sprintf("%d", c.bytes),
+			w.algo, stats.FormatG(w.us),
+			c.pick, stats.FormatG(pus), stats.FormatG(ratio))
+	}
+
+	t2 := stats.NewTable("Winner crossovers by message size",
+		"Machine", "Collective", "Bytes", "Winner")
+	var prev *colltuneCase
+	var lo int
+	flush := func(hi int) {
+		if prev == nil {
+			return
+		}
+		rng := fmt.Sprintf("%d", lo)
+		if hi != lo {
+			rng = fmt.Sprintf("%d-%d", lo, hi)
+		}
+		t2.AddRow(string(prev.mach), prev.op, rng, prev.winner().algo)
+	}
+	for _, c := range cases {
+		if prev != nil && c.mach == prev.mach && c.op == prev.op &&
+			c.winner().algo == prev.winner().algo {
+			prev = c // extend the run
+			continue
+		}
+		if prev != nil {
+			flush(prev.bytes)
+		}
+		prev, lo = c, c.bytes
+	}
+	if prev != nil {
+		flush(prev.bytes)
+	}
+	return []*stats.Table{t1, t2}, nil
+}

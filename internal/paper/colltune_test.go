@@ -1,0 +1,106 @@
+package paper
+
+import (
+	"fmt"
+	"testing"
+
+	"bgpsim/internal/runner"
+)
+
+// TestColltuneWinners pins the sweep's winner table: for every
+// (machine, collective, size) point the fastest measured algorithm.
+// The values document where the stock selection tables are optimal
+// (tree offload everywhere on BG/P; the MPICH switch points for
+// bcast/allreduce) and where a non-default algorithm wins (Bruck for
+// latency-bound allgather/alltoall, scatter-allgather for large
+// broadcasts on the XT).
+func TestColltuneWinners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full colltune sweep")
+	}
+	_, cases, err := colltuneSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"BG/P|barrier|0":              "hw-gi",
+		"BG/P|bcast|16":               "tree-offload",
+		"BG/P|bcast|512":              "tree-offload",
+		"BG/P|bcast|8192":             "tree-offload",
+		"BG/P|bcast|131072":           "tree-offload",
+		"BG/P|allreduce|16":           "tree-offload",
+		"BG/P|allreduce|512":          "tree-offload",
+		"BG/P|allreduce|8192":         "tree-offload",
+		"BG/P|allreduce|131072":       "tree-offload",
+		"BG/P|allgather|16":           "bruck",
+		"BG/P|allgather|512":          "bruck",
+		"BG/P|allgather|8192":         "bruck",
+		"BG/P|allgather|131072":       "bruck",
+		"BG/P|alltoall|16":            "bruck",
+		"BG/P|alltoall|512":           "pairwise",
+		"BG/P|alltoall|8192":          "pairwise",
+		"BG/P|alltoall|131072":        "pairwise",
+		"BG/P|reducescatter|16":       "rechalving",
+		"BG/P|reducescatter|512":      "pairwise",
+		"BG/P|reducescatter|8192":     "rechalving",
+		"BG/P|reducescatter|131072":   "rechalving",
+		"XT4/QC|barrier|0":            "dissemination",
+		"XT4/QC|bcast|16":             "binomial",
+		"XT4/QC|bcast|512":            "binomial",
+		"XT4/QC|bcast|8192":           "binomial",
+		"XT4/QC|bcast|131072":         "scatter-allgather",
+		"XT4/QC|allreduce|16":         "recdbl",
+		"XT4/QC|allreduce|512":        "recdbl",
+		"XT4/QC|allreduce|8192":       "rabenseifner",
+		"XT4/QC|allreduce|131072":     "rabenseifner",
+		"XT4/QC|allgather|16":         "bruck",
+		"XT4/QC|allgather|512":        "bruck",
+		"XT4/QC|allgather|8192":       "bruck",
+		"XT4/QC|allgather|131072":     "bruck",
+		"XT4/QC|alltoall|16":          "bruck",
+		"XT4/QC|alltoall|512":         "bruck",
+		"XT4/QC|alltoall|8192":        "pairwise",
+		"XT4/QC|alltoall|131072":      "pairwise",
+		"XT4/QC|reducescatter|16":     "rechalving",
+		"XT4/QC|reducescatter|512":    "rechalving",
+		"XT4/QC|reducescatter|8192":   "pairwise",
+		"XT4/QC|reducescatter|131072": "rechalving",
+	}
+	if len(cases) != len(want) {
+		t.Fatalf("sweep produced %d points, want %d", len(cases), len(want))
+	}
+	for _, c := range cases {
+		k := fmt.Sprintf("%s|%s|%d", c.mach, c.op, c.bytes)
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("unexpected sweep point %s", k)
+			continue
+		}
+		if got := c.winner().algo; got != w {
+			t.Errorf("%s: winner = %s, want %s", k, got, w)
+		}
+		if us := c.winner().us; !(us > 0) {
+			t.Errorf("%s: winner time %v not positive", k, us)
+		}
+		if c.pickUS() <= 0 {
+			t.Errorf("%s: table default %q not among measured candidates", k, c.pick)
+		}
+	}
+}
+
+// TestColltuneDeterministic pins the -j contract for the sweep: the
+// rendered tables are byte-identical at 1 and 8 workers.
+func TestColltuneDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the colltune sweep twice")
+	}
+	defer runner.SetWorkers(0)
+	runner.SetWorkers(1)
+	serial := renderAll(t, "colltune")
+	runner.SetWorkers(8)
+	parallel := renderAll(t, "colltune")
+	if serial != parallel {
+		t.Errorf("colltune output differs between -j 1 and -j 8\n-- j1 --\n%s\n-- j8 --\n%s",
+			serial, parallel)
+	}
+}

@@ -179,3 +179,21 @@ func BenchmarkKernelAllreduce512(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
+
+// BenchmarkKernelBcast512 exercises the software collective path: a
+// 512-rank 4KB binomial broadcast on the XT4/QC torus (no collective
+// hardware), covering the per-round keyed send/recv machinery the
+// algorithm registry dispatches into.
+func BenchmarkKernelBcast512(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := mpi.Execute(mpi.Config{Machine: machine.Get(machine.XT4QC), Nodes: 128, Mode: machine.VN},
+			func(r *mpi.Rank) { r.World().Bcast(r, 0, 4096) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}

@@ -16,9 +16,10 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 
-	done         bool
-	blocked      string // non-empty while waiting on a condition (diagnostics)
-	blockedSince Time   // when the current Block began (diagnostics)
+	done          bool
+	blocked       string // non-empty while waiting on a condition (diagnostics)
+	blockedDetail string // optional reason suffix (BlockWith)
+	blockedSince  Time   // when the current Block began (diagnostics)
 }
 
 // Spawn creates a process executing fn, starting at the current
@@ -95,6 +96,17 @@ func (p *Proc) Block(reason string) {
 	p.blocked = ""
 }
 
+// BlockWith is Block with the reason in two parts, joined only if a
+// deadlock report asks for it: blocking is the innermost step of every
+// communication call, and a string concatenation there allocates at
+// the deepest point of the stack, growing it on every fresh goroutine.
+func (p *Proc) BlockWith(prefix, detail string) {
+	p.blocked, p.blockedDetail = prefix, detail
+	p.blockedSince = p.k.now
+	p.yield()
+	p.blocked, p.blockedDetail = "", ""
+}
+
 // Wake schedules the blocked process p to resume at the current
 // virtual time. It must be called for a process that is blocked (or
 // about to block: a wake scheduled in the same timestamp before the
@@ -111,7 +123,7 @@ func (p *Proc) WakeAt(t Time) {
 }
 
 func (p *Proc) blockedInfo() BlockedProc {
-	r := p.blocked
+	r := p.blocked + p.blockedDetail
 	if r == "" {
 		r = "runnable?"
 	}

@@ -50,6 +50,7 @@ type Event struct {
 	Bytes int
 	Tag   int
 	Label string // collective name, etc.
+	Algo  string // collective algorithm ("bcast/binomial"); empty otherwise
 }
 
 // Buffer is a bounded event log. Events beyond the capacity are
@@ -118,8 +119,13 @@ func (b *Buffer) Dump(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%.9fs rank %d %s <- %d  tag %d\n",
 				e.T.Seconds(), e.Rank, e.Kind, e.Peer, e.Tag)
 		default:
-			_, err = fmt.Fprintf(w, "%.9fs rank %d %s %s\n",
-				e.T.Seconds(), e.Rank, e.Kind, e.Label)
+			if e.Algo != "" {
+				_, err = fmt.Fprintf(w, "%.9fs rank %d %s %s [%s]\n",
+					e.T.Seconds(), e.Rank, e.Kind, e.Label, e.Algo)
+			} else {
+				_, err = fmt.Fprintf(w, "%.9fs rank %d %s %s\n",
+					e.T.Seconds(), e.Rank, e.Kind, e.Label)
+			}
 		}
 		if err != nil {
 			return err

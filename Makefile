@@ -28,6 +28,9 @@ check:
 	$(GO) test -run 'Fuzz' ./internal/topology/
 	$(GO) run ./cmd/paper -exp faults > /dev/null
 	$(GO) run ./cmd/paper -exp colltune > /dev/null
+	$(GO) run ./cmd/paper -exp profile > /dev/null
+	$(GO) run ./cmd/halo -gx 4 -gy 2 -profile -trace /tmp/bgpsim-check-trace.json > /dev/null
+	@rm -f /tmp/bgpsim-check-trace.json
 
 # Kernel hot-path benchmarks. BENCH_kernel.json (test2json stream, one
 # object per line) records the perf trajectory so future PRs can diff

@@ -124,9 +124,16 @@ var (
 func GetMachine(id machine.ID) *Machine { return machine.Get(id) }
 
 // NewSystem builds a Config for `ranks` MPI tasks of machine id in the
-// given mode, on the minimal standard partition.
-func NewSystem(id machine.ID, mode Mode, ranks int) Config {
-	return core.PartitionConfig(id, mode, ranks)
+// given mode, on the minimal standard partition, then applies the
+// options in order. Options are sugar over Config's public fields (see
+// Option); with no options the returned Config is identical to what
+// NewSystem has always produced.
+func NewSystem(id machine.ID, mode Mode, ranks int, opts ...Option) Config {
+	cfg := core.PartitionConfig(id, mode, ranks)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // Run executes a program under a configuration.

@@ -9,17 +9,20 @@
 //	bgpsim -machine BG/P -ranks 2048 -bench bcast -bytes 1048576
 //	bgpsim -machine BG/P -ranks 512 -bench barrier
 //	bgpsim -machine BG/P -ranks 512 -bench alltoall -bytes 4096
+//	bgpsim -machine BG/P -ranks 64 -bench alltoall -profile -trace out.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bgpsim/internal/core"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/topology"
 	"bgpsim/internal/trace"
 )
@@ -60,7 +63,10 @@ func main() {
 	double := flag.Bool("double", true, "double precision operands (allreduce)")
 	mapping := flag.String("mapping", "XYZT", "process mapping (XYZT, TXYZ, ...)")
 	fidelity := flag.String("fidelity", "contention", "network model: contention, analytic, or packet")
-	traceN := flag.Int("trace", 0, "dump the first N trace events")
+	events := flag.Int("events", 0, "dump the first N trace events")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to FILE")
+	profile := flag.Bool("profile", false, "print per-rank time decomposition and critical path")
+	linksFile := flag.String("links", "", "write per-link utilization CSV to FILE")
 	flag.Parse()
 
 	if _, err := machine.Lookup(machine.ID(*mach)); err != nil {
@@ -85,9 +91,14 @@ func main() {
 	cfg.Mapping = topology.Mapping(*mapping)
 	cfg.Fidelity = fid
 	var tb *trace.Buffer
-	if *traceN > 0 {
-		tb = trace.NewBuffer(*traceN)
+	if *events > 0 {
+		tb = trace.NewBuffer(*events)
 		cfg.Trace = tb
+	}
+	var rec *obs.Recorder
+	if *traceFile != "" || *profile || *linksFile != "" {
+		rec = obs.NewRecorder()
+		cfg.Probe = rec
 	}
 
 	var program func(*mpi.Rank)
@@ -136,12 +147,50 @@ func main() {
 	fmt.Printf("  messages:   %d (%d on shared memory)\n", res.Net.Messages, res.Net.ShmMsgs)
 	fmt.Printf("  tree ops:   %d, barrier-net ops: %d\n", res.Net.TreeOps, res.Net.BarrierOps)
 	fmt.Printf("  sim events: %d\n", res.Events)
+	if n := res.DroppedEvents(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bgpsim: warning: %d trace events dropped (raise -events)\n", n)
+	}
 	if tb != nil {
 		fmt.Println("trace:")
 		if err := tb.Dump(os.Stdout); err != nil {
 			fail("%v", err)
 		}
 	}
+	if rec != nil {
+		if *profile {
+			if err := res.Profile().WriteTable(os.Stdout); err != nil {
+				fail("%v", err)
+			}
+			if err := res.CriticalPath().WriteSummary(os.Stdout); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *traceFile != "" {
+			if err := writeFileWith(*traceFile, rec.WriteChromeTrace); err != nil {
+				fail("%v", err)
+			}
+		}
+		if *linksFile != "" {
+			if err := writeFileWith(*linksFile, func(w io.Writer) error {
+				return rec.WriteLinkCSV(w, obs.TorusLinkName)
+			}); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+}
+
+// writeFileWith creates path and streams one exporter into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(format string, args ...interface{}) {

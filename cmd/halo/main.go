@@ -18,6 +18,7 @@ import (
 	"bgpsim/internal/halo"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/runner"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
@@ -63,6 +64,9 @@ func main() {
 	collFlag := flag.String("coll", "", "force collective algorithms, e.g. barrier=reduce-bcast")
 	sweep := flag.Bool("sweep", false, "sweep halo sizes")
 	mappings := flag.Bool("mappings", false, "compare all predefined mappings")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to FILE (single-run mode)")
+	profile := flag.Bool("profile", false, "print per-rank time decomposition and critical path (single-run mode)")
+	linksFile := flag.String("links", "", "write per-link utilization CSV to FILE (single-run mode)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
 	flag.Parse()
 	runner.SetWorkers(*jobs)
@@ -98,6 +102,16 @@ func main() {
 		Words: *words, Iterations: 5, Coll: coll,
 	}
 
+	observing := *traceFile != "" || *profile || *linksFile != ""
+	if observing && (*sweep || *mappings) {
+		fail(fmt.Errorf("-trace/-profile/-links apply to single-run mode only, not -sweep or -mappings"))
+	}
+	var rec *obs.Recorder
+	if observing {
+		rec = obs.NewRecorder()
+		base.Probe = rec
+	}
+
 	switch {
 	case *mappings:
 		fmt.Printf("HALO mapping comparison: %s %s %dx%d grid, %d words\n",
@@ -129,13 +143,64 @@ func main() {
 			fmt.Printf("  %8d words %12.2f us\n", w, ds[i].Microseconds())
 		}
 	default:
-		d, err := halo.Run(base)
+		d, res, err := halo.RunResult(base)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("HALO %s %s %dx%d grid, %d words, %s, mapping %s: %v per exchange\n",
 			*mach, mode, *gx, *gy, *words, proto, base.Mapping, d)
+		if n := res.DroppedEvents(); n > 0 {
+			fmt.Fprintf(os.Stderr, "halo: warning: %d trace events dropped (buffer full)\n", n)
+		}
+		if rec != nil {
+			if *profile {
+				if err := res.Profile().WriteTable(os.Stdout); err != nil {
+					fail(err)
+				}
+				if err := res.CriticalPath().WriteSummary(os.Stdout); err != nil {
+					fail(err)
+				}
+			}
+			if err := writeTrace(rec, *traceFile); err != nil {
+				fail(err)
+			}
+			if err := writeLinks(rec, *linksFile); err != nil {
+				fail(err)
+			}
+		}
 	}
+}
+
+// writeTrace writes the recorded timeline as Chrome trace_event JSON.
+func writeTrace(rec *obs.Recorder, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeLinks writes the per-link utilization heatmap CSV.
+func writeLinks(rec *obs.Recorder, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteLinkCSV(f, obs.TorusLinkName); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

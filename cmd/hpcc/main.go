@@ -25,6 +25,7 @@ import (
 	"bgpsim/internal/hpcc"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/runner"
 )
 
@@ -50,6 +51,8 @@ func main() {
 	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
 	ranksFlag := flag.String("ranks", "256", "MPI processes (VN mode); comma-separated for a sweep")
 	collFlag := flag.String("coll", "", "force collective algorithms, e.g. allreduce=ring,bcast=binomial")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the collective phase to FILE (single -ranks value)")
+	profile := flag.Bool("profile", false, "print the collective phase's per-rank time decomposition and critical path (single -ranks value)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
 	flag.Parse()
 	runner.SetWorkers(*jobs)
@@ -73,12 +76,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	var rec *obs.Recorder
+	if *traceFile != "" || *profile {
+		if len(rankCounts) != 1 {
+			fmt.Fprintln(os.Stderr, "hpcc: -trace/-profile need a single -ranks value")
+			os.Exit(1)
+		}
+		rec = obs.NewRecorder()
+	}
+
 	reports, err := runner.Sweep(rankCounts, func(ranks int) (string, error) {
 		ep, err := hpcc.SingleAndEP(id, ranks)
 		if err != nil {
 			return "", err
 		}
-		cb, err := hpcc.CollBench(id, ranks, coll)
+		// rec is only non-nil with a single rank count, so at most one
+		// simulation ever drives it.
+		cb, _, err := hpcc.CollBenchObserved(id, ranks, coll, probeOrNil(rec))
 		if err != nil {
 			return "", err
 		}
@@ -120,4 +134,39 @@ func main() {
 		}
 		fmt.Print(r)
 	}
+	if rec != nil {
+		if *profile {
+			fmt.Println()
+			if err := rec.Profile().WriteTable(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "hpcc:", err)
+				os.Exit(1)
+			}
+			if err := rec.CriticalPath().WriteSummary(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "hpcc:", err)
+				os.Exit(1)
+			}
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err == nil {
+				err = rec.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hpcc:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// probeOrNil converts a possibly-nil *obs.Recorder to an obs.Probe
+// without producing a non-nil interface around a nil pointer.
+func probeOrNil(rec *obs.Recorder) obs.Probe {
+	if rec == nil {
+		return nil
+	}
+	return rec
 }

@@ -60,6 +60,71 @@ func ExampleRun_deadlock() {
 	// true
 }
 
+// Functional options are plain sugar over Config's public fields: an
+// option-built and a field-poked configuration run identically.
+func ExampleNewSystem() {
+	cfg := bgpsim.NewSystem(bgpsim.BGP, bgpsim.VN, 64,
+		bgpsim.WithColl("allreduce", "ring"),
+		bgpsim.WithMapping(bgpsim.MapTXYZ))
+
+	manual := bgpsim.NewSystem(bgpsim.BGP, bgpsim.VN, 64)
+	manual.Coll = map[string]string{"allreduce": "ring"}
+	manual.Mapping = bgpsim.MapTXYZ
+
+	run := func(cfg bgpsim.Config) bgpsim.Duration {
+		res, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+			r.World().Allreduce(r, 4096, true)
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Elapsed
+	}
+	fmt.Println(run(cfg) == run(manual))
+	// Output:
+	// true
+}
+
+// WithTrace records the run's message and collective events into a
+// bounded buffer for inspection.
+func ExampleWithTrace() {
+	tb := bgpsim.NewTraceBuffer(128)
+	cfg := bgpsim.NewSystem(bgpsim.BGP, bgpsim.SMP, 2,
+		bgpsim.WithTrace(tb))
+	_, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1024, 5)
+		} else {
+			r.Recv(0, 5)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sends traced:", len(tb.OfKind(bgpsim.TraceSend)))
+	// Output:
+	// sends traced: 1
+}
+
+// WithProfile streams the run into a Recorder; the Result then yields
+// per-rank time decompositions and a critical-path walk.
+func ExampleWithProfile() {
+	cfg := bgpsim.NewSystem(bgpsim.BGP, bgpsim.VN, 16,
+		bgpsim.WithProfile(bgpsim.NewRecorder()))
+	res, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+		r.Compute(1e8, 1e6, bgpsim.ClassDGEMM)
+		r.World().Barrier(r)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ranks profiled:", len(res.Profile().Ranks))
+	fmt.Println("critical path covers the run:", res.CriticalPath().Total == res.Elapsed)
+	// Output:
+	// ranks profiled: 16
+	// critical path covers the run: true
+}
+
 // Simulations are deterministic: identical configurations produce
 // identical virtual times, so results can be compared exactly.
 func ExampleRun_deterministic() {

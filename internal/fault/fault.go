@@ -256,6 +256,38 @@ func (p *Plan) NodeFaults() []NodeFault {
 	return out
 }
 
+// LinkFaults returns the scheduled link faults sorted by window start,
+// then link, then window end — the order an observability layer should
+// report them in. The slice is freshly allocated.
+func (p *Plan) LinkFaults() []LinkFault {
+	if p == nil || len(p.links) == 0 {
+		return nil
+	}
+	var out []LinkFault
+	for l, ws := range p.links {
+		for _, w := range ws {
+			out = append(out, LinkFault{Link: l, From: w.from, Until: w.until, BWFactor: w.factor})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Link != b.Link {
+			if a.Link.Node != b.Link.Node {
+				return a.Link.Node < b.Link.Node
+			}
+			if a.Link.Dim != b.Link.Dim {
+				return a.Link.Dim < b.Link.Dim
+			}
+			return !a.Link.Positive
+		}
+		return a.Until < b.Until
+	})
+	return out
+}
+
 // UseMachineNoise switches on OS-noise injection using the machine
 // model's own profile (the BlueGene CNK profile is zero, so enabling
 // noise on a BG partition is deliberately a no-op — that is the

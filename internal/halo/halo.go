@@ -11,8 +11,10 @@ import (
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
+	"bgpsim/internal/trace"
 )
 
 // Protocol selects the messaging implementation of the exchange.
@@ -60,6 +62,13 @@ type Options struct {
 	// own barriers and any collective protocol variants); see
 	// mpi.ParseCollSpec.
 	Coll map[string]string
+
+	// Trace, when non-nil, records message and collective events.
+	Trace *trace.Buffer
+
+	// Probe, when non-nil, streams observability events (usually into
+	// an *obs.Recorder) for timelines, profiles and link telemetry.
+	Probe obs.Probe
 }
 
 // wordBytes is the benchmark's 32-bit word.
@@ -68,8 +77,16 @@ const wordBytes = 4
 // Run executes the benchmark and returns the mean time per complete
 // halo exchange.
 func Run(o Options) (sim.Duration, error) {
+	d, _, err := RunResult(o)
+	return d, err
+}
+
+// RunResult is Run returning the full simulation result as well, for
+// callers that inspect traffic counters, dropped trace events, or the
+// attached observability probe.
+func RunResult(o Options) (sim.Duration, *mpi.Result, error) {
 	if o.GridX <= 0 || o.GridY <= 0 {
-		return 0, fmt.Errorf("halo: bad grid %dx%d", o.GridX, o.GridY)
+		return 0, nil, fmt.Errorf("halo: bad grid %dx%d", o.GridX, o.GridY)
 	}
 	iters := o.Iterations
 	if iters <= 0 {
@@ -80,6 +97,8 @@ func Run(o Options) (sim.Duration, error) {
 	cfg.Mapping = o.Mapping
 	cfg.Fidelity = network.Contention
 	cfg.Coll = o.Coll
+	cfg.Trace = o.Trace
+	cfg.Probe = o.Probe
 
 	n := o.Words * wordBytes
 	nx, ny := o.GridX, o.GridY
@@ -129,10 +148,9 @@ func Run(o Options) (sim.Duration, error) {
 		}
 	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	_ = res
-	return total, nil
+	return total, res, nil
 }
 
 // exchangePhase sends small to the `less` neighbour and large to the

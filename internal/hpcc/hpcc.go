@@ -14,6 +14,7 @@ import (
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
 )
@@ -334,10 +335,19 @@ type CollResults struct {
 // machine's selection table, and the reported algorithm names reflect
 // what actually ran.
 func CollBench(id machine.ID, ranks int, coll map[string]string) (*CollResults, error) {
+	cr, _, err := CollBenchObserved(id, ranks, coll, nil)
+	return cr, err
+}
+
+// CollBenchObserved is CollBench with an optional observability probe
+// attached to the run (nil for none); it also returns the raw
+// simulation result so callers can read the probe's views back.
+func CollBenchObserved(id machine.ID, ranks int, coll map[string]string, pb obs.Probe) (*CollResults, *mpi.Result, error) {
 	m := machine.Get(id)
 	cfg := core.PartitionConfig(id, machine.VN, ranks)
 	cfg.Fidelity = network.Contention
 	cfg.Coll = coll
+	cfg.Probe = pb
 	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
 		// Untimed barriers between phases keep one phase's stragglers
 		// from contending with the next phase's traffic.
@@ -361,7 +371,7 @@ func CollBench(id machine.ID, ranks int, coll map[string]string) (*CollResults, 
 		r.TimerStop("allreduce")
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return &CollResults{
 		BarrierUS:     res.MaxTimer("barrier").Microseconds() / collIters,
@@ -370,7 +380,7 @@ func CollBench(id machine.ID, ranks int, coll map[string]string) (*CollResults, 
 		BarrierAlgo:   chosenAlgo(m, coll, "barrier", 0, ranks),
 		BcastAlgo:     chosenAlgo(m, coll, "bcast", CollBytes, ranks),
 		AllreduceAlgo: chosenAlgo(m, coll, "allreduce", CollBytes, ranks),
-	}, nil
+	}, res, nil
 }
 
 // chosenAlgo names the algorithm a world collective of the given shape

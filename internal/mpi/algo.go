@@ -201,6 +201,9 @@ func (c *Comm) runColl(r *Rank, op opID, a CollArgs) {
 	if c.w.cfg.Trace != nil {
 		collTrace(c.w.cfg.Trace, r, trace.CollEnter, key, al.full)
 	}
+	if c.w.probe != nil {
+		probeColl(r, key, al.full, true)
+	}
 	if c.Rank(r) == 0 {
 		c.w.net.CollOp(al.full)
 	}
@@ -218,6 +221,9 @@ func (c *Comm) runColl(r *Rank, op opID, a CollArgs) {
 	if c.w.cfg.Trace != nil {
 		collTrace(c.w.cfg.Trace, r, trace.CollExit, key, al.full)
 	}
+	if c.w.probe != nil {
+		probeColl(r, key, al.full, false)
+	}
 }
 
 // collTrace records one collective trace event. Kept out of runColl
@@ -229,6 +235,18 @@ func (c *Comm) runColl(r *Rank, op opID, a CollArgs) {
 func collTrace(tb *trace.Buffer, r *Rank, kind trace.Kind, key, algo string) {
 	tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: kind,
 		Peer: -1, Label: key, Algo: algo})
+}
+
+// probeColl mirrors collTrace for the probe stream: same out-of-line
+// stack discipline, one helper for both edges of the span.
+//
+//go:noinline
+func probeColl(r *Rank, key, algo string, enter bool) {
+	if enter {
+		r.w.probe.CollEnter(r.id, r.proc.Now(), key, algo)
+	} else {
+		r.w.probe.CollExit(r.id, r.proc.Now(), key, algo)
+	}
 }
 
 // collAnalytic returns the closed-form duration for op (analytic.go),

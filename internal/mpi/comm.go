@@ -187,10 +187,16 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollEnter,
 			Peer: -1, Label: gk})
 	}
+	if c.w.probe != nil {
+		probeColl(r, gk, "split", true)
+	}
 	res := c.sync(r, gk, ck{color, key, r.id}, fin)
 	if tb := c.w.cfg.Trace; tb != nil {
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollExit,
 			Peer: -1, Label: gk})
+	}
+	if c.w.probe != nil {
+		probeColl(r, gk, "split", false)
 	}
 	comms := res.(map[int]*Comm)
 	if color < 0 {

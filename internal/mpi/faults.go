@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bgpsim/internal/fault"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sim"
 )
 
@@ -63,8 +64,31 @@ func (w *World) scheduleNodeFaults(plan *fault.Plan) {
 		rank := victim
 		w.kernel.At(nf.At, func() {
 			if w.kernel.Live() > 0 {
+				if w.probe != nil {
+					w.probe.Fault(nf.At, "node-kill",
+						fmt.Sprintf("node %d died, rank %d lost", nf.Node, rank))
+				}
 				w.kernel.Abort(&RankFailure{Rank: rank, Node: nf.Node, At: nf.At})
 			}
 		})
+	}
+}
+
+// reportLinkFaults streams the plan's link-fault schedule to the probe
+// at run start. Link faults have no discrete activation event in the
+// simulation (the network queries the plan per message), so the
+// schedule itself is the observable record.
+func reportLinkFaults(pb obs.Probe, plan *fault.Plan) {
+	for _, lf := range plan.LinkFaults() {
+		kind := "link-degraded"
+		if lf.BWFactor == 0 {
+			kind = "link-down"
+		}
+		until := "forever"
+		if lf.Until != 0 {
+			until = lf.Until.String()
+		}
+		pb.Fault(lf.From, kind, fmt.Sprintf("node %d dim %d positive=%v factor %g until %s",
+			lf.Link.Node, lf.Link.Dim, lf.Link.Positive, lf.BWFactor, until))
 	}
 }

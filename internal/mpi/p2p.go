@@ -18,6 +18,7 @@ type message struct {
 	payload  interface{}
 	eager    bool
 	sender   *Request // rendezvous: the sender's blocked request
+	sentAt   sim.Time // send time, for probe match edges (probe runs only)
 }
 
 // Request is a handle for a non-blocking operation.
@@ -101,6 +102,10 @@ func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{
 	req := &Request{r: r, tag: tag, collKey: collKey}
 	msg := &message{src: r.id, dst: dst, tag: tag, collKey: collKey,
 		bytes: bytes, payload: payload, sender: req}
+	if r.w.probe != nil {
+		msg.sentAt = r.proc.Now()
+		probeSend(r, dst, bytes, tag, collKey != "")
+	}
 	wireBytes := bytes
 	if bytes > r.w.mach.EagerLimit {
 		// Rendezvous: only a small header travels now; the data moves
@@ -194,6 +199,9 @@ func (r *Rank) matched(q *Request, m *message) {
 		tb.Record(trace.Event{T: r.w.kernel.Now(), Rank: r.id, Kind: trace.Match,
 			Peer: m.src, Bytes: m.bytes, Tag: m.tag})
 	}
+	if r.w.probe != nil {
+		probeMatch(r, m)
+	}
 	if m.eager {
 		r.completeRecv(q)
 		return
@@ -265,6 +273,21 @@ func (r *Rank) Sendrecv(dst, sendBytes, sendTag, src, recvTag int) int {
 	r.Wait(rreq)
 	r.waitNoOverhead(sreq)
 	return rreq.msg.bytes
+}
+
+// probeSend and probeMatch keep the probe's interface-call spill slots
+// off the isendFrac/matched frames, which sit on every rank
+// goroutine's deepest communication path (same discipline as
+// collTrace).
+//
+//go:noinline
+func probeSend(r *Rank, dst, bytes, tag int, coll bool) {
+	r.w.probe.Send(r.id, r.proc.Now(), dst, bytes, tag, coll)
+}
+
+//go:noinline
+func probeMatch(r *Rank, m *message) {
+	r.w.probe.Match(r.id, r.w.kernel.Now(), m.src, m.sentAt, m.bytes, m.collKey != "")
 }
 
 // sendColl / recvColl are the collective-internal variants keyed so

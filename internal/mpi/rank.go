@@ -83,10 +83,23 @@ func (r *Rank) Compute(flops, bytes float64, class machine.KernelClass) {
 	if s, ok := r.w.cfg.NodeSlowdown[r.place.Node]; ok && s > 0 {
 		d = sim.Duration(float64(d) * (1 + s))
 	}
+	base := d
 	if r.w.noiseOn {
 		d = r.w.noise.Extend(r.proc.Now(), d, r.noisePhase)
 	}
+	if r.w.probe != nil {
+		probeCompute(r, d, d-base)
+	}
 	r.proc.Sleep(d)
+}
+
+// probeCompute is kept out of Compute so the probe's interface-call
+// spill slots don't widen the frame of every compute block (the same
+// stack discipline as collTrace).
+//
+//go:noinline
+func probeCompute(r *Rank, d, noise sim.Duration) {
+	r.w.probe.Compute(r.id, r.proc.Now(), d, noise)
 }
 
 // Advance moves the rank's clock forward by a fixed duration

@@ -13,6 +13,7 @@ import (
 	"bgpsim/internal/fault"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/network"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
 	"bgpsim/internal/trace"
@@ -51,6 +52,14 @@ type Config struct {
 	// Trace, when non-nil, records message and collective events.
 	Trace *trace.Buffer
 
+	// Probe, when non-nil, streams observability events — per-rank
+	// compute/wait transitions, send/match edges, collective spans,
+	// link reservations, injection-queue waits, fault activations — to
+	// the obs layer (usually an *obs.Recorder). A nil Probe runs the
+	// uninstrumented fast path byte for byte; probes observe the run
+	// and never advance virtual time.
+	Probe obs.Probe
+
 	// NodeSlowdown injects per-node compute derating (keyed by torus
 	// node index): a factor of 0.1 makes every compute block on that
 	// node 10% slower. It models OS interference, thermal throttling
@@ -80,6 +89,8 @@ type World struct {
 
 	noise   fault.NoiseProfile // active OS-noise profile
 	noiseOn bool
+
+	probe obs.Probe // nil unless observability is on
 
 	// Pre-resolved collective dispatch tables (buildCollTables).
 	collRules [numCollOps][]collRule
@@ -149,6 +160,11 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 		w.net.SetFaults(cfg.Faults)
 	}
+	if cfg.Probe != nil {
+		w.probe = cfg.Probe
+		w.kernel.Probe = cfg.Probe // obs.Probe supersets sim.Probe
+		w.net.SetProbe(cfg.Probe)
+	}
 
 	w.ranks = make([]*Rank, nranks)
 	members := make([]int, nranks)
@@ -188,6 +204,46 @@ type Result struct {
 	Net network.Stats
 	// Events is the number of simulation events fired.
 	Events uint64
+	// Dropped is the number of trace events the Config.Trace buffer
+	// discarded because it filled (zero without a trace buffer).
+	Dropped int64
+	// Probe is the probe the run drove (nil when observability is
+	// off). Use Recorder/Profile/CriticalPath for the standard views.
+	Probe obs.Probe
+}
+
+// Stats returns the interconnect traffic counters (accessor form of
+// the Net field).
+func (r *Result) Stats() network.Stats { return r.Net }
+
+// DroppedEvents returns how many trace events the run's trace buffer
+// discarded for lack of capacity. A nonzero count means the trace is
+// incomplete; raise the buffer's capacity.
+func (r *Result) DroppedEvents() int64 { return r.Dropped }
+
+// Recorder returns the run's probe as an *obs.Recorder when that is
+// what the run was configured with, nil otherwise.
+func (r *Result) Recorder() *obs.Recorder {
+	rec, _ := r.Probe.(*obs.Recorder)
+	return rec
+}
+
+// Profile returns the per-rank time decomposition when an
+// *obs.Recorder probe was attached, nil otherwise.
+func (r *Result) Profile() *obs.Profile {
+	if rec := r.Recorder(); rec != nil {
+		return rec.Profile()
+	}
+	return nil
+}
+
+// CriticalPath returns the critical-path walk when an *obs.Recorder
+// probe was attached, nil otherwise.
+func (r *Result) CriticalPath() *obs.CritPath {
+	if rec := r.Recorder(); rec != nil {
+		return rec.CriticalPath()
+	}
+	return nil
 }
 
 // MaxTimer returns the maximum accumulated duration of the named timer
@@ -221,6 +277,9 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 	w.ran = true
 	if w.cfg.Faults != nil {
 		w.scheduleNodeFaults(w.cfg.Faults)
+		if w.probe != nil {
+			reportLinkFaults(w.probe, w.cfg.Faults)
+		}
 	}
 	finish := make([]sim.Duration, len(w.ranks))
 	for _, r := range w.ranks {
@@ -228,7 +287,11 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 		r.proc = w.kernel.Spawn(fmt.Sprintf("rank %d", r.id), func(p *sim.Proc) {
 			program(r)
 			finish[r.id] = sim.Duration(p.Now())
+			if w.probe != nil {
+				w.probe.RankDone(r.id, p.Now())
+			}
 		})
+		r.proc.SetTag(r.id)
 	}
 	if err := w.kernel.Run(); err != nil {
 		return nil, err
@@ -238,6 +301,10 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 		Timers:      make(map[string][]sim.Duration),
 		Net:         w.net.Stats(),
 		Events:      w.kernel.Events(),
+		Probe:       w.probe,
+	}
+	if w.cfg.Trace != nil {
+		res.Dropped = w.cfg.Trace.Dropped()
 	}
 	for _, d := range finish {
 		if d > res.Elapsed {

@@ -77,6 +77,9 @@ func (n *Net) p2pFaulty(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, er
 	}
 	arrival := depart.Add(hopLat + wire)
 	n.ejFree[dstNode] = arrival
+	if n.probe != nil {
+		n.probeReserveFaulty(now, depart, srcNode, bytes, route, perHop)
+	}
 	return arrival, nil
 }
 
@@ -104,6 +107,9 @@ func (n *Net) packetOnRoute(now sim.Time, srcNode, dstNode, bytes int, route []t
 		if n.injFree[srcNode] > t {
 			t = n.injFree[srcNode]
 		}
+		if n.probe != nil {
+			n.probe.Inject(srcNode, t, t.Sub(now), pb)
+		}
 		t = t.Add(sim.Seconds(float64(pb) / n.mach.NICInjectBW))
 		n.injFree[srcNode] = t
 		for _, l := range route {
@@ -112,7 +118,11 @@ func (n *Net) packetOnRoute(now sim.Time, srcNode, dstNode, bytes int, route []t
 				t = n.linkFree[idx]
 			}
 			f := n.faults.LinkFactor(l, now)
-			t = t.Add(sim.Seconds(float64(pb) / (n.mach.TorusLinkBW * f)))
+			ser := sim.Seconds(float64(pb) / (n.mach.TorusLinkBW * f))
+			if n.probe != nil {
+				n.probe.LinkBusy(idx, t, ser, pb)
+			}
+			t = t.Add(ser)
 			n.linkFree[idx] = t
 			t = t.Add(perHop)
 		}

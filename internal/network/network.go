@@ -18,6 +18,7 @@ import (
 
 	"bgpsim/internal/fault"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
 )
@@ -91,6 +92,8 @@ type Net struct {
 	ejFree   []sim.Time      // per node ejection channel
 	shmFree  []sim.Time      // per node shared-memory channel
 	routeBuf []topology.Link // scratch for routing (single-threaded kernel)
+
+	probe obs.Probe // nil unless observability is on (SetProbe)
 
 	stats Stats
 }
@@ -216,6 +219,9 @@ func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, error) {
 	}
 	arrival := depart.Add(hopLat + wire)
 	n.ejFree[dstNode] = arrival
+	if n.probe != nil {
+		n.probeReserve(now, depart, srcNode, bytes, route, perHop, linkSer)
+	}
 	return arrival, nil
 }
 
@@ -253,6 +259,13 @@ func (n *Net) packetTransfer(now sim.Time, srcNode, dstNode, bytes int) sim.Time
 		if n.injFree[srcNode] > t {
 			t = n.injFree[srcNode]
 		}
+		if n.probe != nil {
+			pb := packetBytes
+			if k == packets-1 {
+				pb = lastBytes
+			}
+			n.probe.Inject(srcNode, t, t.Sub(now), pb)
+		}
 		t = t.Add(inj)
 		n.injFree[srcNode] = t
 		// Hop through each link.
@@ -260,6 +273,13 @@ func (n *Net) packetTransfer(now sim.Time, srcNode, dstNode, bytes int) sim.Time
 			idx := n.torus.LinkIndex(l)
 			if n.linkFree[idx] > t {
 				t = n.linkFree[idx]
+			}
+			if n.probe != nil {
+				pb := packetBytes
+				if k == packets-1 {
+					pb = lastBytes
+				}
+				n.probe.LinkBusy(idx, t, ser, pb)
 			}
 			t = t.Add(ser)
 			n.linkFree[idx] = t

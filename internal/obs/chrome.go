@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bgpsim/internal/sim"
+)
+
+// WriteChromeTrace writes the recorded timelines as Chrome trace_event
+// JSON ("JSON object format"), loadable in chrome://tracing and
+// Perfetto. Each rank is a thread of process 0: compute and wait
+// segments are complete ("X") events, collective spans are nested "X"
+// events named after their algorithm, and fault activations are global
+// instant events. Timestamps are microseconds with picosecond
+// precision preserved in the fraction. Output is deterministic:
+// identical recordings serialize to identical bytes.
+func (rec *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	ids := make([]int, 0, len(rec.ranks))
+	for id := range rec.ranks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	for _, id := range ids {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"rank %d"}}`, id, id))
+	}
+	for _, id := range ids {
+		rs := rec.ranks[id]
+		// Collective spans first: they enclose the wait segments
+		// recorded inside them, and trace viewers nest "X" events by
+		// containment regardless of file order.
+		for _, cs := range rs.colls {
+			exit := cs.Exit
+			if exit < 0 {
+				exit = rec.lastT // never exited (aborted run)
+			}
+			emit(fmt.Sprintf(`{"name":%s,"cat":"collective","ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"args":{"key":%s}}`,
+				jsonString(cs.Algo), id, us(cs.Enter), usd(exit.Sub(cs.Enter)), jsonString(cs.Key)))
+		}
+		for _, seg := range rs.segs {
+			switch seg.Kind {
+			case SegCompute:
+				emit(fmt.Sprintf(`{"name":"compute","cat":"compute","ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s}`,
+					id, us(seg.Start), usd(seg.End.Sub(seg.Start))))
+			default:
+				args := ""
+				if seg.Peer >= 0 {
+					args = fmt.Sprintf(`,"args":{"released_by":%d}`, seg.Peer)
+				}
+				emit(fmt.Sprintf(`{"name":"%s","cat":"wait","ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s%s}`,
+					seg.Kind, id, us(seg.Start), usd(seg.End.Sub(seg.Start)), args))
+			}
+		}
+	}
+	for _, f := range rec.faults {
+		emit(fmt.Sprintf(`{"name":%s,"cat":"fault","ph":"i","s":"g","pid":0,"tid":0,"ts":%s,"args":{"detail":%s}}`,
+			jsonString(f.Kind), us(f.T), jsonString(f.Detail)))
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// us formats a virtual time as Chrome microseconds (picoseconds are
+// the fractional digits).
+func us(t sim.Time) string { return usd(sim.Duration(t)) }
+
+// usd formats a duration as Chrome microseconds.
+func usd(d sim.Duration) string {
+	return strconv.FormatFloat(float64(d)/1e6, 'f', 6, 64)
+}
+
+// jsonString quotes s as a JSON string.
+func jsonString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

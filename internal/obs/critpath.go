@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bgpsim/internal/sim"
+)
+
+// CritPath is the result of a critical-path walk: a backward traversal
+// from the last-finishing rank through the recorded dependency graph —
+// compute segments stay on the rank, a released p2p wait jumps to the
+// sender at its send time, a collective gate jumps to the member that
+// entered last — attributing every span of end-to-end time to a
+// bucket and to the rank that spent it.
+type CritPath struct {
+	EndRank int          // the rank that finished last (the walk's start)
+	Total   sim.Duration // end-to-end time the walk covers
+
+	Compute  sim.Duration
+	P2PWait  sim.Duration
+	CollWait sim.Duration
+	Other    sim.Duration // gaps: software overheads, fixed advances
+
+	Hops  int // rank-to-rank jumps along the path
+	Steps int // segments visited
+
+	// ByRank attributes path time to the rank on which it was spent,
+	// in descending share order.
+	ByRank []RankShare
+
+	// Truncated is set if the walk hit its safety cap before reaching
+	// time zero (pathological recordings only).
+	Truncated bool
+}
+
+// RankShare is one rank's share of the critical path.
+type RankShare struct {
+	Rank int
+	Time sim.Duration
+}
+
+// critPathMaxSteps bounds the walk; a simulation records far fewer
+// segments than this unless something is wrong.
+const critPathMaxSteps = 1 << 24
+
+// CriticalPath walks the dependency graph backwards from the
+// last-finishing rank. It needs the per-rank timelines, so run it on a
+// recorder whose segment cap did not drop (see DroppedSegments); with
+// drops the attribution is a lower bound.
+func (rec *Recorder) CriticalPath() *CritPath {
+	cp := &CritPath{EndRank: -1}
+	var endT sim.Time
+	ids := make([]int, 0, len(rec.ranks))
+	for id := range rec.ranks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rs := rec.ranks[id]
+		t := rs.done
+		if !rs.doneOK {
+			t = rec.lastT
+		}
+		if cp.EndRank < 0 || t > endT {
+			cp.EndRank, endT = id, t
+		}
+	}
+	if cp.EndRank < 0 {
+		return cp
+	}
+	cp.Total = sim.Duration(endT)
+
+	byRank := map[int]sim.Duration{}
+	cur, t := cp.EndRank, endT
+	for t > 0 {
+		if cp.Steps >= critPathMaxSteps {
+			cp.Truncated = true
+			break
+		}
+		cp.Steps++
+		seg, ok := rec.segmentBefore(cur, t)
+		if !ok {
+			// No recorded activity before t on this rank: startup or
+			// untracked time.
+			cp.Other += sim.Duration(t)
+			byRank[cur] += sim.Duration(t)
+			break
+		}
+		if seg.End < t {
+			// Gap between segments: overheads, advances.
+			gap := t.Sub(seg.End)
+			cp.Other += gap
+			byRank[cur] += gap
+			t = seg.End
+			continue
+		}
+		// The walk resumes at `next`, and exactly [next, t) is
+		// attributed to this segment — resuming anywhere else would
+		// either re-count the overlap on both ranks (a send posted
+		// after the receiver already blocked) or leave a gap.
+		next := seg.Start
+		nextRank := cur
+		switch seg.Kind {
+		case SegP2PWait:
+			if seg.Peer >= 0 && seg.SendT < t {
+				nextRank, next = seg.Peer, seg.SendT
+				cp.Hops++
+			}
+		case SegCollWait:
+			if e, ok := rec.collEnters[seg.Key]; ok && seg.Key != "" && e.lastT < t && e.lastRank != cur {
+				nextRank, next = e.lastRank, e.lastT
+				cp.Hops++
+			}
+		}
+		span := t.Sub(next)
+		byRank[cur] += span
+		switch seg.Kind {
+		case SegCompute:
+			cp.Compute += span
+		case SegP2PWait:
+			cp.P2PWait += span
+		case SegCollWait:
+			cp.CollWait += span
+		}
+		if nextRank != cur {
+			cur, t = nextRank, next
+		} else {
+			t = next
+		}
+	}
+	for r, d := range byRank {
+		cp.ByRank = append(cp.ByRank, RankShare{Rank: r, Time: d})
+	}
+	sort.Slice(cp.ByRank, func(i, j int) bool {
+		if cp.ByRank[i].Time != cp.ByRank[j].Time {
+			return cp.ByRank[i].Time > cp.ByRank[j].Time
+		}
+		return cp.ByRank[i].Rank < cp.ByRank[j].Rank
+	})
+	return cp
+}
+
+// segmentBefore returns the last segment of rank whose start is before
+// t (the segment containing t, or the nearest one ending at or before
+// it). Per-rank segments are recorded in ascending start order.
+func (rec *Recorder) segmentBefore(rank int, t sim.Time) (Segment, bool) {
+	rs, ok := rec.ranks[rank]
+	if !ok || len(rs.segs) == 0 {
+		return Segment{}, false
+	}
+	// First segment with Start >= t; the one before it is the answer.
+	i := sort.Search(len(rs.segs), func(i int) bool { return rs.segs[i].Start >= t })
+	if i == 0 {
+		return Segment{}, false
+	}
+	return rs.segs[i-1], true
+}
+
+// WriteSummary renders the walk as a short text block.
+func (cp *CritPath) WriteSummary(w io.Writer) error {
+	if cp.EndRank < 0 {
+		_, err := fmt.Fprintln(w, "critical path: no ranks observed")
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"critical path: %.1f us ending on rank %d (%d segments, %d rank hops)\n",
+		cp.Total.Microseconds(), cp.EndRank, cp.Steps, cp.Hops); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  compute %.1f us (%s), p2p-wait %.1f us (%s), coll-wait %.1f us (%s), other %.1f us (%s)\n",
+		cp.Compute.Microseconds(), pct(cp.Compute, cp.Total),
+		cp.P2PWait.Microseconds(), pct(cp.P2PWait, cp.Total),
+		cp.CollWait.Microseconds(), pct(cp.CollWait, cp.Total),
+		cp.Other.Microseconds(), pct(cp.Other, cp.Total)); err != nil {
+		return err
+	}
+	top := cp.ByRank
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	for _, s := range top {
+		if _, err := fmt.Fprintf(w, "  rank %-5d carries %.1f us (%s)\n",
+			s.Rank, s.Time.Microseconds(), pct(s.Time, cp.Total)); err != nil {
+			return err
+		}
+	}
+	if cp.Truncated {
+		if _, err := fmt.Fprintln(w, "  (walk truncated at step cap)"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

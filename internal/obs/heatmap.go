@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"bgpsim/internal/sim"
+)
+
+// WriteLinkCSV writes the per-link telemetry as CSV: one row per link
+// that carried traffic, with total busy time, bytes, messages, and the
+// link's utilization fraction in each time bucket (bucket width =
+// Bucket()) — a heatmap with links as rows and time as columns. The
+// optional name function labels links (dense link index otherwise).
+// Rows are emitted in ascending link order, so output is
+// deterministic.
+func (rec *Recorder) WriteLinkCSV(w io.Writer, name func(link int) string) error {
+	bw := bufio.NewWriter(w)
+	maxBuckets := 0
+	for _, ls := range rec.links {
+		if len(ls.buckets) > maxBuckets {
+			maxBuckets = len(ls.buckets)
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "# bucket width: %v\n", rec.bucket); err != nil {
+		return err
+	}
+	bw.WriteString("link,busy_us,bytes,msgs")
+	for b := 0; b < maxBuckets; b++ {
+		fmt.Fprintf(bw, ",u%d", b)
+	}
+	bw.WriteByte('\n')
+	for _, link := range sortedKeys(rec.links) {
+		ls := rec.links[link]
+		label := fmt.Sprintf("%d", link)
+		if name != nil {
+			label = name(link)
+		}
+		fmt.Fprintf(bw, "%s,%.3f,%d,%d", label, ls.busy.Microseconds(), ls.bytes, ls.msgs)
+		for b := 0; b < maxBuckets; b++ {
+			u := 0.0
+			if b < len(ls.buckets) {
+				u = float64(ls.buckets[b]) / float64(rec.bucket)
+			}
+			fmt.Fprintf(bw, ",%.4f", u)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// LinkCount returns how many distinct links carried traffic.
+func (rec *Recorder) LinkCount() int { return len(rec.links) }
+
+// BusiestLinks returns the n links with the most busy time, descending
+// (ties broken by ascending link index).
+func (rec *Recorder) BusiestLinks(n int) []LinkLoad {
+	out := make([]LinkLoad, 0, len(rec.links))
+	for _, link := range sortedKeys(rec.links) {
+		ls := rec.links[link]
+		out = append(out, LinkLoad{Link: link, Busy: ls.busy, Bytes: ls.bytes, Msgs: ls.msgs})
+	}
+	// sortedKeys gives ascending link order; the stable sort by busy
+	// time preserves it on ties, so the result is deterministic.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Busy > out[j].Busy })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// LinkLoad is one link's aggregate traffic.
+type LinkLoad struct {
+	Link  int
+	Busy  sim.Duration
+	Bytes int64
+	Msgs  int64
+}
+
+// TorusLinkName names a dense torus link index using the network
+// layer's encoding (node*6 + dim*2 + direction): "n42.y+" is the link
+// leaving node 42 in the positive Y direction. Pass it to WriteLinkCSV
+// for readable row labels.
+func TorusLinkName(idx int) string {
+	node := idx / 6
+	dim := (idx % 6) / 2
+	dir := byte('-')
+	if idx%2 == 1 {
+		dir = '+'
+	}
+	return "n" + strconv.Itoa(node) + "." + string("xyz"[dim]) + string(dir)
+}

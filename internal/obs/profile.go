@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bgpsim/internal/sim"
+)
+
+// RankProfile is one rank's time decomposition.
+type RankProfile struct {
+	Rank  int
+	Total sim.Duration // when the rank's program returned
+
+	Compute  sim.Duration
+	P2PWait  sim.Duration
+	CollWait sim.Duration
+	Noise    sim.Duration
+	// Other is the unattributed remainder: software overheads,
+	// fixed-cost Advance sleeps, rendezvous handshakes.
+	Other sim.Duration
+
+	Sends     int64
+	SentBytes int64
+	CollOps   int64
+}
+
+// Profile is the per-rank time decomposition of one run.
+type Profile struct {
+	Ranks []RankProfile // ascending rank order
+
+	// Injection-queue telemetry, aggregated over nodes.
+	InjectMsgs    int64
+	InjectQueued  int64 // messages that waited at all
+	InjectWait    sim.Duration
+	InjectMaxWait sim.Duration
+
+	DroppedSegments int64
+}
+
+// Profile builds the per-rank time decomposition from the recorded
+// stream. Ranks that never finished (aborted runs) use their last
+// observed event as the total.
+func (rec *Recorder) Profile() *Profile {
+	p := &Profile{DroppedSegments: rec.droppedSegs}
+	ids := make([]int, 0, len(rec.ranks))
+	for id := range rec.ranks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		rs := rec.ranks[id]
+		total := rs.done
+		if !rs.doneOK {
+			total = rec.lastT
+		}
+		rp := RankProfile{
+			Rank: id, Total: sim.Duration(total),
+			Compute: rs.compute, P2PWait: rs.p2pWait, CollWait: rs.collWait,
+			Noise: rs.noise,
+			Sends: rs.sends, SentBytes: rs.sentBytes, CollOps: rs.collOps,
+		}
+		if other := rp.Total - rp.Compute - rp.P2PWait - rp.CollWait - rp.Noise; other > 0 {
+			rp.Other = other
+		}
+		p.Ranks = append(p.Ranks, rp)
+	}
+	for _, node := range sortedKeys(rec.inject) {
+		is := rec.inject[node]
+		p.InjectMsgs += is.msgs
+		p.InjectQueued += is.waited
+		p.InjectWait += is.wait
+		if is.maxWait > p.InjectMaxWait {
+			p.InjectMaxWait = is.maxWait
+		}
+	}
+	return p
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Elapsed returns the latest rank finish time.
+func (p *Profile) Elapsed() sim.Duration {
+	var max sim.Duration
+	for _, r := range p.Ranks {
+		if r.Total > max {
+			max = r.Total
+		}
+	}
+	return max
+}
+
+// pct formats d as a percentage of total.
+func pct(d, total sim.Duration) string {
+	if total <= 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(d)/float64(total))
+}
+
+// maxRankRows is the largest rank count printed rank-by-rank; bigger
+// runs print the summary rows only.
+const maxRankRows = 32
+
+// WriteTable renders the profile as an aligned text table: one row per
+// rank (up to maxRankRows), then min / mean / max summary rows and the
+// injection-queue telemetry.
+func (p *Profile) WriteTable(w io.Writer) error {
+	if len(p.Ranks) == 0 {
+		_, err := fmt.Fprintln(w, "profile: no ranks observed")
+		return err
+	}
+	elapsed := p.Elapsed()
+	if _, err := fmt.Fprintf(w, "%-6s %12s %9s %12s %9s %12s %9s %12s %12s\n",
+		"rank", "compute", "", "p2p-wait", "", "coll-wait", "", "noise", "other"); err != nil {
+		return err
+	}
+	row := func(name string, r RankProfile) error {
+		_, err := fmt.Fprintf(w, "%-6s %12.1f %9s %12.1f %9s %12.1f %9s %12.1f %12.1f\n",
+			name,
+			r.Compute.Microseconds(), pct(r.Compute, r.Total),
+			r.P2PWait.Microseconds(), pct(r.P2PWait, r.Total),
+			r.CollWait.Microseconds(), pct(r.CollWait, r.Total),
+			r.Noise.Microseconds(), r.Other.Microseconds())
+		return err
+	}
+	if len(p.Ranks) <= maxRankRows {
+		for _, r := range p.Ranks {
+			if err := row(fmt.Sprintf("%d", r.Rank), r); err != nil {
+				return err
+			}
+		}
+	}
+	min, max, mean := p.summary()
+	if err := row("min", min); err != nil {
+		return err
+	}
+	if err := row("mean", mean); err != nil {
+		return err
+	}
+	if err := row("max", max); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "elapsed %.1f us over %d ranks (percentages of each rank's own total)\n",
+		elapsed.Microseconds(), len(p.Ranks)); err != nil {
+		return err
+	}
+	if p.InjectMsgs > 0 {
+		meanWait := sim.Duration(0)
+		if p.InjectQueued > 0 {
+			meanWait = p.InjectWait / sim.Duration(p.InjectQueued)
+		}
+		if _, err := fmt.Fprintf(w, "injection: %d msgs, %d queued, mean queue %.2f us, max %.2f us\n",
+			p.InjectMsgs, p.InjectQueued, meanWait.Microseconds(), p.InjectMaxWait.Microseconds()); err != nil {
+			return err
+		}
+	}
+	if p.DroppedSegments > 0 {
+		if _, err := fmt.Fprintf(w, "warning: %d timeline segments dropped (raise the recorder cap)\n",
+			p.DroppedSegments); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summary returns the field-wise min, max, and mean rank profiles.
+func (p *Profile) summary() (min, max, mean RankProfile) {
+	min, max = p.Ranks[0], p.Ranks[0]
+	var n = sim.Duration(len(p.Ranks))
+	for _, r := range p.Ranks {
+		mean.Total += r.Total
+		mean.Compute += r.Compute
+		mean.P2PWait += r.P2PWait
+		mean.CollWait += r.CollWait
+		mean.Noise += r.Noise
+		mean.Other += r.Other
+		minD := func(a *sim.Duration, b sim.Duration) {
+			if b < *a {
+				*a = b
+			}
+		}
+		maxD := func(a *sim.Duration, b sim.Duration) {
+			if b > *a {
+				*a = b
+			}
+		}
+		minD(&min.Total, r.Total)
+		minD(&min.Compute, r.Compute)
+		minD(&min.P2PWait, r.P2PWait)
+		minD(&min.CollWait, r.CollWait)
+		minD(&min.Noise, r.Noise)
+		minD(&min.Other, r.Other)
+		maxD(&max.Total, r.Total)
+		maxD(&max.Compute, r.Compute)
+		maxD(&max.P2PWait, r.P2PWait)
+		maxD(&max.CollWait, r.CollWait)
+		maxD(&max.Noise, r.Noise)
+		maxD(&max.Other, r.Other)
+	}
+	mean.Total /= n
+	mean.Compute /= n
+	mean.P2PWait /= n
+	mean.CollWait /= n
+	mean.Noise /= n
+	mean.Other /= n
+	return min, max, mean
+}

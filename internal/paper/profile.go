@@ -1,0 +1,179 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/halo"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/obs"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/stats"
+	"bgpsim/internal/topology"
+)
+
+func init() {
+	register("profile", "Supplementary: where the time goes — per-rank decomposition and critical path of representative workloads", profile)
+}
+
+// profileScenario is one workload observed end to end through its own
+// recorder. Every scenario owns a distinct Recorder, so the experiment
+// stays deterministic on the worker pool: recorders are written by
+// exactly one simulation and read only after runJobs commits.
+type profileScenario struct {
+	name  string
+	ranks int
+	run   func() (*obs.Recorder, error)
+
+	rec *obs.Recorder
+}
+
+// profileScenarios builds the workload list: the HALO exchange from
+// Figure 2 (pure neighbour p2p), a bulk-synchronous stencil+allreduce
+// loop (the classic iterative-solver shape), and an alltoall-heavy
+// transpose step (the FFT communication pattern).
+func profileScenarios(o Options) []*profileScenario {
+	gx, gy := 8, 4
+	loopRanks := 32
+	if o.Full {
+		gx, gy = 16, 8
+		loopRanks = 256
+	}
+
+	haloRun := func(gx, gy int) func() (*obs.Recorder, error) {
+		return func() (*obs.Recorder, error) {
+			rec := obs.NewRecorder()
+			_, _, err := halo.RunResult(halo.Options{
+				Machine: machine.BGP, Mode: machine.VN,
+				GridX: gx, GridY: gy,
+				Mapping: topology.Mapping("TXYZ"), Protocol: halo.IsendIrecv,
+				Words: 2048, Iterations: 5,
+				Probe: rec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return rec, nil
+		}
+	}
+
+	loopRun := func(ranks, bytes int, transpose bool) func() (*obs.Recorder, error) {
+		return func() (*obs.Recorder, error) {
+			rec := obs.NewRecorder()
+			m := machine.Get(machine.BGP)
+			cfg := mpi.Config{Machine: m, Nodes: ranks / m.RanksPerNode(machine.VN),
+				Mode: machine.VN, Fidelity: network.Contention, Probe: rec}
+			_, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+				w := r.World()
+				w.Barrier(r)
+				for it := 0; it < 8; it++ {
+					// A grid-sized stencil sweep per iteration.
+					r.Compute(2e6, 4e5, machine.ClassStencil)
+					if transpose {
+						w.Alltoall(r, bytes)
+					} else {
+						w.Allreduce(r, bytes, true)
+					}
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			return rec, nil
+		}
+	}
+
+	return []*profileScenario{
+		{name: "HALO 1-2 exchange", ranks: gx * gy, run: haloRun(gx, gy)},
+		{name: "stencil+allreduce loop", ranks: loopRanks, run: loopRun(loopRanks, 64, false)},
+		{name: "stencil+transpose loop", ranks: loopRanks, run: loopRun(loopRanks, 4096, true)},
+	}
+}
+
+// profile runs each scenario once on BG/P with an attached recorder and
+// reports two tables: the mean per-rank time decomposition (with the
+// worst rank's wait share, the load-imbalance signal) and the
+// critical-path attribution (which bucket, and which ranks, the
+// end-to-end time actually passed through).
+func profile(o Options) ([]*stats.Table, error) {
+	scenarios := profileScenarios(o)
+	var jobs []job
+	for _, s := range scenarios {
+		s := s
+		jobs = append(jobs, job{
+			run:    func() (any, error) { return s.run() },
+			commit: func(v any) { s.rec = v.(*obs.Recorder) },
+		})
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+
+	t1 := stats.NewTable("Per-rank time decomposition on BG/P VN (mean over ranks; max wait = worst rank's total wait share)",
+		"Workload", "Ranks", "Elapsed us", "Compute", "P2P wait", "Coll wait", "Other", "Max wait")
+	t2 := stats.NewTable("Critical-path attribution (backward walk from the last-finishing rank)",
+		"Workload", "Path us", "End rank", "Hops", "Compute", "P2P wait", "Coll wait", "Other", "Top rank")
+	for _, s := range scenarios {
+		p := s.rec.Profile()
+		_, max, mean := profileSummary(p)
+		t1.AddRow(s.name, fmt.Sprintf("%d", s.ranks),
+			stats.FormatG(p.Elapsed().Microseconds()),
+			profilePct(mean.Compute, mean.Total),
+			profilePct(mean.P2PWait, mean.Total),
+			profilePct(mean.CollWait, mean.Total),
+			profilePct(mean.Other+mean.Noise, mean.Total),
+			profilePct(max.P2PWait+max.CollWait, max.Total))
+
+		cp := s.rec.CriticalPath()
+		top := "-"
+		if len(cp.ByRank) > 0 {
+			top = fmt.Sprintf("%d (%s)", cp.ByRank[0].Rank, profilePct(cp.ByRank[0].Time, cp.Total))
+		}
+		t2.AddRow(s.name, stats.FormatG(cp.Total.Microseconds()),
+			fmt.Sprintf("%d", cp.EndRank), fmt.Sprintf("%d", cp.Hops),
+			profilePct(cp.Compute, cp.Total),
+			profilePct(cp.P2PWait, cp.Total),
+			profilePct(cp.CollWait, cp.Total),
+			profilePct(cp.Other, cp.Total), top)
+	}
+	return []*stats.Table{t1, t2}, nil
+}
+
+// profileSummary re-exposes the field-wise min/max/mean rank profiles.
+func profileSummary(p *obs.Profile) (min, max, mean obs.RankProfile) {
+	if len(p.Ranks) == 0 {
+		return
+	}
+	min, max = p.Ranks[0], p.Ranks[0]
+	for _, r := range p.Ranks {
+		mean.Total += r.Total
+		mean.Compute += r.Compute
+		mean.P2PWait += r.P2PWait
+		mean.CollWait += r.CollWait
+		mean.Noise += r.Noise
+		mean.Other += r.Other
+		if r.Total > max.Total {
+			max = r
+		}
+		if r.Total < min.Total {
+			min = r
+		}
+	}
+	n := sim.Duration(len(p.Ranks))
+	mean.Total /= n
+	mean.Compute /= n
+	mean.P2PWait /= n
+	mean.CollWait /= n
+	mean.Noise /= n
+	mean.Other /= n
+	return min, max, mean
+}
+
+// profilePct formats d as a percentage of total.
+func profilePct(d, total sim.Duration) string {
+	if total <= 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(d)/float64(total))
+}

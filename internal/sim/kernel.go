@@ -117,6 +117,23 @@ type Kernel struct {
 	// many events have fired. It is a safety net against model bugs
 	// that schedule unboundedly.
 	EventLimit uint64
+
+	// Probe, when non-nil, observes process block/unblock transitions.
+	// It must be set before Run. A nil Probe costs one pointer compare
+	// per process switch, all paid inside the event loop's own frame;
+	// probe callbacks must not schedule events or otherwise advance
+	// virtual time.
+	Probe Probe
+}
+
+// Probe observes process scheduling. Higher layers (the obs package)
+// implement a superset of this interface; the kernel only needs the
+// block edges. The tag identifies the logical owner of the process —
+// the MPI layer sets it to the rank id — and is -1 for untagged
+// processes.
+type Probe interface {
+	ProcBlock(tag int, reason, detail string, t Time)
+	ProcUnblock(tag int, t Time)
 }
 
 // initialQueueCap pre-sizes the heap and run queue so steady-state
@@ -312,7 +329,23 @@ func (k *Kernel) Run() error {
 }
 
 // runProc transfers control to p and waits until p yields back.
+//
+// The block/unblock probe hooks fire here, on the event loop's side
+// of the channel handoff, rather than inside Proc.Block: Block must
+// stay inlinable (see its comment), and the loop observes the same
+// transitions — a resumed process with a non-empty blocked reason is
+// waking from Block; a yield that leaves the reason set is a Block
+// taking effect (Sleep and process exit clear or never set it). The
+// observed event order is identical to in-Block hooks because nothing
+// runs between a process's yield and this loop, or between the resume
+// send and the process continuing.
 func (k *Kernel) runProc(p *Proc) {
+	if k.Probe != nil && p.blocked != "" {
+		k.Probe.ProcUnblock(p.tag, k.now)
+	}
 	p.resume <- struct{}{}
 	<-k.yieldCh
+	if k.Probe != nil && p.blocked != "" {
+		k.Probe.ProcBlock(p.tag, p.blocked, p.blockedDetail, k.now)
+	}
 }

@@ -20,7 +20,13 @@ type Proc struct {
 	blocked       string // non-empty while waiting on a condition (diagnostics)
 	blockedDetail string // optional reason suffix (BlockWith)
 	blockedSince  Time   // when the current Block began (diagnostics)
+
+	tag int // probe identity (rank id); -1 when untagged
 }
+
+// SetTag labels the process for probe callbacks; the MPI layer uses
+// the rank id. Untagged processes report -1.
+func (p *Proc) SetTag(tag int) { p.tag = tag }
 
 // Spawn creates a process executing fn, starting at the current
 // virtual time. The name is used in deadlock diagnostics.
@@ -29,7 +35,7 @@ type Proc struct {
 // it, aborts the kernel with a *PanicError (or, for Fail, the carried
 // error itself), and Run returns that error.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, id: len(k.procs), name: name, resume: make(chan struct{})}
+	p := &Proc{k: k, id: len(k.procs), name: name, resume: make(chan struct{}), tag: -1}
 	k.procs = append(k.procs, p)
 	k.live++
 	go func() {
@@ -89,6 +95,15 @@ func (p *Proc) SleepUntil(t Time) {
 
 // Block suspends the process until another process or event callback
 // calls Wake. The reason string appears in deadlock reports.
+//
+// Block and BlockWith MUST stay inlinable (like yield): they sit at
+// the deepest point of every rank goroutine's stack, and outlining
+// them adds a frame that tips thousands of fresh goroutine stacks
+// into growth. That is why the ProcBlock/ProcUnblock probe hooks fire
+// from Kernel.runProc — the event loop's side of the same channel
+// handoff — instead of here: even one extra call would blow the
+// inlining budget, and the kernel observes the identical transitions
+// in the identical order for free.
 func (p *Proc) Block(reason string) {
 	p.blocked = reason
 	p.blockedSince = p.k.now

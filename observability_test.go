@@ -1,0 +1,146 @@
+package bgpsim_test
+
+// Observability contract tests: dropped trace events are surfaced, the
+// Chrome trace export of a pinned run is byte-stable, and probed runs
+// on the worker pool render identical profile tables at any -j (the
+// test matters most under -race, where it also proves recorders on
+// different sweep points share no state).
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgpsim"
+	"bgpsim/internal/halo"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/runner"
+	"bgpsim/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+func TestTraceBufferOverflowSurfaced(t *testing.T) {
+	const cap = 4
+	tb := bgpsim.NewTraceBuffer(cap)
+	cfg := bgpsim.NewSystem(bgpsim.BGP, bgpsim.VN, 16, bgpsim.WithTrace(tb))
+	res, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() - 1 + r.Size()) % r.Size()
+		for k := 0; k < 4; k++ {
+			r.Sendrecv(right, 1024, k, left, k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != cap {
+		t.Errorf("buffer holds %d events, want the cap %d", tb.Len(), cap)
+	}
+	if tb.Dropped() == 0 {
+		t.Error("no dropped events counted on an overflowing buffer")
+	}
+	if res.DroppedEvents() != tb.Dropped() {
+		t.Errorf("Result surfaces %d dropped events, buffer counted %d",
+			res.DroppedEvents(), tb.Dropped())
+	}
+
+	// A large enough buffer drops nothing, and the Result says so.
+	tb2 := bgpsim.NewTraceBuffer(1 << 16)
+	cfg2 := bgpsim.NewSystem(bgpsim.BGP, bgpsim.VN, 16, bgpsim.WithTrace(tb2))
+	res2, err := bgpsim.Run(cfg2, func(r *bgpsim.Rank) { r.World().Barrier(r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DroppedEvents() != 0 {
+		t.Errorf("dropped = %d on an unconstrained buffer", res2.DroppedEvents())
+	}
+}
+
+// pinnedHalo runs the golden observability workload: an 8-rank HALO
+// exchange on BG/P with a fresh recorder attached.
+func pinnedHalo() (*bgpsim.Recorder, error) {
+	rec := bgpsim.NewRecorder()
+	_, _, err := halo.RunResult(halo.Options{
+		Machine: machine.BGP, Mode: machine.VN,
+		GridX: 4, GridY: 2,
+		Mapping: topology.MapTXYZ, Protocol: halo.IsendIrecv,
+		Words: 2048, Iterations: 2,
+		Probe: rec,
+	})
+	return rec, err
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	rec, err := pinnedHalo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := rec.WriteChromeTrace(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "halo8.trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run ChromeTraceGolden -update .` to create it)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("Chrome trace drifted from %s (%d vs %d bytes); if the change is intended, regenerate with -update",
+			path, got.Len(), len(want))
+	}
+}
+
+// profileTables runs `n` independent probed halo simulations on the
+// runner pool at the given worker count and renders each one's profile
+// table and critical-path summary.
+func profileTables(t *testing.T, n, workers int) []string {
+	t.Helper()
+	defer runner.SetWorkers(0)
+	runner.SetWorkers(workers)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out, err := runner.Sweep(idx, func(i int) (string, error) {
+		rec, err := pinnedHalo()
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := rec.Profile().WriteTable(&b); err != nil {
+			return "", err
+		}
+		if err := rec.CriticalPath().WriteSummary(&b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestProfileTablesWorkerInvariance(t *testing.T) {
+	serial := profileTables(t, 4, 1)
+	parallel := profileTables(t, 4, 4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("probed run %d renders differently at -j 1 and -j 4:\n-- j1 --\n%s\n-- j4 --\n%s",
+				i, serial[i], parallel[i])
+		}
+		if i > 0 && serial[i] != serial[0] {
+			t.Fatalf("identical probed runs %d and 0 differ:\n%s\nvs\n%s", i, serial[i], serial[0])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package bgpsim
+
+import (
+	"bgpsim/internal/fault"
+	"bgpsim/internal/network"
+	"bgpsim/internal/obs"
+	"bgpsim/internal/trace"
+)
+
+// Observability and fault types re-exported from the internal layers,
+// so programs never import bgpsim/internal/... directly.
+type (
+	// TraceBuffer is a bounded in-memory event trace (Config.Trace).
+	TraceBuffer = trace.Buffer
+	// TraceEvent is one recorded trace event.
+	TraceEvent = trace.Event
+	// TraceKind is the kind of a trace event (Send, Match, ...).
+	TraceKind = trace.Kind
+	// Probe receives the observability event stream of a run
+	// (Config.Probe). Recorder is the standard implementation.
+	Probe = obs.Probe
+	// Recorder accumulates the probe stream into timelines, link
+	// telemetry and critical-path inputs.
+	Recorder = obs.Recorder
+	// Profile is a run's per-rank time decomposition.
+	Profile = obs.Profile
+	// RankProfile is one rank's time decomposition.
+	RankProfile = obs.RankProfile
+	// CritPath is the result of a critical-path walk.
+	CritPath = obs.CritPath
+	// Segment is one span of a rank's recorded timeline.
+	Segment = obs.Segment
+	// SegKind classifies a timeline segment (compute, p2p wait, ...).
+	SegKind = obs.SegKind
+	// CollSpan is one collective operation on a rank's timeline.
+	CollSpan = obs.CollSpan
+	// FaultPlan is a deterministic fault schedule (Config.Faults).
+	FaultPlan = fault.Plan
+	// NetStats holds a run's interconnect traffic counters.
+	NetStats = network.Stats
+	// Fidelity selects the torus network model.
+	Fidelity = network.Fidelity
+)
+
+// Trace event kinds.
+const (
+	TraceSend      = trace.Send
+	TraceRecvPost  = trace.RecvPost
+	TraceMatch     = trace.Match
+	TraceCollEnter = trace.CollEnter
+	TraceCollExit  = trace.CollExit
+)
+
+// Timeline segment kinds.
+const (
+	SegCompute  = obs.SegCompute
+	SegP2PWait  = obs.SegP2PWait
+	SegCollWait = obs.SegCollWait
+)
+
+// Packet is the highest-fidelity torus model (per-packet simulation);
+// it completes the Analytic and Contention constants in bgpsim.go.
+const Packet = network.Packet
+
+// NewTraceBuffer returns a trace buffer holding up to max events;
+// beyond that, events are counted as dropped, not recorded (see
+// Result.DroppedEvents).
+func NewTraceBuffer(max int) *TraceBuffer { return trace.NewBuffer(max) }
+
+// NewRecorder returns a Recorder with default settings. Attach it with
+// WithProfile (or Config.Probe) and read it back from
+// Result.Recorder, Result.Profile, or Result.CriticalPath.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NewRecorderWith returns a Recorder with an explicit link-telemetry
+// bucket width and timeline-segment cap (zero values mean the
+// defaults: DefaultBucket, unbounded).
+func NewRecorderWith(bucket Duration, maxSegs int) *Recorder {
+	return obs.NewRecorderWith(bucket, maxSegs)
+}
+
+// NewFaultPlan returns an empty deterministic fault plan seeded with
+// seed. Attach it with WithFaults (or Config.Faults).
+func NewFaultPlan(seed uint64) *FaultPlan { return fault.NewPlan(seed) }
+
+// Option adjusts a Config built by NewSystem. Every option is plain
+// sugar over a public Config field — WithTrace(b) is exactly
+// cfg.Trace = b — so option-built and field-poked configurations are
+// interchangeable, and NewSystem with no options returns the same
+// Config it always has.
+type Option func(*Config)
+
+// WithTrace records message and collective events into buf.
+// Equivalent to setting Config.Trace = buf.
+func WithTrace(buf *TraceBuffer) Option {
+	return func(c *Config) { c.Trace = buf }
+}
+
+// WithProfile streams the run's observability events into rec,
+// enabling Result.Profile and Result.CriticalPath. Equivalent to
+// setting Config.Probe = rec.
+func WithProfile(rec *Recorder) Option {
+	return func(c *Config) { c.Probe = rec }
+}
+
+// WithProbe attaches an arbitrary probe implementation. Equivalent to
+// setting Config.Probe = p.
+func WithProbe(p Probe) Option {
+	return func(c *Config) { c.Probe = p }
+}
+
+// WithColl overrides the collective-algorithm selection for one op,
+// e.g. WithColl("allreduce", "ring"). Equivalent to setting
+// Config.Coll[op] = algo; repeat the option for several ops. Invalid
+// names are rejected when the run starts.
+func WithColl(op, algo string) Option {
+	return func(c *Config) {
+		if c.Coll == nil {
+			c.Coll = make(map[string]string)
+		}
+		c.Coll[op] = algo
+	}
+}
+
+// WithFaults injects the plan's faults into the run. Equivalent to
+// setting Config.Faults = p.
+func WithFaults(p *FaultPlan) Option {
+	return func(c *Config) { c.Faults = p }
+}
+
+// WithFidelity selects the torus network model (Analytic, Contention,
+// or Packet). Equivalent to setting Config.Fidelity = f.
+func WithFidelity(f Fidelity) Option {
+	return func(c *Config) { c.Fidelity = f }
+}
+
+// WithMapping selects the process-to-processor mapping. Equivalent to
+// setting Config.Mapping = m.
+func WithMapping(m Mapping) Option {
+	return func(c *Config) { c.Mapping = m }
+}

@@ -20,12 +20,13 @@ vet:
 
 # Tier-1+ verification: formatting, vet, the full suite under the race
 # detector (covers the concurrent sweep runner), the fuzz seed corpora,
-# and a resilience-sweep smoke run.
+# per-package coverage floors, and a resilience-sweep smoke run.
 check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race -timeout 20m ./...
-	$(GO) test -run 'Fuzz' ./internal/topology/
+	$(GO) test -run 'Fuzz' ./internal/topology/ ./internal/mpi/ ./internal/fault/ ./internal/fault/conformance/
+	$(MAKE) cover
 	$(GO) run ./cmd/paper -exp faults > /dev/null
 	$(GO) run ./cmd/paper -exp colltune > /dev/null
 	$(GO) run ./cmd/paper -exp profile > /dev/null
@@ -72,8 +73,24 @@ examples:
 	$(GO) run ./examples/custom-app
 	$(GO) run ./examples/real-programs
 
+# Coverage with per-package floors: the packages the resilience and
+# observability contracts lean on (fault injection, the MPI layer, the
+# probes) must not silently lose their tests. Floors sit ~5 points
+# below measured coverage; raise them as the suites grow.
+COVER_FLOORS = bgpsim/internal/fault:85 bgpsim/internal/mpi:80 bgpsim/internal/obs:65
+
 cover:
-	$(GO) test -cover ./...
+	@$(GO) test -cover ./... | awk -v floors="$(COVER_FLOORS)" ' \
+		{ print } \
+		/^ok/ { for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) pct[$$2] = substr($$i, 1, length($$i)-1) + 0 } \
+		END { \
+			n = split(floors, fl, " "); bad = 0; \
+			for (j = 1; j <= n; j++) { \
+				split(fl[j], kv, ":"); \
+				if (!(kv[1] in pct)) { printf "cover: no coverage reported for %s\n", kv[1]; bad = 1 } \
+				else if (pct[kv[1]] < kv[2] + 0) { printf "cover: %s at %.1f%% is below the %s%% floor\n", kv[1], pct[kv[1]], kv[2]; bad = 1 } \
+			} \
+			exit bad }'
 
 clean:
 	rm -f test_output.txt bench_output.txt bench_fresh.json

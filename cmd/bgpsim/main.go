@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"bgpsim/internal/core"
+	"bgpsim/internal/fault"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
@@ -63,6 +64,7 @@ func main() {
 	double := flag.Bool("double", true, "double precision operands (allreduce)")
 	mapping := flag.String("mapping", "XYZT", "process mapping (XYZT, TXYZ, ...)")
 	fidelity := flag.String("fidelity", "contention", "network model: contention, analytic, or packet")
+	faultsFlag := flag.String("faults", "", "inject a deterministic fault plan, e.g. 'seed=3,recover,kill=5@40us' or 'blast=50us/7/1/0/0/1' (see internal/fault.ParseSpec)")
 	events := flag.Int("events", 0, "dump the first N trace events")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to FILE")
 	profile := flag.Bool("profile", false, "print per-rank time decomposition and critical path")
@@ -90,6 +92,17 @@ func main() {
 	cfg := core.PartitionConfig(machine.ID(*mach), mode, *ranks)
 	cfg.Mapping = topology.Mapping(*mapping)
 	cfg.Fidelity = fid
+	if *faultsFlag != "" {
+		plan, blasts, err := fault.BuildForPartition(*faultsFlag, machine.ID(*mach), cfg.Nodes)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, b := range blasts {
+			fmt.Fprintf(os.Stderr, "bgpsim: blast from node %d: %s domain [%d, %d], %d nodes killed\n",
+				b.Origin, b.Level, b.First, b.Last, len(b.Dead))
+		}
+		cfg.Faults = plan
+	}
 	var tb *trace.Buffer
 	if *events > 0 {
 		tb = trace.NewBuffer(*events)
@@ -146,6 +159,11 @@ func main() {
 	}
 	fmt.Printf("  messages:   %d (%d on shared memory)\n", res.Net.Messages, res.Net.ShmMsgs)
 	fmt.Printf("  tree ops:   %d, barrier-net ops: %d\n", res.Net.TreeOps, res.Net.BarrierOps)
+	if cfg.Faults != nil {
+		fmt.Printf("  lost ranks: %v\n", res.Lost)
+		fmt.Printf("  recoveries: %d (tree rebuilds %d, HW fallbacks %d, %v charged)\n",
+			res.Net.Recoveries, res.Net.TreeRebuilds, res.Net.HWFallbacks, res.Net.RecoveryTime)
+	}
 	fmt.Printf("  sim events: %d\n", res.Events)
 	if n := res.DroppedEvents(); n > 0 {
 		fmt.Fprintf(os.Stderr, "bgpsim: warning: %d trace events dropped (raise -events)\n", n)

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
+	"bgpsim/internal/core"
+	"bgpsim/internal/fault"
 	"bgpsim/internal/halo"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
@@ -62,6 +65,7 @@ func main() {
 	mapping := flag.String("mapping", "TXYZ", "process mapping")
 	protoS := flag.String("protocol", "isend", "protocol: isend, sendrecv, irecvsend, persistent")
 	collFlag := flag.String("coll", "", "force collective algorithms, e.g. barrier=reduce-bcast")
+	faultsFlag := flag.String("faults", "", "inject a deterministic fault plan, e.g. 'seed=3,recover,kill=5@40us' or 'blast=50us/7/1/0/0/1' (see internal/fault.ParseSpec)")
 	sweep := flag.Bool("sweep", false, "sweep halo sizes")
 	mappings := flag.Bool("mappings", false, "compare all predefined mappings")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to FILE (single-run mode)")
@@ -102,6 +106,31 @@ func main() {
 		Words: *words, Iterations: 5, Coll: coll,
 	}
 
+	// newFaults rebuilds the fault plan from the validated -faults spec:
+	// each sweep job gets its own plan, so nothing is shared between
+	// concurrent simulations. Build is deterministic, so every rebuild
+	// schedules identical faults.
+	var newFaults func() *fault.Plan
+	if *faultsFlag != "" {
+		nodes := core.PartitionConfig(base.Machine, mode, *gx**gy).Nodes
+		_, blasts, err := fault.BuildForPartition(*faultsFlag, base.Machine, nodes)
+		if err != nil {
+			fail(err)
+		}
+		for _, b := range blasts {
+			fmt.Fprintf(os.Stderr, "halo: blast from node %d: %s domain [%d, %d], %d nodes killed\n",
+				b.Origin, b.Level, b.First, b.Last, len(b.Dead))
+		}
+		newFaults = func() *fault.Plan {
+			p, _, err := fault.BuildForPartition(*faultsFlag, base.Machine, nodes)
+			if err != nil {
+				fail(err) // unreachable: the spec validated above
+			}
+			return p
+		}
+		base.Faults = newFaults()
+	}
+
 	observing := *traceFile != "" || *profile || *linksFile != ""
 	if observing && (*sweep || *mappings) {
 		fail(fmt.Errorf("-trace/-profile/-links apply to single-run mode only, not -sweep or -mappings"))
@@ -119,6 +148,9 @@ func main() {
 		ds, err := runner.Sweep(topology.PaperHALOMappings, func(m topology.Mapping) (sim.Duration, error) {
 			o := base
 			o.Mapping = m
+			if newFaults != nil {
+				o.Faults = newFaults()
+			}
 			return halo.Run(o)
 		})
 		if err != nil {
@@ -134,6 +166,9 @@ func main() {
 		ds, err := runner.Sweep(sizes, func(w int) (sim.Duration, error) {
 			o := base
 			o.Words = w
+			if newFaults != nil {
+				o.Faults = newFaults()
+			}
 			return halo.Run(o)
 		})
 		if err != nil {
@@ -145,6 +180,20 @@ func main() {
 	default:
 		d, res, err := halo.RunResult(base)
 		if err != nil {
+			var rf *mpi.RankFailure
+			if errors.As(err, &rf) && rec != nil {
+				// An injected kill aborts the run, but the recorder
+				// keeps everything observed up to the abort: write the
+				// truncated timeline out before failing.
+				fmt.Fprintln(os.Stderr, "halo:", err)
+				if err := writeTrace(rec, *traceFile); err != nil {
+					fail(err)
+				}
+				if err := writeLinks(rec, *linksFile); err != nil {
+					fail(err)
+				}
+				os.Exit(1)
+			}
 			fail(err)
 		}
 		fmt.Printf("HALO %s %s %dx%d grid, %d words, %s, mapping %s: %v per exchange\n",

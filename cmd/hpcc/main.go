@@ -22,6 +22,8 @@ import (
 	"strconv"
 	"strings"
 
+	"bgpsim/internal/core"
+	"bgpsim/internal/fault"
 	"bgpsim/internal/hpcc"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
@@ -51,6 +53,7 @@ func main() {
 	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
 	ranksFlag := flag.String("ranks", "256", "MPI processes (VN mode); comma-separated for a sweep")
 	collFlag := flag.String("coll", "", "force collective algorithms, e.g. allreduce=ring,bcast=binomial")
+	faultsFlag := flag.String("faults", "", "inject a deterministic fault plan into the collective phase, e.g. 'seed=3,recover,kill=5@40us' (see internal/fault.ParseSpec)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the collective phase to FILE (single -ranks value)")
 	profile := flag.Bool("profile", false, "print the collective phase's per-rank time decomposition and critical path (single -ranks value)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
@@ -90,9 +93,21 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		// The fault plan is built per rank count (blast domains and
+		// range checks depend on the partition) and per job, so
+		// concurrent simulations share nothing.
+		var plan *fault.Plan
+		var blasts []fault.BlastResult
+		if *faultsFlag != "" {
+			nodes := core.PartitionConfig(id, machine.VN, ranks).Nodes
+			plan, blasts, err = fault.BuildForPartition(*faultsFlag, id, nodes)
+			if err != nil {
+				return "", err
+			}
+		}
 		// rec is only non-nil with a single rank count, so at most one
 		// simulation ever drives it.
-		cb, _, err := hpcc.CollBenchObserved(id, ranks, coll, probeOrNil(rec))
+		cb, cres, err := hpcc.CollBenchFaulty(id, ranks, coll, plan, probeOrNil(rec))
 		if err != nil {
 			return "", err
 		}
@@ -116,6 +131,16 @@ func main() {
 		fmt.Fprintf(&b, "  Barrier:           %8.2f us  [%s]\n", cb.BarrierUS, cb.BarrierAlgo)
 		fmt.Fprintf(&b, "  Bcast:             %8.2f us  [%s]\n", cb.BcastUS, cb.BcastAlgo)
 		fmt.Fprintf(&b, "  Allreduce:         %8.2f us  [%s]\n", cb.AllreduceUS, cb.AllreduceAlgo)
+		if plan != nil {
+			fmt.Fprintf(&b, "Injected faults (%s):\n", *faultsFlag)
+			for _, bl := range blasts {
+				fmt.Fprintf(&b, "  blast from node %d: %s domain [%d, %d], %d nodes killed\n",
+					bl.Origin, bl.Level, bl.First, bl.Last, len(bl.Dead))
+			}
+			fmt.Fprintf(&b, "  lost ranks: %v\n", cres.Lost)
+			fmt.Fprintf(&b, "  recoveries: %d (tree rebuilds %d, HW fallbacks %d, %v charged)\n",
+				cres.Net.Recoveries, cres.Net.TreeRebuilds, cres.Net.HWFallbacks, cres.Net.RecoveryTime)
+		}
 		fmt.Fprintf(&b, "Parallel tests:\n")
 		fmt.Fprintf(&b, "  HPL:               %8.1f GFlop/s (%.1f%% of peak)\n",
 			hpl, hpl*1e9/(m.PeakFlopsCore()*float64(ranks))*100)

@@ -1,0 +1,179 @@
+// Package ckpt runs coordinated checkpoint/restart as an actual
+// simulated application: compute segments separated by barriers, with
+// each rank writing its checkpoint through the stateful storage model
+// (iosys.Sim) so checkpoints occupy the I/O path over virtual time
+// instead of being priced by a closed-form formula. Failures arrive on
+// a deterministic seeded exponential schedule; each one costs a reboot
+// plus reading the last checkpoint back, and the work since that
+// checkpoint is redone.
+//
+// The package is the simulation half of the differential check against
+// fault.Checkpointer (Daly's expected-completion model) and
+// fault.YoungDaly (the optimal-interval formula): sweeping Interval and
+// minimizing the simulated time-to-solution must land near the
+// analytic optimum (internal/fault/conformance).
+package ckpt
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/iosys"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+)
+
+// Params configures one checkpoint/restart run.
+type Params struct {
+	Machine *machine.Machine
+	Nodes   int
+	Storage *iosys.Storage
+
+	// Work is the failure-free compute time to complete, in seconds.
+	Work float64
+	// Interval is the compute time between checkpoints (Daly's τ),
+	// in seconds.
+	Interval float64
+	// BytesPerNode is each rank's checkpoint size (N-N checkpointing,
+	// one file per node).
+	BytesPerNode float64
+	// Reboot is the time to reboot and relaunch after a failure, before
+	// reading the checkpoint back, in seconds.
+	Reboot float64
+	// NodeMTBF is the per-node mean time between failures in seconds;
+	// the system rate is Nodes times higher (fault.SystemMTBF). Zero
+	// disables failures.
+	NodeMTBF float64
+
+	Seed uint64
+	// MaxFailures caps the precomputed failure schedule (default 4096);
+	// a run that survives past the last scheduled failure sees no more.
+	MaxFailures int
+}
+
+// Result summarizes one run.
+type Result struct {
+	// TTS is the simulated wall-clock time to solution, in seconds.
+	TTS float64
+	// Checkpoints counts committed checkpoints; Failures counts
+	// failures taken; Rework is the compute time redone after failures,
+	// in seconds.
+	Checkpoints int
+	Failures    int
+	Rework      float64
+}
+
+// Run executes the checkpoint/restart application and returns the
+// simulated outcome. One rank runs per node (SMP mode). The run is a
+// pure function of Params.
+func Run(p Params) (Result, error) {
+	if p.Machine == nil || p.Storage == nil {
+		return Result{}, fmt.Errorf("ckpt: machine and storage required")
+	}
+	if p.Work <= 0 || p.Interval <= 0 || p.BytesPerNode < 0 || p.Reboot < 0 {
+		return Result{}, fmt.Errorf("ckpt: bad parameters work=%g interval=%g bytes=%g reboot=%g",
+			p.Work, p.Interval, p.BytesPerNode, p.Reboot)
+	}
+	maxFail := p.MaxFailures
+	if maxFail <= 0 {
+		maxFail = 4096
+	}
+	sched := failureSchedule(p, maxFail)
+
+	io, err := iosys.NewSim(p.Storage, p.Nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	var out Result
+	res, err := mpi.Execute(mpi.Config{
+		Machine:  p.Machine,
+		Nodes:    p.Nodes,
+		Mode:     machine.SMP,
+		Fidelity: network.Contention,
+		Seed:     p.Seed,
+	}, func(r *Rank) { ckptProgram(r, p, sched, io, &out) })
+	if err != nil {
+		return Result{}, err
+	}
+	out.TTS = res.Elapsed.Seconds()
+	return out, nil
+}
+
+// Rank aliases mpi.Rank so the program signature below reads plainly.
+type Rank = mpi.Rank
+
+// ckptProgram is the per-rank body. Every decision is taken at a
+// barrier-aligned time (the hardware barrier releases all ranks at the
+// same instant), so all ranks branch identically and the shared
+// counters are written consistently; only rank 0 accumulates Result.
+func ckptProgram(r *Rank, p Params, sched []float64, io *iosys.Sim, out *Result) {
+	world := r.World()
+	node := r.Node()
+	done := 0.0
+	fi := 0
+	restart := func() {
+		// Reboot, read the last checkpoint back, and re-align.
+		r.Advance(sim.Seconds(p.Reboot))
+		r.Advance(io.NodeRead(r.Now(), node, p.BytesPerNode).Sub(r.Now()))
+		world.Barrier(r)
+	}
+	for done < p.Work {
+		t := sim.Duration(r.Now()).Seconds()
+		seg := math.Min(p.Interval, p.Work-done)
+		if fi < len(sched) && sched[fi] < t+seg {
+			// Failure strikes mid-segment (or during a restart already in
+			// progress, when sched[fi] < t): the segment is lost.
+			lost := math.Max(0, sched[fi]-t)
+			r.Advance(sim.Seconds(lost))
+			fi++
+			if r.ID() == 0 {
+				out.Failures++
+				out.Rework += lost
+			}
+			restart()
+			continue
+		}
+		r.Advance(sim.Seconds(seg))
+		r.Advance(io.NodeWrite(r.Now(), node, p.BytesPerNode, 1).Sub(r.Now()))
+		world.Barrier(r)
+		if fi < len(sched) && sched[fi] < sim.Duration(r.Now()).Seconds() {
+			// Failure struck while the checkpoint was being written: the
+			// checkpoint may be torn, so the segment is redone from the
+			// previous one.
+			fi++
+			if r.ID() == 0 {
+				out.Failures++
+				out.Rework += seg
+			}
+			restart()
+			continue
+		}
+		done += seg
+		if r.ID() == 0 {
+			out.Checkpoints++
+		}
+	}
+}
+
+// failureSchedule draws the deterministic system-failure times:
+// exponential inter-arrivals at rate Nodes/NodeMTBF, from the run
+// seed.
+func failureSchedule(p Params, maxFail int) []float64 {
+	if p.NodeMTBF <= 0 {
+		return nil
+	}
+	m := p.NodeMTBF / float64(p.Nodes)
+	rng := sim.NewRNG(p.Seed ^ 0xc2b2ae3d27d4eb4f)
+	sched := make([]float64, 0, 16)
+	t := 0.0
+	// The horizon is generous: a run needing more than maxFail failures
+	// (or 100x the failure-free work) is pathological for the model.
+	for len(sched) < maxFail && t < 100*p.Work {
+		u := rng.Float64()
+		t += -m * math.Log(1-u)
+		sched = append(sched, t)
+	}
+	return sched
+}

@@ -1,0 +1,104 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+
+	"bgpsim/internal/iosys"
+	"bgpsim/internal/machine"
+)
+
+func baseParams(t *testing.T) Params {
+	t.Helper()
+	m, err := machine.Lookup("BG/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Params{
+		Machine:      m,
+		Nodes:        64,
+		Storage:      iosys.ORNLEugene(),
+		Work:         3600,
+		Interval:     450,
+		BytesPerNode: 16 << 20,
+		Reboot:       60,
+		Seed:         7,
+	}
+}
+
+func TestCkptFailureFree(t *testing.T) {
+	p := baseParams(t)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.Rework != 0 {
+		t.Fatalf("failure-free run reported failures: %+v", res)
+	}
+	if want := int(math.Ceil(p.Work / p.Interval)); res.Checkpoints != want {
+		t.Errorf("Checkpoints = %d, want %d", res.Checkpoints, want)
+	}
+	// TTS = work + checkpoint overhead; the overhead is real but small.
+	if res.TTS <= p.Work {
+		t.Errorf("TTS %.1fs does not exceed the compute time %.1fs", res.TTS, p.Work)
+	}
+	if res.TTS > 1.2*p.Work {
+		t.Errorf("TTS %.1fs implies absurd checkpoint overhead", res.TTS)
+	}
+}
+
+func TestCkptDeterminism(t *testing.T) {
+	p := baseParams(t)
+	p.NodeMTBF = 600 * 64 // system MTBF 600s: several failures per run
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same params, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCkptFailuresCostTime(t *testing.T) {
+	p := baseParams(t)
+	healthy, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NodeMTBF = 600 * 64
+	faulty, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Failures == 0 {
+		t.Fatal("system MTBF of 600s produced no failures over an hour of work")
+	}
+	if faulty.TTS <= healthy.TTS {
+		t.Errorf("faulty TTS %.1fs not above failure-free %.1fs", faulty.TTS, healthy.TTS)
+	}
+	if faulty.Rework <= 0 {
+		t.Error("failures caused no rework")
+	}
+}
+
+func TestCkptRejectsBadParams(t *testing.T) {
+	good := baseParams(t)
+	for _, mut := range []func(*Params){
+		func(p *Params) { p.Machine = nil },
+		func(p *Params) { p.Storage = nil },
+		func(p *Params) { p.Work = 0 },
+		func(p *Params) { p.Interval = -1 },
+		func(p *Params) { p.BytesPerNode = -1 },
+		func(p *Params) { p.Reboot = -1 },
+	} {
+		p := good
+		mut(&p)
+		if _, err := Run(p); err == nil {
+			t.Errorf("Run accepted bad params %+v", p)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// BlastSpec configures one correlated-failure draw. Real machine
+// failures are not independent: nodes share node-card DC-DC
+// converters, midplane link chips and service cards, and rack bulk
+// power supplies, so one physical fault often takes out a whole
+// packaging unit. A blast starts at an origin node and escalates up
+// the machine's packaging hierarchy (machine.Hierarchy) with the given
+// probabilities; the nodes of the final shared-fate domain then die
+// with probability Density each (the origin always dies).
+type BlastSpec struct {
+	// At is when the blast strikes.
+	At sim.Time
+	// Origin is the originating node, or -1 to draw it from the plan
+	// seed.
+	Origin int
+	// PCard, PMidplane, PRack are the escalation probabilities: node to
+	// node card (blade), card to midplane (cage), midplane to rack
+	// (cabinet). Each must be in [0, 1].
+	PCard, PMidplane, PRack float64
+	// Density is the probability that each non-origin node of the final
+	// domain dies with the origin. Zero confines the blast to the
+	// origin; one takes the whole domain.
+	Density float64
+	// FailLinks additionally fails every torus link into and out of
+	// each dead node at the blast time, so traffic must route around
+	// the hole (dead switches forward nothing).
+	FailLinks bool
+}
+
+// BlastLevel is how far a blast escalated.
+type BlastLevel int
+
+// Escalation levels, smallest domain first.
+const (
+	BlastNode BlastLevel = iota
+	BlastCard
+	BlastMidplane
+	BlastRack
+)
+
+// String names the level ("node", "card", "midplane", "rack").
+func (l BlastLevel) String() string {
+	switch l {
+	case BlastNode:
+		return "node"
+	case BlastCard:
+		return "card"
+	case BlastMidplane:
+		return "midplane"
+	case BlastRack:
+		return "rack"
+	}
+	return fmt.Sprintf("BlastLevel(%d)", int(l))
+}
+
+// BlastResult describes one injected blast.
+type BlastResult struct {
+	Origin int
+	Level  BlastLevel
+	// First and Last bound the shared-fate domain [First, Last] in
+	// node indices (clipped to the partition).
+	First, Last int
+	// Dead lists the killed nodes in increasing order.
+	Dead []int
+}
+
+// InjectBlast draws one correlated failure and schedules the resulting
+// node kills (and, with FailLinks, link failures) on the plan. The
+// placement is a pure function of the plan seed and draw sequence, so
+// repeated runs see the identical blast. The node-index-to-packaging
+// mapping is positional: node card k holds nodes [k*Card, (k+1)*Card),
+// and so on up the hierarchy — the allocator hands out contiguous
+// physical units, so contiguous index ranges are shared-fate domains.
+func (p *Plan) InjectBlast(t *topology.Torus, h machine.Hierarchy, spec BlastSpec) (BlastResult, error) {
+	nodes := t.Dims.Nodes()
+	if spec.Origin < -1 || spec.Origin >= nodes {
+		return BlastResult{}, fmt.Errorf("fault: blast origin %d out of range (partition has %d nodes)", spec.Origin, nodes)
+	}
+	for _, pr := range [...]float64{spec.PCard, spec.PMidplane, spec.PRack, spec.Density} {
+		if pr < 0 || pr > 1 {
+			return BlastResult{}, fmt.Errorf("fault: blast probability %g must be in [0, 1]", pr)
+		}
+	}
+	if h.Card < 1 || h.Midplane < h.Card || h.Rack < h.Midplane {
+		return BlastResult{}, fmt.Errorf("fault: invalid hierarchy %+v", h)
+	}
+	rng := p.rng()
+
+	res := BlastResult{Origin: spec.Origin, Level: BlastNode}
+	if res.Origin < 0 {
+		res.Origin = rng.Intn(nodes)
+	}
+
+	// Escalate up the packaging ladder. Every draw happens regardless
+	// of the previous outcome so the stream consumption — and therefore
+	// every later draw — is independent of the probabilities.
+	escCard := rng.Float64() < spec.PCard
+	escMid := rng.Float64() < spec.PMidplane
+	escRack := rng.Float64() < spec.PRack
+	unit := 1
+	switch {
+	case escCard && escMid && escRack:
+		res.Level, unit = BlastRack, h.Rack
+	case escCard && escMid:
+		res.Level, unit = BlastMidplane, h.Midplane
+	case escCard:
+		res.Level, unit = BlastCard, h.Card
+	}
+	res.First = res.Origin / unit * unit
+	res.Last = res.First + unit - 1
+	if res.Last >= nodes {
+		res.Last = nodes - 1
+	}
+
+	res.Dead = append(res.Dead, res.Origin)
+	for n := res.First; n <= res.Last; n++ {
+		if n != res.Origin && rng.Float64() < spec.Density {
+			res.Dead = append(res.Dead, n)
+		}
+	}
+	sort.Ints(res.Dead)
+
+	for _, n := range res.Dead {
+		p.KillNode(n, spec.At)
+		if spec.FailLinks {
+			p.failNodeLinks(t, n, spec.At)
+		}
+	}
+	return res, nil
+}
+
+// failNodeLinks fails both directions of every torus link touching the
+// node from time at onward (the windowed sibling of IsolateNode).
+func (p *Plan) failNodeLinks(t *topology.Torus, node int, at sim.Time) {
+	for dim := 0; dim < 3; dim++ {
+		if t.Dims[dim] == 1 {
+			continue
+		}
+		for _, pos := range [2]bool{true, false} {
+			p.FailLink(topology.Link{Node: node, Dim: dim, Positive: pos}, at)
+			nb := t.Neighbor(node, dim, pos)
+			p.FailLink(topology.Link{Node: nb, Dim: dim, Positive: !pos}, at)
+		}
+	}
+}

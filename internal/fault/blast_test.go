@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func bgpHierarchy(t *testing.T) machine.Hierarchy {
+	t.Helper()
+	m, err := machine.Lookup("BG/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Hierarchy()
+}
+
+func TestBlastOriginOnly(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{8, 8, 8})
+	p := NewPlan(7)
+	res, err := p.InjectBlast(tor, bgpHierarchy(t), BlastSpec{
+		At: sim.Time(sim.Millisecond), Origin: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != BlastNode || !reflect.DeepEqual(res.Dead, []int{100}) {
+		t.Fatalf("zero-probability blast = %+v, want node-level {100}", res)
+	}
+	nf := p.NodeFaults()
+	if len(nf) != 1 || nf[0] != (NodeFault{Node: 100, At: sim.Time(sim.Millisecond)}) {
+		t.Fatalf("NodeFaults = %v", nf)
+	}
+	if p.HasLinkFaults() {
+		t.Error("blast without FailLinks scheduled link faults")
+	}
+}
+
+func TestBlastCardTakesWholeCard(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{8, 8, 8})
+	h := bgpHierarchy(t)
+	p := NewPlan(3)
+	res, err := p.InjectBlast(tor, h, BlastSpec{
+		Origin: 100, PCard: 1, Density: 1, FailLinks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != BlastCard {
+		t.Fatalf("level = %v, want card", res.Level)
+	}
+	wantFirst := 100 / h.Card * h.Card
+	if res.First != wantFirst || res.Last != wantFirst+h.Card-1 {
+		t.Fatalf("domain [%d, %d], want [%d, %d]", res.First, res.Last, wantFirst, wantFirst+h.Card-1)
+	}
+	if len(res.Dead) != h.Card {
+		t.Fatalf("density 1 killed %d of %d card nodes", len(res.Dead), h.Card)
+	}
+	for i, n := range res.Dead {
+		if n != res.First+i {
+			t.Fatalf("Dead[%d] = %d, want %d", i, n, res.First+i)
+		}
+	}
+	if !p.HasLinkFaults() {
+		t.Error("FailLinks blast scheduled no link faults")
+	}
+	// Every dead node's outgoing links are down at the blast time but
+	// healthy just before it.
+	l := topology.Link{Node: res.Dead[0], Dim: 0, Positive: true}
+	if f := p.LinkFactor(l, 0); f != 0 {
+		t.Errorf("link factor at blast = %g, want 0", f)
+	}
+}
+
+func TestBlastRackClipsToPartition(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{8, 8, 8}) // 512 < one rack
+	p := NewPlan(9)
+	res, err := p.InjectBlast(tor, bgpHierarchy(t), BlastSpec{
+		Origin: 5, PCard: 1, PMidplane: 1, PRack: 1, Density: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != BlastRack || res.First != 0 || res.Last != 511 {
+		t.Fatalf("rack blast on 512 nodes = %+v, want domain [0, 511]", res)
+	}
+	if len(res.Dead) != 512 {
+		t.Fatalf("killed %d nodes, want all 512", len(res.Dead))
+	}
+}
+
+func TestBlastDeterministic(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{8, 8, 8})
+	h := bgpHierarchy(t)
+	spec := BlastSpec{At: sim.Time(sim.Second), Origin: -1, PCard: 0.7, PMidplane: 0.4, PRack: 0.2, Density: 0.5}
+	a, err := NewPlan(42).InjectBlast(tor, h, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(42).InjectBlast(tor, h, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different blasts:\n%+v\n%+v", a, b)
+	}
+	c, err := NewPlan(43).InjectBlast(tor, h, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Log("seeds 42 and 43 drew the same blast (possible but suspicious)")
+	}
+}
+
+func TestBlastRejectsBadSpec(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{4, 4, 4})
+	h := bgpHierarchy(t)
+	for _, spec := range []BlastSpec{
+		{Origin: 64},
+		{Origin: -2},
+		{Density: 1.5},
+		{PCard: -0.1},
+	} {
+		if _, err := NewPlan(1).InjectBlast(tor, h, spec); err == nil {
+			t.Errorf("InjectBlast(%+v) accepted invalid spec", spec)
+		}
+	}
+	if _, err := NewPlan(1).InjectBlast(tor, machine.Hierarchy{Card: 0}, BlastSpec{}); err == nil {
+		t.Error("InjectBlast accepted invalid hierarchy")
+	}
+}
+
+// FuzzBlastPlan checks the blast invariants for arbitrary specs: the
+// same (seed, spec) always draws the identical blast, the origin is
+// always dead, every dead node lies inside the reported domain, and the
+// domain respects the escalation level's unit size.
+func FuzzBlastPlan(f *testing.F) {
+	f.Add(uint64(1), 0, 0.0, 0.0, 0.0, 0.0, false)
+	f.Add(uint64(42), -1, 0.7, 0.4, 0.2, 0.5, true)
+	f.Add(uint64(99), 511, 1.0, 1.0, 1.0, 1.0, false)
+	f.Fuzz(func(t *testing.T, seed uint64, origin int, pc, pm, pr, density float64, links bool) {
+		tor := topology.NewTorus(topology.Dims{8, 8, 8})
+		h := machine.Hierarchy{Card: 32, Midplane: 512, Rack: 1024}
+		spec := BlastSpec{Origin: origin, PCard: pc, PMidplane: pm, PRack: pr, Density: density, FailLinks: links}
+		a, errA := NewPlan(seed).InjectBlast(tor, h, spec)
+		b, errB := NewPlan(seed).InjectBlast(tor, h, spec)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("nondeterministic blast:\n%+v\n%+v", a, b)
+		}
+		if a.First < 0 || a.Last >= tor.Dims.Nodes() || a.First > a.Last {
+			t.Fatalf("domain [%d, %d] out of bounds", a.First, a.Last)
+		}
+		unit := [...]int{1, h.Card, h.Midplane, h.Rack}[a.Level]
+		if a.First%unit != 0 {
+			t.Fatalf("domain start %d not aligned to %v unit %d", a.First, a.Level, unit)
+		}
+		foundOrigin := false
+		for _, n := range a.Dead {
+			if n < a.First || n > a.Last {
+				t.Fatalf("dead node %d outside domain [%d, %d]", n, a.First, a.Last)
+			}
+			if n == a.Origin {
+				foundOrigin = true
+			}
+		}
+		if !foundOrigin {
+			t.Fatalf("origin %d not in dead set %v", a.Origin, a.Dead)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package conformance
+
+import (
+	"testing"
+
+	"bgpsim/internal/ckpt"
+	"bgpsim/internal/fault"
+	"bgpsim/internal/iosys"
+	"bgpsim/internal/machine"
+)
+
+// TestCheckpointOptimumDifferential is the harness's headline
+// differential check: the simulated checkpoint/restart application
+// (internal/ckpt — checkpoints are real writes through the storage
+// model, failures are seeded exponential arrivals) must agree with the
+// analytic Daly model (internal/fault).
+//
+// Two assertions, with stated tolerances:
+//
+//  1. Sweeping the checkpoint interval over {1/4, 1/2, 1, 2, 4} times
+//     fault.YoungDaly's optimum, the interval minimizing the mean
+//     simulated time-to-solution lies within a factor of two of the
+//     analytic optimum (Young/Daly is itself a first-order optimum,
+//     and the cost curve is flat near it).
+//  2. At the analytic optimum, the mean simulated time-to-solution is
+//     within [0.9, 1.6] of Checkpointer.ExpectedRuntime: the simulated
+//     writes are store-and-forward (up to 1.5x the pipelined closed
+//     form) and ten seeds leave residual sampling noise.
+//
+// The same seeds are used at every interval (common random numbers),
+// so the sweep compares intervals on identical failure realizations.
+func TestCheckpointOptimumDifferential(t *testing.T) {
+	m, err := machine.Lookup("BG/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		nodes        = 64
+		work         = 2000.0
+		bytesPerNode = 16 << 20
+		reboot       = 60.0
+		nodeMTBF     = 1800.0 * nodes // system MTBF 1800s: failures matter
+		seeds        = 10
+	)
+	storage := iosys.ORNLEugene()
+
+	delta, err := fault.CheckpointWriteCost(storage, nodes, bytesPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtbf := fault.SystemMTBF(nodeMTBF, nodes)
+	opt := fault.YoungDaly(delta, mtbf)
+	if opt <= 0 || opt >= work {
+		t.Fatalf("degenerate analytic optimum %.1fs for work %.0fs", opt, work)
+	}
+
+	factors := []float64{0.25, 0.5, 1, 2, 4}
+	mean := make([]float64, len(factors))
+	for i, f := range factors {
+		for seed := uint64(1); seed <= seeds; seed++ {
+			res, err := ckpt.Run(ckpt.Params{
+				Machine:      m,
+				Nodes:        nodes,
+				Storage:      storage,
+				Work:         work,
+				Interval:     opt * f,
+				BytesPerNode: bytesPerNode,
+				Reboot:       reboot,
+				NodeMTBF:     nodeMTBF,
+				Seed:         seed,
+			})
+			if err != nil {
+				t.Fatalf("interval %.0fs seed %d: %v", opt*f, seed, err)
+			}
+			mean[i] += res.TTS / seeds
+		}
+	}
+
+	best := 0
+	for i := range mean {
+		if mean[i] < mean[best] {
+			best = i
+		}
+	}
+	t.Logf("delta=%.2fs MTBF=%.0fs optimum=%.0fs; mean TTS by factor: %v -> %v", delta, mtbf, opt, factors, mean)
+	if factors[best] < 0.5 || factors[best] > 2 {
+		t.Errorf("simulated optimal interval %.2gx the Young/Daly optimum, want within a factor of 2", factors[best])
+	}
+
+	// Read-back of the checkpoint dominates the restart cost alongside
+	// the reboot; the analytic model prices it like a write sans
+	// metadata.
+	c := fault.Checkpointer{Interval: opt, WriteCost: delta, RestartCost: reboot + delta, MTBF: mtbf}
+	want, err := c.ExpectedRuntime(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mean[2] // factor 1
+	if ratio := got / want; ratio < 0.9 || ratio > 1.6 {
+		t.Errorf("simulated mean TTS %.0fs vs Daly expectation %.0fs at the optimum (ratio %.3f, want [0.9, 1.6])",
+			got, want, ratio)
+	}
+}

@@ -1,0 +1,284 @@
+package conformance
+
+import (
+	"testing"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func bgpConfig(t *testing.T, nodes int, dims topology.Dims, plan *fault.Plan) mpi.Config {
+	t.Helper()
+	m, err := machine.Lookup("BG/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpi.Config{
+		Machine:  m,
+		Nodes:    nodes,
+		Dims:     dims,
+		Mode:     machine.SMP,
+		Fidelity: network.Contention,
+		Faults:   plan,
+	}
+}
+
+// ringExchange couples every rank to its torus neighbours, so link
+// faults on used routes show up in the elapsed time.
+func ringExchange(iters, bytes int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() - 1 + r.Size()) % r.Size()
+		for k := 0; k < iters; k++ {
+			r.Sendrecv(right, bytes, k, left, k)
+		}
+	}
+}
+
+// barrierLoop couples ranks only through collectives, so node deaths
+// are recoverable.
+func barrierLoop(iters int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		for i := 0; i < iters; i++ {
+			r.Advance(10 * sim.Microsecond)
+			r.World().Barrier(r)
+		}
+	}
+}
+
+// TestFaultyNeverFaster pins the harness's first property: no fault
+// plan may make a run complete sooner than the healthy run. Degraded
+// links, failed-and-rerouted links, forced noise, and recovered node
+// deaths are each tried under several placement seeds.
+func TestFaultyNeverFaster(t *testing.T) {
+	const nodes = 64
+	dims := topology.Dims{4, 4, 4}
+	prog := ringExchange(4, 64<<10)
+	healthy, err := mpi.Execute(bgpConfig(t, nodes, dims, nil), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plans := []struct {
+		name  string
+		build func(seed uint64) (*fault.Plan, error)
+	}{
+		{"degrade 20% to half bandwidth", func(seed uint64) (*fault.Plan, error) {
+			p := fault.NewPlan(seed)
+			tor := topology.NewTorus(dims)
+			_, err := p.DegradeRandomLinks(tor, 0.2, 0.5)
+			return p, err
+		}},
+		{"fail 3 links with rerouting", func(seed uint64) (*fault.Plan, error) {
+			p := fault.NewPlan(seed)
+			tor := topology.NewTorus(dims)
+			_, err := p.FailRandomLinks(tor, 3)
+			return p, err
+		}},
+		{"forced 50us/1ms noise", func(seed uint64) (*fault.Plan, error) {
+			p := fault.NewPlan(seed)
+			err := p.SetNoise(fault.NoiseProfile{Period: sim.Millisecond, Duration: 50 * sim.Microsecond})
+			return p, err
+		}},
+	}
+	for _, pl := range plans {
+		for seed := uint64(1); seed <= 5; seed++ {
+			p, err := pl.build(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", pl.name, seed, err)
+			}
+			res, err := mpi.Execute(bgpConfig(t, nodes, dims, p), prog)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", pl.name, seed, err)
+			}
+			if res.Elapsed < healthy.Elapsed {
+				t.Errorf("%s seed %d: faulty run %v beat healthy %v",
+					pl.name, seed, res.Elapsed, healthy.Elapsed)
+			}
+		}
+	}
+
+	// Node death under transparent recovery, collective-only program.
+	const recNodes = 8
+	recDims := topology.Dims{2, 2, 2}
+	recHealthy, err := mpi.Execute(bgpConfig(t, recNodes, recDims, nil), barrierLoop(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kill := 0; kill < recNodes; kill++ {
+		p := fault.NewPlan(1)
+		p.KillNode(kill, sim.Time(25*sim.Microsecond))
+		p.EnableRecovery()
+		res, err := mpi.Execute(bgpConfig(t, recNodes, recDims, p), barrierLoop(6))
+		if err != nil {
+			t.Fatalf("kill %d: %v", kill, err)
+		}
+		if res.Elapsed < recHealthy.Elapsed {
+			t.Errorf("kill %d: recovered run %v beat healthy %v", kill, res.Elapsed, recHealthy.Elapsed)
+		}
+	}
+}
+
+// TestRecoverySemanticsMultiDeath kills two leaves of the collective
+// tree at different times and checks that every survivor's final
+// allreduce is the combination of exactly the survivors' values.
+func TestRecoverySemanticsMultiDeath(t *testing.T) {
+	const nodes = 16
+	dims := topology.Dims{4, 2, 2}
+	p := fault.NewPlan(1)
+	p.KillNode(5, sim.Time(30*sim.Microsecond))
+	p.KillNode(11, sim.Time(70*sim.Microsecond))
+	p.EnableRecovery()
+	got := make([]interface{}, nodes)
+	res, err := mpi.Execute(bgpConfig(t, nodes, dims, p), func(r *mpi.Rank) {
+		for i := 0; i < 5; i++ {
+			r.Advance(20 * sim.Microsecond)
+			got[r.ID()] = r.World().AllreducePayload(r, 8, 1<<uint(r.ID()),
+				func(a, b interface{}) interface{} { return a.(int) + b.(int) })
+		}
+	})
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if len(res.Lost) != 2 || res.Lost[0] != 5 || res.Lost[1] != 11 {
+		t.Fatalf("Lost = %v, want [5 11]", res.Lost)
+	}
+	want := 0
+	for id := 0; id < nodes; id++ {
+		if id != 5 && id != 11 {
+			want += 1 << uint(id)
+		}
+	}
+	for id := 0; id < nodes; id++ {
+		if id == 5 || id == 11 {
+			continue
+		}
+		if got[id] != want {
+			t.Errorf("rank %d final allreduce = %v, want %d (sum over survivors)", id, got[id], want)
+		}
+	}
+}
+
+// TestRecoveryDeterminism pins byte-identical replay: the same plan
+// and program give identical elapsed time, loss list, and recovery
+// accounting on every run.
+func TestRecoveryDeterminism(t *testing.T) {
+	run := func() *mpi.Result {
+		p := fault.NewPlan(3)
+		p.KillNode(2, sim.Time(35*sim.Microsecond))
+		p.KillNode(9, sim.Time(90*sim.Microsecond))
+		p.EnableRecovery()
+		res, err := mpi.Execute(bgpConfig(t, 16, topology.Dims{4, 2, 2}, p), barrierLoop(8))
+		if err != nil {
+			t.Fatalf("recovery run failed: %v", err)
+		}
+		return res
+	}
+	first := run()
+	for i := 0; i < 2; i++ {
+		again := run()
+		if again.Elapsed != first.Elapsed {
+			t.Errorf("run %d: elapsed %v != %v", i+2, again.Elapsed, first.Elapsed)
+		}
+		if len(again.Lost) != len(first.Lost) {
+			t.Errorf("run %d: lost %v != %v", i+2, again.Lost, first.Lost)
+		}
+		if again.Net.Recoveries != first.Net.Recoveries ||
+			again.Net.TreeRebuilds != first.Net.TreeRebuilds ||
+			again.Net.HWFallbacks != first.Net.HWFallbacks ||
+			again.Net.RecoveryTime != first.Net.RecoveryTime {
+			t.Errorf("run %d: recovery stats diverged: %+v vs %+v", i+2, again.Net, first.Net)
+		}
+	}
+}
+
+// TestRecoveryChargesLatency checks the accounting identity: in a
+// collective-only program with a single leaf death, the elapsed-time
+// penalty of the faulty run over the healthy run is the charged
+// recovery latency. Tolerance: the penalty must be within [1x, 1.5x]
+// of Stats.RecoveryTime (the upper slack absorbs algorithm-cost
+// differences after the membership change).
+func TestRecoveryChargesLatency(t *testing.T) {
+	const nodes = 8
+	dims := topology.Dims{2, 2, 2}
+	healthy, err := mpi.Execute(bgpConfig(t, nodes, dims, nil), barrierLoop(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fault.NewPlan(1)
+	p.KillNode(7, sim.Time(25*sim.Microsecond)) // leaf: the HW tree survives
+	p.EnableRecovery()
+	faulty, err := mpi.Execute(bgpConfig(t, nodes, dims, p), barrierLoop(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	penalty := faulty.Elapsed - healthy.Elapsed
+	charged := faulty.Net.RecoveryTime
+	if charged <= 0 {
+		t.Fatal("no recovery latency charged")
+	}
+	if penalty < charged || penalty > charged+charged/2 {
+		t.Errorf("elapsed penalty %v vs charged recovery %v: want within [1x, 1.5x]", penalty, charged)
+	}
+}
+
+// TestBlastRecovery drives the full stack through the spec language: a
+// correlated blast escalating to a node card kills 32 of 64 nodes at
+// once, recovery demotes the severed collective tree to torus
+// algorithms, and the survivors still agree on a payload allreduce.
+func TestBlastRecovery(t *testing.T) {
+	const nodes = 64
+	dims := topology.Dims{4, 4, 4}
+	spec, err := fault.ParseSpec("seed=9,recover,blast=40us/7/1/0/0/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.Lookup("BG/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := topology.NewTorus(dims)
+	plan, blasts, err := spec.Build(tor, m.Hierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blasts) != 1 || blasts[0].Level != fault.BlastCard {
+		t.Fatalf("blast = %+v, want one card-level blast", blasts)
+	}
+	if len(blasts[0].Dead) != 32 {
+		t.Fatalf("card blast killed %d nodes, want the whole 32-node card", len(blasts[0].Dead))
+	}
+	got := make([]interface{}, nodes)
+	res, err := mpi.Execute(bgpConfig(t, nodes, dims, plan), func(r *mpi.Rank) {
+		for i := 0; i < 4; i++ {
+			r.Advance(20 * sim.Microsecond)
+			got[r.ID()] = r.World().AllreducePayload(r, 8, 1,
+				func(a, b interface{}) interface{} { return a.(int) + b.(int) })
+		}
+	})
+	if err != nil {
+		t.Fatalf("blast recovery run failed: %v", err)
+	}
+	if len(res.Lost) != 32 {
+		t.Fatalf("Lost %d ranks, want 32: %v", len(res.Lost), res.Lost)
+	}
+	if res.Net.HWFallbacks == 0 {
+		t.Error("losing interior tree nodes should demote HW collectives")
+	}
+	dead := make(map[int]bool, len(res.Lost))
+	for _, id := range res.Lost {
+		dead[id] = true
+	}
+	for id := 0; id < nodes; id++ {
+		if dead[id] {
+			continue
+		}
+		if got[id] != nodes-32 {
+			t.Errorf("rank %d final allreduce = %v, want %d (count of survivors)", id, got[id], nodes-32)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package conformance is the resilience layer's differential test
+// harness. It holds no simulator code: every file is a property test,
+// fuzz target, or differential check that pins the contracts the fault
+// and recovery layers must keep:
+//
+//   - Faults never speed a run up: for any fault plan (degraded links,
+//     failed-and-rerouted links, forced OS noise, node deaths under
+//     recovery) the simulated elapsed time is at least the healthy
+//     run's.
+//   - Transparent recovery preserves collective semantics: after any
+//     sequence of recoverable node deaths, payload collectives deliver
+//     the combination of exactly the survivors' contributions, and
+//     Result.Lost names exactly the dead ranks.
+//   - Recovery is deterministic and charged: repeated runs of the same
+//     plan are byte-identical, and the extra elapsed time of a faulty
+//     run is accounted for by network.Stats.RecoveryTime.
+//   - The simulated checkpoint/restart application (internal/ckpt),
+//     whose checkpoints are real writes through the storage model,
+//     agrees with the analytic Daly model (internal/fault): the
+//     simulated optimal interval lands within a factor of two of
+//     fault.YoungDaly, and the simulated time-to-solution tracks
+//     Checkpointer.ExpectedRuntime.
+//
+// Tolerances are stated next to each check. The harness sits under
+// internal/fault so `go test ./internal/fault/...` runs the whole
+// resilience contract.
+package conformance

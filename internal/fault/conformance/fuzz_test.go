@@ -1,0 +1,102 @@
+package conformance
+
+import (
+	"testing"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// FuzzTreeRecoverable differentially checks the collective tree's
+// recoverability predicate against an independent formulation: the
+// tree is unrecoverable exactly when some dead node is some tree
+// node's parent. The implementation asks each dead node whether it has
+// children; the oracle scans every child and asks whether its parent
+// is dead.
+func FuzzTreeRecoverable(f *testing.F) {
+	f.Add(uint8(16), uint8(3), uint64(0))
+	f.Add(uint8(16), uint8(3), uint64(1<<5|1<<11))
+	f.Add(uint8(16), uint8(3), uint64(1))
+	f.Add(uint8(64), uint8(3), uint64(1<<33))
+	f.Add(uint8(2), uint8(2), uint64(3))
+	f.Fuzz(func(t *testing.T, n, arity uint8, deadMask uint64) {
+		nodes := int(n)
+		if nodes < 1 {
+			nodes = 1
+		}
+		tree := topology.NewCollectiveTree(nodes, int(arity))
+		var dead []int
+		deadSet := make(map[int]bool)
+		for i := 0; i < nodes && i < 64; i++ {
+			if deadMask&(1<<uint(i)) != 0 {
+				dead = append(dead, i)
+				deadSet[i] = true
+			}
+		}
+		oracle := true
+		for child := 1; child < nodes; child++ {
+			if deadSet[(child-1)/tree.Arity] {
+				oracle = false
+				break
+			}
+		}
+		if got := tree.Recoverable(dead); got != oracle {
+			t.Errorf("Recoverable(n=%d arity=%d dead=%v) = %v, parent-scan oracle says %v",
+				nodes, tree.Arity, dead, got, oracle)
+		}
+	})
+}
+
+// FuzzRecoverySmall drives transparent recovery with fuzzed kill
+// configurations on a small partition and checks the harness's core
+// properties on every input: the run completes (collective-only
+// programs survive any single node death), is deterministic, loses
+// exactly the killed rank, and is never faster than the healthy run.
+func FuzzRecoverySmall(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(25), uint64(1))
+	f.Add(uint8(1), uint8(7), uint8(25), uint64(1))
+	f.Add(uint8(2), uint8(3), uint8(90), uint64(3))
+	f.Add(uint8(2), uint8(0), uint8(1), uint64(9))
+	f.Fuzz(func(t *testing.T, sizeSel, kill, atUs uint8, seed uint64) {
+		shapes := []struct {
+			nodes int
+			dims  topology.Dims
+		}{
+			{4, topology.Dims{2, 2, 1}},
+			{8, topology.Dims{2, 2, 2}},
+			{16, topology.Dims{4, 2, 2}},
+		}
+		sh := shapes[int(sizeSel)%len(shapes)]
+		victim := int(kill) % sh.nodes
+		at := sim.Time(int64(atUs)+1) * sim.Time(sim.Microsecond)
+
+		healthy, err := mpi.Execute(bgpConfig(t, sh.nodes, sh.dims, nil), barrierLoop(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() *mpi.Result {
+			p := fault.NewPlan(seed)
+			p.KillNode(victim, at)
+			p.EnableRecovery()
+			res, err := mpi.Execute(bgpConfig(t, sh.nodes, sh.dims, p), barrierLoop(6))
+			if err != nil {
+				t.Fatalf("nodes=%d kill=%d at=%v: %v", sh.nodes, victim, at, err)
+			}
+			return res
+		}
+		first := run()
+		if len(first.Lost) != 1 || first.Lost[0] != victim {
+			t.Errorf("Lost = %v, want [%d]", first.Lost, victim)
+		}
+		if first.Elapsed < healthy.Elapsed {
+			t.Errorf("faulty run %v beat healthy %v", first.Elapsed, healthy.Elapsed)
+		}
+		again := run()
+		if again.Elapsed != first.Elapsed || again.Net.RecoveryTime != first.Net.RecoveryTime {
+			t.Errorf("nondeterministic recovery: %v/%v vs %v/%v",
+				first.Elapsed, first.Net.RecoveryTime, again.Elapsed, again.Net.RecoveryTime)
+		}
+	})
+}

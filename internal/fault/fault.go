@@ -113,6 +113,7 @@ type Plan struct {
 	nodes           []NodeFault
 	noiseOverride   *NoiseProfile
 	useMachineNoise bool
+	recover         bool
 }
 
 // NewPlan returns an empty fault plan. All random fault placement
@@ -239,6 +240,22 @@ func (p *Plan) LinkFactor(l topology.Link, t sim.Time) float64 {
 func (p *Plan) KillNode(node int, at sim.Time) {
 	p.nodes = append(p.nodes, NodeFault{Node: node, At: at})
 }
+
+// EnableRecovery switches the plan from fail-stop to transparent
+// collective recovery: instead of aborting the run with a RankFailure,
+// a node kill removes its ranks from the job, and subsequent
+// collectives run over the surviving members — with the hardware
+// collective tree rebuilt around dead leaves or, when a dead node was
+// interior to the tree, demoted to a software algorithm on the torus.
+// Recovery latency is charged to the model and surfaced through
+// network.Stats and the obs layer. Point-to-point traffic addressed to
+// a dead rank is NOT recovered (as in MPI, only ULFM-style collective
+// semantics are repaired); a survivor waiting on a dead rank's message
+// deadlocks and surfaces as *sim.DeadlockError.
+func (p *Plan) EnableRecovery() { p.recover = true }
+
+// Recover reports whether transparent collective recovery is enabled.
+func (p *Plan) Recover() bool { return p != nil && p.recover }
 
 // NodeFaults returns the scheduled node faults sorted by time then
 // node index.

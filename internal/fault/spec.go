@@ -1,0 +1,272 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Spec is a parsed fault-plan description, deferred until the torus and
+// machine hierarchy are known (random placement and range checks need
+// the partition). ParseSpec builds one from a command-line string.
+type Spec struct {
+	seed uint64
+	ops  []specOp
+}
+
+type specOp struct {
+	kind string // "recover", "kill", "isolate", "faillinks", "degrade", "noise", "noisemachine", "blast"
+
+	node  int
+	at    sim.Time
+	count int
+	frac  float64 // degrade fraction
+	fact  float64 // degrade factor
+	noise NoiseProfile
+	blast BlastSpec
+}
+
+// ParseSpec parses a fault-plan description: comma-separated directives,
+// applied in order by Build.
+//
+//	seed=N                        plan seed for random placement (default 1)
+//	recover                       transparent collective recovery instead of fail-stop
+//	kill=NODE@TIME                node NODE dies at TIME
+//	isolate=NODE                  fail every link touching NODE from time zero
+//	faillinks=N                   fail N random directed links from time zero
+//	degrade=FRAC:FACTOR           each link degraded to FACTOR bandwidth with probability FRAC
+//	noise=machine                 OS noise from the machine model's own profile
+//	noise=PERIOD/DURATION         explicit periodic OS noise
+//	blast=TIME/ORIGIN/PC/PM/PR/D[/links]
+//	                              correlated failure at TIME from node ORIGIN
+//	                              ("*" = drawn from seed), escalating to the
+//	                              node card / midplane / rack with probability
+//	                              PC / PM / PR, killing domain nodes with
+//	                              probability D; "/links" also fails the dead
+//	                              nodes' torus links
+//
+// Times and durations take a unit suffix: ps, ns, us, ms, or s
+// (e.g. "kill=5@2.5ms", "noise=1ms/50us").
+func ParseSpec(s string) (*Spec, error) {
+	spec := &Spec{seed: 1}
+	for _, dir := range strings.Split(s, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(dir, "=")
+		op := specOp{kind: key}
+		var err error
+		switch key {
+		case "recover":
+			if hasVal {
+				return nil, fmt.Errorf("fault: directive %q takes no value", dir)
+			}
+		case "seed":
+			spec.seed, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed in %q: %v", dir, err)
+			}
+			continue
+		case "kill":
+			nodeS, atS, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: kill wants NODE@TIME, got %q", dir)
+			}
+			if op.node, err = parseNode(nodeS); err != nil {
+				return nil, fmt.Errorf("fault: %v in %q", err, dir)
+			}
+			d, err := ParseDuration(atS)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: bad kill time in %q", dir)
+			}
+			op.at = sim.Time(d)
+		case "isolate":
+			if op.node, err = parseNode(val); err != nil {
+				return nil, fmt.Errorf("fault: %v in %q", err, dir)
+			}
+		case "faillinks":
+			op.count, err = strconv.Atoi(val)
+			if err != nil || op.count < 0 {
+				return nil, fmt.Errorf("fault: bad link count in %q", dir)
+			}
+		case "degrade":
+			fracS, factS, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("fault: degrade wants FRAC:FACTOR, got %q", dir)
+			}
+			if op.frac, err = parseUnitFloat(fracS); err != nil {
+				return nil, fmt.Errorf("fault: %v in %q", err, dir)
+			}
+			if op.fact, err = parseUnitFloat(factS); err != nil {
+				return nil, fmt.Errorf("fault: %v in %q", err, dir)
+			}
+			if op.fact >= 1 {
+				return nil, fmt.Errorf("fault: degrade factor must be below 1 in %q", dir)
+			}
+		case "noise":
+			if val == "machine" {
+				op.kind = "noisemachine"
+				break
+			}
+			perS, durS, ok := strings.Cut(val, "/")
+			if !ok {
+				return nil, fmt.Errorf("fault: noise wants machine or PERIOD/DURATION, got %q", dir)
+			}
+			if op.noise.Period, err = ParseDuration(perS); err != nil {
+				return nil, fmt.Errorf("fault: %v in %q", err, dir)
+			}
+			if op.noise.Duration, err = ParseDuration(durS); err != nil {
+				return nil, fmt.Errorf("fault: %v in %q", err, dir)
+			}
+			if err := op.noise.Valid(); err != nil {
+				return nil, err
+			}
+		case "blast":
+			if op.blast, err = parseBlast(val); err != nil {
+				return nil, fmt.Errorf("fault: %v in %q", err, dir)
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown directive %q", dir)
+		}
+		spec.ops = append(spec.ops, op)
+	}
+	return spec, nil
+}
+
+func parseNode(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad node %q", s)
+	}
+	return n, nil
+}
+
+func parseUnitFloat(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 || f > 1 || f != f {
+		return 0, fmt.Errorf("bad fraction %q (want [0, 1])", s)
+	}
+	return f, nil
+}
+
+// parseBlast parses TIME/ORIGIN/PC/PM/PR/D with an optional trailing
+// "/links".
+func parseBlast(s string) (BlastSpec, error) {
+	parts := strings.Split(s, "/")
+	b := BlastSpec{}
+	if n := len(parts); n == 7 && parts[6] == "links" {
+		b.FailLinks = true
+	} else if n != 6 {
+		return b, fmt.Errorf("blast wants TIME/ORIGIN/PC/PM/PR/D[/links], got %d fields", n)
+	}
+	d, err := ParseDuration(parts[0])
+	if err != nil || d < 0 {
+		return b, fmt.Errorf("bad blast time %q", parts[0])
+	}
+	b.At = sim.Time(d)
+	if parts[1] == "*" {
+		b.Origin = -1
+	} else if b.Origin, err = parseNode(parts[1]); err != nil {
+		return b, err
+	}
+	for i, dst := range [...]*float64{&b.PCard, &b.PMidplane, &b.PRack, &b.Density} {
+		if *dst, err = parseUnitFloat(parts[2+i]); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+// ParseDuration parses a simulated duration: a non-negative decimal
+// number with a unit suffix ps, ns, us, ms, or s.
+func ParseDuration(s string) (sim.Duration, error) {
+	num, unit := s, sim.Duration(0)
+	for _, u := range [...]struct {
+		suffix string
+		d      sim.Duration
+	}{{"ps", sim.Picosecond}, {"ns", sim.Nanosecond}, {"us", sim.Microsecond}, {"ms", sim.Millisecond}, {"s", sim.Second}} {
+		if strings.HasSuffix(s, u.suffix) {
+			num, unit = strings.TrimSuffix(s, u.suffix), u.d
+			break
+		}
+	}
+	if unit == 0 {
+		return 0, fmt.Errorf("duration %q needs a unit (ps, ns, us, ms, s)", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 || f != f {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	d := sim.Seconds(f * unit.Seconds())
+	if d < 0 {
+		return 0, fmt.Errorf("duration %q overflows", s)
+	}
+	return d, nil
+}
+
+// Build applies the spec to a fresh plan for the given torus and
+// packaging hierarchy, returning the plan and the result of each blast
+// directive in order.
+func (s *Spec) Build(t *topology.Torus, h machine.Hierarchy) (*Plan, []BlastResult, error) {
+	p := NewPlan(s.seed)
+	var blasts []BlastResult
+	nodes := t.Dims.Nodes()
+	for _, op := range s.ops {
+		switch op.kind {
+		case "recover":
+			p.EnableRecovery()
+		case "kill":
+			if op.node >= nodes {
+				return nil, nil, fmt.Errorf("fault: kill node %d out of range (partition has %d nodes)", op.node, nodes)
+			}
+			p.KillNode(op.node, op.at)
+		case "isolate":
+			if op.node >= nodes {
+				return nil, nil, fmt.Errorf("fault: isolate node %d out of range (partition has %d nodes)", op.node, nodes)
+			}
+			p.IsolateNode(t, op.node)
+		case "faillinks":
+			if _, err := p.FailRandomLinks(t, op.count); err != nil {
+				return nil, nil, err
+			}
+		case "degrade":
+			if _, err := p.DegradeRandomLinks(t, op.frac, op.fact); err != nil {
+				return nil, nil, err
+			}
+		case "noise":
+			if err := p.SetNoise(op.noise); err != nil {
+				return nil, nil, err
+			}
+		case "noisemachine":
+			p.UseMachineNoise()
+		case "blast":
+			res, err := p.InjectBlast(t, h, op.blast)
+			if err != nil {
+				return nil, nil, err
+			}
+			blasts = append(blasts, res)
+		}
+	}
+	return p, blasts, nil
+}
+
+// BuildForPartition parses a fault spec and builds it against the torus
+// a run on `nodes` nodes of machine `id` will use (the same default
+// dimensions mpi.Execute picks). It is the command-line entry point: a
+// `-faults` flag string in, a ready plan out.
+func BuildForPartition(spec string, id machine.ID, nodes int) (*Plan, []BlastResult, error) {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := machine.Lookup(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Build(topology.NewTorus(topology.DimsForNodes(nodes)), m.Hierarchy())
+}

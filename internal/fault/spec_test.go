@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sim.Duration
+		ok   bool
+	}{
+		{"5ps", 5 * sim.Picosecond, true},
+		{"2.5ms", 2500 * sim.Microsecond, true},
+		{"1s", sim.Second, true},
+		{"50us", 50 * sim.Microsecond, true},
+		{"3ns", 3 * sim.Nanosecond, true},
+		{"0s", 0, true},
+		{"5", 0, false}, // no unit
+		{"-1ms", 0, false},
+		{"xs", 0, false},
+		{"", 0, false},
+		{"1e400s", 0, false}, // float parse overflow
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseDuration(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseDuration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecBuild(t *testing.T) {
+	spec, err := ParseSpec("seed=9, recover, kill=5@2ms, faillinks=3, degrade=0.5:0.25, noise=1ms/50us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := topology.NewTorus(topology.Dims{4, 4, 4})
+	p, blasts, err := spec.Build(tor, machine.Hierarchy{Card: 4, Midplane: 16, Rack: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blasts) != 0 {
+		t.Errorf("no blast directive but %d blast results", len(blasts))
+	}
+	if p.Seed() != 9 {
+		t.Errorf("seed = %d, want 9", p.Seed())
+	}
+	if !p.Recover() {
+		t.Error("recover directive not applied")
+	}
+	nf := p.NodeFaults()
+	if len(nf) != 1 || nf[0].Node != 5 || nf[0].At != sim.Time(2*sim.Millisecond) {
+		t.Errorf("NodeFaults = %v, want node 5 at 2ms", nf)
+	}
+	if !p.HasLinkFaults() {
+		t.Error("faillinks/degrade directives scheduled no link faults")
+	}
+	np, ok := p.ResolveNoise(0, 0)
+	if !ok || np.Period != sim.Millisecond || np.Duration != 50*sim.Microsecond {
+		t.Errorf("ResolveNoise = %v, %v; want 1ms/50us", np, ok)
+	}
+}
+
+func TestParseSpecBlast(t *testing.T) {
+	spec, err := ParseSpec("blast=1ms/7/1/0/0/1/links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := topology.NewTorus(topology.Dims{4, 4, 4})
+	_, blasts, err := spec.Build(tor, machine.Hierarchy{Card: 4, Midplane: 16, Rack: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blasts) != 1 {
+		t.Fatalf("got %d blast results, want 1", len(blasts))
+	}
+	b := blasts[0]
+	if b.Origin != 7 || b.Level != BlastCard || len(b.Dead) != 4 {
+		t.Errorf("blast = %+v, want card blast at origin 7 killing 4 nodes", b)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"bogus=1",
+		"kill=5",      // missing @TIME
+		"kill=x@1ms",  // bad node
+		"kill=1@-2ms", // negative time
+		"recover=yes", // takes no value
+		"seed=-1",
+		"degrade=0.5",         // missing factor
+		"degrade=2:0.5",       // fraction out of range
+		"degrade=0.5:1",       // factor must be < 1
+		"noise=1ms",           // missing duration
+		"noise=50us/1ms",      // duration > period
+		"blast=1ms/0/1/1",     // too few fields
+		"blast=1ms/0/2/0/0/0", // probability out of range
+		"faillinks=-1",
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", s)
+		}
+	}
+}
+
+func TestParseSpecBuildRangeErrors(t *testing.T) {
+	tor := topology.NewTorus(topology.Dims{2, 2, 2})
+	h := machine.Hierarchy{Card: 2, Midplane: 4, Rack: 8}
+	for _, s := range []string{"kill=8@1ms", "isolate=99", "faillinks=9999", "blast=0s/64/0/0/0/0"} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if _, _, err := spec.Build(tor, h); err == nil {
+			t.Errorf("Build(%q) accepted out-of-range directive", s)
+		}
+	}
+}
+
+// FuzzParseFaultSpec checks the parser never panics and that accepted
+// specs build deterministically: two Builds of the same parse produce
+// plans with identical fault schedules.
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add("seed=9,recover,kill=5@2ms")
+	f.Add("blast=1ms/*/0.5/0.25/0.1/0.8/links")
+	f.Add("degrade=0.05:0.5,noise=machine")
+	f.Add("faillinks=4,isolate=3")
+	f.Add("noise=1ms/50us")
+	f.Add(" , ,seed=0")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if strings.Count(s, ",") > 32 {
+			return // keep Build cheap under the fuzzer
+		}
+		tor := topology.NewTorus(topology.Dims{4, 4, 4})
+		h := machine.Hierarchy{Card: 4, Midplane: 16, Rack: 64}
+		p1, b1, err1 := spec.Build(tor, h)
+		p2, b2, err2 := spec.Build(tor, h)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic Build error: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if len(b1) != len(b2) {
+			t.Fatalf("nondeterministic blast count: %d vs %d", len(b1), len(b2))
+		}
+		nf1, nf2 := p1.NodeFaults(), p2.NodeFaults()
+		if len(nf1) != len(nf2) {
+			t.Fatalf("nondeterministic node faults: %v vs %v", nf1, nf2)
+		}
+		for i := range nf1 {
+			if nf1[i] != nf2[i] {
+				t.Fatalf("nondeterministic node fault %d: %v vs %v", i, nf1[i], nf2[i])
+			}
+		}
+		lf1, lf2 := p1.LinkFaults(), p2.LinkFaults()
+		if len(lf1) != len(lf2) {
+			t.Fatalf("nondeterministic link fault count: %d vs %d", len(lf1), len(lf2))
+		}
+		for i := range lf1 {
+			if lf1[i] != lf2[i] {
+				t.Fatalf("nondeterministic link fault %d: %v vs %v", i, lf1[i], lf2[i])
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"bgpsim/internal/core"
+	"bgpsim/internal/fault"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
@@ -63,6 +64,13 @@ type Options struct {
 	// mpi.ParseCollSpec.
 	Coll map[string]string
 
+	// Faults optionally injects a deterministic fault plan
+	// (internal/fault): link degradations and failures perturb the
+	// exchange, node kills abort the run with *mpi.RankFailure — or,
+	// with recovery enabled, drop the dead ranks from the benchmark's
+	// collectives.
+	Faults *fault.Plan
+
 	// Trace, when non-nil, records message and collective events.
 	Trace *trace.Buffer
 
@@ -97,6 +105,7 @@ func RunResult(o Options) (sim.Duration, *mpi.Result, error) {
 	cfg.Mapping = o.Mapping
 	cfg.Fidelity = network.Contention
 	cfg.Coll = o.Coll
+	cfg.Faults = o.Faults
 	cfg.Trace = o.Trace
 	cfg.Probe = o.Probe
 

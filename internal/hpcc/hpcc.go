@@ -10,6 +10,7 @@ import (
 
 	"bgpsim/internal/core"
 	"bgpsim/internal/cpu"
+	"bgpsim/internal/fault"
 	"bgpsim/internal/kernels"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
@@ -343,10 +344,19 @@ func CollBench(id machine.ID, ranks int, coll map[string]string) (*CollResults, 
 // attached to the run (nil for none); it also returns the raw
 // simulation result so callers can read the probe's views back.
 func CollBenchObserved(id machine.ID, ranks int, coll map[string]string, pb obs.Probe) (*CollResults, *mpi.Result, error) {
+	return CollBenchFaulty(id, ranks, coll, nil, pb)
+}
+
+// CollBenchFaulty is CollBenchObserved with a deterministic fault plan
+// injected into the partition: link faults perturb the collectives,
+// node kills abort the run with *mpi.RankFailure — or, with recovery
+// enabled, drop the dead ranks and charge the rebuild to the timings.
+func CollBenchFaulty(id machine.ID, ranks int, coll map[string]string, plan *fault.Plan, pb obs.Probe) (*CollResults, *mpi.Result, error) {
 	m := machine.Get(id)
 	cfg := core.PartitionConfig(id, machine.VN, ranks)
 	cfg.Fidelity = network.Contention
 	cfg.Coll = coll
+	cfg.Faults = plan
 	cfg.Probe = pb
 	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
 		// Untimed barriers between phases keep one phase's stragglers

@@ -1,0 +1,82 @@
+package iosys
+
+import (
+	"fmt"
+
+	"bgpsim/internal/sim"
+)
+
+// Sim is the stateful, in-simulation sibling of the closed-form
+// WriteTime model: per-node writes move through the same three stages
+// (forwarding link, I/O-node uplink, file server) but contend on
+// simulated busy-time state, so a checkpoint issued as per-rank writes
+// inside an MPI program occupies the storage path over virtual time
+// instead of being priced in one formula. Calls are serialized by the
+// simulation kernel (one process runs at a time), so Sim needs no
+// locking, and the completion times are a pure function of the call
+// sequence — the PR-1 determinism contract.
+type Sim struct {
+	s       *Storage
+	ioFree  []sim.Time // per-I/O-node uplink busy time
+	srvFree []sim.Time // per-file-server busy time
+}
+
+// NewSim builds contention state for a partition of the given size.
+func NewSim(s *Storage, nodes int) (*Sim, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("iosys: partition of %d nodes", nodes)
+	}
+	if s.Servers <= 0 || s.IONodeBW <= 0 || s.ServerBW <= 0 {
+		return nil, fmt.Errorf("iosys: storage for %s lacks servers or bandwidths", s.Machine)
+	}
+	if s.ComputePerIONode > 0 && s.ForwardBW <= 0 {
+		return nil, fmt.Errorf("iosys: storage for %s has a forwarding layer but no forward bandwidth", s.Machine)
+	}
+	return &Sim{
+		s:       s,
+		ioFree:  make([]sim.Time, s.ioNodesFor(nodes)),
+		srvFree: make([]sim.Time, s.Servers),
+	}, nil
+}
+
+// NodeWrite issues one compute node's write of bytes at time now and
+// returns its completion time. The data crosses the node's forwarding
+// link (uncontended — it is the node's own), then queues for the
+// node's I/O-node uplink and a file server, store-and-forward at write
+// granularity. files adds the serial metadata cost (opens/creates).
+func (io *Sim) NodeWrite(now sim.Time, node int, bytes float64, files int) sim.Time {
+	if bytes < 0 || files < 0 {
+		panic(fmt.Sprintf("iosys: bad write node=%d bytes=%g files=%d", node, bytes, files))
+	}
+	t := now
+	ion := 0
+	if io.s.ComputePerIONode > 0 {
+		t = t.Add(sim.Seconds(bytes / io.s.ForwardBW))
+		ion = node / io.s.ComputePerIONode % len(io.ioFree)
+	} else {
+		ion = node % len(io.ioFree)
+	}
+	start := maxTime(t, io.ioFree[ion])
+	end := start.Add(sim.Seconds(bytes / io.s.IONodeBW))
+	io.ioFree[ion] = end
+
+	srv := ion % len(io.srvFree)
+	start = maxTime(end, io.srvFree[srv])
+	end = start.Add(sim.Seconds(bytes / io.s.ServerBW))
+	io.srvFree[srv] = end
+
+	return end.Add(sim.Seconds(float64(files) * io.s.MetadataLatency))
+}
+
+// NodeRead mirrors NodeWrite without the metadata term, matching
+// ReadTime's closed form.
+func (io *Sim) NodeRead(now sim.Time, node int, bytes float64) sim.Time {
+	return io.NodeWrite(now, node, bytes, 0)
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package iosys
+
+import (
+	"testing"
+
+	"bgpsim/internal/sim"
+)
+
+// TestSimMatchesAnalyticWrite is a differential check: a collective
+// write issued node by node through the stateful Sim must land near
+// the closed-form WriteTime. The simulated path is store-and-forward
+// (each stage waits for the previous), so it is a little slower than
+// the pipelined closed form; tolerance [1.0, 1.5).
+func TestSimMatchesAnalyticWrite(t *testing.T) {
+	s := ORNLEugene()
+	const nodes = 128
+	const perNode = 1 << 20 // 1 MiB
+	io, err := NewSim(s, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last sim.Time
+	for n := 0; n < nodes; n++ {
+		files := 0
+		if n == 0 {
+			files = 1
+		}
+		if end := io.NodeWrite(0, n, perNode, files); end > last {
+			last = end
+		}
+	}
+	analytic, err := s.WriteTime(nodes, float64(nodes)*perNode, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Duration(last).Seconds()
+	if ratio := got / analytic; ratio < 1.0 || ratio >= 1.5 {
+		t.Errorf("simulated collective write %.4gs vs analytic %.4gs (ratio %.3f, want [1.0, 1.5))",
+			got, analytic, ratio)
+	}
+}
+
+func TestSimSerializesUplink(t *testing.T) {
+	s := ORNLEugene()
+	io, err := NewSim(s, 64) // one I/O node
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 1 << 20
+	first := io.NodeWrite(0, 0, b, 0)
+	second := io.NodeWrite(0, 1, b, 0)
+	if second <= first {
+		t.Errorf("two writes through one uplink finished at %v and %v; the second must queue", first, second)
+	}
+	// A later write starts after the uplink frees, not before.
+	uplink := sim.Seconds(b / s.IONodeBW)
+	if second-first < sim.Time(uplink)/2 {
+		t.Errorf("second write gained only %v over the first; uplink serialization is %v", second-first, uplink)
+	}
+}
+
+func TestSimDirectPath(t *testing.T) {
+	s := ORNLJaguar()
+	io, err := NewSim(s, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := io.NodeWrite(sim.Time(sim.Second), 7, 1<<20, 0)
+	if end <= sim.Time(sim.Second) {
+		t.Errorf("write completed at %v, before it started", end)
+	}
+}
+
+func TestSimRejectsBadStorage(t *testing.T) {
+	if _, err := NewSim(&Storage{}, 8); err == nil {
+		t.Error("NewSim accepted a storage with no servers")
+	}
+	if _, err := NewSim(ORNLEugene(), 0); err == nil {
+		t.Error("NewSim accepted an empty partition")
+	}
+}

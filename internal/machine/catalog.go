@@ -65,6 +65,10 @@ var catalog = map[ID]*Machine{
 		WattsPerCoreHPL: 7.7,  // [Table 3]
 		WattsPerCoreApp: 7.3,  // [Table 3]
 		CoresPerRack:    4096, // [paper intro]
+
+		NodesPerCard:     32,   // [T1] 32 compute nodes per node card
+		NodesPerMidplane: 512,  // [T1] 16 node cards per midplane
+		NodesPerRack:     1024, // [T1] two midplanes per rack
 	},
 
 	BGL: {
@@ -118,6 +122,10 @@ var catalog = map[ID]*Machine{
 		WattsPerCoreHPL: 12.0, // [cal] from BG/L Green500-era numbers
 		WattsPerCoreApp: 11.4, // [cal]
 		CoresPerRack:    2048,
+
+		NodesPerCard:     32, // same packaging ladder as BG/P
+		NodesPerMidplane: 512,
+		NodesPerRack:     1024,
 	},
 
 	XT3: {
@@ -167,6 +175,10 @@ var catalog = map[ID]*Machine{
 		WattsPerCoreHPL: 46.0, // [cal] dual-core Opteron node + SeaStar share
 		WattsPerCoreApp: 44.0, // [cal]
 		CoresPerRack:    192,  // [paper intro]
+
+		NodesPerCard:     4,  // blade: 4 nodes share a mezzanine
+		NodesPerMidplane: 32, // cage (chassis): 8 blades
+		NodesPerRack:     96, // cabinet: 3 cages
 	},
 
 	XT4DC: {
@@ -216,6 +228,10 @@ var catalog = map[ID]*Machine{
 		WattsPerCoreHPL: 50.0, // [cal]
 		WattsPerCoreApp: 47.5, // [cal]
 		CoresPerRack:    192,
+
+		NodesPerCard:     4,  // blade
+		NodesPerMidplane: 32, // cage
+		NodesPerRack:     96, // cabinet
 	},
 
 	XT4QC: {
@@ -265,6 +281,10 @@ var catalog = map[ID]*Machine{
 		WattsPerCoreHPL: 51.0, // [Table 3]
 		WattsPerCoreApp: 48.4, // [Table 3]
 		CoresPerRack:    384,  // [paper intro]
+
+		NodesPerCard:     4,  // blade
+		NodesPerMidplane: 32, // cage
+		NodesPerRack:     96, // cabinet
 	},
 }
 

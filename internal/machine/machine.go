@@ -164,6 +164,42 @@ type Machine struct {
 	WattsPerCoreHPL float64 // measured aggregate power per core under HPL
 	WattsPerCoreApp float64 // measured aggregate power per core under applications
 	CoresPerRack    int
+
+	// Physical packaging hierarchy, in nodes per unit: the shared-fate
+	// domains of correlated failures (a blown DC-DC converter takes a
+	// node card, a failed link chip a midplane, a power-supply fault a
+	// rack). On BlueGene the units are node card / midplane / rack; on
+	// the Cray XT the analogues are blade / cage (chassis) / cabinet.
+	// internal/fault keys its blast-radius model on these.
+	NodesPerCard     int
+	NodesPerMidplane int
+	NodesPerRack     int
+}
+
+// Hierarchy is the machine's physical packaging ladder for
+// correlated-failure domains, smallest unit first.
+type Hierarchy struct {
+	Card     int // nodes per node card (BG) or blade (XT)
+	Midplane int // nodes per midplane (BG) or cage (XT)
+	Rack     int // nodes per rack (BG) or cabinet (XT)
+}
+
+// Hierarchy returns the machine's packaging hierarchy. Machines built
+// by hand without packaging fields fall back to a single-level
+// hierarchy where every unit is one node (a blast then degenerates to
+// an independent node failure).
+func (m *Machine) Hierarchy() Hierarchy {
+	h := Hierarchy{Card: m.NodesPerCard, Midplane: m.NodesPerMidplane, Rack: m.NodesPerRack}
+	if h.Card <= 0 {
+		h.Card = 1
+	}
+	if h.Midplane < h.Card {
+		h.Midplane = h.Card
+	}
+	if h.Rack < h.Midplane {
+		h.Rack = h.Midplane
+	}
+	return h
 }
 
 // PeakFlopsCore returns the peak double-precision flop rate of one core.

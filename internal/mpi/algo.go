@@ -196,6 +196,10 @@ func (w *World) selectColl(op opID, world bool, procs int, a CollArgs) *CollAlgo
 // trace and traffic accounting, and runs the hardware offload, the
 // closed-form analytic model, or the software algorithm.
 func (c *Comm) runColl(r *Rank, op opID, a CollArgs) {
+	if c.w.recovery {
+		c.runCollRecover(r, op, a)
+		return
+	}
 	key := c.nextKey(r, collOpNames[op])
 	al := c.w.selectColl(op, c.isWorld, c.Size(), a)
 	if c.w.cfg.Trace != nil {

@@ -18,6 +18,13 @@ type Comm struct {
 	members []int // world rank ids in communicator-rank order
 	index   map[int]int
 	isWorld bool
+
+	// Recovery-mode state (recover.go): the cached live sub-communicator
+	// for the current failure epoch, and the last epoch whose recovery
+	// latency this comm has been charged.
+	liveCache *Comm
+	liveEpoch int
+	recEpoch  int
 }
 
 // Size returns the number of ranks in the communicator.
@@ -61,6 +68,8 @@ func (c *Comm) nextKey(r *Rank, kind string) string {
 // computes each member's release time (and optionally a shared
 // result), and everyone resumes at their release time.
 type gate struct {
+	c       *Comm
+	fin     finisher
 	need    int
 	ranks   []*Rank
 	times   []sim.Time
@@ -79,7 +88,7 @@ type finisher func(ranks []*Rank, times []sim.Time, vals []interface{}) (release
 func (c *Comm) sync(r *Rank, key string, val interface{}, fin finisher) interface{} {
 	g, ok := c.w.gates[key]
 	if !ok {
-		g = &gate{need: c.Size(), indices: make(map[int]int)}
+		g = &gate{c: c, fin: fin, need: c.liveSize(), indices: make(map[int]int)}
 		c.w.gates[key] = g
 	}
 	if _, dup := g.indices[r.id]; dup {
@@ -90,20 +99,39 @@ func (c *Comm) sync(r *Rank, key string, val interface{}, fin finisher) interfac
 	g.times = append(g.times, r.proc.Now())
 	g.vals = append(g.vals, val)
 	if len(g.ranks) == g.need {
-		release, result := fin(g.ranks, g.times, g.vals)
-		g.result = result
-		now := c.w.kernel.Now()
-		for i, rr := range g.ranks {
-			t := release[i]
-			if t < now {
-				panic(fmt.Sprintf("mpi: collective %q releases rank %d in the past", key, rr.id))
-			}
-			rr.proc.WakeAt(t)
-		}
-		delete(c.w.gates, key)
+		c.w.completeGate(key, g)
 	}
 	r.proc.BlockWith("collective ", key)
+	if r.gateDropped {
+		// Removed from an open gate by failNode: unwind out of the
+		// collective instead of consuming its (possibly absent) result.
+		// A dead rank released from a *completed* gate must NOT unwind
+		// here: the gate's decision already committed it (a software
+		// algorithm over the pre-death membership may need its rounds),
+		// so it proceeds and dies at the collective's exit boundary.
+		r.gateDropped = false
+		killRank()
+	}
 	return g.result
+}
+
+// completeGate runs the gate's finisher and schedules every entrant's
+// release. Releases are clamped to now: in the normal path the last
+// arrival is now and every finisher releases at or after it, but gate
+// repair (failNode) can complete a gate whose surviving entrants all
+// arrived in the past.
+func (w *World) completeGate(key string, g *gate) {
+	release, result := g.fin(g.ranks, g.times, g.vals)
+	g.result = result
+	now := w.kernel.Now()
+	for i, rr := range g.ranks {
+		t := release[i]
+		if t < now {
+			t = now
+		}
+		rr.proc.WakeAt(t)
+	}
+	delete(w.gates, key)
 }
 
 // uniformFinisher releases every member at last-arrival + d(). The
@@ -163,10 +191,11 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 				return es[i].world < es[j].world
 			})
 			nc := &Comm{
-				w:       c.w,
-				name:    fmt.Sprintf("%s/%s:%d", c.name, gk, col),
-				members: make([]int, len(es)),
-				index:   make(map[int]int, len(es)),
+				w:        c.w,
+				name:     fmt.Sprintf("%s/%s:%d", c.name, gk, col),
+				members:  make([]int, len(es)),
+				index:    make(map[int]int, len(es)),
+				recEpoch: c.w.epoch, // born after these failures: no back charge
 			}
 			for i, e := range es {
 				nc.members[i] = e.world

@@ -49,6 +49,15 @@ func (w *World) validateFaults(plan *fault.Plan, nodes int) error {
 // Faults on nodes that host no ranks (a partition larger than the
 // job) are ignored.
 func (w *World) scheduleNodeFaults(plan *fault.Plan) {
+	if plan.Recover() {
+		// Transparent recovery: kills remove ranks from the job instead
+		// of aborting it (recover.go).
+		for _, nf := range plan.NodeFaults() {
+			nf := nf
+			w.kernel.At(nf.At, func() { w.failNode(nf) })
+		}
+		return
+	}
 	for _, nf := range plan.NodeFaults() {
 		victim := -1
 		for _, r := range w.ranks {

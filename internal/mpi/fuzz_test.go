@@ -1,0 +1,65 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCollSpec checks that the collective-override parser never
+// panics, that accepted specs round-trip (every entry names a known op
+// and registered algorithm, and re-serializing and re-parsing yields
+// the same map), and that parsing is deterministic.
+func FuzzParseCollSpec(f *testing.F) {
+	f.Add("")
+	f.Add("allreduce=ring")
+	f.Add("allreduce=ring,bcast=binomial")
+	f.Add("barrier=dissemination, alltoall=pairwise")
+	f.Add("allreduce=")
+	f.Add("=ring")
+	f.Add("allreduce=nope")
+	f.Add("bogus=ring")
+	f.Add(",,,")
+	f.Add("allreduce=ring,allreduce=recursive-doubling")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseCollSpec(s)
+		m2, err2 := ParseCollSpec(s)
+		if (err == nil) != (err2 == nil) || len(m) != len(m2) {
+			t.Fatalf("nondeterministic parse of %q: (%v, %v) vs (%v, %v)", s, m, err, m2, err2)
+		}
+		if err != nil {
+			if m != nil {
+				t.Errorf("ParseCollSpec(%q) returned both a map and an error", s)
+			}
+			return
+		}
+		if m == nil {
+			if strings.TrimSpace(s) != "" {
+				t.Errorf("ParseCollSpec(%q) = nil map with nil error for non-empty spec", s)
+			}
+			return
+		}
+		// Round-trip: re-serialize and re-parse; entries must survive.
+		parts := make([]string, 0, len(m))
+		for op, name := range m {
+			if _, ok := opIndex(op); !ok {
+				t.Fatalf("accepted unknown op %q in %q", op, s)
+			}
+			if collRegistry[algoKey{op, name}] == nil {
+				t.Fatalf("accepted unknown algorithm %q for %q in %q", name, op, s)
+			}
+			parts = append(parts, op+"="+name)
+		}
+		rt, err := ParseCollSpec(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: %v", s, err)
+		}
+		if len(rt) != len(m) {
+			t.Fatalf("round-trip of %q: %v vs %v", s, rt, m)
+		}
+		for op, name := range m {
+			if rt[op] != name {
+				t.Errorf("round-trip of %q: %s=%s became %s", s, op, name, rt[op])
+			}
+		}
+	})
+}

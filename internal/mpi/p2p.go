@@ -82,6 +82,9 @@ func (r *Rank) isendPayload(dst, bytes, tag int, collKey string, payload interfa
 // isendFrac is isendPayload with a scaled sender-side software cost
 // (persistent channels pay a reduced overhead).
 func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{}, overheadFrac float64) *Request {
+	if r.dead && r.collAlgo == "" {
+		killRank()
+	}
 	if dst < 0 || dst >= len(r.w.ranks) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
@@ -147,6 +150,9 @@ func (r *Rank) Irecv(src, tag int) *Request {
 }
 
 func (r *Rank) irecv(src, tag int, collKey string) *Request {
+	if r.dead && r.collAlgo == "" {
+		killRank()
+	}
 	req := &Request{r: r, isRecv: true, src: src, tag: tag, collKey: collKey}
 	if tb := r.w.cfg.Trace; tb != nil {
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.RecvPost,
@@ -255,6 +261,11 @@ func (r *Rank) waitNoOverhead(q *Request) {
 		}
 		r.proc.Block(kind)
 		q.waiting = false
+		if r.dead && r.collAlgo == "" {
+			// Woken by failNode, not by completion: unwind the dead rank
+			// out of its point-to-point wait.
+			killRank()
+		}
 	}
 }
 

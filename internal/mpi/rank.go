@@ -25,12 +25,14 @@ type Rank struct {
 	inbox  []*message // arrived eager data / rendezvous headers, unmatched
 	posted []*Request // posted receives, unmatched
 
-	timers     map[string]sim.Duration
-	timerStart map[string]sim.Time
-	collSeq    map[string]int // per-communicator collective sequence numbers
-	collAlgo   string         // active software collective ("op/name"), for traffic attribution
-	rng        *sim.RNG
-	noisePhase sim.Duration // phase of this node's OS-noise events
+	timers      map[string]sim.Duration
+	timerStart  map[string]sim.Time
+	collSeq     map[string]int // per-communicator collective sequence numbers
+	collAlgo    string         // active software collective ("op/name"), for traffic attribution
+	dead        bool           // killed under transparent recovery; unwinds at next boundary
+	gateDropped bool           // removed from an open collective gate by failNode
+	rng         *sim.RNG
+	noisePhase  sim.Duration // phase of this node's OS-noise events
 }
 
 func newRank(w *World, id int, place topology.Placement) *Rank {
@@ -79,6 +81,9 @@ func (r *Rank) RNG() *sim.RNG { return r.rng }
 // active fault plan with OS noise, the deterministic noise events that
 // land inside the block.
 func (r *Rank) Compute(flops, bytes float64, class machine.KernelClass) {
+	if r.dead && r.collAlgo == "" {
+		killRank()
+	}
 	d := r.w.cpu.Time(flops, bytes, class)
 	if s, ok := r.w.cfg.NodeSlowdown[r.place.Node]; ok && s > 0 {
 		d = sim.Duration(float64(d) * (1 + s))
@@ -104,7 +109,12 @@ func probeCompute(r *Rank, d, noise sim.Duration) {
 
 // Advance moves the rank's clock forward by a fixed duration
 // (pre-computed cost, e.g. from a closed-form model).
-func (r *Rank) Advance(d sim.Duration) { r.proc.Sleep(d) }
+func (r *Rank) Advance(d sim.Duration) {
+	if r.dead && r.collAlgo == "" {
+		killRank()
+	}
+	r.proc.Sleep(d)
+}
 
 // TimerStart begins (or resumes) the named per-rank timer.
 func (r *Rank) TimerStart(name string) {

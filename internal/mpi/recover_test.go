@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"testing"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+)
+
+func recoverCfg(t *testing.T, nodes int, plan *fault.Plan) Config {
+	t.Helper()
+	m, err := machine.Lookup("BG/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Machine:  m,
+		Nodes:    nodes,
+		Mode:     machine.SMP,
+		Fidelity: network.Contention,
+		Faults:   plan,
+	}
+}
+
+// barrierLoop is the standard recovery-test program: compute then
+// barrier, repeated. Collectives are the only cross-rank coupling, so
+// node kills are recoverable.
+func barrierLoop(iters int) func(*Rank) {
+	return func(r *Rank) {
+		for i := 0; i < iters; i++ {
+			r.Advance(10 * sim.Microsecond)
+			r.World().Barrier(r)
+		}
+	}
+}
+
+func TestRecoverLeafDeath(t *testing.T) {
+	plan := fault.NewPlan(1)
+	plan.KillNode(7, sim.Time(25*sim.Microsecond)) // leaf of the 8-node tree
+	plan.EnableRecovery()
+	res, err := Execute(recoverCfg(t, 8, plan), barrierLoop(5))
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if len(res.Lost) != 1 || res.Lost[0] != 7 {
+		t.Fatalf("Lost = %v, want [7]", res.Lost)
+	}
+	if res.Net.Recoveries == 0 {
+		t.Error("no recovery charged")
+	}
+	if res.Net.TreeRebuilds == 0 {
+		t.Error("leaf death on BG/P should rebuild the hardware tree")
+	}
+	if res.Net.HWFallbacks != 0 {
+		t.Errorf("leaf death demoted HW offloads (HWFallbacks = %d)", res.Net.HWFallbacks)
+	}
+	if res.Net.RecoveryTime <= 0 {
+		t.Error("recovery charged no latency")
+	}
+}
+
+func TestRecoverInteriorDeathDemotes(t *testing.T) {
+	plan := fault.NewPlan(1)
+	plan.KillNode(0, sim.Time(25*sim.Microsecond)) // root of the tree
+	plan.EnableRecovery()
+	res, err := Execute(recoverCfg(t, 8, plan), barrierLoop(5))
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if len(res.Lost) != 1 || res.Lost[0] != 0 {
+		t.Fatalf("Lost = %v, want [0]", res.Lost)
+	}
+	if res.Net.HWFallbacks == 0 {
+		t.Error("interior-node death should demote HW offloads")
+	}
+	// Post-death barriers must run a software algorithm.
+	sw := false
+	for name, cs := range res.Net.Collectives {
+		if name == "barrier/dissemination" && cs.Ops > 0 {
+			sw = true
+		}
+	}
+	if !sw {
+		t.Errorf("no software barrier ops after demotion: %v", res.Net.Collectives)
+	}
+}
+
+func TestRecoverFailStopStillAborts(t *testing.T) {
+	plan := fault.NewPlan(1)
+	plan.KillNode(3, sim.Time(25*sim.Microsecond))
+	// No EnableRecovery: fail-stop.
+	_, err := Execute(recoverCfg(t, 8, plan), barrierLoop(5))
+	if err == nil {
+		t.Fatal("fail-stop kill did not abort the run")
+	}
+}
+
+func TestRecoverNoFaultMatchesHealthy(t *testing.T) {
+	// A recovery-enabled plan with no kills must reproduce the healthy
+	// run bit for bit (Elapsed and stats), despite the agreement gates.
+	healthy, err := Execute(recoverCfg(t, 8, nil), barrierLoop(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(1)
+	plan.EnableRecovery()
+	rec, err := Execute(recoverCfg(t, 8, plan), barrierLoop(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Elapsed != healthy.Elapsed {
+		t.Errorf("recovery mode without faults: elapsed %v, healthy %v", rec.Elapsed, healthy.Elapsed)
+	}
+	if rec.Net.Recoveries != 0 {
+		t.Errorf("recovery charged with no faults: %d", rec.Net.Recoveries)
+	}
+}
+
+func TestRecoverAllreducePayloadSemantics(t *testing.T) {
+	plan := fault.NewPlan(1)
+	plan.KillNode(5, sim.Time(25*sim.Microsecond))
+	plan.EnableRecovery()
+	got := make([]interface{}, 8)
+	res, err := Execute(recoverCfg(t, 8, plan), func(r *Rank) {
+		for i := 0; i < 3; i++ {
+			r.Advance(20 * sim.Microsecond)
+			got[r.ID()] = r.World().AllreducePayload(r, 8, 1<<uint(r.ID()),
+				func(a, b interface{}) interface{} { return a.(int) + b.(int) })
+		}
+	})
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if len(res.Lost) != 1 || res.Lost[0] != 5 {
+		t.Fatalf("Lost = %v, want [5]", res.Lost)
+	}
+	want := 0
+	for id := 0; id < 8; id++ {
+		if id != 5 {
+			want += 1 << uint(id)
+		}
+	}
+	for id := 0; id < 8; id++ {
+		if id == 5 {
+			continue
+		}
+		if got[id] != want {
+			t.Errorf("rank %d allreduce = %v, want %d (sum over survivors)", id, got[id], want)
+		}
+	}
+}

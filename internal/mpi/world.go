@@ -96,6 +96,16 @@ type World struct {
 	collRules [numCollOps][]collRule
 	collOver  [numCollOps]*CollAlgo
 
+	// Collective-recovery state (recover.go). epoch counts failure
+	// events; treeOK tracks whether the hardware collective tree is
+	// still usable around the dead nodes.
+	recovery  bool
+	epoch     int
+	treeOK    bool
+	deadRank  map[int]bool
+	deadNodes []int
+	lost      []int // dead world ranks, sorted
+
 	gates map[string]*gate
 	ran   bool
 }
@@ -159,7 +169,12 @@ func NewWorld(cfg Config) (*World, error) {
 			return nil, err
 		}
 		w.net.SetFaults(cfg.Faults)
+		if cfg.Faults.Recover() {
+			w.recovery = true
+			w.deadRank = make(map[int]bool)
+		}
 	}
+	w.treeOK = true
 	if cfg.Probe != nil {
 		w.probe = cfg.Probe
 		w.kernel.Probe = cfg.Probe // obs.Probe supersets sim.Probe
@@ -210,6 +225,10 @@ type Result struct {
 	// Probe is the probe the run drove (nil when observability is
 	// off). Use Recorder/Profile/CriticalPath for the standard views.
 	Probe obs.Probe
+	// Lost lists the world ranks killed by fault injection under
+	// transparent recovery, sorted (empty on healthy or fail-stop
+	// runs). A lost rank's RankElapsed entry is when it unwound.
+	Lost []int
 }
 
 // Stats returns the interconnect traffic counters (accessor form of
@@ -285,6 +304,19 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 	for _, r := range w.ranks {
 		r := r
 		r.proc = w.kernel.Spawn(fmt.Sprintf("rank %d", r.id), func(p *sim.Proc) {
+			defer func() {
+				// A rank killed under transparent recovery unwinds with
+				// a rankKilledPanic; absorb it here (recording when the
+				// rank died) so the kernel's wrapper never sees it. No
+				// RankDone: the rank did not finish the program.
+				if v := recover(); v != nil {
+					if _, killed := v.(rankKilledPanic); killed {
+						finish[r.id] = sim.Duration(p.Now())
+						return
+					}
+					panic(v)
+				}
+			}()
 			program(r)
 			finish[r.id] = sim.Duration(p.Now())
 			if w.probe != nil {
@@ -302,6 +334,7 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 		Net:         w.net.Stats(),
 		Events:      w.kernel.Events(),
 		Probe:       w.probe,
+		Lost:        w.Lost(),
 	}
 	if w.cfg.Trace != nil {
 		res.Dropped = w.cfg.Trace.Dropped()

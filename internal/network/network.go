@@ -63,6 +63,17 @@ type Stats struct {
 	TreeOps    int64
 	BarrierOps int64
 
+	// Collective-recovery counters (zero on healthy runs). Recoveries
+	// counts recovery epochs a communicator went through; TreeRebuilds
+	// counts the subset where the hardware tree was reprogrammed around
+	// dead leaves; HWFallbacks counts the subset where an interior-node
+	// loss demoted hardware offloads to software torus algorithms.
+	// RecoveryTime is the total simulated latency charged for recovery.
+	Recoveries   int64
+	TreeRebuilds int64
+	HWFallbacks  int64
+	RecoveryTime sim.Duration
+
 	// Collectives counts per-algorithm collective traffic, keyed by
 	// the algorithm's full name ("allreduce/ring"). Ops counts
 	// operation invocations; Messages/Bytes count the algorithm's
@@ -150,6 +161,45 @@ func (n *Net) CollMessage(algo string, bytes int) {
 	cs.Messages++
 	cs.Bytes += int64(bytes)
 	n.stats.Collectives[algo] = cs
+}
+
+// RecordRecovery accounts one collective-recovery charge: the latency,
+// whether the hardware tree was rebuilt around dead leaves, and whether
+// hardware offloads were demoted to software torus algorithms (both
+// false for a plain software membership agreement, e.g. on a
+// sub-communicator or a machine without a tree).
+func (n *Net) RecordRecovery(d sim.Duration, rebuilt, demoted bool) {
+	n.stats.Recoveries++
+	n.stats.RecoveryTime += d
+	if rebuilt {
+		n.stats.TreeRebuilds++
+	}
+	if demoted {
+		n.stats.HWFallbacks++
+	}
+}
+
+// TreeRecoverable reports whether the collective tree survives losing
+// the given nodes (all dead nodes are leaves of the class-route tree).
+// False when the partition has no tree, or when a dead node is interior
+// and takes its subtree's path to the root with it.
+func (n *Net) TreeRecoverable(dead []int) bool {
+	return n.tree != nil && n.tree.Recoverable(dead)
+}
+
+// treeReprogramS is the control-system cost of rewriting one node's
+// class-route registers during a tree rebuild (a service-card RAS
+// action, far slower than the tree's own latency).
+const treeReprogramS = 25e-6
+
+// TreeRebuildCost returns the simulated latency of reprogramming the
+// collective-tree class routes around the given number of newly dead
+// nodes: a full-depth route flush plus a per-node register rewrite.
+func (n *Net) TreeRebuildCost(dead int) sim.Duration {
+	if n.tree == nil {
+		return 0
+	}
+	return sim.Seconds(n.mach.TreeLat*float64(n.tree.Depth) + float64(dead)*treeReprogramS)
 }
 
 // Fidelity returns the active torus model.

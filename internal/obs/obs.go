@@ -64,8 +64,12 @@ type Probe interface {
 	// after queueing for wait.
 	Inject(node int, t sim.Time, wait sim.Duration, bytes int)
 
-	// Fault fires when an injected fault becomes visible (a link
-	// degradation window opens, a node is killed).
+	// Fault fires when an injected fault becomes visible. Kinds in
+	// use: "link-degraded"/"link-down" (a link-fault window opens),
+	// "node-kill" (a node dies — fail-stop abort, or rank loss under
+	// recovery), and "coll-recover" (a communicator rebuilt its
+	// collective machinery around dead ranks, with the tree-rebuild /
+	// HW-demotion detail and the charged recovery time).
 	Fault(t sim.Time, kind, detail string)
 
 	// RankDone fires when a rank's program function returns.

@@ -3,7 +3,9 @@ package paper
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
+	"bgpsim/internal/ckpt"
 	"bgpsim/internal/fault"
 	"bgpsim/internal/iosys"
 	"bgpsim/internal/machine"
@@ -217,8 +219,172 @@ func faults(o Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t5, err := recoveryTable()
+	if err != nil {
+		return nil, err
+	}
+	t6, err := simulatedCheckpointTable(o)
+	if err != nil {
+		return nil, err
+	}
 
-	return []*stats.Table{t1, t2, t3, t4}, nil
+	return []*stats.Table{t1, t2, t3, t4, t5, t6}, nil
+}
+
+// recoveryTable runs the same collective loop under transparent
+// recovery (fault.Plan.EnableRecovery) for increasingly severe
+// correlated failures: a healthy baseline, a single leaf of the
+// collective tree (the hardware reprograms its class routes), an
+// interior tree node (hardware offloads demote to torus algorithms),
+// and a node-card blast that takes out half the partition at once.
+func recoveryTable() (*stats.Table, error) {
+	const nodes = 64
+	dims := topology.Dims{4, 4, 4}
+	run := func(plan *fault.Plan) (*mpi.Result, error) {
+		cfg := mpi.Config{Machine: machine.Get(machine.BGP), Nodes: nodes, Dims: dims,
+			Mode: machine.SMP, Fidelity: network.Contention, Faults: plan}
+		return mpi.Execute(cfg, func(r *mpi.Rank) {
+			for i := 0; i < 8; i++ {
+				r.Advance(20 * sim.Microsecond)
+				r.World().Barrier(r)
+			}
+		})
+	}
+	kill := func(node int) func() (*fault.Plan, error) {
+		return func() (*fault.Plan, error) {
+			p := fault.NewPlan(faultSeed)
+			p.KillNode(node, sim.Time(50*sim.Microsecond))
+			p.EnableRecovery()
+			return p, nil
+		}
+	}
+	scenarios := []struct {
+		name string
+		plan func() (*fault.Plan, error)
+	}{
+		{"healthy", func() (*fault.Plan, error) { return nil, nil }},
+		{"leaf node 63 dies (tree rebuilt)", kill(63)},
+		{"interior node 0 dies (HW demoted)", kill(0)},
+		{"node-card blast: 32 nodes die", func() (*fault.Plan, error) {
+			spec, err := fault.ParseSpec(fmt.Sprintf("seed=%d,recover,blast=50us/7/1/0/0/1", faultSeed))
+			if err != nil {
+				return nil, err
+			}
+			p, _, err := spec.Build(topology.NewTorus(dims), machine.Get(machine.BGP).Hierarchy())
+			return p, err
+		}},
+	}
+
+	results := make([]*mpi.Result, len(scenarios))
+	var jobs []job
+	for i, sc := range scenarios {
+		i, sc := i, sc
+		jobs = append(jobs, job{
+			run: func() (any, error) {
+				p, err := sc.plan()
+				if err != nil {
+					return nil, err
+				}
+				return run(p)
+			},
+			commit: func(v any) { results[i] = v.(*mpi.Result) },
+		})
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Transparent collective recovery (BG/P, %d nodes, 8-barrier loop, seed %d)", nodes, faultSeed),
+		"Scenario", "Elapsed (us)", "Lost", "Recoveries", "Tree rebuilds", "HW fallbacks", "Recovery (us)")
+	for i, sc := range scenarios {
+		r := results[i]
+		t.AddRow(sc.name, stats.FormatG(r.Elapsed.Microseconds()),
+			strconv.Itoa(len(r.Lost)),
+			strconv.FormatInt(r.Net.Recoveries, 10),
+			strconv.FormatInt(r.Net.TreeRebuilds, 10),
+			strconv.FormatInt(r.Net.HWFallbacks, 10),
+			stats.FormatG(r.Net.RecoveryTime.Microseconds()))
+	}
+	return t, nil
+}
+
+// simulatedCheckpointTable is the differential companion of
+// checkpointTable: instead of pricing checkpoints with the Daly
+// closed form, it runs internal/ckpt — checkpoints as real writes
+// through the storage model, failures as seeded exponential arrivals —
+// and compares the mean simulated time-to-solution with the analytic
+// expectation at each interval. The same seeds are used at every
+// interval, so the sweep compares intervals on identical failure
+// realizations.
+func simulatedCheckpointTable(o Options) (*stats.Table, error) {
+	const (
+		nodes        = 64
+		work         = 2000.0
+		bytesPerNode = 16 << 20
+		rebootCost   = 60.0
+	)
+	seeds := uint64(4)
+	if o.Full {
+		seeds = 10
+	}
+	storage := iosys.ORNLEugene()
+	nodeMTBF := 1800.0 * nodes // system MTBF 1800s
+	mtbf := fault.SystemMTBF(nodeMTBF, nodes)
+	delta, err := fault.CheckpointWriteCost(storage, nodes, bytesPerNode)
+	if err != nil {
+		return nil, err
+	}
+	opt := fault.YoungDaly(delta, mtbf)
+	sweep := []struct {
+		label  string
+		factor float64
+	}{
+		{"0.25x optimal", 0.25},
+		{"Young/Daly optimal", 1},
+		{"4x optimal", 4},
+	}
+
+	sums := make([]float64, len(sweep))
+	var jobs []job
+	for i, p := range sweep {
+		for seed := uint64(1); seed <= seeds; seed++ {
+			i, tau, seed := i, opt*p.factor, seed
+			jobs = append(jobs, job{
+				run: func() (any, error) {
+					res, err := ckpt.Run(ckpt.Params{
+						Machine: machine.Get(machine.BGP), Nodes: nodes, Storage: storage,
+						Work: work, Interval: tau, BytesPerNode: bytesPerNode,
+						Reboot: rebootCost, NodeMTBF: nodeMTBF, Seed: seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					return res.TTS, nil
+				},
+				commit: func(v any) { sums[i] += v.(float64) },
+			})
+		}
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Simulated checkpoint/restart vs Daly model (BG/P Eugene, %d nodes, %d seeds)", nodes, int(seeds)),
+		"Interval", "tau (s)", "Simulated TTS (s)", "Daly TTS (s)", "Ratio")
+	for i, p := range sweep {
+		c := fault.Checkpointer{Interval: opt * p.factor, WriteCost: delta,
+			RestartCost: rebootCost + delta, MTBF: mtbf}
+		want, err := c.ExpectedRuntime(work)
+		if err != nil {
+			return nil, err
+		}
+		got := sums[i] / float64(seeds)
+		t.AddRow(p.label, stats.FormatG(opt*p.factor), stats.FormatG(got),
+			stats.FormatG(want), stats.FormatG(got/want))
+	}
+	return t, nil
 }
 
 // checkpointTable sweeps checkpoint intervals around the Young/Daly

@@ -45,8 +45,8 @@ func TestFaultsTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 4 {
-		t.Fatalf("got %d tables, want 4", len(tables))
+	if len(tables) != 6 {
+		t.Fatalf("got %d tables, want 6", len(tables))
 	}
 
 	// The healthy row of the link table is the baseline: slowdown 1.
@@ -105,5 +105,40 @@ func TestFaultsTables(t *testing.T) {
 	}
 	if triples != 2 {
 		t.Errorf("checkpoint table has %d interval triples, want 2", triples)
+	}
+
+	// Recovery table: healthy row charges nothing; a leaf death rebuilds
+	// the hardware tree without demoting; an interior death demotes; the
+	// card blast loses 32 ranks.
+	rec := tables[4]
+	cell := func(row []string, col int) string { return strings.TrimSpace(row[col]) }
+	if got := cell(rec.Rows[0], 3); got != "0" {
+		t.Errorf("healthy recovery row charged %s recoveries, want 0", got)
+	}
+	if got := cell(rec.Rows[1], 4); got == "0" {
+		t.Error("leaf-death row rebuilt no trees")
+	}
+	if got := cell(rec.Rows[1], 5); got != "0" {
+		t.Errorf("leaf-death row demoted HW offloads %s times, want 0", got)
+	}
+	if got := cell(rec.Rows[2], 5); got == "0" {
+		t.Error("interior-death row demoted no HW offloads")
+	}
+	if got := cell(rec.Rows[3], 2); got != "32" {
+		t.Errorf("card-blast row lost %s ranks, want 32", got)
+	}
+
+	// Differential checkpoint table: the simulated runs track the Daly
+	// expectation (ratio column within [0.8, 1.8] — the simulated writes
+	// are store-and-forward and few seeds leave sampling noise).
+	diff := tables[5]
+	for _, row := range diff.Rows {
+		ratio, err := strconv.ParseFloat(cell(row, 4), 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell in row %v: %v", row, err)
+		}
+		if ratio < 0.8 || ratio > 1.8 {
+			t.Errorf("row %v: simulated/Daly ratio %g outside [0.8, 1.8]", row, ratio)
+		}
 	}
 }

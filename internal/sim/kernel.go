@@ -182,8 +182,23 @@ func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
 func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
 
 // atResume schedules process p to resume at time t without allocating
-// a closure.
-func (k *Kernel) atResume(t Time, p *Proc) { k.schedule(t, p, nil) }
+// a closure. A *blocked* process has at most one undelivered resume:
+// the first scheduled wins and later calls are ignored until it is
+// delivered. Every legitimate wait has exactly one waker, so the guard
+// never changes a healthy run; it exists for the fault-recovery layer,
+// where a node death may try to wake a rank whose gate release (or
+// message completion) is already in flight — a second resume event
+// would spuriously release the rank's next wait. A resume for a
+// process that is not blocked is always queued: a wake may
+// legitimately race the target's own Block — or even its Spawn — in
+// the same timestamp, and must be delivered once the target blocks.
+func (k *Kernel) atResume(t Time, p *Proc) {
+	if p.resumePending && p.blocked != "" {
+		return
+	}
+	p.resumePending = true
+	k.schedule(t, p, nil)
+}
 
 // BlockedProc describes one blocked process of a deadlock report.
 type BlockedProc struct {
@@ -340,6 +355,13 @@ func (k *Kernel) Run() error {
 // runs between a process's yield and this loop, or between the resume
 // send and the process continuing.
 func (k *Kernel) runProc(p *Proc) {
+	p.resumePending = false
+	if p.done {
+		// The process unwound (a dead rank under fault recovery) while
+		// this resume was in flight; there is no goroutine to hand
+		// control to.
+		return
+	}
 	if k.Probe != nil && p.blocked != "" {
 		k.Probe.ProcUnblock(p.tag, k.now)
 	}

@@ -17,6 +17,7 @@ type Proc struct {
 	resume chan struct{}
 
 	done          bool
+	resumePending bool   // a resume event is scheduled and undelivered
 	blocked       string // non-empty while waiting on a condition (diagnostics)
 	blockedDetail string // optional reason suffix (BlockWith)
 	blockedSince  Time   // when the current Block began (diagnostics)
@@ -121,6 +122,15 @@ func (p *Proc) BlockWith(prefix, detail string) {
 	p.yield()
 	p.blocked, p.blockedDetail = "", ""
 }
+
+// Blocked reports whether the process is currently suspended in Block
+// or BlockWith (as opposed to running, sleeping on a timed resume, or
+// finished). Only a blocked process may safely be woken by a third
+// party: waking a sleeping process would race its already-scheduled
+// timed resume. The fault-recovery layer uses this to decide whether a
+// dead rank can be unwound immediately or must unwind at its next
+// scheduling point.
+func (p *Proc) Blocked() bool { return !p.done && p.blocked != "" }
 
 // Wake schedules the blocked process p to resume at the current
 // virtual time. It must be called for a process that is blocked (or

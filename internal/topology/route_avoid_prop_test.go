@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reachableOracle is an independent reachability check used to verify
+// AppendRouteAvoid's partition verdicts: a depth-first search visiting
+// dimensions in the opposite order from the router's BFS, so the two
+// implementations share no traversal structure.
+func reachableOracle(t *Torus, a, b int, blocked func(Link) bool) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, t.Dims.Nodes())
+	stack := []int{a}
+	seen[a] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for dim := 2; dim >= 0; dim-- {
+			if t.Dims[dim] == 1 {
+				continue
+			}
+			for _, pos := range [2]bool{false, true} {
+				l := Link{Node: cur, Dim: dim, Positive: pos}
+				if blocked(l) {
+					continue
+				}
+				nb := t.Neighbor(cur, dim, pos)
+				if nb == b {
+					return true
+				}
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestAppendRouteAvoidProperties drives the fault-aware router with
+// random link-fault sets of increasing severity and checks, for random
+// node pairs:
+//
+//   - a returned route never traverses a failed link;
+//   - the route is a valid walk: it starts at the source, each link
+//     leaves the node the previous one arrived at, and it ends at the
+//     destination;
+//   - the route is never shorter than the healthy shortest path;
+//   - *LinkDownError is returned exactly when an independent
+//     reachability oracle says the pair is truly partitioned;
+//   - the same fault set and pair always produce the same route.
+func TestAppendRouteAvoidProperties(t *testing.T) {
+	shapes := []Dims{{4, 4, 4}, {4, 2, 2}, {8, 4, 2}, {2, 2, 2}}
+	for _, dims := range shapes {
+		tor := NewTorus(dims)
+		rng := rand.New(rand.NewSource(int64(dims.Nodes())))
+		for _, frac := range []float64{0.05, 0.2, 0.5} {
+			failed := make(map[Link]bool)
+			for i := 0; i < tor.NumLinks(); i++ {
+				if rng.Float64() < frac {
+					failed[tor.LinkFromIndex(i)] = true
+				}
+			}
+			blocked := func(l Link) bool { return failed[l] }
+			for trial := 0; trial < 40; trial++ {
+				a := rng.Intn(dims.Nodes())
+				b := rng.Intn(dims.Nodes())
+				route, err := tor.AppendRouteAvoid(nil, a, b, blocked)
+				reachable := reachableOracle(tor, a, b, blocked)
+				if err != nil {
+					lde, ok := err.(*LinkDownError)
+					if !ok {
+						t.Fatalf("%v frac=%.2f %d->%d: err %T, want *LinkDownError", dims, frac, a, b, err)
+					}
+					if lde.Src != a || lde.Dst != b {
+						t.Errorf("%v %d->%d: LinkDownError names %d->%d", dims, a, b, lde.Src, lde.Dst)
+					}
+					if reachable {
+						t.Errorf("%v frac=%.2f: router says %d->%d partitioned, oracle finds a surviving path",
+							dims, frac, a, b)
+					}
+					continue
+				}
+				if !reachable {
+					t.Errorf("%v frac=%.2f: router routed %d->%d, oracle says partitioned", dims, frac, a, b)
+				}
+				cur := a
+				for i, l := range route {
+					if failed[l] {
+						t.Fatalf("%v frac=%.2f %d->%d: hop %d traverses failed link %+v", dims, frac, a, b, i, l)
+					}
+					if l.Node != cur {
+						t.Fatalf("%v %d->%d: hop %d leaves node %d, expected %d", dims, a, b, i, l.Node, cur)
+					}
+					cur = tor.Neighbor(l.Node, l.Dim, l.Positive)
+				}
+				if cur != b {
+					t.Fatalf("%v %d->%d: route ends at node %d", dims, a, b, cur)
+				}
+				if len(route) < tor.Hops(a, b) {
+					t.Errorf("%v %d->%d: surviving route (%d hops) beats the healthy shortest path (%d)",
+						dims, a, b, len(route), tor.Hops(a, b))
+				}
+				again, err2 := tor.AppendRouteAvoid(nil, a, b, blocked)
+				if err2 != nil || len(again) != len(route) {
+					t.Fatalf("%v %d->%d: nondeterministic reroute: %v/%v vs %v", dims, a, b, route, err, again)
+				}
+				for i := range route {
+					if route[i] != again[i] {
+						t.Fatalf("%v %d->%d: nondeterministic reroute at hop %d", dims, a, b, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -32,6 +32,33 @@ func NewCollectiveTree(n, arity int) *Tree {
 	return &Tree{Nodes: n, Arity: arity, Depth: depth}
 }
 
+// Interior reports whether tree node i (breadth-first layout: node i's
+// children are i*Arity+1 .. i*Arity+Arity) has at least one child. An
+// interior node forwards and combines traffic for its subtree, so
+// losing one severs the tree; a leaf only contributes its own data.
+func (t *Tree) Interior(i int) bool {
+	return i >= 0 && i < t.Nodes && i*t.Arity+1 < t.Nodes
+}
+
+// Leaf reports whether tree node i is a leaf (in range and childless).
+func (t *Tree) Leaf(i int) bool {
+	return i >= 0 && i < t.Nodes && !t.Interior(i)
+}
+
+// Recoverable reports whether the collective tree survives the loss of
+// the given nodes: the hardware can reprogram its class routes around
+// dead leaves (they simply stop contributing), but a dead interior
+// node takes its whole subtree's path to the root with it, and the
+// remaining hardware cannot rebuild a spanning tree.
+func (t *Tree) Recoverable(dead []int) bool {
+	for _, n := range dead {
+		if t.Interior(n) {
+			return false
+		}
+	}
+	return true
+}
+
 // BinomialRounds returns ceil(log2(n)): the number of rounds for a
 // binomial software tree over n participants.
 func BinomialRounds(n int) int {

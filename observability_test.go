@@ -8,6 +8,7 @@ package bgpsim_test
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -15,9 +16,12 @@ import (
 	"testing"
 
 	"bgpsim"
+	"bgpsim/internal/fault"
 	"bgpsim/internal/halo"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
 	"bgpsim/internal/runner"
+	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
 )
 
@@ -129,6 +133,64 @@ func profileTables(t *testing.T, n, workers int) []string {
 		t.Fatal(err)
 	}
 	return out
+}
+
+// pinnedHaloFault is pinnedHalo with node 1 (ranks 4-7 in VN mode)
+// killed mid-run and no recovery enabled: the run aborts with
+// *mpi.RankFailure, and the recorder keeps everything observed up to
+// the abort.
+func pinnedHaloFault() (*bgpsim.Recorder, error) {
+	plan := fault.NewPlan(7)
+	plan.KillNode(1, sim.Time(40*sim.Microsecond))
+	rec := bgpsim.NewRecorder()
+	_, _, err := halo.RunResult(halo.Options{
+		Machine: machine.BGP, Mode: machine.VN,
+		GridX: 4, GridY: 2,
+		Mapping: topology.MapTXYZ, Protocol: halo.IsendIrecv,
+		Words: 2048, Iterations: 2,
+		Faults: plan,
+		Probe:  rec,
+	})
+	return rec, err
+}
+
+// TestFaultTraceGolden pins the observability output of an aborted
+// run: the Chrome trace of the pinned HALO workload with an injected
+// node loss is byte-stable, the abort surfaces as *mpi.RankFailure,
+// and the critical-path buckets still tile the truncated run exactly.
+func TestFaultTraceGolden(t *testing.T) {
+	rec, err := pinnedHaloFault()
+	var rf *mpi.RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("err = %v (%T), want *mpi.RankFailure", err, err)
+	}
+	var got bytes.Buffer
+	if err := rec.WriteChromeTrace(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "halo8_fault.trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run FaultTraceGolden -update .` to create it)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("fault trace drifted from %s (%d vs %d bytes); if the change is intended, regenerate with -update",
+			path, got.Len(), len(want))
+	}
+
+	cp := rec.CriticalPath()
+	if cp.Total <= 0 {
+		t.Fatal("critical path of the aborted run is empty")
+	}
+	if sum := cp.Compute + cp.P2PWait + cp.CollWait + cp.Other; sum != cp.Total {
+		t.Errorf("critical-path buckets sum to %v, want %v (must tile exactly)", sum, cp.Total)
+	}
 }
 
 func TestProfileTablesWorkerInvariance(t *testing.T) {

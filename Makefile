@@ -32,6 +32,13 @@ check:
 	$(GO) run ./cmd/paper -exp profile > /dev/null
 	$(GO) run ./cmd/halo -gx 4 -gy 2 -profile -trace /tmp/bgpsim-check-trace.json > /dev/null
 	@rm -f /tmp/bgpsim-check-trace.json
+	@# Sharded determinism smoke: the parallel kernel must print byte-
+	@# identical experiment output at any shard count.
+	$(GO) run ./cmd/paper -exp profile -shards 1 > /tmp/bgpsim-check-s1.txt
+	$(GO) run ./cmd/paper -exp profile -shards 4 > /tmp/bgpsim-check-s4.txt
+	@cmp /tmp/bgpsim-check-s1.txt /tmp/bgpsim-check-s4.txt || \
+		{ echo "check: paper -exp profile differs between -shards 1 and -shards 4"; exit 1; }
+	@rm -f /tmp/bgpsim-check-s1.txt /tmp/bgpsim-check-s4.txt
 
 # Kernel hot-path benchmarks. BENCH_kernel.json (test2json stream, one
 # object per line) records the perf trajectory so future PRs can diff
@@ -51,7 +58,7 @@ bench-all:
 benchdiff:
 	$(GO) test -run '^$$' -bench BenchmarkKernel -benchmem -count=1 -json ./internal/sim/ > bench_fresh.json
 	$(GO) run ./cmd/benchdiff -old BENCH_kernel.json -new bench_fresh.json \
-		-max-regress 10 -require KernelAllreduce512,KernelBcast512
+		-max-regress 10 -require KernelAllreduce512,KernelBcast512,KernelSharded/shards=1
 	@rm -f bench_fresh.json
 
 # Regenerate every paper table/figure at reduced scale into results/.

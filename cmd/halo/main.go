@@ -68,13 +68,24 @@ func main() {
 	faultsFlag := flag.String("faults", "", "inject a deterministic fault plan, e.g. 'seed=3,recover,kill=5@40us' or 'blast=50us/7/1/0/0/1' (see internal/fault.ParseSpec)")
 	sweep := flag.Bool("sweep", false, "sweep halo sizes")
 	mappings := flag.Bool("mappings", false, "compare all predefined mappings")
+	analytic := flag.Bool("analytic", false, "use the analytic network model instead of link contention (required for -shards)")
+	shards := flag.Int("shards", 0, "partition the ranks across N parallel kernel shards (needs -analytic; output is byte-identical at any N)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to FILE (single-run mode)")
 	profile := flag.Bool("profile", false, "print per-rank time decomposition and critical path (single-run mode)")
 	linksFile := flag.String("links", "", "write per-link utilization CSV to FILE (single-run mode)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
 	flag.Parse()
 	runner.SetWorkers(*jobs)
+	if *shards > 1 {
+		// Each sweep job now runs several kernel goroutines: split the
+		// -j budget so the process stays within it. Results are
+		// identical at any worker count either way.
+		runner.SetWorkers(runner.BudgetWorkers(*shards))
+	}
 
+	if *shards < 0 {
+		fail(fmt.Errorf("shard count %d must be >= 0", *shards))
+	}
 	if _, err := machine.Lookup(machine.ID(*mach)); err != nil {
 		fail(err)
 	}
@@ -104,6 +115,7 @@ func main() {
 		GridX: *gx, GridY: *gy,
 		Mapping: topology.Mapping(*mapping), Protocol: proto,
 		Words: *words, Iterations: 5, Coll: coll,
+		Analytic: *analytic, Shards: *shards,
 	}
 
 	// newFaults rebuilds the fault plan from the validated -faults spec:
@@ -141,18 +153,38 @@ func main() {
 		base.Probe = rec
 	}
 
+	// Per-job kernel warnings (dropped trace events, shard fallbacks)
+	// are collected here and flushed in job order after each sweep:
+	// printing them from the worker goroutines would interleave lines
+	// nondeterministically under -j.
+	var notes runner.Notes
+	warn := func(i int, res *mpi.Result) {
+		if res == nil {
+			return
+		}
+		if n := res.DroppedEvents(); n > 0 {
+			notes.Add(i, "halo: warning: job %d: %d trace events dropped (buffer full)", i, n)
+		}
+		if *shards > 1 && res.Shards < *shards {
+			notes.Add(i, "halo: note: job %d ran on the serial kernel (-shards %d needs -analytic and no link faults)", i, *shards)
+		}
+	}
+
 	switch {
 	case *mappings:
 		fmt.Printf("HALO mapping comparison: %s %s %dx%d grid, %d words\n",
 			*mach, mode, *gx, *gy, *words)
-		ds, err := runner.Sweep(topology.PaperHALOMappings, func(m topology.Mapping) (sim.Duration, error) {
+		ds, err := runner.Map(len(topology.PaperHALOMappings), func(i int) (sim.Duration, error) {
 			o := base
-			o.Mapping = m
+			o.Mapping = topology.PaperHALOMappings[i]
 			if newFaults != nil {
 				o.Faults = newFaults()
 			}
-			return halo.Run(o)
+			d, res, err := halo.RunResult(o)
+			warn(i, res)
+			return d, err
 		})
+		notes.Flush(os.Stderr)
 		if err != nil {
 			fail(err)
 		}
@@ -163,14 +195,17 @@ func main() {
 		fmt.Printf("HALO size sweep: %s %s %dx%d grid, %s, mapping %s\n",
 			*mach, mode, *gx, *gy, proto, base.Mapping)
 		sizes := []int{2, 8, 32, 128, 512, 2048, 8192, 32768, 131072}
-		ds, err := runner.Sweep(sizes, func(w int) (sim.Duration, error) {
+		ds, err := runner.Map(len(sizes), func(i int) (sim.Duration, error) {
 			o := base
-			o.Words = w
+			o.Words = sizes[i]
 			if newFaults != nil {
 				o.Faults = newFaults()
 			}
-			return halo.Run(o)
+			d, res, err := halo.RunResult(o)
+			warn(i, res)
+			return d, err
 		})
+		notes.Flush(os.Stderr)
 		if err != nil {
 			fail(err)
 		}
@@ -200,6 +235,9 @@ func main() {
 			*mach, mode, *gx, *gy, *words, proto, base.Mapping, d)
 		if n := res.DroppedEvents(); n > 0 {
 			fmt.Fprintf(os.Stderr, "halo: warning: %d trace events dropped (buffer full)\n", n)
+		}
+		if *shards > 1 && res.Shards < *shards {
+			fmt.Fprintf(os.Stderr, "halo: note: ran on the serial kernel (-shards %d needs -analytic and no link faults)\n", *shards)
 		}
 		if rec != nil {
 			if *profile {

@@ -57,8 +57,17 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the collective phase to FILE (single -ranks value)")
 	profile := flag.Bool("profile", false, "print the collective phase's per-rank time decomposition and critical path (single -ranks value)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
+	shardsFlag := flag.Int("shards", 0, "request N parallel kernel shards per simulation (HPCC runs at contention fidelity, so this currently falls back to the serial kernel; output is identical at any N)")
 	flag.Parse()
 	runner.SetWorkers(*jobs)
+	if *shardsFlag < 0 {
+		fmt.Fprintf(os.Stderr, "hpcc: shard count %d must be >= 0\n", *shardsFlag)
+		os.Exit(1)
+	}
+	hpcc.SetShards(*shardsFlag)
+	if *shardsFlag > 1 {
+		runner.SetWorkers(runner.BudgetWorkers(*shardsFlag))
+	}
 
 	id := machine.ID(*mach)
 	m, err := machine.Lookup(id)

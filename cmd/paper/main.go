@@ -56,11 +56,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	verify := flag.Bool("verify", false, "check the paper's claims against the simulation and exit")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations per sweep (results are identical at any -j)")
+	shards := flag.Int("shards", 0, "run shard-eligible workloads on N parallel kernel shards (output is byte-identical at any N)")
 	flag.Parse()
 	runner.SetWorkers(*jobs)
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "paper: shard count %d must be >= 0\n", *shards)
+		os.Exit(1)
+	}
+	if *shards > 1 {
+		// Sharded jobs run several kernel goroutines each; shrink the
+		// sweep pool so the process stays within the -j budget.
+		runner.SetWorkers(runner.BudgetWorkers(*shards))
+	}
 
 	if *verify {
-		results := paper.VerifyClaims(paper.Options{Full: *full})
+		results := paper.VerifyClaims(paper.Options{Full: *full, Shards: *shards})
 		failed := 0
 		for _, r := range results {
 			mark := "PASS"
@@ -95,7 +105,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := paper.Options{Full: *full}
+	opts := paper.Options{Full: *full, Shards: *shards}
 	for _, e := range exps {
 		start := time.Now()
 		tables, err := e.Run(opts)

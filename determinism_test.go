@@ -8,6 +8,7 @@ package bgpsim_test
 // regression, not a tolerance issue.
 
 import (
+	"fmt"
 	"testing"
 
 	"bgpsim/internal/halo"
@@ -41,6 +42,17 @@ func goldenRing() (*mpi.Result, error) {
 		})
 }
 
+// goldenShardedHalo runs the shard-eligible golden workload: the HALO
+// exchange under the analytic network model (the only fidelity the
+// sharded kernel accepts), split across the given number of domains.
+// shards == 1 is the baseline the higher counts must reproduce.
+func goldenShardedHalo(shards int) (sim.Duration, *mpi.Result, error) {
+	return halo.RunResult(halo.Options{Machine: machine.BGP, Mode: machine.VN,
+		GridX: 16, GridY: 8, Mapping: topology.MapTXYZ,
+		Protocol: halo.IsendIrecv, Words: 2048, Iterations: 3,
+		Analytic: true, Shards: shards})
+}
+
 const (
 	seedAllreduceElapsed = sim.Duration(79101176)
 	seedAllreduceEvents  = uint64(512)
@@ -48,6 +60,11 @@ const (
 	seedBcastDur         = sim.Duration(39550588)
 	seedRingElapsed      = sim.Duration(130792824)
 	seedRingEvents       = uint64(2176)
+
+	// Captured from the sharded kernel at -shards 1; every other shard
+	// count must reproduce them exactly.
+	shardedHaloDur    = sim.Duration(90051176)
+	shardedHaloEvents = uint64(7968)
 )
 
 func TestGoldenSeedKernelValues(t *testing.T) {
@@ -85,6 +102,56 @@ func TestGoldenSeedKernelValues(t *testing.T) {
 	if res.Elapsed != seedRingElapsed || res.Events != seedRingEvents {
 		t.Errorf("packet ring: elapsed=%d events=%d, seed kernel gave elapsed=%d events=%d",
 			int64(res.Elapsed), res.Events, int64(seedRingElapsed), seedRingEvents)
+	}
+}
+
+// TestGoldenShardedKernelValues pins the sharded kernel's canonical
+// result: every shard count must produce the same elapsed time and
+// event count, equal to the pinned -shards 1 baseline. A drift at any
+// single count is a determinism regression in the conservative-PDES
+// synchronization or the canonical event ordering.
+func TestGoldenShardedKernelValues(t *testing.T) {
+	for _, s := range []int{1, 2, 4, 8} {
+		d, res, err := goldenShardedHalo(s)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", s, err)
+		}
+		if res.Shards != s {
+			t.Errorf("shards=%d: ran on %d shards (fallback?)", s, res.Shards)
+		}
+		if d != shardedHaloDur || res.Events != shardedHaloEvents {
+			t.Errorf("shards=%d: dur=%d events=%d, want dur=%d events=%d",
+				s, int64(d), res.Events, int64(shardedHaloDur), shardedHaloEvents)
+		}
+	}
+}
+
+// TestGoldenShardedAtAnyWorkerCount interleaves sharded runs at mixed
+// shard counts on runner pools of different widths: stdout-visible
+// results must be byte-identical at any -shards N and any -j N
+// combination, including shard counts exceeding GOMAXPROCS.
+func TestGoldenShardedAtAnyWorkerCount(t *testing.T) {
+	counts := []int{1, 2, 4, 8}
+	for _, workers := range []int{1, 4} {
+		got, err := runner.MapN(2*len(counts), workers, func(i int) (sim.Duration, error) {
+			d, res, err := goldenShardedHalo(counts[i%len(counts)])
+			if err != nil {
+				return 0, err
+			}
+			if res.Events != shardedHaloEvents {
+				return 0, fmt.Errorf("events=%d, want %d", res.Events, shardedHaloEvents)
+			}
+			return d, nil
+		})
+		if err != nil {
+			t.Fatalf("j=%d: %v", workers, err)
+		}
+		for i, d := range got {
+			if d != shardedHaloDur {
+				t.Errorf("j=%d run %d (shards=%d): dur=%d, want %d",
+					workers, i, counts[i%len(counts)], int64(d), int64(shardedHaloDur))
+			}
+		}
 	}
 }
 

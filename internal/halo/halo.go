@@ -77,6 +77,19 @@ type Options struct {
 	// Probe, when non-nil, streams observability events (usually into
 	// an *obs.Recorder) for timelines, profiles and link telemetry.
 	Probe obs.Probe
+
+	// Analytic runs the exchange under the analytic network model
+	// instead of the default link-contention model. The analytic model
+	// loses the congestion effects the benchmark exists to show, but
+	// it is the only fidelity the sharded kernel accepts, so it is the
+	// mode for full-machine-scale capacity runs.
+	Analytic bool
+
+	// Shards, when >= 1, partitions the ranks into that many
+	// torus-contiguous domains simulated by the conservative parallel
+	// kernel (see mpi.Config.Shards). Requires Analytic; otherwise the
+	// run falls back to the serial kernel.
+	Shards int
 }
 
 // wordBytes is the benchmark's 32-bit word.
@@ -104,6 +117,10 @@ func RunResult(o Options) (sim.Duration, *mpi.Result, error) {
 	cfg := core.PartitionConfig(o.Machine, o.Mode, ranks)
 	cfg.Mapping = o.Mapping
 	cfg.Fidelity = network.Contention
+	if o.Analytic {
+		cfg.Fidelity = network.Analytic
+	}
+	cfg.Shards = o.Shards
 	cfg.Coll = o.Coll
 	cfg.Faults = o.Faults
 	cfg.Trace = o.Trace

@@ -20,6 +20,18 @@ import (
 	"bgpsim/internal/topology"
 )
 
+// shards is the kernel-shard request applied to every simulated HPCC
+// run. The HPCC workloads all run at contention fidelity, which the
+// sharded kernel rejects, so today this only records the user's -shards
+// request and exercises the count-independent fallback; it keeps the
+// CLI surface uniform with bgpsim/halo/paper.
+var shards int
+
+// SetShards sets the shard count requested for subsequent simulated
+// runs (0 = serial kernel). Call before launching benchmarks; not safe
+// to change concurrently with runs.
+func SetShards(n int) { shards = n }
+
 // ProblemSizeN returns the HPL problem dimension filling the given
 // fraction of the partition's aggregate memory, following the HPCC
 // guidance the paper used (~80%).
@@ -66,6 +78,7 @@ func SingleAndEP(id machine.ID, ranks int) (*EPResults, error) {
 	// Communication tests run on the simulated partition.
 	cfg := core.PartitionConfig(id, machine.VN, ranks)
 	cfg.Fidelity = network.Contention
+	cfg.Shards = shards
 
 	// Ping-pong between rank 0 and a rank half the machine away. Under
 	// the default XYZT mapping, rank k < nodes sits on node k, so rank
@@ -105,6 +118,7 @@ func SingleAndEP(id machine.ID, ranks int) (*EPResults, error) {
 	// report the mean per-process results.
 	cfg2 := core.PartitionConfig(id, machine.VN, ranks)
 	cfg2.Fidelity = network.Contention
+	cfg2.Shards = shards
 	succ, pred := randRing(ranks, 42)
 	const rrBytes = 2 << 20
 	times := make([]sim.Duration, ranks)
@@ -212,6 +226,7 @@ func HPLSimulated(id machine.ID, mode machine.Mode, p, q, n, nb int) (float64, e
 	ranks := p * q
 	cfg := core.PartitionConfig(id, mode, ranks)
 	cfg.Fidelity = network.Contention
+	cfg.Shards = shards
 	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
 		myRow := r.ID() % p
 		myCol := r.ID() / p
@@ -355,6 +370,7 @@ func CollBenchFaulty(id machine.ID, ranks int, coll map[string]string, plan *fau
 	m := machine.Get(id)
 	cfg := core.PartitionConfig(id, machine.VN, ranks)
 	cfg.Fidelity = network.Contention
+	cfg.Shards = shards
 	cfg.Coll = coll
 	cfg.Faults = plan
 	cfg.Probe = pb

@@ -202,14 +202,14 @@ func (c *Comm) runColl(r *Rank, op opID, a CollArgs) {
 	}
 	key := c.nextKey(r, collOpNames[op])
 	al := c.w.selectColl(op, c.isWorld, c.Size(), a)
-	if c.w.cfg.Trace != nil {
-		collTrace(c.w.cfg.Trace, r, trace.CollEnter, key, al.full)
+	if r.tb != nil {
+		collTrace(r.tb, r, trace.CollEnter, key, al.full)
 	}
-	if c.w.probe != nil {
+	if r.pb != nil {
 		probeColl(r, key, al.full, true)
 	}
 	if c.Rank(r) == 0 {
-		c.w.net.CollOp(al.full)
+		r.net.CollOp(al.full)
 	}
 	switch {
 	case al.HW:
@@ -222,10 +222,10 @@ func (c *Comm) runColl(r *Rank, op opID, a CollArgs) {
 		al.Run(c, r, key, a)
 		r.collAlgo = prev
 	}
-	if c.w.cfg.Trace != nil {
-		collTrace(c.w.cfg.Trace, r, trace.CollExit, key, al.full)
+	if r.tb != nil {
+		collTrace(r.tb, r, trace.CollExit, key, al.full)
 	}
-	if c.w.probe != nil {
+	if r.pb != nil {
 		probeColl(r, key, al.full, false)
 	}
 }
@@ -247,9 +247,9 @@ func collTrace(tb *trace.Buffer, r *Rank, kind trace.Kind, key, algo string) {
 //go:noinline
 func probeColl(r *Rank, key, algo string, enter bool) {
 	if enter {
-		r.w.probe.CollEnter(r.id, r.proc.Now(), key, algo)
+		r.pb.CollEnter(r.id, r.proc.Now(), key, algo)
 	} else {
-		r.w.probe.CollExit(r.id, r.proc.Now(), key, algo)
+		r.pb.CollExit(r.id, r.proc.Now(), key, algo)
 	}
 }
 

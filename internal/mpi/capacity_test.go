@@ -1,0 +1,61 @@
+//go:build !race
+
+package mpi
+
+// Full-Intrepid-scale capacity test: the paper's headline machine is
+// 40 BG/P racks — 40,960 nodes, 163,840 cores — and the sharded
+// kernel exists so a job of that size can be simulated at all. The
+// race detector multiplies memory several-fold, so the ceiling is only
+// enforced in the normal build.
+
+import (
+	"runtime"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+)
+
+// intrepidMemCeilingBytes is the enforced memory ceiling for the
+// 163,840-rank run: total bytes obtained from the OS by the Go runtime
+// over the whole test process. Documented in docs/PERFORMANCE.md; a
+// regression that fattens per-rank state blows through it long before
+// the host's RAM does.
+const intrepidMemCeilingBytes = 8 << 30
+
+func TestIntrepidScaleUnderMemoryCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("163,840-rank run takes tens of seconds; skipped with -short")
+	}
+	const nodes = 40960 // 40 racks; VN mode -> 163,840 ranks
+	cfg := Config{
+		Machine:  machine.Get(machine.BGP),
+		Nodes:    nodes,
+		Mode:     machine.VN,
+		Fidelity: network.Analytic,
+		Shards:   8,
+	}
+	res, err := Execute(cfg, func(r *Rank) {
+		w := r.World()
+		w.Barrier(r)
+		w.Allreduce(r, 64, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 8 {
+		t.Errorf("ran on %d shards, want 8", res.Shards)
+	}
+	if got := nodes * 4; len(res.RankElapsed) != got {
+		t.Errorf("RankElapsed has %d ranks, want %d", len(res.RankElapsed), got)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.Sys > intrepidMemCeilingBytes {
+		t.Errorf("runtime.MemStats.Sys = %d bytes after the 163,840-rank run, ceiling is %d",
+			ms.Sys, intrepidMemCeilingBytes)
+	}
+	t.Logf("163,840 ranks: elapsed=%v events=%d sys=%d MiB peak rank state=%d B",
+		res.Elapsed, res.Events, ms.Sys>>20, res.PeakRankState)
+}

@@ -52,6 +52,9 @@ func (c *Comm) Member(i int) int { return c.members[i] }
 // fmt's deep call stack forces a stack grow on every fresh rank
 // goroutine.
 func (c *Comm) nextKey(r *Rank, kind string) string {
+	if r.collSeq == nil {
+		r.collSeq = make(map[string]int)
+	}
 	seq := r.collSeq[c.name]
 	r.collSeq[c.name] = seq + 1
 	b := make([]byte, 0, len(c.name)+len(kind)+8)
@@ -86,6 +89,9 @@ type finisher func(ranks []*Rank, times []sim.Time, vals []interface{}) (release
 // key and blocks until released. It returns the finisher's shared
 // result.
 func (c *Comm) sync(r *Rank, key string, val interface{}, fin finisher) interface{} {
+	if r.sh != nil {
+		return c.syncShard(r, key, val, fin)
+	}
 	g, ok := c.w.gates[key]
 	if !ok {
 		g = &gate{c: c, fin: fin, need: c.liveSize(), indices: make(map[int]int)}
@@ -123,11 +129,18 @@ func (c *Comm) sync(r *Rank, key string, val interface{}, fin finisher) interfac
 func (w *World) completeGate(key string, g *gate) {
 	release, result := g.fin(g.ranks, g.times, g.vals)
 	g.result = result
-	now := w.kernel.Now()
+	now := w.now()
 	for i, rr := range g.ranks {
 		t := release[i]
 		if t < now {
 			t = now
+		}
+		if rr.sh != nil {
+			// Sharded entrant: hand the result over directly (the gate
+			// object is deleted before the rank resumes on its shard
+			// kernel) and lift the shard's window cap.
+			rr.gateResult = result
+			rr.sh.blockedGates--
 		}
 		rr.proc.WakeAt(t)
 	}
@@ -201,6 +214,7 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 				nc.members[i] = e.world
 				nc.index[e.world] = i
 			}
+			c.w.registerComm(nc)
 			comms[col] = nc
 		}
 		// A split costs roughly one small allgather; charge a software
@@ -212,19 +226,19 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 		}
 		return release, comms
 	}
-	if tb := c.w.cfg.Trace; tb != nil {
+	if tb := r.tb; tb != nil {
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollEnter,
 			Peer: -1, Label: gk})
 	}
-	if c.w.probe != nil {
+	if r.pb != nil {
 		probeColl(r, gk, "split", true)
 	}
 	res := c.sync(r, gk, ck{color, key, r.id}, fin)
-	if tb := c.w.cfg.Trace; tb != nil {
+	if tb := r.tb; tb != nil {
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.CollExit,
 			Peer: -1, Label: gk})
 	}
-	if c.w.probe != nil {
+	if r.pb != nil {
 		probeColl(r, gk, "split", false)
 	}
 	comms := res.(map[int]*Comm)

@@ -92,20 +92,20 @@ func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{
 		panic(fmt.Sprintf("mpi: negative send size %d", bytes))
 	}
 	r.proc.Sleep(sim.Duration(float64(r.swOverhead()) * overheadFrac)) // sender-side software cost
-	if tb := r.w.cfg.Trace; tb != nil {
+	if tb := r.tb; tb != nil {
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.Send,
 			Peer: dst, Bytes: bytes, Tag: tag})
 	}
 	if collKey != "" && r.collAlgo != "" {
 		// Per-algorithm traffic attribution: one logical message with
 		// its full payload, regardless of eager/rendezvous split.
-		r.w.net.CollMessage(r.collAlgo, bytes)
+		r.net.CollMessage(r.collAlgo, bytes)
 	}
 	dstRank := r.w.ranks[dst]
 	req := &Request{r: r, tag: tag, collKey: collKey}
 	msg := &message{src: r.id, dst: dst, tag: tag, collKey: collKey,
 		bytes: bytes, payload: payload, sender: req}
-	if r.w.probe != nil {
+	if r.pb != nil {
 		msg.sentAt = r.proc.Now()
 		probeSend(r, dst, bytes, tag, collKey != "")
 	}
@@ -118,14 +118,26 @@ func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{
 		msg.eager = true
 		req.done = true // buffer reusable immediately
 	}
-	arrival, err := r.w.net.P2P(r.proc.Now(), r.place.Node, dstRank.place.Node, wireBytes)
+	arrival, err := r.net.P2P(r.proc.Now(), r.place.Node, dstRank.place.Node, wireBytes)
 	if err != nil {
 		// The failed links partition the torus between the two ranks:
 		// the program cannot proceed. Surface the typed topology error
 		// from World.Run.
 		sim.Fail(fmt.Errorf("mpi: rank %d send to rank %d: %w", r.id, dst, err))
 	}
-	r.w.kernel.At(arrival, func() { dstRank.deliver(msg) })
+	// The delivery's canonical ordering key is the sender's: the stamp
+	// is drawn here, at send time, so the delivery sorts at the same
+	// same-timestamp position on the destination kernel whether it is
+	// scheduled locally or carried through the inter-shard mailbox.
+	stamp := r.proc.NextStamp()
+	if dstRank.sh != nil && dstRank.sh != r.sh {
+		// Cross-shard: the arrival lies at least one torus-hop latency
+		// (the lookahead) past now, so it is beyond the current window
+		// and safe to insert at the next barrier.
+		r.sh.mail(arrival, r.id, stamp, dstRank.sh, func() { dstRank.deliver(msg) }, false)
+	} else {
+		r.k.AtTagged(arrival, r.id, stamp, func() { dstRank.deliver(msg) })
+	}
 	return req
 }
 
@@ -154,7 +166,7 @@ func (r *Rank) irecv(src, tag int, collKey string) *Request {
 		killRank()
 	}
 	req := &Request{r: r, isRecv: true, src: src, tag: tag, collKey: collKey}
-	if tb := r.w.cfg.Trace; tb != nil {
+	if tb := r.tb; tb != nil {
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.RecvPost,
 			Peer: src, Tag: tag})
 	}
@@ -167,6 +179,9 @@ func (r *Rank) irecv(src, tag int, collKey string) *Request {
 		}
 	}
 	r.posted = append(r.posted, req)
+	if len(r.posted) > r.peakPosted {
+		r.peakPosted = len(r.posted)
+	}
 	return req
 }
 
@@ -195,17 +210,20 @@ func (r *Rank) deliver(m *message) {
 		}
 	}
 	r.inbox = append(r.inbox, m)
+	if len(r.inbox) > r.peakInbox {
+		r.peakInbox = len(r.inbox)
+	}
 }
 
 // matched pairs receive request q with message m. Eager data is
 // complete on the spot; a rendezvous match starts the bulk transfer.
 func (r *Rank) matched(q *Request, m *message) {
 	q.msg = m
-	if tb := r.w.cfg.Trace; tb != nil {
-		tb.Record(trace.Event{T: r.w.kernel.Now(), Rank: r.id, Kind: trace.Match,
+	if tb := r.tb; tb != nil {
+		tb.Record(trace.Event{T: r.k.Now(), Rank: r.id, Kind: trace.Match,
 			Peer: m.src, Bytes: m.bytes, Tag: m.tag})
 	}
-	if r.w.probe != nil {
+	if r.pb != nil {
 		probeMatch(r, m)
 	}
 	if m.eager {
@@ -213,17 +231,38 @@ func (r *Rank) matched(q *Request, m *message) {
 		return
 	}
 	// Rendezvous: clear-to-send handshake, then the bulk transfer.
-	now := r.w.kernel.Now()
+	now := r.k.Now()
 	start := now.Add(sim.Seconds(r.w.mach.RendezvousRTT))
-	srcNode := r.w.ranks[m.src].place.Node
-	done, err := r.w.net.P2P(start, srcNode, r.place.Node, m.bytes)
+	srcRank := r.w.ranks[m.src]
+	done, err := r.net.P2P(start, srcRank.place.Node, r.place.Node, m.bytes)
 	if err != nil {
 		// matched runs inside an event callback, not a rank process, so
 		// abort the kernel directly instead of sim.Fail.
-		r.w.kernel.Abort(fmt.Errorf("mpi: rank %d bulk transfer from rank %d: %w", r.id, m.src, err))
+		r.k.Abort(fmt.Errorf("mpi: rank %d bulk transfer from rank %d: %w", r.id, m.src, err))
 		return
 	}
-	r.w.kernel.At(done, func() {
+	// Both completion events are created on the receiver's behalf (this
+	// runs inside the delivery callback, outside any process body), so
+	// their canonical keys come from the receiver's counter.
+	if srcRank.sh != nil && srcRank.sh != r.sh {
+		// Cross-shard rendezvous: complete the receive locally, and mail
+		// the sender-side completion to the sender's shard now. done is
+		// at least one lookahead past the match time, so the mail is
+		// insertable at the next barrier even if this shard stalls
+		// before the local completion event fires. The mail is an
+		// auxiliary event (serial completes both sides in one event), so
+		// it is excluded from the event count.
+		r.k.AtTagged(done, r.id, r.proc.NextStamp(), func() { r.completeRecv(q) })
+		r.sh.mail(done, r.id, r.proc.NextStamp(), srcRank.sh, func() {
+			sq := m.sender
+			sq.done = true
+			if sq.waiting {
+				sq.r.proc.Wake()
+			}
+		}, true)
+		return
+	}
+	r.k.AtTagged(done, r.id, r.proc.NextStamp(), func() {
 		r.completeRecv(q)
 		sq := m.sender
 		sq.done = true
@@ -293,12 +332,12 @@ func (r *Rank) Sendrecv(dst, sendBytes, sendTag, src, recvTag int) int {
 //
 //go:noinline
 func probeSend(r *Rank, dst, bytes, tag int, coll bool) {
-	r.w.probe.Send(r.id, r.proc.Now(), dst, bytes, tag, coll)
+	r.pb.Send(r.id, r.proc.Now(), dst, bytes, tag, coll)
 }
 
 //go:noinline
 func probeMatch(r *Rank, m *message) {
-	r.w.probe.Match(r.id, r.w.kernel.Now(), m.src, m.sentAt, m.bytes, m.collKey != "")
+	r.pb.Match(r.id, r.k.Now(), m.src, m.sentAt, m.bytes, m.collKey != "")
 }
 
 // sendColl / recvColl are the collective-internal variants keyed so

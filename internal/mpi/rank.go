@@ -4,8 +4,11 @@ import (
 	"fmt"
 
 	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/obs"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/topology"
+	"bgpsim/internal/trace"
 )
 
 // Wildcards for receive matching.
@@ -22,28 +25,47 @@ type Rank struct {
 	place topology.Placement
 	proc  *sim.Proc
 
+	// Execution context. In a serial run these alias the World's
+	// kernel, net, probe, and trace buffer; in a sharded run each rank
+	// points at its shard's private copies, so the p2p and collective
+	// hot paths never need to know which mode they run in.
+	k   *sim.Kernel
+	net *network.Net
+	pb  obs.Probe
+	tb  *trace.Buffer
+	sh  *shard // nil in a serial run
+
 	inbox  []*message // arrived eager data / rendezvous headers, unmatched
 	posted []*Request // posted receives, unmatched
 
+	// Peak lengths of inbox and posted, for the per-rank memory model.
+	peakInbox  int
+	peakPosted int
+
+	// timers, timerStart, and collSeq are allocated on first write:
+	// a rank that never times or enters a collective (common in huge
+	// analytic runs) carries three nil words instead of three maps.
 	timers      map[string]sim.Duration
 	timerStart  map[string]sim.Time
 	collSeq     map[string]int // per-communicator collective sequence numbers
 	collAlgo    string         // active software collective ("op/name"), for traffic attribution
 	dead        bool           // killed under transparent recovery; unwinds at next boundary
 	gateDropped bool           // removed from an open collective gate by failNode
+	gateResult  interface{}    // sharded-gate result handoff, set by completeGate
 	rng         *sim.RNG
 	noisePhase  sim.Duration // phase of this node's OS-noise events
 }
 
 func newRank(w *World, id int, place topology.Placement) *Rank {
 	r := &Rank{
-		w:          w,
-		id:         id,
-		place:      place,
-		timers:     make(map[string]sim.Duration),
-		timerStart: make(map[string]sim.Time),
-		collSeq:    make(map[string]int),
-		rng:        sim.NewRNG(w.cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
+		w:     w,
+		id:    id,
+		place: place,
+		k:     w.kernel,
+		net:   w.net,
+		pb:    w.probe,
+		tb:    w.cfg.Trace,
+		rng:   sim.NewRNG(w.cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
 	}
 	if w.noiseOn {
 		r.noisePhase = w.cfg.Faults.NoisePhase(place.Node, w.noise.Period)
@@ -92,7 +114,7 @@ func (r *Rank) Compute(flops, bytes float64, class machine.KernelClass) {
 	if r.w.noiseOn {
 		d = r.w.noise.Extend(r.proc.Now(), d, r.noisePhase)
 	}
-	if r.w.probe != nil {
+	if r.pb != nil {
 		probeCompute(r, d, d-base)
 	}
 	r.proc.Sleep(d)
@@ -104,7 +126,7 @@ func (r *Rank) Compute(flops, bytes float64, class machine.KernelClass) {
 //
 //go:noinline
 func probeCompute(r *Rank, d, noise sim.Duration) {
-	r.w.probe.Compute(r.id, r.proc.Now(), d, noise)
+	r.pb.Compute(r.id, r.proc.Now(), d, noise)
 }
 
 // Advance moves the rank's clock forward by a fixed duration
@@ -118,6 +140,9 @@ func (r *Rank) Advance(d sim.Duration) {
 
 // TimerStart begins (or resumes) the named per-rank timer.
 func (r *Rank) TimerStart(name string) {
+	if r.timerStart == nil {
+		r.timerStart = make(map[string]sim.Time)
+	}
 	r.timerStart[name] = r.proc.Now()
 }
 
@@ -129,5 +154,8 @@ func (r *Rank) TimerStop(name string) {
 		panic(fmt.Sprintf("mpi: timer %q stopped but not started", name))
 	}
 	delete(r.timerStart, name)
+	if r.timers == nil {
+		r.timers = make(map[string]sim.Duration)
+	}
 	r.timers[name] += r.proc.Now().Sub(start)
 }

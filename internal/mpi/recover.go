@@ -117,10 +117,13 @@ func (w *World) failNode(nf fault.NodeFault) {
 	// Unwind victims blocked outside software collectives (gate waits,
 	// point-to-point waits). Waking is safe only for blocked processes;
 	// atResume's first-wins guard makes a wake racing an already
-	// scheduled gate release or message completion harmless.
+	// scheduled gate release or message completion harmless. WakeAt is
+	// pinned to the fault time: in a serial run that IS the kernel's
+	// now, and in a sharded run the victim's shard kernel may still sit
+	// before it.
 	for _, v := range victims {
 		if v.proc.Blocked() && v.collAlgo == "" {
-			v.proc.Wake()
+			v.proc.WakeAt(w.now())
 		}
 	}
 }
@@ -133,7 +136,12 @@ func (g *gate) dropDead() {
 		if r.dead {
 			delete(g.indices, r.id)
 			r.gateDropped = true
-			r.proc.Wake()
+			if r.sh != nil {
+				// The dropped entrant will never see completeGate; lift
+				// its shard's window cap here.
+				r.sh.blockedGates--
+			}
+			r.proc.WakeAt(g.c.w.now())
 			continue
 		}
 		if kept != i {
@@ -187,6 +195,7 @@ func (c *Comm) liveComm() *Comm {
 		for i, m := range members {
 			lc.index[m] = i
 		}
+		w.registerComm(lc)
 	}
 	c.liveCache, c.liveEpoch = lc, w.epoch
 	return lc
@@ -232,7 +241,7 @@ func (w *World) chargeRecovery(c *Comm, live int) sim.Duration {
 		} else if demoted {
 			what = "software membership agreement (HW offload demoted)"
 		}
-		w.probe.Fault(w.kernel.Now(), "coll-recover", fmt.Sprintf(
+		w.probe.Fault(w.now(), "coll-recover", fmt.Sprintf(
 			"comm %q epoch %d: %s, %d survivor(s), +%v", c.name, w.epoch, what, live, d))
 	}
 	return d
@@ -304,10 +313,10 @@ func (c *Comm) runCollRecover(r *Rank, op opID, a CollArgs) {
 	w := c.w
 	key := c.nextKey(r, collOpNames[op])
 	label := w.selectColl(op, c.isWorld && w.treeOK, c.liveSize(), a).full
-	if w.cfg.Trace != nil {
-		collTrace(w.cfg.Trace, r, trace.CollEnter, key, label)
+	if r.tb != nil {
+		collTrace(r.tb, r, trace.CollEnter, key, label)
 	}
-	if w.probe != nil {
+	if r.pb != nil {
 		probeColl(r, key, label, true)
 	}
 	dec, _ := c.sync(r, key, nil, w.recoverFinisher(c, op, a)).(*collDecision)
@@ -320,10 +329,10 @@ func (c *Comm) runCollRecover(r *Rank, op opID, a CollArgs) {
 		dec.algo.Run(dec.lc, r, key2, a2)
 		r.collAlgo = prev
 	}
-	if w.cfg.Trace != nil {
-		collTrace(w.cfg.Trace, r, trace.CollExit, key, label)
+	if r.tb != nil {
+		collTrace(r.tb, r, trace.CollExit, key, label)
 	}
-	if w.probe != nil {
+	if r.pb != nil {
 		probeColl(r, key, label, false)
 	}
 	r.checkDead()

@@ -1,0 +1,161 @@
+package mpi
+
+// Edge cases of the sharded kernel: degenerate lookahead, more shards
+// than ranks, and correlated failures whose blast domain straddles a
+// shard boundary. All must preserve the determinism contract — output
+// byte-identical at every shard count — or fall back to the serial
+// kernel when the configuration admits no safe lookahead.
+
+import (
+	"testing"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// TestShardZeroLookaheadFallback: a machine whose hop latency rounds
+// to zero picoseconds has no usable lookahead — a cross-domain send
+// could arrive in the very timestamp it was issued — so every shard
+// count must silently run the serial kernel and agree with shards=0.
+func TestShardZeroLookaheadFallback(t *testing.T) {
+	m := *machine.Get(machine.BGP)
+	m.TorusHopLat = 0
+	cfg := analyticConfig(8, machine.SMP)
+	cfg.Machine = &m
+
+	prog := func(r *Rank) {
+		n := r.Size()
+		r.Sendrecv((r.ID()+1)%n, 512, 1, (r.ID()+n-1)%n, 1)
+		r.World().Barrier(r)
+	}
+	base := takeSnapshot(t, cfg, 0, prog)
+	for _, s := range []int{1, 2, 4} {
+		got := takeSnapshot(t, cfg, s, prog)
+		if got.shards != 1 {
+			t.Errorf("shards=%d with zero lookahead: ran on %d shards, want serial fallback", s, got.shards)
+		}
+		if got.result != base.result || got.err != base.err {
+			t.Errorf("shards=%d: result %q err %q, serial gave %q err %q",
+				s, got.result, got.err, base.result, base.err)
+		}
+	}
+}
+
+// TestShardEquivTinyLookahead shrinks the hop latency to one picosecond
+// — the smallest representable nonzero lookahead — so every
+// conservative window is as narrow as possible and adjacent-domain
+// messages land on or next to window boundaries with heavy timestamp
+// ties. The ring exchange must still be byte-identical at every count.
+func TestShardEquivTinyLookahead(t *testing.T) {
+	m := *machine.Get(machine.BGP)
+	m.TorusHopLat = 1e-12
+	cfg := analyticConfig(16, machine.SMP)
+	cfg.Machine = &m
+
+	prog := func(r *Rank) {
+		n := r.Size()
+		for it := 0; it < 4; it++ {
+			right := (r.ID() + 1) % n
+			left := (r.ID() + n - 1) % n
+			r.Sendrecv(right, 2048, 1, left, 1)
+		}
+		r.World().Barrier(r)
+	}
+	// With near-zero latency, many cross-rank events share timestamps;
+	// the canonical order then legitimately differs from the serial
+	// kernel's creation order, so only mutual byte-identity across
+	// shard counts is asserted (as for the Split workload).
+	want := takeSnapshot(t, cfg, 1, prog)
+	if want.err != "" {
+		t.Fatalf("baseline: %v", want.err)
+	}
+	if want.shards != 1 {
+		t.Fatalf("baseline ran on %d shards, want the sharded path", want.shards)
+	}
+	checkEquivSharded(t, cfg, prog, want, 2, 4, 8, 16)
+}
+
+// TestShardEquivMoreShardsThanRanks: shard counts beyond the node
+// count leave trailing shards with no ranks at all. Empty shards must
+// neither wedge the window protocol nor perturb the output.
+func TestShardEquivMoreShardsThanRanks(t *testing.T) {
+	cfg := analyticConfig(2, machine.SMP) // 2 ranks on 2 nodes
+	checkEquiv(t, cfg, func(r *Rank) {
+		peer := 1 - r.ID()
+		r.Sendrecv(peer, 1024, 7, peer, 7)
+		r.World().Allreduce(r, 64, true)
+	}, 3, 8, 32)
+}
+
+// TestPeakRankStatePinned pins the modeled per-rank state telemetry on
+// a small run whose queue depths are easy to reason about: rank 0
+// receives one eagerly-queued unmatched message from each of the other
+// ranks before it posts any receive, so its peak footprint is the base
+// record plus 7 queued messages — and the value must be identical on
+// the serial and sharded kernels at every count.
+func TestPeakRankStatePinned(t *testing.T) {
+	const wantPeak = rankStateBaseBytes + 7*queuedMsgBytes
+	cfg := analyticConfig(8, machine.SMP) // 8 ranks
+	prog := func(r *Rank) {
+		if r.ID() == 0 {
+			// Let every peer's eager message land unmatched first.
+			r.Compute(1e6, 0, machine.ClassScalar)
+			for src := 1; src < r.Size(); src++ {
+				r.Recv(src, 5)
+			}
+		} else {
+			r.Send(0, 64, 5)
+		}
+	}
+	for _, s := range []int{0, 1, 4} {
+		c := cfg
+		c.Shards = s
+		res := mustRun(t, c, prog)
+		if res.PeakRankState != wantPeak {
+			t.Errorf("shards=%d: PeakRankState=%d, want %d", s, res.PeakRankState, wantPeak)
+		}
+	}
+}
+
+// TestShardEquivBlastSpansShards injects a card-level correlated blast
+// whose shared-fate domain straddles a shard boundary, with recovery
+// enabled: ranks die in two different event loops at the same fault
+// time, and the survivors' collective recovery must still be
+// byte-identical at every shard count.
+func TestShardEquivBlastSpansShards(t *testing.T) {
+	const nodes = 64
+	plan := fault.NewPlan(11)
+	plan.EnableRecovery()
+	tor := topology.NewTorus(topology.DimsForNodes(nodes))
+	res, err := plan.InjectBlast(tor, machine.Get(machine.BGP).Hierarchy(), fault.BlastSpec{
+		At:      sim.Time(sim.Seconds(0.0003)),
+		Origin:  8,
+		PCard:   1, // escalate exactly to the 32-node card [0, 32)
+		Density: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The test is about a blast spanning shards: at 4 shards of 16
+	// nodes each, the card domain [0, 32) covers shards 0 and 1. Check
+	// the draw actually killed nodes in at least two distinct domains.
+	shardsHit := map[int]bool{}
+	for _, n := range res.Dead {
+		shardsHit[topology.ShardOfNode(n, nodes, 4)] = true
+	}
+	if len(shardsHit) < 2 {
+		t.Fatalf("blast killed %v: all in one shard domain, pick another seed", res.Dead)
+	}
+
+	cfg := analyticConfig(nodes, machine.SMP)
+	cfg.Faults = plan
+	checkEquiv(t, cfg, func(r *Rank) {
+		w := r.World()
+		for it := 0; it < 6; it++ {
+			r.Compute(2e5, 0, machine.ClassDGEMM)
+			w.Allreduce(r, 128, false)
+		}
+	}, 2, 4, 8)
+}

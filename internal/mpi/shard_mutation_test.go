@@ -1,0 +1,83 @@
+package mpi
+
+// Mutation-style guard: the determinism harness is only worth trusting
+// if it actually catches merge-order bugs. This test flips
+// shardMailLocalOrder — delivering inter-shard mail in destination-
+// kernel creation order instead of by canonical key — and asserts the
+// byte-identity comparison between shard counts FAILS. If this test
+// ever passes with the mutation active, the determinism tests have
+// gone blind and pinning them is theater.
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+// mutationProg is a ring exchange under one-picosecond hop latency:
+// windows are as narrow as possible and nearly every cross-shard
+// delivery shares its timestamp with local events, so a merge-order
+// bug cannot hide.
+func mutationCfgProg() (Config, func(*Rank)) {
+	m := *machine.Get(machine.BGP)
+	m.TorusHopLat = 1e-12
+	cfg := analyticConfig(16, machine.SMP)
+	cfg.Machine = &m
+	return cfg, func(r *Rank) {
+		n := r.Size()
+		for it := 0; it < 4; it++ {
+			right := (r.ID() + 1) % n
+			left := (r.ID() + n - 1) % n
+			r.Sendrecv(right, 2048, 1, left, 1)
+		}
+		r.World().Barrier(r)
+	}
+}
+
+func TestShardMutationGuardCaught(t *testing.T) {
+	cfg, prog := mutationCfgProg()
+
+	// Sanity: with the real merge rule the counts agree byte for byte.
+	want := takeSnapshot(t, cfg, 1, prog)
+	if want.err != "" {
+		t.Fatalf("baseline: %v", want.err)
+	}
+	checkEquivSharded(t, cfg, prog, want, 4)
+	if t.Failed() {
+		t.Fatal("canonical merge already diverges; mutation guard is meaningless")
+	}
+
+	// Mutate: deliver mail in creation order. shards=1 routes nothing
+	// through the mailbox and stays canonical; shards=4 must now
+	// diverge from it somewhere the snapshot can see.
+	shardMailLocalOrder = true
+	defer func() { shardMailLocalOrder = false }()
+
+	mut := takeSnapshot(t, cfg, 4, prog)
+	if mut.err != "" {
+		t.Fatalf("mutated run failed outright: %v", mut.err)
+	}
+	if snapshotsEqual(want, mut) {
+		t.Error("mail merged in creation order, yet shards=4 still matches shards=1 byte for byte: the determinism tests cannot catch merge-order bugs")
+	}
+}
+
+// snapshotsEqual reports full byte-identity of two run snapshots.
+func snapshotsEqual(a, b snapshot) bool {
+	if a.err != b.err || a.result != b.result || a.net != b.net ||
+		a.ranks != b.ranks || a.timers != b.timers {
+		return false
+	}
+	eq := func(x, y []string) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.trace, b.trace) && eq(a.probe, b.probe)
+}

@@ -49,6 +49,16 @@ type Config struct {
 	Seed       uint64
 	EventLimit uint64 // safety cap on simulation events (0 = none)
 
+	// Shards splits the simulation across that many event loops running
+	// on concurrent goroutines, synchronized by a conservative
+	// time-window protocol (shard.go). Ranks are partitioned into
+	// contiguous torus-node slabs; results are byte-identical to a
+	// serial run. Only the analytic fidelity without link faults can
+	// shard (the contention and packet models share per-link state);
+	// other configurations silently run serial — Result.Shards reports
+	// what actually ran. Zero or one means serial.
+	Shards int
+
 	// Trace, when non-nil, records message and collective events.
 	Trace *trace.Buffer
 
@@ -108,6 +118,42 @@ type World struct {
 
 	gates map[string]*gate
 	ran   bool
+
+	// Sharded-execution state (shard.go). sharded is true while
+	// runSharded drives the coordinator loop; vnow is the coordinator's
+	// virtual time (what w.now() reports during barrier-side work);
+	// allComms registers every communicator so the coordinator can
+	// refresh live-membership caches after a node failure before shards
+	// run concurrently again.
+	sharded     bool
+	shards      []*shard
+	vnow        sim.Time
+	coordEvents uint64
+	allComms    []*Comm
+	coordLog    *obs.ShardLog
+	userProbe   obs.Probe
+}
+
+// now returns the current virtual time: the kernel clock in serial
+// runs, the coordinator's virtual time in sharded runs (where
+// barrier-side work — gate completion, fault processing — happens
+// between shard windows, off any kernel's clock).
+func (w *World) now() sim.Time {
+	if w.sharded {
+		return w.vnow
+	}
+	return w.kernel.Now()
+}
+
+// registerComm records a communicator for the sharded coordinator's
+// live-membership refresh. In sharded mode with failures already
+// applied, the new comm's live cache is warmed immediately so rank-side
+// reads never allocate it concurrently.
+func (w *World) registerComm(c *Comm) {
+	w.allComms = append(w.allComms, c)
+	if w.sharded && w.epoch > 0 {
+		c.liveComm()
+	}
 }
 
 // NewWorld validates the configuration and builds the partition.
@@ -188,6 +234,7 @@ func NewWorld(cfg Config) (*World, error) {
 		members[i] = i
 	}
 	w.world = &Comm{w: w, members: members, isWorld: true}
+	w.registerComm(w.world)
 	w.buildCollTables()
 	return w, nil
 }
@@ -229,6 +276,16 @@ type Result struct {
 	// transparent recovery, sorted (empty on healthy or fail-stop
 	// runs). A lost rank's RankElapsed entry is when it unwound.
 	Lost []int
+	// Shards is the number of event loops the run actually used: the
+	// effective shard count after eligibility clamping (1 for serial
+	// runs and for configurations that cannot shard).
+	Shards int
+	// PeakRankState is the modeled peak per-rank state footprint in
+	// bytes: the fixed rank record plus the deepest simultaneous
+	// unmatched-message and posted-receive queues any rank reached. It
+	// is a deterministic model quantity (not a host heap measurement),
+	// so it is identical at any shard count and pinnable in tests.
+	PeakRankState int64
 }
 
 // Stats returns the interconnect traffic counters (accessor form of
@@ -251,7 +308,11 @@ func (r *Result) Recorder() *obs.Recorder {
 // *obs.Recorder probe was attached, nil otherwise.
 func (r *Result) Profile() *obs.Profile {
 	if rec := r.Recorder(); rec != nil {
-		return rec.Profile()
+		p := rec.Profile()
+		if p != nil {
+			p.PeakRankStateBytes = r.PeakRankState
+		}
+		return p
 	}
 	return nil
 }
@@ -294,6 +355,9 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 		return nil, fmt.Errorf("mpi: world already ran")
 	}
 	w.ran = true
+	if s := w.effectiveShards(); s >= 1 {
+		return w.runSharded(program, s)
+	}
 	if w.cfg.Faults != nil {
 		w.scheduleNodeFaults(w.cfg.Faults)
 		if w.probe != nil {
@@ -302,42 +366,112 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 	}
 	finish := make([]sim.Duration, len(w.ranks))
 	for _, r := range w.ranks {
-		r := r
-		r.proc = w.kernel.Spawn(fmt.Sprintf("rank %d", r.id), func(p *sim.Proc) {
-			defer func() {
-				// A rank killed under transparent recovery unwinds with
-				// a rankKilledPanic; absorb it here (recording when the
-				// rank died) so the kernel's wrapper never sees it. No
-				// RankDone: the rank did not finish the program.
-				if v := recover(); v != nil {
-					if _, killed := v.(rankKilledPanic); killed {
-						finish[r.id] = sim.Duration(p.Now())
-						return
-					}
-					panic(v)
-				}
-			}()
-			program(r)
-			finish[r.id] = sim.Duration(p.Now())
-			if w.probe != nil {
-				w.probe.RankDone(r.id, p.Now())
-			}
-		})
-		r.proc.SetTag(r.id)
+		w.spawnRank(w.kernel, r, program, finish)
 	}
 	if err := w.kernel.Run(); err != nil {
 		return nil, err
 	}
-	res := &Result{
-		RankElapsed: finish,
-		Timers:      make(map[string][]sim.Duration),
-		Net:         w.net.Stats(),
-		Events:      w.kernel.Events(),
-		Probe:       w.probe,
-		Lost:        w.Lost(),
-	}
+	res := w.buildResult(finish)
+	res.Net = w.net.Stats()
+	res.Events = w.kernel.Events()
+	res.Shards = 1
 	if w.cfg.Trace != nil {
 		res.Dropped = w.cfg.Trace.Dropped()
+	}
+	return res, nil
+}
+
+// effectiveShards decides the execution path: 0 means the serial
+// kernel, n >= 1 means the sharded coordinator with n domains. Any
+// explicitly requested shard count — including 1 — takes the sharded
+// path, because sharded runs use the canonical same-timestamp event
+// order (sim.Kernel.Keyed) and must be byte-identical at every
+// requested count; -shards 1 is the baseline the others are compared
+// against. Eligibility is count-independent for the same reason: a
+// configuration that cannot shard (contention or packet fidelity,
+// whose torus models mutate per-link state shared across all nodes;
+// an active link-fault plan, which routes through that state; or zero
+// lookahead) falls back to serial at every count.
+func (w *World) effectiveShards() int {
+	s := w.cfg.Shards
+	if s <= 0 {
+		return 0
+	}
+	if w.cfg.Fidelity != network.Analytic {
+		return 0
+	}
+	if w.cfg.Faults.HasLinkFaults() {
+		return 0
+	}
+	if w.net.Lookahead() <= 0 {
+		// Zero lookahead: a message can arrive in the timestamp it was
+		// sent, so no conservative window wider than a single event
+		// exists. Run serial.
+		return 0
+	}
+	return s
+}
+
+// spawnRank starts one rank's process on the given kernel with the
+// standard kill-absorbing wrapper (shared by the serial and sharded
+// paths).
+func (w *World) spawnRank(k *sim.Kernel, r *Rank, program func(*Rank), finish []sim.Duration) {
+	r.proc = k.SpawnTagged(fmt.Sprintf("rank %d", r.id), r.id, func(p *sim.Proc) {
+		defer func() {
+			// A rank killed under transparent recovery unwinds with
+			// a rankKilledPanic; absorb it here (recording when the
+			// rank died) so the kernel's wrapper never sees it. No
+			// RankDone: the rank did not finish the program.
+			if v := recover(); v != nil {
+				if _, killed := v.(rankKilledPanic); killed {
+					finish[r.id] = sim.Duration(p.Now())
+					return
+				}
+				panic(v)
+			}
+		}()
+		program(r)
+		finish[r.id] = sim.Duration(p.Now())
+		if r.pb != nil {
+			r.pb.RankDone(r.id, p.Now())
+		}
+	})
+}
+
+// Modeled per-rank state sizes for the PeakRankState telemetry: the
+// fixed rank record and the cost of one queued unmatched message or
+// posted receive. Fixed constants (not unsafe.Sizeof) so the reported
+// value is identical across architectures and pinnable in tests.
+const (
+	rankStateBaseBytes = 320
+	queuedMsgBytes     = 96
+	postedReqBytes     = 64
+)
+
+// peakRankState returns the modeled peak per-rank state footprint.
+func (w *World) peakRankState() int64 {
+	var peak int64
+	for _, r := range w.ranks {
+		b := int64(rankStateBaseBytes) +
+			int64(r.peakInbox)*queuedMsgBytes +
+			int64(r.peakPosted)*postedReqBytes
+		if b > peak {
+			peak = b
+		}
+	}
+	return peak
+}
+
+// buildResult assembles the kernel-independent parts of a Result:
+// per-rank finish times, timers, losses, probe, and the memory
+// telemetry. The caller fills Events, Net, Shards, and Dropped.
+func (w *World) buildResult(finish []sim.Duration) *Result {
+	res := &Result{
+		RankElapsed:   finish,
+		Timers:        make(map[string][]sim.Duration),
+		Probe:         w.probe,
+		Lost:          w.Lost(),
+		PeakRankState: w.peakRankState(),
 	}
 	for _, d := range finish {
 		if d > res.Elapsed {
@@ -354,7 +488,7 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 			ds[r.id] = d
 		}
 	}
-	return res, nil
+	return res
 }
 
 // Execute builds a world from cfg and runs the program: the common

@@ -1,0 +1,65 @@
+package network
+
+import "bgpsim/internal/sim"
+
+// Lookahead returns the conservative-PDES lookahead of this
+// interconnect: the minimum virtual latency of any message between two
+// distinct nodes. Any cross-node send injected at time t arrives no
+// earlier than t + Lookahead(), so a sharded kernel whose domains are
+// node-disjoint may safely run each domain ahead by a window of this
+// width. Under the analytic torus model the floor is one hop of
+// latency (routes between distinct nodes have at least one hop and
+// serialization only adds time). A machine whose hop latency rounds to
+// zero picoseconds has no usable lookahead — a send could arrive in
+// the very timestamp it was issued — and returns 0, which disqualifies
+// the configuration from sharding (the world falls back to the serial
+// kernel).
+func (n *Net) Lookahead() sim.Duration {
+	la := sim.Seconds(n.mach.TorusHopLat)
+	if la < 0 {
+		la = 0
+	}
+	return la
+}
+
+// ShardClone returns a Net for one shard of a sharded run. The clone
+// shares the immutable machine, torus, tree, and fault plan, and —
+// because ranks of a node are always owned by one shard — the per-node
+// shared-memory channel state, but keeps private traffic counters and
+// probe so shards can run on concurrent goroutines. Only the analytic
+// fidelity is shardable: the contention and packet models share
+// per-link state across all nodes.
+func (n *Net) ShardClone() *Net {
+	return &Net{
+		mach:    n.mach,
+		torus:   n.torus,
+		tree:    n.tree,
+		fid:     n.fid,
+		faults:  n.faults,
+		shmFree: n.shmFree,
+	}
+}
+
+// Add merges another shard's counters into s. Map iteration order does
+// not matter: addition is commutative per key.
+func (s *Stats) Add(o Stats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.ShmMsgs += o.ShmMsgs
+	s.TreeOps += o.TreeOps
+	s.BarrierOps += o.BarrierOps
+	s.Recoveries += o.Recoveries
+	s.TreeRebuilds += o.TreeRebuilds
+	s.HWFallbacks += o.HWFallbacks
+	s.RecoveryTime += o.RecoveryTime
+	if len(o.Collectives) > 0 && s.Collectives == nil {
+		s.Collectives = make(map[string]CollStats, len(o.Collectives))
+	}
+	for k, v := range o.Collectives {
+		cs := s.Collectives[k]
+		cs.Ops += v.Ops
+		cs.Messages += v.Messages
+		cs.Bytes += v.Bytes
+		s.Collectives[k] = cs
+	}
+}

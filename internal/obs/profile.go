@@ -37,6 +37,11 @@ type Profile struct {
 	InjectMaxWait sim.Duration
 
 	DroppedSegments int64
+
+	// PeakRankStateBytes is the modeled peak per-rank simulator state
+	// (rank record plus queued unmatched messages and posted receives)
+	// of the run, filled in by the mpi layer. Zero when unavailable.
+	PeakRankStateBytes int64
 }
 
 // Profile builds the per-rank time decomposition from the recorded
@@ -160,6 +165,11 @@ func (p *Profile) WriteTable(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "injection: %d msgs, %d queued, mean queue %.2f us, max %.2f us\n",
 			p.InjectMsgs, p.InjectQueued, meanWait.Microseconds(), p.InjectMaxWait.Microseconds()); err != nil {
+			return err
+		}
+	}
+	if p.PeakRankStateBytes > 0 {
+		if _, err := fmt.Fprintf(w, "peak rank state: %d bytes\n", p.PeakRankStateBytes); err != nil {
 			return err
 		}
 	}

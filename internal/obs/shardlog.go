@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"sort"
+
+	"bgpsim/internal/sim"
+)
+
+// probeKind discriminates the recorded hook of one shardEntry.
+type probeKind uint8
+
+const (
+	pkProcBlock probeKind = iota
+	pkProcUnblock
+	pkCompute
+	pkSend
+	pkMatch
+	pkCollEnter
+	pkCollExit
+	pkLinkBusy
+	pkInject
+	pkFault
+	pkRankDone
+)
+
+// shardEntry is one recorded probe call. A single struct covers every
+// hook; unused fields stay zero.
+type shardEntry struct {
+	kind probeKind
+	t    sim.Time
+	rank int // world rank; also carries link/node for LinkBusy/Inject
+
+	peer  int
+	bytes int
+	tag   int
+	coll  bool
+
+	d     sim.Duration // Compute d, LinkBusy busy, Inject wait
+	noise sim.Duration
+	sendT sim.Time
+
+	s1 string // reason / key / fault kind
+	s2 string // detail / algo / fault detail
+}
+
+// ShardLog buffers the probe stream of one shard kernel so a sharded
+// run can observe through per-shard recorders and merge them into the
+// user's probe deterministically after the run. It implements Probe
+// (and therefore sim.Probe). A ShardLog is used from a single shard
+// goroutine at a time and needs no locking.
+type ShardLog struct {
+	entries []shardEntry
+}
+
+// NewShardLog returns an empty log.
+func NewShardLog() *ShardLog { return &ShardLog{} }
+
+func (l *ShardLog) add(e shardEntry) { l.entries = append(l.entries, e) }
+
+// ProcBlock implements Probe.
+func (l *ShardLog) ProcBlock(rank int, reason, detail string, t sim.Time) {
+	l.add(shardEntry{kind: pkProcBlock, t: t, rank: rank, s1: reason, s2: detail})
+}
+
+// ProcUnblock implements Probe.
+func (l *ShardLog) ProcUnblock(rank int, t sim.Time) {
+	l.add(shardEntry{kind: pkProcUnblock, t: t, rank: rank})
+}
+
+// Compute implements Probe.
+func (l *ShardLog) Compute(rank int, start sim.Time, d, noise sim.Duration) {
+	l.add(shardEntry{kind: pkCompute, t: start, rank: rank, d: d, noise: noise})
+}
+
+// Send implements Probe.
+func (l *ShardLog) Send(rank int, t sim.Time, peer, bytes, tag int, coll bool) {
+	l.add(shardEntry{kind: pkSend, t: t, rank: rank, peer: peer, bytes: bytes, tag: tag, coll: coll})
+}
+
+// Match implements Probe.
+func (l *ShardLog) Match(rank int, t sim.Time, peer int, sendT sim.Time, bytes int, coll bool) {
+	l.add(shardEntry{kind: pkMatch, t: t, rank: rank, peer: peer, sendT: sendT, bytes: bytes, coll: coll})
+}
+
+// CollEnter implements Probe.
+func (l *ShardLog) CollEnter(rank int, t sim.Time, key, algo string) {
+	l.add(shardEntry{kind: pkCollEnter, t: t, rank: rank, s1: key, s2: algo})
+}
+
+// CollExit implements Probe.
+func (l *ShardLog) CollExit(rank int, t sim.Time, key, algo string) {
+	l.add(shardEntry{kind: pkCollExit, t: t, rank: rank, s1: key, s2: algo})
+}
+
+// LinkBusy implements Probe. (Shardable fidelities never reserve
+// links, but the coordinator's own net may.)
+func (l *ShardLog) LinkBusy(link int, start sim.Time, busy sim.Duration, bytes int) {
+	l.add(shardEntry{kind: pkLinkBusy, t: start, rank: link, d: busy, bytes: bytes})
+}
+
+// Inject implements Probe.
+func (l *ShardLog) Inject(node int, t sim.Time, wait sim.Duration, bytes int) {
+	l.add(shardEntry{kind: pkInject, t: t, rank: node, d: wait, bytes: bytes})
+}
+
+// Fault implements Probe.
+func (l *ShardLog) Fault(t sim.Time, kind, detail string) {
+	l.add(shardEntry{kind: pkFault, t: t, rank: -1, s1: kind, s2: detail})
+}
+
+// RankDone implements Probe.
+func (l *ShardLog) RankDone(rank int, t sim.Time) {
+	l.add(shardEntry{kind: pkRankDone, t: t, rank: rank})
+}
+
+// Len returns the number of buffered entries.
+func (l *ShardLog) Len() int { return len(l.entries) }
+
+// replay plays one entry into dst.
+func (e *shardEntry) replay(dst Probe) {
+	switch e.kind {
+	case pkProcBlock:
+		dst.ProcBlock(e.rank, e.s1, e.s2, e.t)
+	case pkProcUnblock:
+		dst.ProcUnblock(e.rank, e.t)
+	case pkCompute:
+		dst.Compute(e.rank, e.t, e.d, e.noise)
+	case pkSend:
+		dst.Send(e.rank, e.t, e.peer, e.bytes, e.tag, e.coll)
+	case pkMatch:
+		dst.Match(e.rank, e.t, e.peer, e.sendT, e.bytes, e.coll)
+	case pkCollEnter:
+		dst.CollEnter(e.rank, e.t, e.s1, e.s2)
+	case pkCollExit:
+		dst.CollExit(e.rank, e.t, e.s1, e.s2)
+	case pkLinkBusy:
+		dst.LinkBusy(e.rank, e.t, e.d, e.bytes)
+	case pkInject:
+		dst.Inject(e.rank, e.t, e.d, e.bytes)
+	case pkFault:
+		dst.Fault(e.t, e.s1, e.s2)
+	case pkRankDone:
+		dst.RankDone(e.rank, e.t)
+	}
+}
+
+// MergeShardLogs replays the coordinator's and every shard's buffered
+// probe stream into dst in the deterministic merge order of the
+// sharded kernel: ascending timestamp; at equal timestamps coordinator
+// entries (fault processing, recovery charges) first — they correspond
+// to serial events scheduled before any same-time rank event — then
+// ascending world rank, then each source's own call order. Shard rank
+// sets are disjoint, so the rank key totally orders cross-shard
+// entries.
+func MergeShardLogs(dst Probe, coord *ShardLog, shards []*ShardLog) {
+	if dst == nil {
+		return
+	}
+	type tagged struct {
+		e     *shardEntry
+		coord bool
+		idx   int // call order within its source log
+	}
+	var n int
+	if coord != nil {
+		n += len(coord.entries)
+	}
+	for _, l := range shards {
+		if l != nil {
+			n += len(l.entries)
+		}
+	}
+	all := make([]tagged, 0, n)
+	if coord != nil {
+		for i := range coord.entries {
+			all = append(all, tagged{e: &coord.entries[i], coord: true, idx: i})
+		}
+	}
+	for _, l := range shards {
+		if l == nil {
+			continue
+		}
+		for i := range l.entries {
+			all = append(all, tagged{e: &l.entries[i], idx: i})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.e.t != b.e.t {
+			return a.e.t < b.e.t
+		}
+		if a.coord != b.coord {
+			return a.coord
+		}
+		if a.e.rank != b.e.rank {
+			return a.e.rank < b.e.rank
+		}
+		return a.idx < b.idx
+	})
+	for _, t := range all {
+		t.e.replay(dst)
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+
+	"bgpsim/internal/sim"
+)
+
+// replayProbe records every replayed hook as one formatted line so the
+// merge order — and every field of every entry — can be asserted.
+type replayProbe struct{ lines []string }
+
+func (p *replayProbe) add(format string, args ...any) {
+	p.lines = append(p.lines, fmt.Sprintf(format, args...))
+}
+func (p *replayProbe) ProcBlock(rank int, reason, detail string, t sim.Time) {
+	p.add("block %d %s|%s %d", rank, reason, detail, t)
+}
+func (p *replayProbe) ProcUnblock(rank int, t sim.Time) { p.add("unblock %d %d", rank, t) }
+func (p *replayProbe) Compute(rank int, start sim.Time, d, noise sim.Duration) {
+	p.add("compute %d %d %d %d", rank, start, d, noise)
+}
+func (p *replayProbe) Send(rank int, t sim.Time, peer, bytes, tag int, coll bool) {
+	p.add("send %d %d %d %d %d %v", rank, t, peer, bytes, tag, coll)
+}
+func (p *replayProbe) Match(rank int, t sim.Time, peer int, sendT sim.Time, bytes int, coll bool) {
+	p.add("match %d %d %d %d %d %v", rank, t, peer, sendT, bytes, coll)
+}
+func (p *replayProbe) CollEnter(rank int, t sim.Time, key, algo string) {
+	p.add("collenter %d %d %s|%s", rank, t, key, algo)
+}
+func (p *replayProbe) CollExit(rank int, t sim.Time, key, algo string) {
+	p.add("collexit %d %d %s|%s", rank, t, key, algo)
+}
+func (p *replayProbe) LinkBusy(link int, start sim.Time, busy sim.Duration, bytes int) {
+	p.add("linkbusy %d %d %d %d", link, start, busy, bytes)
+}
+func (p *replayProbe) Inject(node int, t sim.Time, wait sim.Duration, bytes int) {
+	p.add("inject %d %d %d %d", node, t, wait, bytes)
+}
+func (p *replayProbe) Fault(t sim.Time, kind, detail string) {
+	p.add("fault %d %s|%s", t, kind, detail)
+}
+func (p *replayProbe) RankDone(rank int, t sim.Time) { p.add("done %d %d", rank, t) }
+
+// TestShardLogReplayAllHooks buffers one call of every Probe hook and
+// checks each replays into the destination with all fields intact.
+func TestShardLogReplayAllHooks(t *testing.T) {
+	l := NewShardLog()
+	l.ProcBlock(3, "recv", " tag 9", 10)
+	l.ProcUnblock(3, 11)
+	l.Compute(2, 12, 100, 7)
+	l.Send(1, 13, 4, 512, 9, false)
+	l.Match(4, 14, 1, 13, 512, true)
+	l.CollEnter(0, 15, "allreduce", "ring")
+	l.CollExit(0, 16, "allreduce", "ring")
+	l.LinkBusy(27, 17, 55, 4096)
+	l.Inject(6, 18, 3, 256)
+	l.Fault(19, "node-kill", "node 5")
+	l.RankDone(7, 20)
+	if l.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", l.Len())
+	}
+
+	var got replayProbe
+	MergeShardLogs(&got, nil, []*ShardLog{l})
+	want := []string{
+		"block 3 recv| tag 9 10",
+		"unblock 3 11",
+		"compute 2 12 100 7",
+		"send 1 13 4 512 9 false",
+		"match 4 14 1 13 512 true",
+		"collenter 0 15 allreduce|ring",
+		"collexit 0 16 allreduce|ring",
+		"linkbusy 27 17 55 4096",
+		"inject 6 18 3 256",
+		"fault 19 node-kill|node 5",
+		"done 7 20",
+	}
+	if len(got.lines) != len(want) {
+		t.Fatalf("replayed %d lines, want %d:\n%v", len(got.lines), len(want), got.lines)
+	}
+	for i := range want {
+		if got.lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got.lines[i], want[i])
+		}
+	}
+}
+
+// TestMergeShardLogsOrder checks the deterministic merge rule:
+// ascending time; at equal times coordinator entries first, then
+// ascending rank, then per-source call order.
+func TestMergeShardLogsOrder(t *testing.T) {
+	coord := NewShardLog()
+	coord.Fault(20, "node-kill", "node 3") // same t as rank entries below
+
+	s0 := NewShardLog()
+	s0.ProcUnblock(0, 20)
+	s0.ProcUnblock(0, 30) // later time, logged early in its source
+	s1 := NewShardLog()
+	s1.ProcUnblock(5, 10) // earliest time overall
+	s1.ProcUnblock(5, 20)
+	s1.ProcUnblock(6, 20) // same (t); higher rank than the rank-5 entry
+
+	var got replayProbe
+	MergeShardLogs(&got, coord, []*ShardLog{s0, s1})
+	want := []string{
+		"unblock 5 10",
+		"fault 20 node-kill|node 3", // coord first at t=20 (rank -1 anyway)
+		"unblock 0 20",
+		"unblock 5 20",
+		"unblock 6 20",
+		"unblock 0 30",
+	}
+	if len(got.lines) != len(want) {
+		t.Fatalf("merged %d lines, want %d:\n%v", len(got.lines), len(want), got.lines)
+	}
+	for i := range want {
+		if got.lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got.lines[i], want[i])
+		}
+	}
+
+	// nil destination and nil sources must be no-ops, not panics.
+	MergeShardLogs(nil, coord, []*ShardLog{s0})
+	var again replayProbe
+	MergeShardLogs(&again, nil, []*ShardLog{nil, s1})
+	if len(again.lines) != 3 {
+		t.Errorf("nil-tolerant merge replayed %d lines, want 3", len(again.lines))
+	}
+}

@@ -20,6 +20,14 @@ import (
 type Options struct {
 	// Full runs at the paper's process counts and sizes.
 	Full bool
+
+	// Shards, when >= 1, asks shard-eligible workloads (analytic
+	// fidelity, no link faults) to run on the conservative parallel
+	// kernel with that many domains. Output is byte-identical at any
+	// value — ineligible workloads fall back to the serial kernel at
+	// every count, and eligible ones produce the same canonical event
+	// order regardless of the count.
+	Shards int
 }
 
 // Experiment is one reproducible table or figure.

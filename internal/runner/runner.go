@@ -14,8 +14,10 @@ package runner
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -65,6 +67,59 @@ func SetWorkers(n int) {
 		n = 0
 	}
 	defaultWorkers.Store(int64(n))
+}
+
+// BudgetWorkers splits the worker budget between sweep-level
+// parallelism and the sharded kernel: a sweep whose jobs each run
+// shards kernel goroutines should use Workers()/shards sweep workers
+// so the process never oversubscribes the -j budget. Always at least 1.
+func BudgetWorkers(shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	w := Workers() / shards
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Notes collects per-job warning lines (dropped trace events, shard
+// fallbacks) from concurrent sweep workers so they can be flushed in
+// input order after the sweep instead of interleaving on stderr.
+// Add is safe to call concurrently; Flush is not.
+type Notes struct {
+	mu sync.Mutex
+	m  map[int][]string
+}
+
+// Add records a note for job i.
+func (n *Notes) Add(i int, format string, args ...any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.m == nil {
+		n.m = make(map[int][]string)
+	}
+	n.m[i] = append(n.m[i], fmt.Sprintf(format, args...))
+}
+
+// Flush writes all notes in job-index order (and, within a job, in the
+// order they were added), then clears the collection. The output is
+// identical at any worker count.
+func (n *Notes) Flush(w io.Writer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx := make([]int, 0, len(n.m))
+	for i := range n.m {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		for _, line := range n.m[i] {
+			fmt.Fprintln(w, line)
+		}
+	}
+	n.m = nil
 }
 
 // Map calls fn(0..n-1) on the default worker pool and returns the

@@ -9,10 +9,12 @@ package sim_test
 
 import (
 	"container/heap"
+	"fmt"
 	"testing"
 
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
 	"bgpsim/internal/sim"
 )
 
@@ -178,6 +180,51 @@ func BenchmarkKernelAllreduce512(b *testing.B) {
 		events += res.Events
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkKernelSharded measures the conservative-PDES kernel on a
+// 4096-rank HALO step (64x64 virtual grid, 1024 BG/P VN nodes, analytic
+// fidelity) at 1/2/4/8 shards. The shards=1 case is the sharded
+// coordinator with a single domain — its gap to Allreduce512-style
+// serial runs is the protocol overhead, and the higher counts show the
+// scaling headroom (bounded above by the host's core count; see
+// docs/PERFORMANCE.md).
+func BenchmarkKernelSharded(b *testing.B) {
+	const gx, gy = 64, 64 // 4096 ranks
+	prog := func(r *mpi.Rank) {
+		me := r.ID()
+		x, y := me%gx, me/gx
+		wrap := func(v, m int) int { return ((v % m) + m) % m }
+		at := func(x, y int) int { return wrap(y, gy)*gx + wrap(x, gx) }
+		r.Sendrecv(at(x, y-1), 4096, 1, at(x, y+1), 1)
+		r.Sendrecv(at(x-1, y), 4096, 2, at(x+1, y), 2)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			var elapsed sim.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := mpi.Execute(mpi.Config{
+					Machine: machine.Get(machine.BGP), Nodes: 1024, Mode: machine.VN,
+					Fidelity: network.Analytic, Shards: shards,
+				}, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Shards != shards {
+					b.Fatalf("ran on %d shards, want %d", res.Shards, shards)
+				}
+				if elapsed == 0 {
+					elapsed = res.Elapsed
+				} else if elapsed != res.Elapsed {
+					b.Fatalf("nondeterministic elapsed: %d then %d", elapsed, res.Elapsed)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 // BenchmarkKernelBcast512 exercises the software collective path: a

@@ -113,6 +113,30 @@ type Kernel struct {
 	stopped  bool
 	abortErr error // set by Abort; Run returns it after the current event
 
+	// winLimit bounds RunWindow: events at or beyond it stay queued.
+	// LimitWindow may lower it while a window is executing (the sharded
+	// kernel caps a shard the moment a rank enters a collective gate).
+	winLimit Time
+
+	// uncounted tracks fired events that exist only as cross-shard
+	// plumbing (a rendezvous sender-completion executed on the sender's
+	// shard, which the serial kernel performs inside the receiver's
+	// completion event). CountedEvents subtracts them so Result.Events
+	// is byte-identical at any shard count.
+	uncounted uint64
+
+	// keyed switches same-timestamp ordering from creation order (seq)
+	// to a canonical key derived from the event's creator: the packed
+	// (creator tag, per-creator stamp) pair. Creation order depends on
+	// how ranks are partitioned across shard kernels — a message
+	// delivery scheduled through the inter-shard mailbox gets its seq at
+	// barrier time, not at send time — but each creator's own stamp
+	// sequence is a function of that rank's execution alone, so keyed
+	// ordering is identical at every shard count. Sharded runs enable it
+	// on every shard kernel; the serial kernel keeps seq order and its
+	// seed-pinned outputs.
+	keyed bool
+
 	// EventLimit, when nonzero, aborts Run with an error after this
 	// many events have fired. It is a safety net against model bugs
 	// that schedule unboundedly.
@@ -158,6 +182,30 @@ func (k *Kernel) Now() Time { return k.now }
 // scheduled; mid-run or after an EventLimit abort the two differ.)
 func (k *Kernel) Events() uint64 { return k.fired }
 
+// keyStampBits is the width of the per-creator stamp in a packed
+// canonical key; the creator tag occupies the bits above it. 2^40
+// stamps per rank and 2^23 ranks are both far beyond any modeled run.
+const keyStampBits = 40
+
+// packKey builds the canonical same-timestamp ordering key for keyed
+// kernels. Tags are global rank ids; untagged creators (-1) pack to
+// the lowest band so coordinator-owned events sort first.
+func packKey(tag int, stamp uint64) uint64 {
+	return uint64(tag+1)<<keyStampBits | (stamp & (1<<keyStampBits - 1))
+}
+
+// keyFor allocates the canonical key for an event created on behalf of
+// process p (nil or untagged creators fall back to the kernel's own
+// counter, which sharded runs never exercise on rank-visible paths).
+func (k *Kernel) keyFor(p *Proc) uint64 {
+	if p != nil && p.tag >= 0 {
+		p.stampCtr++
+		return packKey(p.tag, p.stampCtr)
+	}
+	k.seq++
+	return packKey(-1, k.seq)
+}
+
 // schedule enqueues an event at absolute time t carrying either a
 // process resume or a callback. Scheduling in the past panics: it
 // would break causality.
@@ -165,18 +213,56 @@ func (k *Kernel) schedule(t Time, p *Proc, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	k.seq++
-	e := event{t: t, seq: k.seq, proc: p, fn: fn}
-	if t == k.now {
-		k.runq = append(k.runq, e)
-		return
+	var key uint64
+	if k.keyed {
+		// Canonical keys are not monotone in creation order, so the runq
+		// FIFO fast path would misorder same-timestamp events: keyed
+		// kernels always pay the heap.
+		key = k.keyFor(p)
+	} else {
+		k.seq++
+		key = k.seq
+		if t == k.now {
+			k.runq = append(k.runq, event{t: t, seq: key, proc: p, fn: fn})
+			return
+		}
 	}
-	k.events.push(e)
+	k.events.push(event{t: t, seq: key, proc: p, fn: fn})
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would break causality.
 func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
+
+// AtTagged schedules fn at time t under an explicit canonical key:
+// the creator's rank tag and a stamp drawn from that creator's counter
+// (Proc.NextStamp). The MPI layer uses it for events whose creator is
+// not the kernel's running process — a message delivery created by the
+// sender but fired on the receiver's kernel — so the event sorts at
+// the same canonical position whether it was scheduled locally or
+// through the inter-shard mailbox. On a non-keyed kernel it is plain
+// At.
+func (k *Kernel) AtTagged(t Time, tag int, stamp uint64, fn func()) {
+	if !k.keyed {
+		k.At(t, fn)
+		return
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.events.push(event{t: t, seq: packKey(tag, stamp), fn: fn})
+}
+
+// Keyed switches the kernel to canonical same-timestamp ordering (see
+// the keyed field). It must be called before any event is scheduled:
+// mixing seq-keyed and canonically-keyed events in one queue would
+// interleave them arbitrarily.
+func (k *Kernel) Keyed() {
+	if k.fired > 0 || k.seq > 0 || len(k.events) > 0 {
+		panic("sim: Keyed must be called on a fresh kernel")
+	}
+	k.keyed = true
+}
 
 // After schedules fn to run d from now. Negative d panics.
 func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
@@ -341,6 +427,141 @@ func (k *Kernel) Run() error {
 		return &DeadlockError{Time: k.now, Blocked: blocked}
 	}
 	return nil
+}
+
+// PeekTime returns the timestamp of the earliest pending event without
+// dequeuing it. The second result is false when no event is pending.
+func (k *Kernel) PeekTime() (Time, bool) {
+	if k.runqHead < len(k.runq) {
+		head := &k.runq[k.runqHead]
+		if len(k.events) > 0 && k.events[0].less(head) {
+			return k.events[0].t, true
+		}
+		return head.t, true
+	}
+	if len(k.events) > 0 {
+		return k.events[0].t, true
+	}
+	return 0, false
+}
+
+// PeekKey returns the timestamp and ordering key of the earliest
+// pending event without dequeuing it. The sharded coordinator compares
+// (time, key) across shard kernels to pick the globally canonical next
+// event when every shard is gated. The third result is false when no
+// event is pending.
+func (k *Kernel) PeekKey() (Time, uint64, bool) {
+	if k.runqHead < len(k.runq) {
+		head := &k.runq[k.runqHead]
+		if len(k.events) > 0 && k.events[0].less(head) {
+			return k.events[0].t, k.events[0].seq, true
+		}
+		return head.t, head.seq, true
+	}
+	if len(k.events) > 0 {
+		return k.events[0].t, k.events[0].seq, true
+	}
+	return 0, 0, false
+}
+
+// fire executes one dequeued event and applies the abort and
+// event-limit checks shared by Run, RunWindow, and StepOne. It returns
+// a non-nil error when the run must end now.
+func (k *Kernel) fire(e event) error {
+	k.now = e.t
+	if e.proc != nil {
+		k.runProc(e.proc)
+	} else {
+		e.fn()
+	}
+	k.fired++
+	if k.abortErr != nil {
+		k.stopped = true
+		return k.abortErr
+	}
+	if k.EventLimit > 0 && k.fired > k.EventLimit {
+		k.stopped = true
+		return fmt.Errorf("sim: event limit %d exceeded at %v", k.EventLimit, k.now)
+	}
+	return nil
+}
+
+// RunWindow fires pending events with timestamps strictly below limit,
+// then returns nil with the kernel paused (not stopped): further
+// windows, StepOne calls, or externally scheduled events may follow.
+// The limit is live — an event body may lower it through LimitWindow
+// and the loop honors the new bound immediately. Errors (abort, event
+// limit) end the run exactly as in Run.
+func (k *Kernel) RunWindow(limit Time) error {
+	if k.stopped {
+		return fmt.Errorf("sim: kernel already ran")
+	}
+	k.winLimit = limit
+	for {
+		t, ok := k.PeekTime()
+		if !ok || t >= k.winLimit {
+			return nil
+		}
+		e, _ := k.next()
+		if err := k.fire(e); err != nil {
+			return err
+		}
+	}
+}
+
+// LimitWindow lowers the current window bound so that no further event
+// at or beyond t fires in this window. Raising the bound is not
+// allowed — the caller owns the upper limit. Safe to call from event
+// bodies during RunWindow.
+func (k *Kernel) LimitWindow(t Time) {
+	if t < k.winLimit {
+		k.winLimit = t
+	}
+}
+
+// StepOne fires exactly one pending event, ignoring any window bound.
+// It returns (false, nil) when no event is pending. The sharded
+// coordinator uses it to execute the globally minimal event when every
+// shard is gated — the conservative-window equivalent of the serial
+// kernel taking its next step.
+func (k *Kernel) StepOne() (bool, error) {
+	if k.stopped {
+		return false, fmt.Errorf("sim: kernel already ran")
+	}
+	e, ok := k.next()
+	if !ok {
+		return false, nil
+	}
+	return true, k.fire(e)
+}
+
+// Uncount marks the currently firing event as bookkeeping-only: it is
+// excluded from CountedEvents. Cross-shard plumbing events that have no
+// serial-kernel counterpart call it so event totals stay identical at
+// any shard count.
+func (k *Kernel) Uncount() { k.uncounted++ }
+
+// CountedEvents returns the fired-event count minus events marked with
+// Uncount.
+func (k *Kernel) CountedEvents() uint64 { return k.fired - k.uncounted }
+
+// BlockedProcs returns the blocked-process reports of all unfinished
+// processes, unsorted. The sharded coordinator merges these across
+// shard kernels into one DeadlockError.
+func (k *Kernel) BlockedProcs() []BlockedProc {
+	var blocked []BlockedProc
+	for _, p := range k.procs {
+		if !p.done {
+			blocked = append(blocked, p.blockedInfo())
+		}
+	}
+	return blocked
+}
+
+// Drained reports whether no events are pending.
+func (k *Kernel) Drained() bool {
+	_, ok := k.PeekTime()
+	return !ok
 }
 
 // runProc transfers control to p and waits until p yields back.

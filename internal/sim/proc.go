@@ -23,6 +23,22 @@ type Proc struct {
 	blockedSince  Time   // when the current Block began (diagnostics)
 
 	tag int // probe identity (rank id); -1 when untagged
+
+	// stampCtr numbers the events this process creates, in program
+	// order. On keyed kernels (Kernel.Keyed) the pair (tag, stampCtr)
+	// is the canonical same-timestamp ordering key: it depends only on
+	// the process's own execution, never on how ranks are sharded.
+	stampCtr uint64
+}
+
+// NextStamp draws the next canonical-ordering stamp from the process's
+// counter — the same counter the kernel uses for the process's own
+// resume events, so stamps stay unique per tag. Model code passes it
+// to Kernel.AtTagged when it schedules an event on this process's
+// behalf from outside the process body.
+func (p *Proc) NextStamp() uint64 {
+	p.stampCtr++
+	return p.stampCtr
 }
 
 // SetTag labels the process for probe callbacks; the MPI layer uses
@@ -36,7 +52,16 @@ func (p *Proc) SetTag(tag int) { p.tag = tag }
 // it, aborts the kernel with a *PanicError (or, for Fail, the carried
 // error itself), and Run returns that error.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, id: len(k.procs), name: name, resume: make(chan struct{}), tag: -1}
+	return k.SpawnTagged(name, -1, fn)
+}
+
+// SpawnTagged is Spawn with the probe tag set before the start event
+// is scheduled. Keyed kernels need the tag at spawn time: the start
+// event's canonical key is drawn from the process's own counter, and
+// an untagged process would fall back to the kernel-local sequence,
+// which is not stable across shard counts.
+func (k *Kernel) SpawnTagged(name string, tag int, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, id: len(k.procs), name: name, resume: make(chan struct{}), tag: tag}
 	k.procs = append(k.procs, p)
 	k.live++
 	go func() {

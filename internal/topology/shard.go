@@ -1,0 +1,20 @@
+package topology
+
+// ShardOfNode returns the shard owning the given node under contiguous
+// slab partitioning: node indices are split into shards blocks of
+// near-equal size. Node indices vary fastest along X, so contiguous
+// index slabs are planes stacked along the slowest dimension — a
+// torus-aware blocking that keeps each shard's nodes physically
+// adjacent and puts at least one torus hop between ranks of different
+// shards (which is what grounds the sharded kernel's lookahead).
+// shards may exceed nodes; high shards then own no nodes.
+func ShardOfNode(node, nodes, shards int) int {
+	if shards <= 1 || nodes <= 0 {
+		return 0
+	}
+	s := int(int64(node) * int64(shards) / int64(nodes))
+	if s >= shards {
+		s = shards - 1
+	}
+	return s
+}

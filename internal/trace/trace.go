@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"bgpsim/internal/sim"
 )
@@ -60,6 +61,11 @@ type Buffer struct {
 	max     int
 	events  []Event
 	dropped int64
+
+	// intern deduplicates Label/Algo strings. Collective keys are built
+	// per rank per operation ("allreduce:17"), so a 160k-rank trace
+	// would otherwise hold 160k copies of each; interning keeps one.
+	intern map[string]string
 }
 
 // NewBuffer returns a buffer retaining at most max events (max <= 0
@@ -68,12 +74,29 @@ func NewBuffer(max int) *Buffer {
 	return &Buffer{max: max}
 }
 
+// interned returns the canonical stored copy of s.
+func (b *Buffer) interned(s string) string {
+	if s == "" {
+		return ""
+	}
+	if v, ok := b.intern[s]; ok {
+		return v
+	}
+	if b.intern == nil {
+		b.intern = make(map[string]string)
+	}
+	b.intern[s] = s
+	return s
+}
+
 // Record appends an event, dropping it if the buffer is full.
 func (b *Buffer) Record(e Event) {
 	if b.max > 0 && len(b.events) >= b.max {
 		b.dropped++
 		return
 	}
+	e.Label = b.interned(e.Label)
+	e.Algo = b.interned(e.Algo)
 	b.events = append(b.events, e)
 }
 
@@ -82,6 +105,9 @@ func (b *Buffer) Events() []Event { return b.events }
 
 // Dropped returns how many events did not fit.
 func (b *Buffer) Dropped() int64 { return b.dropped }
+
+// Max returns the buffer's capacity (0 when unbounded).
+func (b *Buffer) Max() int { return b.max }
 
 // Len returns the number of retained events.
 func (b *Buffer) Len() int { return len(b.events) }
@@ -105,6 +131,53 @@ func (b *Buffer) OfRank(rank int) []Event {
 // OfKind returns events of one kind.
 func (b *Buffer) OfKind(k Kind) []Event {
 	return b.Filter(func(e Event) bool { return e.Kind == k })
+}
+
+// Merge fills dst (which must be empty) from per-shard buffers,
+// ordering events by (timestamp, rank, per-shard order) — the sharded
+// kernel's determinism-merge rule — and applying dst's capacity
+// globally. Any event inside the global first-capacity prefix lies
+// inside its own shard's first-capacity prefix (each shard buffer is
+// capped at dst's capacity), so no retained event was lost to a
+// per-shard cap; the dropped count is total recording attempts minus
+// the retained events, exactly the serial buffer's count.
+func Merge(dst *Buffer, shards []*Buffer) {
+	type tagged struct {
+		e   *Event
+		idx int
+	}
+	var attempts int64
+	var n int
+	for _, b := range shards {
+		if b == nil {
+			continue
+		}
+		attempts += int64(len(b.events)) + b.dropped
+		n += len(b.events)
+	}
+	all := make([]tagged, 0, n)
+	for _, b := range shards {
+		if b == nil {
+			continue
+		}
+		for i := range b.events {
+			all = append(all, tagged{e: &b.events[i], idx: i})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.e.T != b.e.T {
+			return a.e.T < b.e.T
+		}
+		if a.e.Rank != b.e.Rank {
+			return a.e.Rank < b.e.Rank
+		}
+		return a.idx < b.idx
+	})
+	for _, t := range all {
+		dst.Record(*t.e)
+	}
+	dst.dropped = attempts - int64(len(dst.events))
 }
 
 // Dump writes a human-readable log.

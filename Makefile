@@ -27,7 +27,14 @@ check:
 	$(GO) test -race -timeout 20m ./...
 	$(GO) test -run 'Fuzz' ./internal/topology/ ./internal/mpi/ ./internal/fault/ ./internal/fault/conformance/
 	$(MAKE) cover
-	$(GO) run ./cmd/paper -exp faults > /dev/null
+	@# Chaos smoke: the faults experiment (including the log=sender /
+	@# restart=ckpt replay table) must print byte-identical output at
+	@# any worker count and shard count.
+	$(GO) run ./cmd/paper -exp faults -j 1 > /tmp/bgpsim-check-f1.txt
+	$(GO) run ./cmd/paper -exp faults -j 4 -shards 4 > /tmp/bgpsim-check-f4.txt
+	@cmp /tmp/bgpsim-check-f1.txt /tmp/bgpsim-check-f4.txt || \
+		{ echo "check: paper -exp faults differs between -j 1 and -j 4 -shards 4"; exit 1; }
+	@rm -f /tmp/bgpsim-check-f1.txt /tmp/bgpsim-check-f4.txt
 	$(GO) run ./cmd/paper -exp colltune > /dev/null
 	$(GO) run ./cmd/paper -exp profile > /dev/null
 	$(GO) run ./cmd/halo -gx 4 -gy 2 -profile -trace /tmp/bgpsim-check-trace.json > /dev/null
@@ -84,7 +91,7 @@ examples:
 # observability contracts lean on (fault injection, the MPI layer, the
 # probes) must not silently lose their tests. Floors sit ~5 points
 # below measured coverage; raise them as the suites grow.
-COVER_FLOORS = bgpsim/internal/fault:85 bgpsim/internal/mpi:80 bgpsim/internal/obs:65
+COVER_FLOORS = bgpsim/internal/fault:86 bgpsim/internal/mpi:83 bgpsim/internal/obs:65
 
 cover:
 	@$(GO) test -cover ./... | awk -v floors="$(COVER_FLOORS)" ' \

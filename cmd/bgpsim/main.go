@@ -174,6 +174,12 @@ func main() {
 		fmt.Printf("  lost ranks: %v\n", res.Lost)
 		fmt.Printf("  recoveries: %d (tree rebuilds %d, HW fallbacks %d, %v charged)\n",
 			res.Net.Recoveries, res.Net.TreeRebuilds, res.Net.HWFallbacks, res.Net.RecoveryTime)
+		if cfg.Faults.LogSender() {
+			fmt.Printf("  peer-lost:  %d rank(s) had waits cancelled on a dead peer\n", len(res.PeerLost))
+			fmt.Printf("  msg log:    %d orphans cancelled, %d restarts (%d msgs / %d bytes replayed, %v replay, %v restart charged)\n",
+				res.Net.Orphans, res.Net.Restarts, res.Net.Replays, res.Net.ReplayBytes,
+				res.Net.ReplayTime, res.Net.RestartTime)
+		}
 	}
 	fmt.Printf("  sim events: %d\n", res.Events)
 	if n := res.DroppedEvents(); n > 0 {

@@ -233,6 +233,15 @@ func main() {
 		}
 		fmt.Printf("HALO %s %s %dx%d grid, %d words, %s, mapping %s: %v per exchange\n",
 			*mach, mode, *gx, *gy, *words, proto, base.Mapping, d)
+		if base.Faults != nil && res != nil {
+			fmt.Printf("  faults: lost ranks %v, recoveries %d (%v charged)\n",
+				res.Lost, res.Net.Recoveries, res.Net.RecoveryTime)
+			if base.Faults.LogSender() {
+				fmt.Printf("  msg log: %d orphans cancelled (%d peer-lost waits), %d restarts (%d msgs / %d bytes replayed, %v replay, %v restart charged)\n",
+					res.Net.Orphans, len(res.PeerLost), res.Net.Restarts, res.Net.Replays,
+					res.Net.ReplayBytes, res.Net.ReplayTime, res.Net.RestartTime)
+			}
+		}
 		if n := res.DroppedEvents(); n > 0 {
 			fmt.Fprintf(os.Stderr, "halo: warning: %d trace events dropped (buffer full)\n", n)
 		}

@@ -97,7 +97,14 @@ func main() {
 		rec = obs.NewRecorder()
 	}
 
-	reports, err := runner.Sweep(rankCounts, func(ranks int) (string, error) {
+	// Per-job diagnostics (blast domains, dropped trace events, shard
+	// fallbacks) are collected here and flushed in job order after the
+	// sweep — including before an error exit, so an aborted run still
+	// reports which nodes its blast took out. Printing from the worker
+	// goroutines would interleave lines nondeterministically under -j.
+	var notes runner.Notes
+	reports, err := runner.Map(len(rankCounts), func(job int) (string, error) {
+		ranks := rankCounts[job]
 		ep, err := hpcc.SingleAndEP(id, ranks)
 		if err != nil {
 			return "", err
@@ -106,17 +113,30 @@ func main() {
 		// range checks depend on the partition) and per job, so
 		// concurrent simulations share nothing.
 		var plan *fault.Plan
-		var blasts []fault.BlastResult
 		if *faultsFlag != "" {
 			nodes := core.PartitionConfig(id, machine.VN, ranks).Nodes
+			var blasts []fault.BlastResult
 			plan, blasts, err = fault.BuildForPartition(*faultsFlag, id, nodes)
 			if err != nil {
 				return "", err
+			}
+			for _, bl := range blasts {
+				notes.Add(job, "hpcc: %d processes: blast from node %d: %s domain [%d, %d], %d nodes killed",
+					ranks, bl.Origin, bl.Level, bl.First, bl.Last, len(bl.Dead))
 			}
 		}
 		// rec is only non-nil with a single rank count, so at most one
 		// simulation ever drives it.
 		cb, cres, err := hpcc.CollBenchFaulty(id, ranks, coll, plan, probeOrNil(rec))
+		if cres != nil {
+			if n := cres.DroppedEvents(); n > 0 {
+				notes.Add(job, "hpcc: warning: %d processes: %d trace events dropped (buffer full)", ranks, n)
+			}
+			if *shardsFlag > 1 && cres.Shards < *shardsFlag {
+				notes.Add(job, "hpcc: note: %d processes ran on the serial kernel (-shards %d needs the analytic fidelity and no link faults)",
+					ranks, *shardsFlag)
+			}
+		}
 		if err != nil {
 			return "", err
 		}
@@ -142,13 +162,14 @@ func main() {
 		fmt.Fprintf(&b, "  Allreduce:         %8.2f us  [%s]\n", cb.AllreduceUS, cb.AllreduceAlgo)
 		if plan != nil {
 			fmt.Fprintf(&b, "Injected faults (%s):\n", *faultsFlag)
-			for _, bl := range blasts {
-				fmt.Fprintf(&b, "  blast from node %d: %s domain [%d, %d], %d nodes killed\n",
-					bl.Origin, bl.Level, bl.First, bl.Last, len(bl.Dead))
-			}
 			fmt.Fprintf(&b, "  lost ranks: %v\n", cres.Lost)
 			fmt.Fprintf(&b, "  recoveries: %d (tree rebuilds %d, HW fallbacks %d, %v charged)\n",
 				cres.Net.Recoveries, cres.Net.TreeRebuilds, cres.Net.HWFallbacks, cres.Net.RecoveryTime)
+			if plan.LogSender() {
+				fmt.Fprintf(&b, "  message log: %d orphans cancelled, %d restarts (%d msgs / %d bytes replayed, %v replay, %v restart charged)\n",
+					cres.Net.Orphans, cres.Net.Restarts, cres.Net.Replays, cres.Net.ReplayBytes,
+					cres.Net.ReplayTime, cres.Net.RestartTime)
+			}
 		}
 		fmt.Fprintf(&b, "Parallel tests:\n")
 		fmt.Fprintf(&b, "  HPL:               %8.1f GFlop/s (%.1f%% of peak)\n",
@@ -158,6 +179,7 @@ func main() {
 		fmt.Fprintf(&b, "  RandomAccess:      %8.3f GUPS\n", hpcc.RandomAccessGUPS(id, machine.VN, ranks))
 		return b.String(), nil
 	})
+	notes.Flush(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpcc:", err)
 		os.Exit(1)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"bgpsim/internal/fault"
 	"bgpsim/internal/iosys"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
@@ -51,6 +52,14 @@ type Params struct {
 	// MaxFailures caps the precomputed failure schedule (default 4096);
 	// a run that survives past the last scheduled failure sees no more.
 	MaxFailures int
+
+	// Faults, when non-nil, additionally injects the plan's faults at
+	// the MPI layer. A plan with restart=ckpt prices its node kills as
+	// user-level restarts through the same storage model this package
+	// writes checkpoints through (mpi.Config.RestartRead) and the same
+	// Reboot charge, rolled back to each rank's last committed segment
+	// (mpi.Rank.CommitCheckpoint).
+	Faults *fault.Plan
 }
 
 // Result summarizes one run.
@@ -93,6 +102,11 @@ func Run(p Params) (Result, error) {
 		Mode:     machine.SMP,
 		Fidelity: network.Contention,
 		Seed:     p.Seed,
+		Faults:   p.Faults,
+		RestartRead: func(at sim.Time, node int, bytes float64) sim.Duration {
+			return io.NodeRead(at, node, bytes).Sub(at)
+		},
+		RestartReboot: sim.Seconds(p.Reboot),
 	}, func(r *Rank) { ckptProgram(r, p, sched, io, &out) })
 	if err != nil {
 		return Result{}, err
@@ -151,6 +165,7 @@ func ckptProgram(r *Rank, p Params, sched []float64, io *iosys.Sim, out *Result)
 			continue
 		}
 		done += seg
+		r.CommitCheckpoint(p.BytesPerNode)
 		if r.ID() == 0 {
 			out.Checkpoints++
 		}

@@ -1,0 +1,281 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+
+	"bgpsim/internal/ckpt"
+	"bgpsim/internal/fault"
+	"bgpsim/internal/iosys"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+)
+
+// analyticConfig is the sharding-eligible twin of bgpConfig: the
+// analytic fidelity has no shared per-link state, so the same run can
+// execute serial or at any shard count and must agree byte for byte.
+func analyticConfig(t *testing.T, nodes, shards int, plan *fault.Plan) mpi.Config {
+	t.Helper()
+	m, err := machine.Lookup("BG/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpi.Config{
+		Machine:  m,
+		Nodes:    nodes,
+		Mode:     machine.SMP,
+		Fidelity: network.Analytic,
+		Shards:   shards,
+		Faults:   plan,
+	}
+}
+
+// pairExchange couples rank i to rank i^1 with plain sends and
+// receives: pure point-to-point traffic, so a node kill strands
+// exactly one partner unless sender logging cancels the orphans.
+// Sizes alternate across BG/P's eager/rendezvous switch.
+func pairExchange(iters int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		p := r.ID() ^ 1
+		if p >= r.Size() {
+			return
+		}
+		for i := 0; i < iters; i++ {
+			r.Advance(10 * sim.Microsecond)
+			bytes := 512
+			if i%2 == 1 {
+				bytes = 50_000
+			}
+			if r.ID() < p {
+				r.Send(p, bytes, i)
+				r.Recv(p, i)
+			} else {
+				r.Recv(p, i)
+				r.Send(p, bytes, i)
+			}
+		}
+	}
+}
+
+func senderLogPlan(node int, restart bool) *fault.Plan {
+	p := fault.NewPlan(1)
+	p.KillNode(node, sim.Time(25*sim.Microsecond))
+	p.EnableRecovery()
+	p.EnableSenderLogging()
+	if restart {
+		p.EnableCkptRestart()
+	}
+	return p
+}
+
+// TestReplayedNeverFaster extends the harness's first property to the
+// message-logging layer: neither orphan cancellation (log=sender) nor
+// user-level restart (restart=ckpt) may let a run with a killed node
+// beat the healthy run, whichever node dies.
+func TestReplayedNeverFaster(t *testing.T) {
+	const nodes = 8
+	prog := pairExchange(6)
+	healthy, err := mpi.Execute(analyticConfig(t, nodes, 0, nil), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kill := 0; kill < nodes; kill++ {
+		for _, restart := range []bool{false, true} {
+			res, err := mpi.Execute(analyticConfig(t, nodes, 0, senderLogPlan(kill, restart)), prog)
+			if err != nil {
+				t.Fatalf("kill %d restart=%v: %v", kill, restart, err)
+			}
+			if res.Elapsed < healthy.Elapsed {
+				t.Errorf("kill %d restart=%v: replayed run %v beat healthy %v",
+					kill, restart, res.Elapsed, healthy.Elapsed)
+			}
+			if restart {
+				if len(res.Lost) != 0 || len(res.PeerLost) != 0 {
+					t.Errorf("kill %d: restart mode lost ranks: Lost=%v PeerLost=%v",
+						kill, res.Lost, res.PeerLost)
+				}
+				// A restart is never free: reboot plus rework are charged.
+				if res.Elapsed == healthy.Elapsed {
+					t.Errorf("kill %d: restarted run matched healthy exactly; restart charged nothing", kill)
+				}
+			}
+		}
+	}
+}
+
+// killSchedule draws a deterministic exponential failure schedule at
+// rate nodes/nodeMTBF and returns it as a fault plan with user-level
+// restart. Same seed, same schedule: the interval sweep below compares
+// checkpoint intervals on identical failure realizations (common
+// random numbers), exactly like TestCheckpointOptimumDifferential.
+func killSchedule(seed uint64, nodes int, nodeMTBF, horizon float64) *fault.Plan {
+	p := fault.NewPlan(seed)
+	p.EnableRecovery()
+	p.EnableSenderLogging()
+	p.EnableCkptRestart()
+	m := nodeMTBF / float64(nodes)
+	rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	t := 0.0
+	for len(p.NodeFaults()) < 64 {
+		t += -m * math.Log(1-rng.Float64())
+		if t >= horizon {
+			break
+		}
+		node := int(rng.Float64() * float64(nodes))
+		if node >= nodes {
+			node = nodes - 1
+		}
+		p.KillNode(node, sim.Time(sim.Seconds(t)))
+	}
+	return p
+}
+
+// TestRestartTTSDalyDifferential is the replay layer's differential
+// check: failures injected at the MPI layer (node kills priced as
+// user-level restarts — reboot, checkpoint read-back, rework since the
+// last commit) must reproduce the analytic Daly expectation for the
+// same checkpointing application, and sweeping the interval on common
+// random numbers must keep the Young/Daly optimum competitive.
+//
+// Tolerances, stated: at the analytic optimum the mean simulated TTS
+// over the seeds must be within [0.75, 1.7] of
+// Checkpointer.ExpectedRuntime. The lower slack exists because the
+// restart floor lets a restarted rank rejoin no earlier than restart
+// completion but overlaps the charge with any segment still in flight,
+// which under-prices kills early in a segment; the parameters below
+// keep reboot+read on the order of the segment so the floor binds for
+// most kills. The upper slack absorbs store-and-forward checkpoint
+// writes (up to 1.5x the pipelined closed form) plus sampling noise.
+func TestRestartTTSDalyDifferential(t *testing.T) {
+	m, err := machine.Lookup("BG/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		nodes        = 16
+		work         = 1500.0
+		bytesPerNode = 4 << 20
+		reboot       = 60.0
+		nodeMTBF     = 1500.0 * nodes // system MTBF 1500s: failures matter
+		seeds        = 6
+	)
+	storage := iosys.ORNLEugene()
+
+	delta, err := fault.CheckpointWriteCost(storage, nodes, bytesPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtbf := fault.SystemMTBF(nodeMTBF, nodes)
+	opt := fault.YoungDaly(delta, mtbf)
+	if opt <= 0 || opt >= work {
+		t.Fatalf("degenerate analytic optimum %.1fs for work %.0fs", opt, work)
+	}
+
+	factors := []float64{0.5, 1, 2}
+	mean := make([]float64, len(factors))
+	for i, f := range factors {
+		for seed := uint64(1); seed <= seeds; seed++ {
+			res, err := ckpt.Run(ckpt.Params{
+				Machine:      m,
+				Nodes:        nodes,
+				Storage:      storage,
+				Work:         work,
+				Interval:     opt * f,
+				BytesPerNode: bytesPerNode,
+				Reboot:       reboot,
+				// NodeMTBF stays zero: every failure arrives through the
+				// MPI fault plan and is priced by the restart layer.
+				Seed:   seed,
+				Faults: killSchedule(seed, nodes, nodeMTBF, 4*work),
+			})
+			if err != nil {
+				t.Fatalf("interval %.0fs seed %d: %v", opt*f, seed, err)
+			}
+			if res.TTS < work {
+				t.Fatalf("interval %.0fs seed %d: TTS %.0fs below the failure-free work %.0fs",
+					opt*f, seed, res.TTS, work)
+			}
+			mean[i] += res.TTS / seeds
+		}
+	}
+	t.Logf("delta=%.2fs MTBF=%.0fs optimum=%.0fs; mean TTS by factor: %v -> %v",
+		delta, mtbf, opt, factors, mean)
+
+	c := fault.Checkpointer{Interval: opt, WriteCost: delta, RestartCost: reboot + delta, MTBF: mtbf}
+	want, err := c.ExpectedRuntime(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mean[1] // factor 1
+	if ratio := got / want; ratio < 0.75 || ratio > 1.7 {
+		t.Errorf("simulated mean TTS %.0fs vs Daly expectation %.0fs at the optimum (ratio %.3f, want [0.75, 1.7])",
+			got, want, ratio)
+	}
+}
+
+// TestReplaySerialShardEquivalence pins the replay layer's determinism
+// contract at the conformance level: a kill cancelling orphans (or
+// triggering a restart with log replay) must produce identical results
+// serial and at shards 1, 2, 4, and 8.
+func TestReplaySerialShardEquivalence(t *testing.T) {
+	const nodes = 16
+	progs := []struct {
+		name    string
+		restart bool
+		prog    func(*mpi.Rank)
+	}{
+		{"cancel", false, pairExchange(6)},
+		{"restart", true, func(r *mpi.Rank) {
+			n := r.Size()
+			for i := 0; i < 6; i++ {
+				r.Advance(10 * sim.Microsecond)
+				r.Sendrecv((r.ID()+1)%n, 1000+100*r.ID(), 1, (r.ID()+n-1)%n, 1)
+				if i == 2 {
+					r.CommitCheckpoint(1 << 20)
+				}
+			}
+		}},
+	}
+	for _, pc := range progs {
+		serial, err := mpi.Execute(analyticConfig(t, nodes, 0, senderLogPlan(5, pc.restart)), pc.prog)
+		if err != nil {
+			t.Fatalf("%s serial: %v", pc.name, err)
+		}
+		for _, shards := range []int{1, 2, 4, 8} {
+			res, err := mpi.Execute(analyticConfig(t, nodes, shards, senderLogPlan(5, pc.restart)), pc.prog)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", pc.name, shards, err)
+			}
+			if res.Elapsed != serial.Elapsed || res.Events != serial.Events {
+				t.Errorf("%s shards=%d: elapsed/events %v/%d != serial %v/%d",
+					pc.name, shards, res.Elapsed, res.Events, serial.Elapsed, serial.Events)
+			}
+			if len(res.Lost) != len(serial.Lost) {
+				t.Errorf("%s shards=%d: Lost %v != serial %v", pc.name, shards, res.Lost, serial.Lost)
+			}
+			if len(res.PeerLost) != len(serial.PeerLost) {
+				t.Errorf("%s shards=%d: PeerLost %v != serial %v", pc.name, shards, res.PeerLost, serial.PeerLost)
+			} else {
+				for i, pl := range res.PeerLost {
+					if *pl != *serial.PeerLost[i] {
+						t.Errorf("%s shards=%d: PeerLost[%d] %+v != serial %+v",
+							pc.name, shards, i, *pl, *serial.PeerLost[i])
+					}
+				}
+			}
+			if res.Net.Orphans != serial.Net.Orphans ||
+				res.Net.Restarts != serial.Net.Restarts ||
+				res.Net.Replays != serial.Net.Replays ||
+				res.Net.ReplayBytes != serial.Net.ReplayBytes ||
+				res.Net.ReplayTime != serial.Net.ReplayTime ||
+				res.Net.RestartTime != serial.Net.RestartTime ||
+				res.Net.Messages != serial.Net.Messages ||
+				res.Net.Bytes != serial.Net.Bytes {
+				t.Errorf("%s shards=%d: network stats diverged:\n%+v\nvs serial\n%+v",
+					pc.name, shards, res.Net, serial.Net)
+			}
+		}
+	}
+}

@@ -114,6 +114,8 @@ type Plan struct {
 	noiseOverride   *NoiseProfile
 	useMachineNoise bool
 	recover         bool
+	logSender       bool
+	restartCkpt     bool
 }
 
 // NewPlan returns an empty fault plan. All random fault placement
@@ -249,13 +251,42 @@ func (p *Plan) KillNode(node int, at sim.Time) {
 // interior to the tree, demoted to a software algorithm on the torus.
 // Recovery latency is charged to the model and surfaced through
 // network.Stats and the obs layer. Point-to-point traffic addressed to
-// a dead rank is NOT recovered (as in MPI, only ULFM-style collective
-// semantics are repaired); a survivor waiting on a dead rank's message
-// deadlocks and surfaces as *sim.DeadlockError.
+// a dead rank is NOT recovered by EnableRecovery alone (as in MPI,
+// only ULFM-style collective semantics are repaired); a survivor
+// waiting on a dead rank's message deadlocks and surfaces as
+// *sim.DeadlockError naming the dead ranks. EnableSenderLogging adds
+// the point-to-point side.
 func (p *Plan) EnableRecovery() { p.recover = true }
 
 // Recover reports whether transparent collective recovery is enabled.
 func (p *Plan) Recover() bool { return p != nil && p.recover }
+
+// EnableSenderLogging turns on sender-based message logging for
+// point-to-point traffic (spec token "log=sender"): every rank keeps
+// the envelopes of its outbound sends, and a node kill no longer
+// strands survivors on dead-peer messages. Without EnableCkptRestart
+// the orphans are cancelled — a blocked operation on a dead peer
+// returns at the detection time with a typed *mpi.PeerLostError
+// instead of deadlocking. Requires EnableRecovery (the MPI layer
+// rejects a plan that logs without recovering).
+func (p *Plan) EnableSenderLogging() { p.logSender = true }
+
+// LogSender reports whether sender-based message logging is enabled.
+func (p *Plan) LogSender() bool { return p != nil && p.logSender }
+
+// EnableCkptRestart switches the sender-logging response from orphan
+// cancellation to user-level restart (spec token "restart=ckpt"): a
+// killed node's ranks roll back to their last committed checkpoint
+// (mpi.Rank.CommitCheckpoint) and the logged messages addressed to
+// them since that commit are replayed in canonical (creator rank,
+// stamp) order. The ranks survive with a restart latency charge —
+// detection, reboot, checkpoint read-back, redone work, and replay —
+// instead of leaving the job. Requires EnableSenderLogging.
+func (p *Plan) EnableCkptRestart() { p.restartCkpt = true }
+
+// RestartCkpt reports whether checkpoint restart with replay is
+// enabled.
+func (p *Plan) RestartCkpt() bool { return p != nil && p.restartCkpt }
 
 // NodeFaults returns the scheduled node faults sorted by time then
 // node index.

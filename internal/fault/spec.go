@@ -19,7 +19,7 @@ type Spec struct {
 }
 
 type specOp struct {
-	kind string // "recover", "kill", "isolate", "faillinks", "degrade", "noise", "noisemachine", "blast"
+	kind string // "recover", "log", "restart", "kill", "isolate", "faillinks", "degrade", "noise", "noisemachine", "blast"
 
 	node  int
 	at    sim.Time
@@ -35,6 +35,13 @@ type specOp struct {
 //
 //	seed=N                        plan seed for random placement (default 1)
 //	recover                       transparent collective recovery instead of fail-stop
+//	log=sender                    log outbound point-to-point envelopes at the
+//	                              senders: traffic stranded on a killed rank is
+//	                              cancelled (typed *mpi.PeerLostError) instead of
+//	                              deadlocking; requires recover
+//	restart=ckpt                  user-level restart: a killed node's ranks roll
+//	                              back to their last checkpoint commit and logged
+//	                              messages are replayed; requires log=sender
 //	kill=NODE@TIME                node NODE dies at TIME
 //	isolate=NODE                  fail every link touching NODE from time zero
 //	faillinks=N                   fail N random directed links from time zero
@@ -65,6 +72,14 @@ func ParseSpec(s string) (*Spec, error) {
 		case "recover":
 			if hasVal {
 				return nil, fmt.Errorf("fault: directive %q takes no value", dir)
+			}
+		case "log":
+			if !hasVal || val != "sender" {
+				return nil, fmt.Errorf("fault: log wants sender, got %q", dir)
+			}
+		case "restart":
+			if !hasVal || val != "ckpt" {
+				return nil, fmt.Errorf("fault: restart wants ckpt, got %q", dir)
 			}
 		case "seed":
 			spec.seed, err = strconv.ParseUint(val, 10, 64)
@@ -220,6 +235,10 @@ func (s *Spec) Build(t *topology.Torus, h machine.Hierarchy) (*Plan, []BlastResu
 		switch op.kind {
 		case "recover":
 			p.EnableRecovery()
+		case "log":
+			p.EnableSenderLogging()
+		case "restart":
+			p.EnableCkptRestart()
 		case "kill":
 			if op.node >= nodes {
 				return nil, nil, fmt.Errorf("fault: kill node %d out of range (partition has %d nodes)", op.node, nodes)
@@ -251,6 +270,14 @@ func (s *Spec) Build(t *topology.Torus, h machine.Hierarchy) (*Plan, []BlastResu
 			}
 			blasts = append(blasts, res)
 		}
+	}
+	// Mode combinations are validated after the walk so directive order
+	// within the spec string does not matter.
+	if p.LogSender() && !p.Recover() {
+		return nil, nil, fmt.Errorf("fault: log=sender requires recover (sender-based replay rides on transparent recovery)")
+	}
+	if p.RestartCkpt() && !p.LogSender() {
+		return nil, nil, fmt.Errorf("fault: restart=ckpt requires log=sender (restart replays the sender logs)")
 	}
 	return p, blasts, nil
 }

@@ -40,7 +40,7 @@ func TestParseDuration(t *testing.T) {
 }
 
 func TestParseSpecBuild(t *testing.T) {
-	spec, err := ParseSpec("seed=9, recover, kill=5@2ms, faillinks=3, degrade=0.5:0.25, noise=1ms/50us")
+	spec, err := ParseSpec("seed=9, recover, log=sender, restart=ckpt, kill=5@2ms, faillinks=3, degrade=0.5:0.25, noise=1ms/50us")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,6 +57,12 @@ func TestParseSpecBuild(t *testing.T) {
 	}
 	if !p.Recover() {
 		t.Error("recover directive not applied")
+	}
+	if !p.LogSender() {
+		t.Error("log=sender directive not applied")
+	}
+	if !p.RestartCkpt() {
+		t.Error("restart=ckpt directive not applied")
 	}
 	nf := p.NodeFaults()
 	if len(nf) != 1 || nf[0].Node != 5 || nf[0].At != sim.Time(2*sim.Millisecond) {
@@ -106,10 +112,53 @@ func TestParseSpecErrors(t *testing.T) {
 		"blast=1ms/0/1/1",     // too few fields
 		"blast=1ms/0/2/0/0/0", // probability out of range
 		"faillinks=-1",
+		"log",          // missing value
+		"log=bogus",    // only sender-based logging exists
+		"restart",      // missing value
+		"restart=now",  // only checkpoint restart exists
+		"log=receiver", // receiver-based logging is not implemented
 	}
 	for _, s := range bad {
 		if _, err := ParseSpec(s); err == nil {
 			t.Errorf("ParseSpec(%q) accepted invalid spec", s)
+		}
+	}
+}
+
+func TestParseSpecComboErrors(t *testing.T) {
+	// The replay directives only compose one way: log=sender rides on
+	// recover, restart=ckpt rides on log=sender. Build rejects the
+	// rest, whatever the directive order.
+	tor := topology.NewTorus(topology.Dims{2, 2, 2})
+	h := machine.Hierarchy{Card: 2, Midplane: 4, Rack: 8}
+	for _, s := range []string{
+		"log=sender",            // logging without recovery
+		"log=sender,kill=1@1ms", // same, with a kill to replay
+		"restart=ckpt",          // restart without logging
+		"recover,restart=ckpt",  // same, even with recovery on
+		"restart=ckpt,recover",  // order independence
+		"kill=1@1ms,log=sender", // order independence
+	} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if _, _, err := spec.Build(tor, h); err == nil {
+			t.Errorf("Build(%q) accepted an invalid directive combination", s)
+		}
+	}
+	// And the valid stacks build.
+	for _, s := range []string{
+		"recover,log=sender,kill=1@1ms",
+		"recover,log=sender,restart=ckpt,kill=1@1ms",
+		"restart=ckpt,log=sender,recover", // order independence
+	} {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if _, _, err := spec.Build(tor, h); err != nil {
+			t.Errorf("Build(%q): %v", s, err)
 		}
 	}
 }
@@ -138,6 +187,9 @@ func FuzzParseFaultSpec(f *testing.F) {
 	f.Add("faillinks=4,isolate=3")
 	f.Add("noise=1ms/50us")
 	f.Add(" , ,seed=0")
+	f.Add("recover,log=sender,kill=3@1ms")
+	f.Add("recover,log=sender,restart=ckpt,kill=3@1ms")
+	f.Add("log=sender,restart=ckpt")
 	f.Fuzz(func(t *testing.T, s string) {
 		spec, err := ParseSpec(s)
 		if err != nil {

@@ -31,6 +31,14 @@ func (w *World) validateFaults(plan *fault.Plan, nodes int) error {
 			return fmt.Errorf("mpi: node fault on node %d, partition has %d nodes", nf.Node, nodes)
 		}
 	}
+	// Mirror fault.ParseSpec's Build-time combination rules for plans
+	// assembled directly through the API.
+	if plan.LogSender() && !plan.Recover() {
+		return fmt.Errorf("mpi: fault plan enables sender logging without recovery (sender-based replay rides on transparent recovery)")
+	}
+	if plan.RestartCkpt() && !plan.LogSender() {
+		return fmt.Errorf("mpi: fault plan enables checkpoint restart without sender logging (restart replays the sender logs)")
+	}
 	np, on := plan.ResolveNoise(w.cpu.OSNoise())
 	if on {
 		if err := np.Valid(); err != nil {

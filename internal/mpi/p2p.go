@@ -26,6 +26,7 @@ type Request struct {
 	r       *Rank
 	isRecv  bool
 	src     int // matching source (receives)
+	dst     int // destination rank (sends), for orphan cancellation
 	tag     int
 	collKey string
 	done    bool
@@ -85,6 +86,9 @@ func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{
 	if r.dead && r.collAlgo == "" {
 		killRank()
 	}
+	if r.floor != 0 {
+		r.applyFloor()
+	}
 	if dst < 0 || dst >= len(r.w.ranks) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
@@ -102,7 +106,7 @@ func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{
 		r.net.CollMessage(r.collAlgo, bytes)
 	}
 	dstRank := r.w.ranks[dst]
-	req := &Request{r: r, tag: tag, collKey: collKey}
+	req := &Request{r: r, dst: dst, tag: tag, collKey: collKey}
 	msg := &message{src: r.id, dst: dst, tag: tag, collKey: collKey,
 		bytes: bytes, payload: payload, sender: req}
 	if r.pb != nil {
@@ -130,6 +134,13 @@ func (r *Rank) isendFrac(dst, bytes, tag int, collKey string, payload interface{
 	// same-timestamp position on the destination kernel whether it is
 	// scheduled locally or carried through the inter-shard mailbox.
 	stamp := r.proc.NextStamp()
+	if r.logSend && collKey == "" {
+		// Sender-based message logging: retain the envelope (not the
+		// payload) so a later restart of the destination can replay the
+		// message stream in canonical (creator rank, stamp) order. One
+		// append behind one bool — the logging-off hot path is unchanged.
+		r.sentLog = append(r.sentLog, logEnv{dst: dst, bytes: bytes, stamp: stamp, sentAt: r.proc.Now()})
+	}
 	if dstRank.sh != nil && dstRank.sh != r.sh {
 		// Cross-shard: the arrival lies at least one torus-hop latency
 		// (the lookahead) past now, so it is beyond the current window
@@ -165,7 +176,10 @@ func (r *Rank) irecv(src, tag int, collKey string) *Request {
 	if r.dead && r.collAlgo == "" {
 		killRank()
 	}
-	req := &Request{r: r, isRecv: true, src: src, tag: tag, collKey: collKey}
+	if r.floor != 0 {
+		r.applyFloor()
+	}
+	req := &Request{r: r, isRecv: true, src: src, dst: -1, tag: tag, collKey: collKey}
 	if tb := r.tb; tb != nil {
 		tb.Record(trace.Event{T: r.proc.Now(), Rank: r.id, Kind: trace.RecvPost,
 			Peer: src, Tag: tag})
@@ -202,6 +216,12 @@ func (q *Request) matches(m *message) bool {
 // deliver runs at a message's wire arrival time on the destination
 // rank (eager data or rendezvous header).
 func (r *Rank) deliver(m *message) {
+	if r.dead && r.w.cancelP2P && m.collKey == "" {
+		// Orphan cancellation: a user message arriving at a dead rank is
+		// never matched; NACK a rendezvous sender so its wait completes.
+		r.cancelDelivery(m)
+		return
+	}
 	for i, q := range r.posted {
 		if q.matches(m) {
 			r.posted = append(r.posted[:i], r.posted[i+1:]...)
@@ -289,22 +309,10 @@ func (r *Rank) Wait(q *Request) {
 }
 
 func (r *Rank) waitNoOverhead(q *Request) {
-	if q.r != r {
-		panic("mpi: waiting on another rank's request")
-	}
-	if !q.done {
-		q.waiting = true
-		kind := "MPI_Wait(send)"
-		if q.isRecv {
-			kind = "MPI_Wait(recv)"
-		}
-		r.proc.Block(kind)
-		q.waiting = false
-		if r.dead && r.collAlgo == "" {
-			// Woken by failNode, not by completion: unwind the dead rank
-			// out of its point-to-point wait.
-			killRank()
-		}
+	if err := r.waitErrNoOverhead(q); err != nil {
+		// The plain blocking API has no error channel: unwind the rank
+		// (recovered in spawnRank, surfaced through Result.PeerLost).
+		r.peerLostUnwind(err)
 	}
 }
 

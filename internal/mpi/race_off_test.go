@@ -1,0 +1,5 @@
+//go:build !race
+
+package mpi
+
+const raceEnabled = false

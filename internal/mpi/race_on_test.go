@@ -1,0 +1,9 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-count pins skip under -race: the instrumentation adds its
+// own allocations, and the detector only needs the concurrent paths
+// exercised, not the alloc accounting (the non-race run covers that).
+const raceEnabled = true

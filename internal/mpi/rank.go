@@ -54,6 +54,17 @@ type Rank struct {
 	gateResult  interface{}    // sharded-gate result handoff, set by completeGate
 	rng         *sim.RNG
 	noisePhase  sim.Duration // phase of this node's OS-noise events
+
+	// Message-logging / replay state (replay.go). logSend gates the
+	// sender log append in isendFrac (one bool on the hot path); floor,
+	// when nonzero, is a pending user-level-restart charge applied at the
+	// rank's next boundary (applyFloor).
+	logSend         bool
+	sentLog         []logEnv
+	floor           sim.Time
+	lastCommitAt    sim.Time
+	lastCommitBytes float64
+	peerLost        *PeerLostError // set when a p2p wait was cancelled on a dead peer
 }
 
 func newRank(w *World, id int, place topology.Placement) *Rank {
@@ -70,6 +81,7 @@ func newRank(w *World, id int, place topology.Placement) *Rank {
 	if w.noiseOn {
 		r.noisePhase = w.cfg.Faults.NoisePhase(place.Node, w.noise.Period)
 	}
+	r.logSend = w.cfg.Faults.LogSender()
 	return r
 }
 
@@ -106,6 +118,9 @@ func (r *Rank) Compute(flops, bytes float64, class machine.KernelClass) {
 	if r.dead && r.collAlgo == "" {
 		killRank()
 	}
+	if r.floor != 0 {
+		r.applyFloor()
+	}
 	d := r.w.cpu.Time(flops, bytes, class)
 	if s, ok := r.w.cfg.NodeSlowdown[r.place.Node]; ok && s > 0 {
 		d = sim.Duration(float64(d) * (1 + s))
@@ -134,6 +149,9 @@ func probeCompute(r *Rank, d, noise sim.Duration) {
 func (r *Rank) Advance(d sim.Duration) {
 	if r.dead && r.collAlgo == "" {
 		killRank()
+	}
+	if r.floor != 0 {
+		r.applyFloor()
 	}
 	r.proc.Sleep(d)
 }

@@ -23,9 +23,14 @@ package mpi
 //     class-route reprogramming or a software membership agreement —
 //     is charged once per communicator per failure epoch and surfaced
 //     through network.Stats and obs "coll-recover" fault events.
-//   - Point-to-point traffic addressed to a dead rank is NOT repaired:
-//     a survivor waiting on a dead rank's message deadlocks and the
-//     run returns *sim.DeadlockError, as documented on EnableRecovery.
+//   - Point-to-point traffic addressed to a dead rank is NOT repaired
+//     by recovery alone: a survivor waiting on a dead rank's message
+//     deadlocks and the run returns *sim.DeadlockError naming the dead
+//     ranks in its note, as documented on EnableRecovery. Adding
+//     log=sender (replay.go) closes that gap: orphaned point-to-point
+//     operations are cancelled with a typed *PeerLostError, or — with
+//     restart=ckpt — node kills become priced user-level restarts with
+//     sender-log replay and no rank leaves the job at all.
 
 import (
 	"fmt"
@@ -54,6 +59,9 @@ func (r *Rank) checkDead() {
 	if r.dead && r.collAlgo == "" {
 		killRank()
 	}
+	if r.floor != 0 {
+		r.applyFloor()
+	}
 }
 
 // recoveryDetectS is the failure-detection latency charged at the start
@@ -68,6 +76,12 @@ const recoveryDetectS = 1e-3
 // that are running, sleeping, or inside a software collective unwind at
 // their next recovery boundary (checkDead).
 func (w *World) failNode(nf fault.NodeFault) {
+	if w.restartP2P {
+		// restart=ckpt: the kill is a priced user-level restart, not a
+		// death — no epoch bump, no rank removal, no gate repair.
+		w.restartNode(nf)
+		return
+	}
 	var victims []*Rank
 	for _, r := range w.ranks {
 		if r.place.Node == nf.Node && !r.dead {
@@ -82,6 +96,9 @@ func (w *World) failNode(nf fault.NodeFault) {
 		v.dead = true
 		w.deadRank[v.id] = true
 		w.lost = append(w.lost, v.id)
+		if w.cancelP2P {
+			w.deadAt[v.id] = nf.At
+		}
 	}
 	sort.Ints(w.lost)
 	w.deadNodes = append(w.deadNodes, nf.Node)
@@ -125,6 +142,10 @@ func (w *World) failNode(nf fault.NodeFault) {
 		if v.proc.Blocked() && v.collAlgo == "" {
 			v.proc.WakeAt(w.now())
 		}
+	}
+
+	if w.cancelP2P {
+		w.cancelOrphans(victims, nf.At)
 	}
 }
 

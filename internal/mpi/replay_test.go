@@ -1,0 +1,474 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+)
+
+// logPlan is a recovery plan with sender-based logging: node kills
+// cancel orphaned point-to-point traffic instead of deadlocking.
+func logPlan(node int, at sim.Time) *fault.Plan {
+	p := fault.NewPlan(1)
+	p.KillNode(node, at)
+	p.EnableRecovery()
+	p.EnableSenderLogging()
+	return p
+}
+
+// restartPlan additionally turns node kills into priced user-level
+// restarts (no rank leaves the job).
+func restartPlan(node int, at sim.Time) *fault.Plan {
+	p := logPlan(node, at)
+	p.EnableCkptRestart()
+	return p
+}
+
+// pairProg exchanges messages between ranks i and i^1: point-to-point
+// traffic with no collectives, so killing one node strands exactly its
+// partner.
+func pairProg(iters, bytes int) func(*Rank) {
+	return func(r *Rank) {
+		p := r.ID() ^ 1
+		if p >= r.Size() {
+			return
+		}
+		for i := 0; i < iters; i++ {
+			r.Advance(10 * sim.Microsecond)
+			if r.ID() < p {
+				r.Send(p, bytes, i)
+				r.Recv(p, i)
+			} else {
+				r.Recv(p, i)
+				r.Send(p, bytes, i)
+			}
+		}
+	}
+}
+
+// ringProg is a nearest-neighbor ring exchange (every rank talks to the
+// killed one's neighbors eventually), usable under restart=ckpt where
+// nobody dies.
+func ringProg(iters, bytes int) func(*Rank) {
+	return func(r *Rank) {
+		n := r.Size()
+		for i := 0; i < iters; i++ {
+			r.Advance(10 * sim.Microsecond)
+			r.Sendrecv((r.ID()+1)%n, bytes, 1, (r.ID()+n-1)%n, 1)
+		}
+	}
+}
+
+const killT = sim.Time(25 * sim.Microsecond)
+
+// cancelAtT is when cancellations land: death plus failure detection.
+func cancelAtT() sim.Time { return killT.Add(sim.Seconds(recoveryDetectS)) }
+
+func TestCancelEagerCompletes(t *testing.T) {
+	res, err := Execute(recoverCfg(t, 8, logPlan(3, killT)), pairProg(5, 512))
+	if err != nil {
+		t.Fatalf("run with p2p traffic to a killed rank did not complete: %v", err)
+	}
+	if len(res.Lost) != 1 || res.Lost[0] != 3 {
+		t.Fatalf("Lost = %v, want [3]", res.Lost)
+	}
+	if len(res.PeerLost) != 1 {
+		t.Fatalf("PeerLost = %v, want exactly the dead rank's partner", res.PeerLost)
+	}
+	pl := res.PeerLost[0]
+	if pl.Rank != 2 || pl.Peer != 3 || pl.Node != 3 {
+		t.Errorf("PeerLost = %+v, want rank 2 / peer 3 / node 3", pl)
+	}
+	if pl.At != cancelAtT() {
+		t.Errorf("cancellation at %v, want death + detection = %v", pl.At, cancelAtT())
+	}
+	if res.Net.Orphans == 0 {
+		t.Error("no orphaned messages recorded")
+	}
+}
+
+func TestCancelRendezvousCompletes(t *testing.T) {
+	// 200 kB is far past BG/P's eager limit: the partner's send to the
+	// dead rank takes the rendezvous NACK path.
+	res, err := Execute(recoverCfg(t, 8, logPlan(3, killT)), pairProg(5, 200_000))
+	if err != nil {
+		t.Fatalf("rendezvous run with killed rank did not complete: %v", err)
+	}
+	if len(res.PeerLost) != 1 || res.PeerLost[0].Rank != 2 {
+		t.Fatalf("PeerLost = %v, want rank 2", res.PeerLost)
+	}
+	if res.Net.Orphans == 0 {
+		t.Error("no orphaned messages recorded")
+	}
+}
+
+func TestCancelWakesBlockedReceiver(t *testing.T) {
+	// Rank 2 is already blocked on the future victim when the node
+	// dies: failNode's sweep must wake it at death + detection.
+	prog := func(r *Rank) {
+		switch r.ID() {
+		case 2:
+			r.Recv(3, 7)
+		case 3:
+			r.Advance(50 * sim.Microsecond) // dies mid-sleep, never sends
+			r.Send(2, 64, 7)
+		}
+	}
+	res, err := Execute(recoverCfg(t, 8, logPlan(3, killT)), prog)
+	if err != nil {
+		t.Fatalf("blocked receiver was not cancelled: %v", err)
+	}
+	if len(res.PeerLost) != 1 || res.PeerLost[0].Rank != 2 {
+		t.Fatalf("PeerLost = %v, want rank 2", res.PeerLost)
+	}
+	if got := sim.Time(res.RankElapsed[2]); got != cancelAtT() {
+		t.Errorf("rank 2 unwound at %v, want death + detection = %v", got, cancelAtT())
+	}
+}
+
+func TestCancelCompletesBlockedSender(t *testing.T) {
+	// Rank 2's rendezvous header sits in the victim's inbox when the
+	// node dies: the sweep completes the sender silently (the buffer is
+	// reusable, as after MPI_Cancel) at death + detection.
+	prog := func(r *Rank) {
+		switch r.ID() {
+		case 2:
+			r.Send(3, 200_000, 7) // rendezvous; 3 never posts the receive
+		case 3:
+			r.Advance(50 * sim.Microsecond)
+		}
+	}
+	res, err := Execute(recoverCfg(t, 8, logPlan(3, killT)), prog)
+	if err != nil {
+		t.Fatalf("blocked sender was not completed: %v", err)
+	}
+	if len(res.PeerLost) != 0 {
+		t.Fatalf("PeerLost = %v, want none (sends complete silently)", res.PeerLost)
+	}
+	if res.Net.Orphans == 0 {
+		t.Error("no orphaned messages recorded")
+	}
+	if got := sim.Time(res.RankElapsed[2]); got != cancelAtT() {
+		t.Errorf("rank 2 finished at %v, want death + detection = %v", got, cancelAtT())
+	}
+}
+
+func TestRecvErrReturnsTypedError(t *testing.T) {
+	// The error-aware API hands the cancellation to the program instead
+	// of unwinding the rank.
+	errs := make([]error, 8)
+	prog := func(r *Rank) {
+		switch r.ID() {
+		case 2:
+			_, errs[2] = r.RecvErr(3, 7)
+		case 3:
+			r.Advance(50 * sim.Microsecond)
+			r.Send(2, 64, 7) // unwinds at the send boundary instead
+		}
+	}
+	res, err := Execute(recoverCfg(t, 8, logPlan(3, killT)), prog)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	var pl *PeerLostError
+	if !errors.As(errs[2], &pl) {
+		t.Fatalf("RecvErr returned %v, want *PeerLostError", errs[2])
+	}
+	if pl.Rank != 2 || pl.Peer != 3 || pl.Node != 3 || pl.At != cancelAtT() {
+		t.Errorf("PeerLostError = %+v, want rank 2 / peer 3 / node 3 / at %v", pl, cancelAtT())
+	}
+	if len(res.PeerLost) != 0 {
+		t.Errorf("PeerLost = %v, want none (the program handled the error)", res.PeerLost)
+	}
+}
+
+func TestDeadlockNamesDeadRanks(t *testing.T) {
+	// Recovery without log=sender: a survivor waiting on a dead rank
+	// still deadlocks, and the error must name the dead ranks and the
+	// fix instead of just listing blocked processes.
+	plan := fault.NewPlan(1)
+	plan.KillNode(3, killT)
+	plan.EnableRecovery()
+	prog := func(r *Rank) {
+		switch r.ID() {
+		case 2:
+			r.Recv(3, 7)
+		case 3:
+			r.Advance(50 * sim.Microsecond)
+			r.Send(2, 64, 7)
+		}
+	}
+	_, err := Execute(recoverCfg(t, 8, plan), prog)
+	if err == nil {
+		t.Fatal("survivor waiting on a dead rank did not deadlock without log=sender")
+	}
+	var de *sim.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %T (%v), want *sim.DeadlockError", err, err)
+	}
+	if de.Note == "" {
+		t.Fatal("deadlock error carries no note about the dead ranks")
+	}
+	for _, want := range []string{"rank(s) [3]", "node(s) [3]", "log=sender"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("deadlock error %q does not mention %q", err.Error(), want)
+		}
+	}
+}
+
+func TestDeadlockWildcardHint(t *testing.T) {
+	// log=sender never cancels wildcard receives (a dead rank is
+	// indistinguishable from a slow one); the deadlock note must say so.
+	prog := func(r *Rank) {
+		switch r.ID() {
+		case 2:
+			r.Recv(AnySource, 7)
+		case 3:
+			r.Advance(50 * sim.Microsecond)
+			r.Send(2, 64, 7)
+		}
+	}
+	_, err := Execute(recoverCfg(t, 8, logPlan(3, killT)), prog)
+	if err == nil {
+		t.Fatal("unmatched wildcard receive did not deadlock")
+	}
+	if !strings.Contains(err.Error(), "AnySource") {
+		t.Errorf("deadlock error %q does not mention the wildcard limitation", err.Error())
+	}
+}
+
+func TestRestartCompletes(t *testing.T) {
+	healthy, err := Execute(recoverCfg(t, 8, nil), ringProg(5, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(recoverCfg(t, 8, restartPlan(3, killT)), ringProg(5, 2048))
+	if err != nil {
+		t.Fatalf("restart run did not complete: %v", err)
+	}
+	if len(res.Lost) != 0 || len(res.PeerLost) != 0 {
+		t.Fatalf("restart mode lost ranks: Lost=%v PeerLost=%v", res.Lost, res.PeerLost)
+	}
+	if res.Net.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", res.Net.Restarts)
+	}
+	if res.Net.RestartTime <= 0 {
+		t.Error("restart charged no time")
+	}
+	if res.Net.Replays == 0 || res.Net.ReplayBytes == 0 || res.Net.ReplayTime <= 0 {
+		t.Errorf("no sender-log replay recorded: replays=%d bytes=%d time=%v",
+			res.Net.Replays, res.Net.ReplayBytes, res.Net.ReplayTime)
+	}
+	// Replayed-never-faster: a run that restarts cannot beat the
+	// healthy run.
+	if res.Elapsed <= healthy.Elapsed {
+		t.Errorf("restarted run (%v) not slower than healthy run (%v)", res.Elapsed, healthy.Elapsed)
+	}
+}
+
+func TestRestartCommitShrinksCharge(t *testing.T) {
+	// A checkpoint commit before the kill bounds the rework: the
+	// committed run's restart must charge less than the uncommitted
+	// one's (small checkpoint, so the read-back cannot mask the saved
+	// rework).
+	prog := func(commit bool) func(*Rank) {
+		return func(r *Rank) {
+			n := r.Size()
+			for i := 0; i < 5; i++ {
+				r.Advance(10 * sim.Microsecond)
+				r.Sendrecv((r.ID()+1)%n, 2048, 1, (r.ID()+n-1)%n, 1)
+				if commit && i == 0 {
+					r.CommitCheckpoint(1000)
+				}
+			}
+		}
+	}
+	plain, err := Execute(recoverCfg(t, 8, restartPlan(3, killT)), prog(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := Execute(recoverCfg(t, 8, restartPlan(3, killT)), prog(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed.Net.RestartTime >= plain.Net.RestartTime {
+		t.Errorf("committed run charged %v, uncommitted %v: commit did not shrink the restart",
+			committed.Net.RestartTime, plain.Net.RestartTime)
+	}
+}
+
+func TestValidateFaultsCombos(t *testing.T) {
+	// API-assembled plans must obey the same combination rules as
+	// fault.ParseSpec's Build.
+	bad := fault.NewPlan(1)
+	bad.EnableSenderLogging() // no recovery
+	if _, err := Execute(recoverCfg(t, 8, bad), func(*Rank) {}); err == nil {
+		t.Error("log=sender without recovery was accepted")
+	}
+	bad2 := fault.NewPlan(1)
+	bad2.EnableRecovery()
+	bad2.EnableCkptRestart() // no sender logging
+	if _, err := Execute(recoverCfg(t, 8, bad2), func(*Rank) {}); err == nil {
+		t.Error("restart=ckpt without log=sender was accepted")
+	}
+}
+
+// crossPairProg pairs rank i with rank (i + n/2) % n — partners always
+// live in different shard slabs, so every exchange (and every orphan
+// cancellation) crosses a shard boundary. Sizes alternate across the
+// eager/rendezvous switch.
+func crossPairProg(iters int) func(*Rank) {
+	return func(r *Rank) {
+		n := r.Size()
+		p := (r.ID() + n/2) % n
+		for i := 0; i < iters; i++ {
+			r.Advance(10 * sim.Microsecond)
+			bytes := 512
+			if i%2 == 1 {
+				bytes = 50_000
+			}
+			if r.ID() < p {
+				r.Send(p, bytes, i)
+				r.Recv(p, i)
+			} else {
+				r.Recv(p, i)
+				r.Send(p, bytes, i)
+			}
+		}
+	}
+}
+
+func TestShardEquivCancel(t *testing.T) {
+	// Node kill mid-superstep with point-to-point traffic crossing the
+	// shard boundary: cancellation must be byte-identical at shards
+	// 1/2/4/8 and agree with the serial kernel on all run values.
+	cfg := analyticConfig(16, machine.SMP)
+	cfg.Faults = logPlan(5, killT)
+	checkEquiv(t, cfg, crossPairProg(5), 2, 4, 8)
+}
+
+func TestShardEquivRestart(t *testing.T) {
+	cfg := analyticConfig(16, machine.SMP)
+	cfg.Faults = restartPlan(5, killT)
+	prog := func(r *Rank) {
+		n := r.Size()
+		for i := 0; i < 5; i++ {
+			r.Advance(10 * sim.Microsecond)
+			bytes := 1000 + 100*r.ID() // distinct sizes: replay order observable
+			r.Sendrecv((r.ID()+1)%n, bytes, 1, (r.ID()+n-1)%n, 1)
+			if i == 2 {
+				r.CommitCheckpoint(4096)
+			}
+		}
+	}
+	checkEquiv(t, cfg, prog, 2, 4, 8)
+}
+
+func TestReplayMutationGuardCaught(t *testing.T) {
+	// The replay queue's canonical (creator rank, stamp) order must be
+	// something the determinism snapshots can actually see: reversing
+	// it (replayMutateOrder) has to change the observable streams, or
+	// the ordering tests are theater. Two senders with different sizes
+	// log messages to the victim, so the reversed queue re-times the
+	// replay events.
+	cfg := analyticConfig(16, machine.SMP)
+	cfg.Faults = restartPlan(5, killT)
+	prog := func(r *Rank) {
+		switch r.ID() {
+		case 2:
+			r.Send(5, 1000, 1)
+		case 13:
+			r.Send(5, 3000, 1)
+		case 5:
+			r.Recv(2, 1)
+			r.Recv(13, 1)
+			r.Advance(50 * sim.Microsecond)
+			r.Advance(10 * sim.Microsecond) // boundary after the kill: floor applies
+		}
+	}
+	want := takeSnapshot(t, cfg, 1, prog)
+	if want.err != "" {
+		t.Fatalf("baseline: %v", want.err)
+	}
+	checkEquivSharded(t, cfg, prog, want, 4)
+	if t.Failed() {
+		t.Fatal("canonical replay already diverges; mutation guard is meaningless")
+	}
+
+	replayMutateOrder = true
+	defer func() { replayMutateOrder = false }()
+	mut := takeSnapshot(t, cfg, 1, prog)
+	if mut.err != "" {
+		t.Fatalf("mutated run failed outright: %v", mut.err)
+	}
+	if snapshotsEqual(want, mut) {
+		t.Error("replay queue reversed, yet the run snapshot is unchanged: the determinism tests cannot catch replay-order bugs")
+	}
+}
+
+func TestP2PLoggingOffNoExtraAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	// The sender-log append hides behind one bool: with logging off, a
+	// recovery-enabled run must allocate exactly what a plain run does
+	// on the p2p path.
+	cfg := func(plan *fault.Plan) Config {
+		return analyticConfig(8, machine.SMP).withFaults(plan)
+	}
+	prog := pairProg(50, 512)
+	run := func(plan *fault.Plan) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Execute(cfg(plan), prog); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := run(nil)
+	rec := fault.NewPlan(1)
+	rec.EnableRecovery()
+	withRecovery := run(rec)
+	// Recovery mode itself allocates fixed bookkeeping (dead-rank map);
+	// the per-message budget must not move: allow only a tiny constant
+	// delta, far below one alloc per message (500 sends in the run).
+	if diff := withRecovery - base; diff > 16 {
+		t.Errorf("recovery-without-logging run allocates %v more than plain (%v vs %v): the p2p hot path grew",
+			diff, withRecovery, base)
+	}
+}
+
+// withFaults returns a copy of the config with the plan installed.
+func (c Config) withFaults(p *fault.Plan) Config {
+	c.Faults = p
+	return c
+}
+
+func BenchmarkP2PLoggingOff(b *testing.B) {
+	cfg := analyticConfig(8, machine.SMP)
+	prog := pairProg(50, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(cfg, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkP2PLoggingOn(b *testing.B) {
+	plan := fault.NewPlan(1)
+	plan.EnableRecovery()
+	plan.EnableSenderLogging()
+	cfg := analyticConfig(8, machine.SMP)
+	cfg.Faults = plan
+	prog := pairProg(50, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(cfg, prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

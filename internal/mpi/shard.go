@@ -302,7 +302,7 @@ loop:
 		totalLive += sh.k.Live()
 	}
 	if totalLive > 0 {
-		return nil, w.mergedDeadlock()
+		return nil, w.annotateDeadlock(w.mergedDeadlock())
 	}
 
 	res := w.buildResult(finish)

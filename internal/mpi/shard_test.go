@@ -70,9 +70,10 @@ func statString(s network.Stats) string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := fmt.Sprintf("msgs=%d bytes=%d shm=%d tree=%d barrier=%d rec=%d rebuild=%d hwfb=%d rectime=%d",
+	out := fmt.Sprintf("msgs=%d bytes=%d shm=%d tree=%d barrier=%d rec=%d rebuild=%d hwfb=%d rectime=%d orph=%d rst=%d rpl=%d rplb=%d rplt=%d rstt=%d",
 		s.Messages, s.Bytes, s.ShmMsgs, s.TreeOps, s.BarrierOps,
-		s.Recoveries, s.TreeRebuilds, s.HWFallbacks, s.RecoveryTime)
+		s.Recoveries, s.TreeRebuilds, s.HWFallbacks, s.RecoveryTime,
+		s.Orphans, s.Restarts, s.Replays, s.ReplayBytes, s.ReplayTime, s.RestartTime)
 	for _, k := range keys {
 		c := s.Collectives[k]
 		out += fmt.Sprintf(" %s{%d,%d,%d}", k, c.Ops, c.Messages, c.Bytes)

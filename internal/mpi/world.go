@@ -83,6 +83,18 @@ type Config struct {
 	// compute-block stretching). Nil reproduces the healthy machine
 	// byte for byte.
 	Faults *fault.Plan
+
+	// RestartRead, when non-nil, prices reading a rank's last committed
+	// checkpoint back during a user-level restart (fault plans with
+	// restart=ckpt): it is called with the restart time, the restarting
+	// torus node, and the committed byte count, and returns the read
+	// duration. internal/ckpt wires its stateful I/O model in here; nil
+	// charges a flat stream at a default bandwidth (replay.go).
+	RestartRead func(at sim.Time, node int, bytes float64) sim.Duration
+
+	// RestartReboot overrides the reboot-and-relaunch time charged per
+	// user-level restart. Zero uses the built-in default (replay.go).
+	RestartReboot sim.Duration
 }
 
 // World is a configured partition ready to execute one program.
@@ -115,6 +127,18 @@ type World struct {
 	deadRank  map[int]bool
 	deadNodes []int
 	lost      []int // dead world ranks, sorted
+
+	// Message-logging / replay state (replay.go). Exactly one of
+	// cancelP2P and restartP2P can be set: log=sender alone cancels
+	// orphaned point-to-point traffic at detection time; with
+	// restart=ckpt, node kills become priced user-level restarts and no
+	// rank leaves the job. deadAt (cancel mode) records each dead
+	// rank's death time for the detection charge; restarts counts
+	// restartNode invocations.
+	cancelP2P  bool
+	restartP2P bool
+	deadAt     map[int]sim.Time
+	restarts   int
 
 	gates map[string]*gate
 	ran   bool
@@ -218,6 +242,14 @@ func NewWorld(cfg Config) (*World, error) {
 		if cfg.Faults.Recover() {
 			w.recovery = true
 			w.deadRank = make(map[int]bool)
+			if cfg.Faults.LogSender() {
+				if cfg.Faults.RestartCkpt() {
+					w.restartP2P = true
+				} else {
+					w.cancelP2P = true
+					w.deadAt = make(map[int]sim.Time)
+				}
+			}
 		}
 	}
 	w.treeOK = true
@@ -276,6 +308,12 @@ type Result struct {
 	// transparent recovery, sorted (empty on healthy or fail-stop
 	// runs). A lost rank's RankElapsed entry is when it unwound.
 	Lost []int
+	// PeerLost lists, in rank order, the surviving ranks whose plain
+	// (error-unaware) point-to-point waits were cancelled on a dead
+	// peer under a fault plan with log=sender; each entry carries the
+	// peer and the cancellation time. Programs using WaitErr/RecvErr
+	// handle the error themselves and do not appear here.
+	PeerLost []*PeerLostError
 	// Shards is the number of event loops the run actually used: the
 	// effective shard count after eligibility clamping (1 for serial
 	// runs and for configurations that cannot shard).
@@ -369,7 +407,7 @@ func (w *World) Run(program func(*Rank)) (*Result, error) {
 		w.spawnRank(w.kernel, r, program, finish)
 	}
 	if err := w.kernel.Run(); err != nil {
-		return nil, err
+		return nil, w.annotateDeadlock(err)
 	}
 	res := w.buildResult(finish)
 	res.Net = w.net.Stats()
@@ -427,6 +465,14 @@ func (w *World) spawnRank(k *sim.Kernel, r *Rank, program func(*Rank), finish []
 					finish[r.id] = sim.Duration(p.Now())
 					return
 				}
+				if _, cancelled := v.(peerLostPanic); cancelled {
+					// A survivor whose plain blocking wait was cancelled
+					// on a dead peer (log=sender): the error is already in
+					// r.peerLost for Result.PeerLost. No RankDone — the
+					// rank did not finish the program.
+					finish[r.id] = sim.Duration(p.Now())
+					return
+				}
 				panic(v)
 			}
 		}()
@@ -476,6 +522,11 @@ func (w *World) buildResult(finish []sim.Duration) *Result {
 	for _, d := range finish {
 		if d > res.Elapsed {
 			res.Elapsed = d
+		}
+	}
+	for _, r := range w.ranks {
+		if r.peerLost != nil {
+			res.PeerLost = append(res.PeerLost, r.peerLost)
 		}
 	}
 	for _, r := range w.ranks {

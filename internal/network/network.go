@@ -74,6 +74,22 @@ type Stats struct {
 	HWFallbacks  int64
 	RecoveryTime sim.Duration
 
+	// Message-logging counters (zero unless the fault plan enables
+	// log=sender). Orphans counts point-to-point operations cancelled
+	// on a dead peer plus messages that became undeliverable with it.
+	// Restarts counts user-level rank restarts (restart=ckpt);
+	// Replays/ReplayBytes count logged messages re-delivered during
+	// those restarts; ReplayTime is the simulated time spent
+	// re-injecting them, a component of RestartTime, the total restart
+	// latency charged (detection, reboot, checkpoint read-back, redone
+	// work, replay).
+	Orphans     int64
+	Restarts    int64
+	Replays     int64
+	ReplayBytes int64
+	ReplayTime  sim.Duration
+	RestartTime sim.Duration
+
 	// Collectives counts per-algorithm collective traffic, keyed by
 	// the algorithm's full name ("allreduce/ring"). Ops counts
 	// operation invocations; Messages/Bytes count the algorithm's
@@ -177,6 +193,32 @@ func (n *Net) RecordRecovery(d sim.Duration, rebuilt, demoted bool) {
 	if demoted {
 		n.stats.HWFallbacks++
 	}
+}
+
+// RecordOrphan accounts one cancelled point-to-point operation or
+// undeliverable message under sender-based logging without restart.
+func (n *Net) RecordOrphan() { n.stats.Orphans++ }
+
+// RecordRestart accounts one user-level rank restart: the total
+// latency charged to the restarting rank, the replay component of it,
+// and the logged messages replayed.
+func (n *Net) RecordRestart(total, replay sim.Duration, msgs int, bytes int64) {
+	n.stats.Restarts++
+	n.stats.RestartTime += total
+	n.stats.ReplayTime += replay
+	n.stats.Replays += int64(msgs)
+	n.stats.ReplayBytes += bytes
+}
+
+// ReplayCost prices re-injecting one logged message during a
+// sender-based replay: the sender's software overhead plus the wire
+// serialization at the effective injection bandwidth. Replay happens
+// on an otherwise idle restarting node, so no contention applies at
+// any fidelity — which also keeps the charge identical at every shard
+// count.
+func (n *Net) ReplayCost(bytes int) sim.Duration {
+	effBW := math.Min(n.mach.TorusLinkBW, n.mach.NICInjectBW)
+	return sim.Seconds(n.mach.SWLatency + float64(bytes)/effBW)
 }
 
 // TreeRecoverable reports whether the collective tree survives losing

@@ -52,6 +52,12 @@ func (s *Stats) Add(o Stats) {
 	s.TreeRebuilds += o.TreeRebuilds
 	s.HWFallbacks += o.HWFallbacks
 	s.RecoveryTime += o.RecoveryTime
+	s.Orphans += o.Orphans
+	s.Restarts += o.Restarts
+	s.Replays += o.Replays
+	s.ReplayBytes += o.ReplayBytes
+	s.ReplayTime += o.ReplayTime
+	s.RestartTime += o.RestartTime
 	if len(o.Collectives) > 0 && s.Collectives == nil {
 		s.Collectives = make(map[string]CollStats, len(o.Collectives))
 	}

@@ -227,8 +227,95 @@ func faults(o Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t7, err := replayTable()
+	if err != nil {
+		return nil, err
+	}
 
-	return []*stats.Table{t1, t2, t3, t4, t5, t6}, nil
+	return []*stats.Table{t1, t2, t3, t4, t5, t6, t7}, nil
+}
+
+// replayTable exercises the message-logging layer on a point-to-point
+// workload that transparent recovery alone cannot survive: rank pairs
+// exchanging across the eager/rendezvous switch while a node dies.
+// With log=sender the orphaned traffic is cancelled and the victim's
+// partner unwinds; with restart=ckpt the kill becomes a priced
+// user-level restart (reboot, checkpoint read-back, rework, replay of
+// the logged messages) and nobody leaves the job. The analytic
+// fidelity keeps the scenarios sharding-eligible, so this table is
+// part of the byte-identical -shards/-j smoke in `make check`.
+func replayTable() (*stats.Table, error) {
+	const nodes = 16
+	prog := func(r *mpi.Rank) {
+		p := r.ID() ^ 1
+		for i := 0; i < 6; i++ {
+			r.Advance(10 * sim.Microsecond)
+			bytes := 512
+			if i%2 == 1 {
+				bytes = 50 << 10
+			}
+			if r.ID() < p {
+				r.Send(p, bytes, i)
+				r.Recv(p, i)
+			} else {
+				r.Recv(p, i)
+				r.Send(p, bytes, i)
+			}
+			if i == 2 {
+				r.CommitCheckpoint(1 << 20)
+			}
+		}
+	}
+	run := func(spec string) (*mpi.Result, error) {
+		var plan *fault.Plan
+		if spec != "" {
+			p, _, err := fault.BuildForPartition(spec, machine.BGP, nodes)
+			if err != nil {
+				return nil, err
+			}
+			plan = p
+		}
+		cfg := mpi.Config{Machine: machine.Get(machine.BGP), Nodes: nodes,
+			Mode: machine.SMP, Fidelity: network.Analytic, Faults: plan}
+		return mpi.Execute(cfg, prog)
+	}
+	scenarios := []struct {
+		name string
+		spec string
+	}{
+		{"healthy", ""},
+		{"node 5 dies, orphans cancelled", fmt.Sprintf("seed=%d,recover,log=sender,kill=5@25us", faultSeed)},
+		{"node 5 dies, user-level restart", fmt.Sprintf("seed=%d,recover,log=sender,restart=ckpt,kill=5@25us", faultSeed)},
+	}
+
+	results := make([]*mpi.Result, len(scenarios))
+	var jobs []job
+	for i, sc := range scenarios {
+		i, sc := i, sc
+		jobs = append(jobs, job{
+			run:    func() (any, error) { return run(sc.spec) },
+			commit: func(v any) { results[i] = v.(*mpi.Result) },
+		})
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Message logging and sender-based replay (BG/P, %d nodes, pair exchange, seed %d)", nodes, faultSeed),
+		"Scenario", "Elapsed (us)", "Lost", "Peer-lost", "Orphans", "Restarts", "Replays", "Replay (B)", "Restart (us)")
+	for i, sc := range scenarios {
+		r := results[i]
+		t.AddRow(sc.name, stats.FormatG(r.Elapsed.Microseconds()),
+			strconv.Itoa(len(r.Lost)),
+			strconv.Itoa(len(r.PeerLost)),
+			strconv.FormatInt(r.Net.Orphans, 10),
+			strconv.FormatInt(r.Net.Restarts, 10),
+			strconv.FormatInt(r.Net.Replays, 10),
+			strconv.FormatInt(r.Net.ReplayBytes, 10),
+			stats.FormatG(r.Net.RestartTime.Microseconds()))
+	}
+	return t, nil
 }
 
 // recoveryTable runs the same collective loop under transparent

@@ -45,8 +45,8 @@ func TestFaultsTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 6 {
-		t.Fatalf("got %d tables, want 6", len(tables))
+	if len(tables) != 7 {
+		t.Fatalf("got %d tables, want 7", len(tables))
 	}
 
 	// The healthy row of the link table is the baseline: slowdown 1.
@@ -140,5 +140,25 @@ func TestFaultsTables(t *testing.T) {
 		if ratio < 0.8 || ratio > 1.8 {
 			t.Errorf("row %v: simulated/Daly ratio %g outside [0.8, 1.8]", row, ratio)
 		}
+	}
+
+	// Replay table: healthy loses nobody; orphan cancellation loses the
+	// victim and exactly one partner (with orphans counted); user-level
+	// restart loses nobody, replays logged bytes, and charges time.
+	rp := tables[6]
+	if got := cell(rp.Rows[0], 2) + cell(rp.Rows[0], 3) + cell(rp.Rows[0], 4); got != "000" {
+		t.Errorf("healthy replay row has losses/orphans: %v", rp.Rows[0])
+	}
+	if cell(rp.Rows[1], 2) != "1" || cell(rp.Rows[1], 3) != "1" {
+		t.Errorf("cancel row %v: want 1 lost rank and 1 peer-lost partner", rp.Rows[1])
+	}
+	if cell(rp.Rows[1], 4) == "0" {
+		t.Errorf("cancel row %v: no orphans recorded", rp.Rows[1])
+	}
+	if cell(rp.Rows[2], 2) != "0" || cell(rp.Rows[2], 3) != "0" {
+		t.Errorf("restart row %v: user-level restart must lose nobody", rp.Rows[2])
+	}
+	if cell(rp.Rows[2], 5) != "1" || cell(rp.Rows[2], 7) == "0" || cell(rp.Rows[2], 8) == "0" {
+		t.Errorf("restart row %v: want 1 restart with replayed bytes and charged time", rp.Rows[2])
 	}
 }

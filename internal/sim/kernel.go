@@ -308,6 +308,11 @@ func (b BlockedProc) String() string {
 type DeadlockError struct {
 	Time    Time // when the last event fired (the queue-drain time)
 	Blocked []BlockedProc
+	// Note is optional context a higher layer appends to the report —
+	// the MPI fault layer uses it to name the dead ranks the blocked
+	// processes are most likely waiting on. Empty when no layer had
+	// anything to add.
+	Note string
 }
 
 func (e *DeadlockError) Error() string {
@@ -315,8 +320,12 @@ func (e *DeadlockError) Error() string {
 	for i, b := range e.Blocked {
 		descs[i] = b.String()
 	}
-	return fmt.Sprintf("sim: deadlock: last event at %v, %d process(es) blocked: %s",
+	s := fmt.Sprintf("sim: deadlock: last event at %v, %d process(es) blocked: %s",
 		e.Time, len(e.Blocked), strings.Join(descs, "; "))
+	if e.Note != "" {
+		s += " [" + e.Note + "]"
+	}
+	return s
 }
 
 // PanicError reports a process body that panicked. The kernel recovers

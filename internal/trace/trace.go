@@ -23,6 +23,13 @@ const (
 	Match
 	CollEnter
 	CollExit
+	// Fault marks a fault-layer action on a rank's timeline: a
+	// user-level restart ("rank-restart"), one logged message replayed
+	// into the restarting rank ("p2p-replay"), or a point-to-point
+	// operation cancelled on a dead peer ("p2p-orphan"). Label names
+	// the action; Peer and Bytes carry the peer rank and payload size
+	// where applicable.
+	Fault
 )
 
 // String names the kind.
@@ -38,6 +45,8 @@ func (k Kind) String() string {
 		return "coll-enter"
 	case CollExit:
 		return "coll-exit"
+	case Fault:
+		return "fault"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -191,6 +200,9 @@ func (b *Buffer) Dump(w io.Writer) error {
 		case RecvPost, Match:
 			_, err = fmt.Fprintf(w, "%.9fs rank %d %s <- %d  tag %d\n",
 				e.T.Seconds(), e.Rank, e.Kind, e.Peer, e.Tag)
+		case Fault:
+			_, err = fmt.Fprintf(w, "%.9fs rank %d %s %s peer %d  %d bytes\n",
+				e.T.Seconds(), e.Rank, e.Kind, e.Label, e.Peer, e.Bytes)
 		default:
 			if e.Algo != "" {
 				_, err = fmt.Fprintf(w, "%.9fs rank %d %s %s [%s]\n",

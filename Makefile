@@ -25,7 +25,7 @@ check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race -timeout 20m ./...
-	$(GO) test -run 'Fuzz' ./internal/topology/ ./internal/mpi/ ./internal/fault/ ./internal/fault/conformance/
+	$(GO) test -run 'Fuzz' ./internal/topology/ ./internal/mpi/ ./internal/fault/ ./internal/fault/conformance/ ./internal/alloc/ ./internal/facility/
 	$(MAKE) cover
 	@# Chaos smoke: the faults experiment (including the log=sender /
 	@# restart=ckpt replay table) must print byte-identical output at
@@ -46,6 +46,14 @@ check:
 	@cmp /tmp/bgpsim-check-s1.txt /tmp/bgpsim-check-s4.txt || \
 		{ echo "check: paper -exp profile differs between -shards 1 and -shards 4"; exit 1; }
 	@rm -f /tmp/bgpsim-check-s1.txt /tmp/bgpsim-check-s4.txt
+	@# Facility smoke: the multi-job facility loop (many concurrent
+	@# partition-scoped simulations + a rack blast across jobs) must
+	@# print byte-identical output at any worker and shard count.
+	$(GO) run ./cmd/paper -exp facility -j 1 > /tmp/bgpsim-check-fac1.txt
+	$(GO) run ./cmd/paper -exp facility -j 4 -shards 4 > /tmp/bgpsim-check-fac4.txt
+	@cmp /tmp/bgpsim-check-fac1.txt /tmp/bgpsim-check-fac4.txt || \
+		{ echo "check: paper -exp facility differs between -j 1 and -j 4 -shards 4"; exit 1; }
+	@rm -f /tmp/bgpsim-check-fac1.txt /tmp/bgpsim-check-fac4.txt
 
 # Kernel hot-path benchmarks. BENCH_kernel.json (test2json stream, one
 # object per line) records the perf trajectory so future PRs can diff
@@ -91,7 +99,7 @@ examples:
 # observability contracts lean on (fault injection, the MPI layer, the
 # probes) must not silently lose their tests. Floors sit ~5 points
 # below measured coverage; raise them as the suites grow.
-COVER_FLOORS = bgpsim/internal/fault:86 bgpsim/internal/mpi:83 bgpsim/internal/obs:65
+COVER_FLOORS = bgpsim/internal/fault:86 bgpsim/internal/mpi:83 bgpsim/internal/obs:65 bgpsim/internal/alloc:89 bgpsim/internal/facility:85
 
 cover:
 	@$(GO) test -cover ./... | awk -v floors="$(COVER_FLOORS)" ' \

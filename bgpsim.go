@@ -51,6 +51,17 @@ type (
 	Duration = sim.Duration
 	// Mapping is a BlueGene process-to-processor mapping.
 	Mapping = topology.Mapping
+	// Partition is a job-visible view of a subset of a machine torus:
+	// an isolated BlueGene-style sub-torus prism or an XT-style
+	// scattered node set (Config.Partition, WithPartition).
+	Partition = topology.Partition
+	// Torus is a 3-D torus node space (the parent a Partition is
+	// carved from).
+	Torus = topology.Torus
+	// Dims is a 3-D torus shape.
+	Dims = topology.Dims
+	// Coord is a 3-D torus coordinate.
+	Coord = topology.Coord
 	// Mode is a node execution mode (SMP, DUAL, VN).
 	Mode = machine.Mode
 	// KernelClass categorizes compute blocks for the roofline model.
@@ -148,3 +159,23 @@ func RunReport(site Site, mode Mode, ranks int, program func(*Rank)) (*Report, *
 
 // Seconds converts float seconds to a Duration.
 func Seconds(s float64) Duration { return sim.Seconds(s) }
+
+// NewTorus builds a torus over the given shape; use it as the parent
+// machine node space when carving partitions.
+func NewTorus(d Dims) *Torus { return topology.NewTorus(d) }
+
+// DimsForNodes returns the most-cubic 3-D shape with the given node
+// count (the shape the machine catalog would give a whole machine).
+func DimsForNodes(nodes int) Dims { return topology.DimsForNodes(nodes) }
+
+// NewPrismPartition carves an isolated rectangular sub-torus out of
+// parent — a BlueGene-style electrically partitioned job block.
+func NewPrismPartition(parent *Torus, origin Coord, shape Dims, isolated bool) (*Partition, error) {
+	return topology.NewPrismPartition(parent, origin, shape, isolated)
+}
+
+// NewScatteredPartition wraps an arbitrary node set — an XT-style
+// fragmented allocation whose internal routes cross other jobs' nodes.
+func NewScatteredPartition(parent *Torus, nodes []int) (*Partition, error) {
+	return topology.NewScatteredPartition(parent, nodes)
+}

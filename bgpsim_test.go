@@ -82,3 +82,41 @@ func TestDeadlockSurfaced(t *testing.T) {
 		t.Fatal("deadlock not reported through public API")
 	}
 }
+
+// TestPublicPartitionAPI: the partition surface — carving a prism and
+// a scattered view out of a machine torus and running on each. The
+// isolated prism is never slower than the same program on a scattered
+// allocation of equal size, whose internal routes cross foreign nodes.
+func TestPublicPartitionAPI(t *testing.T) {
+	parent := bgpsim.NewTorus(bgpsim.DimsForNodes(64))
+	ring := func(r *bgpsim.Rank) {
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() - 1 + r.Size()) % r.Size()
+		for k := 0; k < 4; k++ {
+			r.Sendrecv(right, 64<<10, k, left, k)
+		}
+	}
+	elapsed := func(p *bgpsim.Partition) bgpsim.Duration {
+		cfg := bgpsim.NewSystem(bgpsim.BGP, bgpsim.SMP, 8, bgpsim.WithPartition(p))
+		res, err := bgpsim.Run(cfg, ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+
+	prism, err := bgpsim.NewPrismPartition(parent, bgpsim.Coord{0, 0, 0}, bgpsim.Dims{2, 2, 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scattered, err := bgpsim.NewScatteredPartition(parent, []int{0, 8, 16, 24, 32, 40, 48, 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scattered.ExternalRouteShare() <= 0 {
+		t.Fatalf("scattered partition reports external share %v, want > 0", scattered.ExternalRouteShare())
+	}
+	if iso, sc := elapsed(prism), elapsed(scattered); sc < iso {
+		t.Errorf("scattered ring (%v) beat the isolated prism (%v)", sc, iso)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDefaultSpec: the built-in demo runs, reports every section,
+// and its blast note names at least one hit job.
+func TestRunDefaultSpec(t *testing.T) {
+	var b strings.Builder
+	if err := run(defaultSpec, 0, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"utilization", "jobs", "blasts", "blast at", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunBadSpec: parse errors surface instead of panicking.
+func TestRunBadSpec(t *testing.T) {
+	var b strings.Builder
+	err := run("cohort=unknown:8:1", 0, &b)
+	if err == nil || !strings.Contains(err.Error(), "unknown skeleton") {
+		t.Fatalf("want unknown-skeleton error, got %v", err)
+	}
+}
+
+// TestRunDeterministicAcrossShards: the CLI's full output (report +
+// notes) is byte-identical with and without kernel sharding.
+func TestRunDeterministicAcrossShards(t *testing.T) {
+	spec := "seed=9,nodes=64,jobs=5,phase=0s:1500ms," +
+		"cohort=halo:8:1:15s:400:restart,blast=4s/0/1/0/0/0.7"
+	var plain, sharded strings.Builder
+	if err := run(spec, 0, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(spec, 4, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != sharded.String() {
+		t.Fatalf("output differs across shard counts:\n--- shards=0 ---\n%s\n--- shards=4 ---\n%s",
+			plain.String(), sharded.String())
+	}
+}

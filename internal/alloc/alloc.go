@@ -11,7 +11,10 @@
 //     susceptible to fragmentation").
 //
 // The Spread and ExternalRouteFraction metrics quantify the effect and
-// back the machine catalog's BisectionDerate calibration.
+// back the machine catalog's BisectionDerate calibration. The facility
+// layer (internal/facility) drives these allocators as the placement
+// stage of its batch scheduler and converts the resulting Jobs into
+// topology.Partition views for per-job simulation.
 package alloc
 
 import (
@@ -21,20 +24,105 @@ import (
 	"bgpsim/internal/topology"
 )
 
-// Job is an allocated node set.
+// Job is an allocated node set. BG jobs additionally record the prism
+// they occupy so they can be re-exposed as isolated sub-torus views.
 type Job struct {
 	ID    int
 	Nodes []int
+	// Rect marks a contiguous rectangular allocation; Origin and Shape
+	// describe the prism (BGAllocator sets them, XTAllocator never
+	// does).
+	Rect   bool
+	Origin topology.Coord
+	Shape  topology.Dims
+}
+
+// Partition exposes the job's node set as a topology.Partition view on
+// its torus: rectangular jobs become prism partitions (isolated when
+// requested — the BlueGene electrical-partition model), scattered jobs
+// become shared scattered partitions whose LinkShare prices the
+// external-route interference.
+func (j *Job) Partition(t *topology.Torus, isolated bool) (*topology.Partition, error) {
+	if j.Rect {
+		return topology.NewPrismPartition(t, j.Origin, j.Shape, isolated)
+	}
+	return topology.NewScatteredPartition(t, j.Nodes)
 }
 
 // Allocator places jobs on a torus.
 type Allocator interface {
 	// Alloc returns a job of n nodes, or an error if it cannot fit.
 	Alloc(n int) (*Job, error)
-	// Free returns a job's nodes.
+	// Free returns a job's nodes. It panics on a double free or on a
+	// job that does not own its nodes — allocator state corruption is
+	// a programming error, not a recoverable condition.
 	Free(*Job)
 	// FreeNodes reports how many nodes are idle.
 	FreeNodes() int
+	// Reserve permanently removes idle nodes from circulation (dead
+	// hardware after a blast). Reserving a node owned by a live job is
+	// an error; reserving an already-reserved node is a no-op.
+	Reserve(nodes []int) error
+	// Frag reports free-space fragmentation in [0, 1): the fraction of
+	// idle nodes NOT reachable by the largest single allocation the
+	// policy could place right now. 0 means one job could take every
+	// idle node.
+	Frag() float64
+}
+
+// Node-ownership states shared by both allocators: the owner slice
+// holds ownerFree, ownerReserved, or the owning job's positive ID.
+const (
+	ownerFree     = 0
+	ownerReserved = -1
+)
+
+func countFree(owner []int) int {
+	n := 0
+	for _, o := range owner {
+		if o == ownerFree {
+			n++
+		}
+	}
+	return n
+}
+
+func markOwned(owner []int, j *Job) {
+	for _, id := range j.Nodes {
+		owner[id] = j.ID
+	}
+}
+
+// freeJob releases a job's nodes, panicking on double frees and on
+// nodes the job does not own.
+func freeJob(owner []int, j *Job) {
+	if len(j.Nodes) == 0 {
+		panic(fmt.Sprintf("alloc: double free of job %d", j.ID))
+	}
+	for _, id := range j.Nodes {
+		if owner[id] != j.ID {
+			panic(fmt.Sprintf("alloc: job %d frees node %d owned by %d", j.ID, id, owner[id]))
+		}
+	}
+	for _, id := range j.Nodes {
+		owner[id] = ownerFree
+	}
+	j.Nodes = nil
+}
+
+func reserveNodes(owner []int, nodes []int) error {
+	for _, id := range nodes {
+		if id < 0 || id >= len(owner) {
+			return fmt.Errorf("alloc: reserve node %d out of range", id)
+		}
+		if owner[id] > 0 {
+			return fmt.Errorf("alloc: reserve node %d still owned by job %d", id, owner[id])
+		}
+	}
+	for _, id := range nodes {
+		owner[id] = ownerReserved
+	}
+	return nil
 }
 
 // --- BlueGene-style partition allocator ---
@@ -44,25 +132,20 @@ type Allocator interface {
 // to the next power of two.
 type BGAllocator struct {
 	torus *topology.Torus
-	busy  []bool
+	owner []int
 	next  int
 }
 
 // NewBGAllocator builds a partition allocator over a torus.
 func NewBGAllocator(t *topology.Torus) *BGAllocator {
-	return &BGAllocator{torus: t, busy: make([]bool, t.Dims.Nodes())}
+	return &BGAllocator{torus: t, owner: make([]int, t.Dims.Nodes())}
 }
 
 // FreeNodes reports idle nodes.
-func (a *BGAllocator) FreeNodes() int {
-	n := 0
-	for _, b := range a.busy {
-		if !b {
-			n++
-		}
-	}
-	return n
-}
+func (a *BGAllocator) FreeNodes() int { return countFree(a.owner) }
+
+// Reserve removes idle nodes from circulation (dead hardware).
+func (a *BGAllocator) Reserve(nodes []int) error { return reserveNodes(a.owner, nodes) }
 
 // Alloc finds a free rectangular prism of at least n nodes (rounded to
 // a power of two) aligned to its own size — the partition blocks real
@@ -84,6 +167,7 @@ func (a *BGAllocator) Alloc(n int) (*Job, error) {
 					if job := a.tryPrism(x, y, z, shape); job != nil {
 						a.next++
 						job.ID = a.next
+						markOwned(a.owner, job)
 						return job, nil
 					}
 				}
@@ -99,17 +183,60 @@ func (a *BGAllocator) tryPrism(x0, y0, z0 int, s topology.Dims) *Job {
 		for y := y0; y < y0+s[1]; y++ {
 			for x := x0; x < x0+s[0]; x++ {
 				id := a.torus.NodeAt(topology.Coord{x, y, z})
-				if a.busy[id] {
+				if a.owner[id] != ownerFree {
 					return nil
 				}
 				nodes = append(nodes, id)
 			}
 		}
 	}
-	for _, id := range nodes {
-		a.busy[id] = true
+	return &Job{Nodes: nodes, Rect: true, Origin: topology.Coord{x0, y0, z0}, Shape: s}
+}
+
+// Free releases a partition.
+func (a *BGAllocator) Free(j *Job) { freeJob(a.owner, j) }
+
+// Frag reports the fraction of idle nodes outside the largest
+// power-of-two partition the allocator could still place: BlueGene
+// fragmentation is spatial — plenty of free nodes can coexist with no
+// free aligned prism of useful size.
+func (a *BGAllocator) Frag() float64 {
+	free := a.FreeNodes()
+	if free == 0 {
+		return 0
 	}
-	return &Job{Nodes: nodes}
+	size := 1
+	for size*2 <= free {
+		size *= 2
+	}
+	dims := a.torus.Dims
+	for ; size >= 1; size /= 2 {
+		for _, shape := range prismShapes(size, dims) {
+			for z := 0; z+shape[2] <= dims[2]; z += shape[2] {
+				for y := 0; y+shape[1] <= dims[1]; y += shape[1] {
+					for x := 0; x+shape[0] <= dims[0]; x += shape[0] {
+						if a.prismFree(x, y, z, shape) {
+							return 1 - float64(size)/float64(free)
+						}
+					}
+				}
+			}
+		}
+	}
+	return 1
+}
+
+func (a *BGAllocator) prismFree(x0, y0, z0 int, s topology.Dims) bool {
+	for z := z0; z < z0+s[2]; z++ {
+		for y := y0; y < y0+s[1]; y++ {
+			for x := x0; x < x0+s[0]; x++ {
+				if a.owner[a.torus.NodeAt(topology.Coord{x, y, z})] != ownerFree {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // prismShapes enumerates power-of-two prisms of the given volume that
@@ -145,25 +272,20 @@ func score(d topology.Dims) int { return d[0]*d[1] + d[1]*d[2] + d[0]*d[2] }
 // scheduling churn.
 type XTAllocator struct {
 	torus *topology.Torus
-	busy  []bool
+	owner []int
 	next  int
 }
 
 // NewXTAllocator builds a free-list allocator over a torus.
 func NewXTAllocator(t *topology.Torus) *XTAllocator {
-	return &XTAllocator{torus: t, busy: make([]bool, t.Dims.Nodes())}
+	return &XTAllocator{torus: t, owner: make([]int, t.Dims.Nodes())}
 }
 
 // FreeNodes reports idle nodes.
-func (a *XTAllocator) FreeNodes() int {
-	n := 0
-	for _, b := range a.busy {
-		if !b {
-			n++
-		}
-	}
-	return n
-}
+func (a *XTAllocator) FreeNodes() int { return countFree(a.owner) }
+
+// Reserve removes idle nodes from circulation (dead hardware).
+func (a *XTAllocator) Reserve(nodes []int) error { return reserveNodes(a.owner, nodes) }
 
 // Alloc takes the first n free nodes.
 func (a *XTAllocator) Alloc(n int) (*Job, error) {
@@ -171,32 +293,43 @@ func (a *XTAllocator) Alloc(n int) (*Job, error) {
 		return nil, fmt.Errorf("alloc: bad size %d", n)
 	}
 	var nodes []int
-	for id := 0; id < len(a.busy) && len(nodes) < n; id++ {
-		if !a.busy[id] {
+	for id := 0; id < len(a.owner) && len(nodes) < n; id++ {
+		if a.owner[id] == ownerFree {
 			nodes = append(nodes, id)
 		}
 	}
 	if len(nodes) < n {
 		return nil, fmt.Errorf("alloc: only %d of %d nodes free", len(nodes), n)
 	}
-	for _, id := range nodes {
-		a.busy[id] = true
-	}
 	a.next++
-	return &Job{ID: a.next, Nodes: nodes}, nil
+	job := &Job{ID: a.next, Nodes: nodes}
+	markOwned(a.owner, job)
+	return job, nil
 }
 
-// Free releases a job (shared by both allocators via the busy slice).
-func (a *XTAllocator) Free(j *Job) { freeNodes(a.busy, j) }
+// Free releases a job.
+func (a *XTAllocator) Free(j *Job) { freeJob(a.owner, j) }
 
-// Free releases a partition.
-func (a *BGAllocator) Free(j *Job) { freeNodes(a.busy, j) }
-
-func freeNodes(busy []bool, j *Job) {
-	for _, id := range j.Nodes {
-		busy[id] = false
+// Frag reports the fraction of idle nodes outside the longest
+// contiguous free run in node-id order: the linear-scan policy's
+// fragmentation is exactly how broken-up its free list is.
+func (a *XTAllocator) Frag() float64 {
+	free, run, best := 0, 0, 0
+	for _, o := range a.owner {
+		if o == ownerFree {
+			free++
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
 	}
-	j.Nodes = nil
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(best)/float64(free)
 }
 
 // --- Placement-quality metrics ---
@@ -218,36 +351,18 @@ func Spread(t *topology.Torus, job *Job) float64 {
 
 // ExternalRouteFraction returns the fraction of hops on the job's
 // internal routes that pass through nodes NOT belonging to the job —
-// links there are shared with other jobs' traffic.
+// links there are shared with other jobs' traffic. It is the same
+// metric as topology.(*Partition).ExternalRouteShare on a shared
+// scattered view of the job's nodes.
 func ExternalRouteFraction(t *topology.Torus, job *Job) float64 {
-	member := make(map[int]bool, len(job.Nodes))
-	for _, id := range job.Nodes {
-		member[id] = true
-	}
-	total, external := 0, 0
-	// Sample pairs: all pairs is O(n^2 * diameter); use a strided
-	// deterministic sample for large jobs.
-	stride := 1
-	if len(job.Nodes) > 150 {
-		stride = len(job.Nodes) / 64
-	}
-	for i := 0; i < len(job.Nodes); i += stride {
-		for j := 0; j < len(job.Nodes); j += stride {
-			if i == j {
-				continue
-			}
-			for _, l := range t.Route(job.Nodes[i], job.Nodes[j]) {
-				total++
-				if !member[l.Node] {
-					external++
-				}
-			}
-		}
-	}
-	if total == 0 {
+	if len(job.Nodes) == 0 {
 		return 0
 	}
-	return float64(external) / float64(total)
+	p, err := topology.NewScatteredPartition(t, job.Nodes)
+	if err != nil {
+		return 0
+	}
+	return p.ExternalRouteShare()
 }
 
 func meanPairHops(t *topology.Torus, nodes []int) float64 {

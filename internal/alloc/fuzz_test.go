@@ -1,0 +1,67 @@
+package alloc
+
+import (
+	"testing"
+
+	"bgpsim/internal/topology"
+)
+
+// FuzzPrismShapes asserts the shape-enumeration contract the BG
+// allocator and its Frag probe lean on: every enumerated shape has the
+// requested volume, power-of-two sides, fits the torus, and the list is
+// sorted most-cubic first with no duplicates. A bad shape would let
+// tryPrism walk out of bounds or hand out wrong-sized partitions.
+func FuzzPrismShapes(f *testing.F) {
+	f.Add(uint16(64), uint8(8), uint8(8), uint8(16))
+	f.Add(uint16(1), uint8(1), uint8(1), uint8(1))
+	f.Add(uint16(512), uint8(8), uint8(8), uint8(8))
+	f.Add(uint16(1024), uint8(8), uint8(8), uint8(32))
+	f.Add(uint16(7), uint8(4), uint8(4), uint8(4))
+	f.Add(uint16(256), uint8(2), uint8(16), uint8(8))
+	f.Fuzz(func(t *testing.T, rawSize uint16, dx, dy, dz uint8) {
+		// Alloc always rounds the request up to a power of two before
+		// calling prismShapes — that rounding is part of the contract
+		// (non-pow2 volumes would yield non-pow2 z sides).
+		size := 1
+		for size < int(rawSize)%2048+1 {
+			size *= 2
+		}
+		dims := topology.Dims{int(dx)%32 + 1, int(dy)%32 + 1, int(dz)%32 + 1}
+		shapes := prismShapes(size, dims)
+		seen := make(map[topology.Dims]bool)
+		prev := -1
+		for _, s := range shapes {
+			if s.Nodes() != size {
+				t.Fatalf("shape %v has volume %d, want %d", s, s.Nodes(), size)
+			}
+			for i := 0; i < 3; i++ {
+				if s[i] < 1 || s[i] > dims[i] {
+					t.Fatalf("shape %v does not fit torus %v", s, dims)
+				}
+				if s[i]&(s[i]-1) != 0 {
+					t.Fatalf("shape %v side %d not a power of two", s, s[i])
+				}
+			}
+			if seen[s] {
+				t.Fatalf("shape %v enumerated twice", s)
+			}
+			seen[s] = true
+			if sc := score(s); prev >= 0 && sc < prev {
+				t.Fatalf("shapes not sorted most-cubic first: %v after score %d", s, prev)
+			} else {
+				prev = sc
+			}
+		}
+		// If the machine dims are powers of two and the size fits the
+		// machine volume, at least one shape must exist.
+		dimsPow2 := true
+		for i := 0; i < 3; i++ {
+			if dims[i]&(dims[i]-1) != 0 {
+				dimsPow2 = false
+			}
+		}
+		if dimsPow2 && size <= dims.Nodes() && len(shapes) == 0 {
+			t.Fatalf("no shape for pow2 size %d on pow2 torus %v", size, dims)
+		}
+	})
+}

@@ -1,0 +1,570 @@
+package facility
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bgpsim/internal/alloc"
+	"bgpsim/internal/fault"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/runner"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Job completion statuses.
+const (
+	StatusDone          = "done"          // completed healthy
+	StatusDegraded      = "degraded"      // completed minus dead ranks (cancel policy)
+	StatusRestarted     = "restarted"     // completed via user-level restarts
+	StatusRequeued      = "requeued"      // transient: aborted, back in queue
+	StatusUnschedulable = "unschedulable" // abandoned: machine shrank below job size
+)
+
+// JobRecord is the facility's account of one job.
+type JobRecord struct {
+	ID     int
+	Cohort string
+	Policy string
+	Nodes  int
+
+	Arrival sim.Time
+	Starts  []sim.Time   // one per attempt
+	Aborts  []sim.Time   // blast-kill time of each non-final attempt
+	End     sim.Time     // final completion (or abandonment)
+	Wait    sim.Duration // total queued time across attempts
+
+	Status   string
+	Requeues int
+	BlastHit bool
+
+	// Placement quality of the final attempt.
+	Spread   float64
+	ExtFrac  float64
+	Isolated bool
+
+	// Fault outcome of the final attempt (zero for healthy runs).
+	Lost     int
+	PeerLost int
+	Restarts int64
+}
+
+// BlastHit is one running job struck by a blast, with its immediate
+// outcome (a fail-stop job later rerunning to "done" stays "requeued"
+// here — this records what the blast did, not how the story ends).
+type BlastHit struct {
+	Job     int
+	Outcome string // StatusRequeued, StatusDegraded, StatusRestarted, or StatusDone
+}
+
+// BlastEvent is one machine-level correlated failure as the facility
+// saw it.
+type BlastEvent struct {
+	Spec     fault.BlastSpec
+	Res      fault.BlastResult
+	Hits     []BlastHit // running jobs that lost nodes, by job ID
+	IdleDead int        // dead nodes that were idle (reserved immediately)
+}
+
+// HitJobs returns the IDs of the jobs the blast struck, ascending.
+func (b *BlastEvent) HitJobs() []int {
+	ids := make([]int, len(b.Hits))
+	for i, h := range b.Hits {
+		ids[i] = h.Job
+	}
+	return ids
+}
+
+// Result is one facility run.
+type Result struct {
+	Workload *Workload
+	Jobs     []*JobRecord // by ID (index 0 = job 1)
+	Blasts   []BlastEvent
+	Makespan sim.Time
+
+	Utilization float64 // busy node-time / (machine nodes x makespan)
+	MeanWait    sim.Duration
+	MaxWait     sim.Duration
+	FragMean    float64 // allocator fragmentation sampled at schedule points
+	FragMax     float64
+	Backfills   int
+	Decisions   []Decision
+}
+
+// Params configures a facility run.
+type Params struct {
+	Workload *Workload
+	Shards   int // per-job simulation shard count (0/1 = serial)
+}
+
+// runningJob is one in-flight job.
+type runningJob struct {
+	rec   *JobRecord
+	aj    *alloc.Job
+	part  *topology.Partition
+	nodes []int // parent node ids (aj.Nodes is nilled on Free)
+	start sim.Time
+	end   sim.Time // actual simulated end
+	kills []nodeKill
+}
+
+type facility struct {
+	p      Params
+	w      *Workload
+	torus  *topology.Torus
+	alloc  alloc.Allocator
+	sched  *Scheduler
+	dead   map[int]bool // machine nodes lost to blasts
+	record []*JobRecord
+
+	running map[int]*runningJob
+
+	// Utilization integral.
+	lastT     sim.Time
+	busyNodes int
+	busyInt   float64 // node-seconds
+
+	fragSum   float64
+	fragMax   float64
+	fragCount int
+}
+
+// Run executes the workload and returns the facility result. The run
+// is deterministic: the event loop is serial, and every batch of job
+// simulations fans out on the runner pool with results committed in
+// job order, so the result is identical at any worker count; per-job
+// simulations use the analytic fidelity and are therefore also
+// byte-identical at any Params.Shards.
+func Run(p Params) (*Result, error) {
+	w := p.Workload
+	if w == nil {
+		return nil, fmt.Errorf("facility: no workload")
+	}
+	f := &facility{
+		p:       p,
+		w:       w,
+		torus:   w.Torus(),
+		sched:   &Scheduler{Policy: w.Sched},
+		dead:    make(map[int]bool),
+		running: make(map[int]*runningJob),
+	}
+	if f.torus.Dims.Nodes() != w.Nodes {
+		return nil, fmt.Errorf("facility: no torus dims for %d nodes", w.Nodes)
+	}
+	if w.Alloc == "xt" {
+		f.alloc = alloc.NewXTAllocator(f.torus)
+	} else {
+		f.alloc = alloc.NewBGAllocator(f.torus)
+	}
+
+	arrivals := w.Generate()
+	f.record = make([]*JobRecord, len(arrivals))
+	for i, js := range arrivals {
+		f.record[i] = &JobRecord{
+			ID:      js.ID,
+			Cohort:  js.Cohort.Name,
+			Policy:  js.Cohort.Policy,
+			Nodes:   js.Cohort.Nodes,
+			Arrival: js.Arrival,
+			Status:  StatusRequeued,
+		}
+	}
+
+	// Pre-draw every blast against the machine torus: the dead sets are
+	// a pure function of the workload seed, independent of scheduling.
+	blasts, err := f.drawBlasts()
+	if err != nil {
+		return nil, err
+	}
+
+	nextArrival, nextBlast := 0, 0
+	for {
+		now, ok := f.nextEventTime(arrivals, blasts, nextArrival, nextBlast)
+		if !ok {
+			if f.sched.QueueLen() > 0 {
+				// Nothing running, nothing pending, jobs still queued:
+				// the head can never be placed on what remains of the
+				// machine. Abandon it and try the rest.
+				q := f.sched.DropHead()
+				rec := f.record[q.Spec.ID-1]
+				rec.Status = StatusUnschedulable
+				rec.End = f.lastT
+				if err := f.schedule(f.lastT); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		f.advanceTo(now)
+
+		// Deterministic same-time ordering: completions release nodes
+		// first, then the blast strikes the machine, then new arrivals
+		// join the queue, then the scheduler runs once.
+		if err := f.completions(now); err != nil {
+			return nil, err
+		}
+		for nextBlast < len(blasts) && blasts[nextBlast].Spec.At == now {
+			if err := f.applyBlast(blasts[nextBlast]); err != nil {
+				return nil, err
+			}
+			nextBlast++
+		}
+		for nextArrival < len(arrivals) && arrivals[nextArrival].Arrival == now {
+			js := arrivals[nextArrival]
+			f.sched.Push(&Queued{Spec: js, Enq: js.Arrival})
+			nextArrival++
+		}
+		if err := f.schedule(now); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Workload:  w,
+		Jobs:      f.record,
+		Makespan:  f.lastT,
+		Decisions: f.sched.Decisions,
+	}
+	for _, b := range blasts {
+		res.Blasts = append(res.Blasts, *b)
+	}
+	var waitSum sim.Duration
+	for _, rec := range f.record {
+		waitSum += rec.Wait
+		if rec.Wait > res.MaxWait {
+			res.MaxWait = rec.Wait
+		}
+	}
+	if len(f.record) > 0 {
+		res.MeanWait = waitSum / sim.Duration(len(f.record))
+	}
+	if s := f.lastT.Seconds() * float64(w.Nodes); s > 0 {
+		res.Utilization = f.busyInt / s
+	}
+	if f.fragCount > 0 {
+		res.FragMean = f.fragSum / float64(f.fragCount)
+	}
+	res.FragMax = f.fragMax
+	for _, d := range f.sched.Decisions {
+		if d.Backfill {
+			res.Backfills++
+		}
+	}
+	return res, nil
+}
+
+// drawBlasts rolls every blast's escalation and dead set up front on a
+// facility-level plan (one draw stream, specs in time order).
+func (f *facility) drawBlasts() ([]*BlastEvent, error) {
+	if len(f.w.Blasts) == 0 {
+		return nil, nil
+	}
+	plan := fault.NewPlan(f.w.Seed)
+	h := f.w.Machine.Hierarchy()
+	events := make([]*BlastEvent, 0, len(f.w.Blasts))
+	for _, spec := range f.w.Blasts {
+		res, err := plan.InjectBlast(f.torus, h, spec)
+		if err != nil {
+			return nil, fmt.Errorf("facility: %v", err)
+		}
+		events = append(events, &BlastEvent{Spec: spec, Res: res})
+	}
+	return events, nil
+}
+
+// nextEventTime finds the earliest pending event.
+func (f *facility) nextEventTime(arrivals []JobSpec, blasts []*BlastEvent, nextArrival, nextBlast int) (sim.Time, bool) {
+	var t sim.Time
+	found := false
+	consider := func(c sim.Time) {
+		if !found || c < t {
+			t, found = c, true
+		}
+	}
+	if nextArrival < len(arrivals) {
+		consider(arrivals[nextArrival].Arrival)
+	}
+	if nextBlast < len(blasts) {
+		consider(blasts[nextBlast].Spec.At)
+	}
+	for _, r := range f.running {
+		consider(r.end)
+	}
+	return t, found
+}
+
+// advanceTo integrates utilization up to now.
+func (f *facility) advanceTo(now sim.Time) {
+	f.busyInt += float64(f.busyNodes) * now.Sub(f.lastT).Seconds()
+	f.lastT = now
+}
+
+// completions retires every running job whose simulated end is now, in
+// job-ID order.
+func (f *facility) completions(now sim.Time) error {
+	var done []int
+	for id, r := range f.running {
+		if r.end == now {
+			done = append(done, id)
+		}
+	}
+	sort.Ints(done)
+	for _, id := range done {
+		r := f.running[id]
+		delete(f.running, id)
+		f.busyNodes -= len(r.nodes)
+		r.rec.End = now
+		f.release(r)
+	}
+	return nil
+}
+
+// release frees a finished job's nodes, re-reserving any that died
+// while the job held them (dead hardware never returns to circulation).
+func (f *facility) release(r *runningJob) {
+	f.alloc.Free(r.aj)
+	var dead []int
+	for _, n := range r.nodes {
+		if f.dead[n] {
+			dead = append(dead, n)
+		}
+	}
+	if len(dead) > 0 {
+		// Free just returned them, so Reserve cannot fail.
+		if err := f.alloc.Reserve(dead); err != nil {
+			panic(fmt.Sprintf("facility: re-reserving dead nodes: %v", err))
+		}
+	}
+}
+
+// applyBlast kills the blast's machine nodes: idle victims are
+// reserved out of the allocator immediately; victims inside running
+// jobs become partition-local kills and the jobs re-simulate under
+// their fault policies.
+func (f *facility) applyBlast(b *BlastEvent) error {
+	now := b.Spec.At
+	newDead := make([]int, 0, len(b.Res.Dead))
+	for _, n := range b.Res.Dead {
+		if !f.dead[n] {
+			f.dead[n] = true
+			newDead = append(newDead, n)
+		}
+	}
+
+	// Partition the dead between idle machine nodes and running jobs.
+	inJob := make(map[int]int) // machine node -> job ID
+	for id, r := range f.running {
+		for _, n := range r.nodes {
+			inJob[n] = id
+		}
+	}
+	var idle []int
+	hitSet := make(map[int]bool)
+	for _, n := range newDead {
+		if id, ok := inJob[n]; ok {
+			hitSet[id] = true
+		} else {
+			idle = append(idle, n)
+		}
+	}
+	if len(idle) > 0 {
+		if err := f.alloc.Reserve(idle); err != nil {
+			return fmt.Errorf("facility: reserving blast-dead nodes: %v", err)
+		}
+	}
+	b.IdleDead = len(idle)
+	var hitIDs []int
+	for id := range hitSet {
+		hitIDs = append(hitIDs, id)
+	}
+	sort.Ints(hitIDs)
+
+	// Each hit job accumulates its local kills and re-simulates under
+	// its policy: fail-stop jobs abort at the blast and requeue, the
+	// others complete degraded or restarted with a new end time. The
+	// re-simulations fan out together, committed in job order.
+	var hit []*runningJob
+	for _, id := range hitIDs {
+		r := f.running[id]
+		r.rec.BlastHit = true
+		locals := r.part.Intersect(newDead)
+		for _, l := range locals {
+			r.kills = append(r.kills, nodeKill{local: l, at: sim.Time(now.Sub(r.start))})
+		}
+		hit = append(hit, r)
+	}
+	type resim struct {
+		res     *mpi.Result
+		aborted bool
+	}
+	outs, err := runner.Sweep(hit, func(r *runningJob) (resim, error) {
+		res, err := f.simulate(r.rec, r.part, r.kills)
+		if err != nil {
+			var rf *mpi.RankFailure
+			if r.rec.Policy == PolicyFailStop && errors.As(err, &rf) {
+				return resim{aborted: true}, nil
+			}
+			return resim{}, err
+		}
+		return resim{res: res}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range hit {
+		out := outs[i]
+		if out.aborted {
+			// Fail-stop: the job dies at the blast and goes back to the
+			// queue to start over on healthy nodes.
+			delete(f.running, r.rec.ID)
+			f.busyNodes -= len(r.nodes)
+			r.rec.End = now
+			r.rec.Aborts = append(r.rec.Aborts, now)
+			r.rec.Requeues++
+			r.rec.Status = StatusRequeued
+			f.release(r)
+			f.sched.Push(&Queued{
+				Spec: JobSpec{ID: r.rec.ID, Cohort: f.cohortOf(r.rec), Arrival: r.rec.Arrival},
+				Enq:  now,
+			})
+			b.Hits = append(b.Hits, BlastHit{Job: r.rec.ID, Outcome: StatusRequeued})
+			continue
+		}
+		r.end = r.start.Add(out.res.Elapsed)
+		if r.end < now {
+			// A recovery cannot finish before the blast that caused it;
+			// clamp pathological estimates.
+			r.end = now
+		}
+		f.applyResult(r.rec, out.res)
+		b.Hits = append(b.Hits, BlastHit{Job: r.rec.ID, Outcome: r.rec.Status})
+	}
+	return nil
+}
+
+// cohortOf rebuilds a job's cohort from its record (for requeues).
+func (f *facility) cohortOf(rec *JobRecord) Cohort {
+	for _, c := range f.w.Cohorts {
+		if c.Name == rec.Cohort && c.Nodes == rec.Nodes && c.Policy == rec.Policy {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("facility: job %d cohort %q not in workload", rec.ID, rec.Cohort))
+}
+
+// applyResult folds a simulation result into the job record.
+func (f *facility) applyResult(rec *JobRecord, res *mpi.Result) {
+	rec.Lost = len(res.Lost)
+	rec.PeerLost = len(res.PeerLost)
+	rec.Restarts = res.Net.Restarts
+	switch {
+	case rec.Restarts > 0:
+		rec.Status = StatusRestarted
+	case rec.Lost > 0 || rec.PeerLost > 0:
+		rec.Status = StatusDegraded
+	default:
+		rec.Status = StatusDone
+	}
+}
+
+// schedule runs the batch scheduler once at now, simulating every
+// newly started job (healthy) to learn its true end time.
+func (f *facility) schedule(now sim.Time) error {
+	var est []Running
+	for id, r := range f.running {
+		est = append(est, Running{ID: id, Nodes: len(r.nodes), EstEnd: r.start.Add(f.estOf(r.rec))})
+	}
+	sort.Slice(est, func(i, j int) bool { return est[i].ID < est[j].ID })
+
+	var started []*runningJob
+	f.sched.Schedule(now, f.alloc, est, func(q *Queued, aj *alloc.Job) {
+		rec := f.record[q.Spec.ID-1]
+		rec.Starts = append(rec.Starts, now)
+		rec.Wait += now.Sub(q.Enq)
+		part, err := aj.Partition(f.torus, f.w.Alloc == "bg")
+		if err != nil {
+			panic(fmt.Sprintf("facility: job %d partition: %v", q.Spec.ID, err))
+		}
+		rec.Spread = alloc.Spread(f.torus, aj)
+		rec.ExtFrac = part.ExternalRouteShare()
+		rec.Isolated = part.Isolated
+		r := &runningJob{
+			rec:   rec,
+			aj:    aj,
+			part:  part,
+			nodes: append([]int(nil), aj.Nodes...),
+			start: now,
+		}
+		f.running[q.Spec.ID] = r
+		f.busyNodes += len(r.nodes)
+		started = append(started, r)
+	})
+
+	f.sampleFrag()
+	if len(started) == 0 {
+		return nil
+	}
+	// Learn every started job's healthy duration: independent
+	// simulations, fanned out, committed in order.
+	outs, err := runner.Sweep(started, func(r *runningJob) (*mpi.Result, error) {
+		return f.simulate(r.rec, r.part, nil)
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range started {
+		r.end = r.start.Add(outs[i].Elapsed)
+		f.applyResult(r.rec, outs[i])
+	}
+	return nil
+}
+
+func (f *facility) estOf(rec *JobRecord) sim.Duration { return f.cohortOf(rec).Est }
+
+func (f *facility) sampleFrag() {
+	fr := f.alloc.Frag()
+	f.fragSum += fr
+	f.fragCount++
+	if fr > f.fragMax {
+		f.fragMax = fr
+	}
+}
+
+// simulate runs one job on its partition: healthy when kills is empty,
+// otherwise under the job's fault policy with the accumulated
+// partition-local kills.
+func (f *facility) simulate(rec *JobRecord, part *topology.Partition, kills []nodeKill) (*mpi.Result, error) {
+	var plan *fault.Plan
+	if len(kills) > 0 {
+		modes := policyModes(rec.Policy)
+		if modes != "" {
+			spec, err := fault.ParseSpec(fmt.Sprintf("seed=%d,%s", f.w.Seed, modes))
+			if err != nil {
+				return nil, err
+			}
+			if plan, _, err = spec.Build(topology.NewTorus(part.ViewDims()), f.w.Machine.Hierarchy()); err != nil {
+				return nil, err
+			}
+		} else {
+			plan = fault.NewPlan(f.w.Seed)
+		}
+		for _, k := range kills {
+			plan.KillNode(k.local, k.at)
+		}
+	}
+	cohort := f.cohortOf(rec)
+	cfg := mpi.Config{
+		Machine:   f.w.Machine,
+		Mode:      machine.SMP,
+		Fidelity:  network.Analytic,
+		Partition: part,
+		Seed:      f.w.Seed + uint64(rec.ID),
+		Shards:    f.p.Shards,
+		Faults:    plan,
+	}
+	return mpi.Execute(cfg, skeletons[cohort.Name](cohort))
+}

@@ -1,0 +1,184 @@
+package facility
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bgpsim/internal/runner"
+)
+
+func runReport(t *testing.T, spec string, shards int) (*Result, string) {
+	t.Helper()
+	w, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Params{Workload: w, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	res.Report(&b)
+	return res, b.String()
+}
+
+// Long enough per-job runs (2000 halo iterations is ~15 simulated
+// seconds on 8 BG/P nodes) that the 1s-mean arrival phase stacks all
+// six jobs onto the machine before the first finishes, and the blast
+// at t=8s lands while they run. 8-node jobs place as 2x2x2 prisms, so
+// the card-level blast domain [0,31] (the z<2 half of the 4x4x4 torus)
+// swallows the jobs packed there whole and leaves the z>=2 jobs
+// untouched.
+const blastSpecCancel = "seed=3,nodes=64,jobs=6,phase=0s:1s," +
+	"cohort=halo:8:1:20s:2000:cancel,blast=8s/0/1/0/0/1"
+
+// TestBlastHitsMultipleJobs: a card-level blast (nodes [0,31] on the
+// 64-node machine) must land on at least two of the six concurrent
+// 8-node jobs, and each hit job — running under the cancel policy —
+// must complete degraded with dead ranks.
+func TestBlastHitsMultipleJobs(t *testing.T) {
+	res, _ := runReport(t, blastSpecCancel, 0)
+	if len(res.Blasts) != 1 {
+		t.Fatalf("got %d blasts, want 1", len(res.Blasts))
+	}
+	b := res.Blasts[0]
+	if len(b.HitJobs()) < 2 {
+		t.Fatalf("blast hit %v jobs, want >= 2 (dead=%d, level=%v)", b.HitJobs(), len(b.Res.Dead), b.Res.Level)
+	}
+	for _, id := range b.HitJobs() {
+		j := res.Jobs[id-1]
+		if !j.BlastHit {
+			t.Errorf("job %d in HitJobs but not marked BlastHit", id)
+		}
+		if j.Status != StatusDegraded {
+			t.Errorf("cancel-policy job %d status %q, want %q", id, j.Status, StatusDegraded)
+		}
+		if j.Lost == 0 {
+			t.Errorf("degraded job %d lost no ranks", id)
+		}
+	}
+	// Jobs outside the blast domain finish healthy.
+	healthy := 0
+	for _, j := range res.Jobs {
+		if !j.BlastHit && j.Status == StatusDone {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		t.Errorf("no job survived the blast healthy; want the far half of the machine untouched")
+	}
+}
+
+// TestBlastFailStopRequeues: the same scenario under fail-stop — hit
+// jobs abort at the blast, requeue, and restart on surviving nodes.
+func TestBlastFailStopRequeues(t *testing.T) {
+	spec := strings.ReplaceAll(blastSpecCancel, ":cancel", ":failstop")
+	res, _ := runReport(t, spec, 0)
+	if len(res.Blasts[0].HitJobs()) < 2 {
+		t.Fatalf("blast hit %v jobs, want >= 2", res.Blasts[0].HitJobs())
+	}
+	for _, id := range res.Blasts[0].HitJobs() {
+		j := res.Jobs[id-1]
+		if j.Requeues == 0 || len(j.Starts) < 2 {
+			t.Errorf("fail-stop job %d: requeues=%d starts=%v, want a restart", id, j.Requeues, j.Starts)
+		}
+		if j.Status != StatusDone {
+			t.Errorf("fail-stop job %d final status %q, want %q (clean rerun)", id, j.Status, StatusDone)
+		}
+		if len(j.Aborts) != j.Requeues {
+			t.Errorf("job %d has %d aborts for %d requeues", id, len(j.Aborts), j.Requeues)
+		}
+	}
+	// The notes must name every hit job.
+	var notes runner.Notes
+	res.BlastNotes(&notes)
+	var b bytes.Buffer
+	notes.Flush(&b)
+	for _, id := range res.Blasts[0].HitJobs() {
+		if !strings.Contains(b.String(), "requeued") {
+			t.Errorf("blast notes missing requeue outcome for job %d: %q", id, b.String())
+		}
+	}
+}
+
+// TestRestartPolicySurvives: restart=ckpt jobs complete whole (no lost
+// ranks) with rank restarts on the books.
+func TestRestartPolicySurvives(t *testing.T) {
+	spec := strings.ReplaceAll(blastSpecCancel, ":cancel", ":restart")
+	res, _ := runReport(t, spec, 0)
+	if len(res.Blasts[0].HitJobs()) < 2 {
+		t.Fatalf("blast hit %v jobs, want >= 2", res.Blasts[0].HitJobs())
+	}
+	for _, id := range res.Blasts[0].HitJobs() {
+		j := res.Jobs[id-1]
+		if j.Status != StatusRestarted || j.Restarts == 0 {
+			t.Errorf("restart job %d: status=%q restarts=%d, want restarted > 0", id, j.Status, j.Restarts)
+		}
+	}
+}
+
+// TestFacilityDeterminism: the full report is byte-identical across
+// runner worker counts and per-job shard counts — the facility analogue
+// of the simulator's determinism contract.
+func TestFacilityDeterminism(t *testing.T) {
+	spec := "seed=11,nodes=64,jobs=6,phase=0s:2s," +
+		"cohort=halo:16:2:20s:800:failstop,cohort=cg:8:1:10s:400:cancel," +
+		"blast=6s/0/1/0/0/0.9"
+	defer runner.SetWorkers(runner.Workers())
+	runner.SetWorkers(1)
+	_, serial := runReport(t, spec, 0)
+	runner.SetWorkers(4)
+	_, par := runReport(t, spec, 0)
+	if serial != par {
+		t.Fatalf("report differs between 1 and 4 workers:\n--- w1 ---\n%s\n--- w4 ---\n%s", serial, par)
+	}
+	_, sharded := runReport(t, spec, 4)
+	if serial != sharded {
+		t.Fatalf("report differs between shards=0 and shards=4:\n--- s0 ---\n%s\n--- s4 ---\n%s", serial, sharded)
+	}
+}
+
+// TestUnschedulableAfterBlast: when a blast kills so much of the
+// machine that a queued job can never fit again, the facility abandons
+// it instead of looping forever.
+func TestUnschedulableAfterBlast(t *testing.T) {
+	// One running 16-node job; a full-machine blast at t=2s (density 1)
+	// kills everything, so the remaining queued jobs can never start.
+	spec := "seed=2,nodes=64,jobs=3,phase=0s:1s," +
+		"cohort=halo:16:1:20s:2000:cancel,blast=2s/0/1/1/1/1"
+	res, _ := runReport(t, spec, 0)
+	unsched := 0
+	for _, j := range res.Jobs {
+		if j.Status == StatusUnschedulable {
+			unsched++
+		}
+	}
+	if unsched == 0 {
+		t.Fatalf("no job marked unschedulable after a machine-killing blast; statuses: %v", statuses(res))
+	}
+}
+
+func statuses(res *Result) []string {
+	var out []string
+	for _, j := range res.Jobs {
+		out = append(out, j.Status)
+	}
+	return out
+}
+
+// TestUtilizationAccounting: utilization and waits are sane — inside
+// (0, 1], and queue waits appear once the machine saturates.
+func TestUtilizationAccounting(t *testing.T) {
+	spec := "seed=4,nodes=64,jobs=8,phase=0s:500ms,cohort=halo:32:1:20s:1000:failstop,sched=fcfs"
+	res, _ := runReport(t, spec, 0)
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %v outside (0, 1]", res.Utilization)
+	}
+	if res.MaxWait == 0 {
+		t.Fatalf("eight 32-node jobs on 64 nodes with 0.5s arrivals queued no one")
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan %v", res.Makespan)
+	}
+}

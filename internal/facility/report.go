@@ -1,0 +1,146 @@
+package facility
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bgpsim/internal/obs"
+	"bgpsim/internal/runner"
+	"bgpsim/internal/stats"
+)
+
+// SummaryTable is the facility-level scoreboard: machine utilization,
+// queue waits, and allocator fragmentation — the quantities the
+// BG-vs-XT allocation contrast moves.
+func (r *Result) SummaryTable() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("facility: %s alloc=%s sched=%s (%d nodes, %d jobs)",
+			r.Workload.MachID, r.Workload.Alloc, r.Workload.Sched, r.Workload.Nodes, len(r.Jobs)),
+		"metric", "value")
+	t.AddRow("makespan (s)", stats.FormatG(r.Makespan.Seconds()))
+	t.AddRow("utilization", stats.FormatG(r.Utilization))
+	t.AddRow("mean wait (s)", stats.FormatG(r.MeanWait.Seconds()))
+	t.AddRow("max wait (s)", stats.FormatG(r.MaxWait.Seconds()))
+	t.AddRow("frag mean", stats.FormatG(r.FragMean))
+	t.AddRow("frag max", stats.FormatG(r.FragMax))
+	t.AddRow("backfills", fmt.Sprintf("%d", r.Backfills))
+	return t
+}
+
+// JobTable lists every job's fate: queue wait, placement quality
+// (spread, external-route share), and fault outcome.
+func (r *Result) JobTable() *stats.Table {
+	t := stats.NewTable("jobs",
+		"job", "cohort", "nodes", "policy", "arrive(s)", "wait(s)", "end(s)",
+		"status", "spread", "extshare", "lost", "peerlost", "restarts")
+	for _, j := range r.Jobs {
+		t.AddRow(
+			fmt.Sprintf("%d", j.ID), j.Cohort, fmt.Sprintf("%d", j.Nodes), j.Policy,
+			stats.FormatG(j.Arrival.Seconds()), stats.FormatG(j.Wait.Seconds()),
+			stats.FormatG(j.End.Seconds()), j.Status,
+			stats.FormatG(j.Spread), stats.FormatG(j.ExtFrac),
+			fmt.Sprintf("%d", j.Lost), fmt.Sprintf("%d", j.PeerLost),
+			fmt.Sprintf("%d", j.Restarts))
+	}
+	return t
+}
+
+// BlastTable lists every machine-level blast and its reach.
+func (r *Result) BlastTable() *stats.Table {
+	t := stats.NewTable("blasts",
+		"at(s)", "origin", "level", "domain", "dead", "idle dead", "jobs hit")
+	for _, b := range r.Blasts {
+		hit := make([]string, len(b.Hits))
+		for i, h := range b.Hits {
+			hit[i] = fmt.Sprintf("%d", h.Job)
+		}
+		joined := strings.Join(hit, " ")
+		if joined == "" {
+			joined = "-"
+		}
+		t.AddRow(
+			stats.FormatG(b.Spec.At.Seconds()),
+			fmt.Sprintf("%d", b.Res.Origin),
+			b.Res.Level.String(),
+			fmt.Sprintf("[%d,%d]", b.Res.First, b.Res.Last),
+			fmt.Sprintf("%d", len(b.Res.Dead)),
+			fmt.Sprintf("%d", b.IdleDead),
+			joined)
+	}
+	return t
+}
+
+// Gantt renders the job timeline: one row per job, 'q' spans for
+// queued time, the cohort's initial for run attempts, 'x' for the
+// aborted tail of a blast-killed attempt.
+func (r *Result) Gantt(width int) string {
+	rows := make([]obs.GanttRow, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		row := obs.GanttRow{Name: fmt.Sprintf("job %d %s", j.ID, j.Cohort)}
+		runLabel := j.Cohort[:1]
+		prev := j.Arrival
+		for i, start := range j.Starts {
+			if start > prev {
+				row.Spans = append(row.Spans, obs.Span{Label: "q", Start: prev.Seconds(), End: start.Seconds()})
+			}
+			// The final attempt runs to the job's end; earlier attempts
+			// were blast-killed and render as 'x' up to their abort.
+			if i == len(j.Starts)-1 {
+				row.Spans = append(row.Spans, obs.Span{Label: runLabel, Start: start.Seconds(), End: j.End.Seconds()})
+			} else {
+				row.Spans = append(row.Spans, obs.Span{Label: "x", Start: start.Seconds(), End: j.Aborts[i].Seconds()})
+				prev = j.Aborts[i]
+			}
+		}
+		if len(j.Starts) == 0 {
+			row.Spans = append(row.Spans, obs.Span{Label: "q", Start: j.Arrival.Seconds(), End: j.End.Seconds()})
+		}
+		rows = append(rows, row)
+	}
+	return obs.Gantt(rows, width)
+}
+
+// BlastNotes adds one runner note per blast naming the jobs it hit and
+// each hit job's outcome — the facility extension of the single-job
+// blast-domain reporting in cmd/halo.
+func (r *Result) BlastNotes(notes *runner.Notes) {
+	for i, b := range r.Blasts {
+		if len(b.Hits) == 0 {
+			notes.Add(i, "blast at %s: %s domain [%d,%d], %d nodes dead, no running jobs hit",
+				fmtSec(b.Spec.At.Seconds()), b.Res.Level, b.Res.First, b.Res.Last, len(b.Res.Dead))
+			continue
+		}
+		var outs []string
+		for _, h := range b.Hits {
+			j := r.Jobs[h.Job-1]
+			switch h.Outcome {
+			case StatusDegraded:
+				outs = append(outs, fmt.Sprintf("job %d (%s/%s: degraded, lost %d, peer-lost %d)", h.Job, j.Cohort, j.Policy, j.Lost, j.PeerLost))
+			case StatusRestarted:
+				outs = append(outs, fmt.Sprintf("job %d (%s/%s: %d rank restarts)", h.Job, j.Cohort, j.Policy, j.Restarts))
+			default:
+				outs = append(outs, fmt.Sprintf("job %d (%s/%s: %s)", h.Job, j.Cohort, j.Policy, h.Outcome))
+			}
+		}
+		notes.Add(i, "blast at %s: %s domain [%d,%d], %d nodes dead (%d idle), hit %s",
+			fmtSec(b.Spec.At.Seconds()), b.Res.Level, b.Res.First, b.Res.Last,
+			len(b.Res.Dead), b.IdleDead, strings.Join(outs, ", "))
+	}
+}
+
+func fmtSec(s float64) string { return stats.FormatG(s) + "s" }
+
+// Report writes the full facility report: summary, per-job table,
+// blast table (when blasts fired), and the job Gantt.
+func (r *Result) Report(w io.Writer) {
+	io.WriteString(w, r.SummaryTable().String())
+	io.WriteString(w, "\n")
+	io.WriteString(w, r.JobTable().String())
+	if len(r.Blasts) > 0 {
+		io.WriteString(w, "\n")
+		io.WriteString(w, r.BlastTable().String())
+	}
+	io.WriteString(w, "\n")
+	io.WriteString(w, r.Gantt(72))
+}

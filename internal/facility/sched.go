@@ -1,0 +1,163 @@
+package facility
+
+import (
+	"math"
+	"sort"
+
+	"bgpsim/internal/alloc"
+	"bgpsim/internal/sim"
+)
+
+// Queued is one job waiting for nodes.
+type Queued struct {
+	Spec JobSpec
+	Enq  sim.Time // when the job (re)entered the queue
+}
+
+// Running describes an in-flight job to the scheduler: its node count
+// and its *estimated* end (start + user estimate). EASY reservations
+// are computed from estimates, exactly like a real batch system — the
+// facility knows the true simulated end, the scheduler must not.
+type Running struct {
+	ID     int
+	Nodes  int
+	EstEnd sim.Time
+}
+
+// Decision records one placement for the invariant tests: when a job
+// started, whether it backfilled past the queue head, and the head's
+// reservation (shadow time and spare-node budget) that the backfill was
+// checked against.
+type Decision struct {
+	JobID    int
+	At       sim.Time
+	Backfill bool
+	Shadow   sim.Time // head's reserved start (backfill decisions only)
+	Extra    int      // spare nodes at shadow after the head's claim
+}
+
+// neverTime marks "no reservation computable" (the head can never run
+// on what remains of the machine; everything may backfill).
+const neverTime = sim.Time(math.MaxInt64)
+
+// Scheduler is a batch queue over an allocator: FCFS starts jobs
+// strictly in queue order and head-of-line blocks; EASY backfilling
+// also starts later jobs when doing so cannot delay the head's
+// count-based reservation (the classic EASY rule: a backfill must
+// either finish by the head's shadow time or fit in the nodes left
+// over at it).
+type Scheduler struct {
+	Policy    string // "fcfs" or "easy"
+	Decisions []Decision
+
+	queue []*Queued
+}
+
+// Push appends a job to the queue tail.
+func (s *Scheduler) Push(q *Queued) { s.queue = append(s.queue, q) }
+
+// QueueLen reports how many jobs wait.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Head returns the queue head (nil when empty).
+func (s *Scheduler) Head() *Queued {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	return s.queue[0]
+}
+
+// DropHead removes and returns the queue head (nil when empty) — the
+// facility's way of abandoning a job that can never be placed again
+// (the machine shrank below its size).
+func (s *Scheduler) DropHead() *Queued {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	q := s.queue[0]
+	s.queue = s.queue[1:]
+	return q
+}
+
+// Schedule starts every job the policy allows at time now, calling
+// start for each (in decision order) with its fresh allocation.
+// running must describe every in-flight job.
+func (s *Scheduler) Schedule(now sim.Time, a alloc.Allocator, running []Running, start func(q *Queued, aj *alloc.Job)) {
+	// Jobs start in queue order while the head fits. Allocation is the
+	// fit test: on a BG machine a count that fits may still have no
+	// free prism — exactly the spatial fragmentation the paper
+	// describes.
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		aj, err := a.Alloc(head.Spec.Cohort.Nodes)
+		if err != nil {
+			break
+		}
+		s.queue = s.queue[1:]
+		s.Decisions = append(s.Decisions, Decision{JobID: head.Spec.ID, At: now})
+		running = append(running, Running{ID: head.Spec.ID, Nodes: head.Spec.Cohort.Nodes, EstEnd: now.Add(head.Spec.Cohort.Est)})
+		start(head, aj)
+	}
+	if s.Policy != "easy" || len(s.queue) <= 1 {
+		return
+	}
+
+	// EASY: reserve the head's start from the running jobs' estimated
+	// ends (count-based shadow), then let later jobs jump the queue if
+	// they cannot push that reservation back.
+	head := s.queue[0]
+	shadow, extra := reservation(a.FreeNodes(), head.Spec.Cohort.Nodes, running)
+	for i := 1; i < len(s.queue); i++ {
+		q := s.queue[i]
+		fitsWindow := now.Add(q.Spec.Cohort.Est) <= shadow
+		fitsExtra := q.Spec.Cohort.Nodes <= extra
+		if !fitsWindow && !fitsExtra {
+			continue
+		}
+		aj, err := a.Alloc(q.Spec.Cohort.Nodes)
+		if err != nil {
+			continue
+		}
+		if !fitsWindow {
+			// The backfill outlives the shadow: it consumes the spare
+			// budget the head does not need.
+			extra -= q.Spec.Cohort.Nodes
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		i--
+		s.Decisions = append(s.Decisions, Decision{JobID: q.Spec.ID, At: now, Backfill: true, Shadow: shadow, Extra: extra})
+		running = append(running, Running{ID: q.Spec.ID, Nodes: q.Spec.Cohort.Nodes, EstEnd: now.Add(q.Spec.Cohort.Est)})
+		start(q, aj)
+	}
+}
+
+// reservation computes the head's count-based shadow time: walking the
+// running jobs by estimated end, the first moment enough nodes have
+// been returned to hold the head. extra is what remains free at that
+// moment once the head has claimed its share. When even draining every
+// running job cannot free enough nodes, there is no reservation
+// (neverTime, unbounded extra): the head waits on something other than
+// the schedule and backfilling cannot delay it.
+func reservation(freeNow, need int, running []Running) (shadow sim.Time, extra int) {
+	if freeNow >= need {
+		// The head fit by count but not by shape (BG prism
+		// fragmentation): its reservation is "now", so only
+		// extra-node backfills are safe.
+		return 0, freeNow - need
+	}
+	sorted := append([]Running(nil), running...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].EstEnd != sorted[j].EstEnd {
+			return sorted[i].EstEnd < sorted[j].EstEnd
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	avail := freeNow
+	for _, r := range sorted {
+		avail += r.Nodes
+		if avail >= need {
+			return r.EstEnd, avail - need
+		}
+	}
+	return neverTime, int(^uint(0) >> 1)
+}

@@ -1,0 +1,199 @@
+package facility
+
+import (
+	"testing"
+
+	"bgpsim/internal/alloc"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// xtAlloc builds an XT allocator over an n-node torus. The scheduler
+// invariant tests use XT because its linear scan makes count-based
+// reasoning exact: Alloc(n) succeeds iff n nodes are free, so the EASY
+// shadow arithmetic can be checked without spatial-fragmentation noise.
+func xtAlloc(t *testing.T, n int) alloc.Allocator {
+	t.Helper()
+	return alloc.NewXTAllocator(topology.NewTorus(topology.DimsForNodes(n)))
+}
+
+func queued(id, nodes int, est sim.Duration) *Queued {
+	return &Queued{Spec: JobSpec{ID: id, Cohort: Cohort{Name: "halo", Nodes: nodes, Est: est}}}
+}
+
+// TestFCFSOrder: jobs pushed with equal arrival times start strictly in
+// push order, and a blocked head blocks everything behind it even when
+// later jobs would fit.
+func TestFCFSOrder(t *testing.T) {
+	a := xtAlloc(t, 16)
+	s := &Scheduler{Policy: "fcfs"}
+	s.Push(queued(1, 8, 10*sim.Second))
+	s.Push(queued(2, 8, 10*sim.Second))
+	s.Push(queued(3, 16, 10*sim.Second)) // cannot fit while 1 or 2 runs
+	s.Push(queued(4, 2, 10*sim.Second))  // would fit, must not jump
+
+	var started []int
+	s.Schedule(0, a, nil, func(q *Queued, aj *alloc.Job) { started = append(started, q.Spec.ID) })
+	if len(started) != 2 || started[0] != 1 || started[1] != 2 {
+		t.Fatalf("FCFS started %v, want [1 2]", started)
+	}
+	if s.QueueLen() != 2 || s.Head().Spec.ID != 3 {
+		t.Fatalf("queue head = %v, want job 3 blocking job 4", s.Head())
+	}
+	// Under FCFS job 4 stays queued behind the blocked head forever,
+	// no matter how many times the scheduler runs.
+	s.Schedule(sim.Time(5*sim.Second), a, []Running{{ID: 1, Nodes: 8, EstEnd: sim.Time(10 * sim.Second)}, {ID: 2, Nodes: 8, EstEnd: sim.Time(10 * sim.Second)}}, func(q *Queued, aj *alloc.Job) {
+		t.Fatalf("FCFS backfilled job %d past a blocked head", q.Spec.ID)
+	})
+}
+
+// TestEASYBackfillRules pins the two legal backfill paths and the
+// illegal one on a hand-built scenario:
+//
+//	16-node machine, 8 nodes running until t=100, head wants 12.
+//	Shadow = 100 (running job's estimated end), extra = 16-12 = 4.
+//	- job 3 (4 nodes, est 200): outlives shadow but fits the 4 spare
+//	  nodes -> backfills, consuming the whole spare budget.
+//	- job 4 (2 nodes, est 200): outlives shadow, budget exhausted ->
+//	  must stay queued even though nodes are free.
+//	- job 5 (2 nodes, est 50): finishes by the shadow -> backfills.
+func TestEASYBackfillRules(t *testing.T) {
+	a := xtAlloc(t, 16)
+	runningJob, err := a.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	running := []Running{{ID: 1, Nodes: 8, EstEnd: sim.Time(100 * sim.Second)}}
+	_ = runningJob
+
+	s := &Scheduler{Policy: "easy"}
+	s.Push(queued(2, 12, 100*sim.Second)) // head: only 8 free, blocks
+	s.Push(queued(3, 4, 200*sim.Second))
+	s.Push(queued(4, 2, 200*sim.Second))
+	s.Push(queued(5, 2, 50*sim.Second))
+
+	var started []int
+	allocs := map[int]*alloc.Job{}
+	s.Schedule(0, a, running, func(q *Queued, aj *alloc.Job) {
+		started = append(started, q.Spec.ID)
+		allocs[q.Spec.ID] = aj
+	})
+	if len(started) != 2 || started[0] != 3 || started[1] != 5 {
+		t.Fatalf("EASY started %v, want backfills [3 5]", started)
+	}
+	if s.Head().Spec.ID != 2 {
+		t.Fatalf("head = job %d, want 2", s.Head().Spec.ID)
+	}
+
+	// The decision trace must show both backfills checked against the
+	// head's reservation.
+	var backfills []Decision
+	for _, d := range s.Decisions {
+		if d.Backfill {
+			backfills = append(backfills, d)
+		}
+	}
+	if len(backfills) != 2 {
+		t.Fatalf("decision trace has %d backfills, want 2: %+v", len(backfills), s.Decisions)
+	}
+	shadow := sim.Time(100 * sim.Second)
+	for _, d := range backfills {
+		if d.Shadow != shadow {
+			t.Errorf("backfill job %d recorded shadow %v, want %v", d.JobID, d.Shadow, shadow)
+		}
+	}
+	if backfills[0].JobID != 3 || backfills[0].Extra != 0 {
+		t.Errorf("job 3 backfill = %+v, want extra budget drained to 0", backfills[0])
+	}
+
+	// The head must not be delayed: at the shadow time the running job
+	// and the window-fitting backfill (job 5, est 50 < shadow) have
+	// drained, and the head's 12 nodes are free even though job 3 is
+	// still running on the spares.
+	a.Free(runningJob)
+	a.Free(allocs[5])
+	if free := a.FreeNodes(); free < 12 {
+		t.Fatalf("at shadow, %d nodes free, head of 12 is delayed", free)
+	}
+	var headStart []int
+	s.Schedule(shadow, a, []Running{{ID: 3, Nodes: 4, EstEnd: sim.Time(200 * sim.Second)}}, func(q *Queued, aj *alloc.Job) {
+		headStart = append(headStart, q.Spec.ID)
+	})
+	if len(headStart) == 0 || headStart[0] != 2 {
+		t.Fatalf("head did not start at its shadow time; started %v", headStart)
+	}
+}
+
+// TestEASYNeverDelaysHead sweeps randomized queues on an XT machine and
+// checks the invariant directly: the head's start time with EASY
+// backfilling enabled is never later than the start it would get under
+// plain FCFS with the same (accurate) estimates.
+func TestEASYNeverDelaysHead(t *testing.T) {
+	const nodes = 32
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		var jobs []*Queued
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, queued(i+1, 1+rng.Intn(nodes), sim.Duration(1+rng.Intn(100))*sim.Second))
+		}
+		headStart := func(policy string) sim.Time {
+			a := xtAlloc(t, nodes)
+			s := &Scheduler{Policy: policy}
+			for _, j := range jobs {
+				s.Push(&Queued{Spec: j.Spec})
+			}
+			// Event-driven drain with durations equal to estimates.
+			headID := -1
+			if s.QueueLen() > 1 {
+				headID = s.queue[1].Spec.ID // job that queues behind the first wave
+			}
+			type run struct {
+				id  int
+				end sim.Time
+				aj  *alloc.Job
+			}
+			var running []run
+			now := sim.Time(0)
+			var hStart sim.Time = -1
+			for iter := 0; iter < 1000; iter++ {
+				var est []Running
+				for _, r := range running {
+					est = append(est, Running{ID: r.id, Nodes: len(r.aj.Nodes), EstEnd: r.end})
+				}
+				s.Schedule(now, a, est, func(q *Queued, aj *alloc.Job) {
+					if q.Spec.ID == headID && hStart < 0 {
+						hStart = now
+					}
+					running = append(running, run{id: q.Spec.ID, end: now.Add(q.Spec.Cohort.Est), aj: aj})
+				})
+				if s.QueueLen() == 0 || len(running) == 0 {
+					break
+				}
+				// Advance to the earliest completion.
+				next := running[0].end
+				for _, r := range running {
+					if r.end < next {
+						next = r.end
+					}
+				}
+				now = next
+				var keep []run
+				for _, r := range running {
+					if r.end == now {
+						a.Free(r.aj)
+					} else {
+						keep = append(keep, r)
+					}
+				}
+				running = keep
+			}
+			return hStart
+		}
+		fcfs := headStart("fcfs")
+		easy := headStart("easy")
+		if easy > fcfs {
+			t.Fatalf("trial %d: EASY delayed a queued job to %v (FCFS starts it at %v); jobs %+v", trial, easy, fcfs, jobs)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package facility
+
+import (
+	"sort"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/sim"
+)
+
+// skeletons maps cohort names to app-skeleton program builders. Each
+// skeleton is a compact stand-in for one communication pattern the
+// paper measures: "halo" is a nearest-neighbour ring exchange (HALO /
+// stencil apps), "cg" is a compute + small-allreduce solver loop
+// (CG-style), and "fft" is a transpose-dominated alltoall loop
+// (FFT / PTRANS). All skeletons commit a checkpoint every eight
+// iterations so the restart=ckpt policy has rollback points.
+var skeletons = map[string]func(c Cohort) func(*mpi.Rank){
+	"halo": func(c Cohort) func(*mpi.Rank) {
+		return func(r *mpi.Rank) {
+			right := (r.ID() + 1) % r.Size()
+			left := (r.ID() - 1 + r.Size()) % r.Size()
+			// Peer loss is handled, not fatal: under the cancel policy a
+			// dead neighbour turns the ring into a chain (the survivor
+			// treats the break as a domain boundary) instead of
+			// cascading the stall around the ring. Under fail-stop and
+			// restart=ckpt RecvErr never returns an error, so the same
+			// program serves all three policies.
+			haveLeft := true
+			for k := 0; k < c.Iters; k++ {
+				r.Compute(8e6, 8e6, machine.ClassStencil)
+				q := r.Isend(right, 32<<10, k)
+				if haveLeft {
+					if _, err := r.RecvErr(left, k); err != nil {
+						haveLeft = false
+					}
+				}
+				r.WaitErr(q) // orphaned sends complete silently
+
+				if k%8 == 7 {
+					r.CommitCheckpoint(4 << 20)
+				}
+			}
+		}
+	},
+	"cg": func(c Cohort) func(*mpi.Rank) {
+		return func(r *mpi.Rank) {
+			for k := 0; k < c.Iters; k++ {
+				r.Compute(1.5e7, 1.5e7, machine.ClassStream)
+				r.World().Allreduce(r, 8, true)
+				if k%8 == 7 {
+					r.CommitCheckpoint(2 << 20)
+				}
+			}
+		}
+	},
+	"fft": func(c Cohort) func(*mpi.Rank) {
+		return func(r *mpi.Rank) {
+			for k := 0; k < c.Iters; k++ {
+				r.Compute(4e6, 4e6, machine.ClassFFT)
+				r.World().Alltoall(r, 2<<10)
+				if k%8 == 7 {
+					r.CommitCheckpoint(2 << 20)
+				}
+			}
+		}
+	},
+}
+
+func skeletonNames() []string {
+	names := make([]string, 0, len(skeletons))
+	for n := range skeletons {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// nodeKill is one dead node of a running job, in partition-local
+// coordinates at job-relative time.
+type nodeKill struct {
+	local int
+	at    sim.Time
+}

@@ -1,0 +1,301 @@
+// Package facility simulates a shared machine running a queued mix of
+// jobs — the layer the paper's §II.A.3 allocation contrast actually
+// lives at. A seeded workload generator produces job arrivals (temporal
+// phases, weighted cohorts of app skeletons), a batch scheduler (FCFS
+// or EASY backfill) places them through internal/alloc on a machine
+// torus, and every job runs as a real partition-scoped mpi simulation.
+// Correlated failures (fault.InjectBlast) strike the *machine*, so one
+// rack-level blast kills nodes across several concurrent jobs, each of
+// which then fails, degrades, or restarts according to its own fault
+// policy. The whole facility run is deterministic: byte-identical
+// output at any runner worker count and any per-job shard count.
+package facility
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/topology"
+)
+
+// Job fault policies: what happens to a job whose nodes die mid-run.
+const (
+	// PolicyFailStop aborts the job at the kill (typed *mpi.RankFailure)
+	// and requeues it to restart from scratch.
+	PolicyFailStop = "failstop"
+	// PolicyCancel runs the job under transparent recovery with
+	// sender-based logging: dead ranks drop out, orphaned traffic is
+	// cancelled, and the job completes degraded (Result.Lost/PeerLost).
+	PolicyCancel = "cancel"
+	// PolicyRestart adds user-level restart (restart=ckpt): killed
+	// ranks roll back to their checkpoints and replay, and the job
+	// completes whole, just later.
+	PolicyRestart = "restart"
+)
+
+// Cohort is one class of jobs in the mix.
+type Cohort struct {
+	Name   string       // app skeleton: "halo", "cg", or "fft"
+	Nodes  int          // nodes per job
+	Weight float64      // relative draw weight
+	Est    sim.Duration // user-supplied runtime estimate (EASY reservations)
+	Iters  int          // skeleton iteration count
+	Policy string       // fault policy (Policy* constants)
+}
+
+// Phase is one period of the arrival process: from Start onward,
+// inter-arrival gaps are exponential with mean Gap (until the next
+// phase takes over).
+type Phase struct {
+	Start sim.Time
+	Gap   sim.Duration
+}
+
+// Workload is a parsed facility workload description.
+type Workload struct {
+	Seed    uint64
+	MachID  machine.ID
+	Machine *machine.Machine
+	Nodes   int    // machine size in nodes
+	Alloc   string // "bg" (isolated prisms) or "xt" (linear scan)
+	Sched   string // "fcfs" or "easy"
+	NumJobs int
+	Phases  []Phase
+	Cohorts []Cohort
+	Blasts  []fault.BlastSpec
+}
+
+// JobSpec is one generated job: a cohort instance with an arrival time.
+type JobSpec struct {
+	ID      int
+	Cohort  Cohort
+	Arrival sim.Time
+}
+
+// Parse reads a workload description: comma-separated directives.
+//
+//	seed=N                       workload seed (default 1)
+//	machine=ID                   machine catalog id (default BG/P)
+//	nodes=N                      machine size in nodes (default 512)
+//	alloc=bg|xt                  placement policy (default bg)
+//	sched=fcfs|easy              batch scheduler (default easy)
+//	jobs=N                       number of jobs to generate (default 16)
+//	phase=START:GAP              arrival phase: from START, exponential
+//	                             inter-arrival gaps with mean GAP; later
+//	                             phases override earlier ones (default
+//	                             one phase 0s:30s)
+//	cohort=NAME:NODES:WEIGHT[:EST[:ITERS[:POLICY]]]
+//	                             job class: skeleton NAME (halo, cg,
+//	                             fft), NODES per job, draw WEIGHT,
+//	                             runtime estimate EST (default 60s),
+//	                             ITERS iterations (default 20), fault
+//	                             POLICY (failstop, cancel, restart;
+//	                             default failstop)
+//	blast=TIME/ORIGIN/PC/PM/PR/D machine-level correlated failure
+//	                             (fault blast grammar; "/links" is
+//	                             rejected — per-job partitions reroute
+//	                             no machine links)
+//
+// Times and durations take the fault-spec unit suffixes (ps..s).
+func Parse(s string) (*Workload, error) {
+	w := &Workload{
+		Seed:    1,
+		MachID:  machine.BGP,
+		Nodes:   512,
+		Alloc:   "bg",
+		Sched:   "easy",
+		NumJobs: 16,
+	}
+	for _, dir := range strings.Split(s, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(dir, "=")
+		if !hasVal {
+			return nil, fmt.Errorf("facility: directive %q wants key=value", dir)
+		}
+		var err error
+		switch key {
+		case "seed":
+			if w.Seed, err = strconv.ParseUint(val, 10, 64); err != nil {
+				return nil, fmt.Errorf("facility: bad seed in %q: %v", dir, err)
+			}
+		case "machine":
+			w.MachID = machine.ID(val)
+		case "nodes":
+			if w.Nodes, err = strconv.Atoi(val); err != nil || w.Nodes <= 0 {
+				return nil, fmt.Errorf("facility: bad node count in %q", dir)
+			}
+		case "alloc":
+			if val != "bg" && val != "xt" {
+				return nil, fmt.Errorf("facility: alloc wants bg or xt, got %q", dir)
+			}
+			w.Alloc = val
+		case "sched":
+			if val != "fcfs" && val != "easy" {
+				return nil, fmt.Errorf("facility: sched wants fcfs or easy, got %q", dir)
+			}
+			w.Sched = val
+		case "jobs":
+			if w.NumJobs, err = strconv.Atoi(val); err != nil || w.NumJobs < 0 {
+				return nil, fmt.Errorf("facility: bad job count in %q", dir)
+			}
+		case "phase":
+			p, err := parsePhase(val)
+			if err != nil {
+				return nil, fmt.Errorf("facility: %v in %q", err, dir)
+			}
+			w.Phases = append(w.Phases, p)
+		case "cohort":
+			c, err := parseCohort(val)
+			if err != nil {
+				return nil, fmt.Errorf("facility: %v in %q", err, dir)
+			}
+			w.Cohorts = append(w.Cohorts, c)
+		case "blast":
+			b, err := fault.ParseBlastSpec(val)
+			if err != nil {
+				return nil, fmt.Errorf("facility: %v in %q", err, dir)
+			}
+			if b.FailLinks {
+				return nil, fmt.Errorf("facility: blast /links is not supported at facility scale (jobs never route over dead machine links) in %q", dir)
+			}
+			w.Blasts = append(w.Blasts, b)
+		default:
+			return nil, fmt.Errorf("facility: unknown directive %q", dir)
+		}
+	}
+	var err error
+	if w.Machine, err = machine.Lookup(w.MachID); err != nil {
+		return nil, fmt.Errorf("facility: %v", err)
+	}
+	if len(w.Phases) == 0 {
+		w.Phases = []Phase{{Start: 0, Gap: 30 * sim.Second}}
+	}
+	sort.SliceStable(w.Phases, func(i, j int) bool { return w.Phases[i].Start < w.Phases[j].Start })
+	if len(w.Cohorts) == 0 {
+		return nil, fmt.Errorf("facility: workload needs at least one cohort")
+	}
+	for _, c := range w.Cohorts {
+		if c.Nodes > w.Nodes {
+			return nil, fmt.Errorf("facility: cohort %q wants %d nodes on a %d-node machine", c.Name, c.Nodes, w.Nodes)
+		}
+	}
+	sort.SliceStable(w.Blasts, func(i, j int) bool { return w.Blasts[i].At < w.Blasts[j].At })
+	return w, nil
+}
+
+func parsePhase(s string) (Phase, error) {
+	startS, gapS, ok := strings.Cut(s, ":")
+	if !ok {
+		return Phase{}, fmt.Errorf("phase wants START:GAP")
+	}
+	start, err := fault.ParseDuration(startS)
+	if err != nil {
+		return Phase{}, err
+	}
+	gap, err := fault.ParseDuration(gapS)
+	if err != nil {
+		return Phase{}, err
+	}
+	if gap <= 0 {
+		return Phase{}, fmt.Errorf("phase gap must be positive")
+	}
+	return Phase{Start: sim.Time(start), Gap: gap}, nil
+}
+
+func parseCohort(s string) (Cohort, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 || len(parts) > 6 {
+		return Cohort{}, fmt.Errorf("cohort wants NAME:NODES:WEIGHT[:EST[:ITERS[:POLICY]]]")
+	}
+	c := Cohort{Name: parts[0], Est: 60 * sim.Second, Iters: 20, Policy: PolicyFailStop}
+	if _, ok := skeletons[c.Name]; !ok {
+		return Cohort{}, fmt.Errorf("unknown skeleton %q (valid: %s)", c.Name, strings.Join(skeletonNames(), ", "))
+	}
+	var err error
+	if c.Nodes, err = strconv.Atoi(parts[1]); err != nil || c.Nodes <= 0 {
+		return Cohort{}, fmt.Errorf("bad cohort node count %q", parts[1])
+	}
+	if c.Weight, err = strconv.ParseFloat(parts[2], 64); err != nil || c.Weight <= 0 {
+		return Cohort{}, fmt.Errorf("bad cohort weight %q", parts[2])
+	}
+	if len(parts) > 3 {
+		d, err := fault.ParseDuration(parts[3])
+		if err != nil || d <= 0 {
+			return Cohort{}, fmt.Errorf("bad cohort estimate %q", parts[3])
+		}
+		c.Est = d
+	}
+	if len(parts) > 4 {
+		if c.Iters, err = strconv.Atoi(parts[4]); err != nil || c.Iters <= 0 {
+			return Cohort{}, fmt.Errorf("bad cohort iterations %q", parts[4])
+		}
+	}
+	if len(parts) > 5 {
+		switch parts[5] {
+		case PolicyFailStop, PolicyCancel, PolicyRestart:
+			c.Policy = parts[5]
+		default:
+			return Cohort{}, fmt.Errorf("unknown policy %q (valid: failstop, cancel, restart)", parts[5])
+		}
+	}
+	return c, nil
+}
+
+// Torus returns the machine torus the workload runs on.
+func (w *Workload) Torus() *topology.Torus {
+	return topology.NewTorus(topology.DimsForNodes(w.Nodes))
+}
+
+// Generate draws the workload's job list: arrival times from the
+// phased exponential process, cohorts by weighted draw. The list is a
+// pure function of the workload (seeded), ordered by arrival time.
+func (w *Workload) Generate() []JobSpec {
+	rng := sim.NewRNG(w.Seed)
+	var total float64
+	for _, c := range w.Cohorts {
+		total += c.Weight
+	}
+	jobs := make([]JobSpec, 0, w.NumJobs)
+	t := w.Phases[0].Start
+	for i := 0; i < w.NumJobs; i++ {
+		// The governing phase is the last one that has started.
+		gap := w.Phases[0].Gap
+		for _, p := range w.Phases {
+			if p.Start <= t {
+				gap = p.Gap
+			}
+		}
+		t = t.Add(sim.Seconds(rng.ExpFloat64() * gap.Seconds()))
+		pick := rng.Float64() * total
+		c := w.Cohorts[len(w.Cohorts)-1]
+		for _, cand := range w.Cohorts {
+			if pick < cand.Weight {
+				c = cand
+				break
+			}
+			pick -= cand.Weight
+		}
+		jobs = append(jobs, JobSpec{ID: i + 1, Cohort: c, Arrival: t})
+	}
+	return jobs
+}
+
+// faultSpec returns the fault-spec mode directives for a policy
+// ("" for fail-stop: a bare plan with kills only).
+func policyModes(policy string) string {
+	switch policy {
+	case PolicyCancel:
+		return "recover,log=sender"
+	case PolicyRestart:
+		return "recover,log=sender,restart=ckpt"
+	}
+	return ""
+}

@@ -1,0 +1,182 @@
+package facility
+
+import (
+	"strings"
+	"testing"
+
+	"bgpsim/internal/sim"
+)
+
+func TestParseDefaults(t *testing.T) {
+	w, err := Parse("cohort=halo:16:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Seed != 1 || w.Nodes != 512 || w.Alloc != "bg" || w.Sched != "easy" || w.NumJobs != 16 {
+		t.Fatalf("defaults wrong: %+v", w)
+	}
+	if len(w.Phases) != 1 || w.Phases[0].Gap != 30*sim.Second {
+		t.Fatalf("default phase wrong: %+v", w.Phases)
+	}
+	c := w.Cohorts[0]
+	if c.Est != 60*sim.Second || c.Iters != 20 || c.Policy != PolicyFailStop {
+		t.Fatalf("cohort defaults wrong: %+v", c)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	w, err := Parse("seed=9,nodes=2048,alloc=xt,sched=fcfs,jobs=24," +
+		"phase=0s:10s,phase=300s:2s," +
+		"cohort=halo:128:2:90s:400:restart,cohort=fft:64:1:45s:200:cancel," +
+		"blast=120s/*/1/0.5/0.25/0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Seed != 9 || w.Nodes != 2048 || w.Alloc != "xt" || w.Sched != "fcfs" || w.NumJobs != 24 {
+		t.Fatalf("parse wrong: %+v", w)
+	}
+	if len(w.Phases) != 2 || w.Phases[1].Start != sim.Time(300*sim.Second) {
+		t.Fatalf("phases wrong: %+v", w.Phases)
+	}
+	if len(w.Cohorts) != 2 || w.Cohorts[0].Policy != PolicyRestart || w.Cohorts[1].Iters != 200 {
+		t.Fatalf("cohorts wrong: %+v", w.Cohorts)
+	}
+	if len(w.Blasts) != 1 || w.Blasts[0].Density != 0.6 {
+		t.Fatalf("blasts wrong: %+v", w.Blasts)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"", "at least one cohort"},
+		{"cohort=halo:16:1,alloc=cray", "alloc wants bg or xt"},
+		{"cohort=halo:16:1,sched=sjf", "sched wants fcfs or easy"},
+		{"cohort=nosuch:16:1", "unknown skeleton"},
+		{"cohort=halo:16:1:5s:10:fancy", "unknown policy"},
+		{"nodes=64,cohort=halo:128:1", "on a 64-node machine"},
+		{"cohort=halo:16:1,blast=1s/0/1/1/1/1/links", "/links is not supported"},
+		{"cohort=halo:16:1,bogus=1", "unknown directive"},
+		{"cohort=halo:16:1,machine=NoSuch", ""},
+		{"cohort=halo:0:1", "node count"},
+		{"cohort=halo:16:0", "weight"},
+		{"phase=1s", "START:GAP"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted, want error", c.spec)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want containing %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndPhased(t *testing.T) {
+	w, err := Parse("seed=5,jobs=40,phase=0s:100s,phase=1000s:1s,cohort=halo:16:3,cohort=cg:8:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := w.Generate(), w.Generate()
+	if len(a) != 40 || len(b) != 40 {
+		t.Fatalf("generated %d/%d jobs, want 40", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at job %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].Arrival < a[i-1].Arrival {
+			t.Fatalf("arrivals out of order at job %d", i)
+		}
+		if a[i].ID != i+1 {
+			t.Fatalf("job %d has ID %d", i, a[i].ID)
+		}
+	}
+	// The second phase's 1s mean gap must dominate once arrivals cross
+	// its start: mean gap after 1000s should be far below the 100s mean
+	// before it.
+	var before, after []float64
+	for i := 1; i < len(a); i++ {
+		gap := a[i].Arrival.Sub(a[i-1].Arrival).Seconds()
+		if a[i-1].Arrival.Seconds() < 1000 {
+			before = append(before, gap)
+		} else {
+			after = append(after, gap)
+		}
+	}
+	if len(after) < 5 {
+		t.Fatalf("phase 2 saw only %d arrivals; tune the test workload", len(after))
+	}
+	if mean(after)*10 > mean(before) {
+		t.Fatalf("phase gaps not respected: before=%v after=%v", mean(before), mean(after))
+	}
+	// Both cohorts must be drawn.
+	seen := map[string]bool{}
+	for _, js := range a {
+		seen[js.Cohort.Name] = true
+	}
+	if !seen["halo"] || !seen["cg"] {
+		t.Fatalf("cohort draw missing a cohort: %v", seen)
+	}
+}
+
+func mean(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// FuzzParseWorkload: the parser must never panic, and any workload it
+// accepts must satisfy the documented invariants (cohorts fit the
+// machine, phases sorted, blasts sorted and link-fault-free, known
+// skeletons, positive weights) and generate deterministically.
+func FuzzParseWorkload(f *testing.F) {
+	f.Add("cohort=halo:16:1")
+	f.Add("seed=9,nodes=64,alloc=xt,sched=fcfs,jobs=4,cohort=cg:8:1:10s:5:cancel")
+	f.Add("phase=0s:1s,phase=10s:100ms,cohort=fft:32:2:30s:12:restart,blast=5s/*/1/1/1/0.5")
+	f.Add("cohort=halo:16:1,blast=1s/0/1/1/1/1/links")
+	f.Add("nodes=0,cohort=halo:1:1")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, s string) {
+		w, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if len(w.Cohorts) == 0 {
+			t.Fatalf("accepted workload with no cohorts: %q", s)
+		}
+		for _, c := range w.Cohorts {
+			if c.Nodes <= 0 || c.Nodes > w.Nodes || c.Weight <= 0 || c.Iters <= 0 || c.Est <= 0 {
+				t.Fatalf("accepted invalid cohort %+v from %q", c, s)
+			}
+			if _, ok := skeletons[c.Name]; !ok {
+				t.Fatalf("accepted unknown skeleton %q from %q", c.Name, s)
+			}
+		}
+		for i := 1; i < len(w.Phases); i++ {
+			if w.Phases[i].Start < w.Phases[i-1].Start {
+				t.Fatalf("phases unsorted from %q", s)
+			}
+		}
+		for i, b := range w.Blasts {
+			if b.FailLinks {
+				t.Fatalf("accepted /links blast from %q", s)
+			}
+			if i > 0 && b.At < w.Blasts[i-1].At {
+				t.Fatalf("blasts unsorted from %q", s)
+			}
+		}
+		if w.NumJobs > 64 {
+			return // keep the fuzz cheap
+		}
+		a, b := w.Generate(), w.Generate()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("nondeterministic generation from %q", s)
+			}
+		}
+	})
+}

@@ -169,6 +169,13 @@ func parseUnitFloat(s string) (float64, error) {
 	return f, nil
 }
 
+// ParseBlastSpec parses the blast directive's value grammar —
+// TIME/ORIGIN/PC/PM/PR/D with an optional trailing "/links" — outside a
+// full fault spec. The facility layer's workload files embed blasts
+// with this grammar (`blast=...`) to schedule machine-level correlated
+// failures across a whole job mix.
+func ParseBlastSpec(s string) (BlastSpec, error) { return parseBlast(s) }
+
 // parseBlast parses TIME/ORIGIN/PC/PM/PR/D with an optional trailing
 // "/links".
 func parseBlast(s string) (BlastSpec, error) {

@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/topology"
+)
+
+// partitionPair carves one isolated 64-node prism and one scattered
+// 64-node allocation (two far clumps) out of an 8x8x16 machine torus.
+func partitionPair(t *testing.T) (*topology.Partition, *topology.Partition) {
+	t.Helper()
+	mach := topology.NewTorus(topology.Dims{8, 8, 16})
+	iso, err := topology.NewPrismPartition(mach, topology.Coord{0, 0, 0}, topology.Dims{4, 4, 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []int
+	for i := 0; i < 32; i++ {
+		nodes = append(nodes, i)
+	}
+	far := mach.NodeAt(topology.Coord{0, 0, 12})
+	for i := 0; i < 32; i++ {
+		nodes = append(nodes, far+i)
+	}
+	frag, err := topology.NewScatteredPartition(mach, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iso, frag
+}
+
+func TestPartitionScopedWorld(t *testing.T) {
+	iso, frag := partitionPair(t)
+	prog := func(r *Rank) {
+		if r.ID()%2 == 0 {
+			r.Send(r.ID()+1, 1<<20, 0)
+		} else {
+			r.Recv(r.ID()-1, 0)
+		}
+	}
+	run := func(p *topology.Partition) *Result {
+		return mustRun(t, Config{
+			Machine:   machine.Get(machine.BGP),
+			Mode:      machine.SMP,
+			Fidelity:  network.Analytic,
+			Partition: p,
+		}, prog)
+	}
+	ri := run(iso)
+	rf := run(frag)
+	if ri.Elapsed <= 0 || rf.Elapsed <= 0 {
+		t.Fatalf("elapsed iso=%v frag=%v", ri.Elapsed, rf.Elapsed)
+	}
+	// The fragmented partition shares links with other jobs' traffic:
+	// the same program must run strictly slower there.
+	if rf.Elapsed <= ri.Elapsed {
+		t.Errorf("fragmented partition elapsed %v not slower than isolated %v", rf.Elapsed, ri.Elapsed)
+	}
+
+	// A whole-machine config of the same shape must match the isolated
+	// partition byte for byte (the partition view adds nothing).
+	rw := mustRun(t, Config{
+		Machine:  machine.Get(machine.BGP),
+		Nodes:    64,
+		Dims:     topology.Dims{4, 4, 4},
+		Mode:     machine.SMP,
+		Fidelity: network.Analytic,
+	}, prog)
+	if rw.Elapsed != ri.Elapsed {
+		t.Errorf("isolated partition elapsed %v != whole-machine %v", ri.Elapsed, rw.Elapsed)
+	}
+}
+
+func TestPartitionConfigValidation(t *testing.T) {
+	iso, _ := partitionPair(t)
+	cfg := Config{
+		Machine:   machine.Get(machine.BGP),
+		Mode:      machine.SMP,
+		Nodes:     32, // partition holds 64
+		Partition: iso,
+	}
+	if _, err := NewWorld(cfg); err == nil {
+		t.Error("node-count/partition mismatch should fail")
+	}
+	cfg.Nodes = 0
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Config().Nodes != 64 || w.Config().Dims != (topology.Dims{4, 4, 4}) {
+		t.Errorf("derived nodes=%d dims=%v, want 64 / 4x4x4", w.Config().Nodes, w.Config().Dims)
+	}
+}

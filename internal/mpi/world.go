@@ -27,6 +27,16 @@ type Config struct {
 	Mapping topology.Mapping // defaults to XYZT
 	Dims    topology.Dims    // optional torus shape override (zero = derive from Nodes)
 
+	// Partition, when non-nil, scopes the world to a job-sized view of
+	// a larger machine (the facility layer's allocation): Nodes and
+	// Dims default to the partition's size and view shape (explicit
+	// values must agree), and fragmented (non-isolated) partitions
+	// derate the torus link bandwidth by the partition's LinkShare —
+	// the XT shared-links effect. Node indices elsewhere in the config
+	// (NodeSlowdown, fault plans) remain partition-local: local node i
+	// is Partition.Nodes[i] on the parent machine.
+	Partition *topology.Partition
+
 	// Ranks optionally runs fewer MPI tasks than the partition's
 	// capacity (Nodes * ranks-per-node). Zero means full capacity.
 	Ranks int
@@ -185,6 +195,16 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.Machine == nil {
 		return nil, fmt.Errorf("mpi: no machine configured")
 	}
+	if p := cfg.Partition; p != nil {
+		if cfg.Nodes == 0 {
+			cfg.Nodes = p.Size()
+		} else if cfg.Nodes != p.Size() {
+			return nil, fmt.Errorf("mpi: config says %d nodes but partition holds %d", cfg.Nodes, p.Size())
+		}
+		if cfg.Dims.Nodes() == 0 || cfg.Dims[0] == 0 {
+			cfg.Dims = p.ViewDims()
+		}
+	}
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("mpi: node count %d must be positive", cfg.Nodes)
 	}
@@ -233,6 +253,11 @@ func NewWorld(cfg Config) (*World, error) {
 	w.kernel.EventLimit = cfg.EventLimit
 	w.mapper = topology.NewMapper(w.torus, rpn, cfg.Mapping)
 	w.net = network.New(cfg.Machine, w.torus, cfg.Fidelity)
+	if p := cfg.Partition; p != nil && !p.Isolated {
+		if share := p.LinkShare(); share < 1 {
+			w.net.SetLinkShare(share)
+		}
+	}
 	w.cpu = cpu.New(cfg.Machine, cfg.Mode)
 	if cfg.Faults != nil {
 		if err := w.validateFaults(cfg.Faults, cfg.Nodes); err != nil {

@@ -40,7 +40,7 @@ func (n *Net) p2pFaulty(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, er
 	}
 
 	hopLat := sim.Seconds(n.mach.TorusHopLat * float64(len(route)))
-	effBW := math.Min(n.mach.TorusLinkBW*minF, n.mach.NICInjectBW)
+	effBW := math.Min(n.linkBW*minF, n.injBW)
 	wire := sim.Seconds(float64(bytes) / effBW)
 
 	if n.fid == Analytic {
@@ -52,7 +52,7 @@ func (n *Net) p2pFaulty(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, er
 
 	// Contention: as the healthy reservation loop, but each degraded
 	// link stays busy longer (serialization divided by its factor).
-	injSer := sim.Seconds(float64(bytes) / n.mach.NICInjectBW)
+	injSer := sim.Seconds(float64(bytes) / n.injBW)
 	depart := now
 	if n.injFree[srcNode] > depart {
 		depart = n.injFree[srcNode]
@@ -72,7 +72,7 @@ func (n *Net) p2pFaulty(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, er
 	for i, l := range route {
 		off := sim.Duration(i) * perHop
 		f := n.faults.LinkFactor(l, now)
-		linkSer := sim.Seconds(float64(bytes) / (n.mach.TorusLinkBW * f))
+		linkSer := sim.Seconds(float64(bytes) / (n.linkBW * f))
 		n.linkFree[n.torus.LinkIndex(l)] = depart.Add(off + linkSer)
 	}
 	arrival := depart.Add(hopLat + wire)
@@ -110,7 +110,7 @@ func (n *Net) packetOnRoute(now sim.Time, srcNode, dstNode, bytes int, route []t
 		if n.probe != nil {
 			n.probe.Inject(srcNode, t, t.Sub(now), pb)
 		}
-		t = t.Add(sim.Seconds(float64(pb) / n.mach.NICInjectBW))
+		t = t.Add(sim.Seconds(float64(pb) / n.injBW))
 		n.injFree[srcNode] = t
 		for _, l := range route {
 			idx := n.torus.LinkIndex(l)
@@ -118,7 +118,7 @@ func (n *Net) packetOnRoute(now sim.Time, srcNode, dstNode, bytes int, route []t
 				t = n.linkFree[idx]
 			}
 			f := n.faults.LinkFactor(l, now)
-			ser := sim.Seconds(float64(pb) / (n.mach.TorusLinkBW * f))
+			ser := sim.Seconds(float64(pb) / (n.linkBW * f))
 			if n.probe != nil {
 				n.probe.LinkBusy(idx, t, ser, pb)
 			}

@@ -113,6 +113,13 @@ type Net struct {
 	fid    Fidelity
 	faults *fault.Plan // nil or fault-free: the healthy fast path
 
+	// Effective bandwidths, initialized from the machine catalog and
+	// scaled down by SetLinkShare for jobs on fragmented (shared-link)
+	// partitions. Every serialization in the package reads these, never
+	// the machine fields directly.
+	linkBW float64
+	injBW  float64
+
 	// Contention state, indexed by dense link index.
 	linkFree []sim.Time
 	injFree  []sim.Time      // per node injection channel
@@ -127,7 +134,7 @@ type Net struct {
 
 // New builds the interconnect for a machine over a torus.
 func New(m *machine.Machine, t *topology.Torus, fid Fidelity) *Net {
-	n := &Net{mach: m, torus: t, fid: fid}
+	n := &Net{mach: m, torus: t, fid: fid, linkBW: m.TorusLinkBW, injBW: m.NICInjectBW}
 	if m.HasTree {
 		n.tree = topology.NewCollectiveTree(t.Dims.Nodes(), 3)
 	}
@@ -143,6 +150,21 @@ func New(m *machine.Machine, t *topology.Torus, fid Fidelity) *Net {
 
 // Torus returns the underlying torus.
 func (n *Net) Torus() *topology.Torus { return n.torus }
+
+// SetLinkShare scales the effective torus link bandwidth by the given
+// factor in (0, 1]. The facility layer calls it for jobs on fragmented
+// XT-style partitions (topology.Partition.LinkShare): a fraction of the
+// job's route hops cross links carrying other jobs' traffic, so link
+// serialization stretches accordingly. The NIC injection channel is
+// private to the node and is not scaled. Share 1 restores the
+// machine-catalog bandwidth exactly; isolated BlueGene partitions never
+// call it.
+func (n *Net) SetLinkShare(share float64) {
+	if share <= 0 || share > 1 {
+		panic(fmt.Sprintf("network: link share %g outside (0, 1]", share))
+	}
+	n.linkBW = n.mach.TorusLinkBW * share
+}
 
 // Stats returns a copy of the traffic counters.
 func (n *Net) Stats() Stats {
@@ -217,7 +239,7 @@ func (n *Net) RecordRestart(total, replay sim.Duration, msgs int, bytes int64) {
 // any fidelity — which also keeps the charge identical at every shard
 // count.
 func (n *Net) ReplayCost(bytes int) sim.Duration {
-	effBW := math.Min(n.mach.TorusLinkBW, n.mach.NICInjectBW)
+	effBW := math.Min(n.linkBW, n.injBW)
 	return sim.Seconds(n.mach.SWLatency + float64(bytes)/effBW)
 }
 
@@ -270,7 +292,7 @@ func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, error) {
 	}
 	hops := n.torus.Hops(srcNode, dstNode)
 	hopLat := sim.Seconds(n.mach.TorusHopLat * float64(hops))
-	effBW := math.Min(n.mach.TorusLinkBW, n.mach.NICInjectBW)
+	effBW := math.Min(n.linkBW, n.injBW)
 	wire := sim.Seconds(float64(bytes) / effBW)
 
 	if n.fid == Analytic {
@@ -282,8 +304,8 @@ func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, error) {
 
 	n.routeBuf = n.torus.AppendRoute(n.routeBuf[:0], srcNode, dstNode)
 	route := n.routeBuf
-	injSer := sim.Seconds(float64(bytes) / n.mach.NICInjectBW)
-	linkSer := sim.Seconds(float64(bytes) / n.mach.TorusLinkBW)
+	injSer := sim.Seconds(float64(bytes) / n.injBW)
+	linkSer := sim.Seconds(float64(bytes) / n.linkBW)
 
 	// Find the earliest departure such that the injection channel,
 	// every link (offset by the head latency to reach it), and the
@@ -331,8 +353,8 @@ func (n *Net) packetTransfer(now sim.Time, srcNode, dstNode, bytes int) sim.Time
 		packets = 1 // a header-only packet still traverses the route
 	}
 	perHop := sim.Seconds(n.mach.TorusHopLat)
-	linkSer := sim.Seconds(float64(packetBytes) / n.mach.TorusLinkBW)
-	injSer := sim.Seconds(float64(packetBytes) / n.mach.NICInjectBW)
+	linkSer := sim.Seconds(float64(packetBytes) / n.linkBW)
+	injSer := sim.Seconds(float64(packetBytes) / n.injBW)
 	lastBytes := bytes - (packets-1)*packetBytes
 	if lastBytes <= 0 {
 		lastBytes = packetBytes
@@ -343,8 +365,8 @@ func (n *Net) packetTransfer(now sim.Time, srcNode, dstNode, bytes int) sim.Time
 		ser := linkSer
 		inj := injSer
 		if k == packets-1 {
-			ser = sim.Seconds(float64(lastBytes) / n.mach.TorusLinkBW)
-			inj = sim.Seconds(float64(lastBytes) / n.mach.NICInjectBW)
+			ser = sim.Seconds(float64(lastBytes) / n.linkBW)
+			inj = sim.Seconds(float64(lastBytes) / n.injBW)
 		}
 		// Injection.
 		t := now
@@ -454,5 +476,5 @@ func (n *Net) HWBarrier() sim.Duration {
 // machine's BisectionDerate accounts for allocator fragmentation (1.0
 // on BlueGene's isolated partitions, lower on the Cray XT).
 func (n *Net) BisectionBW() float64 {
-	return float64(n.torus.BisectionLinks()) * n.mach.TorusLinkBW * n.mach.BisectionDerate
+	return float64(n.torus.BisectionLinks()) * n.linkBW * n.mach.BisectionDerate
 }

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"math"
 	"testing"
 
 	"bgpsim/internal/machine"
@@ -262,4 +263,50 @@ func TestFidelityStrings(t *testing.T) {
 	if Analytic.String() != "analytic" || Contention.String() != "contention" || Packet.String() != "packet" {
 		t.Error("fidelity names wrong")
 	}
+}
+
+func TestSetLinkShare(t *testing.T) {
+	m := machine.Get(machine.BGP)
+	tor := topology.NewTorus(topology.Dims{4, 4, 4})
+	bytes := 1 << 20
+
+	healthy := New(m, tor, Analytic)
+	a1, err := healthy.P2P(0, 0, 1, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := New(m, tor, Analytic)
+	shared.SetLinkShare(0.5)
+	a2, err := shared.P2P(0, 0, 1, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 <= a1 {
+		t.Errorf("half link share arrival %v not later than full share %v", a2, a1)
+	}
+	want := sim.Seconds(m.TorusHopLat + float64(bytes)/math.Min(m.TorusLinkBW*0.5, m.NICInjectBW))
+	if got := sim.Duration(a2); got != want {
+		t.Errorf("derated arrival = %v, want %v", got, want)
+	}
+	if healthy.BisectionBW() != 2*shared.BisectionBW() {
+		t.Errorf("bisection %g vs derated %g, want exactly 2x", healthy.BisectionBW(), shared.BisectionBW())
+	}
+	// Share 1 must restore the exact catalog value (determinism
+	// contract: default-path arithmetic is bitwise unchanged).
+	shared.SetLinkShare(1)
+	a3, err := shared.P2P(0, 0, 1, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 != a1 {
+		t.Errorf("share reset: arrival %v, want the healthy %v", a3, a1)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("share outside (0,1] should panic")
+		}
+	}()
+	shared.SetLinkShare(0)
 }

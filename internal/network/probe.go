@@ -37,7 +37,7 @@ func (n *Net) probeReserveFaulty(now, depart sim.Time, srcNode, bytes int, route
 	for i, l := range route {
 		off := sim.Duration(i) * perHop
 		f := n.faults.LinkFactor(l, now)
-		linkSer := sim.Seconds(float64(bytes) / (n.mach.TorusLinkBW * f))
+		linkSer := sim.Seconds(float64(bytes) / (n.linkBW * f))
 		n.probe.LinkBusy(n.torus.LinkIndex(l), depart.Add(off), linkSer, bytes)
 	}
 }

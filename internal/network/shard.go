@@ -37,6 +37,8 @@ func (n *Net) ShardClone() *Net {
 		fid:     n.fid,
 		faults:  n.faults,
 		shmFree: n.shmFree,
+		linkBW:  n.linkBW,
+		injBW:   n.injBW,
 	}
 }
 

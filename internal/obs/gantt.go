@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Span is one labelled interval on a Gantt row. Start and End are in
+// arbitrary (but consistent) units; Label's first rune fills the span's
+// cells in the rendered chart.
+type Span struct {
+	Label string
+	Start float64
+	End   float64
+}
+
+// GanttRow is one resource (a job, a rank, a machine slice) and its
+// occupancy spans.
+type GanttRow struct {
+	Name  string
+	Spans []Span
+}
+
+// Gantt renders rows as a fixed-width text chart: one line per row,
+// name column on the left, time axis scaled so the latest End lands in
+// the last of width cells. Overlapping spans within a row overwrite
+// left to right (later spans in the slice win), which reads naturally
+// for retry timelines where an abort span is appended after the run
+// span it truncates. Empty cells render as '.'.
+func Gantt(rows []GanttRow, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	var maxEnd float64
+	nameW := 0
+	for _, r := range rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+		for _, s := range r.Spans {
+			if s.End > maxEnd {
+				maxEnd = s.End
+			}
+		}
+	}
+	if maxEnd <= 0 {
+		maxEnd = 1
+	}
+	scale := float64(width) / maxEnd
+	var b strings.Builder
+	for _, r := range rows {
+		cells := make([]byte, width)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		for _, s := range r.Spans {
+			if s.End < s.Start {
+				continue
+			}
+			fill := byte('#')
+			if s.Label != "" {
+				fill = s.Label[0]
+			}
+			lo := int(s.Start * scale)
+			hi := int(s.End * scale)
+			if hi <= lo {
+				hi = lo + 1 // every span is visible, however short
+			}
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi && i >= 0; i++ {
+				cells[i] = fill
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, r.Name, cells)
+	}
+	fmt.Fprintf(&b, "%-*s  0%*s\n", nameW, "", width, fmt.Sprintf("%.3g", maxEnd))
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGanttRender pins the fixed-width rendering: scaling to the
+// latest end, later spans overwriting earlier ones, minimum one cell
+// per span, and the axis line.
+func TestGanttRender(t *testing.T) {
+	rows := []GanttRow{
+		{Name: "job 1", Spans: []Span{
+			{Label: "q", Start: 0, End: 5},
+			{Label: "h", Start: 5, End: 20},
+		}},
+		{Name: "job 22", Spans: []Span{
+			{Label: "h", Start: 10, End: 20},
+			{Label: "x", Start: 10, End: 15}, // abort overwrites the run's head
+		}},
+		{Name: "idle", Spans: nil},
+	}
+	got := Gantt(rows, 20)
+	want := strings.Join([]string{
+		"job 1  |qqqqqhhhhhhhhhhhhhhh|",
+		"job 22 |..........xxxxxhhhhh|",
+		"idle   |....................|",
+		"        0                  20",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("gantt render:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGanttShortSpanVisible: a span far shorter than one cell still
+// paints one cell.
+func TestGanttShortSpanVisible(t *testing.T) {
+	rows := []GanttRow{{Name: "r", Spans: []Span{
+		{Label: "b", Start: 0, End: 100},
+		{Label: "s", Start: 50, End: 50.001},
+	}}}
+	got := Gantt(rows, 10)
+	if !strings.Contains(got, "s") {
+		t.Fatalf("sub-cell span invisible:\n%s", got)
+	}
+}
+
+// TestGanttDefaults: non-positive width falls back to 64 and an
+// all-empty chart still renders an axis.
+func TestGanttDefaults(t *testing.T) {
+	got := Gantt([]GanttRow{{Name: "a"}}, 0)
+	line := strings.SplitN(got, "\n", 2)[0]
+	if want := "a |" + strings.Repeat(".", 64) + "|"; line != want {
+		t.Fatalf("default-width row %q, want %q", line, want)
+	}
+	if !strings.Contains(got, "0") {
+		t.Fatalf("missing axis:\n%s", got)
+	}
+}
+
+// TestGanttReversedSpanIgnored: End < Start is skipped rather than
+// painted or panicking.
+func TestGanttReversedSpanIgnored(t *testing.T) {
+	got := Gantt([]GanttRow{{Name: "r", Spans: []Span{
+		{Label: "z", Start: 9, End: 3},
+		{Label: "k", Start: 0, End: 10},
+	}}}, 10)
+	if strings.Contains(got, "z") {
+		t.Fatalf("reversed span painted:\n%s", got)
+	}
+	if !strings.Contains(got, "kkkkkkkkkk") {
+		t.Fatalf("valid span missing:\n%s", got)
+	}
+}

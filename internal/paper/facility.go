@@ -1,0 +1,94 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/facility"
+	"bgpsim/internal/stats"
+)
+
+func init() {
+	register("facility", "Supplementary: multi-job facility, BG vs XT allocation under a rack blast (docs/FACILITY.md)", facilityExp)
+}
+
+// facilityWorkload is the shared job mix: a two-rack (2048-node) BG/P
+// machine under EASY backfill, three app-skeleton cohorts with the
+// three fault policies, and one correlated failure forced to rack
+// scale (PCard=PMidplane=PRack=1) mid-mix — so a rack-level blast
+// kills one of the machine's two racks while several jobs run, and
+// the other rack's jobs survive untouched. Only the placement policy
+// (alloc=bg vs alloc=xt) differs between the two runs.
+func facilityWorkload(full bool) string {
+	jobs, gap := 14, "1700ms"
+	if full {
+		jobs, gap = 36, "2s"
+	}
+	return fmt.Sprintf("seed=%d,machine=BG/P,nodes=2048,sched=easy,jobs=%d,phase=0s:%s,"+
+		"cohort=halo:128:3:14s:1000:failstop,"+
+		"cohort=cg:64:2:8s:500:cancel,"+
+		"cohort=fft:32:1:5s:200:restart,"+
+		"blast=12s/100/1/1/1/0.6", faultSeed, jobs, gap)
+}
+
+// facilityExp runs the same seeded workload under BlueGene-style
+// isolated-prism allocation and XT-style linear-scan allocation, and
+// tabulates what the paper's §II.A.3 contrast costs at facility scale:
+// utilization, queue waits, fragmentation, per-job link share, and the
+// reach of one rack-level blast across concurrent jobs.
+func facilityExp(o Options) ([]*stats.Table, error) {
+	spec := facilityWorkload(o.Full)
+	results := map[string]*facility.Result{}
+	for _, al := range []string{"bg", "xt"} {
+		w, err := facility.Parse(spec + ",alloc=" + al)
+		if err != nil {
+			return nil, err
+		}
+		res, err := facility.Run(facility.Params{Workload: w, Shards: o.Shards})
+		if err != nil {
+			return nil, fmt.Errorf("facility alloc=%s: %v", al, err)
+		}
+		results[al] = res
+	}
+
+	cmp := stats.NewTable("facility: BG prism vs XT linear allocation (same workload)",
+		"alloc", "makespan(s)", "util", "mean wait(s)", "max wait(s)",
+		"frag mean", "frag max", "backfills", "mean extshare", "mean spread", "blast jobs hit")
+	for _, al := range []string{"bg", "xt"} {
+		r := results[al]
+		var ext, spread float64
+		placed := 0
+		for _, j := range r.Jobs {
+			if len(j.Starts) == 0 {
+				continue
+			}
+			ext += j.ExtFrac
+			spread += j.Spread
+			placed++
+		}
+		if placed > 0 {
+			ext /= float64(placed)
+			spread /= float64(placed)
+		}
+		hit := 0
+		for _, b := range r.Blasts {
+			hit += len(b.Hits)
+		}
+		cmp.AddRow(al,
+			stats.FormatG(r.Makespan.Seconds()), stats.FormatG(r.Utilization),
+			stats.FormatG(r.MeanWait.Seconds()), stats.FormatG(r.MaxWait.Seconds()),
+			stats.FormatG(r.FragMean), stats.FormatG(r.FragMax),
+			fmt.Sprintf("%d", r.Backfills), stats.FormatG(ext), stats.FormatG(spread),
+			fmt.Sprintf("%d", hit))
+	}
+
+	tables := []*stats.Table{cmp}
+	for _, al := range []string{"bg", "xt"} {
+		bt := results[al].BlastTable()
+		bt.Title = fmt.Sprintf("facility blasts (alloc=%s)", al)
+		tables = append(tables, bt)
+	}
+	jt := results["bg"].JobTable()
+	jt.Title = "facility jobs (alloc=bg)"
+	tables = append(tables, jt)
+	return tables, nil
+}

@@ -1,0 +1,81 @@
+package paper
+
+import (
+	"strconv"
+	"testing"
+)
+
+// facilityCell looks a cell up by alloc row and column name in the
+// facility comparison table.
+func facilityCell(t *testing.T, columns []string, rows [][]string, alloc, col string) string {
+	t.Helper()
+	ci := -1
+	for i, c := range columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("column %q not in %v", col, columns)
+	}
+	for _, row := range rows {
+		if row[0] == alloc {
+			return row[ci]
+		}
+	}
+	t.Fatalf("no row for alloc %q", alloc)
+	return ""
+}
+
+// TestFacilityContrast pins the facility experiment's load-bearing
+// properties at reduced scale: the rack-level blast reaches at least
+// two concurrent jobs under both allocators (the PR's acceptance
+// scenario), BG-style prism allocation keeps every job's external-link
+// share at zero while XT-style linear scans leak routes through other
+// jobs' nodes, and BG pays for that isolation in internal
+// fragmentation.
+func TestFacilityContrast(t *testing.T) {
+	e, err := Get("facility")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 4 {
+		t.Fatalf("got %d tables, want comparison + 2 blast tables + job table", len(tables))
+	}
+	cmp := tables[0]
+	if len(cmp.Rows) != 2 {
+		t.Fatalf("comparison table has %d rows, want bg and xt", len(cmp.Rows))
+	}
+	cell := func(alloc, col string) string {
+		return facilityCell(t, cmp.Columns, cmp.Rows, alloc, col)
+	}
+	num := func(alloc, col string) float64 {
+		v, err := strconv.ParseFloat(cell(alloc, col), 64)
+		if err != nil {
+			t.Fatalf("cell (%s, %s) = %q: %v", alloc, col, cell(alloc, col), err)
+		}
+		return v
+	}
+
+	for _, al := range []string{"bg", "xt"} {
+		if hit := num(al, "blast jobs hit"); hit < 2 {
+			t.Errorf("alloc=%s: rack blast hit %v jobs, want >= 2 concurrent jobs", al, hit)
+		}
+		if u := num(al, "util"); u <= 0 || u > 1 {
+			t.Errorf("alloc=%s: utilization %v outside (0, 1]", al, u)
+		}
+	}
+	if ext := num("bg", "mean extshare"); ext != 0 {
+		t.Errorf("bg mean extshare %v, want 0 (prisms are link-isolated)", ext)
+	}
+	if ext := num("xt", "mean extshare"); ext <= 0 {
+		t.Errorf("xt mean extshare %v, want > 0 (linear scans share links)", ext)
+	}
+	if bg, xt := num("bg", "frag mean"), num("xt", "frag mean"); bg <= xt {
+		t.Errorf("frag mean bg=%v xt=%v, want bg > xt (isolation costs fragmentation)", bg, xt)
+	}
+}

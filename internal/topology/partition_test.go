@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrismPartitionEnumeration(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	p, err := NewPrismPartition(tor, Coord{2, 0, 0}, Dims{2, 2, 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 8 || !p.Rect() || p.ViewDims() != (Dims{2, 2, 2}) {
+		t.Fatalf("prism: size=%d rect=%v view=%v", p.Size(), p.Rect(), p.ViewDims())
+	}
+	// Local order must be x-fastest within the prism, matching the
+	// linearization of the view torus.
+	view := NewTorus(p.ViewDims())
+	for local, parent := range p.Nodes {
+		c := view.CoordOf(local)
+		want := tor.NodeAt(Coord{2 + c[0], c[1], c[2]})
+		if parent != want {
+			t.Errorf("local %d = parent %d, want %d", local, parent, want)
+		}
+		if got, ok := p.LocalOf(parent); !ok || got != local {
+			t.Errorf("LocalOf(%d) = %d,%v, want %d", parent, got, ok, local)
+		}
+		if p.ParentOf(local) != parent {
+			t.Errorf("ParentOf(%d) = %d, want %d", local, p.ParentOf(local), parent)
+		}
+	}
+	if p.ExternalRouteShare() != 0 {
+		t.Errorf("isolated prism external share = %g, want 0", p.ExternalRouteShare())
+	}
+	if p.LinkShare() != 1 {
+		t.Errorf("isolated prism link share = %g, want 1", p.LinkShare())
+	}
+}
+
+func TestPrismPartitionBounds(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	if _, err := NewPrismPartition(tor, Coord{3, 0, 0}, Dims{2, 2, 2}, true); err == nil {
+		t.Error("prism overflowing the torus should fail")
+	}
+	if _, err := NewPrismPartition(tor, Coord{0, 0, 0}, Dims{0, 2, 2}, true); err == nil {
+		t.Error("empty prism should fail")
+	}
+}
+
+func TestScatteredPartitionValidation(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	if _, err := NewScatteredPartition(tor, nil); err == nil {
+		t.Error("empty node set should fail")
+	}
+	if _, err := NewScatteredPartition(tor, []int{1, 64}); err == nil {
+		t.Error("out-of-range node should fail")
+	}
+	if _, err := NewScatteredPartition(tor, []int{1, 1}); err == nil {
+		t.Error("duplicate node should fail")
+	}
+}
+
+func TestScatteredPartitionShare(t *testing.T) {
+	tor := NewTorus(Dims{8, 8, 8})
+	// Two far-apart clumps: routes between them leave the node set.
+	nodes := []int{0, 1, 2, 3}
+	far := tor.NodeAt(Coord{4, 4, 4})
+	nodes = append(nodes, far, far+1, far+2, far+3)
+	p, err := NewScatteredPartition(tor, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.ExternalRouteShare()
+	if e <= 0 || e >= 1 {
+		t.Fatalf("scattered share = %g, want in (0,1)", e)
+	}
+	f := p.LinkShare()
+	if want := 1 / (1 + e); math.Abs(f-want) > 1e-12 {
+		t.Errorf("LinkShare = %g, want %g", f, want)
+	}
+	// A compact contiguous run is all-internal along X.
+	comp, err := NewScatteredPartition(tor, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := comp.ExternalRouteShare(); e != 0 {
+		t.Errorf("contiguous X run external share = %g, want 0", e)
+	}
+	if comp.ViewDims().Nodes() != 4 {
+		t.Errorf("view dims %v hold %d nodes, want 4", comp.ViewDims(), comp.ViewDims().Nodes())
+	}
+}
+
+func TestPartitionIntersect(t *testing.T) {
+	tor := NewTorus(Dims{4, 4, 4})
+	p, err := NewScatteredPartition(tor, []int{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Intersect([]int{5, 30, 10, 40})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Intersect = %v, want [0 2]", got)
+	}
+	if p.Contains(20) != true || p.Contains(21) != false {
+		t.Error("Contains misreports membership")
+	}
+}

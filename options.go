@@ -139,3 +139,12 @@ func WithFidelity(f Fidelity) Option {
 func WithMapping(m Mapping) Option {
 	return func(c *Config) { c.Mapping = m }
 }
+
+// WithPartition runs the program on a sub-machine view instead of the
+// whole configured machine: ranks land on the partition's nodes, and a
+// scattered (non-isolated) partition pays the external-route bandwidth
+// derate. Equivalent to setting Config.Partition = p. The partition's
+// size must cover the configured rank count's node demand.
+func WithPartition(p *Partition) Option {
+	return func(c *Config) { c.Partition = p }
+}

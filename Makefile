@@ -54,6 +54,26 @@ check:
 	@cmp /tmp/bgpsim-check-fac1.txt /tmp/bgpsim-check-fac4.txt || \
 		{ echo "check: paper -exp facility differs between -j 1 and -j 4 -shards 4"; exit 1; }
 	@rm -f /tmp/bgpsim-check-fac1.txt /tmp/bgpsim-check-fac4.txt
+	@# Server smoke: bgpsimd submits one job twice over real HTTP and
+	@# must answer miss then hit with byte-identical result documents,
+	@# then drain cleanly (exit 0).
+	$(GO) run ./cmd/bgpsimd -smoke
+	@# Daemon smoke: the real binary on a random port — POST the same
+	@# job twice (second must be a byte-identical cache hit), SIGTERM,
+	@# and require the graceful drain to exit 0.
+	$(GO) build -o /tmp/bgpsim-check-bgpsimd ./cmd/bgpsimd
+	@rm -f /tmp/bgpsim-check-bgpsimd.addr
+	@/tmp/bgpsim-check-bgpsimd -addr 127.0.0.1:0 -addr-file /tmp/bgpsim-check-bgpsimd.addr 2>/dev/null & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/bgpsim-check-bgpsimd.addr ] && break; sleep 0.1; done; \
+	addr=$$(cat /tmp/bgpsim-check-bgpsimd.addr); \
+	job='{"kind":"bench","bench":"allreduce","ranks":64,"trace":true}'; \
+	curl -sf -D /tmp/bgpsim-check-h1 -o /tmp/bgpsim-check-b1 -X POST "http://$$addr/v1/jobs" -d "$$job" || { echo "check: bgpsimd first submit failed"; kill $$pid; exit 1; }; \
+	curl -sf -D /tmp/bgpsim-check-h2 -o /tmp/bgpsim-check-b2 -X POST "http://$$addr/v1/jobs" -d "$$job" || { echo "check: bgpsimd second submit failed"; kill $$pid; exit 1; }; \
+	grep -qi "^X-Bgpsimd-Cache: hit" /tmp/bgpsim-check-h2 || { echo "check: bgpsimd resubmission was not a cache hit"; kill $$pid; exit 1; }; \
+	cmp -s /tmp/bgpsim-check-b1 /tmp/bgpsim-check-b2 || { echo "check: bgpsimd cache hit body differs from miss body"; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "check: bgpsimd drain did not exit 0"; exit 1; }
+	@rm -f /tmp/bgpsim-check-bgpsimd /tmp/bgpsim-check-bgpsimd.addr /tmp/bgpsim-check-h1 /tmp/bgpsim-check-h2 /tmp/bgpsim-check-b1 /tmp/bgpsim-check-b2
 
 # Kernel hot-path benchmarks. BENCH_kernel.json (test2json stream, one
 # object per line) records the perf trajectory so future PRs can diff
@@ -99,7 +119,7 @@ examples:
 # observability contracts lean on (fault injection, the MPI layer, the
 # probes) must not silently lose their tests. Floors sit ~5 points
 # below measured coverage; raise them as the suites grow.
-COVER_FLOORS = bgpsim/internal/fault:86 bgpsim/internal/mpi:83 bgpsim/internal/obs:65 bgpsim/internal/alloc:89 bgpsim/internal/facility:85
+COVER_FLOORS = bgpsim/internal/fault:86 bgpsim/internal/mpi:83 bgpsim/internal/obs:65 bgpsim/internal/alloc:89 bgpsim/internal/facility:85 bgpsim/internal/jobspec:70 bgpsim/internal/server:70
 
 cover:
 	@$(GO) test -cover ./... | awk -v floors="$(COVER_FLOORS)" ' \

@@ -20,6 +20,7 @@ package bgpsim
 
 import (
 	"bgpsim/internal/core"
+	"bgpsim/internal/jobspec"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
@@ -68,7 +69,25 @@ type (
 	KernelClass = machine.KernelClass
 	// MachineID names a machine model in the catalog.
 	MachineID = machine.ID
+	// JobSpec is the canonical, versioned, JSON-serializable job
+	// description shared by the CLIs and the bgpsimd job server: the
+	// same struct a server client POSTs as JSON. Its Canonical form
+	// hashes to the job's cache identity (JobSpec.Hash); see
+	// NewSystemFromSpec for turning one into a runnable Config.
+	JobSpec = jobspec.Spec
 )
+
+// Job kinds for JobSpec.Kind.
+const (
+	KindBench    = jobspec.KindBench
+	KindHalo     = jobspec.KindHalo
+	KindHPCC     = jobspec.KindHPCC
+	KindFacility = jobspec.KindFacility
+)
+
+// DecodeJobSpec parses a JSON document into a canonical, validated
+// JobSpec (the format cmd/bgpsimd accepts; see docs/SERVER.md).
+func DecodeJobSpec(data []byte) (JobSpec, error) { return jobspec.Decode(data) }
 
 // Machine catalog identifiers.
 const (
@@ -145,6 +164,26 @@ func NewSystem(id machine.ID, mode Mode, ranks int, opts ...Option) Config {
 		o(&cfg)
 	}
 	return cfg
+}
+
+// NewSystemFromSpec builds a Config from a canonical job spec — the
+// JSON-document front-end to the same partition construction NewSystem
+// performs with functional options. The spec must be a bench-kind job
+// (the Config-shaped kind: machine, mode, ranks, mapping, fidelity,
+// faults, shards); the other kinds bundle their own programs and run
+// through the CLIs or the bgpsimd server. The canonical spec is
+// attached to the Config and carried through to Result.Spec, so a
+// result always reports exactly which job produced it. Options apply
+// after the spec, so they can override it.
+func NewSystemFromSpec(s JobSpec, opts ...Option) (Config, error) {
+	cfg, _, err := s.BenchConfig()
+	if err != nil {
+		return Config{}, err
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg, nil
 }
 
 // Run executes a program under a configuration.

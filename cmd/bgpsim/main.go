@@ -10,50 +10,20 @@
 //	bgpsim -machine BG/P -ranks 512 -bench barrier
 //	bgpsim -machine BG/P -ranks 512 -bench alltoall -bytes 4096
 //	bgpsim -machine BG/P -ranks 64 -bench alltoall -profile -trace out.json
+//
+// The flags parse into a jobspec.Spec — the same canonical job
+// description the bgpsimd server accepts as JSON — and run through the
+// shared jobspec.Run path, so a CLI invocation and the equivalent
+// server job produce byte-identical output.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
-	"bgpsim/internal/core"
-	"bgpsim/internal/fault"
-	"bgpsim/internal/machine"
-	"bgpsim/internal/mpi"
-	"bgpsim/internal/network"
-	"bgpsim/internal/obs"
-	"bgpsim/internal/topology"
-	"bgpsim/internal/trace"
+	"bgpsim/internal/jobspec"
 )
-
-// parseMode maps the -mode flag to an execution mode.
-func parseMode(s string) (machine.Mode, error) {
-	switch s {
-	case "SMP":
-		return machine.SMP, nil
-	case "DUAL":
-		return machine.DUAL, nil
-	case "VN":
-		return machine.VN, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (valid: SMP, DUAL, VN)", s)
-}
-
-// parseFidelity maps the -fidelity flag to a network model. Unknown
-// names are an error, not a silent fallback to contention.
-func parseFidelity(s string) (network.Fidelity, error) {
-	switch s {
-	case "analytic":
-		return network.Analytic, nil
-	case "contention":
-		return network.Contention, nil
-	case "packet":
-		return network.Packet, nil
-	}
-	return 0, fmt.Errorf("unknown fidelity %q (valid: analytic, contention, packet)", s)
-}
 
 func main() {
 	mach := flag.String("machine", "BG/P", "machine: BG/P, BG/L, XT3, XT4/DC, XT4/QC")
@@ -72,160 +42,37 @@ func main() {
 	linksFile := flag.String("links", "", "write per-link utilization CSV to FILE")
 	flag.Parse()
 
-	if _, err := machine.Lookup(machine.ID(*mach)); err != nil {
-		fail("%v", err)
+	spec := jobspec.Spec{
+		Kind:     jobspec.KindBench,
+		Machine:  *mach,
+		Mode:     *modeS,
+		Ranks:    *ranks,
+		Bench:    *benchS,
+		Bytes:    bytes,
+		Double:   double,
+		Mapping:  *mapping,
+		Fidelity: *fidelity,
+		Shards:   *shards,
+		Faults:   *faultsFlag,
+		Events:   *events,
+		Trace:    *traceFile != "",
+		Profile:  *profile,
+		Links:    *linksFile != "",
 	}
-	mode, err := parseMode(*modeS)
+	res, err := jobspec.Run(spec, os.Stdout, os.Stderr)
 	if err != nil {
 		fail("%v", err)
 	}
-	if *ranks <= 0 {
-		fail("rank count %d must be positive", *ranks)
-	}
-	if !topology.Mapping(*mapping).Valid() {
-		fail("invalid mapping %q (want a permutation of X, Y, Z, T)", *mapping)
-	}
-	fid, err := parseFidelity(*fidelity)
-	if err != nil {
-		fail("%v", err)
-	}
-
-	cfg := core.PartitionConfig(machine.ID(*mach), mode, *ranks)
-	cfg.Mapping = topology.Mapping(*mapping)
-	cfg.Fidelity = fid
-	if *shards < 0 {
-		fail("shard count %d must be >= 0", *shards)
-	}
-	cfg.Shards = *shards
-	if *faultsFlag != "" {
-		plan, blasts, err := fault.BuildForPartition(*faultsFlag, machine.ID(*mach), cfg.Nodes)
-		if err != nil {
-			fail("%v", err)
-		}
-		for _, b := range blasts {
-			fmt.Fprintf(os.Stderr, "bgpsim: blast from node %d: %s domain [%d, %d], %d nodes killed\n",
-				b.Origin, b.Level, b.First, b.Last, len(b.Dead))
-		}
-		cfg.Faults = plan
-	}
-	var tb *trace.Buffer
-	if *events > 0 {
-		tb = trace.NewBuffer(*events)
-		cfg.Trace = tb
-	}
-	var rec *obs.Recorder
-	if *traceFile != "" || *profile || *linksFile != "" {
-		rec = obs.NewRecorder()
-		cfg.Probe = rec
-	}
-
-	var program func(*mpi.Rank)
-	switch *benchS {
-	case "allreduce":
-		program = func(r *mpi.Rank) { r.World().Allreduce(r, *bytes, *double) }
-	case "bcast":
-		program = func(r *mpi.Rank) { r.World().Bcast(r, 0, *bytes) }
-	case "barrier":
-		program = func(r *mpi.Rank) { r.World().Barrier(r) }
-	case "alltoall":
-		program = func(r *mpi.Rank) { r.World().Alltoall(r, *bytes) }
-	case "pingpong":
-		far := cfg.Nodes / 2
-		if far == 0 {
-			far = *ranks - 1
-		}
-		program = func(r *mpi.Rank) {
-			switch r.ID() {
-			case 0:
-				r.Send(far, *bytes, 1)
-				r.Recv(far, 2)
-			case far:
-				r.Recv(0, 1)
-				r.Send(0, *bytes, 2)
-			}
-		}
-	default:
-		fail("unknown benchmark %q", *benchS)
-	}
-
-	res, err := mpi.Execute(cfg, program)
-	if err != nil {
-		fail("%v", err)
-	}
-	if *shards > 1 && res.Shards < *shards {
-		// The fallback is silent on stdout (results are identical
-		// either way) but worth a note: the user asked for parallelism
-		// the configuration cannot provide.
-		fmt.Fprintf(os.Stderr, "bgpsim: note: ran on the serial kernel (-shards %d needs -fidelity analytic and no link faults)\n", *shards)
-	}
-	fmt.Printf("%s %s %d ranks (%d nodes), %s, %d bytes\n",
-		*mach, mode, cfg.Ranks, cfg.Nodes, *benchS, *bytes)
-	fmt.Printf("  time:       %v\n", res.Elapsed)
-	if *benchS == "pingpong" {
-		half := res.Elapsed / 2
-		fmt.Printf("  one-way:    %v\n", half)
-		if *bytes > 0 {
-			fmt.Printf("  bandwidth:  %.3f GB/s\n", float64(*bytes)/half.Seconds()/1e9)
-		}
-	}
-	fmt.Printf("  messages:   %d (%d on shared memory)\n", res.Net.Messages, res.Net.ShmMsgs)
-	fmt.Printf("  tree ops:   %d, barrier-net ops: %d\n", res.Net.TreeOps, res.Net.BarrierOps)
-	if cfg.Faults != nil {
-		fmt.Printf("  lost ranks: %v\n", res.Lost)
-		fmt.Printf("  recoveries: %d (tree rebuilds %d, HW fallbacks %d, %v charged)\n",
-			res.Net.Recoveries, res.Net.TreeRebuilds, res.Net.HWFallbacks, res.Net.RecoveryTime)
-		if cfg.Faults.LogSender() {
-			fmt.Printf("  peer-lost:  %d rank(s) had waits cancelled on a dead peer\n", len(res.PeerLost))
-			fmt.Printf("  msg log:    %d orphans cancelled, %d restarts (%d msgs / %d bytes replayed, %v replay, %v restart charged)\n",
-				res.Net.Orphans, res.Net.Restarts, res.Net.Replays, res.Net.ReplayBytes,
-				res.Net.ReplayTime, res.Net.RestartTime)
-		}
-	}
-	fmt.Printf("  sim events: %d\n", res.Events)
-	if n := res.DroppedEvents(); n > 0 {
-		fmt.Fprintf(os.Stderr, "bgpsim: warning: %d trace events dropped (raise -events)\n", n)
-	}
-	if tb != nil {
-		fmt.Println("trace:")
-		if err := tb.Dump(os.Stdout); err != nil {
+	if *traceFile != "" {
+		if err := os.WriteFile(*traceFile, res.Artifact(jobspec.ArtifactTrace), 0o644); err != nil {
 			fail("%v", err)
 		}
 	}
-	if rec != nil {
-		if *profile {
-			if err := res.Profile().WriteTable(os.Stdout); err != nil {
-				fail("%v", err)
-			}
-			if err := res.CriticalPath().WriteSummary(os.Stdout); err != nil {
-				fail("%v", err)
-			}
-		}
-		if *traceFile != "" {
-			if err := writeFileWith(*traceFile, rec.WriteChromeTrace); err != nil {
-				fail("%v", err)
-			}
-		}
-		if *linksFile != "" {
-			if err := writeFileWith(*linksFile, func(w io.Writer) error {
-				return rec.WriteLinkCSV(w, obs.TorusLinkName)
-			}); err != nil {
-				fail("%v", err)
-			}
+	if *linksFile != "" {
+		if err := os.WriteFile(*linksFile, res.Artifact(jobspec.ArtifactLinks), 0o644); err != nil {
+			fail("%v", err)
 		}
 	}
-}
-
-// writeFileWith creates path and streams one exporter into it.
-func writeFileWith(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func fail(format string, args ...interface{}) {

@@ -1,0 +1,160 @@
+// Command bgpsimd serves bgpsim simulations over HTTP: clients POST
+// canonical job specs (the same document the CLIs build from their
+// flags) and get back the run's stdout, stderr, and observability
+// artifacts as JSON. Deterministic execution makes results
+// content-addressable — resubmitting a job returns the cached document
+// byte-identically without re-running it. See docs/SERVER.md.
+//
+// Usage:
+//
+//	bgpsimd [-addr host:port] [-workers n] [-queue n] [-cache n]
+//	        [-rate r -burst n] [-snapshots n] [-addr-file path]
+//
+// SIGINT/SIGTERM triggers a graceful drain: accepted jobs finish,
+// parked snapshots unwind, then the process exits 0.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bgpsim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once serving")
+	workers := flag.Int("workers", 2, "concurrent simulation workers")
+	queue := flag.Int("queue", 8, "queued-job depth before submissions get 429")
+	cache := flag.Int("cache", 64, "result cache capacity (documents)")
+	rate := flag.Float64("rate", 0, "sustained job submissions per second (0 = unlimited)")
+	burst := flag.Int("burst", 4, "rate-limit burst depth")
+	snapshots := flag.Int("snapshots", 16, "maximum parked snapshots")
+	smoke := flag.Bool("smoke", false, "self-test: start, submit a job twice, verify the cache replays it byte-identically, drain, exit")
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		RatePerSec:   *rate,
+		Burst:        *burst,
+		MaxSnapshots: *snapshots,
+	}
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "bgpsimd: smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("bgpsimd: smoke ok")
+		return
+	}
+	if err := serve(cfg, *addr, *addrFile); err != nil {
+		fmt.Fprintf(os.Stderr, "bgpsimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func serve(cfg server.Config, addr, addrFile string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := server.New(cfg)
+	hs := &http.Server{Handler: srv.Handler()}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("write addr file: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bgpsimd: serving on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "bgpsimd: %v: draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "bgpsimd: drained")
+	return nil
+}
+
+// runSmoke exercises the cache contract end to end over real HTTP: the
+// same job submitted twice must answer miss then hit with
+// byte-identical bodies, and the drain must complete cleanly.
+func runSmoke(cfg server.Config) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := server.New(cfg)
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+
+	base := "http://" + ln.Addr().String()
+	job := `{"kind":"bench","bench":"allreduce","ranks":64,"trace":true}`
+	post := func() ([]byte, string, error) {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(job)))
+		if err != nil {
+			return nil, "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, "", fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+		return body, resp.Header.Get("X-Bgpsimd-Cache"), nil
+	}
+	first, src1, err := post()
+	if err != nil {
+		return fmt.Errorf("first submit: %v", err)
+	}
+	if src1 != "miss" {
+		return fmt.Errorf("first submit: cache %q, want miss", src1)
+	}
+	second, src2, err := post()
+	if err != nil {
+		return fmt.Errorf("second submit: %v", err)
+	}
+	if src2 != "hit" {
+		return fmt.Errorf("second submit: cache %q, want hit", src2)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("cache hit body differs from miss body (%d vs %d bytes)", len(first), len(second))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %v", err)
+	}
+	fmt.Printf("bgpsimd: smoke: %d-byte result, miss then hit, byte-identical, drained\n", len(first))
+	return nil
+}

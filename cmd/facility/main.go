@@ -11,7 +11,9 @@
 //	facility -j 8 -shards 4          # stdout is byte-identical at any -j/-shards
 //
 // The workload grammar is documented on facility.Parse (see also
-// docs/FACILITY.md).
+// docs/FACILITY.md). The flags parse into a jobspec.Spec — the same
+// canonical job description the bgpsimd server accepts as JSON — and
+// run through the shared jobspec.Run path.
 package main
 
 import (
@@ -21,7 +23,7 @@ import (
 	"os"
 	"runtime"
 
-	"bgpsim/internal/facility"
+	"bgpsim/internal/jobspec"
 	"bgpsim/internal/runner"
 )
 
@@ -31,25 +33,15 @@ const defaultSpec = "seed=7,nodes=64,jobs=8,phase=0s:2s," +
 	"cohort=halo:8:2:20s:600:cancel,cohort=cg:16:1:12s:300:failstop," +
 	"blast=6s/0/1/0/0/0.8"
 
-// run parses and runs one workload and writes the report plus the
-// per-blast notes to w.
+// run executes one workload through the shared jobspec path and writes
+// the report plus the per-blast notes to w.
 func run(spec string, shards int, w io.Writer) error {
-	wl, err := facility.Parse(spec)
-	if err != nil {
-		return err
-	}
-	res, err := facility.Run(facility.Params{Workload: wl, Shards: shards})
-	if err != nil {
-		return err
-	}
-	res.Report(w)
-	if len(res.Blasts) > 0 {
-		io.WriteString(w, "\n")
-		var notes runner.Notes
-		res.BlastNotes(&notes)
-		notes.Flush(w)
-	}
-	return nil
+	_, err := jobspec.Run(jobspec.Spec{
+		Kind:     jobspec.KindFacility,
+		Workload: spec,
+		Shards:   shards,
+	}, w, w)
+	return err
 }
 
 func main() {

@@ -7,6 +7,11 @@
 //	halo -gx 32 -gy 16 -words 2048
 //	halo -gx 32 -gy 16 -sweep            # sweep halo sizes
 //	halo -gx 32 -gy 16 -mappings -words 20000
+//
+// The flags parse into a jobspec.Spec — the same canonical job
+// description the bgpsimd server accepts as JSON — and run through the
+// shared jobspec.Run path, so a CLI invocation and the equivalent
+// server job produce byte-identical output.
 package main
 
 import (
@@ -16,45 +21,10 @@ import (
 	"os"
 	"runtime"
 
-	"bgpsim/internal/core"
-	"bgpsim/internal/fault"
-	"bgpsim/internal/halo"
-	"bgpsim/internal/machine"
+	"bgpsim/internal/jobspec"
 	"bgpsim/internal/mpi"
-	"bgpsim/internal/obs"
 	"bgpsim/internal/runner"
-	"bgpsim/internal/sim"
-	"bgpsim/internal/topology"
 )
-
-// parseMode maps the -mode flag to an execution mode. Unknown names
-// are an error, not a silent default.
-func parseMode(s string) (machine.Mode, error) {
-	switch s {
-	case "SMP":
-		return machine.SMP, nil
-	case "DUAL":
-		return machine.DUAL, nil
-	case "VN":
-		return machine.VN, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (valid: SMP, DUAL, VN)", s)
-}
-
-// parseProtocol maps the -protocol flag to a halo exchange protocol.
-func parseProtocol(s string) (halo.Protocol, error) {
-	switch s {
-	case "isend":
-		return halo.IsendIrecv, nil
-	case "sendrecv":
-		return halo.SendRecv, nil
-	case "irecvsend":
-		return halo.IrecvSend, nil
-	case "persistent":
-		return halo.Persistent, nil
-	}
-	return 0, fmt.Errorf("unknown protocol %q (valid: isend, sendrecv, irecvsend, persistent)", s)
-}
 
 func main() {
 	mach := flag.String("machine", "BG/P", "machine id")
@@ -83,220 +53,63 @@ func main() {
 		runner.SetWorkers(runner.BudgetWorkers(*shards))
 	}
 
-	if *shards < 0 {
-		fail(fmt.Errorf("shard count %d must be >= 0", *shards))
-	}
-	if _, err := machine.Lookup(machine.ID(*mach)); err != nil {
-		fail(err)
-	}
-	mode, err := parseMode(*modeS)
+	coll, err := jobspec.ParseColl(*collFlag)
 	if err != nil {
 		fail(err)
 	}
-	proto, err := parseProtocol(*protoS)
+	fidelity := "contention"
+	if *analytic {
+		fidelity = "analytic"
+	}
+	spec := jobspec.Spec{
+		Kind:       jobspec.KindHalo,
+		Machine:    *mach,
+		Mode:       *modeS,
+		GridX:      *gx,
+		GridY:      *gy,
+		Words:      *words,
+		Iterations: 5,
+		Protocol:   *protoS,
+		Mapping:    *mapping,
+		Fidelity:   fidelity,
+		Coll:       coll,
+		Faults:     *faultsFlag,
+		Shards:     *shards,
+		Sweep:      *sweep,
+		Mappings:   *mappings,
+		Trace:      *traceFile != "",
+		Profile:    *profile,
+		Links:      *linksFile != "",
+	}
+	res, err := jobspec.Run(spec, os.Stdout, os.Stderr)
 	if err != nil {
+		var rf *mpi.RankFailure
+		if errors.As(err, &rf) && res != nil && len(res.Artifacts) > 0 {
+			// An injected kill aborts the run, but the recorder kept
+			// everything observed up to the abort: write the truncated
+			// timeline out before failing.
+			fmt.Fprintln(os.Stderr, "halo:", err)
+			writeArtifacts(res, *traceFile, *linksFile)
+			os.Exit(1)
+		}
 		fail(err)
 	}
-	if !topology.Mapping(*mapping).Valid() {
-		fail(fmt.Errorf("invalid mapping %q (want a permutation of X, Y, Z, T, e.g. TXYZ)", *mapping))
-	}
-	if *gx <= 0 || *gy <= 0 {
-		fail(fmt.Errorf("process grid %dx%d: dimensions must be positive", *gx, *gy))
-	}
-	if *words <= 0 {
-		fail(fmt.Errorf("halo size %d words must be positive", *words))
-	}
-	coll, err := mpi.ParseCollSpec(*collFlag)
-	if err != nil {
-		fail(err)
-	}
-	base := halo.Options{
-		Machine: machine.ID(*mach), Mode: mode,
-		GridX: *gx, GridY: *gy,
-		Mapping: topology.Mapping(*mapping), Protocol: proto,
-		Words: *words, Iterations: 5, Coll: coll,
-		Analytic: *analytic, Shards: *shards,
-	}
-
-	// newFaults rebuilds the fault plan from the validated -faults spec:
-	// each sweep job gets its own plan, so nothing is shared between
-	// concurrent simulations. Build is deterministic, so every rebuild
-	// schedules identical faults.
-	var newFaults func() *fault.Plan
-	if *faultsFlag != "" {
-		nodes := core.PartitionConfig(base.Machine, mode, *gx**gy).Nodes
-		_, blasts, err := fault.BuildForPartition(*faultsFlag, base.Machine, nodes)
-		if err != nil {
-			fail(err)
-		}
-		for _, b := range blasts {
-			fmt.Fprintf(os.Stderr, "halo: blast from node %d: %s domain [%d, %d], %d nodes killed\n",
-				b.Origin, b.Level, b.First, b.Last, len(b.Dead))
-		}
-		newFaults = func() *fault.Plan {
-			p, _, err := fault.BuildForPartition(*faultsFlag, base.Machine, nodes)
-			if err != nil {
-				fail(err) // unreachable: the spec validated above
-			}
-			return p
-		}
-		base.Faults = newFaults()
-	}
-
-	observing := *traceFile != "" || *profile || *linksFile != ""
-	if observing && (*sweep || *mappings) {
-		fail(fmt.Errorf("-trace/-profile/-links apply to single-run mode only, not -sweep or -mappings"))
-	}
-	var rec *obs.Recorder
-	if observing {
-		rec = obs.NewRecorder()
-		base.Probe = rec
-	}
-
-	// Per-job kernel warnings (dropped trace events, shard fallbacks)
-	// are collected here and flushed in job order after each sweep:
-	// printing them from the worker goroutines would interleave lines
-	// nondeterministically under -j.
-	var notes runner.Notes
-	warn := func(i int, res *mpi.Result) {
-		if res == nil {
-			return
-		}
-		if n := res.DroppedEvents(); n > 0 {
-			notes.Add(i, "halo: warning: job %d: %d trace events dropped (buffer full)", i, n)
-		}
-		if *shards > 1 && res.Shards < *shards {
-			notes.Add(i, "halo: note: job %d ran on the serial kernel (-shards %d needs -analytic and no link faults)", i, *shards)
-		}
-	}
-
-	switch {
-	case *mappings:
-		fmt.Printf("HALO mapping comparison: %s %s %dx%d grid, %d words\n",
-			*mach, mode, *gx, *gy, *words)
-		ds, err := runner.Map(len(topology.PaperHALOMappings), func(i int) (sim.Duration, error) {
-			o := base
-			o.Mapping = topology.PaperHALOMappings[i]
-			if newFaults != nil {
-				o.Faults = newFaults()
-			}
-			d, res, err := halo.RunResult(o)
-			warn(i, res)
-			return d, err
-		})
-		notes.Flush(os.Stderr)
-		if err != nil {
-			fail(err)
-		}
-		for i, m := range topology.PaperHALOMappings {
-			fmt.Printf("  %-5s %10.2f us\n", m, ds[i].Microseconds())
-		}
-	case *sweep:
-		fmt.Printf("HALO size sweep: %s %s %dx%d grid, %s, mapping %s\n",
-			*mach, mode, *gx, *gy, proto, base.Mapping)
-		sizes := []int{2, 8, 32, 128, 512, 2048, 8192, 32768, 131072}
-		ds, err := runner.Map(len(sizes), func(i int) (sim.Duration, error) {
-			o := base
-			o.Words = sizes[i]
-			if newFaults != nil {
-				o.Faults = newFaults()
-			}
-			d, res, err := halo.RunResult(o)
-			warn(i, res)
-			return d, err
-		})
-		notes.Flush(os.Stderr)
-		if err != nil {
-			fail(err)
-		}
-		for i, w := range sizes {
-			fmt.Printf("  %8d words %12.2f us\n", w, ds[i].Microseconds())
-		}
-	default:
-		d, res, err := halo.RunResult(base)
-		if err != nil {
-			var rf *mpi.RankFailure
-			if errors.As(err, &rf) && rec != nil {
-				// An injected kill aborts the run, but the recorder
-				// keeps everything observed up to the abort: write the
-				// truncated timeline out before failing.
-				fmt.Fprintln(os.Stderr, "halo:", err)
-				if err := writeTrace(rec, *traceFile); err != nil {
-					fail(err)
-				}
-				if err := writeLinks(rec, *linksFile); err != nil {
-					fail(err)
-				}
-				os.Exit(1)
-			}
-			fail(err)
-		}
-		fmt.Printf("HALO %s %s %dx%d grid, %d words, %s, mapping %s: %v per exchange\n",
-			*mach, mode, *gx, *gy, *words, proto, base.Mapping, d)
-		if base.Faults != nil && res != nil {
-			fmt.Printf("  faults: lost ranks %v, recoveries %d (%v charged)\n",
-				res.Lost, res.Net.Recoveries, res.Net.RecoveryTime)
-			if base.Faults.LogSender() {
-				fmt.Printf("  msg log: %d orphans cancelled (%d peer-lost waits), %d restarts (%d msgs / %d bytes replayed, %v replay, %v restart charged)\n",
-					res.Net.Orphans, len(res.PeerLost), res.Net.Restarts, res.Net.Replays,
-					res.Net.ReplayBytes, res.Net.ReplayTime, res.Net.RestartTime)
-			}
-		}
-		if n := res.DroppedEvents(); n > 0 {
-			fmt.Fprintf(os.Stderr, "halo: warning: %d trace events dropped (buffer full)\n", n)
-		}
-		if *shards > 1 && res.Shards < *shards {
-			fmt.Fprintf(os.Stderr, "halo: note: ran on the serial kernel (-shards %d needs -analytic and no link faults)\n", *shards)
-		}
-		if rec != nil {
-			if *profile {
-				if err := res.Profile().WriteTable(os.Stdout); err != nil {
-					fail(err)
-				}
-				if err := res.CriticalPath().WriteSummary(os.Stdout); err != nil {
-					fail(err)
-				}
-			}
-			if err := writeTrace(rec, *traceFile); err != nil {
-				fail(err)
-			}
-			if err := writeLinks(rec, *linksFile); err != nil {
-				fail(err)
-			}
-		}
-	}
+	writeArtifacts(res, *traceFile, *linksFile)
 }
 
-// writeTrace writes the recorded timeline as Chrome trace_event JSON.
-func writeTrace(rec *obs.Recorder, path string) error {
-	if path == "" {
-		return nil
+// writeArtifacts lands the in-memory artifacts in the files their
+// flags named.
+func writeArtifacts(res *jobspec.RunResult, traceFile, linksFile string) {
+	if traceFile != "" {
+		if err := os.WriteFile(traceFile, res.Artifact(jobspec.ArtifactTrace), 0o644); err != nil {
+			fail(err)
+		}
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if linksFile != "" {
+		if err := os.WriteFile(linksFile, res.Artifact(jobspec.ArtifactLinks), 0o644); err != nil {
+			fail(err)
+		}
 	}
-	if err := rec.WriteChromeTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// writeLinks writes the per-link utilization heatmap CSV.
-func writeLinks(rec *obs.Recorder, path string) error {
-	if path == "" {
-		return nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := rec.WriteLinkCSV(f, obs.TorusLinkName); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func fail(err error) {

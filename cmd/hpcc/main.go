@@ -12,6 +12,11 @@
 // process counts run concurrently on a worker pool (-j, default
 // GOMAXPROCS); each simulation is deterministic and output order
 // follows the list order, so the report is identical at any -j.
+//
+// The flags parse into a jobspec.Spec — the same canonical job
+// description the bgpsimd server accepts as JSON — and run through the
+// shared jobspec.Run path, so a CLI invocation and the equivalent
+// server job produce byte-identical output.
 package main
 
 import (
@@ -22,12 +27,7 @@ import (
 	"strconv"
 	"strings"
 
-	"bgpsim/internal/core"
-	"bgpsim/internal/fault"
-	"bgpsim/internal/hpcc"
-	"bgpsim/internal/machine"
-	"bgpsim/internal/mpi"
-	"bgpsim/internal/obs"
+	"bgpsim/internal/jobspec"
 	"bgpsim/internal/runner"
 )
 
@@ -60,169 +60,40 @@ func main() {
 	shardsFlag := flag.Int("shards", 0, "request N parallel kernel shards per simulation (HPCC runs at contention fidelity, so this currently falls back to the serial kernel; output is identical at any N)")
 	flag.Parse()
 	runner.SetWorkers(*jobs)
-	if *shardsFlag < 0 {
-		fmt.Fprintf(os.Stderr, "hpcc: shard count %d must be >= 0\n", *shardsFlag)
-		os.Exit(1)
-	}
-	hpcc.SetShards(*shardsFlag)
 	if *shardsFlag > 1 {
 		runner.SetWorkers(runner.BudgetWorkers(*shardsFlag))
 	}
 
-	id := machine.ID(*mach)
-	m, err := machine.Lookup(id)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpcc: %v\n", err)
-		os.Exit(1)
-	}
-
-	coll, err := mpi.ParseCollSpec(*collFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpcc: %v\n", err)
-		os.Exit(1)
-	}
-
 	rankCounts, err := parseRanks(*ranksFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpcc: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
-
-	var rec *obs.Recorder
-	if *traceFile != "" || *profile {
-		if len(rankCounts) != 1 {
-			fmt.Fprintln(os.Stderr, "hpcc: -trace/-profile need a single -ranks value")
-			os.Exit(1)
-		}
-		rec = obs.NewRecorder()
-	}
-
-	// Per-job diagnostics (blast domains, dropped trace events, shard
-	// fallbacks) are collected here and flushed in job order after the
-	// sweep — including before an error exit, so an aborted run still
-	// reports which nodes its blast took out. Printing from the worker
-	// goroutines would interleave lines nondeterministically under -j.
-	var notes runner.Notes
-	reports, err := runner.Map(len(rankCounts), func(job int) (string, error) {
-		ranks := rankCounts[job]
-		ep, err := hpcc.SingleAndEP(id, ranks)
-		if err != nil {
-			return "", err
-		}
-		// The fault plan is built per rank count (blast domains and
-		// range checks depend on the partition) and per job, so
-		// concurrent simulations share nothing.
-		var plan *fault.Plan
-		if *faultsFlag != "" {
-			nodes := core.PartitionConfig(id, machine.VN, ranks).Nodes
-			var blasts []fault.BlastResult
-			plan, blasts, err = fault.BuildForPartition(*faultsFlag, id, nodes)
-			if err != nil {
-				return "", err
-			}
-			for _, bl := range blasts {
-				notes.Add(job, "hpcc: %d processes: blast from node %d: %s domain [%d, %d], %d nodes killed",
-					ranks, bl.Origin, bl.Level, bl.First, bl.Last, len(bl.Dead))
-			}
-		}
-		// rec is only non-nil with a single rank count, so at most one
-		// simulation ever drives it.
-		cb, cres, err := hpcc.CollBenchFaulty(id, ranks, coll, plan, probeOrNil(rec))
-		if cres != nil {
-			if n := cres.DroppedEvents(); n > 0 {
-				notes.Add(job, "hpcc: warning: %d processes: %d trace events dropped (buffer full)", ranks, n)
-			}
-			if *shardsFlag > 1 && cres.Shards < *shardsFlag {
-				notes.Add(job, "hpcc: note: %d processes ran on the serial kernel (-shards %d needs the analytic fidelity and no link faults)",
-					ranks, *shardsFlag)
-			}
-		}
-		if err != nil {
-			return "", err
-		}
-		n := hpcc.ProblemSizeN(m, machine.VN, ranks, 0.8)
-		nb := hpcc.BlockingNB(id)
-		hpl := hpcc.HPLAnalytic(id, machine.VN, ranks, n, nb)
-
-		var b strings.Builder
-		fmt.Fprintf(&b, "HPCC on %s, %d processes (VN mode), N=%d, NB=%d\n\n", m.Name, ranks, n, nb)
-		fmt.Fprintf(&b, "Single-process / embarrassingly-parallel tests:\n")
-		fmt.Fprintf(&b, "  DGEMM:             %8.2f GFlop/s per process\n", ep.DGEMMGF)
-		fmt.Fprintf(&b, "  STREAM triad SP:   %8.2f GB/s\n", ep.StreamSPGB)
-		fmt.Fprintf(&b, "  STREAM triad EP:   %8.2f GB/s per process\n", ep.StreamEPGB)
-		fmt.Fprintf(&b, "  FFT EP:            %8.2f GFlop/s per process\n", ep.FFTEPGF)
-		fmt.Fprintf(&b, "Communication tests:\n")
-		fmt.Fprintf(&b, "  Ping-pong latency: %8.2f us\n", ep.PingPongLatUS)
-		fmt.Fprintf(&b, "  Ping-pong BW:      %8.2f GB/s\n", ep.PingPongBWGBs)
-		fmt.Fprintf(&b, "  Random ring lat:   %8.2f us\n", ep.RandRingLatUS)
-		fmt.Fprintf(&b, "  Random ring BW:    %8.2f GB/s per process\n", ep.RandRingBWGBs)
-		fmt.Fprintf(&b, "Collective tests (%d bytes):\n", hpcc.CollBytes)
-		fmt.Fprintf(&b, "  Barrier:           %8.2f us  [%s]\n", cb.BarrierUS, cb.BarrierAlgo)
-		fmt.Fprintf(&b, "  Bcast:             %8.2f us  [%s]\n", cb.BcastUS, cb.BcastAlgo)
-		fmt.Fprintf(&b, "  Allreduce:         %8.2f us  [%s]\n", cb.AllreduceUS, cb.AllreduceAlgo)
-		if plan != nil {
-			fmt.Fprintf(&b, "Injected faults (%s):\n", *faultsFlag)
-			fmt.Fprintf(&b, "  lost ranks: %v\n", cres.Lost)
-			fmt.Fprintf(&b, "  recoveries: %d (tree rebuilds %d, HW fallbacks %d, %v charged)\n",
-				cres.Net.Recoveries, cres.Net.TreeRebuilds, cres.Net.HWFallbacks, cres.Net.RecoveryTime)
-			if plan.LogSender() {
-				fmt.Fprintf(&b, "  message log: %d orphans cancelled, %d restarts (%d msgs / %d bytes replayed, %v replay, %v restart charged)\n",
-					cres.Net.Orphans, cres.Net.Restarts, cres.Net.Replays, cres.Net.ReplayBytes,
-					cres.Net.ReplayTime, cres.Net.RestartTime)
-			}
-		}
-		fmt.Fprintf(&b, "Parallel tests:\n")
-		fmt.Fprintf(&b, "  HPL:               %8.1f GFlop/s (%.1f%% of peak)\n",
-			hpl, hpl*1e9/(m.PeakFlopsCore()*float64(ranks))*100)
-		fmt.Fprintf(&b, "  FFT:               %8.1f GFlop/s\n", hpcc.FFTAnalytic(id, machine.VN, ranks))
-		fmt.Fprintf(&b, "  PTRANS:            %8.1f GB/s\n", hpcc.PTRANSAnalytic(id, machine.VN, ranks))
-		fmt.Fprintf(&b, "  RandomAccess:      %8.3f GUPS\n", hpcc.RandomAccessGUPS(id, machine.VN, ranks))
-		return b.String(), nil
-	})
-	notes.Flush(os.Stderr)
+	coll, err := jobspec.ParseColl(*collFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hpcc:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	for i, r := range reports {
-		if i > 0 {
-			fmt.Println()
-		}
-		fmt.Print(r)
+	spec := jobspec.Spec{
+		Kind:     jobspec.KindHPCC,
+		Machine:  *mach,
+		RankList: rankCounts,
+		Coll:     coll,
+		Faults:   *faultsFlag,
+		Shards:   *shardsFlag,
+		Trace:    *traceFile != "",
+		Profile:  *profile,
 	}
-	if rec != nil {
-		if *profile {
-			fmt.Println()
-			if err := rec.Profile().WriteTable(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "hpcc:", err)
-				os.Exit(1)
-			}
-			if err := rec.CriticalPath().WriteSummary(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "hpcc:", err)
-				os.Exit(1)
-			}
-		}
-		if *traceFile != "" {
-			f, err := os.Create(*traceFile)
-			if err == nil {
-				err = rec.WriteChromeTrace(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "hpcc:", err)
-				os.Exit(1)
-			}
+	res, err := jobspec.Run(spec, os.Stdout, os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	if *traceFile != "" {
+		if err := os.WriteFile(*traceFile, res.Artifact(jobspec.ArtifactTrace), 0o644); err != nil {
+			fail(err)
 		}
 	}
 }
 
-// probeOrNil converts a possibly-nil *obs.Recorder to an obs.Probe
-// without producing a non-nil interface around a nil pointer.
-func probeOrNil(rec *obs.Recorder) obs.Probe {
-	if rec == nil {
-		return nil
-	}
-	return rec
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hpcc:", err)
+	os.Exit(1)
 }

@@ -142,3 +142,44 @@ func ExampleRun_deterministic() {
 	// Output:
 	// true
 }
+
+// A JSON job spec — the document a bgpsimd server client POSTs — is
+// the second front-end to the same partition construction NewSystem
+// performs with functional options: the two configurations run
+// identically. The canonical spec rides along on the Config, so the
+// Result always reports exactly which job produced it.
+func ExampleNewSystemFromSpec() {
+	spec, err := bgpsim.DecodeJobSpec([]byte(`{
+		"kind": "bench",
+		"machine": "BG/P", "mode": "VN", "ranks": 64,
+		"mapping": "TXYZ", "fidelity": "analytic"
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	fromSpec, err := bgpsim.NewSystemFromSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	fromOpts := bgpsim.NewSystem(bgpsim.BGP, bgpsim.VN, 64,
+		bgpsim.WithMapping(bgpsim.MapTXYZ))
+
+	run := func(cfg bgpsim.Config) *bgpsim.Result {
+		res, err := bgpsim.Run(cfg, func(r *bgpsim.Rank) {
+			r.World().Alltoall(r, 1024)
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+	a, b := run(fromSpec), run(fromOpts)
+	fmt.Println("same elapsed:", a.Elapsed == b.Elapsed)
+	got, ok := a.Spec().(bgpsim.JobSpec)
+	fmt.Println("result carries the job:", ok && got.Hash() == spec.Hash())
+	fmt.Println("option-built runs carry none:", b.Spec() == nil)
+	// Output:
+	// same elapsed: true
+	// result carries the job: true
+	// option-built runs carry none: true
+}

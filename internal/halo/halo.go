@@ -106,8 +106,72 @@ func Run(o Options) (sim.Duration, error) {
 // callers that inspect traffic counters, dropped trace events, or the
 // attached observability probe.
 func RunResult(o Options) (sim.Duration, *mpi.Result, error) {
+	cfg, program, total, err := build(o)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := mpi.Execute(cfg, program)
+	if err != nil {
+		return 0, nil, err
+	}
+	return *total, res, nil
+}
+
+// Session is a HALO run in stepwise execution (see mpi.Running): the
+// exchange can be advanced to chosen points in virtual time, paused,
+// and finished, producing byte-for-byte the result a straight
+// RunResult call returns. Sessions always run on the serial kernel —
+// Options.Shards is ignored (the sharded coordinator cannot pause at
+// an arbitrary time); output is identical either way by the sharded
+// kernel's determinism contract.
+type Session struct {
+	run   *mpi.Running
+	total *sim.Duration
+}
+
+// Start begins a stepwise HALO run without firing any event.
+func Start(o Options) (*Session, error) {
+	o.Shards = 0
+	cfg, program, total, err := build(o)
+	if err != nil {
+		return nil, err
+	}
+	run, err := mpi.Begin(cfg, program)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{run: run, total: total}, nil
+}
+
+// StepTo fires every pending event with a timestamp strictly below t,
+// then pauses (see mpi.Running.StepTo).
+func (s *Session) StepTo(t sim.Time) error { return s.run.StepTo(t) }
+
+// Now returns the paused run's current virtual time.
+func (s *Session) Now() sim.Time { return s.run.Now() }
+
+// Events returns the number of simulation events fired so far.
+func (s *Session) Events() uint64 { return s.run.Events() }
+
+// Done reports whether the run has completed.
+func (s *Session) Done() bool { return s.run.Done() }
+
+// Finish runs the exchange to completion and returns the mean time per
+// exchange plus the full result, exactly as RunResult would have.
+func (s *Session) Finish() (sim.Duration, *mpi.Result, error) {
+	res, err := s.run.Finish()
+	if err != nil {
+		return 0, nil, err
+	}
+	return *s.total, res, nil
+}
+
+// build constructs the run's config and rank program. The returned
+// duration pointer receives rank 0's mean time per exchange when the
+// program completes.
+func build(o Options) (mpi.Config, func(*mpi.Rank), *sim.Duration, error) {
 	if o.GridX <= 0 || o.GridY <= 0 {
-		return 0, nil, fmt.Errorf("halo: bad grid %dx%d", o.GridX, o.GridY)
+		return mpi.Config{}, nil, nil, fmt.Errorf("halo: bad grid %dx%d", o.GridX, o.GridY)
 	}
 	iters := o.Iterations
 	if iters <= 0 {
@@ -128,8 +192,8 @@ func RunResult(o Options) (sim.Duration, *mpi.Result, error) {
 
 	n := o.Words * wordBytes
 	nx, ny := o.GridX, o.GridY
-	var total sim.Duration
-	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
+	total := new(sim.Duration)
+	program := func(r *mpi.Rank) {
 		me := r.ID()
 		x, y := me%nx, me/nx
 		wrap := func(v, m int) int { return ((v % m) + m) % m }
@@ -158,7 +222,7 @@ func RunResult(o Options) (sim.Duration, *mpi.Result, error) {
 				mpi.WaitAllPersistent(we...)
 			}
 			if me == 0 {
-				total = r.Now().Sub(t0) / sim.Duration(iters)
+				*total = r.Now().Sub(t0) / sim.Duration(iters)
 			}
 			return
 		}
@@ -170,13 +234,10 @@ func RunResult(o Options) (sim.Duration, *mpi.Result, error) {
 			exchangePhase(r, o.Protocol, west, n, east, 2*n, 12+it*4)
 		}
 		if me == 0 {
-			total = r.Now().Sub(t0) / sim.Duration(iters)
+			*total = r.Now().Sub(t0) / sim.Duration(iters)
 		}
-	})
-	if err != nil {
-		return 0, nil, err
 	}
-	return total, res, nil
+	return cfg, program, total, nil
 }
 
 // exchangePhase sends small to the `less` neighbour and large to the

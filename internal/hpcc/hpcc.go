@@ -20,18 +20,6 @@ import (
 	"bgpsim/internal/topology"
 )
 
-// shards is the kernel-shard request applied to every simulated HPCC
-// run. The HPCC workloads all run at contention fidelity, which the
-// sharded kernel rejects, so today this only records the user's -shards
-// request and exercises the count-independent fallback; it keeps the
-// CLI surface uniform with bgpsim/halo/paper.
-var shards int
-
-// SetShards sets the shard count requested for subsequent simulated
-// runs (0 = serial kernel). Call before launching benchmarks; not safe
-// to change concurrently with runs.
-func SetShards(n int) { shards = n }
-
 // ProblemSizeN returns the HPL problem dimension filling the given
 // fraction of the partition's aggregate memory, following the HPCC
 // guidance the paper used (~80%).
@@ -64,8 +52,19 @@ type EPResults struct {
 }
 
 // SingleAndEP runs the Table 2 tests for a machine at the given rank
-// count in VN mode.
+// count in VN mode on the serial kernel.
 func SingleAndEP(id machine.ID, ranks int) (*EPResults, error) {
+	return SingleAndEPSharded(id, ranks, 0)
+}
+
+// SingleAndEPSharded is SingleAndEP with an explicit kernel-shard
+// request for its simulated communication tests. They run at
+// contention fidelity, which the sharded kernel rejects, so today any
+// request falls back to the serial kernel (output is identical either
+// way); the parameter keeps the job surface uniform with bgpsim/halo
+// and — being a parameter rather than package state — safe for
+// concurrent jobs with different shard requests.
+func SingleAndEPSharded(id machine.ID, ranks, shards int) (*EPResults, error) {
 	m := machine.Get(id)
 	model := cpu.New(m, machine.VN)
 	r := &EPResults{
@@ -226,7 +225,6 @@ func HPLSimulated(id machine.ID, mode machine.Mode, p, q, n, nb int) (float64, e
 	ranks := p * q
 	cfg := core.PartitionConfig(id, mode, ranks)
 	cfg.Fidelity = network.Contention
-	cfg.Shards = shards
 	res, err := mpi.Execute(cfg, func(r *mpi.Rank) {
 		myRow := r.ID() % p
 		myCol := r.ID() / p
@@ -367,6 +365,13 @@ func CollBenchObserved(id machine.ID, ranks int, coll map[string]string, pb obs.
 // node kills abort the run with *mpi.RankFailure — or, with recovery
 // enabled, drop the dead ranks and charge the rebuild to the timings.
 func CollBenchFaulty(id machine.ID, ranks int, coll map[string]string, plan *fault.Plan, pb obs.Probe) (*CollResults, *mpi.Result, error) {
+	return CollBenchFaultySharded(id, ranks, coll, plan, pb, 0)
+}
+
+// CollBenchFaultySharded is CollBenchFaulty with an explicit
+// kernel-shard request (see SingleAndEPSharded for why the request is
+// a parameter and what it currently does).
+func CollBenchFaultySharded(id machine.ID, ranks int, coll map[string]string, plan *fault.Plan, pb obs.Probe, shards int) (*CollResults, *mpi.Result, error) {
 	m := machine.Get(id)
 	cfg := core.PartitionConfig(id, machine.VN, ranks)
 	cfg.Fidelity = network.Contention

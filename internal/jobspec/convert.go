@@ -1,0 +1,172 @@
+package jobspec
+
+import (
+	"fmt"
+
+	"bgpsim/internal/core"
+	"bgpsim/internal/fault"
+	"bgpsim/internal/halo"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/topology"
+)
+
+// parseMode maps a mode name to an execution mode. Unknown names are
+// an error, not a silent default.
+func parseMode(s string) (machine.Mode, error) {
+	switch s {
+	case "SMP":
+		return machine.SMP, nil
+	case "DUAL":
+		return machine.DUAL, nil
+	case "VN":
+		return machine.VN, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (valid: SMP, DUAL, VN)", s)
+}
+
+// parseFidelity maps a fidelity name to a network model.
+func parseFidelity(s string) (network.Fidelity, error) {
+	switch s {
+	case "analytic":
+		return network.Analytic, nil
+	case "contention":
+		return network.Contention, nil
+	case "packet":
+		return network.Packet, nil
+	}
+	return 0, fmt.Errorf("unknown fidelity %q (valid: analytic, contention, packet)", s)
+}
+
+// parseProtocol maps a protocol name to a halo exchange protocol.
+func parseProtocol(s string) (halo.Protocol, error) {
+	switch s {
+	case "isend":
+		return halo.IsendIrecv, nil
+	case "sendrecv":
+		return halo.SendRecv, nil
+	case "irecvsend":
+		return halo.IrecvSend, nil
+	case "persistent":
+		return halo.Persistent, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q (valid: isend, sendrecv, irecvsend, persistent)", s)
+}
+
+// ParseColl parses the CLI's "op=algo,op=algo" collective-override
+// string into the Spec.Coll map form (empty string → nil map),
+// validating op and algorithm names.
+func ParseColl(s string) (map[string]string, error) {
+	return mpi.ParseCollSpec(s)
+}
+
+// nodesFor returns the standard partition's node count for a rank
+// count — the node space fault plans are ranged against.
+func nodesFor(id machine.ID, mode machine.Mode, ranks int) int {
+	return core.PartitionConfig(id, mode, ranks).Nodes
+}
+
+// BenchConfig converts a bench-kind spec into the mpi.Config the
+// benchmark runs under — the same construction cmd/bgpsim has always
+// used. The canonical spec is attached to the Config (and so to the
+// Result) as its JobSpec. Fault plans are built fresh per call, so
+// configs never share mutable plan state.
+func (s Spec) BenchConfig() (mpi.Config, []fault.BlastResult, error) {
+	c := s.Canonical()
+	if c.Kind != KindBench {
+		return mpi.Config{}, nil, fmt.Errorf("jobspec: BenchConfig needs a bench spec, got kind %q", c.Kind)
+	}
+	if err := c.Validate(); err != nil {
+		return mpi.Config{}, nil, err
+	}
+	mode, _ := parseMode(c.Mode)
+	fid, _ := parseFidelity(c.Fidelity)
+	cfg := core.PartitionConfig(machine.ID(c.Machine), mode, c.Ranks)
+	cfg.Mapping = topology.Mapping(c.Mapping)
+	cfg.Fidelity = fid
+	cfg.Shards = c.Shards
+	cfg.JobSpec = c
+	var blasts []fault.BlastResult
+	if c.Faults != "" {
+		plan, bl, err := fault.BuildForPartition(c.Faults, machine.ID(c.Machine), cfg.Nodes)
+		if err != nil {
+			return mpi.Config{}, nil, err
+		}
+		cfg.Faults = plan
+		blasts = bl
+	}
+	return cfg, blasts, nil
+}
+
+// benchProgram builds the rank program of a bench spec against its
+// config (pingpong picks its far peer from the node count).
+func benchProgram(c Spec, cfg mpi.Config) func(*mpi.Rank) {
+	double := c.Double == nil || *c.Double
+	bytes := 8
+	if c.Bytes != nil {
+		bytes = *c.Bytes
+	}
+	switch c.Bench {
+	case "allreduce":
+		return func(r *mpi.Rank) { r.World().Allreduce(r, bytes, double) }
+	case "bcast":
+		return func(r *mpi.Rank) { r.World().Bcast(r, 0, bytes) }
+	case "barrier":
+		return func(r *mpi.Rank) { r.World().Barrier(r) }
+	case "alltoall":
+		return func(r *mpi.Rank) { r.World().Alltoall(r, bytes) }
+	case "pingpong":
+		far := cfg.Nodes / 2
+		if far == 0 {
+			far = cfg.Ranks - 1
+		}
+		return func(r *mpi.Rank) {
+			switch r.ID() {
+			case 0:
+				r.Send(far, bytes, 1)
+				r.Recv(far, 2)
+			case far:
+				r.Recv(0, 1)
+				r.Send(0, bytes, 2)
+			}
+		}
+	}
+	// Validate rejected every other name.
+	panic(fmt.Sprintf("jobspec: unknown benchmark %q", c.Bench))
+}
+
+// HaloOptions converts a halo-kind spec into halo.Options. The fault
+// plan (if any) is built fresh per call, so repeated conversions of
+// one spec never share plan state — the property the sweep runner
+// depends on.
+func (s Spec) HaloOptions() (halo.Options, []fault.BlastResult, error) {
+	c := s.Canonical()
+	if c.Kind != KindHalo {
+		return halo.Options{}, nil, fmt.Errorf("jobspec: HaloOptions needs a halo spec, got kind %q", c.Kind)
+	}
+	if err := c.Validate(); err != nil {
+		return halo.Options{}, nil, err
+	}
+	mode, _ := parseMode(c.Mode)
+	proto, _ := parseProtocol(c.Protocol)
+	coll, _ := mpi.ParseCollSpec(collString(c.Coll))
+	o := halo.Options{
+		Machine: machine.ID(c.Machine), Mode: mode,
+		GridX: c.GridX, GridY: c.GridY,
+		Mapping: topology.Mapping(c.Mapping), Protocol: proto,
+		Words: c.Words, Iterations: c.Iterations, Coll: coll,
+		Analytic: c.Fidelity == "analytic", Shards: c.Shards,
+	}
+	var blasts []fault.BlastResult
+	if c.Faults != "" {
+		nodes := nodesFor(o.Machine, mode, c.GridX*c.GridY)
+		plan, bl, err := fault.BuildForPartition(c.Faults, o.Machine, nodes)
+		if err != nil {
+			return halo.Options{}, nil, err
+		}
+		o.Faults = plan
+		blasts = bl
+	}
+	return o, blasts, nil
+}

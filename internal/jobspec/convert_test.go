@@ -1,4 +1,4 @@
-package main
+package jobspec
 
 import (
 	"strings"
@@ -6,6 +6,7 @@ import (
 
 	"bgpsim/internal/halo"
 	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
 )
 
 func TestParseMode(t *testing.T) {
@@ -17,8 +18,9 @@ func TestParseMode(t *testing.T) {
 		{in: "SMP", want: machine.SMP},
 		{in: "DUAL", want: machine.DUAL},
 		{in: "VN", want: machine.VN},
+		{in: "dual", wantErr: true},
 		{in: "vn", wantErr: true},
-		{in: "quad", wantErr: true},
+		{in: "CO", wantErr: true},
 		{in: "", wantErr: true},
 	}
 	for _, tc := range cases {
@@ -35,6 +37,37 @@ func TestParseMode(t *testing.T) {
 			t.Errorf("parseMode(%q): %v", tc.in, err)
 		} else if got != tc.want {
 			t.Errorf("parseMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseFidelity(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    network.Fidelity
+		wantErr bool
+	}{
+		{in: "analytic", want: network.Analytic},
+		{in: "contention", want: network.Contention},
+		{in: "packet", want: network.Packet},
+		{in: "Packet", wantErr: true},
+		{in: "flit", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseFidelity(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseFidelity(%q) = %v, want error", tc.in, got)
+			} else if !strings.Contains(err.Error(), "analytic, contention, packet") {
+				t.Errorf("parseFidelity(%q) error %q should name the valid models", tc.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFidelity(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("parseFidelity(%q) = %v, want %v", tc.in, got, tc.want)
 		}
 	}
 }

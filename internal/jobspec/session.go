@@ -1,0 +1,249 @@
+package jobspec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"bgpsim/internal/halo"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/obs"
+	"bgpsim/internal/sim"
+	"bgpsim/internal/trace"
+)
+
+// Session is one job in stepwise execution: started without firing any
+// event, advanced to chosen points in virtual time, and finished into
+// exactly the output a straight Run of the same spec produces — stdout
+// bytes, stderr bytes, and artifacts all byte-identical. That
+// equivalence holds by construction, not by luck: a session wraps the
+// same serial kernel the straight path uses and StepTo only chooses
+// where the event loop pauses, never what it fires. Sessions are the
+// bgpsimd server's snapshot substrate (park a long run at virtual time
+// T, inspect it, resume it, or fork a variant by deterministic
+// replay).
+//
+// Only the kinds whose run is a single simulation support sessions:
+// bench, and halo in single-exchange mode. Sweeps and multi-job
+// workloads are collections of independent runs; snapshot those by
+// snapshotting their parts. Sessions always execute serially — the
+// spec's Shards request is ignored (output is byte-identical either
+// way; the straight Run path honors it).
+//
+// A Session is not safe for concurrent use; callers serialize StepTo
+// and Finish (the server holds one lock per snapshot).
+type Session struct {
+	spec Spec // canonical
+
+	// bench state
+	benchRun *mpi.Running
+	benchCfg mpi.Config
+	tb       *trace.Buffer
+
+	// halo state
+	haloSess *halo.Session
+	haloOpts halo.Options
+
+	rec *obs.Recorder
+	// blasts holds the stderr blast-domain lines Run prints before the
+	// simulation starts; Finish replays them so the stderr stream stays
+	// byte-identical.
+	blasts bytes.Buffer
+
+	finished bool
+	result   *RunResult
+	err      error
+}
+
+// CanSession reports whether a spec's kind and mode support stepwise
+// execution (see Session).
+func CanSession(s Spec) bool {
+	c := s.Canonical()
+	switch c.Kind {
+	case KindBench:
+		return true
+	case KindHalo:
+		return !c.Sweep && !c.Mappings
+	}
+	return false
+}
+
+// StartSession validates the spec and begins its simulation without
+// firing any event.
+func StartSession(spec Spec) (*Session, error) {
+	c := spec.Canonical()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if !CanSession(c) {
+		return nil, fmt.Errorf("jobspec: kind %q does not support stepwise sessions (single-simulation jobs only)", c.Kind)
+	}
+	sess := &Session{spec: c}
+	switch c.Kind {
+	case KindBench:
+		cfg, blasts, err := c.BenchConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Shards = 0
+		for _, b := range blasts {
+			fmt.Fprintf(&sess.blasts, "%s: blast from node %d: %s domain [%d, %d], %d nodes killed\n",
+				progname(c.Kind), b.Origin, b.Level, b.First, b.Last, len(b.Dead))
+		}
+		if c.Events > 0 {
+			sess.tb = trace.NewBuffer(c.Events)
+			cfg.Trace = sess.tb
+		}
+		if c.Trace || c.Profile || c.Links {
+			sess.rec = obs.NewRecorder()
+			cfg.Probe = sess.rec
+		}
+		sess.benchCfg = cfg
+		run, err := mpi.Begin(cfg, benchProgram(c, cfg))
+		if err != nil {
+			return nil, err
+		}
+		sess.benchRun = run
+	case KindHalo:
+		o, blasts, err := c.HaloOptions()
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range blasts {
+			fmt.Fprintf(&sess.blasts, "halo: blast from node %d: %s domain [%d, %d], %d nodes killed\n",
+				b.Origin, b.Level, b.First, b.Last, len(b.Dead))
+		}
+		if c.Trace || c.Profile || c.Links {
+			sess.rec = obs.NewRecorder()
+			o.Probe = sess.rec
+		}
+		sess.haloOpts = o
+		hs, err := halo.Start(o)
+		if err != nil {
+			return nil, err
+		}
+		sess.haloSess = hs
+	}
+	return sess, nil
+}
+
+// Spec returns the session's canonical spec.
+func (s *Session) Spec() Spec { return s.spec }
+
+// Hash returns the session's job hash (the result-cache identity).
+func (s *Session) Hash() string { return s.spec.Hash() }
+
+// StepTo fires every pending event with a timestamp strictly below t,
+// then pauses. A run that ends inside the window stays parked until
+// Finish; further steps are no-ops.
+func (s *Session) StepTo(t sim.Time) error {
+	if s.finished {
+		return s.err
+	}
+	if s.benchRun != nil {
+		return s.benchRun.StepTo(t)
+	}
+	return s.haloSess.StepTo(t)
+}
+
+// Now returns the paused run's current virtual time.
+func (s *Session) Now() sim.Time {
+	if s.benchRun != nil {
+		return s.benchRun.Now()
+	}
+	return s.haloSess.Now()
+}
+
+// Events returns the number of simulation events fired so far.
+func (s *Session) Events() uint64 {
+	if s.benchRun != nil {
+		return s.benchRun.Events()
+	}
+	return s.haloSess.Events()
+}
+
+// Done reports whether the underlying simulation has completed (the
+// session may still await Finish for rendering).
+func (s *Session) Done() bool {
+	if s.finished {
+		return true
+	}
+	if s.benchRun != nil {
+		return s.benchRun.Done()
+	}
+	return s.haloSess.Done()
+}
+
+// Finish runs the simulation to completion and renders the job's
+// report and artifacts — stdout, stderr, and artifact bytes all
+// identical to Run(spec) however many StepTo pauses preceded it.
+// Finish is idempotent; repeated calls replay the stored outcome
+// without re-rendering to the writers.
+func (s *Session) Finish(stdout, stderr io.Writer) (*RunResult, error) {
+	if s.finished {
+		return s.result, s.err
+	}
+	s.finished = true
+	io.Copy(stderr, bytes.NewReader(s.blasts.Bytes()))
+	rr := &RunResult{Spec: s.spec, Hash: s.spec.Hash()}
+	c := s.spec
+	if s.benchRun != nil {
+		res, err := s.benchRun.Finish()
+		if err != nil {
+			s.result, s.err = rr, err
+			return rr, err
+		}
+		if c.Shards > 1 && res.Shards < c.Shards {
+			fmt.Fprintf(stderr, "%s: note: ran on the serial kernel (-shards %d needs -fidelity analytic and no link faults)\n", progname(c.Kind), c.Shards)
+		}
+		if err := renderBench(c, s.benchCfg, res, s.tb, stdout, stderr); err != nil {
+			s.result, s.err = rr, err
+			return rr, err
+		}
+		if s.rec != nil {
+			if c.Profile {
+				if err := writeProfile(res, stdout); err != nil {
+					s.result, s.err = rr, err
+					return rr, err
+				}
+			}
+			if err := collect(c, rr, s.rec); err != nil {
+				s.result, s.err = rr, err
+				return rr, err
+			}
+		}
+		s.result = rr
+		return rr, nil
+	}
+	d, res, err := s.haloSess.Finish()
+	if err != nil {
+		// Mirror runHalo's abort contract: deliver the artifacts
+		// recorded up to the abort alongside the error.
+		if s.rec != nil {
+			if cerr := collect(c, rr, s.rec); cerr != nil {
+				s.result, s.err = rr, cerr
+				return rr, cerr
+			}
+		}
+		s.result, s.err = rr, err
+		return rr, err
+	}
+	if err := renderHaloSingle(c, s.haloOpts, d, res, stdout, stderr); err != nil {
+		s.result, s.err = rr, err
+		return rr, err
+	}
+	if s.rec != nil {
+		if c.Profile {
+			if err := writeProfile(res, stdout); err != nil {
+				s.result, s.err = rr, err
+				return rr, err
+			}
+		}
+		if err := collect(c, rr, s.rec); err != nil {
+			s.result, s.err = rr, err
+			return rr, err
+		}
+	}
+	s.result = rr
+	return rr, nil
+}

@@ -1,0 +1,138 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/network"
+	"bgpsim/internal/sim"
+)
+
+// stepwiseCfg builds a small contention-mode config.
+func stepwiseCfg() Config {
+	m := machine.Get(machine.BGP)
+	return Config{Machine: m, Nodes: 16, Mode: machine.VN, Fidelity: network.Contention}
+}
+
+func stepwiseProgram(r *Rank) {
+	w := r.World()
+	w.Barrier(r)
+	r.Compute(1e5, 1e4, machine.ClassStencil)
+	w.Alltoall(r, 512)
+	w.Allreduce(r, 8, true)
+}
+
+// TestStepwiseEquivalence: Begin/StepTo.../Finish produces exactly the
+// Result a straight Run does, at any choice of pause points — the
+// contract that makes stepwise execution a sound snapshot substrate.
+func TestStepwiseEquivalence(t *testing.T) {
+	want, err := Execute(stepwiseCfg(), stepwiseProgram)
+	if err != nil {
+		t.Fatalf("straight run: %v", err)
+	}
+
+	pauseSets := [][]sim.Time{
+		{},
+		{sim.Time(want.Elapsed) / 2},
+		{1, 2, 3, sim.Time(want.Elapsed) / 3, sim.Time(want.Elapsed), sim.Time(want.Elapsed) * 10},
+	}
+	for i, pauses := range pauseSets {
+		run, err := Begin(stepwiseCfg(), stepwiseProgram)
+		if err != nil {
+			t.Fatalf("pauses %d: Begin: %v", i, err)
+		}
+		last := sim.Time(0)
+		for _, p := range pauses {
+			if err := run.StepTo(p); err != nil {
+				t.Fatalf("pauses %d: StepTo(%v): %v", i, p, err)
+			}
+			if now := run.Now(); now < last {
+				t.Errorf("pauses %d: Now went backwards (%v after %v)", i, now, last)
+			} else {
+				last = now
+			}
+		}
+		got, err := run.Finish()
+		if err != nil {
+			t.Fatalf("pauses %d: Finish: %v", i, err)
+		}
+		if got.Elapsed != want.Elapsed {
+			t.Errorf("pauses %d: elapsed %v, want %v", i, got.Elapsed, want.Elapsed)
+		}
+		if got.Events != want.Events {
+			t.Errorf("pauses %d: events %d, want %d", i, got.Events, want.Events)
+		}
+		if !reflect.DeepEqual(got.Net, want.Net) {
+			t.Errorf("pauses %d: network stats differ:\n got %+v\nwant %+v", i, got.Net, want.Net)
+		}
+		if !reflect.DeepEqual(got.RankElapsed, want.RankElapsed) {
+			t.Errorf("pauses %d: per-rank finish times differ", i)
+		}
+		if !run.Done() {
+			t.Errorf("pauses %d: not Done after Finish", i)
+		}
+	}
+}
+
+// TestStepwiseEarlyCompletion: a run that ends inside a StepTo window
+// is finalized there; later steps are no-ops and Finish replays the
+// stored result.
+func TestStepwiseEarlyCompletion(t *testing.T) {
+	run, err := Begin(stepwiseCfg(), stepwiseProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.StepTo(sim.Time(sim.Second)); err != nil {
+		t.Fatalf("StepTo past the end: %v", err)
+	}
+	if !run.Done() {
+		t.Fatal("run not finalized after draining inside the window")
+	}
+	if err := run.StepTo(2 * sim.Time(sim.Second)); err != nil {
+		t.Errorf("StepTo after completion: %v", err)
+	}
+	res, err := run.Finish()
+	if err != nil || res == nil {
+		t.Fatalf("Finish after early completion: %v", err)
+	}
+	res2, _ := run.Finish()
+	if res2 != res {
+		t.Error("second Finish returned a different result object")
+	}
+}
+
+// TestStepwiseDeadlock: a deadlock surfacing mid-window seals the run
+// with the same annotated error the straight path reports.
+func TestStepwiseDeadlock(t *testing.T) {
+	cfg := Config{Machine: machine.Get(machine.BGP), Nodes: 2, Mode: machine.SMP}
+	run, err := Begin(cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 0) // rank 1 never sends
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.StepTo(sim.Time(sim.Second)); err == nil {
+		t.Fatal("deadlock not reported by StepTo")
+	}
+	if _, err := run.Finish(); err == nil {
+		t.Fatal("deadlock not replayed by Finish")
+	}
+}
+
+// TestBeginConsumesWorld: a world can only be started once, by either
+// path.
+func TestBeginConsumesWorld(t *testing.T) {
+	w, err := NewWorld(stepwiseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Begin(stepwiseProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Begin(stepwiseProgram); err == nil {
+		t.Error("second Begin on one world accepted")
+	}
+}

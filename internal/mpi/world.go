@@ -105,6 +105,12 @@ type Config struct {
 	// RestartReboot overrides the reboot-and-relaunch time charged per
 	// user-level restart. Zero uses the built-in default (replay.go).
 	RestartReboot sim.Duration
+
+	// JobSpec is an opaque canonical job description attached by the
+	// jobspec layer (internal/jobspec, bgpsim.NewSystemFromSpec). The
+	// mpi layer never inspects it; it is carried unchanged to
+	// Result.Spec so a run can report exactly which job produced it.
+	JobSpec any
 }
 
 // World is a configured partition ready to execute one program.
@@ -349,7 +355,17 @@ type Result struct {
 	// is a deterministic model quantity (not a host heap measurement),
 	// so it is identical at any shard count and pinnable in tests.
 	PeakRankState int64
+
+	// spec is the Config.JobSpec the run was built from (nil when no
+	// spec was attached); see Spec.
+	spec any
 }
+
+// Spec returns the canonical job description attached to the run's
+// Config (Config.JobSpec), nil when the run was configured directly.
+// Callers that built the config through the jobspec layer assert it
+// back to a jobspec.Spec (bgpsim.JobSpec at the public surface).
+func (r *Result) Spec() any { return r.spec }
 
 // Stats returns the interconnect traffic counters (accessor form of
 // the Net field).
@@ -543,6 +559,7 @@ func (w *World) buildResult(finish []sim.Duration) *Result {
 		Probe:         w.probe,
 		Lost:          w.Lost(),
 		PeakRankState: w.peakRankState(),
+		spec:          w.cfg.JobSpec,
 	}
 	for _, d := range finish {
 		if d > res.Elapsed {

@@ -74,6 +74,13 @@ func (rec *Recorder) WriteChromeTrace(w io.Writer) error {
 		emit(fmt.Sprintf(`{"name":%s,"cat":"fault","ph":"i","s":"g","pid":0,"tid":0,"ts":%s,"args":{"detail":%s}}`,
 			jsonString(f.Kind), us(f.T), jsonString(f.Detail)))
 	}
+	if !rec.Observed() {
+		// The run ended before any probe event fired. Emit one marker
+		// event so the empty timeline states so explicitly — a silent
+		// "traceEvents":[] reads as a lost artifact. Recordings with any
+		// content are unaffected.
+		emit(`{"name":"no events recorded","cat":"meta","ph":"i","s":"g","pid":0,"tid":0,"ts":0.000000,"args":{"detail":"the run produced no observable events before it ended"}}`)
+	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
 		return err
 	}

@@ -28,6 +28,12 @@ func (rec *Recorder) WriteLinkCSV(w io.Writer, name func(link int) string) error
 	if _, err := fmt.Fprintf(bw, "# bucket width: %v\n", rec.bucket); err != nil {
 		return err
 	}
+	if len(rec.links) == 0 {
+		// State the emptiness explicitly (no traffic observed — e.g.
+		// shared-memory-only runs, or a run aborted before any message)
+		// so a header-only CSV is distinguishable from a lost artifact.
+		bw.WriteString("# no link traffic recorded\n")
+	}
 	bw.WriteString("link,busy_us,bytes,msgs")
 	for b := 0; b < maxBuckets; b++ {
 		fmt.Fprintf(bw, ",u%d", b)

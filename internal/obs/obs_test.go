@@ -263,3 +263,57 @@ func TestTorusLinkName(t *testing.T) {
 		}
 	}
 }
+
+// TestEmptyRecorderExports: a recorder that observed nothing still
+// exports well-formed artifacts that say so explicitly — a run that
+// produced no events must be distinguishable from a lost artifact.
+func TestEmptyRecorderExports(t *testing.T) {
+	rec := NewRecorder()
+	if rec.Observed() {
+		t.Error("fresh recorder claims observations")
+	}
+	var trace bytes.Buffer
+	if err := rec.WriteChromeTrace(&trace); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		Events []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, trace.Bytes())
+	}
+	found := false
+	for _, ev := range doc.Events {
+		if ev["name"] == "no events recorded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("empty trace lacks the no-events marker: %s", trace.Bytes())
+	}
+
+	var csv bytes.Buffer
+	if err := rec.WriteLinkCSV(&csv, nil); err != nil {
+		t.Fatalf("WriteLinkCSV: %v", err)
+	}
+	if !strings.Contains(csv.String(), "# no link traffic recorded") {
+		t.Errorf("empty link CSV lacks the no-traffic marker:\n%s", csv.String())
+	}
+	if !strings.Contains(csv.String(), "link,busy_us,bytes,msgs") {
+		t.Errorf("empty link CSV lost its header:\n%s", csv.String())
+	}
+
+	// Any observation flips Observed, and the markers disappear.
+	rec.Compute(0, 0, 10*usT, 0)
+	rec.RankDone(0, sim.Time(10*usT))
+	if !rec.Observed() {
+		t.Error("recorder with a rank segment claims no observations")
+	}
+	trace.Reset()
+	if err := rec.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(trace.String(), "no events recorded") {
+		t.Error("non-empty trace still carries the empty marker")
+	}
+}

@@ -389,3 +389,13 @@ func (rec *Recorder) CollSpans(rank int) []CollSpan {
 
 // Extent returns the latest timestamp the recorder observed.
 func (rec *Recorder) Extent() sim.Time { return rec.lastT }
+
+// Observed reports whether the recorder saw any probe event at all. A
+// run that aborts before its first event (a kill at t=0, a config that
+// spawns no ranks) leaves the recorder empty; exporters mark their
+// output as intentionally empty in that case, so a blank artifact is
+// distinguishable from a lost one.
+func (rec *Recorder) Observed() bool {
+	return len(rec.ranks) > 0 || len(rec.links) > 0 ||
+		len(rec.inject) > 0 || len(rec.faults) > 0 || rec.lastT > 0
+}

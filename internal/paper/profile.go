@@ -4,13 +4,13 @@ import (
 	"fmt"
 
 	"bgpsim/internal/halo"
+	"bgpsim/internal/jobspec"
 	"bgpsim/internal/machine"
 	"bgpsim/internal/mpi"
 	"bgpsim/internal/network"
 	"bgpsim/internal/obs"
 	"bgpsim/internal/sim"
 	"bgpsim/internal/stats"
-	"bgpsim/internal/topology"
 )
 
 func init() {
@@ -41,17 +41,24 @@ func profileScenarios(o Options) []*profileScenario {
 		loopRanks = 256
 	}
 
+	// The HALO workload is described as a canonical job spec — the same
+	// document a bgpsimd client would submit — and converted through the
+	// shared jobspec path, so this experiment exercises exactly the
+	// options construction the CLIs and server use.
 	haloRun := func(gx, gy int) func() (*obs.Recorder, error) {
 		return func() (*obs.Recorder, error) {
-			rec := obs.NewRecorder()
-			_, _, err := halo.RunResult(halo.Options{
-				Machine: machine.BGP, Mode: machine.VN,
+			opts, _, err := jobspec.Spec{
+				Kind: jobspec.KindHalo, Machine: "BG/P", Mode: "VN",
 				GridX: gx, GridY: gy,
-				Mapping: topology.Mapping("TXYZ"), Protocol: halo.IsendIrecv,
+				Mapping: "TXYZ", Protocol: "isend",
 				Words: 2048, Iterations: 5,
-				Probe: rec,
-			})
+			}.HaloOptions()
 			if err != nil {
+				return nil, err
+			}
+			rec := obs.NewRecorder()
+			opts.Probe = rec
+			if _, _, err := halo.RunResult(opts); err != nil {
 				return nil, err
 			}
 			return rec, nil

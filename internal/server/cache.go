@@ -1,0 +1,89 @@
+// Package server implements the bgpsimd HTTP job service: canonical
+// job specs in, deterministic simulation results out, with a
+// content-addressed result cache, bounded concurrency with
+// backpressure, snapshot/restore of in-flight simulations, and a
+// graceful drain for zero-loss shutdown. See docs/SERVER.md for the
+// API.
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU of marshaled result documents keyed by
+// job hash. The cache stores the exact bytes first marshaled for a job
+// and replays them verbatim, so a cache hit's response body is
+// byte-identical to the miss that filled it — the observable form of
+// the simulator's determinism guarantee.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	hash string
+	doc  []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the stored document for hash, marking it most recently
+// used. The returned slice is the stored backing array; callers only
+// write it to a response, never mutate it.
+func (c *resultCache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).doc, true
+}
+
+// Put stores doc under hash, evicting least-recently-used entries
+// beyond capacity. Re-putting an existing hash refreshes recency but
+// keeps the original bytes: the first document computed for a job is
+// the one every later response replays.
+func (c *resultCache) Put(hash string, doc []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, doc: doc})
+	for c.max > 0 && c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+		c.evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the lifetime hit/miss/eviction counts.
+func (c *resultCache) Counters() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

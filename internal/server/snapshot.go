@@ -1,0 +1,284 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"bgpsim/internal/jobspec"
+	"bgpsim/internal/sim"
+)
+
+// snapshot is a simulation parked mid-run at a chosen virtual time:
+// the job's event loop is paused, its rank goroutines blocked, its
+// state held in memory. Resume runs it to completion and produces the
+// exact document a straight run of the same spec produces (the
+// stepwise kernel only chooses pause points, never event order), so a
+// resumed snapshot both answers its own request and warms the result
+// cache for every later submission of that job. Fork starts a fresh
+// session of a (possibly patched) spec and replays it deterministically
+// up to the parent's pause point — what-if exploration from a common
+// prefix.
+type snapshot struct {
+	id   string
+	mu   sync.Mutex // serializes StepTo/Finish on the session
+	sess *jobspec.Session
+	doc  []byte // resume result, once produced
+}
+
+// snapshotInfo is the wire form of a snapshot's state.
+type snapshotInfo struct {
+	ID     string `json:"id"`
+	Hash   string `json:"hash"`
+	NowUs  int64  `json:"now_us"`
+	Events uint64 `json:"events"`
+	Done   bool   `json:"done"`
+}
+
+func (sn *snapshot) info() snapshotInfo {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return snapshotInfo{
+		ID:     sn.id,
+		Hash:   sn.sess.Hash(),
+		NowUs:  int64(sn.sess.Now()) / int64(sim.Microsecond),
+		Events: sn.sess.Events(),
+		Done:   sn.sess.Done(),
+	}
+}
+
+// snapshotRequest is the POST /v1/snapshots (and /fork) body.
+type snapshotRequest struct {
+	Spec json.RawMessage `json:"spec"`
+	AtUs int64           `json:"at_us"`
+}
+
+// startSnapshot creates and parks a session at the requested virtual
+// time, enforcing the snapshot budget.
+func (s *Server) startSnapshot(spec jobspec.Spec, atUs int64) (*snapshot, error) {
+	sess, err := jobspec.StartSession(spec)
+	if err != nil {
+		return nil, err
+	}
+	if atUs > 0 {
+		if err := sess.StepTo(sim.Time(atUs) * sim.Time(sim.Microsecond)); err != nil {
+			sess.Finish(io.Discard, io.Discard)
+			return nil, err
+		}
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if len(s.snapshots) >= s.cfg.MaxSnapshots {
+		// Unwind the parked goroutines before rejecting.
+		go sess.Finish(io.Discard, io.Discard)
+		return nil, errSnapshotBudget
+	}
+	s.snapSeq++
+	sn := &snapshot{id: fmt.Sprintf("snap-%d", s.snapSeq), sess: sess}
+	s.snapshots[sn.id] = sn
+	return sn, nil
+}
+
+var errSnapshotBudget = fmt.Errorf("snapshot budget exhausted")
+
+func (s *Server) getSnapshot(id string) *snapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapshots[id]
+}
+
+// finishSnapshots runs every parked snapshot to completion so its
+// simulation goroutines unwind; called during drain.
+func (s *Server) finishSnapshots() {
+	s.snapMu.Lock()
+	snaps := make([]*snapshot, 0, len(s.snapshots))
+	for _, sn := range s.snapshots {
+		snaps = append(snaps, sn)
+	}
+	s.snapshots = make(map[string]*snapshot)
+	s.snapMu.Unlock()
+	for _, sn := range snaps {
+		sn.mu.Lock()
+		sn.sess.Finish(io.Discard, io.Discard)
+		sn.mu.Unlock()
+	}
+}
+
+func (s *Server) handleSnapshotCreate(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining; not accepting snapshots")
+		return
+	}
+	var req snapshotRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	if len(req.Spec) == 0 {
+		httpError(w, http.StatusBadRequest, "missing spec")
+		return
+	}
+	spec, err := jobspec.Decode(req.Spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec.Shards = 0
+	sn, err := s.startSnapshot(spec, req.AtUs)
+	switch err {
+	case nil:
+	case errSnapshotBudget:
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, sn.info())
+}
+
+func (s *Server) handleSnapshotList(w http.ResponseWriter, r *http.Request) {
+	s.snapMu.Lock()
+	infos := make([]snapshotInfo, 0, len(s.snapshots))
+	snaps := make([]*snapshot, 0, len(s.snapshots))
+	for _, sn := range s.snapshots {
+		snaps = append(snaps, sn)
+	}
+	s.snapMu.Unlock()
+	for _, sn := range snaps {
+		infos = append(infos, sn.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	sn := s.getSnapshot(r.PathValue("id"))
+	if sn == nil {
+		httpError(w, http.StatusNotFound, "unknown snapshot")
+		return
+	}
+	writeJSON(w, http.StatusOK, sn.info())
+}
+
+// handleSnapshotResume runs the parked simulation to completion and
+// returns the result document — byte-identical to a straight run of
+// the spec, and inserted into the result cache under the job's hash so
+// later POST /v1/jobs submissions hit. Repeated resumes replay the
+// stored document.
+func (s *Server) handleSnapshotResume(w http.ResponseWriter, r *http.Request) {
+	sn := s.getSnapshot(r.PathValue("id"))
+	if sn == nil {
+		httpError(w, http.StatusNotFound, "unknown snapshot")
+		return
+	}
+	sn.mu.Lock()
+	if sn.doc == nil {
+		var stdout, stderr bytes.Buffer
+		rr, err := sn.sess.Finish(&stdout, &stderr)
+		doc := ResultDoc{
+			Hash:   sn.sess.Hash(),
+			Spec:   sn.sess.Spec(),
+			Stdout: stdout.String(),
+			Stderr: stderr.String(),
+		}
+		if rr != nil {
+			for _, a := range rr.Artifacts {
+				doc.Artifacts = append(doc.Artifacts, ArtifactDoc{Name: a.Name, Data: a.Data})
+			}
+		}
+		if err != nil {
+			doc.Error = err.Error()
+			s.failed.Add(1)
+		} else {
+			s.completed.Add(1)
+		}
+		b, merr := json.Marshal(doc)
+		if merr != nil {
+			sn.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("marshal result: %v", merr))
+			return
+		}
+		sn.doc = b
+		s.cache.Put(doc.Hash, b)
+	}
+	doc := sn.doc
+	sn.mu.Unlock()
+	writeDoc(w, doc, "snapshot")
+}
+
+// handleSnapshotFork parks a new session at the parent's pause point
+// (or an explicit at_us), optionally with a replacement spec — the
+// deterministic kernel replays the common prefix identically, so the
+// fork is a what-if branch of the parent.
+func (s *Server) handleSnapshotFork(w http.ResponseWriter, r *http.Request) {
+	parent := s.getSnapshot(r.PathValue("id"))
+	if parent == nil {
+		httpError(w, http.StatusNotFound, "unknown snapshot")
+		return
+	}
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining; not accepting snapshots")
+		return
+	}
+	var req snapshotRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+			return
+		}
+	}
+	spec := parent.sess.Spec()
+	if len(req.Spec) > 0 {
+		var err error
+		spec, err = jobspec.Decode(req.Spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		spec.Shards = 0
+	}
+	atUs := req.AtUs
+	if atUs <= 0 {
+		parent.mu.Lock()
+		atUs = int64(parent.sess.Now()) / int64(sim.Microsecond)
+		parent.mu.Unlock()
+	}
+	sn, err := s.startSnapshot(spec, atUs)
+	switch err {
+	case nil:
+	case errSnapshotBudget:
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, sn.info())
+}
+
+// handleSnapshotDelete discards a snapshot. The parked simulation is
+// finished in the background into discarded writers — rank goroutines
+// blocked inside the paused kernel cannot be killed, only run to
+// completion — and nothing is cached.
+func (s *Server) handleSnapshotDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.snapMu.Lock()
+	sn := s.snapshots[id]
+	delete(s.snapshots, id)
+	s.snapMu.Unlock()
+	if sn == nil {
+		httpError(w, http.StatusNotFound, "unknown snapshot")
+		return
+	}
+	go func() {
+		sn.mu.Lock()
+		defer sn.mu.Unlock()
+		sn.sess.Finish(io.Discard, io.Discard)
+	}()
+	w.WriteHeader(http.StatusNoContent)
+}

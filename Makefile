@@ -54,6 +54,14 @@ check:
 	@cmp /tmp/bgpsim-check-fac1.txt /tmp/bgpsim-check-fac4.txt || \
 		{ echo "check: paper -exp facility differs between -j 1 and -j 4 -shards 4"; exit 1; }
 	@rm -f /tmp/bgpsim-check-fac1.txt /tmp/bgpsim-check-fac4.txt
+	@# Calibration smoke: the fit and the CRN variability sweeps must
+	@# print byte-identical output at any worker and shard count — the
+	@# common-random-numbers guarantee the CI tables are built on.
+	$(GO) run ./cmd/paper -exp calib -j 1 > /tmp/bgpsim-check-cal1.txt
+	$(GO) run ./cmd/paper -exp calib -j 4 -shards 4 > /tmp/bgpsim-check-cal4.txt
+	@cmp /tmp/bgpsim-check-cal1.txt /tmp/bgpsim-check-cal4.txt || \
+		{ echo "check: paper -exp calib differs between -j 1 and -j 4 -shards 4"; exit 1; }
+	@rm -f /tmp/bgpsim-check-cal1.txt /tmp/bgpsim-check-cal4.txt
 	@# Server smoke: bgpsimd submits one job twice over real HTTP and
 	@# must answer miss then hit with byte-identical result documents,
 	@# then drain cleanly (exit 0).
@@ -72,8 +80,13 @@ check:
 	curl -sf -D /tmp/bgpsim-check-h2 -o /tmp/bgpsim-check-b2 -X POST "http://$$addr/v1/jobs" -d "$$job" || { echo "check: bgpsimd second submit failed"; kill $$pid; exit 1; }; \
 	grep -qi "^X-Bgpsimd-Cache: hit" /tmp/bgpsim-check-h2 || { echo "check: bgpsimd resubmission was not a cache hit"; kill $$pid; exit 1; }; \
 	cmp -s /tmp/bgpsim-check-b1 /tmp/bgpsim-check-b2 || { echo "check: bgpsimd cache hit body differs from miss body"; kill $$pid; exit 1; }; \
+	cjob='{"kind":"calib"}'; \
+	curl -sf -o /tmp/bgpsim-check-c1 -X POST "http://$$addr/v1/jobs" -d "$$cjob" || { echo "check: bgpsimd calib submit failed"; kill $$pid; exit 1; }; \
+	curl -sf -D /tmp/bgpsim-check-ch2 -o /tmp/bgpsim-check-c2 -X POST "http://$$addr/v1/jobs" -d "$$cjob" || { echo "check: bgpsimd calib resubmit failed"; kill $$pid; exit 1; }; \
+	grep -qi "^X-Bgpsimd-Cache: hit" /tmp/bgpsim-check-ch2 || { echo "check: bgpsimd calib resubmission was not a cache hit"; kill $$pid; exit 1; }; \
+	cmp -s /tmp/bgpsim-check-c1 /tmp/bgpsim-check-c2 || { echo "check: bgpsimd calib cache hit body differs from miss body"; kill $$pid; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "check: bgpsimd drain did not exit 0"; exit 1; }
-	@rm -f /tmp/bgpsim-check-bgpsimd /tmp/bgpsim-check-bgpsimd.addr /tmp/bgpsim-check-h1 /tmp/bgpsim-check-h2 /tmp/bgpsim-check-b1 /tmp/bgpsim-check-b2
+	@rm -f /tmp/bgpsim-check-bgpsimd /tmp/bgpsim-check-bgpsimd.addr /tmp/bgpsim-check-h1 /tmp/bgpsim-check-h2 /tmp/bgpsim-check-b1 /tmp/bgpsim-check-b2 /tmp/bgpsim-check-c1 /tmp/bgpsim-check-c2 /tmp/bgpsim-check-ch2
 
 # Kernel hot-path benchmarks. BENCH_kernel.json (test2json stream, one
 # object per line) records the perf trajectory so future PRs can diff
@@ -119,7 +132,7 @@ examples:
 # observability contracts lean on (fault injection, the MPI layer, the
 # probes) must not silently lose their tests. Floors sit ~5 points
 # below measured coverage; raise them as the suites grow.
-COVER_FLOORS = bgpsim/internal/fault:86 bgpsim/internal/mpi:83 bgpsim/internal/obs:65 bgpsim/internal/alloc:89 bgpsim/internal/facility:85 bgpsim/internal/jobspec:70 bgpsim/internal/server:70
+COVER_FLOORS = bgpsim/internal/fault:86 bgpsim/internal/mpi:83 bgpsim/internal/obs:65 bgpsim/internal/alloc:89 bgpsim/internal/facility:85 bgpsim/internal/jobspec:70 bgpsim/internal/server:70 bgpsim/internal/calib:80 bgpsim/internal/stats:80
 
 cover:
 	@$(GO) test -cover ./... | awk -v floors="$(COVER_FLOORS)" ' \

@@ -36,6 +36,7 @@ func main() {
 	fidelity := flag.String("fidelity", "contention", "network model: contention, analytic, or packet")
 	shards := flag.Int("shards", 0, "partition the ranks across N parallel kernel shards (analytic fidelity only; output is byte-identical at any N)")
 	faultsFlag := flag.String("faults", "", "inject a deterministic fault plan, e.g. 'seed=3,recover,kill=5@40us' or 'blast=50us/7/1/0/0/1' (see internal/fault.ParseSpec)")
+	varFlag := flag.String("var", "", "inject seeded per-node performance variability, e.g. 'clock:2%,link:5%@7' (see internal/fault.ParseVariabilitySpec)")
 	events := flag.Int("events", 0, "dump the first N trace events")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to FILE")
 	profile := flag.Bool("profile", false, "print per-rank time decomposition and critical path")
@@ -54,6 +55,7 @@ func main() {
 		Fidelity: *fidelity,
 		Shards:   *shards,
 		Faults:   *faultsFlag,
+		Var:      *varFlag,
 		Events:   *events,
 		Trace:    *traceFile != "",
 		Profile:  *profile,

@@ -36,6 +36,7 @@ func main() {
 	protoS := flag.String("protocol", "isend", "protocol: isend, sendrecv, irecvsend, persistent")
 	collFlag := flag.String("coll", "", "force collective algorithms, e.g. barrier=reduce-bcast")
 	faultsFlag := flag.String("faults", "", "inject a deterministic fault plan, e.g. 'seed=3,recover,kill=5@40us' or 'blast=50us/7/1/0/0/1' (see internal/fault.ParseSpec)")
+	varFlag := flag.String("var", "", "inject seeded per-node performance variability, e.g. 'clock:2%,link:5%@7' (see internal/fault.ParseVariabilitySpec)")
 	sweep := flag.Bool("sweep", false, "sweep halo sizes")
 	mappings := flag.Bool("mappings", false, "compare all predefined mappings")
 	analytic := flag.Bool("analytic", false, "use the analytic network model instead of link contention (required for -shards)")
@@ -74,6 +75,7 @@ func main() {
 		Fidelity:   fidelity,
 		Coll:       coll,
 		Faults:     *faultsFlag,
+		Var:        *varFlag,
 		Shards:     *shards,
 		Sweep:      *sweep,
 		Mappings:   *mappings,

@@ -54,6 +54,7 @@ func main() {
 	ranksFlag := flag.String("ranks", "256", "MPI processes (VN mode); comma-separated for a sweep")
 	collFlag := flag.String("coll", "", "force collective algorithms, e.g. allreduce=ring,bcast=binomial")
 	faultsFlag := flag.String("faults", "", "inject a deterministic fault plan into the collective phase, e.g. 'seed=3,recover,kill=5@40us' (see internal/fault.ParseSpec)")
+	varFlag := flag.String("var", "", "inject seeded per-node performance variability into the simulated tests, e.g. 'clock:2%,link:5%@7' (see internal/fault.ParseVariabilitySpec)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the collective phase to FILE (single -ranks value)")
 	profile := flag.Bool("profile", false, "print the collective phase's per-rank time decomposition and critical path (single -ranks value)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical at any -j)")
@@ -78,6 +79,7 @@ func main() {
 		RankList: rankCounts,
 		Coll:     coll,
 		Faults:   *faultsFlag,
+		Var:      *varFlag,
 		Shards:   *shardsFlag,
 		Trace:    *traceFile != "",
 		Profile:  *profile,

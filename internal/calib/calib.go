@@ -1,0 +1,81 @@
+// Package calib fits the simulator's machine models to the paper's
+// published numbers and quantifies how well they agree.
+//
+// The machine catalog (internal/machine) annotates every parameter as
+// either [T1] — taken directly from the paper's Table 1 — or [cal] —
+// chosen so the simulated micro-benchmarks land on the paper's
+// measurements. This package closes that loop mechanically: it defines
+// the calibration targets (ping-pong latency and bandwidth, the
+// collective micro-benchmarks, DGEMM, a halo exchange), evaluates the
+// model against them, and runs a deterministic seeded parameter search
+// (multiplicative coordinate descent over the [cal] parameters) that
+// recovers a perturbed model to within the paper's tables. The fit
+// report shows, for every free parameter, the catalog value, the
+// perturbed starting point, and the fitted value — and, for every
+// target, the paper value, the model value, and the residual.
+//
+// The search is exact-replay deterministic: same options, same result,
+// at any worker count, because target evaluations go through
+// runner.Sweep (input-order results) and every candidate step is
+// accepted or rejected sequentially.
+package calib
+
+import (
+	"fmt"
+
+	"bgpsim/internal/machine"
+	"bgpsim/internal/runner"
+	"bgpsim/internal/stats"
+)
+
+// Machines lists the catalog entries with calibration target sets: the
+// two machines whose micro-benchmarks the paper tabulates side by side.
+func Machines() []machine.ID {
+	return []machine.ID{machine.BGP, machine.XT4QC}
+}
+
+// Residual is one calibration target's model-vs-paper comparison.
+type Residual struct {
+	Name  string
+	Unit  string
+	Kind  string // "micro" or "app"
+	Paper float64
+	Model float64
+}
+
+// RelErr returns the signed relative error of the model value.
+func (r Residual) RelErr() float64 { return (r.Model - r.Paper) / r.Paper }
+
+// Residuals evaluates machine id's calibration targets against an
+// explicit model m (usually a fitted or perturbed clone of the catalog
+// machine). Targets evaluate concurrently on the runner pool; results
+// come back in target order.
+func Residuals(id machine.ID, m *machine.Machine) ([]Residual, error) {
+	targets, err := TargetsFor(id)
+	if err != nil {
+		return nil, err
+	}
+	return evalTargets(m, targets)
+}
+
+func evalTargets(m *machine.Machine, targets []Target) ([]Residual, error) {
+	return runner.Sweep(targets, func(t Target) (Residual, error) {
+		v, err := t.Eval(m)
+		if err != nil {
+			return Residual{}, fmt.Errorf("calib: target %s: %w", t.Name, err)
+		}
+		return Residual{Name: t.Name, Unit: t.Unit, Kind: t.Kind, Paper: t.Paper, Model: v}, nil
+	})
+}
+
+// ResidualTable renders residuals as a table: paper value, model value,
+// and the signed relative error.
+func ResidualTable(title string, rs []Residual) *stats.Table {
+	tb := stats.NewTable(title, "target", "kind", "unit", "paper", "model", "err %")
+	for _, r := range rs {
+		tb.AddRow(r.Name, r.Kind, r.Unit,
+			stats.FormatG(r.Paper), stats.FormatG(r.Model),
+			fmt.Sprintf("%+.2f", 100*r.RelErr()))
+	}
+	return tb
+}

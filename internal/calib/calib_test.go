@@ -1,0 +1,137 @@
+package calib
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bgpsim/internal/machine"
+)
+
+// The catalog machines must already sit on the paper's tables: every
+// calibration target within 10%, micro targets within 5%.
+func TestCatalogResiduals(t *testing.T) {
+	for _, id := range Machines() {
+		rs, err := Residuals(id, machine.Get(id))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rs) < 6 {
+			t.Fatalf("%s: only %d targets", id, len(rs))
+		}
+		for _, r := range rs {
+			lim := 0.10
+			if r.Kind == "micro" {
+				lim = 0.05
+			}
+			if e := math.Abs(r.RelErr()); e > lim {
+				t.Errorf("%s %s: model %g vs paper %g %s (err %.1f%%, limit %.0f%%)",
+					id, r.Name, r.Model, r.Paper, r.Unit, 100*e, 100*lim)
+			}
+		}
+	}
+}
+
+func TestTargetsForUnknownMachine(t *testing.T) {
+	if _, err := TargetsFor(machine.BGL); err == nil {
+		t.Fatal("TargetsFor(BG/L) should fail: no target set")
+	}
+	if _, err := Residuals("nope", nil); err == nil {
+		t.Fatal("Residuals(nope) should fail")
+	}
+}
+
+// FitModel must walk back to a known optimum: targets generated from
+// the catalog machine itself, start displaced by ±10%.
+func TestFitModelRecoversSyntheticOptimum(t *testing.T) {
+	id := machine.BGP
+	cat := machine.Get(id)
+	params, err := ParamsFor(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic targets: each free parameter read back directly, paper
+	// value = the catalog's own value. The optimum is exactly the
+	// catalog and the loss there is zero.
+	var targets []Target
+	for _, p := range params {
+		p := p
+		targets = append(targets, Target{
+			Name: p.Name, Unit: p.Unit, Kind: "micro", Weight: 1,
+			Paper: p.Get(cat),
+			Eval:  func(m *machine.Machine) (float64, error) { return p.Get(m), nil },
+		})
+	}
+	start := cat.Clone()
+	factors := []float64{1.10, 0.91, 1.08, 0.92, 1.09, 0.90}
+	for i, p := range params {
+		p.Set(start, p.Get(start)*factors[i%len(factors)])
+	}
+	res, err := FitModel(start, params, targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss >= res.StartLoss {
+		t.Fatalf("no improvement: loss %g -> %g", res.StartLoss, res.Loss)
+	}
+	fitted := res.FittedMachine()
+	for _, p := range params {
+		got, want := p.Get(fitted), p.Get(cat)
+		if e := math.Abs(got-want) / want; e > 0.02 {
+			t.Errorf("param %s: fitted %g vs optimum %g (err %.2f%%)", p.Name, got, want, 100*e)
+		}
+	}
+	if res.Evals == 0 || res.Evals > defaultMaxEvals {
+		t.Errorf("evals = %d", res.Evals)
+	}
+}
+
+// Fit must recover a perturbed catalog machine to within the paper's
+// tables, deterministically.
+func TestFitRecoversAndIsDeterministic(t *testing.T) {
+	o := Options{Perturb: 0.10, Seed: 7}
+	res, err := Fit(machine.XT4QC, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss >= res.StartLoss {
+		t.Fatalf("fit did not improve: %g -> %g", res.StartLoss, res.Loss)
+	}
+	for _, r := range res.Residuals {
+		if e := math.Abs(r.RelErr()); e > 0.10 {
+			t.Errorf("fitted residual %s: %.1f%% > 10%%", r.Name, 100*e)
+		}
+	}
+	for _, p := range res.Params {
+		if p.Start == p.Catalog {
+			t.Errorf("param %s: perturbation did not move the start", p.Name)
+		}
+	}
+	again, err := Fit(machine.XT4QC, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Params, again.Params) || res.Loss != again.Loss || res.Evals != again.Evals {
+		t.Errorf("fit is not deterministic: %+v vs %+v", res, again)
+	}
+}
+
+func TestTables(t *testing.T) {
+	res, err := Fit(machine.BGP, Options{Perturb: 0.05, Seed: 3, MaxEvals: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.ParamTable().String()
+	for _, want := range []string{"link-bw", "sw-lat", "tree-lat", "catalog", "fitted"} {
+		if !strings.Contains(pt, want) {
+			t.Errorf("param table missing %q:\n%s", want, pt)
+		}
+	}
+	rt := res.ResidualTable().String()
+	for _, want := range []string{"pingpong-lat", "dgemm", "halo-exchange", "err %"} {
+		if !strings.Contains(rt, want) {
+			t.Errorf("residual table missing %q:\n%s", want, rt)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package calib
+
+import (
+	"fmt"
+
+	"bgpsim/internal/machine"
+)
+
+// Param is one free parameter of the fit: an accessor pair over the
+// machine struct plus display metadata. Get and Set work in SI units;
+// Scale converts to the display unit for tables.
+type Param struct {
+	Name  string
+	Unit  string
+	Scale float64 // display = SI * Scale
+	Max   float64 // upper clamp applied by Set (0 = none)
+	Get   func(*machine.Machine) float64
+	Set   func(*machine.Machine, float64)
+}
+
+func clamped(v, max float64) float64 {
+	if max > 0 && v > max {
+		return max
+	}
+	return v
+}
+
+// ParamsFor returns the fit's free parameters for a machine: the
+// [cal]-annotated interconnect and software constants the paper does
+// not print directly, plus the DGEMM efficiency. Tree latency joins
+// the set only on machines with a collective tree network.
+func ParamsFor(id machine.ID) ([]Param, error) {
+	m, err := machine.Lookup(id)
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	ps := []Param{
+		{
+			Name: "link-bw", Unit: "GB/s", Scale: 1e-9,
+			Get: func(m *machine.Machine) float64 { return m.TorusLinkBW },
+			Set: func(m *machine.Machine, v float64) { m.TorusLinkBW = v },
+		},
+		{
+			Name: "hop-lat", Unit: "ns", Scale: 1e9,
+			Get: func(m *machine.Machine) float64 { return m.TorusHopLat },
+			Set: func(m *machine.Machine, v float64) { m.TorusHopLat = v },
+		},
+		{
+			Name: "inject-bw", Unit: "GB/s", Scale: 1e-9,
+			Get: func(m *machine.Machine) float64 { return m.NICInjectBW },
+			Set: func(m *machine.Machine, v float64) { m.NICInjectBW = v },
+		},
+		{
+			Name: "sw-lat", Unit: "us", Scale: 1e6,
+			Get: func(m *machine.Machine) float64 { return m.SWLatency },
+			Set: func(m *machine.Machine, v float64) { m.SWLatency = v },
+		},
+		{
+			Name: "dgemm-eff", Unit: "frac", Scale: 1, Max: 0.98,
+			Get: func(m *machine.Machine) float64 { return m.Eff[machine.ClassDGEMM] },
+			Set: func(m *machine.Machine, v float64) { m.Eff[machine.ClassDGEMM] = clamped(v, 0.98) },
+		},
+	}
+	if m.HasTree {
+		ps = append(ps, Param{
+			Name: "tree-lat", Unit: "ns", Scale: 1e9,
+			Get: func(m *machine.Machine) float64 { return m.TreeLat },
+			Set: func(m *machine.Machine, v float64) { m.TreeLat = v },
+		})
+	}
+	return ps, nil
+}

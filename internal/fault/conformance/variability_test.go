@@ -1,0 +1,163 @@
+package conformance
+
+import (
+	"testing"
+
+	"bgpsim/internal/fault"
+	"bgpsim/internal/mpi"
+	"bgpsim/internal/network"
+	"bgpsim/internal/topology"
+)
+
+// computeRing mixes per-iteration compute blocks with neighbour
+// exchanges so both variability channels are load-bearing: clock
+// multipliers stretch the Compute calls, link factors stretch the
+// message transfers.
+func computeRing(iters, bytes int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() - 1 + r.Size()) % r.Size()
+		for k := 0; k < iters; k++ {
+			r.Compute(1e6, 5e5, 0)
+			r.Sendrecv(right, bytes, k, left, k)
+		}
+	}
+}
+
+func varPlan(t *testing.T, seed uint64, clockCV, linkCV float64) *fault.Plan {
+	t.Helper()
+	p := fault.NewPlan(seed)
+	if err := p.SetVariability(fault.Variability{Seed: seed, ClockCV: clockCV, LinkCV: linkCV}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestVariabilityNeverFaster pins the variability engine's core
+// property: per-node performance variability is pure degradation.
+// Clock multipliers are >= 1 and link factors are <= 1 by
+// construction, so no seed and no CV combination may make a run
+// complete sooner than the healthy run.
+func TestVariabilityNeverFaster(t *testing.T) {
+	const nodes = 64
+	dims := topology.Dims{4, 4, 4}
+	prog := computeRing(4, 64<<10)
+	healthy, err := mpi.Execute(bgpConfig(t, nodes, dims, nil), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name             string
+		clockCV, linkCV  float64
+		wantStrictlyOnce bool // at least one seed must actually move the clock
+	}{
+		{"clock only 3%", 0.03, 0, true},
+		{"link only 8%", 0, 0.08, true},
+		{"clock 2% link 5%", 0.02, 0.05, true},
+	}
+	for _, c := range cases {
+		sawSlower := false
+		for seed := uint64(1); seed <= 5; seed++ {
+			p := varPlan(t, seed, c.clockCV, c.linkCV)
+			res, err := mpi.Execute(bgpConfig(t, nodes, dims, p), prog)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", c.name, seed, err)
+			}
+			if res.Elapsed < healthy.Elapsed {
+				t.Errorf("%s seed %d: noisy run %v beat healthy %v",
+					c.name, seed, res.Elapsed, healthy.Elapsed)
+			}
+			if res.Elapsed > healthy.Elapsed {
+				sawSlower = true
+			}
+		}
+		if c.wantStrictlyOnce && !sawSlower {
+			t.Errorf("%s: no seed slowed the run at all; the variability draws are not reaching the models", c.name)
+		}
+	}
+}
+
+// TestVariabilityComposesWithFaults: variability stacks on top of a
+// degraded-link plan, and the combination is never faster than either
+// ingredient alone.
+func TestVariabilityComposesWithFaults(t *testing.T) {
+	const nodes = 64
+	dims := topology.Dims{4, 4, 4}
+	prog := computeRing(4, 64<<10)
+
+	degraded := func(withVar bool) *fault.Plan {
+		p := fault.NewPlan(3)
+		tor := topology.NewTorus(dims)
+		if _, err := p.DegradeRandomLinks(tor, 0.2, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if withVar {
+			if err := p.SetVariability(fault.Variability{Seed: 3, ClockCV: 0.02, LinkCV: 0.05}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	faultsOnly, err := mpi.Execute(bgpConfig(t, nodes, dims, degraded(false)), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varOnly, err := mpi.Execute(bgpConfig(t, nodes, dims, varPlan(t, 3, 0.02, 0.05)), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := mpi.Execute(bgpConfig(t, nodes, dims, degraded(true)), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Elapsed < faultsOnly.Elapsed {
+		t.Errorf("faults+variability %v beat faults alone %v", both.Elapsed, faultsOnly.Elapsed)
+	}
+	if both.Elapsed < varOnly.Elapsed {
+		t.Errorf("faults+variability %v beat variability alone %v", both.Elapsed, varOnly.Elapsed)
+	}
+}
+
+// TestVariabilityShardInvariance is the CRN guarantee at the kernel
+// level: a variability-only plan keeps a job shard-eligible (it has no
+// link faults), and the same seed produces byte-identical elapsed
+// times and event counts on the serial kernel and at every shard
+// count. Common-random-numbers comparisons across configurations
+// depend on exactly this.
+func TestVariabilityShardInvariance(t *testing.T) {
+	const nodes = 64
+	dims := topology.Dims{4, 4, 4}
+	prog := computeRing(6, 32<<10)
+
+	run := func(seed uint64, shards int) *mpi.Result {
+		cfg := bgpConfig(t, nodes, dims, varPlan(t, seed, 0.02, 0.05))
+		cfg.Fidelity = network.Analytic
+		cfg.Shards = shards
+		res, err := mpi.Execute(cfg, prog)
+		if err != nil {
+			t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+		}
+		return res
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		serial := run(seed, 0)
+		for _, shards := range []int{1, 2, 4} {
+			res := run(seed, shards)
+			if shards > 1 && res.Shards != shards {
+				t.Fatalf("seed %d: requested %d shards, ran on %d — variability plan lost shard eligibility", seed, shards, res.Shards)
+			}
+			if res.Elapsed != serial.Elapsed {
+				t.Errorf("seed %d shards %d: elapsed %v != serial %v", seed, shards, res.Elapsed, serial.Elapsed)
+			}
+			if res.Events != serial.Events {
+				t.Errorf("seed %d shards %d: events %d != serial %d", seed, shards, res.Events, serial.Events)
+			}
+		}
+	}
+	// Different seeds must actually draw different noise, or the CRN
+	// sweep would average one sample N times.
+	if run(1, 0).Elapsed == run(2, 0).Elapsed && run(1, 0).Elapsed == run(3, 0).Elapsed {
+		t.Error("seeds 1..3 produced identical elapsed times; variability seeding is inert")
+	}
+}

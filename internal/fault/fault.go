@@ -116,6 +116,7 @@ type Plan struct {
 	recover         bool
 	logSender       bool
 	restartCkpt     bool
+	vari            *Variability // per-node performance variability (variability.go)
 }
 
 // NewPlan returns an empty fault plan. All random fault placement

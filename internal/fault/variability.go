@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"bgpsim/internal/sim"
+)
+
+// Variability is a seeded per-node performance-variability model: real
+// machines are not uniform — nominally identical nodes differ in
+// effective clock (manufacturing spread, thermal throttling, DVFS
+// states) and in delivered link bandwidth (marginal SerDes lanes,
+// retraining retries). Cornebize & Legrand (PAPERS.md) show this
+// spread, not the mean, often decides MPI tuning conclusions, so the
+// calibration engine reruns headline experiments under Variability
+// draws to put confidence intervals on every point estimate.
+//
+// Every draw is a pure function of (Seed, node): two runs with the
+// same spec see identical node multipliers at any worker count and any
+// shard count, and the draws compose freely with the rest of a Plan
+// (noise, blasts, kills, degraded links).
+type Variability struct {
+	// Seed drives the per-node draws.
+	Seed uint64
+	// ClockCV is the coefficient of variation of per-node compute
+	// slowdown: each node's compute blocks stretch by a factor
+	// 1 + ClockCV*|z| with z standard normal (half-normal, so the
+	// catalog machine stays the best case and variability is
+	// never-faster by construction). Zero disables clock draws.
+	ClockCV float64
+	// LinkCV is the coefficient of variation of per-node delivered
+	// bandwidth: messages touching the node serialize at bandwidth
+	// scaled by 1/(1 + LinkCV*|z|), again half-normal so a draw never
+	// beats the catalog link. Zero disables link draws.
+	LinkCV float64
+}
+
+// Valid reports whether the variability parameters are usable.
+func (v Variability) Valid() error {
+	if v.ClockCV < 0 || v.ClockCV >= 1 || math.IsNaN(v.ClockCV) {
+		return fmt.Errorf("fault: clock variability %g must be in [0, 1)", v.ClockCV)
+	}
+	if v.LinkCV < 0 || v.LinkCV >= 1 || math.IsNaN(v.LinkCV) {
+		return fmt.Errorf("fault: link variability %g must be in [0, 1)", v.LinkCV)
+	}
+	return nil
+}
+
+// Draw-stream salts: clock and link draws for the same node must be
+// independent, and both independent of NoisePhase.
+const (
+	varClockSalt = 0xa24baed4963ee407
+	varLinkSalt  = 0x3c79ac492ba7b653
+)
+
+// halfNormal returns |z| for a standard normal z, derived
+// deterministically from (seed, node) via Box-Muller on the plan RNG.
+func halfNormal(seed uint64, node int) float64 {
+	r := sim.NewRNG(seed ^ (uint64(node)+1)*0xd1342543de82ef95)
+	u1 := r.Float64()
+	if u1 <= 0 {
+		u1 = 1.0 / (1 << 53)
+	}
+	u2 := r.Float64()
+	return math.Abs(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+}
+
+// ClockFactor returns the node's compute stretch factor, always >= 1.
+// A nil receiver or zero ClockCV returns exactly 1 (the healthy path).
+func (v *Variability) ClockFactor(node int) float64 {
+	if v == nil || v.ClockCV <= 0 {
+		return 1
+	}
+	return 1 + v.ClockCV*halfNormal(v.Seed^varClockSalt, node)
+}
+
+// LinkFactor returns the node's delivered-bandwidth factor in (0, 1]:
+// message serializations touching the node divide their bandwidth by
+// 1/LinkFactor. A nil receiver or zero LinkCV returns exactly 1.
+func (v *Variability) LinkFactor(node int) float64 {
+	if v == nil || v.LinkCV <= 0 {
+		return 1
+	}
+	return 1 / (1 + v.LinkCV*halfNormal(v.Seed^varLinkSalt, node))
+}
+
+// String renders the variability back into its spec-grammar form.
+func (v Variability) String() string {
+	var parts []string
+	if v.ClockCV > 0 {
+		parts = append(parts, fmt.Sprintf("clock:%g%%", v.ClockCV*100))
+	}
+	if v.LinkCV > 0 {
+		parts = append(parts, fmt.Sprintf("link:%g%%", v.LinkCV*100))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "clock:0%")
+	}
+	return fmt.Sprintf("%s@%d", strings.Join(parts, ","), v.Seed)
+}
+
+// SetVariability attaches per-node performance variability to the
+// plan. It composes with every other plan dimension and — because the
+// draws add no entries to the link-fault schedule — never disqualifies
+// an analytic run from sharding.
+func (p *Plan) SetVariability(v Variability) error {
+	if err := v.Valid(); err != nil {
+		return err
+	}
+	p.vari = &v
+	return nil
+}
+
+// Variability returns the plan's variability model, nil when none is
+// set (including on a nil plan).
+func (p *Plan) Variability() *Variability {
+	if p == nil {
+		return nil
+	}
+	return p.vari
+}
+
+// ParseVariabilitySpec parses the variability spec grammar:
+//
+//	[var=]clock:CV[,link:CV][@SEED]
+//
+// where each CV is either a percentage ("2%") or a fraction ("0.02")
+// in [0, 1), parts may appear in either order but at most once each,
+// and SEED is a decimal uint64 (default 1). Examples:
+//
+//	clock:2%
+//	var=clock:2%,link:5%@7
+//	link:0.05@3
+func ParseVariabilitySpec(s string) (Variability, error) {
+	v := Variability{Seed: 1}
+	spec := strings.TrimSpace(s)
+	spec = strings.TrimPrefix(spec, "var=")
+	if at := strings.LastIndexByte(spec, '@'); at >= 0 {
+		seedStr := spec[at+1:]
+		seed, err := strconv.ParseUint(seedStr, 10, 64)
+		if err != nil {
+			return Variability{}, fmt.Errorf("fault: bad variability seed %q (want a decimal uint64)", seedStr)
+		}
+		v.Seed = seed
+		spec = spec[:at]
+	}
+	if strings.TrimSpace(spec) == "" {
+		return Variability{}, fmt.Errorf("fault: empty variability spec (want e.g. clock:2%%,link:5%%@seed)")
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		key, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return Variability{}, fmt.Errorf("fault: bad variability directive %q (want key:value)", part)
+		}
+		key = strings.TrimSpace(key)
+		if seen[key] {
+			return Variability{}, fmt.Errorf("fault: duplicate variability directive %q", key)
+		}
+		seen[key] = true
+		cv, err := parseCV(strings.TrimSpace(val))
+		if err != nil {
+			return Variability{}, err
+		}
+		switch key {
+		case "clock":
+			v.ClockCV = cv
+		case "link":
+			v.LinkCV = cv
+		default:
+			return Variability{}, fmt.Errorf("fault: unknown variability directive %q (valid: clock, link)", key)
+		}
+	}
+	if err := v.Valid(); err != nil {
+		return Variability{}, err
+	}
+	return v, nil
+}
+
+// parseCV parses one coefficient of variation: "5%" or "0.05".
+func parseCV(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	x, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, fmt.Errorf("fault: bad variability value %q (want a percentage like 2%% or a fraction like 0.02)", s)
+	}
+	if pct {
+		x /= 100
+	}
+	if x < 0 || x >= 1 {
+		return 0, fmt.Errorf("fault: variability %g out of range [0, 1)", x)
+	}
+	return x, nil
+}

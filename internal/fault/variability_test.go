@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseVariabilitySpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Variability
+	}{
+		{"clock:2%", Variability{Seed: 1, ClockCV: 0.02}},
+		{"var=clock:2%", Variability{Seed: 1, ClockCV: 0.02}},
+		{"clock:2%,link:5%@7", Variability{Seed: 7, ClockCV: 0.02, LinkCV: 0.05}},
+		{"link:5%,clock:2%@7", Variability{Seed: 7, ClockCV: 0.02, LinkCV: 0.05}},
+		{"link:0.05@3", Variability{Seed: 3, LinkCV: 0.05}},
+		{"var=clock:0.1,link:0.25@18446744073709551615", Variability{Seed: math.MaxUint64, ClockCV: 0.1, LinkCV: 0.25}},
+	}
+	for _, c := range cases {
+		got, err := ParseVariabilitySpec(c.spec)
+		if err != nil {
+			t.Fatalf("ParseVariabilitySpec(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseVariabilitySpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseVariabilitySpecErrors(t *testing.T) {
+	bad := []string{
+		"",                  // empty
+		"@7",                // seed only
+		"var=",              // prefix only
+		"clock",             // no value
+		"clock:2%,clock:3%", // duplicate
+		"turbo:2%",          // unknown key
+		"clock:150%",        // out of range
+		"clock:-0.1",        // negative
+		"clock:1",           // 1.0 is excluded
+		"clock:nan",         // NaN
+		"clock:2%@x",        // bad seed
+		"clock:2%@-1",       // negative seed
+		"clock:2%@1.5",      // fractional seed
+		"clock:2%%",         // double percent
+		"clock:2%,link",     // trailing bad part
+		"clock:2%@1@2",      // only last @ is seed; "clock:2%@1" is then a bad value
+	}
+	for _, s := range bad {
+		if _, err := ParseVariabilitySpec(s); err == nil {
+			t.Errorf("ParseVariabilitySpec(%q): expected error, got nil", s)
+		}
+	}
+}
+
+func TestVariabilityStringRoundTrip(t *testing.T) {
+	specs := []Variability{
+		{Seed: 1, ClockCV: 0.02},
+		{Seed: 7, ClockCV: 0.02, LinkCV: 0.05},
+		{Seed: 3, LinkCV: 0.125},
+		{Seed: 0},
+	}
+	for _, v := range specs {
+		got, err := ParseVariabilitySpec(v.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", v.String(), err)
+		}
+		if got != v {
+			t.Errorf("round trip %q: got %+v, want %+v", v.String(), got, v)
+		}
+	}
+}
+
+func TestVariabilityFactors(t *testing.T) {
+	var nilV *Variability
+	if f := nilV.ClockFactor(3); f != 1 {
+		t.Errorf("nil ClockFactor = %g, want 1", f)
+	}
+	if f := nilV.LinkFactor(3); f != 1 {
+		t.Errorf("nil LinkFactor = %g, want 1", f)
+	}
+
+	v := &Variability{Seed: 42, ClockCV: 0.05, LinkCV: 0.1}
+	sawClockSpread, sawLinkSpread := false, false
+	for node := 0; node < 256; node++ {
+		cf := v.ClockFactor(node)
+		lf := v.LinkFactor(node)
+		if math.IsNaN(cf) || cf < 1 {
+			t.Fatalf("node %d: ClockFactor %g < 1 (never-faster violated)", node, cf)
+		}
+		if math.IsNaN(lf) || lf <= 0 || lf > 1 {
+			t.Fatalf("node %d: LinkFactor %g outside (0, 1]", node, lf)
+		}
+		if cf > 1.001 {
+			sawClockSpread = true
+		}
+		if lf < 0.999 {
+			sawLinkSpread = true
+		}
+		// Determinism: the draw is a pure function of (seed, node).
+		if v.ClockFactor(node) != cf || v.LinkFactor(node) != lf {
+			t.Fatalf("node %d: repeated draw differs", node)
+		}
+	}
+	if !sawClockSpread || !sawLinkSpread {
+		t.Errorf("expected nontrivial spread across 256 nodes (clock %v, link %v)", sawClockSpread, sawLinkSpread)
+	}
+
+	// Clock and link streams must be independent: disabling one must not
+	// change the other's draws.
+	clockOnly := &Variability{Seed: 42, ClockCV: 0.05}
+	linkOnly := &Variability{Seed: 42, LinkCV: 0.1}
+	for node := 0; node < 64; node++ {
+		if clockOnly.ClockFactor(node) != v.ClockFactor(node) {
+			t.Fatalf("node %d: clock draw depends on LinkCV", node)
+		}
+		if linkOnly.LinkFactor(node) != v.LinkFactor(node) {
+			t.Fatalf("node %d: link draw depends on ClockCV", node)
+		}
+	}
+}
+
+func TestVariabilitySeedSensitivity(t *testing.T) {
+	a := &Variability{Seed: 1, ClockCV: 0.05}
+	b := &Variability{Seed: 2, ClockCV: 0.05}
+	same := 0
+	for node := 0; node < 128; node++ {
+		if a.ClockFactor(node) == b.ClockFactor(node) {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Errorf("seeds 1 and 2 agree on %d/128 node draws; streams look correlated", same)
+	}
+}
+
+func TestSetVariability(t *testing.T) {
+	p := NewPlan(9)
+	if p.Variability() != nil {
+		t.Fatal("fresh plan has variability")
+	}
+	if err := p.SetVariability(Variability{Seed: 9, ClockCV: 1.5}); err == nil {
+		t.Fatal("SetVariability accepted CV 1.5")
+	}
+	if p.Variability() != nil {
+		t.Fatal("failed SetVariability still attached")
+	}
+	want := Variability{Seed: 9, ClockCV: 0.02, LinkCV: 0.05}
+	if err := p.SetVariability(want); err != nil {
+		t.Fatalf("SetVariability: %v", err)
+	}
+	if got := p.Variability(); got == nil || *got != want {
+		t.Fatalf("Variability() = %+v, want %+v", got, want)
+	}
+	// Variability alone must not flip the link-fault predicate — that
+	// would disqualify analytic runs from sharding.
+	if p.HasLinkFaults() {
+		t.Fatal("variability-only plan reports link faults")
+	}
+	var nilPlan *Plan
+	if nilPlan.Variability() != nil {
+		t.Fatal("nil plan variability not nil")
+	}
+}
+
+func FuzzParseVariabilitySpec(f *testing.F) {
+	for _, seed := range []string{
+		"clock:2%",
+		"var=clock:2%,link:5%@7",
+		"link:0.05@3",
+		"clock:0.1,link:25%",
+		"clock:2%@18446744073709551615",
+		"", "@", "clock", "clock:", "clock:%", "x:y", "clock:2%,clock:2%",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVariabilitySpec(s)
+		if err != nil {
+			return
+		}
+		if err := v.Valid(); err != nil {
+			t.Fatalf("parsed invalid variability %+v from %q: %v", v, s, err)
+		}
+		// Factors stay finite and bounded for any accepted spec.
+		for _, node := range []int{0, 1, 17, 4095} {
+			cf := v.ClockFactor(node)
+			if math.IsNaN(cf) || math.IsInf(cf, 0) || cf < 1 {
+				t.Fatalf("spec %q node %d: bad clock factor %g", s, node, cf)
+			}
+			lf := v.LinkFactor(node)
+			if math.IsNaN(lf) || lf <= 0 || lf > 1 {
+				t.Fatalf("spec %q node %d: bad link factor %g", s, node, lf)
+			}
+		}
+		// String() must re-parse to the same model (canonical round trip).
+		rt, err := ParseVariabilitySpec(v.String())
+		if err != nil {
+			t.Fatalf("String %q of accepted spec %q does not reparse: %v", v.String(), s, err)
+		}
+		if rt != v {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v", s, v, v.String(), rt)
+		}
+		if strings.HasPrefix(v.String(), "var=") {
+			t.Fatalf("String() %q keeps the optional prefix", v.String())
+		}
+	})
+}

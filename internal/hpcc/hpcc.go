@@ -65,6 +65,15 @@ func SingleAndEP(id machine.ID, ranks int) (*EPResults, error) {
 // and — being a parameter rather than package state — safe for
 // concurrent jobs with different shard requests.
 func SingleAndEPSharded(id machine.ID, ranks, shards int) (*EPResults, error) {
+	return SingleAndEPFaultySharded(id, ranks, nil, shards)
+}
+
+// SingleAndEPFaultySharded is SingleAndEPSharded with a fault plan
+// injected into the simulated communication tests — in practice a
+// variability-only plan (Spec.Var), whose per-node bandwidth draws
+// move the ping-pong and random-ring numbers. A nil plan is the
+// historical healthy path, byte for byte.
+func SingleAndEPFaultySharded(id machine.ID, ranks int, plan *fault.Plan, shards int) (*EPResults, error) {
 	m := machine.Get(id)
 	model := cpu.New(m, machine.VN)
 	r := &EPResults{
@@ -78,6 +87,7 @@ func SingleAndEPSharded(id machine.ID, ranks, shards int) (*EPResults, error) {
 	cfg := core.PartitionConfig(id, machine.VN, ranks)
 	cfg.Fidelity = network.Contention
 	cfg.Shards = shards
+	cfg.Faults = plan
 
 	// Ping-pong between rank 0 and a rank half the machine away. Under
 	// the default XYZT mapping, rank k < nodes sits on node k, so rank
@@ -118,6 +128,7 @@ func SingleAndEPSharded(id machine.ID, ranks, shards int) (*EPResults, error) {
 	cfg2 := core.PartitionConfig(id, machine.VN, ranks)
 	cfg2.Fidelity = network.Contention
 	cfg2.Shards = shards
+	cfg2.Faults = plan
 	succ, pred := randRing(ranks, 42)
 	const rrBytes = 2 << 20
 	times := make([]sim.Duration, ranks)

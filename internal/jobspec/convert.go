@@ -67,6 +67,27 @@ func nodesFor(id machine.ID, mode machine.Mode, ranks int) int {
 	return core.PartitionConfig(id, mode, ranks).Nodes
 }
 
+// applyVar attaches a Spec.Var variability model to a fault plan,
+// creating a minimal plan when the job has no fault spec. An empty
+// spec returns the plan untouched, so fault-only and fault-free jobs
+// keep their historical configs byte for byte.
+func applyVar(varSpec string, plan *fault.Plan) (*fault.Plan, error) {
+	if varSpec == "" {
+		return plan, nil
+	}
+	v, err := fault.ParseVariabilitySpec(varSpec)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		plan = fault.NewPlan(v.Seed)
+	}
+	if err := plan.SetVariability(v); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
 // BenchConfig converts a bench-kind spec into the mpi.Config the
 // benchmark runs under — the same construction cmd/bgpsim has always
 // used. The canonical spec is attached to the Config (and so to the
@@ -96,6 +117,11 @@ func (s Spec) BenchConfig() (mpi.Config, []fault.BlastResult, error) {
 		cfg.Faults = plan
 		blasts = bl
 	}
+	plan, err := applyVar(c.Var, cfg.Faults)
+	if err != nil {
+		return mpi.Config{}, nil, err
+	}
+	cfg.Faults = plan
 	return cfg, blasts, nil
 }
 
@@ -168,5 +194,10 @@ func (s Spec) HaloOptions() (halo.Options, []fault.BlastResult, error) {
 		o.Faults = plan
 		blasts = bl
 	}
+	plan, err := applyVar(c.Var, o.Faults)
+	if err != nil {
+		return halo.Options{}, nil, err
+	}
+	o.Faults = plan
 	return o, blasts, nil
 }

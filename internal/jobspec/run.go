@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"bgpsim/internal/calib"
 	"bgpsim/internal/facility"
 	"bgpsim/internal/fault"
 	"bgpsim/internal/halo"
@@ -83,6 +84,8 @@ func Run(spec Spec, stdout, stderr io.Writer) (*RunResult, error) {
 		err = runHPCC(c, rr, stdout, stderr)
 	case KindFacility:
 		err = runFacility(c, rr, stdout)
+	case KindCalib:
+		err = runCalib(c, stdout)
 	default:
 		return nil, fmt.Errorf("jobspec: unknown kind %q", c.Kind)
 	}
@@ -213,7 +216,10 @@ func renderBench(c Spec, cfg mpi.Config, res *mpi.Result, tb *trace.Buffer, stdo
 	}
 	fmt.Fprintf(stdout, "  messages:   %d (%d on shared memory)\n", res.Net.Messages, res.Net.ShmMsgs)
 	fmt.Fprintf(stdout, "  tree ops:   %d, barrier-net ops: %d\n", res.Net.TreeOps, res.Net.BarrierOps)
-	if cfg.Faults != nil {
+	// Gated on the fault spec, not the plan: a variability-only plan
+	// (Spec.Var) has no fault machinery to report, and the block's
+	// absence keeps var-free output identical to the historical bytes.
+	if c.Faults != "" {
 		fmt.Fprintf(stdout, "  lost ranks: %v\n", res.Lost)
 		fmt.Fprintf(stdout, "  recoveries: %d (tree rebuilds %d, HW fallbacks %d, %v charged)\n",
 			res.Net.Recoveries, res.Net.TreeRebuilds, res.Net.HWFallbacks, res.Net.RecoveryTime)
@@ -263,7 +269,15 @@ func runHPCC(c Spec, rr *RunResult, stdout, stderr io.Writer) error {
 	var notes runner.Notes
 	reports, err := runner.Map(len(c.RankList), func(job int) (string, error) {
 		ranks := c.RankList[job]
-		ep, err := hpcc.SingleAndEPSharded(id, ranks, c.Shards)
+		// The micro-benchmarks see the variability model (per-node
+		// bandwidth draws move the ping-pong numbers) but not the fault
+		// plan — faults target the collective phase, as they always
+		// have. A fresh plan per call keeps concurrent jobs unshared.
+		epPlan, err := applyVar(c.Var, nil)
+		if err != nil {
+			return "", err
+		}
+		ep, err := hpcc.SingleAndEPFaultySharded(id, ranks, epPlan, c.Shards)
 		if err != nil {
 			return "", err
 		}
@@ -282,6 +296,9 @@ func runHPCC(c Spec, rr *RunResult, stdout, stderr io.Writer) error {
 				notes.Add(job, "hpcc: %d processes: blast from node %d: %s domain [%d, %d], %d nodes killed",
 					ranks, bl.Origin, bl.Level, bl.First, bl.Last, len(bl.Dead))
 			}
+		}
+		if plan, err = applyVar(c.Var, plan); err != nil {
+			return "", err
 		}
 		// rec is only non-nil with a single rank count, so at most one
 		// simulation ever drives it.
@@ -318,7 +335,7 @@ func runHPCC(c Spec, rr *RunResult, stdout, stderr io.Writer) error {
 		fmt.Fprintf(&b, "  Barrier:           %8.2f us  [%s]\n", cb.BarrierUS, cb.BarrierAlgo)
 		fmt.Fprintf(&b, "  Bcast:             %8.2f us  [%s]\n", cb.BcastUS, cb.BcastAlgo)
 		fmt.Fprintf(&b, "  Allreduce:         %8.2f us  [%s]\n", cb.AllreduceUS, cb.AllreduceAlgo)
-		if plan != nil {
+		if c.Faults != "" {
 			fmt.Fprintf(&b, "Injected faults (%s):\n", c.Faults)
 			fmt.Fprintf(&b, "  lost ranks: %v\n", cres.Lost)
 			fmt.Fprintf(&b, "  recoveries: %d (tree rebuilds %d, HW fallbacks %d, %v charged)\n",
@@ -371,6 +388,20 @@ func probeOrNil(rec *obs.Recorder) obs.Probe {
 		return nil
 	}
 	return rec
+}
+
+// runCalib executes a calib-kind spec: the standard perturb-and-
+// recover calibration fit of one machine model, reported as the
+// parameter-trajectory and residual tables. The fit is deterministic
+// at any worker count, so calib jobs cache like every other kind.
+func runCalib(c Spec, stdout io.Writer) error {
+	res, err := calib.Fit(machine.ID(c.Machine), calib.DefaultFitOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, res.ParamTable().String())
+	fmt.Fprintln(stdout, res.ResidualTable().String())
+	return nil
 }
 
 // runFacility executes a facility-kind spec: the workload report plus
@@ -529,7 +560,7 @@ func renderHaloSingle(c Spec, o halo.Options, d sim.Duration, res *mpi.Result, s
 	mode, _ := parseMode(c.Mode)
 	fmt.Fprintf(stdout, "HALO %s %s %dx%d grid, %d words, %s, mapping %s: %v per exchange\n",
 		c.Machine, mode, c.GridX, c.GridY, c.Words, o.Protocol, o.Mapping, d)
-	if o.Faults != nil && res != nil {
+	if c.Faults != "" && res != nil {
 		fmt.Fprintf(stdout, "  faults: lost ranks %v, recoveries %d (%v charged)\n",
 			res.Lost, res.Net.Recoveries, res.Net.RecoveryTime)
 		if o.Faults.LogSender() {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 
+	"bgpsim/internal/calib"
 	"bgpsim/internal/facility"
 	"bgpsim/internal/fault"
 	"bgpsim/internal/machine"
@@ -48,6 +49,9 @@ const (
 	KindHPCC = "hpcc"
 	// KindFacility is a multi-job facility workload (cmd/facility).
 	KindFacility = "facility"
+	// KindCalib is a calibration fit report: the seeded parameter
+	// search of internal/calib run for one machine model.
+	KindCalib = "calib"
 )
 
 // Spec is the canonical description of one simulation job. Exactly one
@@ -117,6 +121,11 @@ type Spec struct {
 	// Faults is a deterministic fault-plan spec string, e.g.
 	// "seed=3,recover,kill=5@40us" (see fault.ParseSpec).
 	Faults string `json:"faults,omitempty"`
+	// Var is a per-node performance-variability spec string, e.g.
+	// "clock:2%,link:5%@7" (see fault.ParseVariabilitySpec). It
+	// composes with Faults and, unlike link faults, never disqualifies
+	// an analytic job from sharding.
+	Var string `json:"var,omitempty"`
 	// Shards partitions each simulation across N parallel kernel
 	// shards. Output bytes are identical at any value (the PR-6
 	// determinism contract), so Hash() ignores it.
@@ -167,6 +176,7 @@ func (s Spec) Canonical() Spec {
 		c.Mapping = defStr(s.Mapping, "XYZT")
 		c.Fidelity = defStr(s.Fidelity, "contention")
 		c.Faults = s.Faults
+		c.Var = s.Var
 		c.Shards = s.Shards
 		c.Events = s.Events
 		c.Trace = s.Trace
@@ -186,6 +196,7 @@ func (s Spec) Canonical() Spec {
 		c.Mappings = s.Mappings
 		c.Coll = copyColl(s.Coll)
 		c.Faults = s.Faults
+		c.Var = s.Var
 		c.Shards = s.Shards
 		c.Trace = s.Trace
 		c.Profile = s.Profile
@@ -199,11 +210,15 @@ func (s Spec) Canonical() Spec {
 		}
 		c.Coll = copyColl(s.Coll)
 		c.Faults = s.Faults
+		c.Var = s.Var
 		c.Shards = s.Shards
 		c.Trace = s.Trace
 		c.Profile = s.Profile
 	case KindFacility:
 		c.Workload = s.Workload
+		c.Shards = s.Shards
+	case KindCalib:
+		c.Machine = defStr(s.Machine, "BG/P")
 		c.Shards = s.Shards
 	default:
 		// Unknown kind: keep everything so Validate can report it
@@ -283,6 +298,9 @@ func (s Spec) Validate() error {
 		if c.Events < 0 {
 			return fmt.Errorf("jobspec: events %d must be >= 0", c.Events)
 		}
+		if err := c.validateVar(); err != nil {
+			return err
+		}
 		return c.validateFaults(c.Ranks)
 	case KindHalo:
 		if err := c.validateCommon(); err != nil {
@@ -309,6 +327,9 @@ func (s Spec) Validate() error {
 		if err := c.validateColl(); err != nil {
 			return err
 		}
+		if err := c.validateVar(); err != nil {
+			return err
+		}
 		return c.validateFaults(c.GridX * c.GridY)
 	case KindHPCC:
 		if _, err := machine.Lookup(machine.ID(c.Machine)); err != nil {
@@ -328,6 +349,9 @@ func (s Spec) Validate() error {
 		if err := c.validateColl(); err != nil {
 			return err
 		}
+		if err := c.validateVar(); err != nil {
+			return err
+		}
 		return c.validateFaults(c.RankList[0])
 	case KindFacility:
 		if c.Workload == "" {
@@ -336,8 +360,18 @@ func (s Spec) Validate() error {
 		if _, err := facility.Parse(c.Workload); err != nil {
 			return err
 		}
+	case KindCalib:
+		found := false
+		for _, id := range calib.Machines() {
+			if machine.ID(c.Machine) == id {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("jobspec: no calibration targets for machine %q (valid: %v)", c.Machine, calib.Machines())
+		}
 	default:
-		return fmt.Errorf("jobspec: unknown kind %q (valid: bench, halo, hpcc, facility)", c.Kind)
+		return fmt.Errorf("jobspec: unknown kind %q (valid: bench, halo, hpcc, facility, calib)", c.Kind)
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("jobspec: shard count %d must be >= 0", c.Shards)
@@ -367,6 +401,16 @@ func (s Spec) validateCommon() error {
 // validateColl re-parses the coll override map through the registry.
 func (s Spec) validateColl() error {
 	_, err := mpi.ParseCollSpec(collString(s.Coll))
+	return err
+}
+
+// validateVar parses the variability spec once to surface errors at
+// submission time instead of mid-run.
+func (s Spec) validateVar() error {
+	if s.Var == "" {
+		return nil
+	}
+	_, err := fault.ParseVariabilitySpec(s.Var)
 	return err
 }
 

@@ -18,6 +18,7 @@ func TestHashGolden(t *testing.T) {
 		KindHalo:     "93281e10ee2c12d28ad66e395b1405015cf2e848275712a9818a44544b415e6c",
 		KindHPCC:     "75397f5ca3b36581471a9a99c3f72e0340da4a1e7e9839dc9732cffdd755c702",
 		KindFacility: "454a7e23948eb08199b917f5ced2323a6eafcdd834abcecaa8fc59d40f34c1e7",
+		KindCalib:    "e6b7b0f0512707338a08088ab238c0237032a89b6ccf08fa5b2661539d2bce90",
 	}
 	for kind, want := range golden {
 		if got := (Spec{Kind: kind}).Hash(); got != want {
@@ -48,6 +49,24 @@ func TestHashIgnoresExecutionKnobs(t *testing.T) {
 	}
 }
 
+// TestHashVariability: a variability spec changes the job's identity —
+// a run under per-node noise is a different result than a healthy run
+// and must not share a cache slot with it.
+func TestHashVariability(t *testing.T) {
+	for _, kind := range []string{KindBench, KindHalo, KindHPCC} {
+		base := Spec{Kind: kind}
+		noisy := Spec{Kind: kind, Var: "clock:2%,link:5%@7"}
+		if noisy.Hash() == base.Hash() {
+			t.Errorf("%s: variability spec did not change the hash (canonical %s)", kind, noisy.CanonicalJSON())
+		}
+		// Different seed, different draws, different job.
+		other := Spec{Kind: kind, Var: "clock:2%,link:5%@8"}
+		if other.Hash() == noisy.Hash() {
+			t.Errorf("%s: variability seed did not change the hash", kind)
+		}
+	}
+}
+
 // TestDecodeRoundTrip: canonical JSON decodes back to a spec with the
 // same canonical bytes, for every kind.
 func TestDecodeRoundTrip(t *testing.T) {
@@ -56,6 +75,8 @@ func TestDecodeRoundTrip(t *testing.T) {
 		{Kind: KindHalo, Sweep: true, Coll: map[string]string{"allreduce": "ring"}},
 		{Kind: KindHPCC, RankList: []int{64, 256}},
 		{Kind: KindFacility, Workload: "seed=3,nodes=64,jobs=4,cohort=halo:4:1:10s:100:cancel"},
+		{Kind: KindCalib, Machine: "XT4/QC"},
+		{Kind: KindBench, Bench: "pingpong", Var: "clock:2%,link:5%@7"},
 	}
 	for _, s := range specs {
 		cj := s.CanonicalJSON()
@@ -81,6 +102,9 @@ func TestDecodeRejects(t *testing.T) {
 		`{"kind":"bench","machine":"Cray-3"}`,       // unknown machine
 		`{"kind":"hpcc","rank_list":[0]}`,           // bad rank count
 		`{"kind":"halo","coll":{"allreduce":"??"}}`, // bad algorithm
+		`{"kind":"bench","var":"clock:120%"}`,       // variability CV out of range
+		`{"kind":"halo","var":"bogus"}`,             // bad variability grammar
+		`{"kind":"calib","machine":"BG/L"}`,         // machine without calibration targets
 	}
 	for _, c := range cases {
 		if _, err := Decode([]byte(c)); err == nil {

@@ -307,9 +307,7 @@ func Lookup(id ID) (*Machine, error) {
 	if !ok {
 		return nil, fmt.Errorf("machine: unknown id %q (valid: %v)", id, All())
 	}
-	cp := *m
-	cp.Coll = m.Coll.Clone() // the struct copy would share rule slices
-	return &cp, nil
+	return m.Clone(), nil
 }
 
 // All returns the catalog identifiers in the paper's Table 1 order.

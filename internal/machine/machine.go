@@ -250,5 +250,14 @@ func (m *Machine) Noiseless() bool {
 	return m.NoisePeriodS <= 0 || m.NoiseDurS <= 0
 }
 
+// Clone returns a deep copy of the machine — the collective table's
+// rule slices included — so callers (parameter searches, ablation
+// studies) can mutate model parameters without aliasing the original.
+func (m *Machine) Clone() *Machine {
+	cp := *m
+	cp.Coll = m.Coll.Clone()
+	return &cp
+}
+
 // String returns the machine name.
 func (m *Machine) String() string { return m.Name }

@@ -54,6 +54,7 @@ type Rank struct {
 	gateResult  interface{}    // sharded-gate result handoff, set by completeGate
 	rng         *sim.RNG
 	noisePhase  sim.Duration // phase of this node's OS-noise events
+	clockFac    float64      // per-node variability clock multiplier (0 = off)
 
 	// Message-logging / replay state (replay.go). logSend gates the
 	// sender log append in isendFrac (one bool on the hot path); floor,
@@ -80,6 +81,11 @@ func newRank(w *World, id int, place topology.Placement) *Rank {
 	}
 	if w.noiseOn {
 		r.noisePhase = w.cfg.Faults.NoisePhase(place.Node, w.noise.Period)
+	}
+	if v := w.cfg.Faults.Variability(); v != nil {
+		if f := v.ClockFactor(place.Node); f > 1 {
+			r.clockFac = f
+		}
 	}
 	r.logSend = w.cfg.Faults.LogSender()
 	return r
@@ -124,6 +130,9 @@ func (r *Rank) Compute(flops, bytes float64, class machine.KernelClass) {
 	d := r.w.cpu.Time(flops, bytes, class)
 	if s, ok := r.w.cfg.NodeSlowdown[r.place.Node]; ok && s > 0 {
 		d = sim.Duration(float64(d) * (1 + s))
+	}
+	if r.clockFac > 1 {
+		d = sim.Duration(float64(d) * r.clockFac)
 	}
 	base := d
 	if r.w.noiseOn {

@@ -12,7 +12,37 @@ import (
 // with no link faults) leaves the healthy fast path untouched — every
 // message takes exactly the code it would without a plan, so healthy
 // runs stay byte-identical. Call before the simulation starts.
-func (n *Net) SetFaults(p *fault.Plan) { n.faults = p }
+//
+// When the plan carries per-node link variability (fault.Variability
+// with a nonzero LinkCV), the per-node delivered-bandwidth factors are
+// drawn here once — a pure function of (plan seed, node), so shard
+// clones sharing the slice see identical draws at any shard count.
+func (n *Net) SetFaults(p *fault.Plan) {
+	n.faults = p
+	n.varFac = nil
+	if v := p.Variability(); v != nil && v.LinkCV > 0 {
+		nodes := n.torus.Dims.Nodes()
+		n.varFac = make([]float64, nodes)
+		for node := 0; node < nodes; node++ {
+			n.varFac[node] = v.LinkFactor(node)
+		}
+	}
+}
+
+// varFactor returns the delivered-bandwidth multiplier of a message
+// between two nodes under per-node link variability: the worse of the
+// two endpoint factors (the marginal NIC bounds the stream), 1 when
+// variability is off.
+func (n *Net) varFactor(srcNode, dstNode int) float64 {
+	if n.varFac == nil {
+		return 1
+	}
+	f := n.varFac[srcNode]
+	if g := n.varFac[dstNode]; g < f {
+		f = g
+	}
+	return f
+}
 
 // Faults returns the attached fault plan (nil when healthy).
 func (n *Net) Faults() *fault.Plan { return n.faults }
@@ -39,8 +69,9 @@ func (n *Net) p2pFaulty(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, er
 		}
 	}
 
+	q := n.varFactor(srcNode, dstNode)
 	hopLat := sim.Seconds(n.mach.TorusHopLat * float64(len(route)))
-	effBW := math.Min(n.linkBW*minF, n.injBW)
+	effBW := math.Min(n.linkBW*minF, n.injBW) * q
 	wire := sim.Seconds(float64(bytes) / effBW)
 
 	if n.fid == Analytic {
@@ -52,7 +83,7 @@ func (n *Net) p2pFaulty(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, er
 
 	// Contention: as the healthy reservation loop, but each degraded
 	// link stays busy longer (serialization divided by its factor).
-	injSer := sim.Seconds(float64(bytes) / n.injBW)
+	injSer := sim.Seconds(float64(bytes) / (n.injBW * q))
 	depart := now
 	if n.injFree[srcNode] > depart {
 		depart = n.injFree[srcNode]
@@ -72,7 +103,7 @@ func (n *Net) p2pFaulty(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, er
 	for i, l := range route {
 		off := sim.Duration(i) * perHop
 		f := n.faults.LinkFactor(l, now)
-		linkSer := sim.Seconds(float64(bytes) / (n.linkBW * f))
+		linkSer := sim.Seconds(float64(bytes) / (n.linkBW * f * q))
 		n.linkFree[n.torus.LinkIndex(l)] = depart.Add(off + linkSer)
 	}
 	arrival := depart.Add(hopLat + wire)
@@ -91,6 +122,7 @@ func (n *Net) packetOnRoute(now sim.Time, srcNode, dstNode, bytes int, route []t
 	if packets == 0 {
 		packets = 1
 	}
+	q := n.varFactor(srcNode, dstNode)
 	perHop := sim.Seconds(n.mach.TorusHopLat)
 	lastBytes := bytes - (packets-1)*packetBytes
 	if lastBytes <= 0 {
@@ -110,7 +142,7 @@ func (n *Net) packetOnRoute(now sim.Time, srcNode, dstNode, bytes int, route []t
 		if n.probe != nil {
 			n.probe.Inject(srcNode, t, t.Sub(now), pb)
 		}
-		t = t.Add(sim.Seconds(float64(pb) / n.injBW))
+		t = t.Add(sim.Seconds(float64(pb) / (n.injBW * q)))
 		n.injFree[srcNode] = t
 		for _, l := range route {
 			idx := n.torus.LinkIndex(l)
@@ -118,7 +150,7 @@ func (n *Net) packetOnRoute(now sim.Time, srcNode, dstNode, bytes int, route []t
 				t = n.linkFree[idx]
 			}
 			f := n.faults.LinkFactor(l, now)
-			ser := sim.Seconds(float64(pb) / (n.linkBW * f))
+			ser := sim.Seconds(float64(pb) / (n.linkBW * f * q))
 			if n.probe != nil {
 				n.probe.LinkBusy(idx, t, ser, pb)
 			}

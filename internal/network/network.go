@@ -120,6 +120,12 @@ type Net struct {
 	linkBW float64
 	injBW  float64
 
+	// varFac holds the per-node delivered-bandwidth factors of an
+	// attached fault plan's link variability (SetFaults), nil when
+	// variability is off. Immutable after SetFaults, so shard clones
+	// share the slice.
+	varFac []float64
+
 	// Contention state, indexed by dense link index.
 	linkFree []sim.Time
 	injFree  []sim.Time      // per node injection channel
@@ -292,7 +298,8 @@ func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, error) {
 	}
 	hops := n.torus.Hops(srcNode, dstNode)
 	hopLat := sim.Seconds(n.mach.TorusHopLat * float64(hops))
-	effBW := math.Min(n.linkBW, n.injBW)
+	q := n.varFactor(srcNode, dstNode)
+	effBW := math.Min(n.linkBW, n.injBW) * q
 	wire := sim.Seconds(float64(bytes) / effBW)
 
 	if n.fid == Analytic {
@@ -304,8 +311,8 @@ func (n *Net) P2P(now sim.Time, srcNode, dstNode, bytes int) (sim.Time, error) {
 
 	n.routeBuf = n.torus.AppendRoute(n.routeBuf[:0], srcNode, dstNode)
 	route := n.routeBuf
-	injSer := sim.Seconds(float64(bytes) / n.injBW)
-	linkSer := sim.Seconds(float64(bytes) / n.linkBW)
+	injSer := sim.Seconds(float64(bytes) / (n.injBW * q))
+	linkSer := sim.Seconds(float64(bytes) / (n.linkBW * q))
 
 	// Find the earliest departure such that the injection channel,
 	// every link (offset by the head latency to reach it), and the
@@ -352,9 +359,10 @@ func (n *Net) packetTransfer(now sim.Time, srcNode, dstNode, bytes int) sim.Time
 	if packets == 0 {
 		packets = 1 // a header-only packet still traverses the route
 	}
+	q := n.varFactor(srcNode, dstNode)
 	perHop := sim.Seconds(n.mach.TorusHopLat)
-	linkSer := sim.Seconds(float64(packetBytes) / n.linkBW)
-	injSer := sim.Seconds(float64(packetBytes) / n.injBW)
+	linkSer := sim.Seconds(float64(packetBytes) / (n.linkBW * q))
+	injSer := sim.Seconds(float64(packetBytes) / (n.injBW * q))
 	lastBytes := bytes - (packets-1)*packetBytes
 	if lastBytes <= 0 {
 		lastBytes = packetBytes
@@ -365,8 +373,8 @@ func (n *Net) packetTransfer(now sim.Time, srcNode, dstNode, bytes int) sim.Time
 		ser := linkSer
 		inj := injSer
 		if k == packets-1 {
-			ser = sim.Seconds(float64(lastBytes) / n.linkBW)
-			inj = sim.Seconds(float64(lastBytes) / n.injBW)
+			ser = sim.Seconds(float64(lastBytes) / (n.linkBW * q))
+			inj = sim.Seconds(float64(lastBytes) / (n.injBW * q))
 		}
 		// Injection.
 		t := now

@@ -36,6 +36,7 @@ func (n *Net) ShardClone() *Net {
 		tree:    n.tree,
 		fid:     n.fid,
 		faults:  n.faults,
+		varFac:  n.varFac,
 		shmFree: n.shmFree,
 		linkBW:  n.linkBW,
 		injBW:   n.injBW,

@@ -1,0 +1,146 @@
+package paper
+
+import (
+	"fmt"
+
+	"bgpsim/internal/calib"
+	"bgpsim/internal/fault"
+	"bgpsim/internal/machine"
+	"bgpsim/internal/stats"
+)
+
+func init() {
+	register("calib", "Supplementary: calibration fit and variability confidence intervals (docs/CALIBRATION.md)", calibration)
+}
+
+// calibVar is the variability model of the CI tables: 2% per-node
+// clock spread and 5% per-node link-bandwidth spread, redrawn per
+// sweep seed.
+func calibVar(seed uint64) fault.Variability {
+	return fault.Variability{Seed: seed, ClockCV: 0.02, LinkCV: 0.05}
+}
+
+// calibration runs the calibration-and-variability report: first the
+// seeded parameter fit of each machine model back to the paper's
+// tables (parameter trajectory + residuals), then two headline
+// micro-benchmark tables re-emitted with common-random-numbers 95%
+// confidence intervals under per-node performance variability.
+func calibration(o Options) ([]*stats.Table, error) {
+	ids := calib.Machines()
+
+	// The per-machine fits are independent; sweep them on the pool.
+	fits := make([]*calib.FitResult, len(ids))
+	var jobs []job
+	for i, id := range ids {
+		i, id := i, id
+		jobs = append(jobs, job{
+			run: func() (any, error) {
+				return calib.Fit(id, calib.DefaultFitOptions())
+			},
+			commit: func(v any) { fits[i] = v.(*calib.FitResult) },
+		})
+	}
+
+	// CI sweeps: rerun the ping-pong pair and the halo-exchange proxy
+	// under seeded variability draws, same seed list for every machine
+	// and metric (common random numbers).
+	nSeeds := 5
+	if o.Full {
+		nSeeds = 10
+	}
+	seeds := make([]uint64, nSeeds)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	type ciRow struct {
+		healthy   [3]float64
+		summaries [3]*stats.Summary
+	}
+	varPlan := func(seed uint64) (*fault.Plan, error) {
+		p := fault.NewPlan(seed)
+		if err := p.SetVariability(calibVar(seed)); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	ciOne := func(id machine.ID) (ciRow, error) {
+		var row ciRow
+		m := machine.Get(id)
+		lat0, bw0, err := calib.PingPong(m, nil, o.Shards)
+		if err != nil {
+			return row, err
+		}
+		halo0, err := calib.HaloExchange(m, nil, o.Shards)
+		if err != nil {
+			return row, err
+		}
+		row.healthy = [3]float64{lat0, bw0, halo0}
+		var lats, bws []float64
+		for _, seed := range seeds {
+			p, err := varPlan(seed)
+			if err != nil {
+				return row, err
+			}
+			lat, bw, err := calib.PingPong(m, p, o.Shards)
+			if err != nil {
+				return row, err
+			}
+			lats, bws = append(lats, lat), append(bws, bw)
+		}
+		haloSum, err := stats.CRNSweep(seeds, func(seed uint64) (float64, error) {
+			p, err := varPlan(seed)
+			if err != nil {
+				return 0, err
+			}
+			return calib.HaloExchange(m, p, o.Shards)
+		})
+		if err != nil {
+			return row, err
+		}
+		row.summaries = [3]*stats.Summary{stats.Summarize(lats), stats.Summarize(bws), haloSum}
+		return row, nil
+	}
+	rows := make([]ciRow, len(ids))
+	for i, id := range ids {
+		i, id := i, id
+		jobs = append(jobs, job{
+			run:    func() (any, error) { return ciOne(id) },
+			commit: func(v any) { rows[i] = v.(ciRow) },
+		})
+	}
+	if err := runJobs(jobs); err != nil {
+		return nil, err
+	}
+
+	var tables []*stats.Table
+	for _, f := range fits {
+		tables = append(tables, f.ParamTable(), f.ResidualTable())
+	}
+
+	metrics := []struct {
+		name, unit string
+	}{
+		{"ping-pong latency", "us"},
+		{"ping-pong bandwidth", "GB/s"},
+		{"halo exchange", "ms"},
+	}
+	ciTitle := fmt.Sprintf("under per-node variability (clock:2%%,link:5%%, %d seeds, 95%% CI)", nSeeds)
+	micro := stats.NewTable("Communication micro-benchmarks "+ciTitle,
+		"Machine", "Metric", "Healthy", "With variability", "Shift %")
+	app := stats.NewTable("Application proxy "+ciTitle,
+		"Machine", "Metric", "Healthy", "With variability", "Shift %")
+	for i, id := range ids {
+		for k, mt := range metrics {
+			tb := micro
+			if mt.name == "halo exchange" {
+				tb = app
+			}
+			s := rows[i].summaries[k]
+			h := rows[i].healthy[k]
+			tb.AddRow(string(id), fmt.Sprintf("%s (%s)", mt.name, mt.unit),
+				stats.FormatG(h), s.FormatCI(),
+				fmt.Sprintf("%+.2f", 100*(s.Mean-h)/h))
+		}
+	}
+	return append(tables, micro, app), nil
+}

@@ -1,0 +1,108 @@
+package paper
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgpsim/internal/calib"
+	"bgpsim/internal/machine"
+)
+
+var updateCalibGolden = flag.Bool("update-calib-golden", false, "rewrite testdata/calib_golden.txt from the current output")
+
+func calibGoldenPath() string { return filepath.Join("testdata", "calib_golden.txt") }
+
+func renderCalib(t *testing.T) string {
+	t.Helper()
+	e, err := Get("calib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestCalibGolden pins the entire -exp calib report byte for byte: the
+// fit trajectories, the fitted-model residuals, and the CI-annotated
+// variability tables. Any drift in the catalog, the search, the
+// variability draws, or the CI math fails here. Refresh deliberately
+// with -update-calib-golden.
+func TestCalibGolden(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-comparison golden; the non-race run covers it and TestAllExperimentsRunReduced covers the concurrent paths")
+	}
+	got := renderCalib(t)
+	if *updateCalibGolden {
+		if err := os.MkdirAll(filepath.Dir(calibGoldenPath()), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(calibGoldenPath(), []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(calibGoldenPath())
+	if err != nil {
+		t.Fatalf("%v (run with -update-calib-golden to create)", err)
+	}
+	if got != string(want) {
+		gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			var g, w string
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if g != w {
+				t.Fatalf("calib golden drift at line %d:\n got: %q\nwant: %q", i+1, g, w)
+			}
+		}
+		t.Fatal("calib golden drift")
+	}
+}
+
+// TestCalibGoldenTripsOnParamDrift is the golden's mutation guard: a
+// perturbed fitted parameter must change the residual table the golden
+// pins, so the golden genuinely protects the fit, not just the
+// formatting around it.
+func TestCalibGoldenTripsOnParamDrift(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-comparison guard; the non-race run covers it")
+	}
+	res, err := calib.Fit(machine.BGP, calib.DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := res.ResidualTable().String()
+	want, err := os.ReadFile(calibGoldenPath())
+	if err != nil {
+		t.Fatalf("%v (run with -update-calib-golden to create)", err)
+	}
+	if !strings.Contains(string(want), baseline) {
+		t.Fatalf("golden does not contain the BG/P residual table; guard is vacuous:\n%s", baseline)
+	}
+	drifted := res.FittedMachine()
+	drifted.TorusLinkBW *= 1.2
+	rs, err := calib.Residuals(machine.BGP, drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := calib.ResidualTable(fmt.Sprintf("%s fitted-model residuals", machine.BGP), rs).String()
+	if mutated == baseline {
+		t.Fatal("20% link-bandwidth drift left the residual table unchanged; the golden cannot catch fit regressions")
+	}
+}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablations", "colltune", "facility", "faults", "fig1", "fig2", "fig3",
+	want := []string{"ablations", "calib", "colltune", "facility", "faults", "fig1", "fig2", "fig3",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "green500", "io", "petaflop", "profile",
 		"table1", "table2", "table3", "top500"}
 	got := IDs()

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"bgpsim/internal/runner"
+)
+
+// Summary is the seeded-sweep statistics of one measured quantity:
+// the raw samples (one per seed, in seed order), their mean and sample
+// standard deviation, and the half-width of the 95% Student-t
+// confidence interval on the mean.
+type Summary struct {
+	Samples []float64
+	Mean    float64
+	SD      float64
+	Half    float64
+}
+
+// CRNSweep reruns a seeded experiment across the given seeds and
+// summarizes the results — the common-random-numbers discipline the
+// conformance harness uses, generalized: every configuration compared
+// against another should be swept with the SAME seed list, so the
+// per-seed draws cancel and the confidence interval reflects the
+// modeled variability, not the sampling noise of unmatched seeds.
+//
+// The runs execute concurrently on the runner pool; samples come back
+// in seed order, so the summary (and any rendering of it) is
+// deterministic at any worker count. The first error aborts the sweep.
+func CRNSweep(seeds []uint64, fn func(seed uint64) (float64, error)) (*Summary, error) {
+	samples, err := runner.Sweep(seeds, fn)
+	if err != nil {
+		return nil, err
+	}
+	return Summarize(samples), nil
+}
+
+// Summarize computes the Summary of explicit samples.
+func Summarize(samples []float64) *Summary {
+	s := &Summary{Samples: append([]float64(nil), samples...)}
+	n := len(samples)
+	if n == 0 {
+		s.Mean = math.NaN()
+		s.SD = math.NaN()
+		s.Half = math.NaN()
+		return s
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	s.Mean = sum / float64(n)
+	if n == 1 {
+		return s
+	}
+	ss := 0.0
+	for _, v := range samples {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.SD = math.Sqrt(ss / float64(n-1))
+	s.Half = tCrit95(n-1) * s.SD / math.Sqrt(float64(n))
+	return s
+}
+
+// CI returns the 95% confidence interval on the mean.
+func (s *Summary) CI() (lo, hi float64) {
+	return s.Mean - s.Half, s.Mean + s.Half
+}
+
+// FormatCI renders the summary as "mean ± half" with FormatG digits —
+// the cell format of CI-annotated tables.
+func (s *Summary) FormatCI() string {
+	return fmt.Sprintf("%s ± %s", FormatG(s.Mean), FormatG(s.Half))
+}
+
+// tCrit95 is the two-sided 95% Student-t critical value for the given
+// degrees of freedom. Small-sample values are tabulated exactly (CRN
+// sweeps typically use a handful of seeds); beyond the table the
+// normal limit 1.96 is close enough for reporting purposes.
+func tCrit95(df int) float64 {
+	table := []float64{
+		1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+		6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+		11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+		16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+		21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+		26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	if math.Abs(s.SD-2.1380899) > 1e-6 {
+		t.Errorf("SD = %g, want 2.1380899", s.SD)
+	}
+	// Half-width = t(7) * SD / sqrt(8) with t(7) = 2.365.
+	want := 2.365 * s.SD / math.Sqrt(8)
+	if math.Abs(s.Half-want) > 1e-12 {
+		t.Errorf("Half = %g, want %g", s.Half, want)
+	}
+	lo, hi := s.CI()
+	if lo != s.Mean-s.Half || hi != s.Mean+s.Half {
+		t.Errorf("CI() = (%g, %g), want mean ± half", lo, hi)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	empty := Summarize(nil)
+	if !math.IsNaN(empty.Mean) || !math.IsNaN(empty.Half) {
+		t.Errorf("empty summary = %+v, want NaN mean/half", empty)
+	}
+	one := Summarize([]float64{3.5})
+	if one.Mean != 3.5 || one.SD != 0 || one.Half != 0 {
+		t.Errorf("single-sample summary = %+v, want mean only", one)
+	}
+	// Zero variance ⇒ zero CI width, at any df.
+	flat := Summarize([]float64{1.25, 1.25, 1.25, 1.25})
+	if flat.SD != 0 || flat.Half != 0 {
+		t.Errorf("flat summary = %+v, want zero SD and width", flat)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 4: 2.776, 9: 2.262, 30: 2.042, 31: 1.96, 1000: 1.96}
+	for df, want := range cases {
+		if got := tCrit95(df); got != want {
+			t.Errorf("tCrit95(%d) = %g, want %g", df, got, want)
+		}
+	}
+	if !math.IsNaN(tCrit95(0)) {
+		t.Error("tCrit95(0) should be NaN")
+	}
+}
+
+func TestCRNSweep(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	fn := func(seed uint64) (float64, error) { return float64(seed * seed), nil }
+	s, err := CRNSweep(seeds, fn)
+	if err != nil {
+		t.Fatalf("CRNSweep: %v", err)
+	}
+	if want := []float64{1, 4, 9, 16, 25}; !reflect.DeepEqual(s.Samples, want) {
+		t.Errorf("Samples = %v, want %v (seed order)", s.Samples, want)
+	}
+	if s.Mean != 11 {
+		t.Errorf("Mean = %g, want 11", s.Mean)
+	}
+	// Determinism across repeated runs (worker scheduling must not leak).
+	again, err := CRNSweep(seeds, fn)
+	if err != nil {
+		t.Fatalf("CRNSweep again: %v", err)
+	}
+	if !reflect.DeepEqual(again, s) {
+		t.Errorf("repeated sweep differs: %+v vs %+v", again, s)
+	}
+}
+
+func TestCRNSweepError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := CRNSweep([]uint64{1, 2, 3}, func(seed uint64) (float64, error) {
+		if seed == 2 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("CRNSweep error = %v, want %v", err, boom)
+	}
+}
+
+func TestFormatCI(t *testing.T) {
+	s := Summarize([]float64{10, 12, 14})
+	if got, want := s.FormatCI(), "12 ± 4.9687"; got != want {
+		t.Errorf("FormatCI = %q, want %q", got, want)
+	}
+}
